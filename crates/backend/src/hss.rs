@@ -1,0 +1,287 @@
+//! Home Subscriber Server: the subscriber database queried during attach.
+
+use parking_lot::RwLock;
+use pepc_sigproto::diameter::{command, result_code, DiameterMsg};
+use pepc_sigproto::{Result, SigError};
+use std::collections::HashMap;
+
+/// A subscriber's static profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberProfile {
+    /// Permanent subscriber key (K on the SIM).
+    pub key: u64,
+    /// Subscribed aggregate maximum bit rate (kbps).
+    pub ambr_kbps: u32,
+    /// Default bearer QoS class identifier (9 = best effort).
+    pub default_qci: u8,
+}
+
+impl Default for SubscriberProfile {
+    fn default() -> Self {
+        SubscriberProfile { key: 0, ambr_kbps: 100_000, default_qci: 9 }
+    }
+}
+
+/// An authentication vector: the challenge the MME forwards to the UE and
+/// the expected response it checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthVector {
+    pub rand: u64,
+    pub autn: u64,
+    pub xres: u64,
+}
+
+/// Derive an authentication vector from the subscriber key and a nonce —
+/// the same keyed mixing on both the HSS and (in tests) the emulated SIM,
+/// standing in for MILENAGE f1–f5.
+pub fn derive_vector(key: u64, nonce: u64) -> AuthVector {
+    fn mix(mut x: u64) -> u64 {
+        // splitmix64 finalizer: good diffusion, cheap, deterministic.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    let rand = mix(nonce ^ 0xA5A5_A5A5_A5A5_A5A5);
+    let autn = mix(rand ^ key);
+    let xres = mix(autn ^ key.rotate_left(17));
+    AuthVector { rand, autn, xres }
+}
+
+/// Compute the RES a genuine SIM with `key` produces for a challenge.
+pub fn sim_response(key: u64, rand: u64) -> u64 {
+    let v = derive_vector_from_rand(key, rand);
+    v.xres
+}
+
+fn derive_vector_from_rand(key: u64, rand: u64) -> AuthVector {
+    fn mix(mut x: u64) -> u64 {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    let autn = mix(rand ^ key);
+    let xres = mix(autn ^ key.rotate_left(17));
+    AuthVector { rand, autn, xres }
+}
+
+/// The HSS.
+///
+/// Thread-safe: the PEPC node proxy and multiple control cores may query
+/// it concurrently.
+pub struct Hss {
+    subscribers: RwLock<HashMap<u64, SubscriberProfile>>,
+    /// IMSI → serving node registered by the last Update-Location.
+    serving: RwLock<HashMap<u64, u32>>,
+    nonce: std::sync::atomic::AtomicU64,
+}
+
+impl Hss {
+    pub fn new() -> Self {
+        Hss {
+            subscribers: RwLock::new(HashMap::new()),
+            serving: RwLock::new(HashMap::new()),
+            nonce: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Provision one subscriber.
+    pub fn provision(&self, imsi: u64, profile: SubscriberProfile) {
+        self.subscribers.write().insert(imsi, profile);
+    }
+
+    /// Provision `count` subscribers with IMSIs `base..base+count` and a
+    /// key derived from the IMSI (tests recompute it the same way).
+    pub fn provision_range(&self, base: u64, count: u64, ambr_kbps: u32) {
+        let mut subs = self.subscribers.write();
+        subs.reserve(count as usize);
+        for i in 0..count {
+            let imsi = base + i;
+            subs.insert(imsi, SubscriberProfile { key: Self::key_for(imsi), ambr_kbps, default_qci: 9 });
+        }
+    }
+
+    /// The deterministic provisioning key for an IMSI (shared with tests
+    /// emulating the SIM side).
+    pub fn key_for(imsi: u64) -> u64 {
+        imsi.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x5EED_5EED_5EED_5EED
+    }
+
+    /// Number of provisioned subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().len()
+    }
+
+    /// Serving node registered for an IMSI, if any.
+    pub fn serving_node(&self, imsi: u64) -> Option<u32> {
+        self.serving.read().get(&imsi).copied()
+    }
+
+    /// Handle an S6a request message, producing the answer.
+    pub fn handle(&self, req: &DiameterMsg) -> Result<DiameterMsg> {
+        match req {
+            DiameterMsg::AuthInfoRequest { hop_id, imsi, .. } => {
+                let profile = self.subscribers.read().get(imsi).copied();
+                Ok(match profile {
+                    Some(p) => {
+                        let nonce = self.nonce.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let v = derive_vector(p.key, nonce);
+                        DiameterMsg::AuthInfoAnswer {
+                            hop_id: *hop_id,
+                            result: result_code::SUCCESS,
+                            rand: v.rand,
+                            autn: v.autn,
+                            xres: v.xres,
+                        }
+                    }
+                    None => DiameterMsg::AuthInfoAnswer {
+                        hop_id: *hop_id,
+                        result: result_code::USER_UNKNOWN,
+                        rand: 0,
+                        autn: 0,
+                        xres: 0,
+                    },
+                })
+            }
+            DiameterMsg::UpdateLocationRequest { hop_id, imsi, serving_node } => {
+                let profile = self.subscribers.read().get(imsi).copied();
+                Ok(match profile {
+                    Some(p) => {
+                        self.serving.write().insert(*imsi, *serving_node);
+                        DiameterMsg::UpdateLocationAnswer {
+                            hop_id: *hop_id,
+                            result: result_code::SUCCESS,
+                            ambr_kbps: p.ambr_kbps,
+                            default_qci: p.default_qci,
+                        }
+                    }
+                    None => DiameterMsg::UpdateLocationAnswer {
+                        hop_id: *hop_id,
+                        result: result_code::USER_UNKNOWN,
+                        ambr_kbps: 0,
+                        default_qci: 0,
+                    },
+                })
+            }
+            _ => Err(SigError::UnknownType("s6a request", command::AUTHENTICATION_INFORMATION)),
+        }
+    }
+
+    /// Handle a wire-encoded request.
+    pub fn handle_bytes(&self, req: &[u8]) -> Result<Vec<u8>> {
+        let msg = DiameterMsg::decode(req)?;
+        Ok(self.handle(&msg)?.encode())
+    }
+}
+
+impl Default for Hss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hss_with(imsi: u64) -> Hss {
+        let h = Hss::new();
+        h.provision(imsi, SubscriberProfile { key: Hss::key_for(imsi), ambr_kbps: 50_000, default_qci: 8 });
+        h
+    }
+
+    #[test]
+    fn auth_vector_verifies_like_a_sim() {
+        let imsi = 404_01_0000000001;
+        let h = hss_with(imsi);
+        let answer = h
+            .handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi, plmn: 40401 })
+            .unwrap();
+        match answer {
+            DiameterMsg::AuthInfoAnswer { result, rand, xres, .. } => {
+                assert_eq!(result, result_code::SUCCESS);
+                // The SIM, holding the same key, derives the same RES.
+                assert_eq!(sim_response(Hss::key_for(imsi), rand), xres);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vectors_are_fresh_per_request() {
+        let imsi = 7;
+        let h = hss_with(imsi);
+        let get_rand = |h: &Hss| match h.handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi, plmn: 1 }).unwrap() {
+            DiameterMsg::AuthInfoAnswer { rand, .. } => rand,
+            _ => unreachable!(),
+        };
+        assert_ne!(get_rand(&h), get_rand(&h));
+    }
+
+    #[test]
+    fn unknown_imsi_rejected() {
+        let h = hss_with(1);
+        match h.handle(&DiameterMsg::AuthInfoRequest { hop_id: 9, imsi: 999, plmn: 1 }).unwrap() {
+            DiameterMsg::AuthInfoAnswer { result, .. } => assert_eq!(result, result_code::USER_UNKNOWN),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn update_location_registers_serving_node() {
+        let imsi = 42;
+        let h = hss_with(imsi);
+        assert_eq!(h.serving_node(imsi), None);
+        match h
+            .handle(&DiameterMsg::UpdateLocationRequest { hop_id: 2, imsi, serving_node: 17 })
+            .unwrap()
+        {
+            DiameterMsg::UpdateLocationAnswer { result, ambr_kbps, default_qci, .. } => {
+                assert_eq!(result, result_code::SUCCESS);
+                assert_eq!(ambr_kbps, 50_000);
+                assert_eq!(default_qci, 8);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(h.serving_node(imsi), Some(17));
+    }
+
+    #[test]
+    fn provision_range_bulk_loads() {
+        let h = Hss::new();
+        h.provision_range(1_000_000, 10_000, 100_000);
+        assert_eq!(h.subscriber_count(), 10_000);
+        match h
+            .handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi: 1_005_000, plmn: 1 })
+            .unwrap()
+        {
+            DiameterMsg::AuthInfoAnswer { result, .. } => assert_eq!(result, result_code::SUCCESS),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn byte_interface_works() {
+        let imsi = 11;
+        let h = hss_with(imsi);
+        let req = DiameterMsg::AuthInfoRequest { hop_id: 5, imsi, plmn: 1 }.encode();
+        let rsp = h.handle_bytes(&req).unwrap();
+        match DiameterMsg::decode(&rsp).unwrap() {
+            DiameterMsg::AuthInfoAnswer { hop_id, result, .. } => {
+                assert_eq!(hop_id, 5);
+                assert_eq!(result, result_code::SUCCESS);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn answers_are_not_valid_requests() {
+        let h = hss_with(1);
+        let bogus = DiameterMsg::AuthInfoAnswer { hop_id: 1, result: 2001, rand: 0, autn: 0, xres: 0 };
+        assert!(h.handle(&bogus).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # pepc-backend — the HSS and PCRF backends
+//!
+//! The paper leaves the Home Subscriber Server and the Policy Charging
+//! Rules Function unchanged and talks to them through the PEPC node proxy
+//! (§3.3) over the standard S6a (Diameter) and Gx interfaces. To run full
+//! attach procedures end-to-end, this crate provides working in-process
+//! implementations of both:
+//!
+//! * [`hss::Hss`] — subscriber database with per-IMSI keys, deterministic
+//!   authentication-vector generation (a MILENAGE-shaped keyed derivation)
+//!   and serving-node registration.
+//! * [`pcrf::Pcrf`] — policy-rule database answering Gx credit-control
+//!   requests and accumulating reported usage.
+//!
+//! Both speak the `pepc-sigproto` codecs, so requests can arrive as bytes
+//! from a proxy or as typed messages from a test.
+
+pub mod hss;
+pub mod pcrf;
+
+pub use hss::{AuthVector, Hss, SubscriberProfile};
+pub use pcrf::Pcrf;

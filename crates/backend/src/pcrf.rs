@@ -1,0 +1,152 @@
+//! Policy Charging Rules Function: answers Gx credit-control requests
+//! with the subscriber's rule set and accumulates reported usage.
+
+use parking_lot::RwLock;
+use pepc_sigproto::gx::{GxMsg, GxRule};
+use pepc_sigproto::{Result, SigError};
+use std::collections::HashMap;
+
+/// Gx result code "success" (Diameter base 2001).
+const SUCCESS: u32 = 2001;
+
+/// Accumulated usage for a subscriber as reported over Gx.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Usage {
+    pub uplink_bytes: u64,
+    pub downlink_bytes: u64,
+}
+
+/// The PCRF.
+pub struct Pcrf {
+    /// Rules installed for every subscriber unless overridden.
+    default_rules: Vec<GxRule>,
+    /// Per-IMSI rule overrides.
+    overrides: RwLock<HashMap<u64, Vec<GxRule>>>,
+    /// Usage reported via CCR-Update, per IMSI.
+    usage: RwLock<HashMap<u64, Usage>>,
+    /// AMBR pushed on CCA-Update (0 = leave unchanged).
+    update_ambr_kbps: u32,
+}
+
+impl Pcrf {
+    /// A PCRF installing `default_rules` for everyone.
+    pub fn new(default_rules: Vec<GxRule>) -> Self {
+        Pcrf {
+            default_rules,
+            overrides: RwLock::new(HashMap::new()),
+            usage: RwLock::new(HashMap::new()),
+            update_ambr_kbps: 0,
+        }
+    }
+
+    /// A PCRF with a typical operator rule set: priority voice-signaling,
+    /// rate-limited video, default best effort.
+    pub fn with_standard_rules() -> Self {
+        Self::new(vec![
+            // SIP signaling: QCI 5, generous limit.
+            GxRule { rule_id: 1, proto: 17, dst_port_lo: 5060, dst_port_hi: 5062, qci: 5, rate_kbps: 1000 },
+            // HTTPS video-ish: QCI 7, rate limited.
+            GxRule { rule_id: 2, proto: 6, dst_port_lo: 443, dst_port_hi: 444, qci: 7, rate_kbps: 20_000 },
+            // Everything else: QCI 9 best effort, unlimited (AMBR applies).
+            GxRule { rule_id: 3, proto: 0, dst_port_lo: 0, dst_port_hi: 0, qci: 9, rate_kbps: 0 },
+        ])
+    }
+
+    /// Override the rules for one subscriber.
+    pub fn set_rules(&self, imsi: u64, rules: Vec<GxRule>) {
+        self.overrides.write().insert(imsi, rules);
+    }
+
+    /// Rules that apply to `imsi`.
+    pub fn rules_for(&self, imsi: u64) -> Vec<GxRule> {
+        self.overrides.read().get(&imsi).cloned().unwrap_or_else(|| self.default_rules.clone())
+    }
+
+    /// Usage reported so far for `imsi`.
+    pub fn usage_for(&self, imsi: u64) -> Usage {
+        self.usage.read().get(&imsi).copied().unwrap_or_default()
+    }
+
+    /// Handle a Gx request, producing the answer.
+    pub fn handle(&self, req: &GxMsg) -> Result<GxMsg> {
+        match req {
+            GxMsg::CcrInitial { session_id, imsi } => Ok(GxMsg::CcaInitial {
+                session_id: *session_id,
+                result: SUCCESS,
+                rules: self.rules_for(*imsi),
+            }),
+            GxMsg::CcrUpdate { session_id, imsi, uplink_bytes, downlink_bytes } => {
+                let mut usage = self.usage.write();
+                let u = usage.entry(*imsi).or_default();
+                u.uplink_bytes += uplink_bytes;
+                u.downlink_bytes += downlink_bytes;
+                Ok(GxMsg::CcaUpdate {
+                    session_id: *session_id,
+                    result: SUCCESS,
+                    new_ambr_kbps: self.update_ambr_kbps,
+                })
+            }
+            _ => Err(SigError::BadState("gx answer sent as request")),
+        }
+    }
+
+    /// Handle a wire-encoded request.
+    pub fn handle_bytes(&self, req: &[u8]) -> Result<Vec<u8>> {
+        let msg = GxMsg::decode(req)?;
+        Ok(self.handle(&msg)?.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccr_initial_returns_rules() {
+        let p = Pcrf::with_standard_rules();
+        match p.handle(&GxMsg::CcrInitial { session_id: 3, imsi: 42 }).unwrap() {
+            GxMsg::CcaInitial { session_id, result, rules } => {
+                assert_eq!(session_id, 3);
+                assert_eq!(result, SUCCESS);
+                assert_eq!(rules.len(), 3);
+                assert_eq!(rules[0].qci, 5);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn per_subscriber_override() {
+        let p = Pcrf::with_standard_rules();
+        let iot_rule =
+            vec![GxRule { rule_id: 9, proto: 17, dst_port_lo: 0, dst_port_hi: 0, qci: 9, rate_kbps: 64 }];
+        p.set_rules(7, iot_rule.clone());
+        assert_eq!(p.rules_for(7), iot_rule);
+        assert_eq!(p.rules_for(8).len(), 3);
+    }
+
+    #[test]
+    fn usage_accumulates_across_reports() {
+        let p = Pcrf::with_standard_rules();
+        for _ in 0..3 {
+            p.handle(&GxMsg::CcrUpdate { session_id: 1, imsi: 5, uplink_bytes: 100, downlink_bytes: 300 })
+                .unwrap();
+        }
+        assert_eq!(p.usage_for(5), Usage { uplink_bytes: 300, downlink_bytes: 900 });
+        assert_eq!(p.usage_for(6), Usage::default());
+    }
+
+    #[test]
+    fn byte_interface_roundtrips() {
+        let p = Pcrf::with_standard_rules();
+        let req = GxMsg::CcrInitial { session_id: 1, imsi: 2 }.encode();
+        let rsp = p.handle_bytes(&req).unwrap();
+        assert!(matches!(GxMsg::decode(&rsp).unwrap(), GxMsg::CcaInitial { .. }));
+    }
+
+    #[test]
+    fn answers_rejected_as_requests() {
+        let p = Pcrf::with_standard_rules();
+        assert!(p.handle(&GxMsg::CcaUpdate { session_id: 1, result: 2001, new_ambr_kbps: 0 }).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! The classic EPC wired end-to-end: the system under test for the
+//! baseline columns of Figures 4–6.
+
+use crate::components::{Mme, Pgw, Sgw, SgwAction};
+use crate::config::{busy_wait_ns, ClassicConfig};
+use pepc_net::gtp::{decap_gtpu, encap_gtpu};
+use pepc_net::{BpfProgram, FiveTuple, Ipv4Hdr, Mbuf};
+
+/// Outcome of a data packet through the classic EPC.
+#[derive(Debug)]
+pub enum ClassicVerdict {
+    Forward(Mbuf),
+    Drop,
+}
+
+impl ClassicVerdict {
+    pub fn is_forward(&self) -> bool {
+        matches!(self, ClassicVerdict::Forward(_))
+    }
+}
+
+/// Data/signaling counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassicMetrics {
+    pub rx: u64,
+    pub forwarded: u64,
+    pub dropped: u64,
+    pub attaches: u64,
+    pub handovers: u64,
+    pub detaches: u64,
+}
+
+/// A classic (MME + S-GW + P-GW) EPC instance.
+pub struct ClassicEpc {
+    cfg: ClassicConfig,
+    mme: Mme,
+    sgw: Sgw,
+    pgw: Pgw,
+    /// ADC programs (application detection over the inner 5-tuple),
+    /// present in Industrial#1.
+    adc_programs: Vec<BpfProgram>,
+    sgw_ip: u32,
+    pgw_ip: u32,
+    metrics: ClassicMetrics,
+}
+
+impl ClassicEpc {
+    pub fn new(cfg: ClassicConfig) -> Self {
+        let adc_programs = if cfg.adc_enabled {
+            vec![
+                BpfProgram::match_proto_port_range(6, 80, 81, 1),    // HTTP
+                BpfProgram::match_proto_port_range(6, 443, 444, 2),  // HTTPS
+                BpfProgram::match_proto_port_range(17, 5060, 5062, 3), // SIP
+                BpfProgram::match_dst_prefix(0x08080000, 16, 4),     // well-known CDN
+            ]
+        } else {
+            Vec::new()
+        };
+        ClassicEpc {
+            cfg,
+            mme: Mme::new(0x0100_0000, 0x0A00_0001),
+            sgw: Sgw::new(0x0500_0000),
+            pgw: Pgw::new(),
+            adc_programs,
+            sgw_ip: 0x0AFE_0001,
+            pgw_ip: 0x0AFE_0002,
+            metrics: ClassicMetrics::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClassicConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access — harnesses disable the calibrated
+    /// stalls for bulk provisioning, then restore the preset to measure.
+    pub fn config_mut(&mut self) -> &mut ClassicConfig {
+        &mut self.cfg
+    }
+
+    // -- signaling (processed in-line with data, stalling the pipeline) ----
+
+    /// Run a full attach transaction: MME → S-GW → P-GW and back, each
+    /// hop costing a synchronization window on the gateway path.
+    pub fn attach(&mut self, imsi: u64) -> bool {
+        let s11 = self.mme.begin_attach(imsi);
+        busy_wait_ns(self.cfg.sync_window_ns); // S11 transaction
+        let action = match self.sgw.handle_s11(&s11) {
+            Ok(a) => a,
+            Err(()) => return false,
+        };
+        let s5 = match action {
+            SgwAction::ForwardToPgw(m) => m,
+            _ => return false,
+        };
+        busy_wait_ns(self.cfg.sync_window_ns); // S5 transaction
+        let s5_rsp = match self.pgw.handle_s5(&s5) {
+            Ok(r) => r,
+            Err(()) => return false,
+        };
+        let s11_rsp = match self.sgw.finish_create(&s5_rsp) {
+            Ok(r) => r,
+            Err(()) => return false,
+        };
+        let ok = self.mme.complete_attach(&s11_rsp);
+        if ok {
+            self.metrics.attaches += 1;
+        }
+        ok
+    }
+
+    /// Run an S1 handover: MME updates its copy, then synchronizes the
+    /// S-GW copy over S11 (and real deployments often the P-GW too).
+    pub fn s1_handover(&mut self, imsi: u64, enb_teid: u32, enb_ip: u32) -> bool {
+        let mb = match self.mme.begin_handover(imsi, enb_teid, enb_ip) {
+            Some(m) => m,
+            None => return false,
+        };
+        busy_wait_ns(self.cfg.sync_window_ns);
+        match self.sgw.handle_s11(&mb) {
+            Ok(SgwAction::Respond(_)) => {
+                self.metrics.handovers += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Run a detach through all three components.
+    pub fn detach(&mut self, imsi: u64) -> bool {
+        let del = match self.mme.begin_detach(imsi) {
+            Some(m) => m,
+            None => return false,
+        };
+        busy_wait_ns(self.cfg.sync_window_ns);
+        let (fwd, found) = match self.sgw.handle_s11(&del) {
+            Ok(SgwAction::ForwardDeleteToPgw(f, found)) => (f, found),
+            _ => return false,
+        };
+        busy_wait_ns(self.cfg.sync_window_ns);
+        let _ = self.pgw.handle_s5(&fwd);
+        if found {
+            self.metrics.detaches += 1;
+        }
+        found
+    }
+
+    // -- data path -----------------------------------------------------------
+
+    /// Process one data packet through S-GW and P-GW (uplink: GTP-U in;
+    /// downlink: plain IP in).
+    pub fn process(&mut self, m: Mbuf, now_ns: u64) -> ClassicVerdict {
+        self.metrics.rx += 1;
+        let d = m.data();
+        let is_uplink = d.len() >= 28
+            && d[0] == 0x45
+            && d[9] == 17
+            && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
+        let v = if is_uplink { self.uplink(m, now_ns) } else { self.downlink(m, now_ns) };
+        match &v {
+            ClassicVerdict::Forward(_) => self.metrics.forwarded += 1,
+            ClassicVerdict::Drop => self.metrics.dropped += 1,
+        }
+        v
+    }
+
+    fn uplink(&mut self, mut m: Mbuf, _now_ns: u64) -> ClassicVerdict {
+        // ---- S-GW: kernel in, S1-U decap, lookup, S5 encap ----
+        busy_wait_ns(self.cfg.per_packet_kernel_ns);
+        let (gtp, _) = match decap_gtpu(&mut m) {
+            Ok(x) => x,
+            Err(_) => return ClassicVerdict::Drop,
+        };
+        let bytes = m.len() as u64;
+        let pgw_teid = {
+            // Per-packet counter writes force the write lock on the flat
+            // table — the gateways are "datapath writers" by design.
+            let mut t = self.sgw.table.by_teid.write();
+            match t.get_mut(&gtp.teid) {
+                Some(s) => {
+                    s.ul_packets += 1;
+                    s.ul_bytes += bytes;
+                    s.pgw_teid
+                }
+                None => return ClassicVerdict::Drop,
+            }
+        };
+        if encap_gtpu(&mut m, self.sgw_ip, self.pgw_ip, pgw_teid).is_err() {
+            return ClassicVerdict::Drop;
+        }
+        // ---- P-GW: kernel in, S5 decap, lookup, ADC, egress ----
+        busy_wait_ns(self.cfg.per_packet_kernel_ns);
+        let (gtp5, _) = match decap_gtpu(&mut m) {
+            Ok(x) => x,
+            Err(_) => return ClassicVerdict::Drop,
+        };
+        {
+            let mut t = self.pgw.table.by_teid.write();
+            match t.get_mut(&gtp5.teid) {
+                Some(s) => {
+                    s.ul_packets += 1;
+                    s.ul_bytes += bytes;
+                }
+                None => return ClassicVerdict::Drop,
+            }
+        }
+        if !self.adc_programs.is_empty() {
+            let ft = FiveTuple::from_ipv4(m.data()).unwrap_or_default();
+            for p in &self.adc_programs {
+                if p.run(&ft) != 0 {
+                    break;
+                }
+            }
+        }
+        ClassicVerdict::Forward(m)
+    }
+
+    fn downlink(&mut self, mut m: Mbuf, _now_ns: u64) -> ClassicVerdict {
+        // ---- P-GW: kernel in, lookup by UE IP, S5 encap ----
+        busy_wait_ns(self.cfg.per_packet_kernel_ns);
+        let ip = match Ipv4Hdr::parse(m.data()) {
+            Ok(ip) => ip,
+            Err(_) => return ClassicVerdict::Drop,
+        };
+        let bytes = m.len() as u64;
+        if !self.adc_programs.is_empty() {
+            let ft = FiveTuple::from_ipv4(m.data()).unwrap_or_default();
+            for p in &self.adc_programs {
+                if p.run(&ft) != 0 {
+                    break;
+                }
+            }
+        }
+        let pgw_teid = {
+            let key = self.pgw.table.by_ue_ip.read().get(&ip.dst).copied();
+            let key = match key {
+                Some(k) => k,
+                None => return ClassicVerdict::Drop,
+            };
+            let mut t = self.pgw.table.by_teid.write();
+            match t.get_mut(&key) {
+                Some(s) => {
+                    s.dl_packets += 1;
+                    s.dl_bytes += bytes;
+                    key
+                }
+                None => return ClassicVerdict::Drop,
+            }
+        };
+        if encap_gtpu(&mut m, self.pgw_ip, self.sgw_ip, pgw_teid).is_err() {
+            return ClassicVerdict::Drop;
+        }
+        // ---- S-GW: kernel in, S5 decap, lookup, S1-U encap ----
+        busy_wait_ns(self.cfg.per_packet_kernel_ns);
+        let _ = match decap_gtpu(&mut m) {
+            Ok(x) => x,
+            Err(_) => return ClassicVerdict::Drop,
+        };
+        let (enb_teid, enb_ip, sgw_teid) = {
+            let key = self.sgw.table.by_ue_ip.read().get(&ip.dst).copied();
+            let key = match key {
+                Some(k) => k,
+                None => return ClassicVerdict::Drop,
+            };
+            let mut t = self.sgw.table.by_teid.write();
+            match t.get_mut(&key) {
+                Some(s) => {
+                    s.dl_packets += 1;
+                    s.dl_bytes += bytes;
+                    (s.enb_teid, s.enb_ip, key)
+                }
+                None => return ClassicVerdict::Drop,
+            }
+        };
+        let _ = sgw_teid;
+        if encap_gtpu(&mut m, self.sgw_ip, enb_ip, enb_teid).is_err() {
+            return ClassicVerdict::Drop;
+        }
+        ClassicVerdict::Forward(m)
+    }
+
+    // -- inspection ------------------------------------------------------------
+
+    /// The eNodeB-facing uplink TEID for `imsi` (what the traffic
+    /// generator must stamp on S1-U packets).
+    pub fn uplink_teid(&self, imsi: u64) -> Option<u32> {
+        self.mme.sessions.get(&imsi).map(|s| s.sgw_teid)
+    }
+
+    /// The UE IP for `imsi`.
+    pub fn ue_ip(&self, imsi: u64) -> Option<u32> {
+        self.mme.sessions.get(&imsi).map(|s| s.ue_ip)
+    }
+
+    pub fn metrics(&self) -> ClassicMetrics {
+        self.metrics
+    }
+
+    /// Users in the S-GW table.
+    pub fn user_count(&self) -> usize {
+        self.sgw.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BaselinePreset;
+    use pepc_net::ipv4::IpProto;
+    use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
+    use pepc_net::IPV4_HDR_LEN;
+
+    fn epc() -> ClassicEpc {
+        // mechanisms_only: fast tests, no calibrated stalls.
+        ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1))
+    }
+
+    fn inner(src: u32, dst: u32, port: u16) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+        Ipv4Hdr::new(src, dst, IpProto::Udp, UDP_HDR_LEN + 16).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        UdpHdr::new(40000, port, 16).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+        m.extend(&hdr);
+        m.extend(&[0u8; 16]);
+        m
+    }
+
+    fn uplink_pkt(epc: &ClassicEpc, imsi: u64) -> Mbuf {
+        let teid = epc.uplink_teid(imsi).unwrap();
+        let ue_ip = epc.ue_ip(imsi).unwrap();
+        let mut m = inner(ue_ip, 0x08080808, 80);
+        encap_gtpu(&mut m, 0xC0A80001, 0x0AFE0001, teid).unwrap();
+        m
+    }
+
+    #[test]
+    fn uplink_traverses_both_gateways() {
+        let mut e = epc();
+        assert!(e.attach(7));
+        let v = e.process(uplink_pkt(&e, 7), 0);
+        match v {
+            ClassicVerdict::Forward(m) => {
+                // Fully decapsulated at the P-GW egress.
+                let ip = Ipv4Hdr::parse(m.data()).unwrap();
+                assert_eq!(ip.dst, 0x08080808);
+            }
+            ClassicVerdict::Drop => panic!("dropped"),
+        }
+        // Counters incremented at BOTH gateways (duplicated work).
+        let sgw_ul: u64 = e.sgw.table.by_teid.read().values().map(|s| s.ul_packets).sum();
+        let pgw_ul: u64 = e.pgw.table.by_teid.read().values().map(|s| s.ul_packets).sum();
+        assert_eq!(sgw_ul, 1);
+        assert_eq!(pgw_ul, 1);
+    }
+
+    #[test]
+    fn downlink_tunnels_to_current_enb() {
+        let mut e = epc();
+        e.attach(7);
+        e.s1_handover(7, 0xE7, 0xC0A80009);
+        let ue_ip = e.ue_ip(7).unwrap();
+        match e.process(inner(0x08080808, ue_ip, 443), 0) {
+            ClassicVerdict::Forward(mut m) => {
+                let (gtp, outer) = decap_gtpu(&mut m).unwrap();
+                assert_eq!(gtp.teid, 0xE7);
+                assert_eq!(outer.dst, 0xC0A80009);
+            }
+            ClassicVerdict::Drop => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn unknown_tunnel_dropped() {
+        let mut e = epc();
+        e.attach(7);
+        let mut m = inner(1, 2, 3);
+        encap_gtpu(&mut m, 4, 5, 0xDEAD).unwrap();
+        assert!(!e.process(m, 0).is_forward());
+        assert_eq!(e.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn traffic_before_attach_dropped_after_attach_flows() {
+        let mut e = epc();
+        let mut m = inner(1, 0x0A000001, 80);
+        assert!(!e.process(m.clone(), 0).is_forward());
+        e.attach(7);
+        e.s1_handover(7, 1, 2);
+        m = inner(1, e.ue_ip(7).unwrap(), 80);
+        assert!(e.process(m, 0).is_forward());
+    }
+
+    #[test]
+    fn detach_stops_traffic() {
+        let mut e = epc();
+        e.attach(7);
+        let pkt = uplink_pkt(&e, 7);
+        assert!(e.process(pkt.clone(), 0).is_forward());
+        assert!(e.detach(7));
+        assert!(!e.process(pkt, 0).is_forward());
+        assert_eq!(e.user_count(), 0);
+    }
+
+    #[test]
+    fn sync_window_stalls_signaling() {
+        let mut cfg = ClassicConfig::mechanisms_only(BaselinePreset::Industrial1);
+        cfg.sync_window_ns = 300_000; // 0.3 ms per hop
+        let mut e = ClassicEpc::new(cfg);
+        let t = std::time::Instant::now();
+        e.attach(7);
+        // attach crosses two sync windows (S11 + S5).
+        assert!(t.elapsed().as_nanos() >= 600_000, "elapsed {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn malformed_packets_dropped() {
+        let mut e = epc();
+        assert!(!e.process(Mbuf::from_payload(&[0u8; 10]), 0).is_forward());
+    }
+
+    #[test]
+    fn many_users_all_reachable() {
+        let mut e = epc();
+        for imsi in 0..500 {
+            assert!(e.attach(imsi));
+        }
+        assert_eq!(e.user_count(), 500);
+        for imsi in (0..500).step_by(97) {
+            let pkt = uplink_pkt(&e, imsi);
+            assert!(e.process(pkt, 0).is_forward(), "imsi {imsi}");
+        }
+    }
+}

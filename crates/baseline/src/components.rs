@@ -1,0 +1,467 @@
+//! The classic EPC components: MME, S-GW, P-GW.
+//!
+//! Each component keeps its **own copy** of per-user session state in a
+//! **single flat table** — the two properties (duplication, no
+//! active-set separation) the paper identifies as the root of the classic
+//! design's poor scaling. Synchronization between the copies happens via
+//! GTP-C messages serialized to bytes and parsed by the receiver, exactly
+//! as between the separate processes of a real deployment.
+
+use parking_lot::RwLock;
+use pepc_net::gtp::GtpcMsg;
+use std::collections::HashMap;
+
+/// Per-user session state as each classic component duplicates it.
+/// Compare Table 1: identifiers, location, QoS, tunnels — *and* the
+/// bandwidth counters at the gateways.
+#[derive(Debug, Clone, Default)]
+pub struct UserSession {
+    pub imsi: u64,
+    pub ue_ip: u32,
+    /// S1-U: eNodeB-side downlink tunnel.
+    pub enb_teid: u32,
+    pub enb_ip: u32,
+    /// S1-U: S-GW-side uplink tunnel (what the eNodeB sends to).
+    pub sgw_teid: u32,
+    /// S5: P-GW-side tunnel (what the S-GW forwards uplink into).
+    pub pgw_teid: u32,
+    pub qci: u8,
+    pub ambr_kbps: u32,
+    /// Location (MME copy maintains it; gateways carry it anyway —
+    /// duplicated state is the point).
+    pub ecgi: u32,
+    // Gateway bandwidth counters (unused at the MME — still present in
+    // its copy, as the paper's state analysis found).
+    pub ul_packets: u64,
+    pub ul_bytes: u64,
+    pub dl_packets: u64,
+    pub dl_bytes: u64,
+}
+
+/// The Mobility Management Entity: terminates signaling, drives the
+/// gateways over GTP-C.
+pub struct Mme {
+    /// MME's copy of every user's session.
+    pub sessions: HashMap<u64, UserSession>,
+    /// Outstanding GTP-C transactions: sequence number → IMSI.
+    pending: HashMap<u32, u64>,
+    next_seq: u32,
+    next_teid: u32,
+    next_ue_ip: u32,
+}
+
+impl Mme {
+    pub fn new(teid_base: u32, ue_ip_base: u32) -> Self {
+        Mme {
+            sessions: HashMap::new(),
+            pending: HashMap::new(),
+            next_seq: 1,
+            next_teid: teid_base,
+            next_ue_ip: ue_ip_base,
+        }
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Begin an attach: create the MME's copy and produce the GTP-C
+    /// Create Session Request for the S-GW (S11).
+    pub fn begin_attach(&mut self, imsi: u64) -> Vec<u8> {
+        let (sgw_teid, ue_ip) = match self.sessions.get(&imsi) {
+            Some(s) => (s.sgw_teid, s.ue_ip), // re-attach reuses ids
+            None => {
+                let teid = self.next_teid;
+                self.next_teid += 1;
+                let ip = self.next_ue_ip;
+                self.next_ue_ip += 1;
+                (teid, ip)
+            }
+        };
+        let session = UserSession {
+            imsi,
+            ue_ip,
+            sgw_teid,
+            qci: 9,
+            ambr_kbps: 100_000,
+            ..UserSession::default()
+        };
+        self.sessions.insert(imsi, session);
+        let seq = self.next_seq();
+        self.pending.insert(seq, imsi);
+        GtpcMsg::CreateSessionRequest {
+            seq,
+            imsi,
+            sender_cteid: seq, // control TEIDs unused further; echo seq
+            bearer_teid: sgw_teid,
+            ue_ip,
+            qci: 9,
+            ambr_kbps: 100_000,
+        }
+        .encode()
+    }
+
+    /// Complete an attach from the S-GW's Create Session Response,
+    /// correlated by the GTP-C sequence number.
+    pub fn complete_attach(&mut self, rsp: &[u8]) -> bool {
+        match GtpcMsg::decode(rsp) {
+            Ok(GtpcMsg::CreateSessionResponse { seq, ue_ip, cause, .. })
+                if cause == GtpcMsg::CAUSE_ACCEPTED =>
+            {
+                match self.pending.remove(&seq) {
+                    Some(imsi) => {
+                        // Record any gateway-assigned values in the MME copy.
+                        if let Some(s) = self.sessions.get_mut(&imsi) {
+                            s.ue_ip = ue_ip;
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Begin an S1 handover: update the MME's copy, emit the Modify
+    /// Bearer Request for the S-GW.
+    pub fn begin_handover(&mut self, imsi: u64, enb_teid: u32, enb_ip: u32) -> Option<Vec<u8>> {
+        let s = self.sessions.get_mut(&imsi)?;
+        s.enb_teid = enb_teid;
+        s.enb_ip = enb_ip;
+        let seq = self.next_seq();
+        Some(GtpcMsg::ModifyBearerRequest { seq, imsi, enb_teid, enb_ip }.encode())
+    }
+
+    /// Begin a detach: drop the MME copy, emit Delete Session Request.
+    pub fn begin_detach(&mut self, imsi: u64) -> Option<Vec<u8>> {
+        self.sessions.remove(&imsi)?;
+        let seq = self.next_seq();
+        Some(GtpcMsg::DeleteSessionRequest { seq, imsi }.encode())
+    }
+}
+
+/// A gateway's flat session table: one RwLock over the whole map ("store
+/// all user state in a single table", §3.2). Keyed twice like real
+/// gateways: by tunnel id for uplink, by UE IP for downlink.
+pub struct GatewayTable {
+    pub by_teid: RwLock<HashMap<u32, UserSession>>,
+    /// UE IP → TEID key into `by_teid`.
+    pub by_ue_ip: RwLock<HashMap<u32, u32>>,
+    /// IMSI → TEID key into `by_teid` (control-plane lookups).
+    pub by_imsi: RwLock<HashMap<u64, u32>>,
+}
+
+impl GatewayTable {
+    fn new() -> Self {
+        GatewayTable {
+            by_teid: RwLock::new(HashMap::new()),
+            by_ue_ip: RwLock::new(HashMap::new()),
+            by_imsi: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn insert(&self, key_teid: u32, session: UserSession) {
+        self.by_ue_ip.write().insert(session.ue_ip, key_teid);
+        self.by_imsi.write().insert(session.imsi, key_teid);
+        self.by_teid.write().insert(key_teid, session);
+    }
+
+    fn remove_by_imsi(&self, imsi: u64) -> bool {
+        let key = self.by_imsi.write().remove(&imsi);
+        match key {
+            Some(teid) => {
+                if let Some(s) = self.by_teid.write().remove(&teid) {
+                    self.by_ue_ip.write().remove(&s.ue_ip);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_teid.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The Serving Gateway.
+pub struct Sgw {
+    pub table: GatewayTable,
+    next_s5_teid: u32,
+}
+
+impl Sgw {
+    pub fn new(s5_teid_base: u32) -> Self {
+        Sgw { table: GatewayTable::new(), next_s5_teid: s5_teid_base }
+    }
+
+    /// Handle a GTP-C message from the MME (S11). For a Create Session,
+    /// returns the request to forward to the P-GW (S5) — the classic
+    /// chain of duplicated installs.
+    pub fn handle_s11(&mut self, msg: &[u8]) -> Result<SgwAction, ()> {
+        match GtpcMsg::decode(msg).map_err(|_| ())? {
+            GtpcMsg::CreateSessionRequest { seq, imsi, bearer_teid, ue_ip, qci, ambr_kbps, .. } => {
+                let pgw_teid = self.next_s5_teid;
+                self.next_s5_teid += 1;
+                // S-GW's own copy.
+                let session = UserSession {
+                    imsi,
+                    ue_ip,
+                    sgw_teid: bearer_teid,
+                    pgw_teid,
+                    qci,
+                    ambr_kbps,
+                    ..UserSession::default()
+                };
+                self.table.insert(bearer_teid, session);
+                Ok(SgwAction::ForwardToPgw(
+                    GtpcMsg::CreateSessionRequest {
+                        seq,
+                        imsi,
+                        sender_cteid: bearer_teid,
+                        bearer_teid: pgw_teid,
+                        ue_ip,
+                        qci,
+                        ambr_kbps,
+                    }
+                    .encode(),
+                ))
+            }
+            GtpcMsg::ModifyBearerRequest { seq, imsi, enb_teid, enb_ip } => {
+                let key = self.table.by_imsi.read().get(&imsi).copied();
+                let mut t = self.table.by_teid.write();
+                match key.and_then(|k| t.get_mut(&k)) {
+                    Some(s) => {
+                        s.enb_teid = enb_teid;
+                        s.enb_ip = enb_ip;
+                        Ok(SgwAction::Respond(
+                            GtpcMsg::ModifyBearerResponse { seq, cause: GtpcMsg::CAUSE_ACCEPTED }.encode(),
+                        ))
+                    }
+                    None => Ok(SgwAction::Respond(
+                        GtpcMsg::ModifyBearerResponse { seq, cause: GtpcMsg::CAUSE_CONTEXT_NOT_FOUND }
+                            .encode(),
+                    )),
+                }
+            }
+            GtpcMsg::DeleteSessionRequest { seq, imsi } => {
+                let found = self.table.remove_by_imsi(imsi);
+                Ok(SgwAction::ForwardDeleteToPgw(
+                    GtpcMsg::DeleteSessionRequest { seq, imsi }.encode(),
+                    found,
+                ))
+            }
+            _ => Err(()),
+        }
+    }
+
+    /// Absorb the P-GW's Create Session Response and produce the S11
+    /// response for the MME.
+    pub fn finish_create(&mut self, pgw_rsp: &[u8]) -> Result<Vec<u8>, ()> {
+        match GtpcMsg::decode(pgw_rsp).map_err(|_| ())? {
+            GtpcMsg::CreateSessionResponse { seq, sender_cteid, bearer_teid, ue_ip, cause } => {
+                // Record the P-GW's allocated tunnel in the S-GW copy.
+                let mut t = self.table.by_teid.write();
+                if let Some(s) = t.get_mut(&sender_cteid) {
+                    s.pgw_teid = bearer_teid;
+                }
+                Ok(GtpcMsg::CreateSessionResponse {
+                    seq,
+                    sender_cteid,
+                    bearer_teid: sender_cteid,
+                    ue_ip,
+                    cause,
+                }
+                .encode())
+            }
+            _ => Err(()),
+        }
+    }
+}
+
+/// What the S-GW wants done after an S11 message.
+pub enum SgwAction {
+    /// Forward this GTP-C request over S5 to the P-GW.
+    ForwardToPgw(Vec<u8>),
+    /// Forward a delete; bool = whether the S-GW had the session.
+    ForwardDeleteToPgw(Vec<u8>, bool),
+    /// Respond directly to the MME.
+    Respond(Vec<u8>),
+}
+
+/// The Packet Gateway.
+pub struct Pgw {
+    pub table: GatewayTable,
+}
+
+impl Pgw {
+    pub fn new() -> Self {
+        Pgw { table: GatewayTable::new() }
+    }
+
+    /// Handle a GTP-C message from the S-GW (S5); returns the response.
+    pub fn handle_s5(&mut self, msg: &[u8]) -> Result<Vec<u8>, ()> {
+        match GtpcMsg::decode(msg).map_err(|_| ())? {
+            GtpcMsg::CreateSessionRequest { seq, imsi, sender_cteid, bearer_teid, ue_ip, qci, ambr_kbps } => {
+                // P-GW's own copy — the third duplicate.
+                let session = UserSession {
+                    imsi,
+                    ue_ip,
+                    sgw_teid: sender_cteid,
+                    pgw_teid: bearer_teid,
+                    qci,
+                    ambr_kbps,
+                    ..UserSession::default()
+                };
+                self.table.insert(bearer_teid, session);
+                Ok(GtpcMsg::CreateSessionResponse {
+                    seq,
+                    sender_cteid,
+                    bearer_teid,
+                    ue_ip,
+                    cause: GtpcMsg::CAUSE_ACCEPTED,
+                }
+                .encode())
+            }
+            GtpcMsg::DeleteSessionRequest { seq, imsi } => {
+                let cause = if self.table.remove_by_imsi(imsi) {
+                    GtpcMsg::CAUSE_ACCEPTED
+                } else {
+                    GtpcMsg::CAUSE_CONTEXT_NOT_FOUND
+                };
+                Ok(GtpcMsg::DeleteSessionResponse { seq, cause }.encode())
+            }
+            _ => Err(()),
+        }
+    }
+}
+
+impl Default for Pgw {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_chain_duplicates_state_three_times() {
+        let mut mme = Mme::new(0x1000, 0x0A000001);
+        let mut sgw = Sgw::new(0x5000);
+        let mut pgw = Pgw::new();
+
+        let s11 = mme.begin_attach(42);
+        let action = sgw.handle_s11(&s11).unwrap();
+        let s5 = match action {
+            SgwAction::ForwardToPgw(m) => m,
+            _ => panic!("expected forward"),
+        };
+        let s5_rsp = pgw.handle_s5(&s5).unwrap();
+        let s11_rsp = sgw.finish_create(&s5_rsp).unwrap();
+        assert!(mme.complete_attach(&s11_rsp));
+
+        // The same user now exists in THREE places.
+        assert!(mme.sessions.contains_key(&42));
+        assert_eq!(sgw.table.len(), 1);
+        assert_eq!(pgw.table.len(), 1);
+        // And the gateway copies agree on the S5 tunnel.
+        let sgw_s5 = sgw.table.by_teid.read().values().next().unwrap().pgw_teid;
+        let pgw_s5 = *pgw.table.by_teid.read().keys().next().unwrap();
+        assert_eq!(sgw_s5, pgw_s5);
+    }
+
+    #[test]
+    fn handover_updates_mme_and_sgw_copies() {
+        let mut mme = Mme::new(0x1000, 0x0A000001);
+        let mut sgw = Sgw::new(0x5000);
+        let mut pgw = Pgw::new();
+        let s11 = mme.begin_attach(42);
+        if let SgwAction::ForwardToPgw(s5) = sgw.handle_s11(&s11).unwrap() {
+            let rsp = pgw.handle_s5(&s5).unwrap();
+            sgw.finish_create(&rsp).unwrap();
+        }
+        let mb = mme.begin_handover(42, 0xE1, 0xC0A80002).unwrap();
+        match sgw.handle_s11(&mb).unwrap() {
+            SgwAction::Respond(rsp) => {
+                assert!(matches!(
+                    GtpcMsg::decode(&rsp).unwrap(),
+                    GtpcMsg::ModifyBearerResponse { cause: GtpcMsg::CAUSE_ACCEPTED, .. }
+                ));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(mme.sessions[&42].enb_teid, 0xE1);
+        assert_eq!(sgw.table.by_teid.read().values().next().unwrap().enb_teid, 0xE1);
+    }
+
+    #[test]
+    fn handover_for_unknown_user_reports_context_not_found() {
+        let mut sgw = Sgw::new(0x5000);
+        let mb = GtpcMsg::ModifyBearerRequest { seq: 1, imsi: 99, enb_teid: 1, enb_ip: 2 }.encode();
+        match sgw.handle_s11(&mb).unwrap() {
+            SgwAction::Respond(rsp) => {
+                assert!(matches!(
+                    GtpcMsg::decode(&rsp).unwrap(),
+                    GtpcMsg::ModifyBearerResponse { cause: GtpcMsg::CAUSE_CONTEXT_NOT_FOUND, .. }
+                ));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn detach_chain_removes_all_copies() {
+        let mut mme = Mme::new(0x1000, 0x0A000001);
+        let mut sgw = Sgw::new(0x5000);
+        let mut pgw = Pgw::new();
+        let s11 = mme.begin_attach(42);
+        if let SgwAction::ForwardToPgw(s5) = sgw.handle_s11(&s11).unwrap() {
+            let rsp = pgw.handle_s5(&s5).unwrap();
+            sgw.finish_create(&rsp).unwrap();
+        }
+        let del = mme.begin_detach(42).unwrap();
+        match sgw.handle_s11(&del).unwrap() {
+            SgwAction::ForwardDeleteToPgw(fwd, found) => {
+                assert!(found);
+                let rsp = pgw.handle_s5(&fwd).unwrap();
+                assert!(matches!(
+                    GtpcMsg::decode(&rsp).unwrap(),
+                    GtpcMsg::DeleteSessionResponse { cause: GtpcMsg::CAUSE_ACCEPTED, .. }
+                ));
+            }
+            _ => panic!(),
+        }
+        assert!(mme.sessions.is_empty());
+        assert!(sgw.table.is_empty());
+        assert!(pgw.table.is_empty());
+    }
+
+    #[test]
+    fn reattach_reuses_identifiers() {
+        let mut mme = Mme::new(0x1000, 0x0A000001);
+        let s11_a = mme.begin_attach(42);
+        let s11_b = mme.begin_attach(42);
+        let teid = |m: &[u8]| match GtpcMsg::decode(m).unwrap() {
+            GtpcMsg::CreateSessionRequest { bearer_teid, .. } => bearer_teid,
+            _ => panic!(),
+        };
+        assert_eq!(teid(&s11_a), teid(&s11_b));
+    }
+
+    #[test]
+    fn malformed_gtpc_rejected() {
+        let mut sgw = Sgw::new(1);
+        assert!(sgw.handle_s11(&[0xFF, 0x00]).is_err());
+        let mut pgw = Pgw::new();
+        assert!(pgw.handle_s5(&[]).is_err());
+    }
+}

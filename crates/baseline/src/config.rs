@@ -1,0 +1,123 @@
+//! Baseline presets and calibration parameters.
+
+/// Which comparison system to emulate (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselinePreset {
+    /// "An industrial software EPC implementation developed in
+    /// collaboration between carriers and our industrial partners":
+    /// DPDK fast I/O, GTP + Application Detection and Control.
+    Industrial1,
+    /// The industrial EPC studied in Rajan et al., LANMAN'15: DPDK,
+    /// GTP but no ADC/PCEF.
+    Industrial2,
+    /// OpenAirInterface release 0.2: kernel networking path (no DPDK).
+    Oai,
+    /// OpenEPC (PhantomNet images): kernel path, heavier synchronization
+    /// (the paper cites 2–3 ms MME→S/P-GW state-sync latency).
+    OpenEpc,
+}
+
+/// Tunable mechanism parameters for the classic EPC.
+///
+/// `sync_window_ns` is the time one GTP-C hop blocks the gateway data
+/// path (transaction + IPC round trip in the real systems); calibrated
+/// per preset from the behaviour the paper reports:
+/// Industrial#1 collapses just past 10 K attaches/s (§2.2, Fig 4/6) ⇒
+/// ~2×35 µs per attach; Industrial#2 loses 15% at 3 K events/s ⇒ ~2×18 µs;
+/// OpenEPC's measured sync is 2–3 ms ⇒ 1.25 ms per hop.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassicConfig {
+    pub preset: BaselinePreset,
+    /// Busy-work charged per packet for kernel-path networking
+    /// (syscall + copy costs DPDK bypasses). 0 = kernel bypass.
+    pub per_packet_kernel_ns: u64,
+    /// Data-path stall per GTP-C hop during signaling transactions.
+    pub sync_window_ns: u64,
+    /// Run ADC (application detection) on the data path.
+    pub adc_enabled: bool,
+}
+
+impl ClassicConfig {
+    pub fn preset(preset: BaselinePreset) -> Self {
+        match preset {
+            BaselinePreset::Industrial1 => ClassicConfig {
+                preset,
+                per_packet_kernel_ns: 0,
+                sync_window_ns: 35_000,
+                adc_enabled: true,
+            },
+            BaselinePreset::Industrial2 => ClassicConfig {
+                preset,
+                per_packet_kernel_ns: 0,
+                sync_window_ns: 18_000,
+                adc_enabled: false,
+            },
+            BaselinePreset::Oai => ClassicConfig {
+                preset,
+                per_packet_kernel_ns: 2_000,
+                sync_window_ns: 500_000,
+                adc_enabled: false,
+            },
+            BaselinePreset::OpenEpc => ClassicConfig {
+                preset,
+                per_packet_kernel_ns: 2_500,
+                sync_window_ns: 1_250_000,
+                adc_enabled: false,
+            },
+        }
+    }
+
+    /// A mechanism-only configuration: no calibrated stalls at all.
+    /// Isolates the *structural* costs (duplicated state, double tunnel,
+    /// flat tables) for ablation benchmarks.
+    pub fn mechanisms_only(preset: BaselinePreset) -> Self {
+        ClassicConfig { per_packet_kernel_ns: 0, sync_window_ns: 0, ..Self::preset(preset) }
+    }
+}
+
+/// Busy-wait for `ns` nanoseconds (stands in for work this host cannot
+/// perform: kernel crossings, cross-process IPC).
+#[inline]
+pub fn busy_wait_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = std::time::Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_reflect_paper_descriptions() {
+        let i1 = ClassicConfig::preset(BaselinePreset::Industrial1);
+        assert!(i1.adc_enabled, "Industrial#1 ships ADC");
+        assert_eq!(i1.per_packet_kernel_ns, 0, "Industrial#1 uses DPDK");
+        let i2 = ClassicConfig::preset(BaselinePreset::Industrial2);
+        assert!(!i2.adc_enabled, "Industrial#2 has no ADC/PCEF");
+        let oai = ClassicConfig::preset(BaselinePreset::Oai);
+        assert!(oai.per_packet_kernel_ns > 0, "OAI has no kernel bypass");
+        let oe = ClassicConfig::preset(BaselinePreset::OpenEpc);
+        assert!(oe.sync_window_ns >= 1_000_000, "OpenEPC sync is 2-3ms per attach");
+    }
+
+    #[test]
+    fn mechanisms_only_strips_calibration() {
+        let m = ClassicConfig::mechanisms_only(BaselinePreset::Industrial1);
+        assert_eq!(m.sync_window_ns, 0);
+        assert_eq!(m.per_packet_kernel_ns, 0);
+        assert!(m.adc_enabled, "structural features kept");
+    }
+
+    #[test]
+    fn busy_wait_waits() {
+        let t = std::time::Instant::now();
+        busy_wait_ns(200_000);
+        assert!(t.elapsed().as_nanos() >= 200_000);
+        busy_wait_ns(0); // no-op
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 4 kernel: one data packet through PEPC vs through the classic
+//! EPC's two-gateway pipeline (structural costs only; the full figure is
+//! `figures --fig 4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc_baseline::{BaselinePreset, ClassicConfig, ClassicEpc};
+use pepc_workload::harness::{default_pepc_slice, ClassicSut, PepcSut, SystemUnderTest};
+use pepc_workload::traffic::TrafficGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_per_packet");
+    let imsis: Vec<u64> = (0..1000u64).collect();
+
+    let mut pepc = PepcSut::new(default_pepc_slice(1024, true, 32));
+    let keys = pepc.attach_all(&imsis);
+    let mut gen = TrafficGen::new(keys);
+    g.bench_function("pepc", |b| {
+        b.iter(|| {
+            let m = gen.next_packet(0);
+            if let Some(out) = pepc.process(m) {
+                gen.recycle(out);
+            }
+        })
+    });
+
+    for (preset, name) in [
+        (BaselinePreset::Industrial1, "industrial1"),
+        (BaselinePreset::Industrial2, "industrial2"),
+        (BaselinePreset::Oai, "oai_kernel_path"),
+    ] {
+        let mut sut = ClassicSut::new(ClassicEpc::new(ClassicConfig::mechanisms_only(preset)), name);
+        let keys = sut.attach_all(&imsis);
+        // Structural costs only for the DPDK presets; OAI keeps its
+        // per-packet kernel cost.
+        if preset == BaselinePreset::Oai {
+            *sut.epc.config_mut() = ClassicConfig::preset(preset);
+            sut.epc.config_mut().sync_window_ns = 0;
+        }
+        let mut gen = TrafficGen::new(keys);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let m = gen.next_packet(0);
+                if let Some(out) = sut.process(m) {
+                    gen.recycle(out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 5 kernel: per-packet cost as the user table grows (cache
+//! footprint of state lookup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pepc_workload::harness::{default_pepc_slice, PepcSut, SystemUnderTest};
+use pepc_workload::traffic::TrafficGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_lookup_scaling");
+    g.sample_size(20);
+    for users in [1_000u64, 10_000, 100_000, 500_000] {
+        let mut sut = PepcSut::new(default_pepc_slice(users as usize, true, 32));
+        let keys = sut.attach_all(&(0..users).collect::<Vec<_>>());
+        let mut gen = TrafficGen::new(keys);
+        g.bench_with_input(BenchmarkId::new("pepc_users", users), &users, |b, _| {
+            b.iter(|| {
+                let m = gen.next_packet(0);
+                if let Some(out) = sut.process(m) {
+                    gen.recycle(out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 6 kernel: the cost of one signaling event on each system —
+//! what multiplies with rate to produce the figure's throughput curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc_baseline::{BaselinePreset, ClassicConfig, ClassicEpc};
+use pepc_workload::harness::{default_pepc_slice, ClassicSut, PepcSut, SystemUnderTest};
+use pepc_workload::signaling::SigEvent;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_per_event");
+    let imsis: Vec<u64> = (0..10_000u64).collect();
+
+    let mut pepc = PepcSut::new(default_pepc_slice(16_384, true, 32));
+    pepc.attach_all(&imsis);
+    let mut i = 0u64;
+    g.bench_function("pepc_s1_handover", |b| {
+        b.iter(|| {
+            i += 1;
+            pepc.signal(SigEvent::S1Handover {
+                imsi: imsis[(i % 10_000) as usize],
+                new_enb_teid: i as u32,
+                new_enb_ip: 0xC0A80001,
+            })
+        })
+    });
+
+    // Classic: the same event forces an MME→S-GW synchronization (the
+    // calibrated stall is excluded here; this is the mechanism cost).
+    let mut classic = ClassicSut::new(
+        ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1)),
+        "classic",
+    );
+    classic.attach_all(&imsis);
+    g.bench_function("classic_s1_handover_sync", |b| {
+        b.iter(|| {
+            i += 1;
+            classic.signal(SigEvent::S1Handover {
+                imsi: imsis[(i % 10_000) as usize],
+                new_enb_teid: i as u32,
+                new_enb_ip: 0xC0A80001,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 7 kernel: a slice's full rx→process→tx step through its rings,
+//! the unit that multiplies across share-nothing data cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc_workload::harness::{default_pepc_slice, PepcSut, SystemUnderTest};
+use pepc_workload::traffic::TrafficGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_slice_step");
+    let imsis: Vec<u64> = (0..10_000u64).collect();
+    let mut sut = PepcSut::new(default_pepc_slice(16_384, true, 32));
+    let keys = sut.attach_all(&imsis);
+    let mut gen = TrafficGen::new(keys);
+    g.bench_function("burst_32", |b| {
+        b.iter(|| {
+            for _ in 0..32 {
+                let m = gen.next_packet(0);
+                if let Some(out) = sut.process(m) {
+                    gen.recycle(out);
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

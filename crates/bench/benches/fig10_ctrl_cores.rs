@@ -1,0 +1,22 @@
+//! Figure 10/11 kernel: one full attach procedure over S1AP/NAS/SCTP
+//! against live HSS and PCRF backends — the per-attach cost that sets
+//! control-core requirements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc_bench::SctpS1apRig;
+
+fn bench(c: &mut Criterion) {
+    let mut rig = SctpS1apRig::new(3_000_000);
+    let mut imsi = 404_01_0000000000u64;
+    let mut enb_ue_id = 1u32;
+    c.bench_function("fig10_full_attach_over_sctp", |b| {
+        b.iter(|| {
+            imsi += 1;
+            enb_ue_id += 1;
+            assert!(rig.attach(imsi, enb_ue_id));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figure 11 kernel: the serialized (kernel-SCTP-like) section that caps
+//! control-core scaling, vs the parallelizable S1AP handling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc_sigproto::sctp::SerializedService;
+
+fn bench(c: &mut Criterion) {
+    // The serialized share calibrated in fig11 (1/6 of ~50µs ≈ 8µs).
+    let svc = SerializedService::new(8_000);
+    c.bench_function("fig11_serialized_sctp_section", |b| b.iter(|| svc.process()));
+    let free = SerializedService::new(0);
+    c.bench_function("fig11_lock_only", |b| b.iter(|| free.process()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 12 kernel: one data-path visit (ctrl read + counter write)
+//! under each shared-state locking design, uncontended. The figure adds
+//! the contention dimension; this isolates the lock-operation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc::state::ControlState;
+use pepc::table::{DatapathWriterStore, GiantLockStore, PepcStore, StateStore};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_visit");
+    const USERS: u64 = 100_000;
+    let stores: Vec<(&str, Box<dyn StateStore>)> = vec![
+        ("giant_lock", Box::new(GiantLockStore::new(USERS as usize))),
+        ("datapath_writer", Box::new(DatapathWriterStore::new(USERS as usize))),
+        ("pepc", Box::new(PepcStore::new(USERS as usize))),
+    ];
+    for (name, store) in &stores {
+        for uid in 0..USERS {
+            store.insert(uid, ControlState::new(uid));
+        }
+        let mut i = 0u64;
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let uid = (i >> 33) % USERS;
+                store.data_path_visit(uid, i % 4 == 0, 100, i, &mut |c| c.imsi == uid)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 13 kernel: attach + packet at 1:1 signaling:data, with updates
+//! synced every 32 packets vs every packet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pepc_workload::harness::{default_pepc_slice, PepcSut, SystemUnderTest};
+use pepc_workload::signaling::SigEvent;
+use pepc_workload::traffic::TrafficGen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_one_to_one");
+    for sync_every in [32u32, 1] {
+        let mut sut = PepcSut::new(default_pepc_slice(65_536, true, sync_every));
+        let keys = sut.attach_all(&(0..10_000u64).collect::<Vec<_>>());
+        let mut gen = TrafficGen::new(keys);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("sync_every", sync_every), &sync_every, |b, _| {
+            b.iter(|| {
+                i += 1;
+                sut.signal(SigEvent::Attach { imsi: i % 10_000 });
+                let m = gen.next_packet(0);
+                if let Some(out) = sut.process(m) {
+                    gen.recycle(out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 14 kernel: per-packet state lookup with a small hot primary
+//! table vs one flat table holding every user.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc::state::{ControlState, UeContext};
+use pepc::twolevel::TwoLevelTable;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    const TOTAL: u64 = 1_000_000;
+    const HOT: u64 = 10_000; // 1% always-on
+
+    let mut two = TwoLevelTable::new(TOTAL as usize, u64::MAX);
+    let mut flat = TwoLevelTable::new_single(TOTAL as usize);
+    for k in 0..TOTAL {
+        let v = UeContext::new(ControlState::new(k));
+        if k < HOT {
+            two.insert_active(k, Arc::clone(&v), 0);
+        } else {
+            two.insert_idle(k, Arc::clone(&v));
+        }
+        flat.insert_idle(k, v);
+    }
+    let mut i = 0u64;
+    c.bench_function("fig14_two_level_hot_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (i >> 33) % HOT;
+            two.get(k, 1).is_some()
+        })
+    });
+    let mut i = 0u64;
+    c.bench_function("fig14_single_table_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (i >> 33) % HOT;
+            flat.get(k, 1).is_some()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

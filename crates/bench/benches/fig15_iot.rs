@@ -1,0 +1,42 @@
+//! Figure 15 kernel: the stateless-IoT fast path (no per-user lookup) vs
+//! the regular pipeline for one uplink packet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pepc::config::{IotConfig, TwoLevelConfig};
+use pepc::data::DataPlane;
+use pepc_net::gtp::encap_gtpu;
+use pepc_net::ipv4::IpProto;
+use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
+use pepc_net::{Ipv4Hdr, Mbuf, IPV4_HDR_LEN};
+use pepc_workload::harness::{default_pepc_slice, PepcSut, SystemUnderTest};
+
+fn uplink(teid: u32) -> Mbuf {
+    let mut m = Mbuf::new();
+    let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+    Ipv4Hdr::new(0x0A000001, 0x08080808, IpProto::Udp, UDP_HDR_LEN + 64).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+    UdpHdr::new(1, 2, 64).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+    m.extend(&hdr);
+    m.extend(&[0u8; 64]);
+    encap_gtpu(&mut m, 1, 2, teid).unwrap();
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    // Regular path through an attached user.
+    let mut sut = PepcSut::new(default_pepc_slice(200_000, true, 32));
+    let keys = sut.attach_all(&(0..100_000u64).collect::<Vec<_>>());
+    let teid = keys[0].teid;
+    c.bench_function("fig15_regular_path", |b| {
+        b.iter(|| sut.process(uplink(teid)).is_some())
+    });
+
+    // IoT fast path: pool TEID, no state at all.
+    let iot = IotConfig { enabled: true, teid_base: 0xF000_0000, ip_base: 0x6400_0000, pool_size: 100_000 };
+    let mut dp = DataPlane::new(0x0AFE0001, 16, TwoLevelConfig::default(), iot);
+    c.bench_function("fig15_iot_fast_path", |b| {
+        b.iter(|| dp.process(uplink(0xF000_0005), 0).is_forward())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

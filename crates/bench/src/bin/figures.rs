@@ -1,0 +1,74 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! figures --all            # every figure, quick scale (~minutes)
+//! figures --fig 5          # one figure
+//! figures --fig 5 --full   # paper-scale populations (slower, more RAM)
+//! ```
+//!
+//! Output is the rows each figure plots; EXPERIMENTS.md records a
+//! captured run next to the paper's numbers.
+
+use pepc_bench::{
+    ablation_structural, fig04_comparison, fig05_users, fig06_signaling, fig07_cores, fig08_migration_tput,
+    fig09_migration_latency, fig10_ctrl_cores, fig11_attach_scaling, fig12_lock_strategies,
+    fig13_batching, fig14_two_level, fig15_iot, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let fig: Option<u32> = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let all = args.iter().any(|a| a == "--all") || fig.is_none();
+
+    println!(
+        "PEPC figure harness — scale: {:?} (populations {}; see DESIGN.md for substitutions)",
+        scale,
+        if scale == Scale::Full { "paper-size" } else { "1/10 paper-size" }
+    );
+
+    let run = |n: u32| all || fig == Some(n);
+    if run(4) {
+        fig04_comparison(scale);
+    }
+    if run(5) {
+        fig05_users(scale);
+    }
+    if run(6) {
+        fig06_signaling(scale);
+    }
+    if run(7) {
+        fig07_cores(scale);
+    }
+    if run(8) {
+        fig08_migration_tput(scale);
+    }
+    if run(9) {
+        fig09_migration_latency(scale);
+    }
+    if run(10) {
+        fig10_ctrl_cores(scale);
+    }
+    if run(11) {
+        fig11_attach_scaling(scale);
+    }
+    if run(12) {
+        fig12_lock_strategies(scale);
+    }
+    if run(13) {
+        fig13_batching(scale);
+    }
+    if run(14) {
+        fig14_two_level(scale);
+    }
+    if run(15) {
+        fig15_iot(scale);
+    }
+    if args.iter().any(|a| a == "--ablation") || all {
+        ablation_structural(scale);
+    }
+}

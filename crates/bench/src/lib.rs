@@ -1,0 +1,54 @@
+//! # pepc-bench — harness pieces shared by the figure experiments and the
+//! Criterion benches.
+//!
+//! The `figures` binary (this crate's `src/bin/figures.rs`) regenerates
+//! every figure of the paper's evaluation; this library holds the
+//! adapters and experiment bodies so Criterion benches and the binary
+//! run exactly the same code.
+
+pub mod experiments;
+pub mod nodesut;
+
+pub use experiments::*;
+pub use nodesut::NodeSut;
+
+/// Experiment scale: `quick` shrinks populations ~10× so the whole
+/// figure suite completes in minutes; `full` is paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    /// Scale a paper-sized population down for quick runs.
+    pub fn users(&self, paper: u64) -> u64 {
+        match self {
+            Scale::Quick => (paper / 10).max(1),
+            Scale::Full => paper,
+        }
+    }
+
+    /// Measurement window per data point.
+    pub fn duration(&self) -> std::time::Duration {
+        match self {
+            Scale::Quick => std::time::Duration::from_millis(300),
+            Scale::Full => std::time::Duration::from_millis(1000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_shrinks() {
+        assert_eq!(Scale::Quick.users(1_000_000), 100_000);
+        assert_eq!(Scale::Full.users(1_000_000), 1_000_000);
+        assert_eq!(Scale::Quick.users(5), 1);
+        // Event rates are wall-clock quantities: figures keep them at
+        // paper values regardless of scale (only populations shrink).
+        assert!(Scale::Quick.duration() < Scale::Full.duration());
+    }
+}

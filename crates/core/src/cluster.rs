@@ -1,0 +1,222 @@
+//! A PEPC cluster — the full Figure 1(b) deployment: several PEPC nodes
+//! behind one virtual IP, fronted by a Maglev-style load balancer.
+//!
+//! "We assume that the PEPC cluster is abstracted by a single virtual IP
+//! address; external components such as the eNodeB direct their traffic
+//! to this virtual IP address and the cluster's load balancer takes care
+//! of appropriately demultiplexing user traffic across the PEPC nodes"
+//! (§3.3, citing Maglev).
+//!
+//! Steering works in two stages, as in real deployments:
+//!
+//! * **signaling** (attach) is consistent-hashed on the IMSI across
+//!   nodes, so a subscriber's home node is stable under node churn;
+//! * **data** is routed by identifier *ranges*: each node allocates
+//!   TEIDs / UE IPs from a disjoint region (high bits = node index), so
+//!   the balancer recovers the owning node from the packet alone — no
+//!   per-user table at the LB, exactly why GTP deployments give each
+//!   gateway its own TEID space.
+
+use crate::config::EpcConfig;
+use crate::node::{NodeVerdict, PepcNode};
+use pepc_backend::{Hss, Pcrf};
+use pepc_fabric::Maglev;
+use pepc_net::Mbuf;
+use std::sync::Arc;
+
+/// Bits reserved below the node index in TEID / UE IP spaces.
+const NODE_SHIFT: u32 = 28;
+
+/// A cluster of PEPC nodes behind one virtual IP.
+pub struct Cluster {
+    nodes: Vec<PepcNode>,
+    lb: Maglev,
+    virtual_ip: u32,
+}
+
+impl Cluster {
+    /// Build `n` nodes from a template config. Each node gets a disjoint
+    /// identifier region; `backends` (HSS/PCRF) are shared, as in a real
+    /// core network.
+    pub fn new(n: usize, template: EpcConfig, backends: Option<(Arc<Hss>, Arc<Pcrf>)>) -> Self {
+        assert!(n >= 1 && n <= 8, "1..=8 nodes supported by the region layout");
+        let virtual_ip = template.gw_ip;
+        let mut nodes = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut cfg = template.clone();
+            cfg.teid_base = 0x1000_0000 + ((k as u32) << NODE_SHIFT);
+            cfg.ue_ip_base = 0x0A00_0001 + ((k as u32) << NODE_SHIFT);
+            cfg.gw_ip = virtual_ip; // one virtual IP for the whole cluster
+            nodes.push(PepcNode::new(cfg, backends.clone()));
+        }
+        let names: Vec<String> = (0..n).map(|k| format!("pepc-node-{k}")).collect();
+        Cluster { nodes, lb: Maglev::new(&names, 65537), virtual_ip }
+    }
+
+    /// The cluster's virtual IP (what eNodeBs tunnel to).
+    pub fn virtual_ip(&self) -> u32 {
+        self.virtual_ip
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The home node for a subscriber (consistent hash over IMSI).
+    pub fn home_node(&self, imsi: u64) -> usize {
+        self.lb.lookup(imsi)
+    }
+
+    /// Attach a subscriber on its home node; returns the node index.
+    pub fn attach(&mut self, imsi: u64) -> usize {
+        let k = self.home_node(imsi);
+        self.nodes[k].attach(imsi);
+        k
+    }
+
+    /// Route one data packet: TEID (uplink) / UE IP (downlink) ranges
+    /// identify the owning node without any per-user LB state.
+    pub fn process(&mut self, m: Mbuf) -> NodeVerdict {
+        match Self::node_of_packet(&m, self.nodes.len()) {
+            Some(k) => self.nodes[k].process(m),
+            None => NodeVerdict::Drop,
+        }
+    }
+
+    fn node_of_packet(m: &Mbuf, n: usize) -> Option<usize> {
+        let d = m.data();
+        if d.len() < 20 || d[0] != 0x45 {
+            return None;
+        }
+        let is_gtpu =
+            d.len() >= 36 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
+        let k = if is_gtpu {
+            // Uplink: TEID regions start at 0x1000_0000, one per node.
+            let teid = u32::from_be_bytes([d[32], d[33], d[34], d[35]]);
+            usize::try_from((teid >> NODE_SHIFT).checked_sub(1)?).ok()?
+        } else {
+            // Downlink: UE IP regions start at 0x0A00_0001, one per node.
+            let dst = u32::from_be_bytes([d[16], d[17], d[18], d[19]]);
+            (dst >> NODE_SHIFT) as usize
+        };
+        (k < n).then_some(k)
+    }
+
+    /// Access one node (tests, harnesses, migration orchestration).
+    pub fn node(&mut self, k: usize) -> &mut PepcNode {
+        &mut self.nodes[k]
+    }
+
+    /// Total attached users across nodes.
+    pub fn user_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.user_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchingConfig, SliceConfig};
+    use pepc_net::gtp::encap_gtpu;
+    use pepc_net::ipv4::IpProto;
+    use pepc_net::{Ipv4Hdr, IPV4_HDR_LEN};
+
+    fn cluster(n: usize) -> Cluster {
+        let template = EpcConfig {
+            slices: 2,
+            slice: SliceConfig {
+                batching: BatchingConfig { sync_every_packets: 1 },
+                ..SliceConfig::default()
+            },
+            ..EpcConfig::default()
+        };
+        Cluster::new(n, template, None)
+    }
+
+    fn keys_of(c: &mut Cluster, imsi: u64) -> (u32, u32) {
+        let k = c.home_node(imsi);
+        let node = c.node(k);
+        let s = node.demux().slice_for_imsi(imsi).unwrap();
+        let ctx = node.slice(s).ctrl.context_of(imsi).unwrap();
+        let g = ctx.ctrl.read();
+        (g.tunnels.gw_teid, g.ue_ip)
+    }
+
+    fn uplink(teid: u32, ue_ip: u32) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + 8];
+        Ipv4Hdr::new(ue_ip, 0x08080808, IpProto::Udp, 8).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        m.extend(&hdr);
+        encap_gtpu(&mut m, 0xC0A80001, 0x0AFE0001, teid).unwrap();
+        m
+    }
+
+    fn downlink(ue_ip: u32) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + 8];
+        Ipv4Hdr::new(0x08080808, ue_ip, IpProto::Udp, 8).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        m.extend(&hdr);
+        m
+    }
+
+    #[test]
+    fn subscribers_spread_across_nodes() {
+        let mut c = cluster(4);
+        for imsi in 0..200u64 {
+            c.attach(imsi);
+        }
+        assert_eq!(c.user_count(), 200);
+        let counts: Vec<usize> = (0..4).map(|k| c.node(k).user_count()).collect();
+        assert!(counts.iter().all(|&x| x > 20), "uneven spread: {counts:?}");
+    }
+
+    #[test]
+    fn home_node_is_stable() {
+        let c = cluster(3);
+        for imsi in 0..50u64 {
+            assert_eq!(c.home_node(imsi), c.home_node(imsi));
+        }
+    }
+
+    #[test]
+    fn data_routes_to_owning_node_both_directions() {
+        let mut c = cluster(4);
+        for imsi in 0..64u64 {
+            c.attach(imsi);
+            c.node(c.home_node(imsi)).ctrl_event(crate::ctrl::CtrlEvent::S1Handover {
+                imsi,
+                new_enb_teid: 0xE000 + imsi as u32,
+                new_enb_ip: 0xC0A80001,
+            });
+        }
+        for imsi in 0..64u64 {
+            let (teid, ue_ip) = keys_of(&mut c, imsi);
+            assert!(c.process(uplink(teid, ue_ip)).is_forward(), "uplink imsi {imsi}");
+            assert!(c.process(downlink(ue_ip)).is_forward(), "downlink imsi {imsi}");
+        }
+    }
+
+    #[test]
+    fn packets_for_unknown_regions_dropped() {
+        let mut c = cluster(2);
+        // TEID in node-7's region, but only 2 nodes exist.
+        let m = uplink(0x1000_0000 + (7 << NODE_SHIFT), 1);
+        assert!(!c.process(m).is_forward());
+        assert!(!c.process(Mbuf::from_payload(&[0u8; 8])).is_forward());
+    }
+
+    #[test]
+    fn counters_accumulate_on_the_home_node() {
+        let mut c = cluster(2);
+        c.attach(7);
+        let (teid, ue_ip) = keys_of(&mut c, 7);
+        for _ in 0..10 {
+            assert!(c.process(uplink(teid, ue_ip)).is_forward());
+        }
+        let k = c.home_node(7);
+        let node = c.node(k);
+        let s = node.demux().slice_for_imsi(7).unwrap();
+        assert_eq!(node.slice(s).ctrl.counters_of(7).unwrap().uplink_packets, 10);
+    }
+}

@@ -1,0 +1,1153 @@
+//! The slice control plane — paper §3.2 "PEPC control threads", §4.2
+//! "Slice control plane".
+//!
+//! The control thread is the single writer of every user's
+//! [`ControlState`]: it runs the attach procedure (full S1AP/NAS against
+//! the HSS and PCRF through the node proxy), applies mobility events by
+//! rewriting tunnel state *in place* in the shared context (no
+//! synchronization messages — the data thread reads the same memory), and
+//! manages data-plane table membership through batched [`DpUpdate`]s.
+//!
+//! Two entry points mirror the paper's two experiment sets (§5.1):
+//!
+//! * [`ControlPlane::handle_s1ap`] — the real protocol path: S1AP PDUs
+//!   carrying NAS, authentication against the HSS, rules from the PCRF
+//!   (used with SCTP in Figures 10/11 and the integration tests);
+//! * [`ControlPlane::apply_event`] — synthetic state operations
+//!   ("attach", "S1 handover") without wire messages, used to drive
+//!   signaling load at scale (Figures 5, 6, 12, 13).
+
+use crate::data::DpUpdate;
+use crate::metrics::CtrlMetrics;
+use crate::migrate::UserSnapshot;
+use crate::pcef::PcefAction;
+use crate::proxy::Proxy;
+use crate::state::{ControlState, CounterSnapshot, DeviceClass, QosPolicy, UeContext, Uid};
+use pepc_backend::hss::sim_response;
+use pepc_net::BpfProgram;
+use pepc_sigproto::nas::{cause, NasMsg};
+use pepc_sigproto::s1ap::S1apPdu;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Synthetic control events (the paper's at-scale signaling workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlEvent {
+    /// Attach: allocate state for `imsi`, insert, notify the data plane.
+    Attach { imsi: u64 },
+    /// S1-based handover: the UE moved to an eNodeB with no X2 link —
+    /// rewrite the downlink tunnel endpoint.
+    S1Handover { imsi: u64, new_enb_teid: u32, new_enb_ip: u32 },
+    /// Modify-bearer: QoS parameters changed.
+    ModifyBearer { imsi: u64, ambr_kbps: u32 },
+    /// Detach: remove all state.
+    Detach { imsi: u64 },
+    /// S1 Release: the UE goes idle; its state is demoted to the
+    /// secondary table (two-level management, §3.2).
+    Release { imsi: u64 },
+}
+
+/// Allocation bases carving a slice's identifier space out of the node's.
+#[derive(Debug, Clone, Copy)]
+pub struct Allocator {
+    pub teid_base: u32,
+    pub ue_ip_base: u32,
+    pub guti_base: u64,
+    pub mme_ue_id_base: u32,
+}
+
+/// Attach-procedure FSM (keyed by eNodeB UE id).
+#[derive(Debug)]
+enum AttachFsm {
+    /// Challenge sent; waiting for the UE's RES.
+    WaitAuthResponse { imsi: u64, xres: u64, ecgi: u32, mme_ue_id: u32 },
+    /// Security mode commanded; waiting for completion.
+    WaitSecurityComplete { imsi: u64, ecgi: u32, mme_ue_id: u32 },
+    /// Context setup sent; waiting for the eNodeB's tunnel endpoint.
+    WaitContextSetup { imsi: u64, mme_ue_id: u32 },
+    /// Waiting for the final NAS Attach Complete.
+    WaitAttachComplete,
+}
+
+/// In-flight S1 handover (keyed by MME UE id).
+#[derive(Debug)]
+struct HandoverFsm {
+    imsi: u64,
+    source_enb_ue_id: u32,
+}
+
+/// The control plane of one slice. Owned by exactly one thread.
+pub struct ControlPlane {
+    /// All users of this slice, keyed by IMSI (globally unique, so
+    /// migrated-in users can never collide with local allocations): the
+    /// authoritative (secondary-level) table.
+    users: HashMap<u64, Arc<UeContext>>,
+    by_guti: HashMap<u64, u64>,
+    by_mme_ue_id: HashMap<u32, u64>,
+    alloc: Allocator,
+    next_uid: Uid,
+    next_mme_ue_id: u32,
+    /// Node parameters.
+    gw_ip: u32,
+    tac: u16,
+    /// Updates awaiting transfer to the data thread (drained by the slice
+    /// wiring into the SPSC update ring — Figure 13's batching happens at
+    /// the data thread's drain).
+    pending_updates: Vec<DpUpdate>,
+    /// PCEF rule ids already installed slice-wide.
+    installed_rules: std::collections::HashSet<u16>,
+    proxy: Option<Arc<Proxy>>,
+    attach_fsms: HashMap<u32, AttachFsm>,
+    handover_fsms: HashMap<u32, HandoverFsm>,
+    metrics: CtrlMetrics,
+}
+
+impl ControlPlane {
+    /// Build a control plane. `proxy` is required for the full S1AP path;
+    /// synthetic events work without it.
+    pub fn new(gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
+        ControlPlane {
+            users: HashMap::new(),
+            by_guti: HashMap::new(),
+            by_mme_ue_id: HashMap::new(),
+            alloc,
+            next_uid: 0,
+            next_mme_ue_id: alloc.mme_ue_id_base,
+            gw_ip,
+            tac,
+            pending_updates: Vec::new(),
+            installed_rules: std::collections::HashSet::new(),
+            proxy,
+            attach_fsms: HashMap::new(),
+            handover_fsms: HashMap::new(),
+            metrics: CtrlMetrics::default(),
+        }
+    }
+
+    // -- identifier allocation ------------------------------------------------
+
+    fn allocate_uid(&mut self) -> Uid {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    /// Gateway-side uplink TEID for a uid.
+    pub fn teid_for(&self, uid: Uid) -> u32 {
+        self.alloc.teid_base + uid as u32
+    }
+
+    /// UE IP for a uid.
+    pub fn ue_ip_for(&self, uid: Uid) -> u32 {
+        self.alloc.ue_ip_base + uid as u32
+    }
+
+    fn guti_for(&self, uid: Uid) -> u64 {
+        self.alloc.guti_base + uid
+    }
+
+    // -- core state operations (shared by both entry points) -------------------
+
+    /// Data-plane keys (uplink tunnel, UE IP) of a known user, read from
+    /// the consolidated state — migrated-in users keep their original
+    /// keys, so these are never re-derived arithmetically.
+    fn keys_of(&self, imsi: u64) -> Option<(u32, u32)> {
+        let ctx = self.users.get(&imsi)?;
+        let c = ctx.ctrl.read();
+        Some((c.tunnels.gw_teid, c.ue_ip))
+    }
+
+    /// Create and index a user; queues the data-plane insert. Idempotent
+    /// per IMSI (re-attach reuses the context and re-announces it).
+    fn do_attach(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32) {
+        if let Some(ctx) = self.users.get(&imsi) {
+            // Re-attach: refresh and re-announce as active.
+            let ctx = Arc::clone(ctx);
+            let (gw_teid, ue_ip) = {
+                let mut c = ctx.ctrl.write();
+                c.ecgi = ecgi;
+                c.qos = qos;
+                (c.tunnels.gw_teid, c.ue_ip)
+            };
+            self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+            self.metrics.attaches += 1;
+            return;
+        }
+        let uid = self.allocate_uid();
+        let mut ctrl = ControlState::new(imsi);
+        ctrl.guti = self.guti_for(uid);
+        ctrl.ue_ip = self.ue_ip_for(uid);
+        ctrl.ecgi = ecgi;
+        ctrl.tac = self.tac;
+        ctrl.qos = qos;
+        ctrl.device_class = device_class;
+        ctrl.tunnels.gw_teid = self.teid_for(uid);
+        let guti = ctrl.guti;
+        let gw_teid = ctrl.tunnels.gw_teid;
+        let ue_ip = ctrl.ue_ip;
+        let ctx = UeContext::new(ctrl);
+        self.users.insert(imsi, Arc::clone(&ctx));
+        self.by_guti.insert(guti, imsi);
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        self.metrics.attaches += 1;
+    }
+
+    fn do_handover(&mut self, imsi: u64, new_enb_teid: u32, new_enb_ip: u32, new_ecgi: u32) -> bool {
+        match self.users.get(&imsi) {
+            Some(ctx) => {
+                // The whole point: one in-place write, visible to the data
+                // thread through the shared context. No DpUpdate needed.
+                let mut c = ctx.ctrl.write();
+                c.tunnels.enb_teid = new_enb_teid;
+                c.tunnels.enb_ip = new_enb_ip;
+                if new_ecgi != 0 {
+                    c.ecgi = new_ecgi;
+                }
+                self.metrics.handovers += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn do_detach(&mut self, imsi: u64) -> bool {
+        match self.users.remove(&imsi) {
+            Some(ctx) => {
+                let (guti, gw_teid, ue_ip) = {
+                    let c = ctx.ctrl.read();
+                    (c.guti, c.tunnels.gw_teid, c.ue_ip)
+                };
+                self.by_guti.remove(&guti);
+                self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
+                self.metrics.detaches += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    // -- synthetic events (at-scale signaling workload) ------------------------
+
+    /// Apply one synthetic control event. Returns false for events
+    /// referencing unknown users.
+    pub fn apply_event(&mut self, ev: CtrlEvent) -> bool {
+        match ev {
+            CtrlEvent::Attach { imsi } => {
+                self.do_attach(imsi, QosPolicy::default(), DeviceClass::Smartphone, 0);
+                true
+            }
+            CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
+                self.do_handover(imsi, new_enb_teid, new_enb_ip, 0)
+            }
+            CtrlEvent::ModifyBearer { imsi, ambr_kbps } => match self.users.get(&imsi) {
+                Some(ctx) => {
+                    ctx.ctrl.write().qos.ambr_kbps = ambr_kbps;
+                    self.metrics.bearer_updates += 1;
+                    true
+                }
+                None => false,
+            },
+            CtrlEvent::Detach { imsi } => self.do_detach(imsi),
+            CtrlEvent::Release { imsi } => self.demote_user(imsi),
+        }
+    }
+
+    // -- full S1AP/NAS path -----------------------------------------------------
+
+    /// Process one S1AP PDU from an eNodeB; returns the PDUs to send back.
+    pub fn handle_s1ap(&mut self, pdu: &S1apPdu) -> Vec<S1apPdu> {
+        self.metrics.s1ap_rx += 1;
+        match pdu {
+            S1apPdu::InitialUeMessage { enb_ue_id, ecgi, tac, nas } => {
+                self.on_initial_ue(*enb_ue_id, *ecgi, *tac, nas)
+            }
+            S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas } => {
+                self.on_uplink_nas(*enb_ue_id, *mme_ue_id, nas)
+            }
+            S1apPdu::InitialContextSetupResponse { enb_ue_id, mme_ue_id, enb_teid, enb_ip } => {
+                self.on_context_setup_response(*enb_ue_id, *mme_ue_id, *enb_teid, *enb_ip)
+            }
+            S1apPdu::PathSwitchRequest { enb_ue_id, mme_ue_id, new_enb_teid, new_enb_ip, ecgi } => {
+                match self.by_mme_ue_id.get(mme_ue_id).copied() {
+                    Some(imsi) if self.do_handover(imsi, *new_enb_teid, *new_enb_ip, *ecgi) => {
+                        vec![S1apPdu::PathSwitchRequestAck { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id }]
+                    }
+                    _ => vec![],
+                }
+            }
+            S1apPdu::HandoverRequired { enb_ue_id, mme_ue_id, target_ecgi: _ } => {
+                match self.by_mme_ue_id.get(mme_ue_id).copied() {
+                    Some(imsi) => {
+                        self.handover_fsms
+                            .insert(*mme_ue_id, HandoverFsm { imsi, source_enb_ue_id: *enb_ue_id });
+                        let ctx = &self.users[&imsi];
+                        let (gw_teid, ambr) = {
+                            let c = ctx.ctrl.read();
+                            (c.tunnels.gw_teid, c.qos.ambr_kbps)
+                        };
+                        // Addressed to the *target* eNodeB (the node layer
+                        // routes it there).
+                        vec![S1apPdu::HandoverRequest {
+                            mme_ue_id: *mme_ue_id,
+                            gw_teid,
+                            gw_ip: self.gw_ip,
+                            ambr_kbps: ambr,
+                        }]
+                    }
+                    None => vec![],
+                }
+            }
+            S1apPdu::HandoverRequestAck { mme_ue_id, new_enb_teid, new_enb_ip } => {
+                match self.handover_fsms.remove(mme_ue_id) {
+                    Some(fsm) => {
+                        self.do_handover(fsm.imsi, *new_enb_teid, *new_enb_ip, 0);
+                        vec![S1apPdu::HandoverCommand {
+                            enb_ue_id: fsm.source_enb_ue_id,
+                            mme_ue_id: *mme_ue_id,
+                        }]
+                    }
+                    None => vec![],
+                }
+            }
+            S1apPdu::UeContextReleaseComplete { .. } => vec![],
+            // MME-originated PDUs arriving inbound are protocol errors;
+            // ignore them rather than crash the control thread.
+            _ => vec![],
+        }
+    }
+
+    fn on_initial_ue(&mut self, enb_ue_id: u32, ecgi: u32, _tac: u16, nas: &[u8]) -> Vec<S1apPdu> {
+        let imsi = match NasMsg::decode(nas) {
+            Ok(NasMsg::AttachRequest { imsi, .. }) => imsi,
+            Ok(NasMsg::ServiceRequest { guti }) => {
+                return self.on_service_request(enb_ue_id, ecgi, guti);
+            }
+            _ => return vec![],
+        };
+        let proxy = match &self.proxy {
+            Some(p) => Arc::clone(p),
+            None => return vec![],
+        };
+        let mme_ue_id = self.next_mme_ue_id;
+        self.next_mme_ue_id += 1;
+        match proxy.authentication_info(imsi) {
+            Ok(ch) => {
+                self.attach_fsms.insert(
+                    enb_ue_id,
+                    AttachFsm::WaitAuthResponse { imsi, xres: ch.xres, ecgi, mme_ue_id },
+                );
+                vec![S1apPdu::DownlinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas: NasMsg::AuthenticationRequest { rand: ch.rand, autn: ch.autn }.encode(),
+                }]
+            }
+            Err(_) => {
+                self.metrics.attach_rejects += 1;
+                vec![S1apPdu::DownlinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas: NasMsg::AttachReject { cause: cause::IMSI_UNKNOWN }.encode(),
+                }]
+            }
+        }
+    }
+
+    fn on_uplink_nas(&mut self, enb_ue_id: u32, mme_ue_id: u32, nas: &[u8]) -> Vec<S1apPdu> {
+        let msg = match NasMsg::decode(nas) {
+            Ok(m) => m,
+            Err(_) => return vec![],
+        };
+        match (msg, self.attach_fsms.remove(&enb_ue_id)) {
+            (
+                NasMsg::AuthenticationResponse { res },
+                Some(AttachFsm::WaitAuthResponse { imsi, xres, ecgi, mme_ue_id: id }),
+            ) => {
+                if res == xres {
+                    self.attach_fsms.insert(
+                        enb_ue_id,
+                        AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id },
+                    );
+                    vec![S1apPdu::DownlinkNasTransport {
+                        enb_ue_id,
+                        mme_ue_id: id,
+                        nas: NasMsg::SecurityModeCommand { integrity_alg: 2, ciphering_alg: 1 }.encode(),
+                    }]
+                } else {
+                    self.metrics.attach_rejects += 1;
+                    vec![S1apPdu::DownlinkNasTransport {
+                        enb_ue_id,
+                        mme_ue_id: id,
+                        nas: NasMsg::AuthenticationReject { cause: cause::AUTH_FAILURE }.encode(),
+                    }]
+                }
+            }
+            (
+                NasMsg::SecurityModeComplete,
+                Some(AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id }),
+            ) => {
+                let proxy = match &self.proxy {
+                    Some(p) => Arc::clone(p),
+                    None => return vec![],
+                };
+                // Pull the subscription profile and policy rules.
+                let sub = match proxy.update_location(imsi) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.metrics.attach_rejects += 1;
+                        return vec![S1apPdu::DownlinkNasTransport {
+                            enb_ue_id,
+                            mme_ue_id: id,
+                            nas: NasMsg::AttachReject { cause: cause::NETWORK_FAILURE }.encode(),
+                        }];
+                    }
+                };
+                let qos = QosPolicy { qci: sub.default_qci, ambr_kbps: sub.ambr_kbps, gbr_kbps: 0 };
+                self.do_attach(imsi, qos, DeviceClass::Smartphone, ecgi);
+                self.metrics.attaches -= 1; // counted on AttachComplete instead
+                self.by_mme_ue_id.insert(id, imsi);
+                // Install PCRF rules.
+                if let Ok(rules) = proxy.fetch_rules(id, imsi) {
+                    let ctx = Arc::clone(&self.users[&imsi]);
+                    let mut c = ctx.ctrl.write();
+                    for r in rules {
+                        if self.installed_rules.insert(r.rule_id as u16) {
+                            self.pending_updates.push(rule_to_update(&r));
+                        }
+                        c.pcef_rules.push(r.rule_id as u16);
+                    }
+                }
+                let ctx = &self.users[&imsi];
+                let (guti, ue_ip, gw_teid, ambr) = {
+                    let c = ctx.ctrl.read();
+                    (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
+                };
+                self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitContextSetup { imsi, mme_ue_id: id });
+                vec![S1apPdu::InitialContextSetupRequest {
+                    enb_ue_id,
+                    mme_ue_id: id,
+                    gw_teid,
+                    gw_ip: self.gw_ip,
+                    ambr_kbps: ambr,
+                    nas: NasMsg::AttachAccept { guti, ue_ip, tac: self.tac }.encode(),
+                }]
+            }
+            (NasMsg::AttachComplete, Some(AttachFsm::WaitAttachComplete { .. })) => {
+                self.metrics.attaches += 1;
+                vec![]
+            }
+            (NasMsg::DetachRequest { guti }, fsm) => {
+                // Detach can arrive outside any attach FSM.
+                if let Some(f) = fsm {
+                    self.attach_fsms.insert(enb_ue_id, f);
+                }
+                match self.by_guti.get(&guti).copied() {
+                    Some(user_imsi) => {
+                        self.by_mme_ue_id.retain(|_, u| *u != user_imsi);
+                        self.do_detach(user_imsi);
+                        vec![S1apPdu::DownlinkNasTransport {
+                            enb_ue_id,
+                            mme_ue_id,
+                            nas: NasMsg::DetachAccept.encode(),
+                        }]
+                    }
+                    None => vec![],
+                }
+            }
+            (NasMsg::TrackingAreaUpdateRequest { guti, tac }, fsm) => {
+                if let Some(f) = fsm {
+                    self.attach_fsms.insert(enb_ue_id, f);
+                }
+                match self.by_guti.get(&guti).copied() {
+                    Some(user_imsi) => {
+                        self.users[&user_imsi].ctrl.write().tac = tac;
+                        vec![S1apPdu::DownlinkNasTransport {
+                            enb_ue_id,
+                            mme_ue_id,
+                            nas: NasMsg::TrackingAreaUpdateAccept { tac }.encode(),
+                        }]
+                    }
+                    None => vec![],
+                }
+            }
+            // Anything else: out-of-state NAS; drop the FSM progress made
+            // so far (the UE will retry the attach).
+            _ => vec![],
+        }
+    }
+
+    fn on_context_setup_response(
+        &mut self,
+        enb_ue_id: u32,
+        mme_ue_id: u32,
+        enb_teid: u32,
+        enb_ip: u32,
+    ) -> Vec<S1apPdu> {
+        if let Some(AttachFsm::WaitContextSetup { imsi, mme_ue_id: id }) = self.attach_fsms.remove(&enb_ue_id)
+        {
+            if id == mme_ue_id {
+                if let Some(ctx) = self.users.get(&imsi) {
+                    let mut c = ctx.ctrl.write();
+                    c.tunnels.enb_teid = enb_teid;
+                    c.tunnels.enb_ip = enb_ip;
+                }
+                self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitAttachComplete);
+            }
+        }
+        vec![]
+    }
+
+    /// Idle→active: a Service Request re-activates a known (idle) user.
+    /// The user's context is re-announced to the data plane as *active*,
+    /// promoting it back into the primary table.
+    fn on_service_request(&mut self, enb_ue_id: u32, ecgi: u32, guti: u64) -> Vec<S1apPdu> {
+        let imsi = match self.by_guti.get(&guti).copied() {
+            Some(i) => i,
+            None => {
+                // Unknown GUTI: tell the eNodeB to release the UE; it
+                // will re-attach with its IMSI.
+                return vec![S1apPdu::UeContextReleaseCommand {
+                    enb_ue_id,
+                    mme_ue_id: 0,
+                    cause: cause::ILLEGAL_UE,
+                }];
+            }
+        };
+        let ctx = Arc::clone(&self.users[&imsi]);
+        let (gw_teid, ue_ip) = {
+            let mut c = ctx.ctrl.write();
+            if ecgi != 0 {
+                c.ecgi = ecgi;
+            }
+            (c.tunnels.gw_teid, c.ue_ip)
+        };
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        let mme_ue_id = self.next_mme_ue_id;
+        self.next_mme_ue_id += 1;
+        self.by_mme_ue_id.insert(mme_ue_id, imsi);
+        self.metrics.service_requests += 1;
+        vec![S1apPdu::DownlinkNasTransport {
+            enb_ue_id,
+            mme_ue_id,
+            nas: NasMsg::ServiceAccept.encode(),
+        }]
+    }
+
+    /// Active→idle: release a user's radio context (inactivity or an
+    /// eNodeB request), demoting its state to the secondary table.
+    /// Returns the S1AP release command for the eNodeB.
+    pub fn release_user(&mut self, imsi: u64, enb_ue_id: u32) -> Option<S1apPdu> {
+        if !self.demote_user(imsi) {
+            return None;
+        }
+        self.metrics.releases += 1;
+        let mme_ue_id = self
+            .by_mme_ue_id
+            .iter()
+            .find(|(_, u)| **u == imsi)
+            .map(|(m, _)| *m)
+            .unwrap_or(0);
+        Some(S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id, cause: cause::SUCCESS })
+    }
+
+    /// Queue a demotion of `imsi` to the data plane's secondary table
+    /// (two-level management; the control plane owns demotion policy).
+    pub fn demote_user(&mut self, imsi: u64) -> bool {
+        match self.keys_of(imsi) {
+            Some((gw_teid, ue_ip)) => {
+                self.pending_updates.push(DpUpdate::Demote { gw_teid, ue_ip });
+                true
+            }
+            None => false,
+        }
+    }
+
+    // -- migration --------------------------------------------------------------
+
+    /// Source side: extract a user for migration. Removes all local
+    /// indexes and tells the data plane to forget the user.
+    pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
+        let ctx = self.users.remove(&imsi)?;
+        let (guti, gw_teid, ue_ip) = {
+            let c = ctx.ctrl.read();
+            (c.guti, c.tunnels.gw_teid, c.ue_ip)
+        };
+        self.by_guti.remove(&guti);
+        self.by_mme_ue_id.retain(|_, u| *u != imsi);
+        self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
+        self.metrics.migrations_out += 1;
+        Some(UserSnapshot { uid: imsi, imsi, gw_teid, ue_ip, ctx })
+    }
+
+    /// Destination side: install a migrated user. Keys (TEID/UE IP) are
+    /// preserved so in-flight tunnels stay valid.
+    pub fn install_user(&mut self, snap: UserSnapshot) {
+        let guti = snap.ctx.ctrl.read().guti;
+        self.by_guti.insert(guti, snap.imsi);
+        self.users.insert(snap.imsi, Arc::clone(&snap.ctx));
+        self.pending_updates.push(DpUpdate::Insert {
+            gw_teid: snap.gw_teid,
+            ue_ip: snap.ue_ip,
+            ctx: snap.ctx,
+            active: true,
+        });
+        self.metrics.migrations_in += 1;
+    }
+
+    /// Recovery: re-create a user from checkpointed state (see
+    /// [`crate::recovery`]). Indexes are rebuilt and the data plane is
+    /// notified exactly as for an attach.
+    pub fn restore_user(&mut self, ctrl: crate::state::ControlState, counters: crate::state::CounterState) {
+        let imsi = ctrl.imsi;
+        let guti = ctrl.guti;
+        let gw_teid = ctrl.tunnels.gw_teid;
+        let ue_ip = ctrl.ue_ip;
+        let ctx = UeContext::new(ctrl);
+        *ctx.counters.write() = counters;
+        self.users.insert(imsi, Arc::clone(&ctx));
+        self.by_guti.insert(guti, imsi);
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+    }
+
+    /// Report every user's accumulated usage to the PCRF over Gx
+    /// (CCR-Update), applying any AMBR override the PCRF pushes back —
+    /// the charging loop the paper assigns to the control thread ("reads
+    /// the user's counter state [...] communicated back to the PCRF").
+    /// Returns the number of users reported. No-op without a proxy.
+    pub fn report_usage_to_pcrf(&mut self) -> usize {
+        let proxy = match &self.proxy {
+            Some(p) => Arc::clone(p),
+            None => return 0,
+        };
+        let mut reported = 0;
+        for (imsi, ctx) in &self.users {
+            let snap = ctx.counters.read().snapshot();
+            if let Ok(new_ambr) =
+                proxy.report_usage(reported as u32 + 1, *imsi, snap.uplink_bytes, snap.downlink_bytes)
+            {
+                if new_ambr != 0 {
+                    ctx.ctrl.write().qos.ambr_kbps = new_ambr;
+                }
+                reported += 1;
+            }
+        }
+        reported
+    }
+
+    // -- bookkeeping --------------------------------------------------------------
+
+    /// Drain updates queued for the data thread.
+    pub fn take_updates(&mut self) -> Vec<DpUpdate> {
+        std::mem::take(&mut self.pending_updates)
+    }
+
+    /// Whether updates are waiting.
+    pub fn has_updates(&self) -> bool {
+        !self.pending_updates.is_empty()
+    }
+
+    /// Look up a user's shared context by IMSI.
+    pub fn context_of(&self, imsi: u64) -> Option<Arc<UeContext>> {
+        self.users.get(&imsi).map(Arc::clone)
+    }
+
+    /// Counter snapshot for PCRF reporting (reads the data-thread-written
+    /// half — the legal cross-plane read).
+    pub fn counters_of(&self, imsi: u64) -> Option<CounterSnapshot> {
+        Some(self.users.get(&imsi)?.counters.read().snapshot())
+    }
+
+    /// Number of users homed on this slice.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Control-plane metrics.
+    pub fn metrics(&self) -> CtrlMetrics {
+        self.metrics
+    }
+
+    /// The IMSIs of all users on this slice (test / harness helper).
+    pub fn imsis(&self) -> Vec<u64> {
+        self.users.keys().copied().collect()
+    }
+}
+
+/// Translate a Gx rule into the data-plane install update.
+fn rule_to_update(r: &pepc_sigproto::gx::GxRule) -> DpUpdate {
+    let program = if r.proto == 0 && r.dst_port_lo == 0 && r.dst_port_hi == 0 {
+        BpfProgram::match_all(u32::from(r.rule_id))
+    } else if r.dst_port_lo == 0 && r.dst_port_hi == 0 {
+        BpfProgram::match_proto_port_range(r.proto, 0, u16::MAX, u32::from(r.rule_id))
+    } else {
+        BpfProgram::match_proto_port_range(r.proto, r.dst_port_lo, r.dst_port_hi, u32::from(r.rule_id))
+    };
+    DpUpdate::InstallRule {
+        id: r.rule_id as u16,
+        program,
+        action: PcefAction { qci: r.qci, rate_kbps: r.rate_kbps, gate_closed: false },
+    }
+}
+
+/// Drive a complete attach for `imsi` against `cp`, emulating the UE/eNodeB
+/// side (SIM key derived as the HSS provisions it). Returns the
+/// (guti, ue_ip, gw_teid) from the Attach Accept. Test/bench helper —
+/// this is what the ng4T RAN emulator did for the paper.
+pub fn run_attach_procedure(
+    cp: &mut ControlPlane,
+    imsi: u64,
+    enb_ue_id: u32,
+    enb_teid: u32,
+    enb_ip: u32,
+) -> Option<(u64, u32, u32)> {
+    run_attach_with(|pdu| cp.handle_s1ap(pdu), imsi, enb_ue_id, enb_teid, enb_ip)
+}
+
+/// [`run_attach_procedure`] generalized over the S1AP endpoint (a slice's
+/// control plane, an inline slice, or a whole node).
+pub fn run_attach_with(
+    mut send: impl FnMut(&S1apPdu) -> Vec<S1apPdu>,
+    imsi: u64,
+    enb_ue_id: u32,
+    enb_teid: u32,
+    enb_ip: u32,
+) -> Option<(u64, u32, u32)> {
+    use pepc_backend::Hss;
+    let cp = &mut send;
+    // 1. Initial UE message with NAS Attach Request.
+    let rsp = cp(&S1apPdu::InitialUeMessage {
+        enb_ue_id,
+        ecgi: 0x100,
+        tac: 1,
+        nas: NasMsg::AttachRequest { imsi, ue_capability: 0xF0 }.encode(),
+    });
+    let (mme_ue_id, rand) = match rsp.as_slice() {
+        [S1apPdu::DownlinkNasTransport { mme_ue_id, nas, .. }] => match NasMsg::decode(nas).ok()? {
+            NasMsg::AuthenticationRequest { rand, .. } => (*mme_ue_id, rand),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    // 2. The SIM answers the challenge.
+    let res = sim_response(Hss::key_for(imsi), rand);
+    let rsp = cp(&S1apPdu::UplinkNasTransport {
+        enb_ue_id,
+        mme_ue_id,
+        nas: NasMsg::AuthenticationResponse { res }.encode(),
+    });
+    match rsp.as_slice() {
+        [S1apPdu::DownlinkNasTransport { nas, .. }] => {
+            if !matches!(NasMsg::decode(nas).ok()?, NasMsg::SecurityModeCommand { .. }) {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    // 3. Security mode complete → context setup with Attach Accept.
+    let rsp = cp(&S1apPdu::UplinkNasTransport {
+        enb_ue_id,
+        mme_ue_id,
+        nas: NasMsg::SecurityModeComplete.encode(),
+    });
+    let (gw_teid, accept) = match rsp.as_slice() {
+        [S1apPdu::InitialContextSetupRequest { gw_teid, nas, .. }] => (*gw_teid, NasMsg::decode(nas).ok()?),
+        _ => return None,
+    };
+    let (guti, ue_ip) = match accept {
+        NasMsg::AttachAccept { guti, ue_ip, .. } => (guti, ue_ip),
+        _ => return None,
+    };
+    // 4. eNodeB reports its tunnel endpoint.
+    cp(&S1apPdu::InitialContextSetupResponse { enb_ue_id, mme_ue_id, enb_teid, enb_ip });
+    // 5. NAS Attach Complete.
+    cp(&S1apPdu::UplinkNasTransport {
+        enb_ue_id,
+        mme_ue_id,
+        nas: NasMsg::AttachComplete.encode(),
+    });
+    Some((guti, ue_ip, gw_teid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pepc_backend::{Hss, Pcrf};
+
+    fn alloc() -> Allocator {
+        Allocator { teid_base: 0x1000, ue_ip_base: 0x0A000001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 }
+    }
+
+    fn cp_with_backends(subscribers: u64) -> ControlPlane {
+        let hss = Arc::new(Hss::new());
+        hss.provision_range(1, subscribers, 100_000);
+        let pcrf = Arc::new(Pcrf::with_standard_rules());
+        let proxy = Arc::new(Proxy::new(hss, pcrf, 1, 40401));
+        ControlPlane::new(0x0AFE0001, 1, alloc(), Some(proxy))
+    }
+
+    fn cp_synthetic() -> ControlPlane {
+        ControlPlane::new(0x0AFE0001, 1, alloc(), None)
+    }
+
+    #[test]
+    fn synthetic_attach_creates_state_and_update() {
+        let mut cp = cp_synthetic();
+        assert!(cp.apply_event(CtrlEvent::Attach { imsi: 7 }));
+        assert_eq!(cp.user_count(), 1);
+        let ups = cp.take_updates();
+        assert_eq!(ups.len(), 1);
+        assert!(matches!(&ups[0], DpUpdate::Insert { active: true, .. }));
+        assert_eq!(cp.metrics().attaches, 1);
+        let ctx = cp.context_of(7).unwrap();
+        let c = ctx.ctrl.read();
+        assert_eq!(c.ue_ip, 0x0A000001);
+        assert_eq!(c.tunnels.gw_teid, 0x1000);
+        assert_eq!(c.guti, 0xD00D_0000);
+    }
+
+    #[test]
+    fn synthetic_handover_rewrites_in_place_without_update() {
+        let mut cp = cp_synthetic();
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        cp.take_updates();
+        assert!(cp.apply_event(CtrlEvent::S1Handover { imsi: 7, new_enb_teid: 0x99, new_enb_ip: 0xC0A80001 }));
+        assert!(!cp.has_updates(), "handover needs no data-plane message");
+        let ctx = cp.context_of(7).unwrap();
+        assert_eq!(ctx.ctrl.read().tunnels.enb_teid, 0x99);
+        assert_eq!(cp.metrics().handovers, 1);
+    }
+
+    #[test]
+    fn events_on_unknown_users_rejected() {
+        let mut cp = cp_synthetic();
+        assert!(!cp.apply_event(CtrlEvent::S1Handover { imsi: 1, new_enb_teid: 1, new_enb_ip: 1 }));
+        assert!(!cp.apply_event(CtrlEvent::ModifyBearer { imsi: 1, ambr_kbps: 1 }));
+        assert!(!cp.apply_event(CtrlEvent::Detach { imsi: 1 }));
+    }
+
+    #[test]
+    fn detach_removes_everything() {
+        let mut cp = cp_synthetic();
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        cp.take_updates();
+        assert!(cp.apply_event(CtrlEvent::Detach { imsi: 7 }));
+        assert_eq!(cp.user_count(), 0);
+        assert!(cp.context_of(7).is_none());
+        let ups = cp.take_updates();
+        assert!(matches!(&ups[0], DpUpdate::Remove { .. }));
+    }
+
+    #[test]
+    fn reattach_is_idempotent_on_identifiers() {
+        let mut cp = cp_synthetic();
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        let ip1 = cp.context_of(7).unwrap().ctrl.read().ue_ip;
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        assert_eq!(cp.user_count(), 1);
+        assert_eq!(cp.context_of(7).unwrap().ctrl.read().ue_ip, ip1);
+    }
+
+    #[test]
+    fn modify_bearer_updates_qos() {
+        let mut cp = cp_synthetic();
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        assert!(cp.apply_event(CtrlEvent::ModifyBearer { imsi: 7, ambr_kbps: 64 }));
+        assert_eq!(cp.context_of(7).unwrap().ctrl.read().qos.ambr_kbps, 64);
+        assert_eq!(cp.metrics().bearer_updates, 1);
+    }
+
+    #[test]
+    fn full_attach_procedure_over_s1ap() {
+        let mut cp = cp_with_backends(100);
+        let (guti, ue_ip, gw_teid) = run_attach_procedure(&mut cp, 42, 1, 0xE0, 0xC0A80005).unwrap();
+        assert_eq!(cp.metrics().attaches, 1);
+        assert_eq!(cp.metrics().attach_rejects, 0);
+        assert_eq!(cp.user_count(), 1);
+        let ctx = cp.context_of(42).unwrap();
+        let c = ctx.ctrl.read();
+        assert_eq!(c.guti, guti);
+        assert_eq!(c.ue_ip, ue_ip);
+        assert_eq!(c.tunnels.gw_teid, gw_teid);
+        assert_eq!(c.tunnels.enb_teid, 0xE0, "eNodeB endpoint recorded");
+        assert_eq!(c.tunnels.enb_ip, 0xC0A80005);
+        assert!(!c.pcef_rules.is_empty(), "PCRF rules installed");
+        // Data-plane updates include rule installs and the user insert.
+        let ups = cp.take_updates();
+        assert!(ups.iter().any(|u| matches!(u, DpUpdate::InstallRule { .. })));
+        assert!(ups.iter().any(|u| matches!(u, DpUpdate::Insert { .. })));
+    }
+
+    #[test]
+    fn attach_with_unknown_imsi_rejected() {
+        let mut cp = cp_with_backends(10);
+        let rsp = cp.handle_s1ap(&S1apPdu::InitialUeMessage {
+            enb_ue_id: 1,
+            ecgi: 1,
+            tac: 1,
+            nas: NasMsg::AttachRequest { imsi: 9999, ue_capability: 0 }.encode(),
+        });
+        match rsp.as_slice() {
+            [S1apPdu::DownlinkNasTransport { nas, .. }] => {
+                assert!(matches!(NasMsg::decode(nas).unwrap(), NasMsg::AttachReject { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cp.metrics().attach_rejects, 1);
+        assert_eq!(cp.user_count(), 0);
+    }
+
+    #[test]
+    fn attach_with_wrong_res_rejected() {
+        let mut cp = cp_with_backends(10);
+        let rsp = cp.handle_s1ap(&S1apPdu::InitialUeMessage {
+            enb_ue_id: 1,
+            ecgi: 1,
+            tac: 1,
+            nas: NasMsg::AttachRequest { imsi: 5, ue_capability: 0 }.encode(),
+        });
+        let mme_ue_id = match rsp.as_slice() {
+            [S1apPdu::DownlinkNasTransport { mme_ue_id, .. }] => *mme_ue_id,
+            _ => panic!(),
+        };
+        let rsp = cp.handle_s1ap(&S1apPdu::UplinkNasTransport {
+            enb_ue_id: 1,
+            mme_ue_id,
+            nas: NasMsg::AuthenticationResponse { res: 0xBAD }.encode(),
+        });
+        match rsp.as_slice() {
+            [S1apPdu::DownlinkNasTransport { nas, .. }] => {
+                assert!(matches!(NasMsg::decode(nas).unwrap(), NasMsg::AuthenticationReject { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cp.user_count(), 0);
+    }
+
+    #[test]
+    fn x2_path_switch_over_s1ap() {
+        let mut cp = cp_with_backends(10);
+        run_attach_procedure(&mut cp, 3, 1, 0xE0, 0xC0A80005).unwrap();
+        let mme_ue_id = 1; // first allocation
+        let rsp = cp.handle_s1ap(&S1apPdu::PathSwitchRequest {
+            enb_ue_id: 77,
+            mme_ue_id,
+            new_enb_teid: 0xF1,
+            new_enb_ip: 0xC0A80006,
+            ecgi: 0x200,
+        });
+        assert!(matches!(rsp.as_slice(), [S1apPdu::PathSwitchRequestAck { .. }]));
+        let c = cp.context_of(3).unwrap();
+        let ctrl = c.ctrl.read();
+        assert_eq!(ctrl.tunnels.enb_teid, 0xF1);
+        assert_eq!(ctrl.ecgi, 0x200);
+    }
+
+    #[test]
+    fn s1_handover_three_way_over_s1ap() {
+        let mut cp = cp_with_backends(10);
+        run_attach_procedure(&mut cp, 3, 1, 0xE0, 0xC0A80005).unwrap();
+        // Source eNodeB asks for an S1 handover.
+        let rsp = cp.handle_s1ap(&S1apPdu::HandoverRequired { enb_ue_id: 1, mme_ue_id: 1, target_ecgi: 9 });
+        let (gw_teid, ambr) = match rsp.as_slice() {
+            [S1apPdu::HandoverRequest { gw_teid, ambr_kbps, .. }] => (*gw_teid, *ambr_kbps),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(gw_teid, 0x1000);
+        assert_eq!(ambr, 100_000);
+        // Target eNodeB acks with its endpoint.
+        let rsp = cp.handle_s1ap(&S1apPdu::HandoverRequestAck {
+            mme_ue_id: 1,
+            new_enb_teid: 0xAA,
+            new_enb_ip: 0xC0A80007,
+        });
+        assert!(matches!(rsp.as_slice(), [S1apPdu::HandoverCommand { enb_ue_id: 1, .. }]));
+        let c = cp.context_of(3).unwrap();
+        assert_eq!(c.ctrl.read().tunnels.enb_teid, 0xAA);
+        assert_eq!(cp.metrics().handovers, 1);
+    }
+
+    #[test]
+    fn detach_over_s1ap() {
+        let mut cp = cp_with_backends(10);
+        let (guti, ..) = run_attach_procedure(&mut cp, 3, 1, 0xE0, 5).unwrap();
+        let rsp = cp.handle_s1ap(&S1apPdu::UplinkNasTransport {
+            enb_ue_id: 1,
+            mme_ue_id: 1,
+            nas: NasMsg::DetachRequest { guti }.encode(),
+        });
+        match rsp.as_slice() {
+            [S1apPdu::DownlinkNasTransport { nas, .. }] => {
+                assert!(matches!(NasMsg::decode(nas).unwrap(), NasMsg::DetachAccept));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cp.user_count(), 0);
+    }
+
+    #[test]
+    fn tau_over_s1ap() {
+        let mut cp = cp_with_backends(10);
+        let (guti, ..) = run_attach_procedure(&mut cp, 3, 1, 0xE0, 5).unwrap();
+        let rsp = cp.handle_s1ap(&S1apPdu::UplinkNasTransport {
+            enb_ue_id: 1,
+            mme_ue_id: 1,
+            nas: NasMsg::TrackingAreaUpdateRequest { guti, tac: 42 }.encode(),
+        });
+        assert!(matches!(rsp.as_slice(), [S1apPdu::DownlinkNasTransport { .. }]));
+        assert_eq!(cp.context_of(3).unwrap().ctrl.read().tac, 42);
+    }
+
+    #[test]
+    fn migration_extract_install_preserves_state() {
+        let mut src = cp_synthetic();
+        src.apply_event(CtrlEvent::Attach { imsi: 7 });
+        src.take_updates();
+        let ctx = src.context_of(7).unwrap();
+        ctx.counters.write().uplink_bytes = 12345;
+
+        let snap = src.extract_user(7).unwrap();
+        assert_eq!(src.user_count(), 0);
+        assert!(matches!(src.take_updates().as_slice(), [DpUpdate::Remove { .. }]));
+        assert_eq!(src.metrics().migrations_out, 1);
+
+        let mut dst = ControlPlane::new(
+            0x0AFE0001,
+            1,
+            Allocator { teid_base: 0x9000, ue_ip_base: 0x0B000001, guti_base: 0xE000_0000, mme_ue_id_base: 1000 },
+            None,
+        );
+        dst.install_user(snap);
+        assert_eq!(dst.user_count(), 1);
+        assert_eq!(dst.metrics().migrations_in, 1);
+        let moved = dst.context_of(7).unwrap();
+        assert_eq!(moved.counters.read().uplink_bytes, 12345, "counters travelled");
+        // The update re-announces the ORIGINAL keys so tunnels stay valid.
+        match dst.take_updates().as_slice() {
+            [DpUpdate::Insert { gw_teid, ue_ip, .. }] => {
+                assert_eq!(*gw_teid, 0x1000);
+                assert_eq!(*ue_ip, 0x0A000001);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_unknown_user_returns_none() {
+        let mut cp = cp_synthetic();
+        assert!(cp.extract_user(999).is_none());
+    }
+
+    #[test]
+    fn counters_readable_for_pcrf_reporting() {
+        let mut cp = cp_synthetic();
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        cp.context_of(7).unwrap().counters.write().downlink_bytes = 555;
+        assert_eq!(cp.counters_of(7).unwrap().downlink_bytes, 555);
+        assert!(cp.counters_of(8).is_none());
+    }
+}
+
+#[cfg(test)]
+mod pcrf_reporting_tests {
+    use super::*;
+    use pepc_backend::{Hss, Pcrf};
+
+    #[test]
+    fn usage_reports_reach_the_pcrf() {
+        let hss = Arc::new(Hss::new());
+        hss.provision_range(1, 10, 100_000);
+        let pcrf = Arc::new(Pcrf::with_standard_rules());
+        let proxy = Arc::new(Proxy::new(Arc::clone(&hss), Arc::clone(&pcrf), 1, 40401));
+        let mut cp = ControlPlane::new(
+            1,
+            1,
+            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
+            Some(proxy),
+        );
+        for imsi in 1..=3u64 {
+            cp.apply_event(CtrlEvent::Attach { imsi });
+            cp.context_of(imsi).unwrap().counters.write().uplink_bytes = imsi * 1000;
+        }
+        assert_eq!(cp.report_usage_to_pcrf(), 3);
+        assert_eq!(pcrf.usage_for(2).uplink_bytes, 2000);
+    }
+
+    #[test]
+    fn reporting_without_proxy_is_noop() {
+        let mut cp = ControlPlane::new(
+            1,
+            1,
+            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
+            None,
+        );
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        assert_eq!(cp.report_usage_to_pcrf(), 0);
+    }
+
+    #[test]
+    fn service_request_promotes_idle_user() {
+        let mut cp = ControlPlane::new(
+            1,
+            1,
+            Allocator { teid_base: 0x1000, ue_ip_base: 0x0A000001, guti_base: 0xD000, mme_ue_id_base: 1 },
+            None,
+        );
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        let guti = cp.context_of(7).unwrap().ctrl.read().guti;
+        cp.apply_event(CtrlEvent::Release { imsi: 7 });
+        cp.take_updates();
+        // Idle UE sends a Service Request over S1AP.
+        let rsp = cp.handle_s1ap(&S1apPdu::InitialUeMessage {
+            enb_ue_id: 5,
+            ecgi: 0x200,
+            tac: 1,
+            nas: NasMsg::ServiceRequest { guti }.encode(),
+        });
+        match rsp.as_slice() {
+            [S1apPdu::DownlinkNasTransport { nas, .. }] => {
+                assert!(matches!(NasMsg::decode(nas).unwrap(), NasMsg::ServiceAccept));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cp.metrics().service_requests, 1);
+        // The re-announce reaches the data plane as an *active* insert.
+        let ups = cp.take_updates();
+        assert!(ups.iter().any(|u| matches!(u, DpUpdate::Insert { active: true, .. })));
+        assert_eq!(cp.context_of(7).unwrap().ctrl.read().ecgi, 0x200, "location refreshed");
+    }
+
+    #[test]
+    fn service_request_with_unknown_guti_releases_context() {
+        let mut cp = ControlPlane::new(
+            1,
+            1,
+            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
+            None,
+        );
+        let rsp = cp.handle_s1ap(&S1apPdu::InitialUeMessage {
+            enb_ue_id: 5,
+            ecgi: 1,
+            tac: 1,
+            nas: NasMsg::ServiceRequest { guti: 0xDEAD }.encode(),
+        });
+        assert!(matches!(rsp.as_slice(), [S1apPdu::UeContextReleaseCommand { .. }]));
+    }
+
+    #[test]
+    fn release_user_demotes_and_commands_enb() {
+        let mut cp = ControlPlane::new(
+            1,
+            1,
+            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
+            None,
+        );
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        cp.take_updates();
+        let pdu = cp.release_user(7, 3).expect("known user");
+        assert!(matches!(pdu, S1apPdu::UeContextReleaseCommand { enb_ue_id: 3, .. }));
+        assert_eq!(cp.metrics().releases, 1);
+        let ups = cp.take_updates();
+        assert!(matches!(ups.as_slice(), [DpUpdate::Demote { .. }]));
+        assert!(cp.release_user(999, 1).is_none());
+    }
+}

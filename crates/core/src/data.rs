@@ -1,0 +1,593 @@
+//! The slice data plane — paper §4.2 "Slice data plane".
+//!
+//! "Our data path consists of a chain of network functions [...]: GTP-U
+//! encapsulation and decapsulation, user state look-up which involves
+//! mapping downlink traffic to the appropriate GTP-U tunnel. We also
+//! implement the Policy Charging and Enforcement Function (PCEF), as a
+//! match-action table."
+//!
+//! Pipeline per packet:
+//!
+//! ```text
+//! uplink   (eNodeB → net):  GTP-U decap → [IoT fast path?] → state lookup
+//!                           by TEID → PCEF classify → gate/rate enforce →
+//!                           counters → forward inner IP
+//! downlink (net → eNodeB):  [IoT fast path?] → state lookup by dst UE IP →
+//!                           PCEF classify → gate/rate enforce → counters →
+//!                           GTP-U encap toward the serving eNodeB
+//! ```
+//!
+//! The data plane is the single writer of counter state and only *reads*
+//! control state (tunnels, QoS, rule sets) — writes to those arrive from
+//! the control thread through the shared [`UeContext`] and become visible
+//! without any message exchange. Table *membership* changes (attach /
+//! detach / migration) do flow as [`DpUpdate`]s, drained in batches
+//! (Figure 13).
+
+use crate::config::{IotConfig, TwoLevelConfig};
+use crate::metrics::DataMetrics;
+use crate::pcef::{Pcef, PcefAction};
+use crate::qos::TokenBucket;
+use crate::state::UeContext;
+use crate::twolevel::TwoLevelTable;
+use pepc_net::gtp::{decap_gtpu, encap_gtpu};
+use pepc_net::{BpfProgram, FiveTuple, Ipv4Hdr, Mbuf};
+use std::sync::Arc;
+
+/// Membership / configuration updates the control thread sends the data
+/// thread.
+#[derive(Debug, Clone)]
+pub enum DpUpdate {
+    /// A user attached (or migrated in): index its context by tunnel id
+    /// and UE IP. `active` controls primary vs secondary placement.
+    Insert {
+        gw_teid: u32,
+        ue_ip: u32,
+        ctx: Arc<UeContext>,
+        active: bool,
+    },
+    /// A user detached (or migrated out).
+    Remove {
+        gw_teid: u32,
+        ue_ip: u32,
+    },
+    /// Demote an idle user to the secondary table (two-level management).
+    Demote {
+        gw_teid: u32,
+        ue_ip: u32,
+    },
+    /// Install a PCEF rule program slice-wide.
+    InstallRule {
+        id: u16,
+        program: BpfProgram,
+        action: PcefAction,
+    },
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    UnknownUser,
+    GateClosed,
+    RateExceeded,
+    Malformed,
+}
+
+/// Outcome of processing one packet.
+#[derive(Debug)]
+pub enum PacketVerdict {
+    /// Forward the (possibly re-encapsulated) packet.
+    Forward(Mbuf),
+    /// Drop it.
+    Drop(DropReason),
+}
+
+impl PacketVerdict {
+    /// True when the verdict forwards the packet.
+    pub fn is_forward(&self) -> bool {
+        matches!(self, PacketVerdict::Forward(_))
+    }
+}
+
+/// The data plane of one slice. Owned by exactly one thread.
+pub struct DataPlane {
+    by_teid: TwoLevelTable<Arc<UeContext>>,
+    by_ue_ip: TwoLevelTable<Arc<UeContext>>,
+    pcef: Pcef,
+    iot: IotConfig,
+    /// Aggregate charging for the stateless-IoT pool (no per-user state).
+    pub iot_packets: u64,
+    pub iot_bytes: u64,
+    /// This node's gateway address (outer source of downlink tunnels).
+    gw_ip: u32,
+    metrics: DataMetrics,
+}
+
+impl DataPlane {
+    /// Build a data plane.
+    pub fn new(gw_ip: u32, expected_users: usize, two_level: TwoLevelConfig, iot: IotConfig) -> Self {
+        let (by_teid, by_ue_ip) = if two_level.enabled {
+            (
+                TwoLevelTable::new(expected_users, two_level.idle_timeout_ns),
+                TwoLevelTable::new(expected_users, two_level.idle_timeout_ns),
+            )
+        } else {
+            (TwoLevelTable::new_single(expected_users), TwoLevelTable::new_single(expected_users))
+        };
+        DataPlane {
+            by_teid,
+            by_ue_ip,
+            pcef: Pcef::new(),
+            iot,
+            iot_packets: 0,
+            iot_bytes: 0,
+            gw_ip,
+            metrics: DataMetrics::default(),
+        }
+    }
+
+    /// Apply one control→data update.
+    pub fn apply_update(&mut self, update: DpUpdate, now_ns: u64) {
+        self.metrics.updates_applied += 1;
+        match update {
+            DpUpdate::Insert { gw_teid, ue_ip, ctx, active } => {
+                if active {
+                    self.by_teid.insert_active(u64::from(gw_teid), Arc::clone(&ctx), now_ns);
+                    self.by_ue_ip.insert_active(u64::from(ue_ip), ctx, now_ns);
+                } else {
+                    self.by_teid.insert_idle(u64::from(gw_teid), Arc::clone(&ctx));
+                    self.by_ue_ip.insert_idle(u64::from(ue_ip), ctx);
+                }
+            }
+            DpUpdate::Remove { gw_teid, ue_ip } => {
+                self.by_teid.remove(u64::from(gw_teid));
+                self.by_ue_ip.remove(u64::from(ue_ip));
+            }
+            DpUpdate::Demote { gw_teid, ue_ip } => {
+                self.by_teid.demote(u64::from(gw_teid));
+                self.by_ue_ip.demote(u64::from(ue_ip));
+            }
+            DpUpdate::InstallRule { id, program, action } => {
+                self.pcef.install(id, program, action);
+            }
+        }
+    }
+
+    /// Demote users idle past the two-level timeout. Returns demotions.
+    pub fn evict_idle(&mut self, now_ns: u64) -> usize {
+        self.by_teid.evict_idle(now_ns) + self.by_ue_ip.evict_idle(now_ns)
+    }
+
+    /// Process one packet. `uplink` packets carry an outer GTP-U stack
+    /// from the eNodeB; `downlink` packets are plain IP addressed to a UE.
+    pub fn process(&mut self, m: Mbuf, now_ns: u64) -> PacketVerdict {
+        self.metrics.rx += 1;
+        // Direction sniff: GTP-U uplink has outer UDP :2152; everything
+        // else is treated as downlink IP. A parse failure is malformed.
+        let is_uplink = is_gtpu(&m);
+        if is_uplink {
+            self.process_uplink(m, now_ns)
+        } else {
+            self.process_downlink(m, now_ns)
+        }
+    }
+
+    fn process_uplink(&mut self, mut m: Mbuf, now_ns: u64) -> PacketVerdict {
+        let (gtp, _outer) = match decap_gtpu(&mut m) {
+            Ok(x) => x,
+            Err(_) => {
+                self.metrics.drop_malformed += 1;
+                return PacketVerdict::Drop(DropReason::Malformed);
+            }
+        };
+        let bytes = m.len() as u64;
+
+        // Stateless-IoT fast path (§4.2): TEID in the reserved pool ⇒ no
+        // per-user state lookup; aggregate charging; default best effort.
+        if self.iot.enabled && in_pool(gtp.teid, self.iot.teid_base, self.iot.pool_size) {
+            self.iot_packets += 1;
+            self.iot_bytes += bytes;
+            self.metrics.iot_fast_path += 1;
+            self.metrics.forwarded += 1;
+            return PacketVerdict::Forward(m);
+        }
+
+        let ctx = match self.by_teid.get(u64::from(gtp.teid), now_ns) {
+            Some(c) => Arc::clone(c),
+            None => {
+                self.metrics.drop_unknown_user += 1;
+                return PacketVerdict::Drop(DropReason::UnknownUser);
+            }
+        };
+        match self.enforce_and_charge(&ctx, &m, true, bytes, now_ns) {
+            Ok(()) => {
+                self.metrics.forwarded += 1;
+                PacketVerdict::Forward(m)
+            }
+            Err(r) => PacketVerdict::Drop(r),
+        }
+    }
+
+    fn process_downlink(&mut self, mut m: Mbuf, now_ns: u64) -> PacketVerdict {
+        let ip = match Ipv4Hdr::parse(m.data()) {
+            Ok(ip) => ip,
+            Err(_) => {
+                self.metrics.drop_malformed += 1;
+                return PacketVerdict::Drop(DropReason::Malformed);
+            }
+        };
+        let bytes = m.len() as u64;
+
+        if self.iot.enabled && in_pool(ip.dst, self.iot.ip_base, self.iot.pool_size) {
+            // Downlink to a pool device: tunnel parameters are *computed*
+            // from the pool layout instead of looked up.
+            let idx = ip.dst - self.iot.ip_base;
+            let teid = self.iot.teid_base + idx;
+            self.iot_packets += 1;
+            self.iot_bytes += bytes;
+            self.metrics.iot_fast_path += 1;
+            // Pool devices all camp on one IoT gateway eNodeB address
+            // derived from the pool base.
+            if encap_gtpu(&mut m, self.gw_ip, self.iot.ip_base, teid).is_err() {
+                self.metrics.drop_malformed += 1;
+                return PacketVerdict::Drop(DropReason::Malformed);
+            }
+            self.metrics.forwarded += 1;
+            return PacketVerdict::Forward(m);
+        }
+
+        let ctx = match self.by_ue_ip.get(u64::from(ip.dst), now_ns) {
+            Some(c) => Arc::clone(c),
+            None => {
+                self.metrics.drop_unknown_user += 1;
+                return PacketVerdict::Drop(DropReason::UnknownUser);
+            }
+        };
+        let (enb_teid, enb_ip) = match self.enforce_and_charge(&ctx, &m, false, bytes, now_ns) {
+            Ok(()) => {
+                let c = ctx.ctrl.read();
+                (c.tunnels.enb_teid, c.tunnels.enb_ip)
+            }
+            Err(r) => return PacketVerdict::Drop(r),
+        };
+        if encap_gtpu(&mut m, self.gw_ip, enb_ip, enb_teid).is_err() {
+            self.metrics.drop_malformed += 1;
+            return PacketVerdict::Drop(DropReason::Malformed);
+        }
+        self.metrics.forwarded += 1;
+        PacketVerdict::Forward(m)
+    }
+
+    /// PCEF classification, gating, rate enforcement and charging for one
+    /// packet of `bytes` bytes. Reads control state; writes counters.
+    fn enforce_and_charge(
+        &mut self,
+        ctx: &UeContext,
+        m: &Mbuf,
+        uplink: bool,
+        bytes: u64,
+        now_ns: u64,
+    ) -> Result<(), DropReason> {
+        // Read-lock the control half (its writer is the control thread).
+        let (action, ambr_kbps) = {
+            let c = ctx.ctrl.read();
+            let ft = FiveTuple::from_ipv4(m.data()).unwrap_or_default();
+            (self.pcef.classify(&ft, c.pcef_rules.iter()), c.qos.ambr_kbps)
+        };
+        if action.gate_closed {
+            self.metrics.drop_gate += 1;
+            let mut cnt = ctx.counters.write();
+            cnt.qos_drops += 1;
+            cnt.last_activity_ns = now_ns;
+            return Err(DropReason::GateClosed);
+        }
+        // Write-lock the counter half (we are its only writer).
+        let mut cnt = ctx.counters.write();
+        let bucket = TokenBucket::from_kbps(effective_rate(ambr_kbps, action.rate_kbps));
+        let mut tokens = cnt.ambr_tokens;
+        let mut last = cnt.ambr_last_refill_ns;
+        let admitted = bucket.admit(&mut tokens, &mut last, now_ns, bytes);
+        cnt.ambr_tokens = tokens;
+        cnt.ambr_last_refill_ns = last;
+        if !admitted {
+            cnt.qos_drops += 1;
+            cnt.last_activity_ns = now_ns;
+            self.metrics.drop_qos += 1;
+            return Err(DropReason::RateExceeded);
+        }
+        if uplink {
+            cnt.uplink_packets += 1;
+            cnt.uplink_bytes += bytes;
+        } else {
+            cnt.downlink_packets += 1;
+            cnt.downlink_bytes += bytes;
+        }
+        cnt.last_activity_ns = now_ns;
+        Ok(())
+    }
+
+    /// Data-plane metrics snapshot.
+    pub fn metrics(&self) -> DataMetrics {
+        self.metrics
+    }
+
+    /// Users currently indexed (by tunnel).
+    pub fn user_count(&self) -> usize {
+        self.by_teid.len()
+    }
+
+    /// Users in the hot (primary) table.
+    pub fn primary_count(&self) -> usize {
+        self.by_teid.primary_len()
+    }
+
+    /// Two-level churn stats for the TEID index.
+    pub fn table_stats(&self) -> crate::twolevel::TwoLevelStats {
+        self.by_teid.stats()
+    }
+}
+
+/// Effective rate when both an AMBR and a rule MBR apply: the tighter one.
+fn effective_rate(ambr_kbps: u32, rule_kbps: u32) -> u32 {
+    match (ambr_kbps, rule_kbps) {
+        (0, r) => r,
+        (a, 0) => a,
+        (a, r) => a.min(r),
+    }
+}
+
+#[inline]
+fn in_pool(value: u32, base: u32, size: u32) -> bool {
+    value.wrapping_sub(base) < size
+}
+
+/// Cheap direction sniff: outer IPv4 + UDP with destination port 2152.
+#[inline]
+fn is_gtpu(m: &Mbuf) -> bool {
+    let d = m.data();
+    // version/IHL 0x45, proto UDP at offset 9, dst port at offset 22.
+    d.len() >= 28 && d[0] == 0x45 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TwoLevelConfig;
+    use crate::state::{ControlState, QosPolicy, TunnelState};
+    use pepc_net::ipv4::IpProto;
+    use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
+    use pepc_net::IPV4_HDR_LEN;
+
+    const GW_IP: u32 = 0x0AFE0001;
+    const ENB_IP: u32 = 0xC0A80001;
+    const UE_IP: u32 = 0x0A000042;
+    const TEID_UL: u32 = 0x1000;
+    const TEID_DL: u32 = 0x2000;
+
+    fn dp() -> DataPlane {
+        DataPlane::new(GW_IP, 64, TwoLevelConfig::default(), IotConfig::default())
+    }
+
+    fn attach_user(dp: &mut DataPlane, ambr_kbps: u32) -> Arc<UeContext> {
+        let mut ctrl = ControlState::new(404_01_0000000001);
+        ctrl.ue_ip = UE_IP;
+        ctrl.qos = QosPolicy { qci: 9, ambr_kbps, gbr_kbps: 0 };
+        ctrl.tunnels = TunnelState { enb_teid: TEID_DL, enb_ip: ENB_IP, gw_teid: TEID_UL };
+        let ctx = UeContext::new(ctrl);
+        dp.apply_update(
+            DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, ctx: Arc::clone(&ctx), active: true },
+            0,
+        );
+        ctx
+    }
+
+    fn inner_udp(src: u32, dst: u32, dst_port: u16, payload_len: usize) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+        Ipv4Hdr::new(src, dst, IpProto::Udp, UDP_HDR_LEN + payload_len).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        UdpHdr::new(40000, dst_port, payload_len).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+        m.extend(&hdr);
+        m.extend(&vec![0xAB; payload_len]);
+        m
+    }
+
+    fn uplink_packet(teid: u32) -> Mbuf {
+        let mut m = inner_udp(UE_IP, 0x08080808, 53, 64);
+        encap_gtpu(&mut m, ENB_IP, GW_IP, teid).unwrap();
+        m
+    }
+
+    #[test]
+    fn uplink_decaps_and_forwards() {
+        let mut dp = dp();
+        let ctx = attach_user(&mut dp, 0);
+        let v = dp.process(uplink_packet(TEID_UL), 100);
+        match v {
+            PacketVerdict::Forward(m) => {
+                // Outer stack stripped: inner packet starts with IPv4.
+                let ip = Ipv4Hdr::parse(m.data()).unwrap();
+                assert_eq!(ip.src, UE_IP);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        let cnt = ctx.counters.read();
+        assert_eq!(cnt.uplink_packets, 1);
+        assert!(cnt.uplink_bytes > 0);
+        assert_eq!(cnt.last_activity_ns, 100);
+    }
+
+    #[test]
+    fn downlink_encaps_toward_serving_enb() {
+        let mut dp = dp();
+        let ctx = attach_user(&mut dp, 0);
+        let v = dp.process(inner_udp(0x08080808, UE_IP, 443, 64), 200);
+        match v {
+            PacketVerdict::Forward(mut m) => {
+                let (gtp, outer) = decap_gtpu(&mut m).unwrap();
+                assert_eq!(gtp.teid, TEID_DL);
+                assert_eq!(outer.dst, ENB_IP);
+                assert_eq!(outer.src, GW_IP);
+                let inner = Ipv4Hdr::parse(m.data()).unwrap();
+                assert_eq!(inner.dst, UE_IP);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        assert_eq!(ctx.counters.read().downlink_packets, 1);
+    }
+
+    #[test]
+    fn unknown_teid_dropped() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        let v = dp.process(uplink_packet(0xDEAD), 1);
+        assert!(matches!(v, PacketVerdict::Drop(DropReason::UnknownUser)));
+        assert_eq!(dp.metrics().drop_unknown_user, 1);
+    }
+
+    #[test]
+    fn unknown_ue_ip_dropped() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        let v = dp.process(inner_udp(1, 0x0A0000FF, 80, 10), 1);
+        assert!(matches!(v, PacketVerdict::Drop(DropReason::UnknownUser)));
+    }
+
+    #[test]
+    fn malformed_packet_dropped_not_panicking() {
+        let mut dp = dp();
+        let v = dp.process(Mbuf::from_payload(&[0xFF; 40]), 1);
+        assert!(matches!(v, PacketVerdict::Drop(DropReason::Malformed)));
+    }
+
+    #[test]
+    fn handover_rewrite_is_visible_without_any_dp_update() {
+        // The PEPC property: the control thread rewrites tunnel state in
+        // the shared context; the very next downlink packet uses it.
+        let mut dp = dp();
+        let ctx = attach_user(&mut dp, 0);
+        {
+            let mut c = ctx.ctrl.write();
+            c.tunnels.enb_teid = 0x3333;
+            c.tunnels.enb_ip = 0xC0A80099;
+        }
+        match dp.process(inner_udp(1, UE_IP, 80, 10), 1) {
+            PacketVerdict::Forward(mut m) => {
+                let (gtp, outer) = decap_gtpu(&mut m).unwrap();
+                assert_eq!(gtp.teid, 0x3333);
+                assert_eq!(outer.dst, 0xC0A80099);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_limit_enforced_and_recorded() {
+        let mut dp = dp();
+        // 8 kbps = 1000 B/s; burst floor 1500 B.
+        let ctx = attach_user(&mut dp, 8);
+        let mut forwarded = 0;
+        let mut dropped = 0;
+        for i in 0..50 {
+            // ~100-byte packets, all at (nearly) the same instant.
+            match dp.process(uplink_packet(TEID_UL), 1000 + i) {
+                PacketVerdict::Forward(_) => forwarded += 1,
+                PacketVerdict::Drop(DropReason::RateExceeded) => dropped += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(forwarded >= 10 && forwarded < 25, "burst admitted ~15: {forwarded}");
+        assert!(dropped > 0);
+        assert_eq!(ctx.counters.read().qos_drops as u64, dropped);
+        assert_eq!(dp.metrics().drop_qos, dropped);
+    }
+
+    #[test]
+    fn gate_closed_rule_drops() {
+        let mut dp = dp();
+        let ctx = attach_user(&mut dp, 0);
+        dp.apply_update(
+            DpUpdate::InstallRule {
+                id: 1,
+                program: BpfProgram::match_dst_port(53, 1),
+                action: PcefAction { qci: 9, rate_kbps: 0, gate_closed: true },
+            },
+            0,
+        );
+        ctx.ctrl.write().pcef_rules.push(1);
+        let v = dp.process(uplink_packet(TEID_UL), 1);
+        assert!(matches!(v, PacketVerdict::Drop(DropReason::GateClosed)));
+        assert_eq!(dp.metrics().drop_gate, 1);
+    }
+
+    #[test]
+    fn remove_update_detaches_user() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        assert_eq!(dp.user_count(), 1);
+        dp.apply_update(DpUpdate::Remove { gw_teid: TEID_UL, ue_ip: UE_IP }, 0);
+        assert_eq!(dp.user_count(), 0);
+        assert!(matches!(dp.process(uplink_packet(TEID_UL), 1), PacketVerdict::Drop(DropReason::UnknownUser)));
+    }
+
+    #[test]
+    fn demoted_user_promoted_by_traffic() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        dp.apply_update(DpUpdate::Demote { gw_teid: TEID_UL, ue_ip: UE_IP }, 0);
+        assert_eq!(dp.primary_count(), 0);
+        assert!(dp.process(uplink_packet(TEID_UL), 1).is_forward());
+        assert_eq!(dp.primary_count(), 1);
+        assert_eq!(dp.table_stats().promotions, 1);
+    }
+
+    #[test]
+    fn idle_eviction_from_pipeline() {
+        let mut dp = DataPlane::new(
+            GW_IP,
+            64,
+            TwoLevelConfig { enabled: true, idle_timeout_ns: 1000 },
+            IotConfig::default(),
+        );
+        let mut ctrl = ControlState::new(1);
+        ctrl.tunnels.gw_teid = TEID_UL;
+        ctrl.ue_ip = UE_IP;
+        let ctx = UeContext::new(ctrl);
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, ctx, active: true }, 0);
+        assert!(dp.process(uplink_packet(TEID_UL), 10).is_forward());
+        let evicted = dp.evict_idle(5000);
+        assert_eq!(evicted, 2, "both indexes demote");
+        assert_eq!(dp.primary_count(), 0);
+        assert!(dp.process(uplink_packet(TEID_UL), 5001).is_forward(), "still served via secondary");
+    }
+
+    #[test]
+    fn iot_pool_bypasses_state_lookup() {
+        let iot = IotConfig { enabled: true, teid_base: 0xF0000000, ip_base: 0x64000000, pool_size: 100 };
+        let mut dp = DataPlane::new(GW_IP, 64, TwoLevelConfig::default(), iot);
+        // No user installed at all: pool TEID still forwards.
+        let v = dp.process(uplink_packet(0xF0000005), 1);
+        assert!(v.is_forward());
+        assert_eq!(dp.metrics().iot_fast_path, 1);
+        assert_eq!(dp.iot_packets, 1);
+        // Downlink to a pool IP gets a computed tunnel.
+        match dp.process(inner_udp(1, 0x64000005, 80, 10), 2) {
+            PacketVerdict::Forward(mut m) => {
+                let (gtp, _) = decap_gtpu(&mut m).unwrap();
+                assert_eq!(gtp.teid, 0xF0000005);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Outside the pool: normal path (unknown here).
+        assert!(matches!(dp.process(uplink_packet(0xF0000064 /* base+100 */), 3),
+            PacketVerdict::Drop(DropReason::UnknownUser)));
+    }
+
+    #[test]
+    fn effective_rate_picks_tighter_limit() {
+        assert_eq!(effective_rate(0, 0), 0);
+        assert_eq!(effective_rate(100, 0), 100);
+        assert_eq!(effective_rate(0, 50), 50);
+        assert_eq!(effective_rate(100, 50), 50);
+        assert_eq!(effective_rate(50, 100), 50);
+    }
+}

@@ -1,0 +1,76 @@
+//! User state migration — paper §4.3, §6.6.
+//!
+//! PEPC's by-user organisation makes moving a user trivial compared to
+//! the classic EPC (where MME, S-GW and P-GW copies must all move in
+//! concert): the *single* consolidated [`UeContext`](crate::state) is
+//! handed from the source slice's control thread to the destination's.
+//!
+//! Protocol (intra-node, orchestrated by the node scheduler):
+//!
+//! 1. scheduler → source slice: [`StateTransferMessage::Request`];
+//!    the node Demux simultaneously starts parking the user's packets in
+//!    a per-user migration queue (no loss, no reordering);
+//! 2. source control thread removes the user from its tables, tells its
+//!    data thread to forget the user, and answers with
+//!    [`StateTransferMessage::Response`] carrying the [`UserSnapshot`];
+//! 3. scheduler installs the snapshot at the destination slice and
+//!    repoints the Demux mapping;
+//! 4. the parked packets drain to the destination slice.
+//!
+//! Because the context travels as an `Arc` within the node, counters and
+//! rate-limiter fill levels move losslessly; a cross-node variant would
+//! serialize the same snapshot.
+
+use crate::state::{UeContext, Uid};
+use std::sync::Arc;
+
+/// Everything needed to re-home a user.
+#[derive(Debug, Clone)]
+pub struct UserSnapshot {
+    pub uid: Uid,
+    pub imsi: u64,
+    /// Uplink tunnel key (gateway-side TEID).
+    pub gw_teid: u32,
+    /// Downlink key (UE IP).
+    pub ue_ip: u32,
+    /// The consolidated state itself.
+    pub ctx: Arc<UeContext>,
+}
+
+/// Messages on a slice's migration channel (paper Listing 1's
+/// `from_node_sched` / `to_node_sched`).
+#[derive(Debug, Clone)]
+pub enum StateTransferMessage {
+    /// Scheduler → slice: hand over this user.
+    Request { imsi: u64 },
+    /// Slice → scheduler: here it is (`None` = user not on this slice).
+    Response { imsi: u64, snapshot: Option<UserSnapshot> },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ControlState;
+
+    #[test]
+    fn snapshot_carries_live_context() {
+        let ctx = UeContext::new(ControlState::new(42));
+        ctx.counters.write().uplink_bytes = 777;
+        let snap = UserSnapshot { uid: 1, imsi: 42, gw_teid: 2, ue_ip: 3, ctx: Arc::clone(&ctx) };
+        // The snapshot aliases the same context — counter state moves with
+        // the user, not a copy.
+        ctx.counters.write().uplink_bytes += 1;
+        assert_eq!(snap.ctx.counters.read().uplink_bytes, 778);
+    }
+
+    #[test]
+    fn transfer_messages_roundtrip_clone() {
+        let req = StateTransferMessage::Request { imsi: 9 };
+        match req.clone() {
+            StateTransferMessage::Request { imsi } => assert_eq!(imsi, 9),
+            _ => panic!(),
+        }
+        let rsp = StateTransferMessage::Response { imsi: 9, snapshot: None };
+        assert!(matches!(rsp, StateTransferMessage::Response { snapshot: None, .. }));
+    }
+}

@@ -1,0 +1,188 @@
+//! Policy and Charging Enforcement Function — paper §4.2.
+//!
+//! "We also implement the Policy Charging and Enforcement Function (PCEF),
+//! as a match-action table, consisting of BPF programs over the 5-tuple
+//! and operator specified actions."
+//!
+//! Rules are installed slice-wide; each user's
+//! [`ControlState`](crate::state::ControlState) carries the ids of the
+//! rules that apply to it (installed from the PCRF's Gx answer at attach).
+//! The data plane runs the user's programs in order; the first non-zero
+//! verdict selects the action.
+
+use pepc_net::{BpfProgram, FiveTuple};
+use pepc_sigproto::gx::GxRule;
+use std::collections::HashMap;
+
+/// What to do with a matched packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcefAction {
+    /// QoS class the packet is mapped into.
+    pub qci: u8,
+    /// Rate limit for this class, kbps (0 = unlimited, AMBR still applies).
+    pub rate_kbps: u32,
+    /// Drop instead of forwarding (operator gating rule).
+    pub gate_closed: bool,
+}
+
+impl Default for PcefAction {
+    fn default() -> Self {
+        PcefAction { qci: 9, rate_kbps: 0, gate_closed: false }
+    }
+}
+
+/// One installed rule: a verified BPF program plus the action.
+#[derive(Debug, Clone)]
+struct PcefRule {
+    program: BpfProgram,
+    action: PcefAction,
+}
+
+/// The match-action table.
+#[derive(Debug, Clone, Default)]
+pub struct Pcef {
+    rules: HashMap<u16, PcefRule>,
+}
+
+impl Pcef {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) a rule.
+    pub fn install(&mut self, id: u16, program: BpfProgram, action: PcefAction) {
+        self.rules.insert(id, PcefRule { program, action });
+    }
+
+    /// Install a rule from its Gx wire form (as the PCRF delivers it).
+    ///
+    /// Translation: proto 0 = match-all; a zero port range = any port.
+    pub fn install_gx(&mut self, rule: &GxRule) {
+        let program = if rule.proto == 0 && rule.dst_port_lo == 0 && rule.dst_port_hi == 0 {
+            BpfProgram::match_all(u32::from(rule.rule_id))
+        } else if rule.dst_port_lo == 0 && rule.dst_port_hi == 0 {
+            // Proto-only match: any port of that protocol.
+            BpfProgram::match_proto_port_range(rule.proto, 0, u16::MAX, u32::from(rule.rule_id))
+        } else {
+            BpfProgram::match_proto_port_range(
+                rule.proto,
+                rule.dst_port_lo,
+                rule.dst_port_hi,
+                u32::from(rule.rule_id),
+            )
+        };
+        self.install(
+            rule.rule_id as u16,
+            program,
+            PcefAction { qci: rule.qci, rate_kbps: rule.rate_kbps, gate_closed: false },
+        );
+    }
+
+    /// Remove a rule; returns true if it existed.
+    pub fn uninstall(&mut self, id: u16) -> bool {
+        self.rules.remove(&id).is_some()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Classify a packet against the given rule ids (a user's rule set),
+    /// in order. Returns the first matching action, or the default
+    /// (best-effort, open gate) when nothing matches.
+    #[inline]
+    pub fn classify<'a>(
+        &self,
+        ft: &FiveTuple,
+        rule_ids: impl Iterator<Item = u16> + 'a,
+    ) -> PcefAction {
+        for id in rule_ids {
+            if let Some(rule) = self.rules.get(&id) {
+                if rule.program.run(ft) != 0 {
+                    return rule.action;
+                }
+            }
+        }
+        PcefAction::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(dst_port: u16, proto: u8) -> FiveTuple {
+        FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port, proto }
+    }
+
+    #[test]
+    fn first_match_wins_in_user_order() {
+        let mut pcef = Pcef::new();
+        pcef.install(1, BpfProgram::match_dst_port(80, 1), PcefAction { qci: 7, rate_kbps: 100, gate_closed: false });
+        pcef.install(2, BpfProgram::match_all(2), PcefAction { qci: 9, rate_kbps: 0, gate_closed: false });
+        // User lists rule 1 before rule 2.
+        let a = pcef.classify(&ft(80, 6), [1u16, 2].into_iter());
+        assert_eq!(a.qci, 7);
+        // Non-80 traffic falls to rule 2.
+        let a = pcef.classify(&ft(81, 6), [1u16, 2].into_iter());
+        assert_eq!(a.qci, 9);
+    }
+
+    #[test]
+    fn no_match_returns_default_open_gate() {
+        let pcef = Pcef::new();
+        let a = pcef.classify(&ft(80, 6), std::iter::empty());
+        assert_eq!(a, PcefAction::default());
+        assert!(!a.gate_closed);
+    }
+
+    #[test]
+    fn missing_rule_ids_skipped() {
+        let mut pcef = Pcef::new();
+        pcef.install(5, BpfProgram::match_all(5), PcefAction { qci: 6, rate_kbps: 0, gate_closed: false });
+        // User references rule 4 (uninstalled) then 5.
+        let a = pcef.classify(&ft(1, 6), [4u16, 5].into_iter());
+        assert_eq!(a.qci, 6);
+    }
+
+    #[test]
+    fn gate_closed_action_propagates() {
+        let mut pcef = Pcef::new();
+        pcef.install(1, BpfProgram::match_dst_port(25, 1), PcefAction { qci: 9, rate_kbps: 0, gate_closed: true });
+        assert!(pcef.classify(&ft(25, 6), [1u16].into_iter()).gate_closed);
+        assert!(!pcef.classify(&ft(26, 6), [1u16].into_iter()).gate_closed);
+    }
+
+    #[test]
+    fn gx_rule_translation() {
+        let mut pcef = Pcef::new();
+        // Port-range rule.
+        pcef.install_gx(&GxRule { rule_id: 1, proto: 17, dst_port_lo: 5060, dst_port_hi: 5062, qci: 5, rate_kbps: 1000 });
+        // Proto-wide rule.
+        pcef.install_gx(&GxRule { rule_id: 2, proto: 6, dst_port_lo: 0, dst_port_hi: 0, qci: 8, rate_kbps: 0 });
+        // Catch-all.
+        pcef.install_gx(&GxRule { rule_id: 3, proto: 0, dst_port_lo: 0, dst_port_hi: 0, qci: 9, rate_kbps: 0 });
+
+        let order = [1u16, 2, 3];
+        assert_eq!(pcef.classify(&ft(5060, 17), order.into_iter()).qci, 5);
+        assert_eq!(pcef.classify(&ft(5062, 17), order.into_iter()).qci, 9, "range is exclusive-high");
+        assert_eq!(pcef.classify(&ft(443, 6), order.into_iter()).qci, 8);
+        assert_eq!(pcef.classify(&ft(443, 17), order.into_iter()).qci, 9);
+    }
+
+    #[test]
+    fn uninstall_removes() {
+        let mut pcef = Pcef::new();
+        pcef.install(1, BpfProgram::match_all(1), PcefAction::default());
+        assert_eq!(pcef.len(), 1);
+        assert!(pcef.uninstall(1));
+        assert!(!pcef.uninstall(1));
+        assert!(pcef.is_empty());
+    }
+}

@@ -1,0 +1,520 @@
+//! The PEPC slice — paper §3.2, Listing 1.
+//!
+//! A slice consolidates the state and processing of a set of users. It
+//! runs two threads pinned to distinct cores: a control thread (owning
+//! [`ControlPlane`]) and a data thread (owning [`DataPlane`]). They share
+//! per-user [`UeContext`](crate::state::UeContext)s under the
+//! single-writer discipline and exchange *membership* changes over an
+//! SPSC update ring, drained by the data thread every
+//! `batching.sync_every_packets` packets (Figure 13).
+//!
+//! Two operating modes:
+//!
+//! * [`Slice`] — inline, single-threaded: the caller drives both planes
+//!   explicitly. Deterministic; used by unit/integration tests and the
+//!   single-core figure harnesses.
+//! * [`Slice::spawn`] — threaded: returns a [`SliceHandle`] whose rings
+//!   and command channels the node (or a harness) feeds, with the two
+//!   plane threads running to completion on their cores.
+
+use crate::config::SliceConfig;
+use crate::ctrl::{Allocator, ControlPlane, CtrlEvent};
+use crate::data::{DataPlane, DpUpdate, PacketVerdict};
+use crate::migrate::UserSnapshot;
+use crate::proxy::Proxy;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pepc_fabric::exec::{CoreId, Poll, Worker};
+use pepc_fabric::ring::{Consumer, Producer, SpscRing};
+use pepc_fabric::Clock;
+use pepc_net::Mbuf;
+use pepc_sigproto::s1ap::S1apPdu;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Commands the node scheduler sends a slice's control thread.
+#[derive(Debug)]
+pub enum CtrlCmd {
+    /// A synthetic signaling event.
+    Event(CtrlEvent),
+    /// An S1AP PDU (replies come back as [`CtrlReply::S1ap`]).
+    S1ap(S1apPdu),
+    /// Migration: extract this user (reply: [`CtrlReply::Extracted`]).
+    Extract { imsi: u64 },
+    /// Migration: install this user.
+    Install(Box<UserSnapshot>),
+}
+
+/// Replies from a slice's control thread.
+#[derive(Debug)]
+pub enum CtrlReply {
+    S1ap(Vec<S1apPdu>),
+    Extracted { imsi: u64, snapshot: Option<Box<UserSnapshot>> },
+}
+
+/// Cross-thread observable counters for a running slice.
+#[derive(Debug, Default)]
+pub struct SliceStats {
+    pub rx: AtomicU64,
+    pub forwarded: AtomicU64,
+    pub dropped: AtomicU64,
+    pub attaches: AtomicU64,
+    pub handovers: AtomicU64,
+    pub updates_applied: AtomicU64,
+}
+
+impl SliceStats {
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    pub fn rx(&self) -> u64 {
+        self.rx.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inline mode
+// ---------------------------------------------------------------------------
+
+/// An inline (caller-driven) slice.
+pub struct Slice {
+    pub ctrl: ControlPlane,
+    pub data: DataPlane,
+    update_tx: Producer<DpUpdate>,
+    update_rx: Consumer<DpUpdate>,
+    sync_every: u32,
+    packets_since_sync: u32,
+    clock: Clock,
+    update_scratch: Vec<DpUpdate>,
+}
+
+impl Slice {
+    /// Build an inline slice from a config. `proxy` enables the full
+    /// S1AP/NAS attach path.
+    pub fn new(config: &SliceConfig, gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
+        let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
+        for (id, program) in &config.pcef_programs {
+            data.apply_update(
+                DpUpdate::InstallRule { id: *id, program: program.clone(), action: Default::default() },
+                0,
+            );
+        }
+        let (update_tx, update_rx) = SpscRing::with_capacity(64 * 1024);
+        Slice {
+            ctrl: ControlPlane::new(gw_ip, tac, alloc, proxy),
+            data,
+            update_tx,
+            update_rx,
+            sync_every: config.batching.sync_every_packets.max(1),
+            packets_since_sync: 0,
+            clock: Clock::new(),
+            update_scratch: Vec::with_capacity(64),
+        }
+    }
+
+    /// The slice's monotonic clock.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Apply a synthetic control event and queue the resulting updates.
+    pub fn handle_ctrl_event(&mut self, ev: CtrlEvent) -> bool {
+        let ok = self.ctrl.apply_event(ev);
+        self.flush_ctrl_updates();
+        ok
+    }
+
+    /// Process an S1AP PDU on the control plane.
+    pub fn handle_s1ap(&mut self, pdu: &S1apPdu) -> Vec<S1apPdu> {
+        let rsp = self.ctrl.handle_s1ap(pdu);
+        self.flush_ctrl_updates();
+        rsp
+    }
+
+    /// Move control-plane updates into the update ring (the control
+    /// thread's half of the batching machinery). In inline mode this
+    /// slice owns both ring ends, so a full ring is drained straight into
+    /// the data plane instead of blocking (bulk attach floods would
+    /// otherwise deadlock a single-threaded driver).
+    fn flush_ctrl_updates(&mut self) {
+        if !self.ctrl.has_updates() {
+            return;
+        }
+        for u in self.ctrl.take_updates() {
+            let mut pending = Some(u);
+            while let Some(u) = pending.take() {
+                if let Err(u) = self.update_tx.push(u) {
+                    let now = self.clock.now_ns();
+                    self.update_scratch.clear();
+                    self.update_rx.pop_burst(&mut self.update_scratch, usize::MAX);
+                    for v in self.update_scratch.drain(..) {
+                        self.data.apply_update(v, now);
+                    }
+                    pending = Some(u);
+                }
+            }
+        }
+    }
+
+    /// Flush any control-plane updates into the ring, then drain the ring
+    /// into the data plane ("sync").
+    pub fn sync_now(&mut self) {
+        self.flush_ctrl_updates();
+        let now = self.clock.now_ns();
+        self.update_scratch.clear();
+        self.update_rx.pop_burst(&mut self.update_scratch, usize::MAX);
+        for u in self.update_scratch.drain(..) {
+            self.data.apply_update(u, now);
+        }
+        self.packets_since_sync = 0;
+    }
+
+    /// Process one data packet, honouring the batched-sync schedule.
+    pub fn process_packet(&mut self, m: Mbuf) -> PacketVerdict {
+        self.packets_since_sync += 1;
+        if self.packets_since_sync >= self.sync_every {
+            self.sync_now();
+        }
+        self.data.process(m, self.clock.now_ns())
+    }
+
+    /// Migration source: extract a user (and sync so the data plane
+    /// forgets it before the snapshot leaves).
+    pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
+        let snap = self.ctrl.extract_user(imsi)?;
+        self.flush_ctrl_updates();
+        self.sync_now();
+        Some(snap)
+    }
+
+    /// Migration destination: install a user and make it visible.
+    pub fn install_user(&mut self, snap: UserSnapshot) {
+        self.ctrl.install_user(snap);
+        self.flush_ctrl_updates();
+        self.sync_now();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded mode
+// ---------------------------------------------------------------------------
+
+/// Handle to a running (threaded) slice.
+pub struct SliceHandle {
+    /// Push raw packets for the data thread here.
+    pub data_in: Producer<Mbuf>,
+    /// Forwarded packets come out here.
+    pub data_out: Consumer<Mbuf>,
+    /// Send control commands here.
+    pub ctrl_tx: Sender<CtrlCmd>,
+    /// Control replies (S1AP responses, migration snapshots).
+    pub ctrl_rx: Receiver<CtrlReply>,
+    /// Live counters.
+    pub stats: Arc<SliceStats>,
+    data_worker: Option<Worker<DataPlane>>,
+    ctrl_worker: Option<Worker<ControlPlane>>,
+}
+
+impl SliceHandle {
+    /// Stop both threads and return the final planes for inspection.
+    pub fn shutdown(mut self) -> (ControlPlane, DataPlane) {
+        let ctrl = self.ctrl_worker.take().expect("not yet joined").join();
+        let data = self.data_worker.take().expect("not yet joined").join();
+        (ctrl, data)
+    }
+}
+
+impl Slice {
+    /// Spawn a threaded slice: control thread on `config.ctrl_core`, data
+    /// thread on `config.data_core` (paper: "The PEPC control and data
+    /// plane threads are pinned to separate cores").
+    pub fn spawn(
+        config: &SliceConfig,
+        gw_ip: u32,
+        tac: u16,
+        alloc: Allocator,
+        proxy: Option<Arc<Proxy>>,
+    ) -> SliceHandle {
+        let stats = Arc::new(SliceStats::default());
+        let (update_tx, update_rx) = SpscRing::with_capacity::<DpUpdate>(64 * 1024);
+        let (data_in_tx, data_in_rx) = SpscRing::with_capacity::<Mbuf>(4096);
+        let (data_out_tx, data_out_rx) = SpscRing::with_capacity::<Mbuf>(4096);
+        let (ctrl_tx, ctrl_cmd_rx) = unbounded::<CtrlCmd>();
+        let (ctrl_reply_tx, ctrl_rx) = unbounded::<CtrlReply>();
+
+        // --- data thread ---
+        let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
+        for (id, program) in &config.pcef_programs {
+            data.apply_update(
+                DpUpdate::InstallRule { id: *id, program: program.clone(), action: Default::default() },
+                0,
+            );
+        }
+        let sync_every = config.batching.sync_every_packets.max(1) as usize;
+        let data_stats = Arc::clone(&stats);
+        let clock = Clock::new();
+        let data_worker = {
+            let mut update_rx = update_rx;
+            let mut rx = data_in_rx;
+            let mut tx = data_out_tx;
+            let mut rx_buf: Vec<Mbuf> = Vec::with_capacity(64);
+            let mut upd_buf: Vec<DpUpdate> = Vec::with_capacity(64);
+            let mut since_sync = 0usize;
+            Worker::spawn_state(CoreId(config.data_core), data, move |dp: &mut DataPlane| {
+                let mut did_work = false;
+                rx_buf.clear();
+                let n = rx.pop_burst(&mut rx_buf, 32);
+                // Sync membership updates on the batching schedule, or
+                // opportunistically when the data path is idle (so
+                // attaches land even without traffic).
+                since_sync += n;
+                if since_sync >= sync_every || n == 0 {
+                    upd_buf.clear();
+                    update_rx.pop_burst(&mut upd_buf, 1024);
+                    if !upd_buf.is_empty() {
+                        did_work = true;
+                        let now = clock.now_ns();
+                        let applied = upd_buf.len() as u64;
+                        for u in upd_buf.drain(..) {
+                            dp.apply_update(u, now);
+                        }
+                        data_stats.updates_applied.fetch_add(applied, Ordering::Relaxed);
+                    }
+                    since_sync = 0;
+                }
+                if n == 0 {
+                    return if did_work { Poll::Busy } else { Poll::Idle };
+                }
+                data_stats.rx.fetch_add(n as u64, Ordering::Relaxed);
+                let now = clock.now_ns();
+                let mut fwd = 0u64;
+                let mut dropped = 0u64;
+                for m in rx_buf.drain(..) {
+                    match dp.process(m, now) {
+                        PacketVerdict::Forward(out) => {
+                            fwd += 1;
+                            // Full output ring = tail drop, like a NIC.
+                            let _ = tx.push(out);
+                        }
+                        PacketVerdict::Drop(_) => dropped += 1,
+                    }
+                }
+                data_stats.forwarded.fetch_add(fwd, Ordering::Relaxed);
+                if dropped > 0 {
+                    data_stats.dropped.fetch_add(dropped, Ordering::Relaxed);
+                }
+                Poll::Busy
+            })
+        };
+
+        // --- control thread ---
+        let ctrl_stats = Arc::clone(&stats);
+        let ctrl_worker = {
+            let cp = ControlPlane::new(gw_ip, tac, alloc, proxy);
+            let mut update_tx = update_tx;
+            Worker::spawn_state(CoreId(config.ctrl_core), cp, move |cp: &mut ControlPlane| {
+                let mut did_work = false;
+                for _ in 0..256 {
+                    match ctrl_cmd_rx.try_recv() {
+                        Ok(cmd) => {
+                            did_work = true;
+                            match cmd {
+                                CtrlCmd::Event(ev) => {
+                                    if cp.apply_event(ev) {
+                                        match ev {
+                                            CtrlEvent::Attach { .. } => {
+                                                ctrl_stats.attaches.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                            CtrlEvent::S1Handover { .. } => {
+                                                ctrl_stats.handovers.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                            _ => {}
+                                        }
+                                    }
+                                }
+                                CtrlCmd::S1ap(pdu) => {
+                                    let rsp = cp.handle_s1ap(&pdu);
+                                    let _ = ctrl_reply_tx.send(CtrlReply::S1ap(rsp));
+                                }
+                                CtrlCmd::Extract { imsi } => {
+                                    let snapshot = cp.extract_user(imsi).map(Box::new);
+                                    let _ = ctrl_reply_tx.send(CtrlReply::Extracted { imsi, snapshot });
+                                }
+                                CtrlCmd::Install(snap) => {
+                                    cp.install_user(*snap);
+                                }
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if cp.has_updates() {
+                    did_work = true;
+                    let mut it = cp.take_updates().into_iter().peekable();
+                    while it.peek().is_some() {
+                        if update_tx.push_burst(&mut it) == 0 {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                if did_work {
+                    Poll::Busy
+                } else {
+                    Poll::Idle
+                }
+            })
+        };
+
+        SliceHandle {
+            data_in: data_in_tx,
+            data_out: data_out_rx,
+            ctrl_tx,
+            ctrl_rx,
+            stats,
+            data_worker: Some(data_worker),
+            ctrl_worker: Some(ctrl_worker),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchingConfig, SliceConfig};
+    use pepc_net::gtp::encap_gtpu;
+    use pepc_net::ipv4::IpProto;
+    use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
+    use pepc_net::{Ipv4Hdr, IPV4_HDR_LEN};
+
+    fn alloc() -> Allocator {
+        Allocator { teid_base: 0x1000, ue_ip_base: 0x0A000001, guti_base: 0xD000, mme_ue_id_base: 1 }
+    }
+
+    fn inline_slice(sync_every: u32) -> Slice {
+        let config = SliceConfig {
+            batching: BatchingConfig { sync_every_packets: sync_every },
+            ..SliceConfig::default()
+        };
+        Slice::new(&config, 0x0AFE0001, 1, alloc(), None)
+    }
+
+    fn uplink(teid: u32, ue_ip: u32) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+        Ipv4Hdr::new(ue_ip, 0x08080808, IpProto::Udp, UDP_HDR_LEN + 32).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        UdpHdr::new(1234, 53, 32).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+        m.extend(&hdr);
+        m.extend(&[0u8; 32]);
+        encap_gtpu(&mut m, 0xC0A80001, 0x0AFE0001, teid).unwrap();
+        m
+    }
+
+    #[test]
+    fn inline_attach_then_traffic() {
+        let mut s = inline_slice(1);
+        assert!(s.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 }));
+        // sync_every = 1 → first packet syncs the insert before lookup?
+        // sync happens BEFORE processing, so yes.
+        let v = s.process_packet(uplink(0x1000, 0x0A000001));
+        assert!(v.is_forward(), "{v:?}");
+        assert_eq!(s.data.user_count(), 1);
+    }
+
+    #[test]
+    fn batching_delays_visibility_until_sync_boundary() {
+        let mut s = inline_slice(32);
+        s.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 });
+        // The update sits in the ring until 32 packets have passed.
+        let mut first_forward = None;
+        for i in 0..40 {
+            if s.process_packet(uplink(0x1000, 0x0A000001)).is_forward() {
+                first_forward = Some(i);
+                break;
+            }
+        }
+        let idx = first_forward.expect("eventually visible");
+        assert!(idx >= 30, "visible only at the sync boundary, got {idx}");
+    }
+
+    #[test]
+    fn sync_now_makes_updates_immediately_visible() {
+        let mut s = inline_slice(1_000_000);
+        s.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 });
+        s.sync_now();
+        assert!(s.process_packet(uplink(0x1000, 0x0A000001)).is_forward());
+    }
+
+    #[test]
+    fn inline_migration_between_slices_preserves_traffic() {
+        let mut a = inline_slice(1);
+        let mut b = Slice::new(
+            &SliceConfig { batching: BatchingConfig { sync_every_packets: 1 }, ..SliceConfig::default() },
+            0x0AFE0001,
+            1,
+            Allocator { teid_base: 0x9000, ue_ip_base: 0x0B000001, guti_base: 0xE000, mme_ue_id_base: 500 },
+            None,
+        );
+        a.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 });
+        assert!(a.process_packet(uplink(0x1000, 0x0A000001)).is_forward());
+
+        let snap = a.extract_user(7).expect("extracts");
+        // Source no longer serves the user.
+        assert!(!a.process_packet(uplink(0x1000, 0x0A000001)).is_forward());
+        b.install_user(snap);
+        // Destination serves it with the ORIGINAL teid (tunnel unbroken).
+        assert!(b.process_packet(uplink(0x1000, 0x0A000001)).is_forward());
+        let counters = b.ctrl.counters_of(7).unwrap();
+        assert_eq!(counters.uplink_packets, 2, "counters moved with the user");
+    }
+
+    #[test]
+    fn threaded_slice_end_to_end() {
+        let config = SliceConfig {
+            batching: BatchingConfig { sync_every_packets: 1 },
+            ..SliceConfig::default()
+        };
+        let mut h = Slice::spawn(&config, 0x0AFE0001, 1, alloc(), None);
+        h.ctrl_tx.send(CtrlCmd::Event(CtrlEvent::Attach { imsi: 7 })).unwrap();
+        // Wait for the attach to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while h.stats.attaches.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline, "attach never applied");
+            std::hint::spin_loop();
+        }
+        // Updates propagate through the ring asynchronously; retry sends
+        // until the data thread forwards.
+        let mut forwarded = false;
+        while std::time::Instant::now() < deadline {
+            let _ = h.data_in.push(uplink(0x1000, 0x0A000001));
+            if h.stats.forwarded() > 0 {
+                forwarded = true;
+                break;
+            }
+        }
+        assert!(forwarded, "threaded pipeline never forwarded");
+        let mut out = Vec::new();
+        while h.data_out.pop_burst(&mut out, 16) > 0 {}
+        assert!(!out.is_empty());
+        h.shutdown();
+    }
+
+    #[test]
+    fn threaded_migration_roundtrip() {
+        let config = SliceConfig::default();
+        let h = Slice::spawn(&config, 0x0AFE0001, 1, alloc(), None);
+        h.ctrl_tx.send(CtrlCmd::Event(CtrlEvent::Attach { imsi: 9 })).unwrap();
+        h.ctrl_tx.send(CtrlCmd::Extract { imsi: 9 }).unwrap();
+        let reply = h.ctrl_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        match reply {
+            CtrlReply::Extracted { imsi, snapshot } => {
+                assert_eq!(imsi, 9);
+                let snap = snapshot.expect("user existed");
+                assert_eq!(snap.imsi, 9);
+                // Install back.
+                h.ctrl_tx.send(CtrlCmd::Install(snap)).unwrap();
+            }
+            other => panic!("{other:?}"),
+        }
+        h.shutdown();
+    }
+}

@@ -1,0 +1,264 @@
+//! The per-user state taxonomy (paper §2.3, Table 1).
+//!
+//! The paper's key observation is that EPC state falls into groups with
+//! different writers and update frequencies, and that the classic
+//! decomposition forces *every* component to hold writable copies of most
+//! groups. PEPC's refactoring gives each group exactly one writer:
+//!
+//! | State group                   | PEPC writer     | PEPC readers | Update freq |
+//! |-------------------------------|-----------------|--------------|-------------|
+//! | User identifiers (IMSI/GUTI/IP)| control thread | data thread  | per-event   |
+//! | User location (ECGI/TAC)      | control thread  | data thread  | per-event   |
+//! | QoS / policy state            | control thread  | data thread  | per-event   |
+//! | Data tunnel state (TEIDs)     | control thread  | data thread  | per-event   |
+//! | Control tunnel state          | — (eliminated: no S11/S5 control tunnels inside a slice) | — | — |
+//! | Bandwidth counters            | data thread     | control thread | per-packet |
+//!
+//! [`ControlState`] is everything above the line; [`CounterState`] is the
+//! last row. [`UeContext`] pairs them under separate locks so the
+//! single-writer discipline is enforced by *which lock a thread takes
+//! writable*, and the type system confines writable access to the owning
+//! plane (see [`crate::table::PepcStore`]).
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Slice-internal user identifier: dense, assigned at attach.
+pub type Uid = u64;
+
+/// What kind of device this is — drives pipeline customization (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// A general-purpose device (smartphone): full PCEF/QoS pipeline.
+    #[default]
+    Smartphone,
+    /// A stateless IoT device running a single best-effort application:
+    /// the data plane may skip the per-user state lookup entirely, with
+    /// TEID/IP assigned from a pre-reserved pool (§4.2 "Customization").
+    StatelessIot,
+}
+
+/// Per-user QoS and policy parameters (per-event writer: control thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosPolicy {
+    /// QoS class identifier of the default bearer (9 = best effort).
+    pub qci: u8,
+    /// Aggregate maximum bit rate across the user's traffic, kbps.
+    pub ambr_kbps: u32,
+    /// Guaranteed bit rate for GBR bearers, kbps (0 = non-GBR).
+    pub gbr_kbps: u32,
+}
+
+impl Default for QosPolicy {
+    fn default() -> Self {
+        QosPolicy { qci: 9, ambr_kbps: 100_000, gbr_kbps: 0 }
+    }
+}
+
+/// Data-tunnel endpoints for the user's default bearer (per-event writer:
+/// control thread; the mobility path rewrites `enb_teid`/`enb_ip`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TunnelState {
+    /// TEID the eNodeB expects on downlink GTP-U packets.
+    pub enb_teid: u32,
+    /// eNodeB transport address for downlink.
+    pub enb_ip: u32,
+    /// TEID this slice expects on uplink GTP-U packets (gateway side).
+    pub gw_teid: u32,
+}
+
+/// The control-thread-written half of a user's state: identifiers,
+/// location, QoS/policy, tunnels (Table 1 rows 1–5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlState {
+    pub imsi: u64,
+    /// Temporary identifier assigned at attach (replaces IMSI on air).
+    pub guti: u64,
+    /// UE IP address allocated by the network.
+    pub ue_ip: u32,
+    /// Cell the UE is currently attached through.
+    pub ecgi: u32,
+    /// Tracking area code.
+    pub tac: u16,
+    pub device_class: DeviceClass,
+    pub qos: QosPolicy,
+    pub tunnels: TunnelState,
+    /// Indexes into the slice's PCEF rule table that apply to this user.
+    pub pcef_rules: smallrules::RuleSet,
+}
+
+impl ControlState {
+    /// Fresh state for a user attaching with `imsi`.
+    pub fn new(imsi: u64) -> Self {
+        ControlState {
+            imsi,
+            guti: 0,
+            ue_ip: 0,
+            ecgi: 0,
+            tac: 0,
+            device_class: DeviceClass::Smartphone,
+            qos: QosPolicy::default(),
+            tunnels: TunnelState::default(),
+            pcef_rules: smallrules::RuleSet::default(),
+        }
+    }
+}
+
+/// A compact inline rule-id set so `ControlState` stays cache-friendly —
+/// operators install a handful of rules per user, not hundreds.
+pub mod smallrules {
+    /// Up to 6 PCEF rule ids stored inline.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+    pub struct RuleSet {
+        ids: [u16; 6],
+        len: u8,
+    }
+
+    impl RuleSet {
+        /// Add a rule id; silently ignored beyond capacity (the PCEF's
+        /// catch-all default rule still applies).
+        pub fn push(&mut self, id: u16) {
+            if (self.len as usize) < self.ids.len() {
+                self.ids[self.len as usize] = id;
+                self.len += 1;
+            }
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+            self.ids[..self.len as usize].iter().copied()
+        }
+
+        pub fn len(&self) -> usize {
+            self.len as usize
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+}
+
+/// The data-thread-written half of a user's state: bandwidth counters and
+/// QoS token buckets (Table 1 last row; per-packet update frequency).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterState {
+    pub uplink_packets: u64,
+    pub uplink_bytes: u64,
+    pub downlink_packets: u64,
+    pub downlink_bytes: u64,
+    /// Packets dropped by rate enforcement.
+    pub qos_drops: u64,
+    /// Last data activity, nanoseconds on the slice clock — read by the
+    /// control thread to drive primary-table eviction (§4.2 two-level).
+    pub last_activity_ns: u64,
+    /// AMBR token bucket state (owned by the data thread; kept here so a
+    /// migration carries rate-limiter fill level with the user).
+    pub ambr_tokens: u64,
+    pub ambr_last_refill_ns: u64,
+}
+
+/// A point-in-time copy of a user's counters, safe to hand to the control
+/// plane / PCRF reporting without holding the lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub uplink_packets: u64,
+    pub uplink_bytes: u64,
+    pub downlink_packets: u64,
+    pub downlink_bytes: u64,
+    pub qos_drops: u64,
+    pub last_activity_ns: u64,
+}
+
+impl CounterState {
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            uplink_packets: self.uplink_packets,
+            uplink_bytes: self.uplink_bytes,
+            downlink_packets: self.downlink_packets,
+            downlink_bytes: self.downlink_bytes,
+            qos_drops: self.qos_drops,
+            last_activity_ns: self.last_activity_ns,
+        }
+    }
+}
+
+/// A user's consolidated state: the two single-writer halves behind
+/// fine-grained locks (paper Fig 2: "shared state with fine-grained
+/// locks", one reader/writer lock per half).
+#[derive(Debug)]
+pub struct UeContext {
+    pub ctrl: RwLock<ControlState>,
+    pub counters: RwLock<CounterState>,
+}
+
+impl UeContext {
+    pub fn new(ctrl: ControlState) -> Arc<Self> {
+        Arc::new(UeContext { ctrl: RwLock::new(ctrl), counters: RwLock::new(CounterState::default()) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_state_defaults_are_sensible() {
+        let s = ControlState::new(404_01_0000000001);
+        assert_eq!(s.imsi, 404_01_0000000001);
+        assert_eq!(s.qos.qci, 9);
+        assert_eq!(s.device_class, DeviceClass::Smartphone);
+        assert!(s.pcef_rules.is_empty());
+    }
+
+    #[test]
+    fn ruleset_inline_capacity() {
+        let mut rs = smallrules::RuleSet::default();
+        for i in 0..10u16 {
+            rs.push(i);
+        }
+        assert_eq!(rs.len(), 6, "capped at inline capacity");
+        assert_eq!(rs.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn counter_snapshot_copies_fields() {
+        let mut c = CounterState::default();
+        c.uplink_packets = 5;
+        c.downlink_bytes = 999;
+        c.qos_drops = 1;
+        c.last_activity_ns = 42;
+        let s = c.snapshot();
+        assert_eq!(s.uplink_packets, 5);
+        assert_eq!(s.downlink_bytes, 999);
+        assert_eq!(s.qos_drops, 1);
+        assert_eq!(s.last_activity_ns, 42);
+    }
+
+    #[test]
+    fn ue_context_halves_lock_independently() {
+        let ue = UeContext::new(ControlState::new(1));
+        // Hold the control half read-locked while writing counters — the
+        // core of the paper's contention-avoidance claim.
+        let ctrl_guard = ue.ctrl.read();
+        {
+            let mut c = ue.counters.write();
+            c.uplink_packets += 1;
+        }
+        assert_eq!(ctrl_guard.imsi, 1);
+        assert_eq!(ue.counters.read().uplink_packets, 1);
+    }
+
+    #[test]
+    fn control_state_is_compact() {
+        // The data plane touches one ControlState per packet; keep it
+        // within a couple of cache lines so millions of users stay
+        // cache-friendly (this is what Figure 5 measures).
+        assert!(
+            std::mem::size_of::<ControlState>() <= 128,
+            "ControlState grew to {} bytes",
+            std::mem::size_of::<ControlState>()
+        );
+        assert!(std::mem::size_of::<CounterState>() <= 128);
+    }
+}

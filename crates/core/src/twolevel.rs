@@ -1,0 +1,317 @@
+//! Two-level (primary/secondary) state tables — paper §3.2, §4.2, §7.3.
+//!
+//! "Many current EPC implementations store all user state in a single
+//! table. As the number of user devices grows, this table is poorly
+//! contained by the CPU cache and hence performance drops." PEPC instead
+//! keeps a small **primary** table holding only *active* devices — the
+//! one the data plane hits per packet — and a **secondary** table holding
+//! everyone else. Idle devices are demoted on a timeout; a packet for a
+//! demoted device promotes it back.
+//!
+//! Ownership note (documented substitution): the paper places the
+//! secondary table with the control thread and has the data plane query
+//! it on a miss. Here both levels live in the structure owned by the data
+//! thread and promotion happens in-line at the miss; the control thread
+//! triggers demotion via the slice's command channel. The cache behaviour
+//! under measurement — per-packet lookups touching a table sized by
+//! *active* users instead of *all* users — is identical, without a
+//! synchronous cross-thread round-trip per miss.
+//!
+//! The table is generic over the value (the slice stores
+//! `Arc<UeContext>`) and is **not** internally synchronized: it belongs
+//! to exactly one thread, per PEPC's single-writer discipline.
+
+use std::collections::HashMap;
+
+struct Entry<V> {
+    value: V,
+    last_touch_ns: u64,
+}
+
+/// Counters describing table churn, used by the Figure 14 harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoLevelStats {
+    pub primary_hits: u64,
+    pub promotions: u64,
+    pub demotions: u64,
+    pub misses: u64,
+}
+
+/// A primary/secondary keyed table (keys are TEIDs or UE IPs widened to
+/// `u64`).
+pub struct TwoLevelTable<V> {
+    primary: HashMap<u64, Entry<V>>,
+    secondary: HashMap<u64, V>,
+    /// When false, the table degenerates to a single flat table (the
+    /// baseline of Figure 14): everything lives in `primary` and nothing
+    /// is ever demoted.
+    enabled: bool,
+    idle_timeout_ns: u64,
+    stats: TwoLevelStats,
+}
+
+impl<V> TwoLevelTable<V> {
+    /// A two-level table demoting entries idle for `idle_timeout_ns`.
+    pub fn new(expected_users: usize, idle_timeout_ns: u64) -> Self {
+        TwoLevelTable {
+            primary: HashMap::with_capacity(1024.min(expected_users.max(16))),
+            secondary: HashMap::with_capacity(expected_users),
+            enabled: true,
+            idle_timeout_ns,
+            stats: TwoLevelStats::default(),
+        }
+    }
+
+    /// A single flat table (two-level machinery disabled) — the
+    /// comparison baseline.
+    pub fn new_single(expected_users: usize) -> Self {
+        TwoLevelTable {
+            primary: HashMap::with_capacity(expected_users),
+            secondary: HashMap::new(),
+            enabled: false,
+            idle_timeout_ns: u64::MAX,
+            stats: TwoLevelStats::default(),
+        }
+    }
+
+    /// True when running in two-level mode.
+    pub fn is_two_level(&self) -> bool {
+        self.enabled
+    }
+
+    /// Insert an *active* user (fresh attach): goes to the primary table.
+    pub fn insert_active(&mut self, key: u64, value: V, now_ns: u64) {
+        self.secondary.remove(&key);
+        self.primary.insert(key, Entry { value, last_touch_ns: now_ns });
+    }
+
+    /// Insert an *idle* user directly into the secondary table (bulk
+    /// provisioning, or the single-table baseline's population — in
+    /// single-table mode this still lands in the flat table).
+    pub fn insert_idle(&mut self, key: u64, value: V) {
+        if self.enabled {
+            self.primary.remove(&key);
+            self.secondary.insert(key, value);
+        } else {
+            self.primary.insert(key, Entry { value, last_touch_ns: 0 });
+        }
+    }
+
+    /// Data-path lookup: primary hit refreshes the activity stamp; a
+    /// primary miss consults the secondary table and promotes.
+    #[inline]
+    pub fn get(&mut self, key: u64, now_ns: u64) -> Option<&V> {
+        use std::collections::hash_map::Entry as HmEntry;
+        // Entry API: a single hash probe on both the hit and promote paths.
+        match self.primary.entry(key) {
+            HmEntry::Occupied(mut o) => {
+                o.get_mut().last_touch_ns = now_ns;
+                self.stats.primary_hits += 1;
+                Some(&o.into_mut().value)
+            }
+            HmEntry::Vacant(vac) => {
+                if self.enabled {
+                    if let Some(v) = self.secondary.remove(&key) {
+                        self.stats.promotions += 1;
+                        let e = vac.insert(Entry { value: v, last_touch_ns: now_ns });
+                        return Some(&e.value);
+                    }
+                }
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remove a user entirely (detach / migration). Returns the value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        if let Some(e) = self.primary.remove(&key) {
+            return Some(e.value);
+        }
+        self.secondary.remove(&key)
+    }
+
+    /// Demote one user to the secondary table regardless of activity.
+    /// Returns true if it was in the primary table.
+    pub fn demote(&mut self, key: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        match self.primary.remove(&key) {
+            Some(e) => {
+                self.stats.demotions += 1;
+                self.secondary.insert(key, e.value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Demote every user idle since before `now_ns - idle_timeout`;
+    /// returns how many moved. The slice control loop calls this
+    /// periodically.
+    pub fn evict_idle(&mut self, now_ns: u64) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let cutoff = now_ns.saturating_sub(self.idle_timeout_ns);
+        let idle: Vec<u64> = self
+            .primary
+            .iter()
+            .filter(|(_, e)| e.last_touch_ns < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        let n = idle.len();
+        for k in idle {
+            self.demote(k);
+        }
+        n
+    }
+
+    /// Users in the (hot) primary table.
+    pub fn primary_len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// Users in the secondary table.
+    pub fn secondary_len(&self) -> usize {
+        self.secondary.len()
+    }
+
+    /// Total users.
+    pub fn len(&self) -> usize {
+        self.primary.len() + self.secondary.len()
+    }
+
+    /// True when the table holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Churn statistics.
+    pub fn stats(&self) -> TwoLevelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_insert_lands_in_primary() {
+        let mut t = TwoLevelTable::new(100, 1000);
+        t.insert_active(5, "a", 0);
+        assert_eq!(t.primary_len(), 1);
+        assert_eq!(t.secondary_len(), 0);
+        assert_eq!(t.get(5, 1), Some(&"a"));
+        assert_eq!(t.stats().primary_hits, 1);
+    }
+
+    #[test]
+    fn idle_insert_promotes_on_first_packet() {
+        let mut t = TwoLevelTable::new(100, 1000);
+        t.insert_idle(5, "a");
+        assert_eq!(t.primary_len(), 0);
+        assert_eq!(t.secondary_len(), 1);
+        assert_eq!(t.get(5, 10), Some(&"a"));
+        assert_eq!(t.primary_len(), 1, "promoted");
+        assert_eq!(t.secondary_len(), 0);
+        assert_eq!(t.stats().promotions, 1);
+    }
+
+    #[test]
+    fn unknown_key_counts_a_miss() {
+        let mut t: TwoLevelTable<u8> = TwoLevelTable::new(10, 1000);
+        assert_eq!(t.get(42, 0), None);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn idle_eviction_respects_timeout_and_activity() {
+        let mut t = TwoLevelTable::new(100, 1000);
+        t.insert_active(1, "busy", 0);
+        t.insert_active(2, "idle", 0);
+        t.get(1, 1500); // refresh user 1
+        let evicted = t.evict_idle(2000); // cutoff = 1000
+        assert_eq!(evicted, 1);
+        assert_eq!(t.primary_len(), 1);
+        assert_eq!(t.secondary_len(), 1);
+        assert!(t.get(2, 2100).is_some(), "evicted user still reachable");
+        assert_eq!(t.primary_len(), 2, "and promoted back by the packet");
+    }
+
+    #[test]
+    fn demote_moves_without_losing() {
+        let mut t = TwoLevelTable::new(10, 1000);
+        t.insert_active(1, 11, 0);
+        assert!(t.demote(1));
+        assert!(!t.demote(1), "already demoted");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1, 5), Some(&11));
+    }
+
+    #[test]
+    fn remove_reaches_both_levels() {
+        let mut t = TwoLevelTable::new(10, 1000);
+        t.insert_active(1, "p", 0);
+        t.insert_idle(2, "s");
+        assert_eq!(t.remove(1), Some("p"));
+        assert_eq!(t.remove(2), Some("s"));
+        assert_eq!(t.remove(3), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_table_mode_never_demotes() {
+        let mut t = TwoLevelTable::new_single(100);
+        assert!(!t.is_two_level());
+        t.insert_idle(1, "x"); // flat mode: still the one table
+        assert_eq!(t.primary_len(), 1);
+        assert_eq!(t.get(1, 0), Some(&"x"));
+        assert_eq!(t.evict_idle(u64::MAX), 0);
+        assert!(!t.demote(1));
+        assert_eq!(t.primary_len(), 1);
+    }
+
+    #[test]
+    fn reinsert_active_overwrites_secondary_copy() {
+        let mut t = TwoLevelTable::new(10, 1000);
+        t.insert_idle(1, "old");
+        t.insert_active(1, "new", 5);
+        assert_eq!(t.len(), 1, "no duplicate across levels");
+        assert_eq!(t.get(1, 6), Some(&"new"));
+    }
+
+    #[test]
+    fn no_user_lost_under_random_churn() {
+        // Property-style check: arbitrary interleavings of promote /
+        // demote / evict never lose a user.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut t = TwoLevelTable::new(1000, 50);
+        const N: u64 = 500;
+        for k in 0..N {
+            if k % 2 == 0 {
+                t.insert_active(k, k, 0);
+            } else {
+                t.insert_idle(k, k);
+            }
+        }
+        for step in 0..10_000u64 {
+            let k = rng.gen_range(0..N);
+            match rng.gen_range(0..3) {
+                0 => {
+                    assert_eq!(t.get(k, step), Some(&k), "user {k} lost at step {step}");
+                }
+                1 => {
+                    t.demote(k);
+                }
+                _ => {
+                    t.evict_idle(step);
+                }
+            }
+            assert_eq!(t.len(), N as usize);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Maglev-style consistent-hash load balancing.
+//!
+//! The paper assumes the PEPC cluster is fronted by a load balancer that
+//! owns the cluster's virtual IP and spreads users across PEPC nodes
+//! (§3.4, citing Eisenbud et al., NSDI'16). This is that component: the
+//! Maglev lookup-table construction, which gives near-perfectly even
+//! spread and minimal disruption when nodes come and go.
+
+/// A Maglev consistent-hash table mapping flow hashes to backends.
+#[derive(Debug, Clone)]
+pub struct Maglev {
+    table: Vec<u32>,
+    backends: Vec<String>,
+}
+
+impl Maglev {
+    /// Default lookup-table size; a prime ≫ the expected backend count,
+    /// as the Maglev paper prescribes (they use 65537 for small setups).
+    pub const DEFAULT_TABLE_SIZE: usize = 65537;
+
+    /// Build a table over `backends` (names are arbitrary identifiers).
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty or `table_size` is not larger than
+    /// the number of backends.
+    pub fn new(backends: &[String], table_size: usize) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        assert!(table_size > backends.len(), "table must exceed backend count");
+        let n = backends.len();
+        let m = table_size;
+
+        // Each backend gets a permutation of table slots derived from two
+        // hashes of its name (offset, skip).
+        let mut offset = vec![0usize; n];
+        let mut skip = vec![0usize; n];
+        for (i, b) in backends.iter().enumerate() {
+            let h1 = fnv1a(b.as_bytes(), 0x811C_9DC5);
+            let h2 = fnv1a(b.as_bytes(), 0x0100_0193);
+            offset[i] = (h1 as usize) % m;
+            skip[i] = (h2 as usize) % (m - 1) + 1;
+        }
+
+        let mut next = vec![0usize; n];
+        let mut table = vec![u32::MAX; m];
+        let mut filled = 0usize;
+        'outer: loop {
+            for i in 0..n {
+                // Walk backend i's permutation to its next free slot.
+                loop {
+                    let c = (offset[i] + next[i] * skip[i]) % m;
+                    next[i] += 1;
+                    if table[c] == u32::MAX {
+                        table[c] = i as u32;
+                        filled += 1;
+                        if filled == m {
+                            break 'outer;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Maglev { table, backends: backends.to_vec() }
+    }
+
+    /// Index of the backend responsible for `key`.
+    pub fn lookup(&self, key: u64) -> usize {
+        let h = fnv1a(&key.to_le_bytes(), 0x811C_9DC5) as usize;
+        self.table[h % self.table.len()] as usize
+    }
+
+    /// Name of the backend responsible for `key`.
+    pub fn backend(&self, key: u64) -> &str {
+        &self.backends[self.lookup(key)]
+    }
+
+    /// Number of backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+}
+
+#[inline]
+fn fnv1a(data: &[u8], seed: u32) -> u32 {
+    let mut h = seed ^ 0x811C_9DC5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("pepc-node-{i}")).collect()
+    }
+
+    #[test]
+    fn lookup_is_deterministic() {
+        let m = Maglev::new(&names(5), 1031);
+        for k in 0..100u64 {
+            assert_eq!(m.lookup(k), m.lookup(k));
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_even() {
+        let m = Maglev::new(&names(5), 65537);
+        let mut counts = [0usize; 5];
+        for k in 0..100_000u64 {
+            counts[m.lookup(k)] += 1;
+        }
+        let expected = 100_000 / 5;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() / expected as f64 <= 0.10,
+                "backend {i} got {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_disrupts_few_keys() {
+        let all = names(10);
+        let without_last = all[..9].to_vec();
+        let before = Maglev::new(&all, 65537);
+        let after = Maglev::new(&without_last, 65537);
+        let mut moved = 0;
+        let mut to_removed = 0;
+        for k in 0..50_000u64 {
+            let b = before.backend(k);
+            if b == "pepc-node-9" {
+                to_removed += 1;
+                continue; // those keys must move
+            }
+            if after.backend(k) != b {
+                moved += 1;
+            }
+        }
+        // Maglev guarantees *mostly* stable mappings; allow a few percent.
+        let stable_keys = 50_000 - to_removed;
+        assert!(
+            (moved as f64) < stable_keys as f64 * 0.05,
+            "{moved} of {stable_keys} stable keys moved"
+        );
+    }
+
+    #[test]
+    fn single_backend_takes_everything() {
+        let m = Maglev::new(&names(1), 101);
+        for k in 0..100u64 {
+            assert_eq!(m.lookup(k), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_backends_rejected() {
+        let _ = Maglev::new(&[], 101);
+    }
+
+    #[test]
+    fn every_slot_is_filled() {
+        let m = Maglev::new(&names(3), 257);
+        assert!(m.table.iter().all(|&s| s != u32::MAX));
+        assert_eq!(m.backend_count(), 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! Bounded lock-free single-producer / single-consumer ring.
+//!
+//! This is the `rte_ring`-shaped primitive everything else is built on:
+//! virtual NIC queues, control→data update channels inside a PEPC slice,
+//! and migration channels. The implementation is a classic SPSC queue with
+//! a power-of-two capacity, acquire/release index publication, and
+//! producer/consumer-local cached views of the remote index so the common
+//! case touches a single shared cache line per batch, not per element.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    head: CachePadded<AtomicUsize>, // next slot the consumer will read
+    tail: CachePadded<AtomicUsize>, // next slot the producer will write
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: slots are handed off between exactly one producer and one
+// consumer via the acquire/release protocol on head/tail; a slot is only
+// written while invisible to the consumer and only read after publication.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// The producer endpoint. `!Clone`: single producer by construction.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer's cached copy of `head`; refreshed only when full.
+    cached_head: usize,
+    /// Local shadow of `tail` (only this side writes it).
+    tail: usize,
+}
+
+/// The consumer endpoint. `!Clone`: single consumer by construction.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Consumer's cached copy of `tail`; refreshed only when empty.
+    cached_tail: usize,
+    /// Local shadow of `head` (only this side writes it).
+    head: usize,
+}
+
+/// Namespace type: create rings via [`SpscRing::with_capacity`].
+pub struct SpscRing;
+
+impl SpscRing {
+    /// Create a ring holding at least `capacity` elements (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect::<Vec<_>>();
+        let shared = Arc::new(Shared {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            producer_alive: AtomicBool::new(true),
+            consumer_alive: AtomicBool::new(true),
+        });
+        (
+            Producer { shared: Arc::clone(&shared), cached_head: 0, tail: 0 },
+            Consumer { shared, cached_tail: 0, head: 0 },
+        )
+    }
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Try to enqueue one element; returns it back when the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let cap = self.shared.mask + 1;
+        if self.tail.wrapping_sub(self.cached_head) == cap {
+            self.cached_head = self.shared.head.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.cached_head) == cap {
+                return Err(value);
+            }
+        }
+        let idx = self.tail & self.shared.mask;
+        // SAFETY: slot `tail` is not visible to the consumer until the
+        // Release store below, and the producer is unique.
+        unsafe { (*self.shared.buf[idx].get()).write(value) };
+        self.tail = self.tail.wrapping_add(1);
+        self.shared.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueue as many items from `iter` as fit; returns how many were
+    /// accepted. This is the DPDK-style burst enqueue.
+    pub fn push_burst(&mut self, iter: &mut impl Iterator<Item = T>) -> usize {
+        let cap = self.shared.mask + 1;
+        let mut pushed = 0;
+        loop {
+            if self.tail.wrapping_sub(self.cached_head) == cap {
+                self.cached_head = self.shared.head.load(Ordering::Acquire);
+                if self.tail.wrapping_sub(self.cached_head) == cap {
+                    break;
+                }
+            }
+            match iter.next() {
+                Some(v) => {
+                    let idx = self.tail & self.shared.mask;
+                    // SAFETY: as in `push`.
+                    unsafe { (*self.shared.buf[idx].get()).write(v) };
+                    self.tail = self.tail.wrapping_add(1);
+                    pushed += 1;
+                }
+                None => break,
+            }
+        }
+        if pushed > 0 {
+            self.shared.tail.store(self.tail, Ordering::Release);
+        }
+        pushed
+    }
+
+    /// Number of elements currently queued (approximate from this side).
+    pub fn len(&self) -> usize {
+        self.tail.wrapping_sub(self.shared.head.load(Ordering::Acquire))
+    }
+
+    /// True when no elements are queued (approximate from this side).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the consumer endpoint has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        !self.shared.consumer_alive.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Relaxed);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Try to dequeue one element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let idx = self.head & self.shared.mask;
+        // SAFETY: the Acquire load of `tail` above proved the producer
+        // published this slot; the consumer is unique.
+        let value = unsafe { (*self.shared.buf[idx].get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.shared.head.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeue up to `max` elements into `out`; returns how many were
+    /// taken. This is the DPDK-style burst dequeue.
+    pub fn pop_burst(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            if self.head == self.cached_tail {
+                self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+                if self.head == self.cached_tail {
+                    break;
+                }
+            }
+            let idx = self.head & self.shared.mask;
+            // SAFETY: as in `pop`.
+            out.push(unsafe { (*self.shared.buf[idx].get()).assume_init_read() });
+            self.head = self.head.wrapping_add(1);
+            taken += 1;
+        }
+        if taken > 0 {
+            self.shared.head.store(self.head, Ordering::Release);
+        }
+        taken
+    }
+
+    /// Number of elements currently queued (approximate from this side).
+    pub fn len(&self) -> usize {
+        self.shared.tail.load(Ordering::Acquire).wrapping_sub(self.head)
+    }
+
+    /// True when no elements are queued (approximate from this side).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the producer endpoint has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        !self.shared.producer_alive.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Relaxed);
+        // Drain remaining elements so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (tx, _rx) = SpscRing::with_capacity::<u8>(100);
+        assert_eq!(tx.capacity(), 128);
+        let (tx, _rx) = SpscRing::with_capacity::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn push_to_full_returns_value() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap(); // slot freed
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn burst_enqueue_dequeue() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u32>(16);
+        let mut src = 0..100u32;
+        let n = tx.push_burst(&mut src);
+        assert_eq!(n, 16); // ring capacity
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(&mut out, 10), 10);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.pop_burst(&mut out, 100), 6);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u8>(4);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn disconnect_detection() {
+        let (tx, rx) = SpscRing::with_capacity::<u8>(4);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+        let (tx, rx) = SpscRing::with_capacity::<u8>(4);
+        drop(tx);
+        assert!(rx.is_disconnected());
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        static DROPS: Counter = Counter::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = SpscRing::with_capacity::<D>(8);
+        assert!(tx.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_every_element() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = SpscRing::with_capacity::<u64>(1024);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0;
+            while i < N {
+                if tx.push(i).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut sum = 0u64;
+        let mut seen = 0u64;
+        let mut expect = 0u64;
+        while seen < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expect, "out-of-order delivery");
+                expect += 1;
+                sum = sum.wrapping_add(v);
+                seen += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn cross_thread_burst_transfer() {
+        const N: usize = 100_000;
+        let (mut tx, mut rx) = SpscRing::with_capacity::<usize>(256);
+        let producer = std::thread::spawn(move || {
+            let mut it = (0..N).peekable();
+            while it.peek().is_some() {
+                tx.push_burst(&mut it);
+            }
+        });
+        let mut out = Vec::with_capacity(N);
+        while out.len() < N {
+            rx.pop_burst(&mut out, 64);
+        }
+        producer.join().unwrap();
+        assert_eq!(out, (0..N).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,229 @@
+//! Wires: pumps that move packets between ports with optional fault
+//! injection (drop / corrupt / rate-limit), mirroring the fault-injection
+//! discipline of the smoltcp examples (`--drop-chance`, `--corrupt-chance`,
+//! `--tx-rate-limit`).
+//!
+//! A [`Wire`] is driven explicitly by calling [`Wire::pump`]; tests and the
+//! traffic generator call it from their poll loops, keeping the whole
+//! fabric deterministic and single-threaded unless threads are wanted.
+
+use crate::port::Port;
+use pepc_net::Mbuf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Fault-injection configuration for a wire.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Probability in [0,1] that a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability in [0,1] that one random byte of a packet is flipped.
+    pub corrupt_chance: f64,
+    /// Token-bucket rate limit in packets per refill interval;
+    /// `None` = unlimited.
+    pub rate_limit: Option<u32>,
+    /// Refill interval for the token bucket.
+    pub shaping_interval: Duration,
+    /// Seed for the fault RNG, so tests are reproducible.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            rate_limit: None,
+            shaping_interval: Duration::from_millis(50),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A faultless wire.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Statistics accumulated by a wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    pub forwarded: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub rate_limited: u64,
+}
+
+/// A unidirectional pump from one port's output to another port's input.
+pub struct Wire {
+    from: Port,
+    to: Port,
+    spec: FaultSpec,
+    rng: StdRng,
+    tokens: u32,
+    last_refill: Instant,
+    stats: WireStats,
+    scratch: Vec<Mbuf>,
+}
+
+impl Wire {
+    /// Build a wire that forwards everything `from` transmits into `to`.
+    ///
+    /// `from` here is the *far end* of the source port pair (the end whose
+    /// rx ring sees the source's tx traffic), and `to` is the far end of
+    /// the destination pair.
+    pub fn new(from: Port, to: Port, spec: FaultSpec) -> Self {
+        let tokens = spec.rate_limit.unwrap_or(u32::MAX);
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Wire { from, to, spec, rng, tokens, last_refill: Instant::now(), stats: WireStats::default(), scratch: Vec::with_capacity(64) }
+    }
+
+    /// Move up to `max` packets across the wire, applying faults.
+    /// Returns how many packets were forwarded.
+    pub fn pump(&mut self, max: usize) -> usize {
+        if let Some(limit) = self.spec.rate_limit {
+            if self.last_refill.elapsed() >= self.spec.shaping_interval {
+                self.tokens = limit;
+                self.last_refill = Instant::now();
+            }
+        }
+        self.scratch.clear();
+        self.from.rx_burst(&mut self.scratch, max);
+        let mut forwarded = 0;
+        for mut m in self.scratch.drain(..) {
+            if self.spec.rate_limit.is_some() {
+                if self.tokens == 0 {
+                    self.stats.rate_limited += 1;
+                    continue;
+                }
+                self.tokens -= 1;
+            }
+            if self.spec.drop_chance > 0.0 && self.rng.gen_bool(self.spec.drop_chance) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if self.spec.corrupt_chance > 0.0 && !m.is_empty() && self.rng.gen_bool(self.spec.corrupt_chance)
+            {
+                let idx = self.rng.gen_range(0..m.len());
+                m.data_mut()[idx] ^= 0xFF;
+                self.stats.corrupted += 1;
+            }
+            if self.to.tx(m) {
+                forwarded += 1;
+            }
+        }
+        self.stats.forwarded += forwarded as u64;
+        forwarded
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::PortPair;
+
+    /// Build (source port, wire, sink port): the source's transmissions
+    /// cross the wire and arrive at the sink.
+    fn rig(spec: FaultSpec) -> (Port, Wire, Port) {
+        let (src, src_far) = PortPair::new(1024);
+        let (sink_far, sink) = PortPair::new(1024);
+        (src, Wire::new(src_far, sink_far, spec), sink)
+    }
+
+    #[test]
+    fn clean_wire_forwards_everything() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec::none());
+        for i in 0..100u8 {
+            src.tx(Mbuf::from_payload(&[i]));
+        }
+        let n = wire.pump(1000);
+        assert_eq!(n, 100);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 1000);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[57].data(), &[57]);
+        assert_eq!(wire.stats().forwarded, 100);
+    }
+
+    #[test]
+    fn drop_chance_drops_roughly_that_fraction() {
+        let (mut src, mut wire, mut sink) =
+            rig(FaultSpec { drop_chance: 0.5, ..FaultSpec::default() });
+        for _ in 0..1000 {
+            src.tx(Mbuf::from_payload(&[0]));
+        }
+        while wire.pump(64) > 0 || wire.stats().forwarded + wire.stats().dropped < 1000 {
+            if wire.stats().forwarded + wire.stats().dropped >= 1000 {
+                break;
+            }
+        }
+        let s = wire.stats();
+        assert_eq!(s.forwarded + s.dropped, 1000);
+        assert!((300..700).contains(&(s.dropped as usize)), "dropped {}", s.dropped);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 2000);
+        assert_eq!(out.len() as u64, s.forwarded);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let (mut src, mut wire, mut sink) =
+            rig(FaultSpec { corrupt_chance: 1.0, ..FaultSpec::default() });
+        src.tx(Mbuf::from_payload(&[0u8; 32]));
+        wire.pump(10);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 10);
+        let flipped: usize = out[0].data().iter().filter(|&&b| b != 0).count();
+        assert_eq!(flipped, 1);
+        assert_eq!(wire.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn rate_limit_caps_a_burst() {
+        let (mut src, mut wire, _sink) = rig(FaultSpec {
+            rate_limit: Some(10),
+            shaping_interval: Duration::from_secs(3600), // never refills in-test
+            ..FaultSpec::default()
+        });
+        for _ in 0..50 {
+            src.tx(Mbuf::new());
+        }
+        wire.pump(100);
+        let s = wire.stats();
+        assert_eq!(s.forwarded, 10);
+        assert_eq!(s.rate_limited, 40);
+    }
+
+    #[test]
+    fn seeded_faults_are_reproducible() {
+        let run = || {
+            let (mut src, mut wire, _sink) =
+                rig(FaultSpec { drop_chance: 0.3, seed: 42, ..FaultSpec::default() });
+            for _ in 0..200 {
+                src.tx(Mbuf::new());
+            }
+            wire.pump(500);
+            wire.stats().dropped
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pump_respects_max() {
+        let (mut src, mut wire, _sink) = rig(FaultSpec::none());
+        for _ in 0..100 {
+            src.tx(Mbuf::new());
+        }
+        assert_eq!(wire.pump(30), 30);
+        assert_eq!(wire.pump(30), 30);
+        assert_eq!(wire.pump(100), 40);
+    }
+}

@@ -1,0 +1,241 @@
+//! A small BPF-style match virtual machine.
+//!
+//! The paper implements the PCEF "as a match-action table, consisting of
+//! BPF programs over the 5-tuple and operator specified actions" (§4.2).
+//! This module provides those programs: a branching classifier over the
+//! [`FiveTuple`](crate::FiveTuple) with bounded, verifiable control flow
+//! (forward jumps only, like real BPF), so a malformed operator rule can
+//! never hang the data plane.
+
+use crate::error::{NetError, Result};
+use crate::fivetuple::FiveTuple;
+
+/// A field of the five-tuple a [`Insn`] can load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    SrcIp,
+    DstIp,
+    SrcPort,
+    DstPort,
+    Proto,
+}
+
+/// One instruction of a filter program.
+///
+/// The machine has a single accumulator loaded by `Ld`, tested by the
+/// conditional jumps. Programs terminate with `Ret`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// Load a five-tuple field into the accumulator.
+    Ld(Field),
+    /// Bitwise-AND the accumulator with an immediate (prefix matching).
+    And(u32),
+    /// Jump `jt`/`jf` instructions forward when accumulator == k / != k.
+    JmpEq { k: u32, jt: u8, jf: u8 },
+    /// Jump `jt`/`jf` instructions forward when accumulator >= k / < k.
+    JmpGe { k: u32, jt: u8, jf: u8 },
+    /// Terminate, returning `verdict` (0 = no match; >0 = rule class).
+    Ret(u32),
+}
+
+/// A verified filter program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpfProgram {
+    insns: Vec<Insn>,
+}
+
+impl BpfProgram {
+    /// Maximum program length accepted by the verifier.
+    pub const MAX_LEN: usize = 256;
+
+    /// Verify and wrap a program.
+    ///
+    /// Verification guarantees: non-empty, bounded length, every jump lands
+    /// inside the program, every path ends in `Ret` (ensured by forward
+    /// jumps + final instruction being `Ret`).
+    pub fn new(insns: Vec<Insn>) -> Result<Self> {
+        if insns.is_empty() {
+            return Err(NetError::BadProgram { reason: "empty program" });
+        }
+        if insns.len() > Self::MAX_LEN {
+            return Err(NetError::BadProgram { reason: "program too long" });
+        }
+        for (i, insn) in insns.iter().enumerate() {
+            if let Insn::JmpEq { jt, jf, .. } | Insn::JmpGe { jt, jf, .. } = insn {
+                // Target is pc + 1 + offset; both branches must stay in range.
+                for off in [*jt, *jf] {
+                    if i + 1 + usize::from(off) >= insns.len() {
+                        return Err(NetError::BadProgram { reason: "jump out of range" });
+                    }
+                }
+            }
+        }
+        if !matches!(insns.last(), Some(Insn::Ret(_))) {
+            return Err(NetError::BadProgram { reason: "program must end in Ret" });
+        }
+        Ok(BpfProgram { insns })
+    }
+
+    /// Run the program over a five-tuple; returns the `Ret` verdict.
+    ///
+    /// Execution is O(program length): only forward jumps exist, so each
+    /// instruction runs at most once.
+    pub fn run(&self, ft: &FiveTuple) -> u32 {
+        let mut acc: u32 = 0;
+        let mut pc = 0usize;
+        while pc < self.insns.len() {
+            match self.insns[pc] {
+                Insn::Ld(f) => {
+                    acc = match f {
+                        Field::SrcIp => ft.src_ip,
+                        Field::DstIp => ft.dst_ip,
+                        Field::SrcPort => u32::from(ft.src_port),
+                        Field::DstPort => u32::from(ft.dst_port),
+                        Field::Proto => u32::from(ft.proto),
+                    };
+                    pc += 1;
+                }
+                Insn::And(k) => {
+                    acc &= k;
+                    pc += 1;
+                }
+                Insn::JmpEq { k, jt, jf } => {
+                    pc += 1 + usize::from(if acc == k { jt } else { jf });
+                }
+                Insn::JmpGe { k, jt, jf } => {
+                    pc += 1 + usize::from(if acc >= k { jt } else { jf });
+                }
+                Insn::Ret(v) => return v,
+            }
+        }
+        // Unreachable for verified programs; defensive default: no match.
+        0
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True if the program has no instructions (never true post-verify).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Convenience constructor: match an exact destination port.
+    pub fn match_dst_port(port: u16, verdict: u32) -> Self {
+        BpfProgram::new(vec![
+            Insn::Ld(Field::DstPort),
+            Insn::JmpEq { k: u32::from(port), jt: 0, jf: 1 },
+            Insn::Ret(verdict),
+            Insn::Ret(0),
+        ])
+        .expect("static program verifies")
+    }
+
+    /// Convenience constructor: match a destination prefix `ip/len`.
+    pub fn match_dst_prefix(prefix: u32, len: u8, verdict: u32) -> Self {
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+        BpfProgram::new(vec![
+            Insn::Ld(Field::DstIp),
+            Insn::And(mask),
+            Insn::JmpEq { k: prefix & mask, jt: 0, jf: 1 },
+            Insn::Ret(verdict),
+            Insn::Ret(0),
+        ])
+        .expect("static program verifies")
+    }
+
+    /// Convenience constructor: match a protocol + destination port range
+    /// `[lo, hi)` — a typical operator TFT (traffic flow template).
+    pub fn match_proto_port_range(proto: u8, lo: u16, hi: u16, verdict: u32) -> Self {
+        BpfProgram::new(vec![
+            Insn::Ld(Field::Proto),
+            Insn::JmpEq { k: u32::from(proto), jt: 0, jf: 4 },
+            Insn::Ld(Field::DstPort),
+            Insn::JmpGe { k: u32::from(lo), jt: 0, jf: 2 },
+            Insn::JmpGe { k: u32::from(hi), jt: 1, jf: 0 },
+            Insn::Ret(verdict),
+            Insn::Ret(0),
+        ])
+        .expect("static program verifies")
+    }
+
+    /// A program that classifies everything into `verdict`.
+    pub fn match_all(verdict: u32) -> Self {
+        BpfProgram::new(vec![Insn::Ret(verdict)]).expect("static program verifies")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(dst_port: u16, proto: u8) -> FiveTuple {
+        FiveTuple { src_ip: 0x0A000001, dst_ip: 0x08080808, src_port: 40000, dst_port, proto }
+    }
+
+    #[test]
+    fn match_all_always_matches() {
+        assert_eq!(BpfProgram::match_all(7).run(&ft(1, 17)), 7);
+    }
+
+    #[test]
+    fn dst_port_matcher() {
+        let p = BpfProgram::match_dst_port(53, 3);
+        assert_eq!(p.run(&ft(53, 17)), 3);
+        assert_eq!(p.run(&ft(54, 17)), 0);
+    }
+
+    #[test]
+    fn prefix_matcher() {
+        let p = BpfProgram::match_dst_prefix(0x08080000, 16, 9);
+        assert_eq!(p.run(&ft(1, 6)), 9); // 8.8.8.8 in 8.8.0.0/16
+        let other = FiveTuple { dst_ip: 0x08090808, ..ft(1, 6) };
+        assert_eq!(p.run(&other), 0);
+    }
+
+    #[test]
+    fn zero_length_prefix_matches_everything() {
+        let p = BpfProgram::match_dst_prefix(0, 0, 5);
+        assert_eq!(p.run(&ft(1, 6)), 5);
+    }
+
+    #[test]
+    fn port_range_matcher() {
+        let p = BpfProgram::match_proto_port_range(6, 8000, 9000, 4);
+        assert_eq!(p.run(&ft(8000, 6)), 4); // inclusive low
+        assert_eq!(p.run(&ft(8999, 6)), 4);
+        assert_eq!(p.run(&ft(9000, 6)), 0); // exclusive high
+        assert_eq!(p.run(&ft(7999, 6)), 0);
+        assert_eq!(p.run(&ft(8500, 17)), 0); // wrong proto
+    }
+
+    #[test]
+    fn verifier_rejects_bad_programs() {
+        assert!(BpfProgram::new(vec![]).is_err());
+        // Doesn't end in Ret.
+        assert!(BpfProgram::new(vec![Insn::Ld(Field::Proto)]).is_err());
+        // Jump past the end.
+        assert!(BpfProgram::new(vec![
+            Insn::JmpEq { k: 0, jt: 200, jf: 0 },
+            Insn::Ret(0),
+        ])
+        .is_err());
+        // Over-long program.
+        let long = vec![Insn::Ret(0); BpfProgram::MAX_LEN + 1];
+        assert!(BpfProgram::new(long).is_err());
+    }
+
+    #[test]
+    fn forward_jumps_terminate() {
+        // A pathological-but-legal chain of jumps still runs in O(n).
+        let mut insns = Vec::new();
+        for _ in 0..100 {
+            insns.push(Insn::JmpEq { k: 12345, jt: 0, jf: 0 });
+        }
+        insns.push(Insn::Ret(1));
+        let p = BpfProgram::new(insns).unwrap();
+        assert_eq!(p.run(&ft(1, 6)), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Internet checksum (RFC 1071) helpers for IPv4/UDP/TCP.
+
+/// Sum 16-bit big-endian words with end-around carry folding deferred.
+#[inline]
+fn sum_words(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into a 16-bit one's-complement checksum.
+#[inline]
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Compute the Internet checksum over `data`.
+pub fn checksum(data: &[u8]) -> u16 {
+    fold(sum_words(data, 0))
+}
+
+/// Verify a buffer whose checksum field is already in place: the sum over
+/// the whole buffer must fold to zero.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(data, 0)) == 0
+}
+
+/// Compute a UDP/TCP checksum including the IPv4 pseudo-header.
+///
+/// `proto` is the IP protocol number (17 UDP / 6 TCP); `segment` is the
+/// transport header + payload with its checksum field zeroed.
+pub fn pseudo_header_checksum(src: u32, dst: u32, proto: u8, segment: &[u8]) -> u16 {
+    let mut acc = 0u32;
+    acc += src >> 16;
+    acc += src & 0xFFFF;
+    acc += dst >> 16;
+    acc += dst & 0xFFFF;
+    acc += u32::from(proto);
+    acc += segment.len() as u32;
+    fold(sum_words(segment, acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 1071 worked example: 0x0001 0xf203 0xf4f5 0xf6f7 -> sum 0xddf2,
+    // checksum 0x220d.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn verify_accepts_inserted_checksum() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let c = checksum(&data);
+        data[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 1;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_buffer_checksum_is_all_ones() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn pseudo_header_differs_by_addresses() {
+        let seg = [0x12, 0x34, 0x56, 0x78, 0x00, 0x08, 0x00, 0x00];
+        let a = pseudo_header_checksum(0x0a000001, 0x0a000002, 17, &seg);
+        let b = pseudo_header_checksum(0x0a000001, 0x0a000003, 17, &seg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pseudo_header_verifies_like_kernel() {
+        // Insert computed checksum into the segment, recompute with the
+        // field populated: folding the sum must give zero (i.e. !0xFFFF).
+        let mut seg = vec![0xC0, 0x00, 0x00, 0x35, 0x00, 0x0A, 0x00, 0x00, 0xde, 0xad];
+        let c = pseudo_header_checksum(0xc0a80001, 0x08080808, 17, &seg);
+        seg[6..8].copy_from_slice(&c.to_be_bytes());
+        let again = pseudo_header_checksum(0xc0a80001, 0x08080808, 17, &seg);
+        assert_eq!(again, 0);
+    }
+}

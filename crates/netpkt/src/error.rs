@@ -1,0 +1,91 @@
+//! Error type shared by all codecs in this crate.
+
+use std::fmt;
+
+/// Errors raised while parsing or building packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The buffer is shorter than the header or payload being decoded.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A version / type / flag field holds a value this stack does not speak.
+    Unsupported {
+        what: &'static str,
+        value: u32,
+    },
+    /// A length field is inconsistent with the enclosing buffer.
+    BadLength {
+        what: &'static str,
+        value: usize,
+    },
+    /// A checksum failed verification.
+    BadChecksum {
+        what: &'static str,
+    },
+    /// There is not enough headroom in the [`crate::Mbuf`] to push a header.
+    NoHeadroom {
+        need: usize,
+        have: usize,
+    },
+    /// A BPF program was malformed (e.g. jump out of range).
+    BadProgram {
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            NetError::Unsupported { what, value } => {
+                write!(f, "unsupported {what}: {value:#x}")
+            }
+            NetError::BadLength { what, value } => write!(f, "bad {what} length: {value}"),
+            NetError::BadChecksum { what } => write!(f, "bad {what} checksum"),
+            NetError::NoHeadroom { need, have } => {
+                write!(f, "insufficient headroom: need {need}, have {have}")
+            }
+            NetError::BadProgram { reason } => write!(f, "malformed BPF program: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Truncated { what: "ipv4", need: 20, have: 7 };
+        assert_eq!(e.to_string(), "truncated ipv4: need 20 bytes, have 7");
+        let e = NetError::BadChecksum { what: "udp" };
+        assert!(e.to_string().contains("udp"));
+        let e = NetError::NoHeadroom { need: 36, have: 0 };
+        assert!(e.to_string().contains("36"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            NetError::BadProgram { reason: "x" },
+            NetError::BadProgram { reason: "x" }
+        );
+        assert_ne!(
+            NetError::Unsupported { what: "v", value: 1 },
+            NetError::Unsupported { what: "v", value: 2 }
+        );
+    }
+}

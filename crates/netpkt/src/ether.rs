@@ -1,0 +1,142 @@
+//! Ethernet II framing.
+
+use crate::error::{NetError, Result};
+
+/// Length of an Ethernet II header (no 802.1Q tag support, as in the
+/// paper's testbed configuration).
+pub const ETHER_HDR_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Build a locally-administered unicast MAC from a small integer,
+    /// handy for synthesizing distinct eNodeB/server endpoints in tests.
+    pub fn from_index(i: u32) -> Self {
+        let b = i.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = &self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", m[0], m[1], m[2], m[3], m[4], m[5])
+    }
+}
+
+/// EtherType values this stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum EtherType {
+    Ipv4 = 0x0800,
+    Arp = 0x0806,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+
+    pub fn as_u16(&self) -> u16 {
+        match *self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// A decoded Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtherHdr {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: EtherType,
+}
+
+impl EtherHdr {
+    /// Parse the header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < ETHER_HDR_LEN {
+            return Err(NetError::Truncated { what: "ethernet", need: ETHER_HDR_LEN, have: buf.len() });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EtherHdr {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
+        })
+    }
+
+    /// Serialize into the first [`ETHER_HDR_LEN`] bytes of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < ETHER_HDR_LEN {
+            return Err(NetError::Truncated { what: "ethernet emit", need: ETHER_HDR_LEN, have: buf.len() });
+        }
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.as_u16().to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = EtherHdr {
+            dst: MacAddr::from_index(7),
+            src: MacAddr::from_index(9),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; ETHER_HDR_LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(EtherHdr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(EtherHdr::parse(&[0u8; 13]), Err(NetError::Truncated { .. })));
+        let h = EtherHdr { dst: MacAddr::BROADCAST, src: MacAddr::default(), ethertype: EtherType::Arp };
+        assert!(h.emit(&mut [0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        let t = EtherType::from_u16(0x88CC);
+        assert_eq!(t, EtherType::Other(0x88CC));
+        assert_eq!(t.as_u16(), 0x88CC);
+    }
+
+    #[test]
+    fn multicast_bit() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::from_index(3).is_multicast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(MacAddr([0, 1, 2, 0xab, 0xcd, 0xef]).to_string(), "00:01:02:ab:cd:ef");
+    }
+}

@@ -1,0 +1,148 @@
+//! Five-tuple extraction — the key the PCEF/ADC classifier matches on.
+
+use crate::error::Result;
+use crate::ipv4::{IpProto, Ipv4Hdr, IPV4_HDR_LEN};
+use crate::tcp::TcpHdr;
+use crate::udp::UdpHdr;
+
+/// The classic (src ip, dst ip, src port, dst port, proto) connection key.
+///
+/// For non-TCP/UDP protocols, ports are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FiveTuple {
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// Extract the five-tuple from an IPv4 packet (header + payload).
+    pub fn from_ipv4(buf: &[u8]) -> Result<Self> {
+        let ip = Ipv4Hdr::parse(buf)?;
+        let l4 = &buf[IPV4_HDR_LEN..];
+        let (src_port, dst_port) = match ip.proto {
+            IpProto::Udp => {
+                let u = UdpHdr::parse(l4)?;
+                (u.src_port, u.dst_port)
+            }
+            IpProto::Tcp => {
+                let t = TcpHdr::parse(l4)?;
+                (t.src_port, t.dst_port)
+            }
+            _ => (0, 0),
+        };
+        Ok(FiveTuple { src_ip: ip.src, dst_ip: ip.dst, src_port, dst_port, proto: ip.proto.as_u8() })
+    }
+
+    /// The same flow seen from the opposite direction.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A direction-insensitive 64-bit flow hash (same value for both
+    /// directions of a connection), used to pick per-flow QoS queues.
+    pub fn symmetric_hash(&self) -> u64 {
+        let a = (u64::from(self.src_ip) << 16) | u64::from(self.src_port);
+        let b = (u64::from(self.dst_ip) << 16) | u64::from(self.dst_port);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Fibonacci-style mix; quality only needs to be "spreads buckets".
+        (lo ^ hi.rotate_left(25) ^ u64::from(self.proto))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            Ipv4Hdr::addr_to_string(self.src_ip),
+            self.src_port,
+            Ipv4Hdr::addr_to_string(self.dst_ip),
+            self.dst_port,
+            self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NetError;
+    use crate::udp::UDP_HDR_LEN;
+
+    fn udp_packet(src: u32, dst: u32, sp: u16, dp: u16) -> Vec<u8> {
+        let mut buf = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN + 4];
+        Ipv4Hdr::new(src, dst, IpProto::Udp, UDP_HDR_LEN + 4).emit(&mut buf).unwrap();
+        UdpHdr::new(sp, dp, 4).emit(&mut buf[IPV4_HDR_LEN..]).unwrap();
+        buf
+    }
+
+    #[test]
+    fn extracts_udp() {
+        let pkt = udp_packet(0x0A000001, 0x08080808, 40000, 53);
+        let ft = FiveTuple::from_ipv4(&pkt).unwrap();
+        assert_eq!(ft.src_port, 40000);
+        assert_eq!(ft.dst_port, 53);
+        assert_eq!(ft.proto, 17);
+    }
+
+    #[test]
+    fn extracts_tcp() {
+        let mut buf = vec![0u8; IPV4_HDR_LEN + crate::tcp::TCP_HDR_LEN];
+        Ipv4Hdr::new(1, 2, IpProto::Tcp, crate::tcp::TCP_HDR_LEN).emit(&mut buf).unwrap();
+        TcpHdr {
+            src_port: 443,
+            dst_port: 50123,
+            seq: 0,
+            ack: 0,
+            data_offset: crate::tcp::TCP_HDR_LEN,
+            flags: 0x10,
+            window: 1,
+        }
+        .emit(&mut buf[IPV4_HDR_LEN..])
+        .unwrap();
+        let ft = FiveTuple::from_ipv4(&buf).unwrap();
+        assert_eq!((ft.src_port, ft.dst_port, ft.proto), (443, 50123, 6));
+    }
+
+    #[test]
+    fn other_protocols_get_zero_ports() {
+        let mut buf = vec![0u8; IPV4_HDR_LEN + 8];
+        Ipv4Hdr::new(1, 2, IpProto::Icmp, 8).emit(&mut buf).unwrap();
+        let ft = FiveTuple::from_ipv4(&buf).unwrap();
+        assert_eq!((ft.src_port, ft.dst_port), (0, 0));
+        assert_eq!(ft.proto, 1);
+    }
+
+    #[test]
+    fn truncated_l4_rejected() {
+        let mut buf = vec![0u8; IPV4_HDR_LEN + 2];
+        // total_len claims 2-byte UDP payload region, but UDP needs 8
+        Ipv4Hdr::new(1, 2, IpProto::Udp, 2).emit(&mut buf).unwrap();
+        assert!(matches!(FiveTuple::from_ipv4(&buf), Err(NetError::Truncated { .. })));
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let ft = FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 6 };
+        assert_eq!(ft.reversed().reversed(), ft);
+        assert_ne!(ft.reversed(), ft);
+    }
+
+    #[test]
+    fn symmetric_hash_is_direction_invariant() {
+        let ft = FiveTuple { src_ip: 7, dst_ip: 9, src_port: 1000, dst_port: 80, proto: 6 };
+        assert_eq!(ft.symmetric_hash(), ft.reversed().symmetric_hash());
+        let other = FiveTuple { dst_port: 81, ..ft };
+        assert_ne!(ft.symmetric_hash(), other.symmetric_hash());
+    }
+}

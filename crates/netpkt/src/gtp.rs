@@ -1,0 +1,468 @@
+//! GPRS Tunnelling Protocol.
+//!
+//! Two faces of GTP appear in an EPC:
+//!
+//! * **GTP-U** (user plane, 3GPP TS 29.281): the eNodeB wraps every user IP
+//!   packet in outer IP/UDP/GTP-U headers addressed to the S-GW; the S-GW
+//!   re-tunnels toward the P-GW. [`GtpuHdr`] plus the [`encap_gtpu`] /
+//!   [`decap_gtpu`] helpers implement this over [`Mbuf`]s.
+//! * **GTP-C** (control plane, TS 29.274): session management messages on
+//!   S11/S5 used by the *classic* EPC decomposition to synchronize the
+//!   per-user state that it duplicates across MME, S-GW and P-GW — the very
+//!   synchronization PEPC eliminates. [`GtpcMsg`] implements the subset the
+//!   baseline needs (Create Session, Modify Bearer, Delete Session).
+
+use crate::error::{NetError, Result};
+use crate::ipv4::{IpProto, Ipv4Hdr, IPV4_HDR_LEN};
+use crate::mbuf::Mbuf;
+use crate::udp::{UdpHdr, UDP_HDR_LEN};
+
+/// UDP port registered for GTP-U.
+pub const GTPU_PORT: u16 = 2152;
+
+/// UDP port registered for GTP-C.
+pub const GTPC_PORT: u16 = 2123;
+
+/// Length of the mandatory GTP-U header (no optional sequence/extension
+/// fields — flags byte 0x30, as emitted on LTE fast paths).
+pub const GTPU_HDR_LEN: usize = 8;
+
+/// Full outer stack a GTP-U encapsulation adds: IPv4 + UDP + GTP-U.
+pub const GTPU_OVERHEAD: usize = IPV4_HDR_LEN + UDP_HDR_LEN + GTPU_HDR_LEN;
+
+/// GTP message types used on the user plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GtpMsgType {
+    EchoRequest = 1,
+    EchoResponse = 2,
+    ErrorIndication = 26,
+    EndMarker = 254,
+    /// G-PDU: carries a tunnelled user packet.
+    GPdu = 255,
+}
+
+impl GtpMsgType {
+    pub fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => GtpMsgType::EchoRequest,
+            2 => GtpMsgType::EchoResponse,
+            26 => GtpMsgType::ErrorIndication,
+            254 => GtpMsgType::EndMarker,
+            255 => GtpMsgType::GPdu,
+            other => return Err(NetError::Unsupported { what: "gtp-u message type", value: other.into() }),
+        })
+    }
+}
+
+/// The 8-byte GTP-U v1 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtpuHdr {
+    pub msg_type: GtpMsgType,
+    /// Payload length (everything after this header).
+    pub length: u16,
+    /// Tunnel Endpoint IDentifier selecting the bearer at the receiver.
+    pub teid: u32,
+}
+
+impl GtpuHdr {
+    /// Header for a G-PDU carrying `payload_len` tunnelled bytes.
+    pub fn gpdu(teid: u32, payload_len: usize) -> Self {
+        GtpuHdr { msg_type: GtpMsgType::GPdu, length: payload_len as u16, teid }
+    }
+
+    /// Parse the header at the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < GTPU_HDR_LEN {
+            return Err(NetError::Truncated { what: "gtp-u", need: GTPU_HDR_LEN, have: buf.len() });
+        }
+        let flags = buf[0];
+        if flags >> 5 != 1 {
+            return Err(NetError::Unsupported { what: "gtp version", value: u32::from(flags >> 5) });
+        }
+        if flags & 0x10 == 0 {
+            return Err(NetError::Unsupported { what: "gtp protocol type (gtp')", value: 0 });
+        }
+        if flags & 0x07 != 0 {
+            // E/S/PN bits would add a 4-byte extension; the LTE user-plane
+            // fast path we reproduce never sets them.
+            return Err(NetError::Unsupported { what: "gtp-u optional fields", value: u32::from(flags & 7) });
+        }
+        Ok(GtpuHdr {
+            msg_type: GtpMsgType::from_u8(buf[1])?,
+            length: u16::from_be_bytes([buf[2], buf[3]]),
+            teid: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+        })
+    }
+
+    /// Serialize into the first [`GTPU_HDR_LEN`] bytes of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < GTPU_HDR_LEN {
+            return Err(NetError::Truncated { what: "gtp-u emit", need: GTPU_HDR_LEN, have: buf.len() });
+        }
+        buf[0] = 0x30; // version 1, protocol type GTP, no optional fields
+        buf[1] = self.msg_type as u8;
+        buf[2..4].copy_from_slice(&self.length.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.teid.to_be_bytes());
+        Ok(())
+    }
+}
+
+/// Encapsulate the packet currently in `m` (an inner user IP packet) in
+/// outer IPv4 + UDP + GTP-U headers, exactly as an eNodeB or S-GW does.
+pub fn encap_gtpu(m: &mut Mbuf, src_ip: u32, dst_ip: u32, teid: u32) -> Result<()> {
+    let inner_len = m.len();
+    let hdr = m.push(GTPU_OVERHEAD)?;
+    Ipv4Hdr::new(src_ip, dst_ip, IpProto::Udp, UDP_HDR_LEN + GTPU_HDR_LEN + inner_len)
+        .emit(&mut hdr[..IPV4_HDR_LEN])?;
+    UdpHdr::new(GTPU_PORT, GTPU_PORT, GTPU_HDR_LEN + inner_len)
+        .emit(&mut hdr[IPV4_HDR_LEN..IPV4_HDR_LEN + UDP_HDR_LEN])?;
+    GtpuHdr::gpdu(teid, inner_len).emit(&mut hdr[IPV4_HDR_LEN + UDP_HDR_LEN..])?;
+    Ok(())
+}
+
+/// Strip an outer IPv4 + UDP + GTP-U stack from the front of `m`, returning
+/// the tunnel header (with TEID) and the outer IP header. The inner user
+/// packet remains in `m`.
+pub fn decap_gtpu(m: &mut Mbuf) -> Result<(GtpuHdr, Ipv4Hdr)> {
+    let data = m.data();
+    let ip = Ipv4Hdr::parse(data)?;
+    if ip.proto != IpProto::Udp {
+        return Err(NetError::Unsupported { what: "gtp-u outer proto", value: ip.proto.as_u8().into() });
+    }
+    let udp = UdpHdr::parse(&data[IPV4_HDR_LEN..])?;
+    if udp.dst_port != GTPU_PORT {
+        return Err(NetError::Unsupported { what: "gtp-u udp port", value: udp.dst_port.into() });
+    }
+    let gtp = GtpuHdr::parse(&data[IPV4_HDR_LEN + UDP_HDR_LEN..])?;
+    let inner_len = m.len() - GTPU_OVERHEAD;
+    if usize::from(gtp.length) != inner_len {
+        return Err(NetError::BadLength { what: "gtp-u payload", value: gtp.length as usize });
+    }
+    m.pull(GTPU_OVERHEAD)?;
+    Ok((gtp, ip))
+}
+
+// ---------------------------------------------------------------------------
+// GTP-C (control plane) — used only by the classic baseline EPC.
+// ---------------------------------------------------------------------------
+
+/// GTP-C v2 session-management messages, carrying the IEs the baseline's
+/// MME → S-GW → P-GW synchronization needs. Encoding is a compact fixed
+/// layout (type, teid, sequence, then message-specific fields) rather than
+/// full TS 29.274 TLV grammar; the information content matches what the
+/// paper's state-synchronization analysis (Table 1) requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GtpcMsg {
+    /// MME→S-GW / S-GW→P-GW on attach: install per-user session state.
+    CreateSessionRequest {
+        seq: u32,
+        imsi: u64,
+        /// Sender's control TEID for return messages.
+        sender_cteid: u32,
+        /// Data-plane TEID the sender will use for this user's bearer.
+        bearer_teid: u32,
+        /// UE IP address to install (0 = allocate).
+        ue_ip: u32,
+        /// QoS class identifier for the default bearer.
+        qci: u8,
+        /// Aggregate maximum bit rate (kbps).
+        ambr_kbps: u32,
+    },
+    CreateSessionResponse {
+        seq: u32,
+        /// Echoes the request's control TEID.
+        sender_cteid: u32,
+        /// Responder's data-plane TEID for this bearer.
+        bearer_teid: u32,
+        /// UE IP actually allocated.
+        ue_ip: u32,
+        cause: u8,
+    },
+    /// Mobility / S1 handover: repoint the downlink tunnel.
+    ModifyBearerRequest {
+        seq: u32,
+        imsi: u64,
+        /// New eNodeB data TEID.
+        enb_teid: u32,
+        /// New eNodeB transport address.
+        enb_ip: u32,
+    },
+    ModifyBearerResponse {
+        seq: u32,
+        cause: u8,
+    },
+    DeleteSessionRequest {
+        seq: u32,
+        imsi: u64,
+    },
+    DeleteSessionResponse {
+        seq: u32,
+        cause: u8,
+    },
+}
+
+impl GtpcMsg {
+    const T_CSREQ: u8 = 32;
+    const T_CSRSP: u8 = 33;
+    const T_MBREQ: u8 = 34;
+    const T_MBRSP: u8 = 35;
+    const T_DSREQ: u8 = 36;
+    const T_DSRSP: u8 = 37;
+
+    /// GTP-C cause value "request accepted".
+    pub const CAUSE_ACCEPTED: u8 = 16;
+    /// GTP-C cause value "context not found".
+    pub const CAUSE_CONTEXT_NOT_FOUND: u8 = 64;
+
+    /// Serialize to a standalone byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        match self {
+            GtpcMsg::CreateSessionRequest { seq, imsi, sender_cteid, bearer_teid, ue_ip, qci, ambr_kbps } => {
+                out.push(Self::T_CSREQ);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+                out.extend_from_slice(&sender_cteid.to_be_bytes());
+                out.extend_from_slice(&bearer_teid.to_be_bytes());
+                out.extend_from_slice(&ue_ip.to_be_bytes());
+                out.push(*qci);
+                out.extend_from_slice(&ambr_kbps.to_be_bytes());
+            }
+            GtpcMsg::CreateSessionResponse { seq, sender_cteid, bearer_teid, ue_ip, cause } => {
+                out.push(Self::T_CSRSP);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&sender_cteid.to_be_bytes());
+                out.extend_from_slice(&bearer_teid.to_be_bytes());
+                out.extend_from_slice(&ue_ip.to_be_bytes());
+                out.push(*cause);
+            }
+            GtpcMsg::ModifyBearerRequest { seq, imsi, enb_teid, enb_ip } => {
+                out.push(Self::T_MBREQ);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+                out.extend_from_slice(&enb_teid.to_be_bytes());
+                out.extend_from_slice(&enb_ip.to_be_bytes());
+            }
+            GtpcMsg::ModifyBearerResponse { seq, cause } => {
+                out.push(Self::T_MBRSP);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.push(*cause);
+            }
+            GtpcMsg::DeleteSessionRequest { seq, imsi } => {
+                out.push(Self::T_DSREQ);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+            }
+            GtpcMsg::DeleteSessionResponse { seq, cause } => {
+                out.push(Self::T_DSRSP);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.push(*cause);
+            }
+        }
+        out
+    }
+
+    /// Decode from bytes produced by [`GtpcMsg::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        fn need(buf: &[u8], n: usize) -> Result<()> {
+            if buf.len() < n {
+                Err(NetError::Truncated { what: "gtp-c", need: n, have: buf.len() })
+            } else {
+                Ok(())
+            }
+        }
+        fn u32_at(buf: &[u8], o: usize) -> u32 {
+            u32::from_be_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]])
+        }
+        fn u64_at(buf: &[u8], o: usize) -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[o..o + 8]);
+            u64::from_be_bytes(b)
+        }
+        need(buf, 1)?;
+        match buf[0] {
+            Self::T_CSREQ => {
+                need(buf, 30)?;
+                Ok(GtpcMsg::CreateSessionRequest {
+                    seq: u32_at(buf, 1),
+                    imsi: u64_at(buf, 5),
+                    sender_cteid: u32_at(buf, 13),
+                    bearer_teid: u32_at(buf, 17),
+                    ue_ip: u32_at(buf, 21),
+                    qci: buf[25],
+                    ambr_kbps: u32_at(buf, 26),
+                })
+            }
+            Self::T_CSRSP => {
+                need(buf, 18)?;
+                Ok(GtpcMsg::CreateSessionResponse {
+                    seq: u32_at(buf, 1),
+                    sender_cteid: u32_at(buf, 5),
+                    bearer_teid: u32_at(buf, 9),
+                    ue_ip: u32_at(buf, 13),
+                    cause: buf[17],
+                })
+            }
+            Self::T_MBREQ => {
+                need(buf, 21)?;
+                Ok(GtpcMsg::ModifyBearerRequest {
+                    seq: u32_at(buf, 1),
+                    imsi: u64_at(buf, 5),
+                    enb_teid: u32_at(buf, 13),
+                    enb_ip: u32_at(buf, 17),
+                })
+            }
+            Self::T_MBRSP => {
+                need(buf, 6)?;
+                Ok(GtpcMsg::ModifyBearerResponse { seq: u32_at(buf, 1), cause: buf[5] })
+            }
+            Self::T_DSREQ => {
+                need(buf, 13)?;
+                Ok(GtpcMsg::DeleteSessionRequest { seq: u32_at(buf, 1), imsi: u64_at(buf, 5) })
+            }
+            Self::T_DSRSP => {
+                need(buf, 6)?;
+                Ok(GtpcMsg::DeleteSessionResponse { seq: u32_at(buf, 1), cause: buf[5] })
+            }
+            other => Err(NetError::Unsupported { what: "gtp-c message type", value: other.into() }),
+        }
+    }
+
+    /// The sequence number, present in every message for request/response
+    /// correlation.
+    pub fn seq(&self) -> u32 {
+        match self {
+            GtpcMsg::CreateSessionRequest { seq, .. }
+            | GtpcMsg::CreateSessionResponse { seq, .. }
+            | GtpcMsg::ModifyBearerRequest { seq, .. }
+            | GtpcMsg::ModifyBearerResponse { seq, .. }
+            | GtpcMsg::DeleteSessionRequest { seq, .. }
+            | GtpcMsg::DeleteSessionResponse { seq, .. } => *seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Hdr;
+
+    #[test]
+    fn gtpu_header_roundtrip() {
+        let h = GtpuHdr::gpdu(0x12345678, 100);
+        let mut buf = [0u8; GTPU_HDR_LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(GtpuHdr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn gtpu_rejects_wrong_version() {
+        let mut buf = [0u8; GTPU_HDR_LEN];
+        GtpuHdr::gpdu(1, 0).emit(&mut buf).unwrap();
+        buf[0] = 0x50; // version 2
+        assert!(matches!(GtpuHdr::parse(&buf), Err(NetError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn gtpu_rejects_optional_fields() {
+        let mut buf = [0u8; GTPU_HDR_LEN];
+        GtpuHdr::gpdu(1, 0).emit(&mut buf).unwrap();
+        buf[0] |= 0x02; // sequence-number flag
+        assert!(GtpuHdr::parse(&buf).is_err());
+    }
+
+    fn inner_packet() -> Mbuf {
+        // A little inner IPv4/UDP user packet.
+        let mut m = Mbuf::new();
+        let payload = b"user data";
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+        Ipv4Hdr::new(0x0A00_0001, 0x08080808, IpProto::Udp, UDP_HDR_LEN + payload.len())
+            .emit(&mut hdr[..IPV4_HDR_LEN])
+            .unwrap();
+        UdpHdr::new(5555, 53, payload.len()).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+        m.extend(&hdr);
+        m.extend(payload);
+        m
+    }
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let mut m = inner_packet();
+        let original = m.data().to_vec();
+        encap_gtpu(&mut m, 0xC0A80001, 0xC0A80002, 0xBEEF).unwrap();
+        assert_eq!(m.len(), original.len() + GTPU_OVERHEAD);
+
+        let outer = Ipv4Hdr::parse(m.data()).unwrap();
+        assert_eq!(outer.src, 0xC0A80001);
+        assert_eq!(outer.dst, 0xC0A80002);
+
+        let (gtp, outer_ip) = decap_gtpu(&mut m).unwrap();
+        assert_eq!(gtp.teid, 0xBEEF);
+        assert_eq!(outer_ip.dst, 0xC0A80002);
+        assert_eq!(m.data(), &original[..]);
+    }
+
+    #[test]
+    fn decap_rejects_non_gtp_port() {
+        let mut m = inner_packet();
+        // inner packet is plain UDP to port 53 — not GTP
+        assert!(matches!(decap_gtpu(&mut m), Err(NetError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn decap_rejects_length_mismatch() {
+        let mut m = inner_packet();
+        encap_gtpu(&mut m, 1, 2, 3).unwrap();
+        // Corrupt the GTP length field.
+        let off = IPV4_HDR_LEN + UDP_HDR_LEN + 2;
+        m.data_mut()[off] ^= 0x01;
+        assert!(matches!(decap_gtpu(&mut m), Err(NetError::BadLength { .. })));
+    }
+
+    #[test]
+    fn double_encap_for_s5_tunnel() {
+        // S-GW re-tunnels toward the P-GW: two nested GTP-U stacks.
+        let mut m = inner_packet();
+        let original = m.data().to_vec();
+        encap_gtpu(&mut m, 1, 2, 0xA).unwrap();
+        encap_gtpu(&mut m, 3, 4, 0xB).unwrap();
+        let (g1, _) = decap_gtpu(&mut m).unwrap();
+        assert_eq!(g1.teid, 0xB);
+        let (g2, _) = decap_gtpu(&mut m).unwrap();
+        assert_eq!(g2.teid, 0xA);
+        assert_eq!(m.data(), &original[..]);
+    }
+
+    #[test]
+    fn gtpc_all_variants_roundtrip() {
+        let msgs = vec![
+            GtpcMsg::CreateSessionRequest {
+                seq: 9,
+                imsi: 404_01_0000000001,
+                sender_cteid: 0x11,
+                bearer_teid: 0x22,
+                ue_ip: 0x0A00002A,
+                qci: 9,
+                ambr_kbps: 100_000,
+            },
+            GtpcMsg::CreateSessionResponse { seq: 9, sender_cteid: 0x11, bearer_teid: 0x33, ue_ip: 0x0A00002A, cause: GtpcMsg::CAUSE_ACCEPTED },
+            GtpcMsg::ModifyBearerRequest { seq: 10, imsi: 1, enb_teid: 0x44, enb_ip: 0xC0A80005 },
+            GtpcMsg::ModifyBearerResponse { seq: 10, cause: GtpcMsg::CAUSE_ACCEPTED },
+            GtpcMsg::DeleteSessionRequest { seq: 11, imsi: 1 },
+            GtpcMsg::DeleteSessionResponse { seq: 11, cause: GtpcMsg::CAUSE_CONTEXT_NOT_FOUND },
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            assert_eq!(GtpcMsg::decode(&enc).unwrap(), m, "roundtrip failed for {m:?}");
+            assert_eq!(GtpcMsg::decode(&enc).unwrap().seq(), m.seq());
+        }
+    }
+
+    #[test]
+    fn gtpc_truncated_and_unknown_rejected() {
+        assert!(GtpcMsg::decode(&[]).is_err());
+        assert!(GtpcMsg::decode(&[GtpcMsg::T_CSREQ, 0, 0]).is_err());
+        assert!(matches!(GtpcMsg::decode(&[0xEE]), Err(NetError::Unsupported { .. })));
+    }
+}

@@ -1,0 +1,207 @@
+//! IPv4 header codec (RFC 791), options-free as emitted by GTP-U stacks.
+
+use crate::checksum;
+use crate::error::{NetError, Result};
+
+/// Length of an option-free IPv4 header.
+pub const IPV4_HDR_LEN: usize = 20;
+
+/// IP protocol numbers understood by the EPC pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum IpProto {
+    Icmp = 1,
+    Tcp = 6,
+    Udp = 17,
+    Sctp = 132,
+    Other(u8),
+}
+
+impl IpProto {
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            132 => IpProto::Sctp,
+            other => IpProto::Other(other),
+        }
+    }
+
+    pub fn as_u8(&self) -> u8 {
+        match *self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Sctp => 132,
+            IpProto::Other(v) => v,
+        }
+    }
+}
+
+/// A decoded IPv4 header. Addresses are host-order `u32`s; use
+/// [`Ipv4Hdr::addr_to_string`] for dotted-quad rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Hdr {
+    pub dscp: u8,
+    pub identification: u16,
+    pub ttl: u8,
+    pub proto: IpProto,
+    pub src: u32,
+    pub dst: u32,
+    /// Total length (header + payload) as found on the wire.
+    pub total_len: u16,
+}
+
+impl Ipv4Hdr {
+    /// A fresh header for a payload of `payload_len` bytes.
+    pub fn new(src: u32, dst: u32, proto: IpProto, payload_len: usize) -> Self {
+        Ipv4Hdr {
+            dscp: 0,
+            identification: 0,
+            ttl: 64,
+            proto,
+            src,
+            dst,
+            total_len: (IPV4_HDR_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Parse and validate the header at the front of `buf`.
+    ///
+    /// Verifies version, IHL and the header checksum; headers carrying
+    /// options are rejected as [`NetError::Unsupported`] (GTP stacks never
+    /// emit them and the paper's pipeline does not parse them).
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < IPV4_HDR_LEN {
+            return Err(NetError::Truncated { what: "ipv4", need: IPV4_HDR_LEN, have: buf.len() });
+        }
+        let vihl = buf[0];
+        if vihl >> 4 != 4 {
+            return Err(NetError::Unsupported { what: "ip version", value: u32::from(vihl >> 4) });
+        }
+        let ihl = usize::from(vihl & 0xF) * 4;
+        if ihl != IPV4_HDR_LEN {
+            return Err(NetError::Unsupported { what: "ipv4 options (ihl)", value: ihl as u32 });
+        }
+        if !checksum::verify(&buf[..IPV4_HDR_LEN]) {
+            return Err(NetError::BadChecksum { what: "ipv4 header" });
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if usize::from(total_len) < IPV4_HDR_LEN {
+            return Err(NetError::BadLength { what: "ipv4 total", value: total_len as usize });
+        }
+        Ok(Ipv4Hdr {
+            dscp: buf[1] >> 2,
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            proto: IpProto::from_u8(buf[9]),
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+            total_len,
+        })
+    }
+
+    /// Serialize with a freshly computed header checksum.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < IPV4_HDR_LEN {
+            return Err(NetError::Truncated { what: "ipv4 emit", need: IPV4_HDR_LEN, have: buf.len() });
+        }
+        buf[0] = 0x45;
+        buf[1] = self.dscp << 2;
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0, 0]); // flags / fragment offset: DF not set, no frags
+        buf[8] = self.ttl;
+        buf[9] = self.proto.as_u8();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.to_be_bytes());
+        buf[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let c = checksum::checksum(&buf[..IPV4_HDR_LEN]);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+        Ok(())
+    }
+
+    /// Render a host-order address as a dotted quad.
+    pub fn addr_to_string(addr: u32) -> String {
+        let b = addr.to_be_bytes();
+        format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+
+    /// Parse `a.b.c.d` into a host-order address (test/config helper).
+    pub fn addr_from_str(s: &str) -> Option<u32> {
+        let mut parts = s.split('.');
+        let mut out = [0u8; 4];
+        for slot in &mut out {
+            *slot = parts.next()?.parse().ok()?;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(u32::from_be_bytes(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Hdr {
+        Ipv4Hdr::new(
+            Ipv4Hdr::addr_from_str("192.168.1.10").unwrap(),
+            Ipv4Hdr::addr_from_str("10.0.0.1").unwrap(),
+            IpProto::Udp,
+            100,
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let mut buf = [0u8; IPV4_HDR_LEN];
+        h.emit(&mut buf).unwrap();
+        let parsed = Ipv4Hdr::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.total_len as usize, IPV4_HDR_LEN + 100);
+    }
+
+    #[test]
+    fn checksum_enforced() {
+        let mut buf = [0u8; IPV4_HDR_LEN];
+        sample().emit(&mut buf).unwrap();
+        buf[15] ^= 0xFF;
+        assert_eq!(Ipv4Hdr::parse(&buf), Err(NetError::BadChecksum { what: "ipv4 header" }));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = [0u8; IPV4_HDR_LEN];
+        sample().emit(&mut buf).unwrap();
+        buf[0] = 0x65; // IPv6 nibble
+        assert!(matches!(Ipv4Hdr::parse(&buf), Err(NetError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn options_rejected() {
+        let mut buf = [0u8; 24];
+        sample().emit(&mut buf).unwrap();
+        buf[0] = 0x46; // IHL 6 => 24-byte header
+        assert!(matches!(Ipv4Hdr::parse(&buf), Err(NetError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn addr_string_roundtrip() {
+        let a = Ipv4Hdr::addr_from_str("172.16.254.3").unwrap();
+        assert_eq!(Ipv4Hdr::addr_to_string(a), "172.16.254.3");
+        assert!(Ipv4Hdr::addr_from_str("1.2.3").is_none());
+        assert!(Ipv4Hdr::addr_from_str("1.2.3.4.5").is_none());
+        assert!(Ipv4Hdr::addr_from_str("1.2.3.999").is_none());
+    }
+
+    #[test]
+    fn proto_mapping_total() {
+        for v in 0u8..=255 {
+            assert_eq!(IpProto::from_u8(v).as_u8(), v);
+        }
+    }
+}

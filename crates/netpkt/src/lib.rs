@@ -1,0 +1,40 @@
+//! # pepc-net — packet representation and wire protocols for PEPC
+//!
+//! This crate is the lowest layer of the PEPC reproduction. It provides:
+//!
+//! * [`Mbuf`] — an owned packet buffer with headroom, modelled after the
+//!   DPDK `rte_mbuf` / NetBricks packet abstraction: headers are *pushed*
+//!   in front of the payload and *pulled* off without copying the payload.
+//! * Header codecs for Ethernet II ([`ether`]), IPv4 ([`ipv4`]),
+//!   UDP ([`udp`]) and TCP ([`tcp`]).
+//! * The GPRS Tunnelling Protocol: GTP-U encapsulation used on S1-U/S5
+//!   data paths and the GTP-C session-management messages used on S11/S5
+//!   control paths by the classic (baseline) EPC ([`gtp`]).
+//! * Internet checksum helpers ([`checksum`]).
+//! * Five-tuple extraction ([`fivetuple`]) and a small BPF-like match
+//!   virtual machine ([`bpf`]) used by the Policy and Charging Enforcement
+//!   Function (PCEF) and Application Detection and Control (ADC).
+//!
+//! All multi-byte fields are network byte order (big endian) on the wire.
+//! Codecs are allocation-free over `&[u8]` / `&mut [u8]` views.
+
+pub mod bpf;
+pub mod checksum;
+pub mod error;
+pub mod ether;
+pub mod fivetuple;
+pub mod gtp;
+pub mod ipv4;
+pub mod mbuf;
+pub mod tcp;
+pub mod udp;
+
+pub use bpf::{BpfProgram, Insn};
+pub use error::{NetError, Result};
+pub use ether::{EtherHdr, EtherType, MacAddr, ETHER_HDR_LEN};
+pub use fivetuple::FiveTuple;
+pub use gtp::{GtpMsgType, GtpuHdr, GTPU_HDR_LEN, GTPU_PORT};
+pub use ipv4::{IpProto, Ipv4Hdr, IPV4_HDR_LEN};
+pub use mbuf::Mbuf;
+pub use tcp::{TcpHdr, TCP_HDR_LEN};
+pub use udp::{UdpHdr, UDP_HDR_LEN};

@@ -1,0 +1,268 @@
+//! Owned packet buffer with headroom, in the spirit of DPDK's `rte_mbuf`.
+//!
+//! EPC data paths repeatedly encapsulate and decapsulate (GTP-U adds an
+//! outer Ethernet/IPv4/UDP/GTP stack in front of the inner user packet).
+//! To avoid copying the payload on every hop, an [`Mbuf`] keeps the packet
+//! in the middle of a fixed allocation: [`Mbuf::push`] claims bytes from
+//! the headroom in front of the current data, [`Mbuf::pull`] returns bytes
+//! to it. Both are O(1).
+
+use crate::error::{NetError, Result};
+
+/// Default headroom reserved in front of the payload — enough for an outer
+/// Ethernet (14) + IPv4 (20) + UDP (8) + GTP-U (8..16) stack twice over.
+pub const DEFAULT_HEADROOM: usize = 128;
+
+/// Default total buffer capacity (headroom + data + tailroom).
+pub const DEFAULT_BUF_CAP: usize = 2048;
+
+/// An owned packet buffer with O(1) header push/pull.
+#[derive(Clone)]
+pub struct Mbuf {
+    buf: Box<[u8]>,
+    /// Offset of the first valid byte.
+    head: usize,
+    /// Offset one past the last valid byte.
+    tail: usize,
+}
+
+impl Mbuf {
+    /// Create an empty buffer with [`DEFAULT_HEADROOM`] headroom and
+    /// [`DEFAULT_BUF_CAP`] capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_BUF_CAP, DEFAULT_HEADROOM)
+    }
+
+    /// Create an empty buffer with explicit capacity and headroom.
+    ///
+    /// # Panics
+    /// Panics if `headroom > capacity`.
+    pub fn with_capacity(capacity: usize, headroom: usize) -> Self {
+        assert!(headroom <= capacity, "headroom must fit in capacity");
+        Mbuf { buf: vec![0u8; capacity].into_boxed_slice(), head: headroom, tail: headroom }
+    }
+
+    /// Create a buffer whose data section is a copy of `payload`, leaving
+    /// [`DEFAULT_HEADROOM`] bytes of headroom in front of it.
+    pub fn from_payload(payload: &[u8]) -> Self {
+        let cap = (DEFAULT_HEADROOM + payload.len()).max(DEFAULT_BUF_CAP);
+        let mut m = Self::with_capacity(cap, DEFAULT_HEADROOM);
+        m.extend(payload);
+        m
+    }
+
+    /// Number of valid data bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// True when the buffer holds no data bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Bytes available in front of the data for [`push`](Self::push).
+    #[inline]
+    pub fn headroom(&self) -> usize {
+        self.head
+    }
+
+    /// Bytes available behind the data for [`extend`](Self::extend).
+    #[inline]
+    pub fn tailroom(&self) -> usize {
+        self.buf.len() - self.tail
+    }
+
+    /// The valid data bytes.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.buf[self.head..self.tail]
+    }
+
+    /// Mutable view of the valid data bytes.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.head..self.tail]
+    }
+
+    /// Claim `n` bytes of headroom and return a mutable view of them so a
+    /// header can be written in place. The new bytes become the front of
+    /// the packet.
+    #[inline]
+    pub fn push(&mut self, n: usize) -> Result<&mut [u8]> {
+        if n > self.head {
+            return Err(NetError::NoHeadroom { need: n, have: self.head });
+        }
+        self.head -= n;
+        Ok(&mut self.buf[self.head..self.head + n])
+    }
+
+    /// Push `bytes` in front of the packet.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let dst = self.push(bytes.len())?;
+        dst.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Drop `n` bytes from the front of the packet (decapsulation),
+    /// returning them to headroom. Returns the removed bytes.
+    #[inline]
+    pub fn pull(&mut self, n: usize) -> Result<&[u8]> {
+        if n > self.len() {
+            return Err(NetError::Truncated { what: "pull", need: n, have: self.len() });
+        }
+        let start = self.head;
+        self.head += n;
+        Ok(&self.buf[start..self.head])
+    }
+
+    /// Append `bytes` after the current data.
+    ///
+    /// # Panics
+    /// Panics if there is not enough tailroom; payload sizing is under the
+    /// caller's control, unlike header pushes which depend on packet
+    /// provenance and therefore return `Result`.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.len() <= self.tailroom(),
+            "tailroom exhausted: need {}, have {}",
+            bytes.len(),
+            self.tailroom()
+        );
+        self.buf[self.tail..self.tail + bytes.len()].copy_from_slice(bytes);
+        self.tail += bytes.len();
+    }
+
+    /// Truncate the packet to `n` data bytes (dropping from the tail).
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len() {
+            self.tail = self.head + n;
+        }
+    }
+
+    /// Remove all data, restoring headroom to the front of the allocation
+    /// split originally chosen. The buffer can then be reused for a new
+    /// packet without reallocating.
+    pub fn clear(&mut self, headroom: usize) {
+        let headroom = headroom.min(self.buf.len());
+        self.head = headroom;
+        self.tail = headroom;
+    }
+}
+
+impl Default for Mbuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Mbuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mbuf")
+            .field("len", &self.len())
+            .field("headroom", &self.headroom())
+            .field("tailroom", &self.tailroom())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty_with_headroom() {
+        let m = Mbuf::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.headroom(), DEFAULT_HEADROOM);
+        assert_eq!(m.tailroom(), DEFAULT_BUF_CAP - DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn from_payload_copies_data() {
+        let m = Mbuf::from_payload(b"hello");
+        assert_eq!(m.data(), b"hello");
+        assert_eq!(m.headroom(), DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn push_then_pull_roundtrips() {
+        let mut m = Mbuf::from_payload(b"payload");
+        m.push_bytes(b"HDR:").unwrap();
+        assert_eq!(m.data(), b"HDR:payload");
+        let pulled = m.pull(4).unwrap().to_vec();
+        assert_eq!(pulled, b"HDR:");
+        assert_eq!(m.data(), b"payload");
+        assert_eq!(m.headroom(), DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn push_fails_without_headroom() {
+        let mut m = Mbuf::with_capacity(64, 4);
+        let err = m.push(8).unwrap_err();
+        assert_eq!(err, NetError::NoHeadroom { need: 8, have: 4 });
+    }
+
+    #[test]
+    fn pull_fails_past_end() {
+        let mut m = Mbuf::from_payload(b"ab");
+        assert!(m.pull(3).is_err());
+        assert_eq!(m.data(), b"ab"); // unchanged on failure
+    }
+
+    #[test]
+    fn push_returns_writable_region() {
+        let mut m = Mbuf::from_payload(b"xy");
+        let region = m.push(2).unwrap();
+        region.copy_from_slice(b"AB");
+        assert_eq!(m.data(), b"ABxy");
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut m = Mbuf::new();
+        m.extend(b"abc");
+        m.extend(b"def");
+        assert_eq!(m.data(), b"abcdef");
+    }
+
+    #[test]
+    #[should_panic(expected = "tailroom exhausted")]
+    fn extend_past_capacity_panics() {
+        let mut m = Mbuf::with_capacity(8, 4);
+        m.extend(&[0u8; 16]);
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut m = Mbuf::from_payload(b"abcdef");
+        m.truncate(3);
+        assert_eq!(m.data(), b"abc");
+        m.truncate(10); // no-op when longer than data
+        assert_eq!(m.data(), b"abc");
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut m = Mbuf::from_payload(b"abcdef");
+        m.clear(32);
+        assert!(m.is_empty());
+        assert_eq!(m.headroom(), 32);
+        m.extend(b"new");
+        assert_eq!(m.data(), b"new");
+    }
+
+    #[test]
+    fn repeated_encap_decap_is_stable() {
+        let mut m = Mbuf::from_payload(&[0xAAu8; 64]);
+        for _ in 0..1000 {
+            m.push_bytes(&[0x55; 42]).unwrap();
+            m.pull(42).unwrap();
+        }
+        assert_eq!(m.len(), 64);
+        assert!(m.data().iter().all(|&b| b == 0xAA));
+    }
+}

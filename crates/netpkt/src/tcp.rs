@@ -1,0 +1,125 @@
+//! Minimal TCP header codec — enough for five-tuple classification and
+//! PCEF/ADC matching; PEPC is a middlebox and never terminates TCP.
+
+use crate::error::{NetError, Result};
+
+/// Length of an option-free TCP header.
+pub const TCP_HDR_LEN: usize = 20;
+
+/// TCP flag bits.
+pub mod flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+}
+
+/// A decoded TCP header (options are skipped, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHdr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    /// Header length in bytes, including options.
+    pub data_offset: usize,
+    pub flags: u8,
+    pub window: u16,
+}
+
+impl TcpHdr {
+    /// Parse the header at the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < TCP_HDR_LEN {
+            return Err(NetError::Truncated { what: "tcp", need: TCP_HDR_LEN, have: buf.len() });
+        }
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if !(TCP_HDR_LEN..=60).contains(&data_offset) {
+            return Err(NetError::BadLength { what: "tcp data offset", value: data_offset });
+        }
+        if buf.len() < data_offset {
+            return Err(NetError::Truncated { what: "tcp options", need: data_offset, have: buf.len() });
+        }
+        Ok(TcpHdr {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            data_offset,
+            flags: buf[13],
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+        })
+    }
+
+    /// Serialize an option-free header with checksum zeroed (classification
+    /// paths never originate TCP segments).
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < TCP_HDR_LEN {
+            return Err(NetError::Truncated { what: "tcp emit", need: TCP_HDR_LEN, have: buf.len() });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = ((TCP_HDR_LEN / 4) as u8) << 4;
+        buf[13] = self.flags;
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..20].fill(0); // checksum + urgent pointer
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = TcpHdr {
+            src_port: 443,
+            dst_port: 51000,
+            seq: 0xdeadbeef,
+            ack: 0x01020304,
+            data_offset: TCP_HDR_LEN,
+            flags: flags::SYN | flags::ACK,
+            window: 65535,
+        };
+        let mut buf = [0u8; TCP_HDR_LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(TcpHdr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn options_skipped() {
+        let mut buf = [0u8; 28];
+        TcpHdr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            data_offset: TCP_HDR_LEN,
+            flags: flags::ACK,
+            window: 1000,
+        }
+        .emit(&mut buf)
+        .unwrap();
+        buf[12] = 7 << 4; // 28-byte header, 8 bytes of options
+        let h = TcpHdr::parse(&buf).unwrap();
+        assert_eq!(h.data_offset, 28);
+    }
+
+    #[test]
+    fn bogus_offset_rejected() {
+        let mut buf = [0u8; TCP_HDR_LEN];
+        buf[12] = 2 << 4; // 8 bytes, below minimum
+        assert!(matches!(TcpHdr::parse(&buf), Err(NetError::BadLength { .. })));
+    }
+
+    #[test]
+    fn options_past_buffer_rejected() {
+        let mut buf = [0u8; TCP_HDR_LEN];
+        buf[12] = 10 << 4; // claims 40-byte header in a 20-byte buffer
+        assert!(matches!(TcpHdr::parse(&buf), Err(NetError::Truncated { .. })));
+    }
+}

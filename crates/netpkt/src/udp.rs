@@ -1,0 +1,123 @@
+//! UDP header codec (RFC 768).
+
+use crate::checksum;
+use crate::error::{NetError, Result};
+
+/// Length of a UDP header.
+pub const UDP_HDR_LEN: usize = 8;
+
+/// A decoded UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHdr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Header + payload length from the wire.
+    pub len: u16,
+}
+
+impl UdpHdr {
+    /// A fresh header for `payload_len` payload bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHdr { src_port, dst_port, len: (UDP_HDR_LEN + payload_len) as u16 }
+    }
+
+    /// Parse the header at the front of `buf` (checksum not verified here;
+    /// use [`UdpHdr::verify_checksum`] where the pseudo-header is known).
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < UDP_HDR_LEN {
+            return Err(NetError::Truncated { what: "udp", need: UDP_HDR_LEN, have: buf.len() });
+        }
+        let len = u16::from_be_bytes([buf[4], buf[5]]);
+        if usize::from(len) < UDP_HDR_LEN {
+            return Err(NetError::BadLength { what: "udp", value: len as usize });
+        }
+        Ok(UdpHdr {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len,
+        })
+    }
+
+    /// Serialize with checksum zeroed (legal for UDP over IPv4; GTP-U
+    /// stacks commonly do exactly this on the fast path).
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < UDP_HDR_LEN {
+            return Err(NetError::Truncated { what: "udp emit", need: UDP_HDR_LEN, have: buf.len() });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.len.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0, 0]);
+        Ok(())
+    }
+
+    /// Serialize and fill in the pseudo-header checksum. `segment` must be
+    /// the emitted header immediately followed by the payload.
+    pub fn emit_with_checksum(&self, segment: &mut [u8], src_ip: u32, dst_ip: u32) -> Result<()> {
+        self.emit(segment)?;
+        let c = checksum::pseudo_header_checksum(src_ip, dst_ip, 17, segment);
+        // RFC 768: a computed zero checksum is transmitted as all-ones.
+        let c = if c == 0 { 0xFFFF } else { c };
+        segment[6..8].copy_from_slice(&c.to_be_bytes());
+        Ok(())
+    }
+
+    /// Verify a received segment's checksum (zero means "not computed").
+    pub fn verify_checksum(segment: &[u8], src_ip: u32, dst_ip: u32) -> bool {
+        if segment.len() < UDP_HDR_LEN {
+            return false;
+        }
+        if segment[6] == 0 && segment[7] == 0 {
+            return true; // sender opted out
+        }
+        checksum::pseudo_header_checksum(src_ip, dst_ip, 17, segment) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHdr::new(2152, 2152, 32);
+        let mut buf = [0u8; UDP_HDR_LEN];
+        h.emit(&mut buf).unwrap();
+        assert_eq!(UdpHdr::parse(&buf).unwrap(), h);
+        assert_eq!(h.len as usize, UDP_HDR_LEN + 32);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(UdpHdr::parse(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn bad_length_field_rejected() {
+        let mut buf = [0u8; UDP_HDR_LEN];
+        UdpHdr::new(1, 2, 0).emit(&mut buf).unwrap();
+        buf[4..6].copy_from_slice(&3u16.to_be_bytes());
+        assert!(matches!(UdpHdr::parse(&buf), Err(NetError::BadLength { .. })));
+    }
+
+    #[test]
+    fn checksum_roundtrip() {
+        let payload = b"dns query bytes";
+        let h = UdpHdr::new(53000, 53, payload.len());
+        let mut seg = vec![0u8; UDP_HDR_LEN + payload.len()];
+        seg[UDP_HDR_LEN..].copy_from_slice(payload);
+        h.emit_with_checksum(&mut seg, 0x0a000001, 0x08080808).unwrap();
+        assert!(UdpHdr::verify_checksum(&seg, 0x0a000001, 0x08080808));
+        assert!(!UdpHdr::verify_checksum(&seg, 0x0a000001, 0x08080809));
+        seg[9] ^= 1;
+        assert!(!UdpHdr::verify_checksum(&seg, 0x0a000001, 0x08080808));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let h = UdpHdr::new(1, 2, 4);
+        let mut seg = vec![0u8; UDP_HDR_LEN + 4];
+        h.emit(&mut seg).unwrap();
+        assert!(UdpHdr::verify_checksum(&seg, 1, 2));
+    }
+}

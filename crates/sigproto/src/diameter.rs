@@ -1,0 +1,198 @@
+//! Diameter-lite for the S6a interface (MME/PEPC-proxy ↔ HSS).
+//!
+//! S6a (TS 29.272) uses two exchanges during attach:
+//!
+//! * **Authentication-Information** (AIR/AIA): fetch authentication
+//!   vectors (RAND, AUTN, XRES) for a subscriber.
+//! * **Update-Location** (ULR/ULA): register the serving node and pull the
+//!   subscription profile (AMBR, default QCI).
+//!
+//! The encoding keeps Diameter's command-code + request-flag framing and
+//! hop-by-hop identifier for request/response matching, with fixed field
+//! layouts instead of AVP TLVs.
+
+use crate::wire::{need, u32_at, u64_at};
+use crate::{Result, SigError};
+
+/// Diameter result codes (subset).
+pub mod result_code {
+    pub const SUCCESS: u32 = 2001;
+    pub const USER_UNKNOWN: u32 = 5001;
+    pub const AUTHORIZATION_REJECTED: u32 = 5003;
+}
+
+/// S6a command codes.
+pub mod command {
+    pub const AUTHENTICATION_INFORMATION: u32 = 318;
+    pub const UPDATE_LOCATION: u32 = 316;
+}
+
+/// An S6a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiameterMsg {
+    /// MME → HSS: request authentication vectors.
+    AuthInfoRequest {
+        hop_id: u32,
+        imsi: u64,
+        /// Visited PLMN (operator) id.
+        plmn: u32,
+    },
+    /// HSS → MME: one authentication vector.
+    AuthInfoAnswer {
+        hop_id: u32,
+        result: u32,
+        rand: u64,
+        autn: u64,
+        xres: u64,
+    },
+    /// MME → HSS: register this MME as serving the subscriber.
+    UpdateLocationRequest {
+        hop_id: u32,
+        imsi: u64,
+        /// Identifier of the serving MME / PEPC node.
+        serving_node: u32,
+    },
+    /// HSS → MME: subscription profile.
+    UpdateLocationAnswer {
+        hop_id: u32,
+        result: u32,
+        /// Subscribed aggregate maximum bit rate (kbps).
+        ambr_kbps: u32,
+        /// Default bearer QoS class identifier.
+        default_qci: u8,
+    },
+}
+
+impl DiameterMsg {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        match self {
+            DiameterMsg::AuthInfoRequest { hop_id, imsi, plmn } => {
+                out.extend_from_slice(&command::AUTHENTICATION_INFORMATION.to_be_bytes());
+                out.push(1); // request flag
+                out.extend_from_slice(&hop_id.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+                out.extend_from_slice(&plmn.to_be_bytes());
+            }
+            DiameterMsg::AuthInfoAnswer { hop_id, result, rand, autn, xres } => {
+                out.extend_from_slice(&command::AUTHENTICATION_INFORMATION.to_be_bytes());
+                out.push(0);
+                out.extend_from_slice(&hop_id.to_be_bytes());
+                out.extend_from_slice(&result.to_be_bytes());
+                out.extend_from_slice(&rand.to_be_bytes());
+                out.extend_from_slice(&autn.to_be_bytes());
+                out.extend_from_slice(&xres.to_be_bytes());
+            }
+            DiameterMsg::UpdateLocationRequest { hop_id, imsi, serving_node } => {
+                out.extend_from_slice(&command::UPDATE_LOCATION.to_be_bytes());
+                out.push(1);
+                out.extend_from_slice(&hop_id.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+                out.extend_from_slice(&serving_node.to_be_bytes());
+            }
+            DiameterMsg::UpdateLocationAnswer { hop_id, result, ambr_kbps, default_qci } => {
+                out.extend_from_slice(&command::UPDATE_LOCATION.to_be_bytes());
+                out.push(0);
+                out.extend_from_slice(&hop_id.to_be_bytes());
+                out.extend_from_slice(&result.to_be_bytes());
+                out.extend_from_slice(&ambr_kbps.to_be_bytes());
+                out.push(*default_qci);
+            }
+        }
+        out
+    }
+
+    /// Parse bytes produced by [`DiameterMsg::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        need(buf, 9, "diameter header")?;
+        let code = u32_at(buf, 0);
+        let is_request = buf[4] == 1;
+        let hop_id = u32_at(buf, 5);
+        match (code, is_request) {
+            (command::AUTHENTICATION_INFORMATION, true) => {
+                need(buf, 21, "air")?;
+                Ok(DiameterMsg::AuthInfoRequest { hop_id, imsi: u64_at(buf, 9), plmn: u32_at(buf, 17) })
+            }
+            (command::AUTHENTICATION_INFORMATION, false) => {
+                need(buf, 37, "aia")?;
+                Ok(DiameterMsg::AuthInfoAnswer {
+                    hop_id,
+                    result: u32_at(buf, 9),
+                    rand: u64_at(buf, 13),
+                    autn: u64_at(buf, 21),
+                    xres: u64_at(buf, 29),
+                })
+            }
+            (command::UPDATE_LOCATION, true) => {
+                need(buf, 21, "ulr")?;
+                Ok(DiameterMsg::UpdateLocationRequest {
+                    hop_id,
+                    imsi: u64_at(buf, 9),
+                    serving_node: u32_at(buf, 17),
+                })
+            }
+            (command::UPDATE_LOCATION, false) => {
+                need(buf, 18, "ula")?;
+                Ok(DiameterMsg::UpdateLocationAnswer {
+                    hop_id,
+                    result: u32_at(buf, 9),
+                    ambr_kbps: u32_at(buf, 13),
+                    default_qci: buf[17],
+                })
+            }
+            (other, _) => Err(SigError::UnknownType("diameter command", other)),
+        }
+    }
+
+    /// Hop-by-hop identifier for request/answer correlation.
+    pub fn hop_id(&self) -> u32 {
+        match self {
+            DiameterMsg::AuthInfoRequest { hop_id, .. }
+            | DiameterMsg::AuthInfoAnswer { hop_id, .. }
+            | DiameterMsg::UpdateLocationRequest { hop_id, .. }
+            | DiameterMsg::UpdateLocationAnswer { hop_id, .. } => *hop_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all() {
+        let msgs = vec![
+            DiameterMsg::AuthInfoRequest { hop_id: 1, imsi: 404_01_0000000001, plmn: 40401 },
+            DiameterMsg::AuthInfoAnswer { hop_id: 1, result: result_code::SUCCESS, rand: 2, autn: 3, xres: 4 },
+            DiameterMsg::UpdateLocationRequest { hop_id: 2, imsi: 5, serving_node: 6 },
+            DiameterMsg::UpdateLocationAnswer {
+                hop_id: 2,
+                result: result_code::SUCCESS,
+                ambr_kbps: 100_000,
+                default_qci: 9,
+            },
+        ];
+        for m in msgs {
+            let enc = m.encode();
+            let dec = DiameterMsg::decode(&enc).unwrap();
+            assert_eq!(dec, m);
+            assert_eq!(dec.hop_id(), m.hop_id());
+        }
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        let enc = DiameterMsg::AuthInfoAnswer { hop_id: 9, result: 2001, rand: 1, autn: 2, xres: 3 }.encode();
+        for cut in 0..enc.len() {
+            assert!(DiameterMsg::decode(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let mut enc = DiameterMsg::AuthInfoRequest { hop_id: 1, imsi: 2, plmn: 3 }.encode();
+        enc[0..4].copy_from_slice(&999u32.to_be_bytes());
+        assert!(matches!(DiameterMsg::decode(&enc), Err(SigError::UnknownType(_, 999))));
+    }
+}

@@ -1,0 +1,213 @@
+//! Gx-lite: credit-control between the PCEF (in the P-GW / PEPC data
+//! plane) and the PCRF.
+//!
+//! The Gx interface (TS 29.212) installs charging/policy rules at session
+//! establishment and reports usage back. Two exchanges:
+//!
+//! * **CCR-Initial / CCA-Initial** — at attach, the PCEF asks the PCRF for
+//!   the subscriber's rules; the answer carries rule definitions
+//!   (5-tuple-ish filters plus a QoS class and rate limit).
+//! * **CCR-Update / CCA-Update** — periodic usage reporting; the PCRF may
+//!   push updated rate limits.
+
+use crate::wire::{need, u16_at, u32_at, u64_at};
+use crate::{Result, SigError};
+
+/// One policy/charging rule as carried on Gx: a destination-port match and
+/// the treatment for matching traffic. (Real Gx carries IPFilterRule
+/// strings; the match dimensions here are what the PCEF's BPF programs
+/// consume.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GxRule {
+    /// Rule identifier (also the PCEF match-action verdict).
+    pub rule_id: u32,
+    /// IP protocol to match (0 = any).
+    pub proto: u8,
+    /// Destination port range [lo, hi); lo == hi == 0 matches any port.
+    pub dst_port_lo: u16,
+    pub dst_port_hi: u16,
+    /// QoS class identifier for matching traffic.
+    pub qci: u8,
+    /// Rate limit (kbps) for matching traffic; 0 = unlimited.
+    pub rate_kbps: u32,
+}
+
+impl GxRule {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rule_id.to_be_bytes());
+        out.push(self.proto);
+        out.extend_from_slice(&self.dst_port_lo.to_be_bytes());
+        out.extend_from_slice(&self.dst_port_hi.to_be_bytes());
+        out.push(self.qci);
+        out.extend_from_slice(&self.rate_kbps.to_be_bytes());
+    }
+
+    const WIRE_LEN: usize = 14;
+
+    fn decode_at(buf: &[u8], off: usize) -> Result<Self> {
+        need(buf, off + Self::WIRE_LEN, "gx rule")?;
+        Ok(GxRule {
+            rule_id: u32_at(buf, off),
+            proto: buf[off + 4],
+            dst_port_lo: u16_at(buf, off + 5),
+            dst_port_hi: u16_at(buf, off + 7),
+            qci: buf[off + 9],
+            rate_kbps: u32_at(buf, off + 10),
+        })
+    }
+}
+
+/// A Gx message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GxMsg {
+    /// PCEF → PCRF at session establishment.
+    CcrInitial {
+        session_id: u32,
+        imsi: u64,
+    },
+    /// PCRF → PCEF: install these rules.
+    CcaInitial {
+        session_id: u32,
+        result: u32,
+        rules: Vec<GxRule>,
+    },
+    /// PCEF → PCRF: usage report.
+    CcrUpdate {
+        session_id: u32,
+        imsi: u64,
+        uplink_bytes: u64,
+        downlink_bytes: u64,
+    },
+    /// PCRF → PCEF: acknowledged; optionally a new aggregate rate limit.
+    CcaUpdate {
+        session_id: u32,
+        result: u32,
+        new_ambr_kbps: u32,
+    },
+}
+
+impl GxMsg {
+    const T_CCR_I: u8 = 1;
+    const T_CCA_I: u8 = 2;
+    const T_CCR_U: u8 = 3;
+    const T_CCA_U: u8 = 4;
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            GxMsg::CcrInitial { session_id, imsi } => {
+                out.push(Self::T_CCR_I);
+                out.extend_from_slice(&session_id.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+            }
+            GxMsg::CcaInitial { session_id, result, rules } => {
+                out.push(Self::T_CCA_I);
+                out.extend_from_slice(&session_id.to_be_bytes());
+                out.extend_from_slice(&result.to_be_bytes());
+                out.push(rules.len() as u8);
+                for r in rules {
+                    r.encode_into(&mut out);
+                }
+            }
+            GxMsg::CcrUpdate { session_id, imsi, uplink_bytes, downlink_bytes } => {
+                out.push(Self::T_CCR_U);
+                out.extend_from_slice(&session_id.to_be_bytes());
+                out.extend_from_slice(&imsi.to_be_bytes());
+                out.extend_from_slice(&uplink_bytes.to_be_bytes());
+                out.extend_from_slice(&downlink_bytes.to_be_bytes());
+            }
+            GxMsg::CcaUpdate { session_id, result, new_ambr_kbps } => {
+                out.push(Self::T_CCA_U);
+                out.extend_from_slice(&session_id.to_be_bytes());
+                out.extend_from_slice(&result.to_be_bytes());
+                out.extend_from_slice(&new_ambr_kbps.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse bytes produced by [`GxMsg::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        need(buf, 1, "gx header")?;
+        match buf[0] {
+            Self::T_CCR_I => {
+                need(buf, 13, "ccr-i")?;
+                Ok(GxMsg::CcrInitial { session_id: u32_at(buf, 1), imsi: u64_at(buf, 5) })
+            }
+            Self::T_CCA_I => {
+                need(buf, 10, "cca-i")?;
+                let n = buf[9] as usize;
+                let mut rules = Vec::with_capacity(n);
+                for i in 0..n {
+                    rules.push(GxRule::decode_at(buf, 10 + i * GxRule::WIRE_LEN)?);
+                }
+                Ok(GxMsg::CcaInitial { session_id: u32_at(buf, 1), result: u32_at(buf, 5), rules })
+            }
+            Self::T_CCR_U => {
+                need(buf, 29, "ccr-u")?;
+                Ok(GxMsg::CcrUpdate {
+                    session_id: u32_at(buf, 1),
+                    imsi: u64_at(buf, 5),
+                    uplink_bytes: u64_at(buf, 13),
+                    downlink_bytes: u64_at(buf, 21),
+                })
+            }
+            Self::T_CCA_U => {
+                need(buf, 13, "cca-u")?;
+                Ok(GxMsg::CcaUpdate {
+                    session_id: u32_at(buf, 1),
+                    result: u32_at(buf, 5),
+                    new_ambr_kbps: u32_at(buf, 9),
+                })
+            }
+            other => Err(SigError::UnknownType("gx message", other.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> Vec<GxRule> {
+        vec![
+            GxRule { rule_id: 1, proto: 6, dst_port_lo: 80, dst_port_hi: 81, qci: 8, rate_kbps: 5000 },
+            GxRule { rule_id: 2, proto: 17, dst_port_lo: 0, dst_port_hi: 0, qci: 9, rate_kbps: 0 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all() {
+        let msgs = vec![
+            GxMsg::CcrInitial { session_id: 1, imsi: 404_01_0000000001 },
+            GxMsg::CcaInitial { session_id: 1, result: 2001, rules: rules() },
+            GxMsg::CcaInitial { session_id: 1, result: 2001, rules: vec![] },
+            GxMsg::CcrUpdate { session_id: 1, imsi: 2, uplink_bytes: 1 << 40, downlink_bytes: 7 },
+            GxMsg::CcaUpdate { session_id: 1, result: 2001, new_ambr_kbps: 20_000 },
+        ];
+        for m in msgs {
+            assert_eq!(GxMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rule_count_bounds_checked() {
+        let mut enc = GxMsg::CcaInitial { session_id: 1, result: 2001, rules: rules() }.encode();
+        enc[9] = 50; // claim 50 rules, only 2 present
+        assert!(GxMsg::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        let enc = GxMsg::CcrUpdate { session_id: 1, imsi: 2, uplink_bytes: 3, downlink_bytes: 4 }.encode();
+        for cut in 0..enc.len() {
+            assert!(GxMsg::decode(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(GxMsg::decode(&[0x7F]).is_err());
+    }
+}

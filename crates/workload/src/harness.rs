@@ -1,0 +1,406 @@
+//! The shared measurement harness: one loop, many systems.
+//!
+//! Every figure reports data-plane throughput (Mpps) and/or per-packet
+//! latency while signaling runs at some rate. [`measure`] is that loop:
+//! it interleaves signaling events (at their configured rate) with data
+//! packets on one thread — exactly how a run-to-completion core
+//! experiences the combined load — and reports what got through.
+//!
+//! [`SystemUnderTest`] adapts the two EPCs (PEPC slice, classic EPC) to
+//! the loop, so every comparison runs byte-identical workloads.
+
+use crate::signaling::{SigEvent, SignalingGen};
+use crate::traffic::{read_timestamp, TrafficGen, UserKeys};
+use pepc::ctrl::CtrlEvent;
+use pepc::slice::Slice;
+use pepc_baseline::ClassicEpc;
+use pepc_fabric::{Clock, LatencyHistogram};
+use pepc_net::Mbuf;
+use std::time::{Duration, Instant};
+
+/// What the measurement loop needs from an EPC.
+pub trait SystemUnderTest {
+    /// Apply one signaling event; false = rejected/unknown user.
+    fn signal(&mut self, ev: SigEvent) -> bool;
+
+    /// Process one data packet; `Some` returns the forwarded packet (for
+    /// buffer recycling), `None` means it was dropped.
+    fn process(&mut self, m: Mbuf) -> Option<Mbuf>;
+
+    /// Attach `imsis` and return each user's data-plane keys in order.
+    fn attach_all(&mut self, imsis: &[u64]) -> Vec<UserKeys>;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// PEPC: an inline slice as the system under test (per-core numbers, as
+/// the paper reports).
+pub struct PepcSut {
+    pub slice: Slice,
+    name: &'static str,
+}
+
+impl PepcSut {
+    pub fn new(slice: Slice) -> Self {
+        PepcSut { slice, name: "PEPC" }
+    }
+
+    pub fn named(slice: Slice, name: &'static str) -> Self {
+        PepcSut { slice, name }
+    }
+
+    /// Demote a user to the secondary table (two-level experiments).
+    pub fn demote(&mut self, imsi: u64) {
+        self.slice.ctrl.demote_user(imsi);
+        // Push through the ring on the next packet sync; force it now so
+        // churn ticks act immediately.
+        self.slice.sync_now();
+    }
+}
+
+impl SystemUnderTest for PepcSut {
+    fn signal(&mut self, ev: SigEvent) -> bool {
+        match ev {
+            SigEvent::Attach { imsi } => self.slice.handle_ctrl_event(CtrlEvent::Attach { imsi }),
+            SigEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
+                self.slice.handle_ctrl_event(CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip })
+            }
+        }
+    }
+
+    fn process(&mut self, m: Mbuf) -> Option<Mbuf> {
+        match self.slice.process_packet(m) {
+            pepc::data::PacketVerdict::Forward(out) => Some(out),
+            pepc::data::PacketVerdict::Drop(_) => None,
+        }
+    }
+
+    fn attach_all(&mut self, imsis: &[u64]) -> Vec<UserKeys> {
+        let mut keys = Vec::with_capacity(imsis.len());
+        for &imsi in imsis {
+            self.slice.handle_ctrl_event(CtrlEvent::Attach { imsi });
+            let ctx = self.slice.ctrl.context_of(imsi).expect("attached");
+            let c = ctx.ctrl.read();
+            keys.push(UserKeys { teid: c.tunnels.gw_teid, ue_ip: c.ue_ip });
+            drop(c);
+            // Give the UE a serving eNodeB so downlink works.
+            self.slice.handle_ctrl_event(CtrlEvent::S1Handover {
+                imsi,
+                new_enb_teid: 0xE000_0000 + (imsi as u32 & 0xFFFF),
+                new_enb_ip: 0xC0A8_0001,
+            });
+        }
+        self.slice.sync_now();
+        keys
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The classic EPC as the system under test.
+pub struct ClassicSut {
+    pub epc: ClassicEpc,
+    clock: Clock,
+    name: &'static str,
+}
+
+impl ClassicSut {
+    pub fn new(epc: ClassicEpc, name: &'static str) -> Self {
+        ClassicSut { epc, clock: Clock::new(), name }
+    }
+}
+
+impl SystemUnderTest for ClassicSut {
+    fn signal(&mut self, ev: SigEvent) -> bool {
+        match ev {
+            SigEvent::Attach { imsi } => self.epc.attach(imsi),
+            SigEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
+                self.epc.s1_handover(imsi, new_enb_teid, new_enb_ip)
+            }
+        }
+    }
+
+    fn process(&mut self, m: Mbuf) -> Option<Mbuf> {
+        match self.epc.process(m, self.clock.now_ns()) {
+            pepc_baseline::ClassicVerdict::Forward(out) => Some(out),
+            pepc_baseline::ClassicVerdict::Drop => None,
+        }
+    }
+
+    fn attach_all(&mut self, imsis: &[u64]) -> Vec<UserKeys> {
+        let mut keys = Vec::with_capacity(imsis.len());
+        for &imsi in imsis {
+            assert!(self.epc.attach(imsi), "classic attach failed");
+            self.epc.s1_handover(imsi, 0xE000_0000 + (imsi as u32 & 0xFFFF), 0xC0A8_0001);
+            keys.push(UserKeys {
+                teid: self.epc.uplink_teid(imsi).expect("attached"),
+                ue_ip: self.epc.ue_ip(imsi).expect("attached"),
+            });
+        }
+        keys
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Result of one measurement run.
+#[derive(Debug)]
+pub struct Measurement {
+    /// Packets offered to the pipeline.
+    pub offered: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Signaling events applied.
+    pub events: u64,
+    pub elapsed: Duration,
+    /// Per-packet latency (generation → forward), when sampled.
+    pub latency: Option<LatencyHistogram>,
+}
+
+impl Measurement {
+    /// Offered-load throughput in Mpps (the rate the core sustained,
+    /// counting pipeline drops as processed work).
+    pub fn mpps(&self) -> f64 {
+        self.offered as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Forwarded (goodput) Mpps.
+    pub fn forwarded_mpps(&self) -> f64 {
+        self.forwarded as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Fraction of offered packets forwarded.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.forwarded as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Options for [`measure`].
+pub struct MeasureOpts {
+    pub duration: Duration,
+    /// Record latency for one in `latency_sample_every` packets
+    /// (0 = no latency recording).
+    pub latency_sample_every: u64,
+    /// Burst size between signaling checks.
+    pub burst: usize,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        MeasureOpts { duration: Duration::from_millis(300), latency_sample_every: 0, burst: 32 }
+    }
+}
+
+/// Run the interleaved signaling + data loop against `sut` for the
+/// configured duration. `on_tick` runs once per burst boundary with the
+/// elapsed nanoseconds (figures hook churn / migrations here).
+pub fn measure_with<S: SystemUnderTest + ?Sized>(
+    sut: &mut S,
+    gen: &mut TrafficGen,
+    sig: Option<&mut SignalingGen>,
+    opts: &MeasureOpts,
+    mut on_tick: impl FnMut(&mut S, u64),
+) -> Measurement {
+    let mut latency = if opts.latency_sample_every > 0 { Some(LatencyHistogram::new()) } else { None };
+    let clock = Clock::new();
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let mut forwarded = 0u64;
+    let mut events = 0u64;
+    let mut sig = sig;
+    loop {
+        let elapsed_ns = clock.now_ns();
+        if start.elapsed() >= opts.duration {
+            break;
+        }
+        // Signaling due by now (cap per round so data still flows even
+        // under overload, matching a real scheduler's fairness).
+        if let Some(sig) = sig.as_deref_mut() {
+            let due = sig.due(elapsed_ns).min(4096);
+            for _ in 0..due {
+                let ev = sig.next_event();
+                sut.signal(ev);
+                events += 1;
+            }
+        }
+        on_tick(sut, elapsed_ns);
+        for _ in 0..opts.burst {
+            let now = clock.now_ns();
+            let m = gen.next_packet(now);
+            offered += 1;
+            if let Some(out) = sut.process(m) {
+                forwarded += 1;
+                if let Some(h) = latency.as_mut() {
+                    if forwarded % opts.latency_sample_every == 0 {
+                        if let Some(t0) = read_timestamp(&out) {
+                            h.record(clock.now_ns().saturating_sub(t0));
+                        }
+                    }
+                }
+                gen.recycle(out);
+            }
+        }
+    }
+    Measurement { offered, forwarded, events, elapsed: start.elapsed(), latency }
+}
+
+/// [`measure_with`] without a tick hook.
+pub fn measure<S: SystemUnderTest + ?Sized>(
+    sut: &mut S,
+    gen: &mut TrafficGen,
+    sig: Option<&mut SignalingGen>,
+    opts: &MeasureOpts,
+) -> Measurement {
+    measure_with(sut, gen, sig, opts, |_, _| {})
+}
+
+/// Convenience: build an inline PEPC slice with the given batching and
+/// table mode (shared by figures and examples).
+pub fn default_pepc_slice(expected_users: usize, two_level: bool, sync_every: u32) -> Slice {
+    use pepc::config::{BatchingConfig, SliceConfig, TwoLevelConfig};
+    use pepc::ctrl::Allocator;
+    let config = SliceConfig {
+        batching: BatchingConfig { sync_every_packets: sync_every },
+        two_level: TwoLevelConfig { enabled: two_level, idle_timeout_ns: 5_000_000_000 },
+        expected_users,
+        ..SliceConfig::default()
+    };
+    Slice::new(
+        &config,
+        crate::params::Defaults::GW_IP,
+        1,
+        Allocator { teid_base: 0x0100_0000, ue_ip_base: 0x0A00_0001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 },
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signaling::EventMix;
+    use pepc_baseline::{BaselinePreset, ClassicConfig};
+
+    fn imsis(n: u64) -> Vec<u64> {
+        (0..n).map(|i| crate::params::Defaults::IMSI_BASE + i).collect()
+    }
+
+    #[test]
+    fn pepc_sut_measures_forwarding() {
+        let mut sut = PepcSut::new(default_pepc_slice(64, true, 32));
+        let keys = sut.attach_all(&imsis(16));
+        let mut gen = TrafficGen::new(keys);
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts { duration: Duration::from_millis(50), ..Default::default() },
+        );
+        assert!(m.offered > 1000, "offered {}", m.offered);
+        assert!(m.delivery_ratio() > 0.99, "delivery {}", m.delivery_ratio());
+        assert!(m.mpps() > 0.0);
+    }
+
+    #[test]
+    fn classic_sut_measures_forwarding() {
+        let epc = ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1));
+        let mut sut = ClassicSut::new(epc, "Industrial#1 (mechanisms)");
+        let keys = sut.attach_all(&imsis(16));
+        let mut gen = TrafficGen::new(keys);
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts { duration: Duration::from_millis(50), ..Default::default() },
+        );
+        assert!(m.delivery_ratio() > 0.99, "delivery {}", m.delivery_ratio());
+    }
+
+    #[test]
+    fn signaling_rate_is_honoured() {
+        let mut sut = PepcSut::new(default_pepc_slice(1024, true, 32));
+        let keys = sut.attach_all(&imsis(64));
+        let mut gen = TrafficGen::new(keys);
+        let mut sig = SignalingGen::new(crate::params::Defaults::IMSI_BASE, 64, 50_000, EventMix::handovers_only());
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            Some(&mut sig),
+            &MeasureOpts { duration: Duration::from_millis(100), ..Default::default() },
+        );
+        // ~50K/s over 100ms ≈ 5000 events (loose bounds for CI noise).
+        assert!((2000..8000).contains(&(m.events as usize)), "events {}", m.events);
+    }
+
+    #[test]
+    fn latency_sampling_produces_histogram() {
+        let mut sut = PepcSut::new(default_pepc_slice(64, true, 32));
+        let keys = sut.attach_all(&imsis(4));
+        let mut gen = TrafficGen::new(keys);
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts {
+                duration: Duration::from_millis(50),
+                latency_sample_every: 16,
+                ..Default::default()
+            },
+        );
+        let h = m.latency.expect("sampled");
+        assert!(h.count() > 10);
+        assert!(h.quantile_ns(0.5) > 0, "median latency should be non-zero ns");
+        assert!(h.quantile_ns(0.5) < 1_000_000, "inline pipeline is sub-ms");
+    }
+
+    #[test]
+    fn tick_hook_runs() {
+        let mut sut = PepcSut::new(default_pepc_slice(64, true, 32));
+        let keys = sut.attach_all(&imsis(4));
+        let mut gen = TrafficGen::new(keys);
+        let mut ticks = 0;
+        measure_with(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts { duration: Duration::from_millis(20), ..Default::default() },
+            |_, _| ticks += 1,
+        );
+        assert!(ticks > 0);
+    }
+
+    #[test]
+    fn pepc_and_classic_run_identical_workloads() {
+        // The generator is deterministic: the same seed drives both SUTs
+        // with the same packet sequence modulo user keys.
+        let mut a = PepcSut::new(default_pepc_slice(64, true, 32));
+        let ka = a.attach_all(&imsis(8));
+        let mut b = ClassicSut::new(
+            ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial2)),
+            "Industrial#2",
+        );
+        let kb = b.attach_all(&imsis(8));
+        assert_eq!(ka.len(), kb.len());
+        // Both forward their whole streams.
+        for (sut, keys) in [(&mut a as &mut dyn SystemUnderTest, ka), (&mut b as &mut dyn SystemUnderTest, kb)] {
+            let mut gen = TrafficGen::new(keys);
+            let mut ok = 0;
+            for _ in 0..1000 {
+                let m = gen.next_packet(0);
+                if let Some(out) = sut.process(m) {
+                    ok += 1;
+                    gen.recycle(out);
+                }
+            }
+            assert_eq!(ok, 1000, "{}", sut.name());
+        }
+    }
+}

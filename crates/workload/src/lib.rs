@@ -1,0 +1,30 @@
+//! # pepc-workload — workload generation and the measurement harness
+//!
+//! The paper's testbed drove PEPC with OpenAirInterface-derived GTP-U
+//! traces and an ng4T RAN emulator; this crate is the synthetic
+//! equivalent (DESIGN.md §2): packet generators reproducing the Table 2
+//! workload parameters, signaling event streams, device populations with
+//! IoT shares / always-on fractions / churn, and the measurement loop all
+//! figure harnesses share.
+//!
+//! * [`params`] — Table 2 defaults (UL:DL 1:3, 64 B downlink, 128 B
+//!   uplink, attach events, 100 K events/s, 1 M users).
+//! * [`traffic`] — GTP-U uplink / plain-IP downlink generator with
+//!   buffer recycling and per-packet latency stamps.
+//! * [`signaling`] — attach / S1-handover event streams at a target rate,
+//!   uniform across the user population (§5.1).
+//! * [`population`] — device mixes for Figures 14 and 15.
+//! * [`harness`] — [`harness::SystemUnderTest`] adapters for PEPC and the
+//!   classic baseline plus the shared throughput/latency measurement loop.
+
+pub mod harness;
+pub mod params;
+pub mod population;
+pub mod signaling;
+pub mod traffic;
+
+pub use harness::{ClassicSut, Measurement, PepcSut, SystemUnderTest};
+pub use params::Defaults;
+pub use population::Population;
+pub use signaling::{SigEvent, SignalingGen};
+pub use traffic::TrafficGen;

@@ -1,0 +1,41 @@
+//! Evaluation parameters and default values — paper Table 2.
+
+/// Table 2 of the paper, verbatim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Defaults;
+
+impl Defaults {
+    /// Ratio of uplink to downlink traffic (1:3).
+    pub const UPLINK_PER_DOWNLINK: (u32, u32) = (1, 3);
+    /// Downlink packet size, bytes.
+    pub const DOWNLINK_PACKET_BYTES: usize = 64;
+    /// Uplink packet size, bytes (on the wire, GTP-U included).
+    pub const UPLINK_PACKET_BYTES: usize = 128;
+    /// Default signaling event type: attach request.
+    pub const SIGNALING_EVENT: &'static str = "attach request";
+    /// Signaling events per second.
+    pub const SIGNALING_EVENTS_PER_SEC: u64 = 100_000;
+    /// Number of users.
+    pub const USERS: u64 = 1_000_000;
+
+    /// First IMSI of the synthetic subscriber block.
+    pub const IMSI_BASE: u64 = 404_01_0000000000;
+    /// eNodeB transport address used by the generator.
+    pub const ENB_IP: u32 = 0xC0A8_0001;
+    /// PEPC/S-GW gateway address packets are tunnelled to.
+    pub const GW_IP: u32 = 0x0AFE_0001;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(Defaults::UPLINK_PER_DOWNLINK, (1, 3));
+        assert_eq!(Defaults::DOWNLINK_PACKET_BYTES, 64);
+        assert_eq!(Defaults::UPLINK_PACKET_BYTES, 128);
+        assert_eq!(Defaults::SIGNALING_EVENTS_PER_SEC, 100_000);
+        assert_eq!(Defaults::USERS, 1_000_000);
+    }
+}

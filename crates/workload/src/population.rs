@@ -1,0 +1,72 @@
+//! Device populations for the customization and two-level-table studies.
+
+/// A synthetic device population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Population {
+    /// Total devices.
+    pub total: u64,
+    /// Fraction that are stateless IoT devices (Figure 15's sweep).
+    pub iot_fraction: f64,
+    /// Fraction that are always-on — state pinned in the primary table
+    /// (Figure 14's sweep).
+    pub always_on_fraction: f64,
+    /// Fraction of all devices moving into AND out of the primary table
+    /// per second ("Low churn" = 0.01, "High churn" = 0.10 in §7.3).
+    pub churn_per_sec: f64,
+}
+
+impl Population {
+    /// A plain all-smartphone, all-active population.
+    pub fn uniform(total: u64) -> Self {
+        Population { total, iot_fraction: 0.0, always_on_fraction: 1.0, churn_per_sec: 0.0 }
+    }
+
+    /// Number of stateless IoT devices (they occupy the tail of the
+    /// index space so pool membership is a range check).
+    pub fn iot_count(&self) -> u64 {
+        (self.total as f64 * self.iot_fraction).round() as u64
+    }
+
+    /// Number of regular (per-user-state) devices.
+    pub fn regular_count(&self) -> u64 {
+        self.total - self.iot_count()
+    }
+
+    /// Number of always-on devices among the regular ones.
+    pub fn always_on_count(&self) -> u64 {
+        (self.regular_count() as f64 * self.always_on_fraction).round() as u64
+    }
+
+    /// Devices churning (promoted + demoted) per second.
+    pub fn churn_count_per_sec(&self) -> u64 {
+        (self.total as f64 * self.churn_per_sec).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_population() {
+        let p = Population::uniform(1000);
+        assert_eq!(p.iot_count(), 0);
+        assert_eq!(p.regular_count(), 1000);
+        assert_eq!(p.always_on_count(), 1000);
+        assert_eq!(p.churn_count_per_sec(), 0);
+    }
+
+    #[test]
+    fn fig15_style_split() {
+        let p = Population { total: 10_000_000, iot_fraction: 0.25, always_on_fraction: 1.0, churn_per_sec: 0.0 };
+        assert_eq!(p.iot_count(), 2_500_000);
+        assert_eq!(p.regular_count(), 7_500_000);
+    }
+
+    #[test]
+    fn fig14_style_split() {
+        let p = Population { total: 1_000_000, iot_fraction: 0.0, always_on_fraction: 0.01, churn_per_sec: 0.01 };
+        assert_eq!(p.always_on_count(), 10_000);
+        assert_eq!(p.churn_count_per_sec(), 10_000);
+    }
+}

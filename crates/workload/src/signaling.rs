@@ -1,0 +1,172 @@
+//! Signaling event streams — the paper's second experiment category
+//! (§5.1): synthetic control updates "corresponding to attach requests
+//! and S1-based handovers [...] uniformly distributed across the number
+//! of user devices", at a configurable rate.
+
+/// One signaling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigEvent {
+    Attach { imsi: u64 },
+    S1Handover { imsi: u64, new_enb_teid: u32, new_enb_ip: u32 },
+}
+
+/// What mix of events to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventMix {
+    /// Fraction of events that are attaches (rest are S1 handovers).
+    pub attach_fraction: f64,
+}
+
+impl EventMix {
+    pub fn attaches_only() -> Self {
+        EventMix { attach_fraction: 1.0 }
+    }
+
+    pub fn handovers_only() -> Self {
+        EventMix { attach_fraction: 0.0 }
+    }
+}
+
+/// Deterministic event stream: `rate` events per second, uniform over
+/// `[imsi_base, imsi_base + users)`.
+pub struct SignalingGen {
+    imsi_base: u64,
+    users: u64,
+    rate_per_sec: u64,
+    mix: EventMix,
+    issued: u64,
+    lcg: u64,
+    /// Rotates eNodeB endpoints for handover events.
+    enb_counter: u32,
+}
+
+impl SignalingGen {
+    pub fn new(imsi_base: u64, users: u64, rate_per_sec: u64, mix: EventMix) -> Self {
+        assert!(users > 0);
+        SignalingGen {
+            imsi_base,
+            users,
+            rate_per_sec,
+            mix,
+            issued: 0,
+            lcg: 0x2545_F491_4F6C_DD1D,
+            enb_counter: 0,
+        }
+    }
+
+    /// Events per second this stream targets.
+    pub fn rate(&self) -> u64 {
+        self.rate_per_sec
+    }
+
+    /// Total events issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// How many events are due by `elapsed_ns` that have not yet been
+    /// issued. Call [`SignalingGen::next_event`] that many times.
+    pub fn due(&self, elapsed_ns: u64) -> u64 {
+        let target = (elapsed_ns as u128 * self.rate_per_sec as u128 / 1_000_000_000) as u64;
+        target.saturating_sub(self.issued)
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> SigEvent {
+        self.issued += 1;
+        self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let imsi = self.imsi_base + (self.lcg >> 33) % self.users;
+        let attach = if self.mix.attach_fraction >= 1.0 {
+            true
+        } else if self.mix.attach_fraction <= 0.0 {
+            false
+        } else {
+            // Low bits of the LCG pick the event type.
+            (self.lcg & 0xFFFF) as f64 / 65536.0 < self.mix.attach_fraction
+        };
+        if attach {
+            SigEvent::Attach { imsi }
+        } else {
+            self.enb_counter = self.enb_counter.wrapping_add(1);
+            SigEvent::S1Handover {
+                imsi,
+                new_enb_teid: 0xE000_0000 + (self.enb_counter & 0xFFFF),
+                new_enb_ip: 0xC0A8_0001 + (self.enb_counter % 64),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_follows_rate() {
+        let g = SignalingGen::new(0, 100, 10_000, EventMix::attaches_only());
+        assert_eq!(g.due(0), 0);
+        assert_eq!(g.due(1_000_000), 10); // 1 ms at 10K/s
+        assert_eq!(g.due(1_000_000_000), 10_000);
+    }
+
+    #[test]
+    fn issuing_reduces_due() {
+        let mut g = SignalingGen::new(0, 100, 1000, EventMix::attaches_only());
+        assert_eq!(g.due(10_000_000), 10);
+        for _ in 0..10 {
+            g.next_event();
+        }
+        assert_eq!(g.due(10_000_000), 0);
+        assert_eq!(g.issued(), 10);
+    }
+
+    #[test]
+    fn events_cover_population_uniformly() {
+        let mut g = SignalingGen::new(1000, 10, 1, EventMix::attaches_only());
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            match g.next_event() {
+                SigEvent::Attach { imsi } => counts[(imsi - 1000) as usize] += 1,
+                _ => unreachable!(),
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "imsi offset {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn mix_controls_event_types() {
+        let mut g = SignalingGen::new(0, 100, 1, EventMix { attach_fraction: 0.5 });
+        let mut attaches = 0;
+        let mut handovers = 0;
+        for _ in 0..10_000 {
+            match g.next_event() {
+                SigEvent::Attach { .. } => attaches += 1,
+                SigEvent::S1Handover { .. } => handovers += 1,
+            }
+        }
+        assert!((4000..6000).contains(&attaches), "{attaches}");
+        assert!((4000..6000).contains(&handovers), "{handovers}");
+    }
+
+    #[test]
+    fn handover_endpoints_rotate() {
+        let mut g = SignalingGen::new(0, 10, 1, EventMix::handovers_only());
+        let e1 = g.next_event();
+        let e2 = g.next_event();
+        match (e1, e2) {
+            (
+                SigEvent::S1Handover { new_enb_teid: t1, .. },
+                SigEvent::S1Handover { new_enb_teid: t2, .. },
+            ) => assert_ne!(t1, t2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_due() {
+        let g = SignalingGen::new(0, 10, 0, EventMix::attaches_only());
+        assert_eq!(g.due(u64::MAX / 2), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Live user migration between slices under traffic — the paper's §6.6
+//! scenario: state moves, tunnels stay valid, no packet is lost, and
+//! charging counters travel with the user.
+//!
+//! ```sh
+//! cargo run --release --example live_migration
+//! ```
+
+use pepc::config::{BatchingConfig, EpcConfig, SliceConfig};
+use pepc::node::{NodeVerdict, PepcNode};
+use pepc_net::gtp::encap_gtpu;
+use pepc_net::ipv4::IpProto;
+use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
+use pepc_net::{Ipv4Hdr, Mbuf, IPV4_HDR_LEN};
+
+fn uplink(teid: u32, ue_ip: u32, seq: u32) -> Mbuf {
+    let mut m = Mbuf::new();
+    let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+    Ipv4Hdr::new(ue_ip, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + 4).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+    UdpHdr::new(40000, 53, 4).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+    m.extend(&hdr);
+    m.extend(&seq.to_be_bytes());
+    encap_gtpu(&mut m, 0xC0A8_0001, 0x0AFE_0001, teid).unwrap();
+    m
+}
+
+fn main() {
+    let config = EpcConfig {
+        slices: 2,
+        slice: SliceConfig { batching: BatchingConfig { sync_every_packets: 1 }, ..Default::default() },
+        ..EpcConfig::default()
+    };
+    let mut node = PepcNode::new(config, None);
+
+    let imsi = 404_01_0000000007u64;
+    let home = node.attach(imsi);
+    println!("user {imsi} attached on slice {home}");
+
+    let ctx = node.slice(home).ctrl.context_of(imsi).unwrap();
+    let (teid, ue_ip) = {
+        let c = ctx.ctrl.read();
+        (c.tunnels.gw_teid, c.ue_ip)
+    };
+    drop(ctx);
+
+    // Traffic before the migration.
+    for seq in 0..1000u32 {
+        assert!(node.process(uplink(teid, ue_ip, seq)).is_forward());
+    }
+    let before = node.slice(home).ctrl.counters_of(imsi).unwrap();
+    println!("pre-migration:  {} packets counted on slice {home}", before.uplink_packets);
+
+    // Migrate to the other slice with the paper's protocol: the Demux
+    // parks in-flight packets in a per-user queue, the source control
+    // thread hands over the consolidated context, the queue drains to
+    // the target.
+    let target = 1 - home;
+    let t = std::time::Instant::now();
+    assert!(node.migrate(imsi, target));
+    println!("migration {home} → {target} completed in {:?}", t.elapsed());
+
+    // Same tunnel keeps working — no handover signalling needed, because
+    // the TEID and UE IP moved with the state.
+    for seq in 1000..2000u32 {
+        assert!(node.process(uplink(teid, ue_ip, seq)).is_forward());
+    }
+    assert_eq!(node.slice(home).ctrl.user_count(), 0);
+    let after = node.slice(target).ctrl.counters_of(imsi).unwrap();
+    println!(
+        "post-migration: {} packets counted on slice {target} (counters travelled: {})",
+        after.uplink_packets,
+        after.uplink_packets == 2000
+    );
+    assert_eq!(after.uplink_packets, 2000);
+    println!("no packets lost, no tunnel re-established, one user slice moved.");
+}

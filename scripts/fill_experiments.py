@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from a figures --all output file.
+
+Usage: python3 scripts/fill_experiments.py figures_quick.txt
+"""
+import re
+import sys
+
+
+def section(text, fig, next_fig):
+    start = text.index(f"Figure {fig} ")
+    try:
+        end = text.index(f"Figure {next_fig} ")
+    except ValueError:
+        end = len(text)
+    return text[start:end].strip()
+
+
+def rows_only(sec):
+    lines = sec.splitlines()
+    return "\n".join(lines[1:]).strip()
+
+
+def main(path):
+    out = open(path).read()
+    exp = open("EXPERIMENTS.md").read()
+
+    # Figure 4 table values.
+    fig4 = section(out, 4, 5)
+    vals = {}
+    for line in fig4.splitlines():
+        m = re.match(r"(PEPC|Industrial#1|Industrial#2|OpenAirInterface|OpenEPC)\s+\d+\s+\d+\s+([\d.]+)", line)
+        if m:
+            vals[m.group(1)] = float(m.group(2))
+    pepc = vals["PEPC"]
+    exp = exp.replace("{FIG4_PEPC}", f"{pepc:.2f}")
+    exp = exp.replace("{FIG4_IND1}", f"{vals['Industrial#1']:.2f}")
+    exp = exp.replace("{FIG4_IND2}", f"{vals['Industrial#2']:.2f}")
+    exp = exp.replace("{FIG4_OAI}", f"{vals['OpenAirInterface']:.2f}")
+    exp = exp.replace("{FIG4_OEPC}", f"{vals['OpenEPC']:.2f}")
+    exp = exp.replace("{FIG4_R1}", f"{pepc / vals['Industrial#1']:.1f}")
+    exp = exp.replace("{FIG4_R2}", f"{pepc / vals['Industrial#2']:.1f}")
+    exp = exp.replace("{FIG4_R3}", f"{pepc / vals['OpenAirInterface']:.1f}")
+    exp = exp.replace("{FIG4_R4}", f"{pepc / vals['OpenEPC']:.1f}")
+
+    for fig, nxt in [(5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14), (14, 15)]:
+        exp = exp.replace("{FIG%d_ROWS}" % fig, rows_only(section(out, fig, nxt)))
+    exp = exp.replace("{FIG15_ROWS}", rows_only(section(out, 15, 99)))
+
+    open("EXPERIMENTS.md", "w").write(exp)
+    print("EXPERIMENTS.md filled from", path)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures_quick.txt")

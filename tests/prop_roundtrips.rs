@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) on the core data structures and
+//! codecs: arbitrary inputs must round-trip exactly or be rejected
+//! cleanly — never panic, never alias, never lose a user.
+
+use pepc::state::ControlState;
+use pepc::table::{PepcStore, StateStore};
+use pepc::twolevel::TwoLevelTable;
+use pepc_net::bpf::{BpfProgram, Field, Insn};
+use pepc_net::gtp::{decap_gtpu, encap_gtpu, GtpcMsg};
+use pepc_net::{FiveTuple, Ipv4Hdr, Mbuf};
+use pepc_sigproto::nas::{imsi_from_bcd, imsi_to_bcd, NasMsg};
+use pepc_sigproto::s1ap::S1apPdu;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn mbuf_push_pull_sequences_preserve_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ops in proptest::collection::vec(1usize..32, 0..12),
+    ) {
+        let mut m = Mbuf::from_payload(&payload);
+        let mut pushed = Vec::new();
+        for (i, &n) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                let bytes = vec![i as u8; n];
+                if m.push_bytes(&bytes).is_ok() {
+                    pushed.push(n);
+                }
+            } else if let Some(n2) = pushed.pop() {
+                m.pull(n2).unwrap();
+            }
+        }
+        // Pop whatever is left.
+        while let Some(n) = pushed.pop() {
+            m.pull(n).unwrap();
+        }
+        prop_assert_eq!(m.data(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_header_roundtrips(
+        src in any::<u32>(), dst in any::<u32>(), proto in any::<u8>(),
+        dscp in 0u8..64, ttl in any::<u8>(), payload_len in 0usize..1400,
+    ) {
+        let mut h = Ipv4Hdr::new(src, dst, pepc_net::ipv4::IpProto::from_u8(proto), payload_len);
+        h.dscp = dscp;
+        h.ttl = ttl;
+        let mut buf = [0u8; 20];
+        h.emit(&mut buf).unwrap();
+        let parsed = Ipv4Hdr::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn gtpu_encap_decap_roundtrips(
+        payload in proptest::collection::vec(any::<u8>(), 20..512),
+        teid in any::<u32>(), src in any::<u32>(), dst in any::<u32>(),
+    ) {
+        // Use an inner IPv4 wrapper so decap's sanity checks pass.
+        let mut m = Mbuf::new();
+        let mut hdr = [0u8; 20];
+        Ipv4Hdr::new(1, 2, pepc_net::ipv4::IpProto::Other(200), payload.len()).emit(&mut hdr).unwrap();
+        m.extend(&hdr);
+        m.extend(&payload);
+        let before = m.data().to_vec();
+        encap_gtpu(&mut m, src, dst, teid).unwrap();
+        let (gtp, outer) = decap_gtpu(&mut m).unwrap();
+        prop_assert_eq!(gtp.teid, teid);
+        prop_assert_eq!(outer.src, src);
+        prop_assert_eq!(m.data(), &before[..]);
+    }
+
+    #[test]
+    fn gtpc_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = GtpcMsg::decode(&bytes); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn nas_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = NasMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn s1ap_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = S1apPdu::decode(&bytes);
+    }
+
+    #[test]
+    fn sctp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pepc_sigproto::sctp::SctpPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn imsi_bcd_roundtrips_all_15_digit_values(imsi in 0u64..1_000_000_000_000_000) {
+        prop_assert_eq!(imsi_from_bcd(&imsi_to_bcd(imsi)).unwrap(), imsi);
+    }
+
+    #[test]
+    fn nas_attach_roundtrips(imsi in 0u64..1_000_000_000_000_000, cap in any::<u32>()) {
+        let m = NasMsg::AttachRequest { imsi, ue_capability: cap };
+        prop_assert_eq!(NasMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn verified_bpf_programs_never_panic_and_terminate(
+        insns in proptest::collection::vec(
+            prop_oneof![
+                (0u8..5).prop_map(|f| Insn::Ld(match f {
+                    0 => Field::SrcIp, 1 => Field::DstIp, 2 => Field::SrcPort,
+                    3 => Field::DstPort, _ => Field::Proto,
+                })),
+                any::<u32>().prop_map(Insn::And),
+                (any::<u32>(), 0u8..8, 0u8..8).prop_map(|(k, jt, jf)| Insn::JmpEq { k, jt, jf }),
+                (any::<u32>(), 0u8..8, 0u8..8).prop_map(|(k, jt, jf)| Insn::JmpGe { k, jt, jf }),
+                any::<u32>().prop_map(Insn::Ret),
+            ],
+            1..40,
+        ),
+        ft in (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()),
+    ) {
+        // Whatever the verifier accepts must run to completion on any
+        // five-tuple; what it rejects must never be runnable.
+        if let Ok(p) = BpfProgram::new(insns) {
+            let ft = FiveTuple { src_ip: ft.0, dst_ip: ft.1, src_port: ft.2, dst_port: ft.3, proto: ft.4 };
+            let _ = p.run(&ft);
+        }
+    }
+
+    #[test]
+    fn two_level_table_conserves_users(
+        keys in proptest::collection::hash_set(0u64..500, 1..100),
+        ops in proptest::collection::vec((0u64..500, 0u8..3), 0..200),
+    ) {
+        let mut t = TwoLevelTable::new(512, 10);
+        for &k in &keys {
+            t.insert_active(k, k, 0);
+        }
+        let n = t.len();
+        for (i, (k, op)) in ops.into_iter().enumerate() {
+            match op {
+                0 => { let _ = t.get(k, i as u64); }
+                1 => { t.demote(k); }
+                _ => { t.evict_idle(i as u64); }
+            }
+            prop_assert_eq!(t.len(), n, "user count drifted");
+        }
+        for &k in &keys {
+            prop_assert_eq!(t.get(k, u64::MAX), Some(&k));
+        }
+    }
+
+    #[test]
+    fn pepc_store_counters_are_exact(
+        visits in proptest::collection::vec((0u64..8, any::<bool>(), 1u64..1500), 0..200),
+    ) {
+        let store = PepcStore::new(8);
+        for uid in 0..8 {
+            store.insert(uid, ControlState::new(uid));
+        }
+        let mut expect_pkts = [0u64; 8];
+        let mut expect_bytes = [0u64; 8];
+        for (uid, up, bytes) in &visits {
+            store.data_path_visit(*uid, *up, *bytes, 1, &mut |_| true).unwrap();
+            expect_pkts[*uid as usize] += 1;
+            expect_bytes[*uid as usize] += bytes;
+        }
+        for uid in 0..8u64 {
+            let s = store.read_counters(uid).unwrap();
+            prop_assert_eq!(s.uplink_packets + s.downlink_packets, expect_pkts[uid as usize]);
+            prop_assert_eq!(s.uplink_bytes + s.downlink_bytes, expect_bytes[uid as usize]);
+        }
+    }
+}
