@@ -197,9 +197,7 @@ mod tests {
     fn auth_vector_verifies_like_a_sim() {
         let imsi = 404_01_0000000001;
         let h = hss_with(imsi);
-        let answer = h
-            .handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi, plmn: 40401 })
-            .unwrap();
+        let answer = h.handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi, plmn: 40401 }).unwrap();
         match answer {
             DiameterMsg::AuthInfoAnswer { result, rand, xres, .. } => {
                 assert_eq!(result, result_code::SUCCESS);
@@ -235,10 +233,7 @@ mod tests {
         let imsi = 42;
         let h = hss_with(imsi);
         assert_eq!(h.serving_node(imsi), None);
-        match h
-            .handle(&DiameterMsg::UpdateLocationRequest { hop_id: 2, imsi, serving_node: 17 })
-            .unwrap()
-        {
+        match h.handle(&DiameterMsg::UpdateLocationRequest { hop_id: 2, imsi, serving_node: 17 }).unwrap() {
             DiameterMsg::UpdateLocationAnswer { result, ambr_kbps, default_qci, .. } => {
                 assert_eq!(result, result_code::SUCCESS);
                 assert_eq!(ambr_kbps, 50_000);
@@ -254,10 +249,7 @@ mod tests {
         let h = Hss::new();
         h.provision_range(1_000_000, 10_000, 100_000);
         assert_eq!(h.subscriber_count(), 10_000);
-        match h
-            .handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi: 1_005_000, plmn: 1 })
-            .unwrap()
-        {
+        match h.handle(&DiameterMsg::AuthInfoRequest { hop_id: 1, imsi: 1_005_000, plmn: 1 }).unwrap() {
             DiameterMsg::AuthInfoAnswer { result, .. } => assert_eq!(result, result_code::SUCCESS),
             _ => panic!(),
         }

@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! # pepc-backend — the HSS and PCRF backends
 //!
 //! The paper leaves the Home Subscriber Server and the Policy Charging

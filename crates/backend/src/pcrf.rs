@@ -70,21 +70,15 @@ impl Pcrf {
     /// Handle a Gx request, producing the answer.
     pub fn handle(&self, req: &GxMsg) -> Result<GxMsg> {
         match req {
-            GxMsg::CcrInitial { session_id, imsi } => Ok(GxMsg::CcaInitial {
-                session_id: *session_id,
-                result: SUCCESS,
-                rules: self.rules_for(*imsi),
-            }),
+            GxMsg::CcrInitial { session_id, imsi } => {
+                Ok(GxMsg::CcaInitial { session_id: *session_id, result: SUCCESS, rules: self.rules_for(*imsi) })
+            }
             GxMsg::CcrUpdate { session_id, imsi, uplink_bytes, downlink_bytes } => {
                 let mut usage = self.usage.write();
                 let u = usage.entry(*imsi).or_default();
                 u.uplink_bytes += uplink_bytes;
                 u.downlink_bytes += downlink_bytes;
-                Ok(GxMsg::CcaUpdate {
-                    session_id: *session_id,
-                    result: SUCCESS,
-                    new_ambr_kbps: self.update_ambr_kbps,
-                })
+                Ok(GxMsg::CcaUpdate { session_id: *session_id, result: SUCCESS, new_ambr_kbps: self.update_ambr_kbps })
             }
             _ => Err(SigError::BadState("gx answer sent as request")),
         }
@@ -118,8 +112,7 @@ mod tests {
     #[test]
     fn per_subscriber_override() {
         let p = Pcrf::with_standard_rules();
-        let iot_rule =
-            vec![GxRule { rule_id: 9, proto: 17, dst_port_lo: 0, dst_port_hi: 0, qci: 9, rate_kbps: 64 }];
+        let iot_rule = vec![GxRule { rule_id: 9, proto: 17, dst_port_lo: 0, dst_port_hi: 0, qci: 9, rate_kbps: 64 }];
         p.set_rules(7, iot_rule.clone());
         assert_eq!(p.rules_for(7), iot_rule);
         assert_eq!(p.rules_for(8).len(), 3);
@@ -129,8 +122,7 @@ mod tests {
     fn usage_accumulates_across_reports() {
         let p = Pcrf::with_standard_rules();
         for _ in 0..3 {
-            p.handle(&GxMsg::CcrUpdate { session_id: 1, imsi: 5, uplink_bytes: 100, downlink_bytes: 300 })
-                .unwrap();
+            p.handle(&GxMsg::CcrUpdate { session_id: 1, imsi: 5, uplink_bytes: 100, downlink_bytes: 300 }).unwrap();
         }
         assert_eq!(p.usage_for(5), Usage { uplink_bytes: 300, downlink_bytes: 900 });
         assert_eq!(p.usage_for(6), Usage::default());

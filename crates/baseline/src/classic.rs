@@ -48,10 +48,10 @@ impl ClassicEpc {
     pub fn new(cfg: ClassicConfig) -> Self {
         let adc_programs = if cfg.adc_enabled {
             vec![
-                BpfProgram::match_proto_port_range(6, 80, 81, 1),    // HTTP
-                BpfProgram::match_proto_port_range(6, 443, 444, 2),  // HTTPS
+                BpfProgram::match_proto_port_range(6, 80, 81, 1),      // HTTP
+                BpfProgram::match_proto_port_range(6, 443, 444, 2),    // HTTPS
                 BpfProgram::match_proto_port_range(17, 5060, 5062, 3), // SIP
-                BpfProgram::match_dst_prefix(0x08080000, 16, 4),     // well-known CDN
+                BpfProgram::match_dst_prefix(0x08080000, 16, 4),       // well-known CDN
             ]
         } else {
             Vec::new()
@@ -153,10 +153,8 @@ impl ClassicEpc {
     pub fn process(&mut self, m: Mbuf, now_ns: u64) -> ClassicVerdict {
         self.metrics.rx += 1;
         let d = m.data();
-        let is_uplink = d.len() >= 28
-            && d[0] == 0x45
-            && d[9] == 17
-            && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
+        let is_uplink =
+            d.len() >= 28 && d[0] == 0x45 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
         let v = if is_uplink { self.uplink(m, now_ns) } else { self.downlink(m, now_ns) };
         match &v {
             ClassicVerdict::Forward(_) => self.metrics.forwarded += 1,

@@ -80,14 +80,7 @@ impl Mme {
                 (teid, ip)
             }
         };
-        let session = UserSession {
-            imsi,
-            ue_ip,
-            sgw_teid,
-            qci: 9,
-            ambr_kbps: 100_000,
-            ..UserSession::default()
-        };
+        let session = UserSession { imsi, ue_ip, sgw_teid, qci: 9, ambr_kbps: 100_000, ..UserSession::default() };
         self.sessions.insert(imsi, session);
         let seq = self.next_seq();
         self.pending.insert(seq, imsi);
@@ -107,9 +100,7 @@ impl Mme {
     /// correlated by the GTP-C sequence number.
     pub fn complete_attach(&mut self, rsp: &[u8]) -> bool {
         match GtpcMsg::decode(rsp) {
-            Ok(GtpcMsg::CreateSessionResponse { seq, ue_ip, cause, .. })
-                if cause == GtpcMsg::CAUSE_ACCEPTED =>
-            {
+            Ok(GtpcMsg::CreateSessionResponse { seq, ue_ip, cause, .. }) if cause == GtpcMsg::CAUSE_ACCEPTED => {
                 match self.pending.remove(&seq) {
                     Some(imsi) => {
                         // Record any gateway-assigned values in the MME copy.
@@ -205,6 +196,7 @@ impl Sgw {
     /// Handle a GTP-C message from the MME (S11). For a Create Session,
     /// returns the request to forward to the P-GW (S5) — the classic
     /// chain of duplicated installs.
+    #[allow(clippy::result_unit_err)] // decode failure carries no detail
     pub fn handle_s11(&mut self, msg: &[u8]) -> Result<SgwAction, ()> {
         match GtpcMsg::decode(msg).map_err(|_| ())? {
             GtpcMsg::CreateSessionRequest { seq, imsi, bearer_teid, ue_ip, qci, ambr_kbps, .. } => {
@@ -246,17 +238,13 @@ impl Sgw {
                         ))
                     }
                     None => Ok(SgwAction::Respond(
-                        GtpcMsg::ModifyBearerResponse { seq, cause: GtpcMsg::CAUSE_CONTEXT_NOT_FOUND }
-                            .encode(),
+                        GtpcMsg::ModifyBearerResponse { seq, cause: GtpcMsg::CAUSE_CONTEXT_NOT_FOUND }.encode(),
                     )),
                 }
             }
             GtpcMsg::DeleteSessionRequest { seq, imsi } => {
                 let found = self.table.remove_by_imsi(imsi);
-                Ok(SgwAction::ForwardDeleteToPgw(
-                    GtpcMsg::DeleteSessionRequest { seq, imsi }.encode(),
-                    found,
-                ))
+                Ok(SgwAction::ForwardDeleteToPgw(GtpcMsg::DeleteSessionRequest { seq, imsi }.encode(), found))
             }
             _ => Err(()),
         }
@@ -264,6 +252,7 @@ impl Sgw {
 
     /// Absorb the P-GW's Create Session Response and produce the S11
     /// response for the MME.
+    #[allow(clippy::result_unit_err)] // decode failure carries no detail
     pub fn finish_create(&mut self, pgw_rsp: &[u8]) -> Result<Vec<u8>, ()> {
         match GtpcMsg::decode(pgw_rsp).map_err(|_| ())? {
             GtpcMsg::CreateSessionResponse { seq, sender_cteid, bearer_teid, ue_ip, cause } => {
@@ -272,14 +261,8 @@ impl Sgw {
                 if let Some(s) = t.get_mut(&sender_cteid) {
                     s.pgw_teid = bearer_teid;
                 }
-                Ok(GtpcMsg::CreateSessionResponse {
-                    seq,
-                    sender_cteid,
-                    bearer_teid: sender_cteid,
-                    ue_ip,
-                    cause,
-                }
-                .encode())
+                Ok(GtpcMsg::CreateSessionResponse { seq, sender_cteid, bearer_teid: sender_cteid, ue_ip, cause }
+                    .encode())
             }
             _ => Err(()),
         }
@@ -307,6 +290,7 @@ impl Pgw {
     }
 
     /// Handle a GTP-C message from the S-GW (S5); returns the response.
+    #[allow(clippy::result_unit_err)] // decode failure carries no detail
     pub fn handle_s5(&mut self, msg: &[u8]) -> Result<Vec<u8>, ()> {
         match GtpcMsg::decode(msg).map_err(|_| ())? {
             GtpcMsg::CreateSessionRequest { seq, imsi, sender_cteid, bearer_teid, ue_ip, qci, ambr_kbps } => {

@@ -40,30 +40,18 @@ pub struct ClassicConfig {
 impl ClassicConfig {
     pub fn preset(preset: BaselinePreset) -> Self {
         match preset {
-            BaselinePreset::Industrial1 => ClassicConfig {
-                preset,
-                per_packet_kernel_ns: 0,
-                sync_window_ns: 35_000,
-                adc_enabled: true,
-            },
-            BaselinePreset::Industrial2 => ClassicConfig {
-                preset,
-                per_packet_kernel_ns: 0,
-                sync_window_ns: 18_000,
-                adc_enabled: false,
-            },
-            BaselinePreset::Oai => ClassicConfig {
-                preset,
-                per_packet_kernel_ns: 2_000,
-                sync_window_ns: 500_000,
-                adc_enabled: false,
-            },
-            BaselinePreset::OpenEpc => ClassicConfig {
-                preset,
-                per_packet_kernel_ns: 2_500,
-                sync_window_ns: 1_250_000,
-                adc_enabled: false,
-            },
+            BaselinePreset::Industrial1 => {
+                ClassicConfig { preset, per_packet_kernel_ns: 0, sync_window_ns: 35_000, adc_enabled: true }
+            }
+            BaselinePreset::Industrial2 => {
+                ClassicConfig { preset, per_packet_kernel_ns: 0, sync_window_ns: 18_000, adc_enabled: false }
+            }
+            BaselinePreset::Oai => {
+                ClassicConfig { preset, per_packet_kernel_ns: 2_000, sync_window_ns: 500_000, adc_enabled: false }
+            }
+            BaselinePreset::OpenEpc => {
+                ClassicConfig { preset, per_packet_kernel_ns: 2_500, sync_window_ns: 1_250_000, adc_enabled: false }
+            }
         }
     }
 

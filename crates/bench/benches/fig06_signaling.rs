@@ -26,10 +26,8 @@ fn bench(c: &mut Criterion) {
 
     // Classic: the same event forces an MME→S-GW synchronization (the
     // calibrated stall is excluded here; this is the mechanism cost).
-    let mut classic = ClassicSut::new(
-        ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1)),
-        "classic",
-    );
+    let mut classic =
+        ClassicSut::new(ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1)), "classic");
     classic.attach_all(&imsis);
     g.bench_function("classic_s1_handover_sync", |b| {
         b.iter(|| {

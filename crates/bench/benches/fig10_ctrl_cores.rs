@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! Figure 10/11 kernel: one full attach procedure over S1AP/NAS/SCTP
 //! against live HSS and PCRF backends — the per-attach cost that sets
 //! control-core requirements.

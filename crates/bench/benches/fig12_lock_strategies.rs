@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let uid = (i >> 33) % USERS;
-                store.data_path_visit(uid, i % 4 == 0, 100, i, &mut |c| c.imsi == uid)
+                store.data_path_visit(uid, i.is_multiple_of(4), 100, i, &mut |c| c.imsi == uid)
             })
         });
     }

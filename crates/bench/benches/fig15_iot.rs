@@ -26,16 +26,12 @@ fn bench(c: &mut Criterion) {
     let mut sut = PepcSut::new(default_pepc_slice(200_000, true, 32));
     let keys = sut.attach_all(&(0..100_000u64).collect::<Vec<_>>());
     let teid = keys[0].teid;
-    c.bench_function("fig15_regular_path", |b| {
-        b.iter(|| sut.process(uplink(teid)).is_some())
-    });
+    c.bench_function("fig15_regular_path", |b| b.iter(|| sut.process(uplink(teid)).is_some()));
 
     // IoT fast path: pool TEID, no state at all.
     let iot = IotConfig { enabled: true, teid_base: 0xF000_0000, ip_base: 0x6400_0000, pool_size: 100_000 };
     let mut dp = DataPlane::new(0x0AFE0001, 16, TwoLevelConfig::default(), iot);
-    c.bench_function("fig15_iot_fast_path", |b| {
-        b.iter(|| dp.process(uplink(0xF000_0005), 0).is_forward())
-    });
+    c.bench_function("fig15_iot_fast_path", |b| b.iter(|| dp.process(uplink(0xF000_0005), 0).is_forward()));
 }
 
 criterion_group!(benches, bench);

@@ -11,18 +11,15 @@
 
 use pepc_bench::{
     ablation_structural, fig04_comparison, fig05_users, fig06_signaling, fig07_cores, fig08_migration_tput,
-    fig09_migration_latency, fig10_ctrl_cores, fig11_attach_scaling, fig12_lock_strategies,
-    fig13_batching, fig14_two_level, fig15_iot, Scale,
+    fig09_migration_latency, fig10_ctrl_cores, fig11_attach_scaling, fig12_lock_strategies, fig13_batching,
+    fig14_two_level, fig15_iot, Scale,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
-    let fig: Option<u32> = args
-        .iter()
-        .position(|a| a == "--fig")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
+    let fig: Option<u32> =
+        args.iter().position(|a| a == "--fig").and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok());
     let all = args.iter().any(|a| a == "--all") || fig.is_none();
 
     println!(

@@ -13,8 +13,8 @@ use pepc::state::ControlState;
 use pepc::table::{DatapathWriterStore, GiantLockStore, PepcStore, StateStore};
 use pepc_backend::{Hss, Pcrf};
 use pepc_baseline::{BaselinePreset, ClassicConfig, ClassicEpc};
-use pepc_sigproto::sctp::{Association, SctpEvent};
 use pepc_sigproto::s1ap::S1apPdu;
+use pepc_sigproto::sctp::{Association, SctpEvent};
 use pepc_workload::harness::{
     default_pepc_slice, measure, measure_with, ClassicSut, MeasureOpts, PepcSut, SystemUnderTest,
 };
@@ -74,11 +74,13 @@ pub fn fig04_comparison(scale: Scale) -> Vec<Fig4Row> {
 
     let users = scale.users(250_000);
     let attach_rate = 10_000;
+    let pepc_latency;
     {
         let (mut sut, keys) = pepc_sut(users);
         let mut gen = TrafficGen::new(keys);
         let mut sig = SignalingGen::new(Defaults::IMSI_BASE, users, attach_rate, EventMix::attaches_only());
         let m = measure(&mut sut, &mut gen, Some(&mut sig), &opts);
+        pepc_latency = m.pipeline_latency_report();
         rows.push(Fig4Row { system: "PEPC", users, attach_per_sec: attach_rate, mpps: m.mpps() });
     }
     {
@@ -117,6 +119,9 @@ pub fn fig04_comparison(scale: Scale) -> Vec<Fig4Row> {
         pepc / rows[3].mpps,
         pepc / rows[4].mpps
     );
+    if !pepc_latency.is_empty() {
+        print!("{pepc_latency}");
+    }
     rows
 }
 
@@ -188,8 +193,7 @@ pub fn fig06_signaling(scale: Scale) -> Vec<Fig6Row> {
             let mut gen = TrafficGen::new(keys);
             // Exact ratio: interleave events with packets rather than
             // pacing by wall clock.
-            let mut sig =
-                SignalingGen::new(Defaults::IMSI_BASE, users, 0, EventMix { attach_fraction: 0.5 });
+            let mut sig = SignalingGen::new(Defaults::IMSI_BASE, users, 0, EventMix { attach_fraction: 0.5 });
             let start = Instant::now();
             let mut offered: u64 = 0;
             let mut event_debt = 0.0f64;
@@ -276,12 +280,8 @@ pub fn fig07_cores(scale: Scale) -> Vec<Fig7Row> {
         for _ in 0..cores {
             let (mut sut, keys) = pepc_sut(per_slice);
             let mut gen = TrafficGen::new(keys);
-            let mut sig = SignalingGen::new(
-                Defaults::IMSI_BASE,
-                per_slice,
-                events / cores as u64,
-                EventMix::attaches_only(),
-            );
+            let mut sig =
+                SignalingGen::new(Defaults::IMSI_BASE, per_slice, events / cores as u64, EventMix::attaches_only());
             let m = measure(&mut sut, &mut gen, Some(&mut sig), &opts);
             per_core.push(m.mpps());
         }
@@ -296,10 +296,7 @@ pub fn fig07_cores(scale: Scale) -> Vec<Fig7Row> {
     println!("\nFigure 7 — data plane scaling with data cores (share-nothing sum)");
     println!("{:>6} {:>10} {:>10} {:>12}", "cores", "users", "events/s", "aggregate");
     for r in &rows {
-        println!(
-            "{:>6} {:>10} {:>10} {:>9.3} Mpps",
-            r.data_cores, r.users, r.events_per_sec, r.aggregate_mpps
-        );
+        println!("{:>6} {:>10} {:>10} {:>9.3} Mpps", r.data_cores, r.users, r.events_per_sec, r.aggregate_mpps);
     }
     rows
 }
@@ -382,11 +379,7 @@ pub struct Fig9Row {
 /// Figure 9: per-packet latency distribution under migrations.
 pub fn fig09_migration_latency(scale: Scale) -> Vec<Fig9Row> {
     let users = scale.users(100_000);
-    let opts = MeasureOpts {
-        duration: scale.duration() * 3,
-        latency_sample_every: 4,
-        ..Default::default()
-    };
+    let opts = MeasureOpts { duration: scale.duration() * 3, latency_sample_every: 4, ..Default::default() };
     let (mut sut, keys, ids) = migration_node(users);
     let mut gen = TrafficGen::new(keys);
     let mut rows = Vec::new();
@@ -503,8 +496,7 @@ impl SctpS1apRig {
 
     /// Run one full attach over the wire; true on success.
     pub fn attach(&mut self, imsi: u64, enb_ue_id: u32) -> bool {
-        run_attach_with(|pdu| self.rpc(pdu), imsi, enb_ue_id, 0xE000_0000 + enb_ue_id, 0xC0A8_0001)
-            .is_some()
+        run_attach_with(|pdu| self.rpc(pdu), imsi, enb_ue_id, 0xE000_0000 + enb_ue_id, 0xC0A8_0001).is_some()
     }
 }
 
@@ -631,12 +623,7 @@ pub struct Fig12Row {
 /// control thread applying `updates_per_sec` control-state writes.
 /// Returns data-path visits/second. Only meaningful with ≥3 physical
 /// cores (data, control, OS); see [`fig12_lock_strategies`].
-pub fn run_lock_experiment<S: StateStore>(
-    store: Arc<S>,
-    users: u64,
-    updates_per_sec: u64,
-    duration: Duration,
-) -> f64 {
+pub fn run_lock_experiment<S: StateStore>(store: Arc<S>, users: u64, updates_per_sec: u64, duration: Duration) -> f64 {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     for uid in 0..users {
         store.insert(uid, ControlState::new(uid));
@@ -654,7 +641,7 @@ pub fn run_lock_experiment<S: StateStore>(
             for _ in 0..256 {
                 lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let uid = (lcg >> 33) % users;
-                s_data.data_path_visit(uid, local % 4 == 0, 100, local, &mut |c| c.tunnels.enb_teid != 0);
+                s_data.data_path_visit(uid, local.is_multiple_of(4), 100, local, &mut |c| c.tunnels.enb_teid != 0);
                 local += 1;
             }
             visits_d.store(local, Ordering::Relaxed);
@@ -742,18 +729,11 @@ pub fn fig12_lock_strategies(scale: Scale) -> Vec<Fig12Row> {
     let mut rows = Vec::new();
     if cores >= 3 {
         for &rate in &rates {
-            let giant =
-                run_lock_experiment(Arc::new(GiantLockStore::new(users as usize)), users, rate, duration);
+            let giant = run_lock_experiment(Arc::new(GiantLockStore::new(users as usize)), users, rate, duration);
             rows.push(Fig12Row { implementation: "Giant lock", updates_per_sec: rate, visits_mpps: giant / 1e6 });
-            let dw = run_lock_experiment(
-                Arc::new(DatapathWriterStore::new(users as usize)),
-                users,
-                rate,
-                duration,
-            );
+            let dw = run_lock_experiment(Arc::new(DatapathWriterStore::new(users as usize)), users, rate, duration);
             rows.push(Fig12Row { implementation: "Datapath writer", updates_per_sec: rate, visits_mpps: dw / 1e6 });
-            let pepc =
-                run_lock_experiment(Arc::new(PepcStore::new(users as usize)), users, rate, duration);
+            let pepc = run_lock_experiment(Arc::new(PepcStore::new(users as usize)), users, rate, duration);
             rows.push(Fig12Row { implementation: "PEPC", updates_per_sec: rate, visits_mpps: pepc / 1e6 });
         }
         println!("\nFigure 12 — shared state implementations (measured, {cores} cores)");
@@ -845,11 +825,7 @@ pub fn fig13_batching(scale: Scale) -> Vec<Fig13Row> {
         let b1 = run_one(1, ratio);
         let b2 = run_one(1, ratio);
         let a2 = run_one(32, ratio);
-        rows.push(Fig13Row {
-            ratio,
-            batched_mpps: (a1 + a2) / 2.0,
-            unbatched_mpps: (b1 + b2) / 2.0,
-        });
+        rows.push(Fig13Row { ratio, batched_mpps: (a1 + a2) / 2.0, unbatched_mpps: (b1 + b2) / 2.0 });
     }
     println!("\nFigure 13 — impact of batching updates (sync every 32 vs every packet)");
     println!("{:>10} {:>12} {:>12} {:>8}", "sig:data", "batched", "unbatched", "gain");
@@ -920,7 +896,7 @@ pub fn fig14_two_level(scale: Scale) -> Vec<Fig14Row> {
                     sut.slice.ctrl.demote_user(all[idx]);
                     churned += 1;
                 }
-                if churned % 1024 == 0 {
+                if churned.is_multiple_of(1024) {
                     sut.slice.sync_now();
                 }
             }
@@ -967,8 +943,7 @@ pub fn fig14_two_level(scale: Scale) -> Vec<Fig14Row> {
 /// downlink packets are left untouched.
 fn rewrite_uplink_teid(m: &mut pepc_net::Mbuf, teid: u32) {
     let d = m.data_mut();
-    if d.len() >= 36 && d[0] == 0x45 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT
-    {
+    if d.len() >= 36 && d[0] == 0x45 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT {
         d[32..36].copy_from_slice(&teid.to_be_bytes());
     }
 }
@@ -1014,12 +989,7 @@ pub fn fig15_iot(scale: Scale) -> Vec<Fig15Row> {
             &slice_cfg,
             Defaults::GW_IP,
             1,
-            Allocator {
-                teid_base: 0x0100_0000,
-                ue_ip_base: 0x0A00_0001,
-                guti_base: 0xD00D_0000,
-                mme_ue_id_base: 1,
-            },
+            Allocator { teid_base: 0x0100_0000, ue_ip_base: 0x0A00_0001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 },
             None,
         );
         let mut sut = PepcSut::new(slice);

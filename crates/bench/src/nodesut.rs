@@ -36,9 +36,9 @@ impl SystemUnderTest for NodeSut {
                 self.node.attach(imsi);
                 true
             }
-            SigEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => self
-                .node
-                .ctrl_event(pepc::ctrl::CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip }),
+            SigEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
+                self.node.ctrl_event(pepc::ctrl::CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip })
+            }
         }
     }
 
@@ -83,6 +83,10 @@ impl SystemUnderTest for NodeSut {
     fn name(&self) -> &'static str {
         "PEPC node"
     }
+
+    fn telemetry(&self) -> Option<pepc::MetricsSnapshot> {
+        Some(self.node.metrics_snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -95,10 +99,7 @@ mod tests {
     fn node_sut(slices: usize) -> NodeSut {
         let config = EpcConfig {
             slices,
-            slice: SliceConfig {
-                batching: BatchingConfig { sync_every_packets: 1 },
-                ..SliceConfig::default()
-            },
+            slice: SliceConfig { batching: BatchingConfig { sync_every_packets: 1 }, ..SliceConfig::default() },
             ..EpcConfig::default()
         };
         NodeSut::new(PepcNode::new(config, None))
@@ -143,5 +144,12 @@ mod tests {
         assert!(next_mig > 10, "migrations ran: {next_mig}");
         // Parked packets re-emerge: delivery stays essentially complete.
         assert!(m.delivery_ratio() > 0.999, "delivery {}", m.delivery_ratio());
+        // Node-level telemetry rides along: both slices reported, and the
+        // migrations show up in the per-slice histograms.
+        let snap = m.snapshot.expect("node telemetry");
+        assert_eq!(snap.slices.len(), 2);
+        assert!(snap.conservation_holds());
+        let migrations: u64 = snap.slices.iter().map(|s| s.migration_ns.count()).sum();
+        assert!(migrations > 10, "migrations recorded: {migrations}");
     }
 }

@@ -39,7 +39,7 @@ impl Cluster {
     /// identifier region; `backends` (HSS/PCRF) are shared, as in a real
     /// core network.
     pub fn new(n: usize, template: EpcConfig, backends: Option<(Arc<Hss>, Arc<Pcrf>)>) -> Self {
-        assert!(n >= 1 && n <= 8, "1..=8 nodes supported by the region layout");
+        assert!((1..=8).contains(&n), "1..=8 nodes supported by the region layout");
         let virtual_ip = template.gw_ip;
         let mut nodes = Vec::with_capacity(n);
         for k in 0..n {
@@ -89,8 +89,7 @@ impl Cluster {
         if d.len() < 20 || d[0] != 0x45 {
             return None;
         }
-        let is_gtpu =
-            d.len() >= 36 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
+        let is_gtpu = d.len() >= 36 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
         let k = if is_gtpu {
             // Uplink: TEID regions start at 0x1000_0000, one per node.
             let teid = u32::from_be_bytes([d[32], d[33], d[34], d[35]]);
@@ -125,10 +124,7 @@ mod tests {
     fn cluster(n: usize) -> Cluster {
         let template = EpcConfig {
             slices: 2,
-            slice: SliceConfig {
-                batching: BatchingConfig { sync_every_packets: 1 },
-                ..SliceConfig::default()
-            },
+            slice: SliceConfig { batching: BatchingConfig { sync_every_packets: 1 }, ..SliceConfig::default() },
             ..EpcConfig::default()
         };
         Cluster::new(n, template, None)

@@ -72,6 +72,9 @@ pub struct SliceConfig {
     pub pcef_programs: Vec<(u16, BpfProgram)>,
     /// Capacity hint: expected users per slice (pre-sizes tables).
     pub expected_users: usize,
+    /// Record per-packet pipeline latency and update-propagation delay
+    /// (two monotonic clock reads per packet). Counters are unaffected.
+    pub telemetry: bool,
 }
 
 impl Default for SliceConfig {
@@ -84,6 +87,7 @@ impl Default for SliceConfig {
             iot: IotConfig::default(),
             pcef_programs: Vec::new(),
             expected_users: 1024,
+            telemetry: true,
         }
     }
 }
@@ -110,7 +114,7 @@ pub struct EpcConfig {
 impl Default for EpcConfig {
     fn default() -> Self {
         EpcConfig {
-            gw_ip: 0x0A_FE_00_01,    // 10.254.0.1
+            gw_ip: 0x0A_FE_00_01, // 10.254.0.1
             teid_base: 0x1000_0000,
             ue_ip_base: 0x0A_00_00_01, // 10.0.0.1
             tac: 1,

@@ -27,6 +27,7 @@ use pepc_backend::hss::sim_response;
 use pepc_net::BpfProgram;
 use pepc_sigproto::nas::{cause, NasMsg};
 use pepc_sigproto::s1ap::S1apPdu;
+use pepc_telemetry::LatencyHistogram;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -58,6 +59,7 @@ pub struct Allocator {
 
 /// Attach-procedure FSM (keyed by eNodeB UE id).
 #[derive(Debug)]
+#[allow(clippy::enum_variant_names)] // states are all waits, by nature
 enum AttachFsm {
     /// Challenge sent; waiting for the UE's RES.
     WaitAuthResponse { imsi: u64, xres: u64, ecgi: u32, mme_ue_id: u32 },
@@ -100,6 +102,11 @@ pub struct ControlPlane {
     attach_fsms: HashMap<u32, AttachFsm>,
     handover_fsms: HashMap<u32, HandoverFsm>,
     metrics: CtrlMetrics,
+    /// Per-procedure processing latency (control threads are off the
+    /// packet hot path, so these are always recorded).
+    attach_ns: LatencyHistogram,
+    service_request_ns: LatencyHistogram,
+    handover_ns: LatencyHistogram,
 }
 
 impl ControlPlane {
@@ -121,6 +128,9 @@ impl ControlPlane {
             attach_fsms: HashMap::new(),
             handover_fsms: HashMap::new(),
             metrics: CtrlMetrics::default(),
+            attach_ns: LatencyHistogram::new(),
+            service_request_ns: LatencyHistogram::new(),
+            handover_ns: LatencyHistogram::new(),
         }
     }
 
@@ -160,6 +170,12 @@ impl ControlPlane {
     /// Create and index a user; queues the data-plane insert. Idempotent
     /// per IMSI (re-attach reuses the context and re-announces it).
     fn do_attach(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32) {
+        let t0 = std::time::Instant::now();
+        self.attach_inner(imsi, qos, device_class, ecgi);
+        self.attach_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    fn attach_inner(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32) {
         if let Some(ctx) = self.users.get(&imsi) {
             // Re-attach: refresh and re-announce as active.
             let ctx = Arc::clone(ctx);
@@ -193,17 +209,21 @@ impl ControlPlane {
     }
 
     fn do_handover(&mut self, imsi: u64, new_enb_teid: u32, new_enb_ip: u32, new_ecgi: u32) -> bool {
+        let t0 = std::time::Instant::now();
         match self.users.get(&imsi) {
             Some(ctx) => {
                 // The whole point: one in-place write, visible to the data
                 // thread through the shared context. No DpUpdate needed.
-                let mut c = ctx.ctrl.write();
-                c.tunnels.enb_teid = new_enb_teid;
-                c.tunnels.enb_ip = new_enb_ip;
-                if new_ecgi != 0 {
-                    c.ecgi = new_ecgi;
+                {
+                    let mut c = ctx.ctrl.write();
+                    c.tunnels.enb_teid = new_enb_teid;
+                    c.tunnels.enb_ip = new_enb_ip;
+                    if new_ecgi != 0 {
+                        c.ecgi = new_ecgi;
+                    }
                 }
                 self.metrics.handovers += 1;
+                self.handover_ns.record(t0.elapsed().as_nanos() as u64);
                 true
             }
             None => false,
@@ -258,9 +278,7 @@ impl ControlPlane {
     pub fn handle_s1ap(&mut self, pdu: &S1apPdu) -> Vec<S1apPdu> {
         self.metrics.s1ap_rx += 1;
         match pdu {
-            S1apPdu::InitialUeMessage { enb_ue_id, ecgi, tac, nas } => {
-                self.on_initial_ue(*enb_ue_id, *ecgi, *tac, nas)
-            }
+            S1apPdu::InitialUeMessage { enb_ue_id, ecgi, tac, nas } => self.on_initial_ue(*enb_ue_id, *ecgi, *tac, nas),
             S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas } => {
                 self.on_uplink_nas(*enb_ue_id, *mme_ue_id, nas)
             }
@@ -278,8 +296,7 @@ impl ControlPlane {
             S1apPdu::HandoverRequired { enb_ue_id, mme_ue_id, target_ecgi: _ } => {
                 match self.by_mme_ue_id.get(mme_ue_id).copied() {
                     Some(imsi) => {
-                        self.handover_fsms
-                            .insert(*mme_ue_id, HandoverFsm { imsi, source_enb_ue_id: *enb_ue_id });
+                        self.handover_fsms.insert(*mme_ue_id, HandoverFsm { imsi, source_enb_ue_id: *enb_ue_id });
                         let ctx = &self.users[&imsi];
                         let (gw_teid, ambr) = {
                             let c = ctx.ctrl.read();
@@ -301,10 +318,7 @@ impl ControlPlane {
                 match self.handover_fsms.remove(mme_ue_id) {
                     Some(fsm) => {
                         self.do_handover(fsm.imsi, *new_enb_teid, *new_enb_ip, 0);
-                        vec![S1apPdu::HandoverCommand {
-                            enb_ue_id: fsm.source_enb_ue_id,
-                            mme_ue_id: *mme_ue_id,
-                        }]
+                        vec![S1apPdu::HandoverCommand { enb_ue_id: fsm.source_enb_ue_id, mme_ue_id: *mme_ue_id }]
                     }
                     None => vec![],
                 }
@@ -332,10 +346,8 @@ impl ControlPlane {
         self.next_mme_ue_id += 1;
         match proxy.authentication_info(imsi) {
             Ok(ch) => {
-                self.attach_fsms.insert(
-                    enb_ue_id,
-                    AttachFsm::WaitAuthResponse { imsi, xres: ch.xres, ecgi, mme_ue_id },
-                );
+                self.attach_fsms
+                    .insert(enb_ue_id, AttachFsm::WaitAuthResponse { imsi, xres: ch.xres, ecgi, mme_ue_id });
                 vec![S1apPdu::DownlinkNasTransport {
                     enb_ue_id,
                     mme_ue_id,
@@ -364,10 +376,7 @@ impl ControlPlane {
                 Some(AttachFsm::WaitAuthResponse { imsi, xres, ecgi, mme_ue_id: id }),
             ) => {
                 if res == xres {
-                    self.attach_fsms.insert(
-                        enb_ue_id,
-                        AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id },
-                    );
+                    self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id });
                     vec![S1apPdu::DownlinkNasTransport {
                         enb_ue_id,
                         mme_ue_id: id,
@@ -382,10 +391,7 @@ impl ControlPlane {
                     }]
                 }
             }
-            (
-                NasMsg::SecurityModeComplete,
-                Some(AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id }),
-            ) => {
+            (NasMsg::SecurityModeComplete, Some(AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id })) => {
                 let proxy = match &self.proxy {
                     Some(p) => Arc::clone(p),
                     None => return vec![],
@@ -432,7 +438,7 @@ impl ControlPlane {
                     nas: NasMsg::AttachAccept { guti, ue_ip, tac: self.tac }.encode(),
                 }]
             }
-            (NasMsg::AttachComplete, Some(AttachFsm::WaitAttachComplete { .. })) => {
+            (NasMsg::AttachComplete, Some(AttachFsm::WaitAttachComplete)) => {
                 self.metrics.attaches += 1;
                 vec![]
             }
@@ -445,11 +451,7 @@ impl ControlPlane {
                     Some(user_imsi) => {
                         self.by_mme_ue_id.retain(|_, u| *u != user_imsi);
                         self.do_detach(user_imsi);
-                        vec![S1apPdu::DownlinkNasTransport {
-                            enb_ue_id,
-                            mme_ue_id,
-                            nas: NasMsg::DetachAccept.encode(),
-                        }]
+                        vec![S1apPdu::DownlinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::DetachAccept.encode() }]
                     }
                     None => vec![],
                 }
@@ -483,8 +485,7 @@ impl ControlPlane {
         enb_teid: u32,
         enb_ip: u32,
     ) -> Vec<S1apPdu> {
-        if let Some(AttachFsm::WaitContextSetup { imsi, mme_ue_id: id }) = self.attach_fsms.remove(&enb_ue_id)
-        {
+        if let Some(AttachFsm::WaitContextSetup { imsi, mme_ue_id: id }) = self.attach_fsms.remove(&enb_ue_id) {
             if id == mme_ue_id {
                 if let Some(ctx) = self.users.get(&imsi) {
                     let mut c = ctx.ctrl.write();
@@ -501,16 +502,13 @@ impl ControlPlane {
     /// The user's context is re-announced to the data plane as *active*,
     /// promoting it back into the primary table.
     fn on_service_request(&mut self, enb_ue_id: u32, ecgi: u32, guti: u64) -> Vec<S1apPdu> {
+        let t0 = std::time::Instant::now();
         let imsi = match self.by_guti.get(&guti).copied() {
             Some(i) => i,
             None => {
                 // Unknown GUTI: tell the eNodeB to release the UE; it
                 // will re-attach with its IMSI.
-                return vec![S1apPdu::UeContextReleaseCommand {
-                    enb_ue_id,
-                    mme_ue_id: 0,
-                    cause: cause::ILLEGAL_UE,
-                }];
+                return vec![S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id: 0, cause: cause::ILLEGAL_UE }];
             }
         };
         let ctx = Arc::clone(&self.users[&imsi]);
@@ -526,11 +524,8 @@ impl ControlPlane {
         self.next_mme_ue_id += 1;
         self.by_mme_ue_id.insert(mme_ue_id, imsi);
         self.metrics.service_requests += 1;
-        vec![S1apPdu::DownlinkNasTransport {
-            enb_ue_id,
-            mme_ue_id,
-            nas: NasMsg::ServiceAccept.encode(),
-        }]
+        self.service_request_ns.record(t0.elapsed().as_nanos() as u64);
+        vec![S1apPdu::DownlinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::ServiceAccept.encode() }]
     }
 
     /// Active→idle: release a user's radio context (inactivity or an
@@ -541,12 +536,7 @@ impl ControlPlane {
             return None;
         }
         self.metrics.releases += 1;
-        let mme_ue_id = self
-            .by_mme_ue_id
-            .iter()
-            .find(|(_, u)| **u == imsi)
-            .map(|(m, _)| *m)
-            .unwrap_or(0);
+        let mme_ue_id = self.by_mme_ue_id.iter().find(|(_, u)| **u == imsi).map(|(m, _)| *m).unwrap_or(0);
         Some(S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id, cause: cause::SUCCESS })
     }
 
@@ -622,8 +612,7 @@ impl ControlPlane {
         let mut reported = 0;
         for (imsi, ctx) in &self.users {
             let snap = ctx.counters.read().snapshot();
-            if let Ok(new_ambr) =
-                proxy.report_usage(reported as u32 + 1, *imsi, snap.uplink_bytes, snap.downlink_bytes)
+            if let Ok(new_ambr) = proxy.report_usage(reported as u32 + 1, *imsi, snap.uplink_bytes, snap.downlink_bytes)
             {
                 if new_ambr != 0 {
                     ctx.ctrl.write().qos.ambr_kbps = new_ambr;
@@ -667,6 +656,21 @@ impl ControlPlane {
         self.metrics
     }
 
+    /// Attach-procedure processing latency.
+    pub fn attach_latency(&self) -> &LatencyHistogram {
+        &self.attach_ns
+    }
+
+    /// Service-request (idle→active) processing latency.
+    pub fn service_request_latency(&self) -> &LatencyHistogram {
+        &self.service_request_ns
+    }
+
+    /// Handover processing latency (S1 and X2 paths).
+    pub fn handover_latency(&self) -> &LatencyHistogram {
+        &self.handover_ns
+    }
+
     /// The IMSIs of all users on this slice (test / harness helper).
     pub fn imsis(&self) -> Vec<u64> {
         self.users.keys().copied().collect()
@@ -676,11 +680,11 @@ impl ControlPlane {
 /// Translate a Gx rule into the data-plane install update.
 fn rule_to_update(r: &pepc_sigproto::gx::GxRule) -> DpUpdate {
     let program = if r.proto == 0 && r.dst_port_lo == 0 && r.dst_port_hi == 0 {
-        BpfProgram::match_all(u32::from(r.rule_id))
+        BpfProgram::match_all(r.rule_id)
     } else if r.dst_port_lo == 0 && r.dst_port_hi == 0 {
-        BpfProgram::match_proto_port_range(r.proto, 0, u16::MAX, u32::from(r.rule_id))
+        BpfProgram::match_proto_port_range(r.proto, 0, u16::MAX, r.rule_id)
     } else {
-        BpfProgram::match_proto_port_range(r.proto, r.dst_port_lo, r.dst_port_hi, u32::from(r.rule_id))
+        BpfProgram::match_proto_port_range(r.proto, r.dst_port_lo, r.dst_port_hi, r.rule_id)
     };
     DpUpdate::InstallRule {
         id: r.rule_id as u16,
@@ -730,11 +734,8 @@ pub fn run_attach_with(
     };
     // 2. The SIM answers the challenge.
     let res = sim_response(Hss::key_for(imsi), rand);
-    let rsp = cp(&S1apPdu::UplinkNasTransport {
-        enb_ue_id,
-        mme_ue_id,
-        nas: NasMsg::AuthenticationResponse { res }.encode(),
-    });
+    let rsp =
+        cp(&S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::AuthenticationResponse { res }.encode() });
     match rsp.as_slice() {
         [S1apPdu::DownlinkNasTransport { nas, .. }] => {
             if !matches!(NasMsg::decode(nas).ok()?, NasMsg::SecurityModeCommand { .. }) {
@@ -744,11 +745,7 @@ pub fn run_attach_with(
         _ => return None,
     }
     // 3. Security mode complete → context setup with Attach Accept.
-    let rsp = cp(&S1apPdu::UplinkNasTransport {
-        enb_ue_id,
-        mme_ue_id,
-        nas: NasMsg::SecurityModeComplete.encode(),
-    });
+    let rsp = cp(&S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::SecurityModeComplete.encode() });
     let (gw_teid, accept) = match rsp.as_slice() {
         [S1apPdu::InitialContextSetupRequest { gw_teid, nas, .. }] => (*gw_teid, NasMsg::decode(nas).ok()?),
         _ => return None,
@@ -760,11 +757,7 @@ pub fn run_attach_with(
     // 4. eNodeB reports its tunnel endpoint.
     cp(&S1apPdu::InitialContextSetupResponse { enb_ue_id, mme_ue_id, enb_teid, enb_ip });
     // 5. NAS Attach Complete.
-    cp(&S1apPdu::UplinkNasTransport {
-        enb_ue_id,
-        mme_ue_id,
-        nas: NasMsg::AttachComplete.encode(),
-    });
+    cp(&S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::AttachComplete.encode() });
     Some((guti, ue_ip, gw_teid))
 }
 
@@ -854,6 +847,20 @@ mod tests {
         assert!(cp.apply_event(CtrlEvent::ModifyBearer { imsi: 7, ambr_kbps: 64 }));
         assert_eq!(cp.context_of(7).unwrap().ctrl.read().qos.ambr_kbps, 64);
         assert_eq!(cp.metrics().bearer_updates, 1);
+    }
+
+    #[test]
+    fn procedure_latencies_are_recorded() {
+        let mut cp = cp_synthetic();
+        cp.apply_event(CtrlEvent::Attach { imsi: 7 });
+        cp.apply_event(CtrlEvent::Attach { imsi: 8 });
+        cp.apply_event(CtrlEvent::S1Handover { imsi: 7, new_enb_teid: 1, new_enb_ip: 1 });
+        assert_eq!(cp.attach_latency().count(), 2);
+        assert_eq!(cp.handover_latency().count(), 1);
+        assert_eq!(cp.service_request_latency().count(), 0);
+        // A failed handover must not enter the population.
+        cp.apply_event(CtrlEvent::S1Handover { imsi: 999, new_enb_teid: 1, new_enb_ip: 1 });
+        assert_eq!(cp.handover_latency().count(), 1);
     }
 
     #[test]
@@ -955,11 +962,8 @@ mod tests {
         assert_eq!(gw_teid, 0x1000);
         assert_eq!(ambr, 100_000);
         // Target eNodeB acks with its endpoint.
-        let rsp = cp.handle_s1ap(&S1apPdu::HandoverRequestAck {
-            mme_ue_id: 1,
-            new_enb_teid: 0xAA,
-            new_enb_ip: 0xC0A80007,
-        });
+        let rsp =
+            cp.handle_s1ap(&S1apPdu::HandoverRequestAck { mme_ue_id: 1, new_enb_teid: 0xAA, new_enb_ip: 0xC0A80007 });
         assert!(matches!(rsp.as_slice(), [S1apPdu::HandoverCommand { enb_ue_id: 1, .. }]));
         let c = cp.context_of(3).unwrap();
         assert_eq!(c.ctrl.read().tunnels.enb_teid, 0xAA);
@@ -1074,12 +1078,8 @@ mod pcrf_reporting_tests {
 
     #[test]
     fn reporting_without_proxy_is_noop() {
-        let mut cp = ControlPlane::new(
-            1,
-            1,
-            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
-            None,
-        );
+        let mut cp =
+            ControlPlane::new(1, 1, Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 }, None);
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
         assert_eq!(cp.report_usage_to_pcrf(), 0);
     }
@@ -1118,12 +1118,8 @@ mod pcrf_reporting_tests {
 
     #[test]
     fn service_request_with_unknown_guti_releases_context() {
-        let mut cp = ControlPlane::new(
-            1,
-            1,
-            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
-            None,
-        );
+        let mut cp =
+            ControlPlane::new(1, 1, Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 }, None);
         let rsp = cp.handle_s1ap(&S1apPdu::InitialUeMessage {
             enb_ue_id: 5,
             ecgi: 1,
@@ -1135,12 +1131,8 @@ mod pcrf_reporting_tests {
 
     #[test]
     fn release_user_demotes_and_commands_enb() {
-        let mut cp = ControlPlane::new(
-            1,
-            1,
-            Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 },
-            None,
-        );
+        let mut cp =
+            ControlPlane::new(1, 1, Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 }, None);
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
         cp.take_updates();
         let pdu = cp.release_user(7, 3).expect("known user");

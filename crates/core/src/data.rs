@@ -32,7 +32,9 @@ use crate::state::UeContext;
 use crate::twolevel::TwoLevelTable;
 use pepc_net::gtp::{decap_gtpu, encap_gtpu};
 use pepc_net::{BpfProgram, FiveTuple, Ipv4Hdr, Mbuf};
+use pepc_telemetry::LatencyHistogram;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Membership / configuration updates the control thread sends the data
 /// thread.
@@ -40,28 +42,13 @@ use std::sync::Arc;
 pub enum DpUpdate {
     /// A user attached (or migrated in): index its context by tunnel id
     /// and UE IP. `active` controls primary vs secondary placement.
-    Insert {
-        gw_teid: u32,
-        ue_ip: u32,
-        ctx: Arc<UeContext>,
-        active: bool,
-    },
+    Insert { gw_teid: u32, ue_ip: u32, ctx: Arc<UeContext>, active: bool },
     /// A user detached (or migrated out).
-    Remove {
-        gw_teid: u32,
-        ue_ip: u32,
-    },
+    Remove { gw_teid: u32, ue_ip: u32 },
     /// Demote an idle user to the secondary table (two-level management).
-    Demote {
-        gw_teid: u32,
-        ue_ip: u32,
-    },
+    Demote { gw_teid: u32, ue_ip: u32 },
     /// Install a PCEF rule program slice-wide.
-    InstallRule {
-        id: u16,
-        program: BpfProgram,
-        action: PcefAction,
-    },
+    InstallRule { id: u16, program: BpfProgram, action: PcefAction },
 }
 
 /// Why a packet was dropped.
@@ -101,6 +88,14 @@ pub struct DataPlane {
     /// This node's gateway address (outer source of downlink tunnels).
     gw_ip: u32,
     metrics: DataMetrics,
+    /// When false, the two per-packet clock reads below are skipped.
+    telemetry: bool,
+    /// Wall-clock pipeline latency of every *forwarded* packet, so the
+    /// histogram count equals `metrics.forwarded` by construction.
+    pipeline_ns: LatencyHistogram,
+    /// Control→data propagation delay of applied updates (stamped at
+    /// enqueue by the slice wiring, measured here at apply).
+    update_delay_ns: LatencyHistogram,
 }
 
 impl DataPlane {
@@ -123,7 +118,16 @@ impl DataPlane {
             iot_bytes: 0,
             gw_ip,
             metrics: DataMetrics::default(),
+            telemetry: true,
+            pipeline_ns: LatencyHistogram::new(),
+            update_delay_ns: LatencyHistogram::new(),
         }
+    }
+
+    /// Enable/disable per-packet latency recording (the counters in
+    /// [`DataMetrics`] are always maintained).
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry = enabled;
     }
 
     /// Apply one control→data update.
@@ -165,11 +169,36 @@ impl DataPlane {
         // Direction sniff: GTP-U uplink has outer UDP :2152; everything
         // else is treated as downlink IP. A parse failure is malformed.
         let is_uplink = is_gtpu(&m);
-        if is_uplink {
-            self.process_uplink(m, now_ns)
-        } else {
-            self.process_downlink(m, now_ns)
+        if !self.telemetry {
+            return if is_uplink { self.process_uplink(m, now_ns) } else { self.process_downlink(m, now_ns) };
         }
+        let t0 = Instant::now();
+        let v = if is_uplink { self.process_uplink(m, now_ns) } else { self.process_downlink(m, now_ns) };
+        // Recorded only for forwarded packets: the histogram population
+        // then equals `metrics.forwarded`, which the invariant tests check.
+        if v.is_forward() {
+            self.pipeline_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        v
+    }
+
+    /// Record one control→data update propagation delay (enqueue→apply),
+    /// measured by the slice wiring that owns both ring ends.
+    #[inline]
+    pub fn record_update_delay(&mut self, delay_ns: u64) {
+        if self.telemetry {
+            self.update_delay_ns.record(delay_ns);
+        }
+    }
+
+    /// Pipeline latency of forwarded packets.
+    pub fn pipeline_latency(&self) -> &LatencyHistogram {
+        &self.pipeline_ns
+    }
+
+    /// Control→data update propagation delays.
+    pub fn update_delay(&self) -> &LatencyHistogram {
+        &self.update_delay_ns
     }
 
     fn process_uplink(&mut self, mut m: Mbuf, now_ns: u64) -> PacketVerdict {
@@ -374,10 +403,7 @@ mod tests {
         ctrl.qos = QosPolicy { qci: 9, ambr_kbps, gbr_kbps: 0 };
         ctrl.tunnels = TunnelState { enb_teid: TEID_DL, enb_ip: ENB_IP, gw_teid: TEID_UL };
         let ctx = UeContext::new(ctrl);
-        dp.apply_update(
-            DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, ctx: Arc::clone(&ctx), active: true },
-            0,
-        );
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, ctx: Arc::clone(&ctx), active: true }, 0);
         ctx
     }
 
@@ -495,9 +521,9 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
-        assert!(forwarded >= 10 && forwarded < 25, "burst admitted ~15: {forwarded}");
+        assert!((10..25).contains(&forwarded), "burst admitted ~15: {forwarded}");
         assert!(dropped > 0);
-        assert_eq!(ctx.counters.read().qos_drops as u64, dropped);
+        assert_eq!(ctx.counters.read().qos_drops, dropped);
         assert_eq!(dp.metrics().drop_qos, dropped);
     }
 
@@ -542,12 +568,8 @@ mod tests {
 
     #[test]
     fn idle_eviction_from_pipeline() {
-        let mut dp = DataPlane::new(
-            GW_IP,
-            64,
-            TwoLevelConfig { enabled: true, idle_timeout_ns: 1000 },
-            IotConfig::default(),
-        );
+        let mut dp =
+            DataPlane::new(GW_IP, 64, TwoLevelConfig { enabled: true, idle_timeout_ns: 1000 }, IotConfig::default());
         let mut ctrl = ControlState::new(1);
         ctrl.tunnels.gw_teid = TEID_UL;
         ctrl.ue_ip = UE_IP;
@@ -578,8 +600,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Outside the pool: normal path (unknown here).
-        assert!(matches!(dp.process(uplink_packet(0xF0000064 /* base+100 */), 3),
-            PacketVerdict::Drop(DropReason::UnknownUser)));
+        assert!(matches!(
+            dp.process(uplink_packet(0xF0000064 /* base+100 */), 3),
+            PacketVerdict::Drop(DropReason::UnknownUser)
+        ));
     }
 
     #[test]
@@ -589,5 +613,30 @@ mod tests {
         assert_eq!(effective_rate(0, 50), 50);
         assert_eq!(effective_rate(100, 50), 50);
         assert_eq!(effective_rate(50, 100), 50);
+    }
+
+    #[test]
+    fn pipeline_histogram_counts_only_forwarded() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        for _ in 0..5 {
+            assert!(dp.process(uplink_packet(TEID_UL), 1).is_forward());
+        }
+        // Drops must not enter the latency population.
+        assert!(!dp.process(uplink_packet(0xDEAD), 2).is_forward());
+        assert_eq!(dp.pipeline_latency().count(), dp.metrics().forwarded);
+        assert_eq!(dp.pipeline_latency().count(), 5);
+    }
+
+    #[test]
+    fn telemetry_can_be_disabled() {
+        let mut dp = dp();
+        dp.set_telemetry_enabled(false);
+        attach_user(&mut dp, 0);
+        assert!(dp.process(uplink_packet(TEID_UL), 1).is_forward());
+        dp.record_update_delay(123);
+        assert_eq!(dp.pipeline_latency().count(), 0);
+        assert_eq!(dp.update_delay().count(), 0);
+        assert_eq!(dp.metrics().forwarded, 1, "counters stay on");
     }
 }

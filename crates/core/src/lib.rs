@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! # pepc — a high-performance packet core sliced by user
 //!
 //! This crate is the primary contribution of the reproduction: the PEPC
@@ -56,9 +59,11 @@ pub use config::{EpcConfig, SliceConfig};
 pub use ctrl::{ControlPlane, CtrlEvent};
 pub use data::{DataPlane, PacketVerdict};
 pub use demux::Demux;
+pub use metrics::{CtrlMetrics, DataMetrics};
 pub use migrate::{StateTransferMessage, UserSnapshot};
 pub use node::PepcNode;
 pub use pcef::Pcef;
+pub use pepc_telemetry::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnapshot};
 pub use proxy::Proxy;
 pub use slice::{Slice, SliceHandle};
 pub use state::{ControlState, CounterState, DeviceClass, UeContext, Uid};

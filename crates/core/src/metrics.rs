@@ -2,52 +2,13 @@
 //!
 //! Counters the planes update on their own threads (no atomics on the hot
 //! path); snapshots cross threads by value.
+//!
+//! The counter structs themselves live in `pepc-telemetry` (together with
+//! the latency histograms and snapshot registry) so the fabric and the
+//! bench harnesses can consume them without depending on this crate;
+//! re-exported here for the existing `crate::metrics::*` call sites.
 
-/// Data-plane counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DataMetrics {
-    /// Packets entering the pipeline.
-    pub rx: u64,
-    /// Packets forwarded (uplink toward egress, downlink toward eNodeB).
-    pub forwarded: u64,
-    /// Packets taking the stateless-IoT fast path (subset of `forwarded`).
-    pub iot_fast_path: u64,
-    /// Drops: no user state found for the TEID / UE IP.
-    pub drop_unknown_user: u64,
-    /// Drops: PCEF gate closed.
-    pub drop_gate: u64,
-    /// Drops: rate enforcement (AMBR/MBR).
-    pub drop_qos: u64,
-    /// Drops: unparseable packets.
-    pub drop_malformed: u64,
-    /// Control→data updates applied.
-    pub updates_applied: u64,
-}
-
-/// Control-plane counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CtrlMetrics {
-    /// Completed attach procedures.
-    pub attaches: u64,
-    /// Rejected attach attempts (auth failure, unknown IMSI).
-    pub attach_rejects: u64,
-    /// Handover events applied (S1 or X2).
-    pub handovers: u64,
-    /// Detaches processed.
-    pub detaches: u64,
-    /// Bearer modifications applied.
-    pub bearer_updates: u64,
-    /// Users migrated out of this slice.
-    pub migrations_out: u64,
-    /// Users migrated into this slice.
-    pub migrations_in: u64,
-    /// S1AP PDUs processed.
-    pub s1ap_rx: u64,
-    /// Service Requests served (idle→active).
-    pub service_requests: u64,
-    /// UE context releases (active→idle).
-    pub releases: u64,
-}
+pub use pepc_telemetry::{CtrlMetrics, DataMetrics};
 
 #[cfg(test)]
 mod tests {

@@ -20,6 +20,7 @@ use crate::slice::Slice;
 use pepc_backend::{Hss, Pcrf};
 use pepc_net::Mbuf;
 use pepc_sigproto::s1ap::S1apPdu;
+use pepc_telemetry::{LatencyHistogram, MetricsSnapshot};
 use std::sync::Arc;
 
 /// Outcome of handing the node a data packet.
@@ -47,6 +48,9 @@ pub struct PepcNode {
     proxy: Option<Arc<Proxy>>,
     /// Forwarded packets produced while draining migration queues.
     migration_out: Vec<Mbuf>,
+    /// Per-user migration latency (park→drain), indexed by target slice —
+    /// migration is a node procedure, so the node owns its histogram.
+    migration_ns: Vec<LatencyHistogram>,
 }
 
 impl PepcNode {
@@ -62,7 +66,8 @@ impl PepcNode {
             slice_cfg.data_core = 2 * k + 1;
             slices.push(Slice::new(&slice_cfg, config.gw_ip, config.tac, alloc, proxy.clone()));
         }
-        PepcNode { config, slices, demux: Demux::new(), proxy, migration_out: Vec::new() }
+        let migration_ns = vec![LatencyHistogram::new(); config.slices];
+        PepcNode { config, slices, demux: Demux::new(), proxy, migration_out: Vec::new(), migration_ns }
     }
 
     /// The identifier region slice `k` allocates from (24 bits ≈ 16M users
@@ -204,6 +209,7 @@ impl PepcNode {
         if source == target || target >= self.slices.len() {
             return false;
         }
+        let t0 = std::time::Instant::now();
         // 1. Park subsequent packets.
         self.demux.begin_migration(imsi);
         // 2. Extract from the source slice (control thread removes its
@@ -223,6 +229,7 @@ impl PepcNode {
         // 4. Repoint the Demux and drain the parked packets to the target.
         let parked = self.demux.finish_migration(imsi, gw_teid, ue_ip, target);
         self.requeue(target, parked);
+        self.migration_ns[target].record(t0.elapsed().as_nanos() as u64);
         true
     }
 
@@ -252,6 +259,18 @@ impl PepcNode {
     /// Total users attached across slices.
     pub fn user_count(&self) -> usize {
         self.slices.iter().map(|s| s.ctrl.user_count()).sum()
+    }
+
+    /// Snapshot every slice's observability registry, plus the node-owned
+    /// migration histogram (slotted into the target slice's entry).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for (k, s) in self.slices.iter().enumerate() {
+            let mut sl = s.telemetry_snapshot(k as u64);
+            sl.migration_ns = self.migration_ns[k].clone();
+            snap.slices.push(sl);
+        }
+        snap
     }
 
     /// The node's Demux (inspection).
@@ -382,6 +401,31 @@ mod tests {
         let up = uplink_for(&mut n, 7);
         assert!(n.process(up).is_forward());
         assert_eq!(n.slice(dst).ctrl.counters_of(7).unwrap().uplink_packets, 2);
+    }
+
+    #[test]
+    fn node_snapshot_covers_slices_and_migration() {
+        let mut n = node(2);
+        n.attach(7);
+        let src = n.demux.slice_for_imsi(7).unwrap();
+        let dst = 1 - src;
+        let up = uplink_for(&mut n, 7);
+        assert!(n.process(up).is_forward());
+        assert!(n.migrate(7, dst));
+
+        let snap = n.metrics_snapshot();
+        assert_eq!(snap.slices.len(), 2);
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.slices[dst].migration_ns.count(), 1);
+        assert_eq!(snap.slices[src].migration_ns.count(), 0);
+        assert_eq!(snap.slices[dst].ctrl.migrations_in, 1);
+        assert_eq!(snap.slices[src].ctrl.migrations_out, 1);
+        assert_eq!(snap.data_totals().forwarded, 1);
+        // The report renders and round-trips.
+        let text = snap.render();
+        assert!(text.contains("conservation=ok"), "{text}");
+        let back = pepc_telemetry::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert!(back.deterministic_eq(&snap));
     }
 
     #[test]

@@ -59,17 +59,12 @@ impl Pcef {
     /// Translation: proto 0 = match-all; a zero port range = any port.
     pub fn install_gx(&mut self, rule: &GxRule) {
         let program = if rule.proto == 0 && rule.dst_port_lo == 0 && rule.dst_port_hi == 0 {
-            BpfProgram::match_all(u32::from(rule.rule_id))
+            BpfProgram::match_all(rule.rule_id)
         } else if rule.dst_port_lo == 0 && rule.dst_port_hi == 0 {
             // Proto-only match: any port of that protocol.
-            BpfProgram::match_proto_port_range(rule.proto, 0, u16::MAX, u32::from(rule.rule_id))
+            BpfProgram::match_proto_port_range(rule.proto, 0, u16::MAX, rule.rule_id)
         } else {
-            BpfProgram::match_proto_port_range(
-                rule.proto,
-                rule.dst_port_lo,
-                rule.dst_port_hi,
-                u32::from(rule.rule_id),
-            )
+            BpfProgram::match_proto_port_range(rule.proto, rule.dst_port_lo, rule.dst_port_hi, rule.rule_id)
         };
         self.install(
             rule.rule_id as u16,
@@ -97,11 +92,7 @@ impl Pcef {
     /// in order. Returns the first matching action, or the default
     /// (best-effort, open gate) when nothing matches.
     #[inline]
-    pub fn classify<'a>(
-        &self,
-        ft: &FiveTuple,
-        rule_ids: impl Iterator<Item = u16> + 'a,
-    ) -> PcefAction {
+    pub fn classify<'a>(&self, ft: &FiveTuple, rule_ids: impl Iterator<Item = u16> + 'a) -> PcefAction {
         for id in rule_ids {
             if let Some(rule) = self.rules.get(&id) {
                 if rule.program.run(ft) != 0 {
@@ -163,7 +154,14 @@ mod tests {
     fn gx_rule_translation() {
         let mut pcef = Pcef::new();
         // Port-range rule.
-        pcef.install_gx(&GxRule { rule_id: 1, proto: 17, dst_port_lo: 5060, dst_port_hi: 5062, qci: 5, rate_kbps: 1000 });
+        pcef.install_gx(&GxRule {
+            rule_id: 1,
+            proto: 17,
+            dst_port_lo: 5060,
+            dst_port_hi: 5062,
+            qci: 5,
+            rate_kbps: 1000,
+        });
         // Proto-wide rule.
         pcef.install_gx(&GxRule { rule_id: 2, proto: 6, dst_port_lo: 0, dst_port_hi: 0, qci: 8, rate_kbps: 0 });
         // Catch-all.

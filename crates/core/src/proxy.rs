@@ -74,8 +74,7 @@ impl Proxy {
     /// subscriber and returns the subscription profile.
     pub fn update_location(&self, imsi: u64) -> Result<SubscriptionData> {
         let hop = self.next_hop();
-        let req =
-            DiameterMsg::UpdateLocationRequest { hop_id: hop, imsi, serving_node: self.node_id }.encode();
+        let req = DiameterMsg::UpdateLocationRequest { hop_id: hop, imsi, serving_node: self.node_id }.encode();
         let rsp = self.hss.handle_bytes(&req)?;
         match DiameterMsg::decode(&rsp)? {
             DiameterMsg::UpdateLocationAnswer { hop_id, result, ambr_kbps, default_qci } => {
@@ -103,8 +102,7 @@ impl Proxy {
 
     /// Gx CCR-Update: report usage; returns an AMBR override (0 = keep).
     pub fn report_usage(&self, session_id: u32, imsi: u64, ul_bytes: u64, dl_bytes: u64) -> Result<u32> {
-        let req = GxMsg::CcrUpdate { session_id, imsi, uplink_bytes: ul_bytes, downlink_bytes: dl_bytes }
-            .encode();
+        let req = GxMsg::CcrUpdate { session_id, imsi, uplink_bytes: ul_bytes, downlink_bytes: dl_bytes }.encode();
         let rsp = self.pcrf.handle_bytes(&req)?;
         match GxMsg::decode(&rsp)? {
             GxMsg::CcaUpdate { new_ambr_kbps, .. } => Ok(new_ambr_kbps),

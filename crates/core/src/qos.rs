@@ -130,10 +130,7 @@ mod tests {
         }
         let expected = 10_000u64 * 10 + b.burst();
         let tolerance = expected / 10;
-        assert!(
-            admitted.abs_diff(expected) <= tolerance,
-            "admitted {admitted}, expected ~{expected}"
-        );
+        assert!(admitted.abs_diff(expected) <= tolerance, "admitted {admitted}, expected ~{expected}");
     }
 
     #[test]

@@ -68,10 +68,7 @@ pub fn checkpoint(cp: &ControlPlane) -> Vec<u8> {
     let mut users = Vec::with_capacity(cp.user_count());
     for imsi in cp.imsis() {
         if let Some(ctx) = cp.context_of(imsi) {
-            users.push(UserRecord {
-                ctrl: ctx.ctrl.read().clone(),
-                counters: ctx.counters.read().clone(),
-            });
+            users.push(UserRecord { ctrl: ctx.ctrl.read().clone(), counters: ctx.counters.read().clone() });
         }
     }
     serde_json::to_vec(&SliceCheckpoint { version: CHECKPOINT_VERSION, users })
@@ -80,8 +77,7 @@ pub fn checkpoint(cp: &ControlPlane) -> Vec<u8> {
 
 /// Parse checkpoint bytes.
 pub fn parse(bytes: &[u8]) -> Result<SliceCheckpoint, RecoveryError> {
-    let cp: SliceCheckpoint =
-        serde_json::from_slice(bytes).map_err(|e| RecoveryError::Malformed(e.to_string()))?;
+    let cp: SliceCheckpoint = serde_json::from_slice(bytes).map_err(|e| RecoveryError::Malformed(e.to_string()))?;
     if cp.version != CHECKPOINT_VERSION {
         return Err(RecoveryError::WrongVersion { found: cp.version, expected: CHECKPOINT_VERSION });
     }
@@ -118,11 +114,7 @@ mod tests {
         let mut c = cp();
         for imsi in 0..n {
             c.apply_event(CtrlEvent::Attach { imsi });
-            c.apply_event(CtrlEvent::S1Handover {
-                imsi,
-                new_enb_teid: 0xE000 + imsi as u32,
-                new_enb_ip: 0xC0A80001,
-            });
+            c.apply_event(CtrlEvent::S1Handover { imsi, new_enb_teid: 0xE000 + imsi as u32, new_enb_ip: 0xC0A80001 });
             let ctx = c.context_of(imsi).unwrap();
             ctx.counters.write().uplink_bytes = imsi * 100;
         }
@@ -171,10 +163,7 @@ mod tests {
         let mut doc = parse(&checkpoint(&populated(1))).unwrap();
         doc.version = 99;
         let bytes = serde_json::to_vec(&doc).unwrap();
-        assert!(matches!(
-            restore(&mut c, &bytes),
-            Err(RecoveryError::WrongVersion { found: 99, .. })
-        ));
+        assert!(matches!(restore(&mut c, &bytes), Err(RecoveryError::WrongVersion { found: 99, .. })));
         assert_eq!(c.user_count(), 0, "failed restore leaves nothing behind");
     }
 

@@ -77,15 +77,18 @@ impl SliceStats {
 // ---------------------------------------------------------------------------
 
 /// An inline (caller-driven) slice.
+///
+/// Update-ring entries are stamped with the enqueue time so the data
+/// plane can histogram the control→data propagation delay at apply.
 pub struct Slice {
     pub ctrl: ControlPlane,
     pub data: DataPlane,
-    update_tx: Producer<DpUpdate>,
-    update_rx: Consumer<DpUpdate>,
+    update_tx: Producer<(u64, DpUpdate)>,
+    update_rx: Consumer<(u64, DpUpdate)>,
     sync_every: u32,
     packets_since_sync: u32,
     clock: Clock,
-    update_scratch: Vec<DpUpdate>,
+    update_scratch: Vec<(u64, DpUpdate)>,
 }
 
 impl Slice {
@@ -93,6 +96,7 @@ impl Slice {
     /// S1AP/NAS attach path.
     pub fn new(config: &SliceConfig, gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
         let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
+        data.set_telemetry_enabled(config.telemetry);
         for (id, program) in &config.pcef_programs {
             data.apply_update(
                 DpUpdate::InstallRule { id: *id, program: program.clone(), action: Default::default() },
@@ -141,13 +145,14 @@ impl Slice {
             return;
         }
         for u in self.ctrl.take_updates() {
-            let mut pending = Some(u);
+            let mut pending = Some((self.clock.now_ns(), u));
             while let Some(u) = pending.take() {
                 if let Err(u) = self.update_tx.push(u) {
                     let now = self.clock.now_ns();
                     self.update_scratch.clear();
                     self.update_rx.pop_burst(&mut self.update_scratch, usize::MAX);
-                    for v in self.update_scratch.drain(..) {
+                    for (stamp, v) in self.update_scratch.drain(..) {
+                        self.data.record_update_delay(now.saturating_sub(stamp));
                         self.data.apply_update(v, now);
                     }
                     pending = Some(u);
@@ -163,7 +168,8 @@ impl Slice {
         let now = self.clock.now_ns();
         self.update_scratch.clear();
         self.update_rx.pop_burst(&mut self.update_scratch, usize::MAX);
-        for u in self.update_scratch.drain(..) {
+        for (stamp, u) in self.update_scratch.drain(..) {
+            self.data.record_update_delay(now.saturating_sub(stamp));
             self.data.apply_update(u, now);
         }
         self.packets_since_sync = 0;
@@ -192,6 +198,24 @@ impl Slice {
         self.ctrl.install_user(snap);
         self.flush_ctrl_updates();
         self.sync_now();
+    }
+
+    /// Assemble this slice's observability registry: plane counters,
+    /// latency histograms, and the update-ring gauge, all by value.
+    /// `migration_ns` stays empty here — migration is a node-level
+    /// procedure and is filled in by [`crate::node::PepcNode`].
+    pub fn telemetry_snapshot(&self, slice_id: u64) -> pepc_telemetry::SliceSnapshot {
+        let mut s = pepc_telemetry::SliceSnapshot::new(slice_id);
+        s.users = self.ctrl.user_count() as u64;
+        s.data = self.data.metrics();
+        s.ctrl = self.ctrl.metrics();
+        s.pipeline_ns = self.data.pipeline_latency().clone();
+        s.update_delay_ns = self.data.update_delay().clone();
+        s.attach_ns = self.ctrl.attach_latency().clone();
+        s.service_request_ns = self.ctrl.service_request_latency().clone();
+        s.handover_ns = self.ctrl.handover_latency().clone();
+        s.rings.push(self.update_rx.gauge("update_ring"));
+        s
     }
 }
 
@@ -236,7 +260,7 @@ impl Slice {
         proxy: Option<Arc<Proxy>>,
     ) -> SliceHandle {
         let stats = Arc::new(SliceStats::default());
-        let (update_tx, update_rx) = SpscRing::with_capacity::<DpUpdate>(64 * 1024);
+        let (update_tx, update_rx) = SpscRing::with_capacity::<(u64, DpUpdate)>(64 * 1024);
         let (data_in_tx, data_in_rx) = SpscRing::with_capacity::<Mbuf>(4096);
         let (data_out_tx, data_out_rx) = SpscRing::with_capacity::<Mbuf>(4096);
         let (ctrl_tx, ctrl_cmd_rx) = unbounded::<CtrlCmd>();
@@ -244,6 +268,7 @@ impl Slice {
 
         // --- data thread ---
         let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
+        data.set_telemetry_enabled(config.telemetry);
         for (id, program) in &config.pcef_programs {
             data.apply_update(
                 DpUpdate::InstallRule { id: *id, program: program.clone(), action: Default::default() },
@@ -258,7 +283,7 @@ impl Slice {
             let mut rx = data_in_rx;
             let mut tx = data_out_tx;
             let mut rx_buf: Vec<Mbuf> = Vec::with_capacity(64);
-            let mut upd_buf: Vec<DpUpdate> = Vec::with_capacity(64);
+            let mut upd_buf: Vec<(u64, DpUpdate)> = Vec::with_capacity(64);
             let mut since_sync = 0usize;
             Worker::spawn_state(CoreId(config.data_core), data, move |dp: &mut DataPlane| {
                 let mut did_work = false;
@@ -275,7 +300,8 @@ impl Slice {
                         did_work = true;
                         let now = clock.now_ns();
                         let applied = upd_buf.len() as u64;
-                        for u in upd_buf.drain(..) {
+                        for (stamp, u) in upd_buf.drain(..) {
+                            dp.record_update_delay(now.saturating_sub(stamp));
                             dp.apply_update(u, now);
                         }
                         data_stats.updates_applied.fetch_add(applied, Ordering::Relaxed);
@@ -350,7 +376,9 @@ impl Slice {
                 }
                 if cp.has_updates() {
                     did_work = true;
-                    let mut it = cp.take_updates().into_iter().peekable();
+                    // Stamp with the shared slice clock (Clock is Copy, so
+                    // both threads measure from the same origin).
+                    let mut it = cp.take_updates().into_iter().map(|u| (clock.now_ns(), u)).peekable();
                     while it.peek().is_some() {
                         if update_tx.push_burst(&mut it) == 0 {
                             std::hint::spin_loop();
@@ -391,10 +419,8 @@ mod tests {
     }
 
     fn inline_slice(sync_every: u32) -> Slice {
-        let config = SliceConfig {
-            batching: BatchingConfig { sync_every_packets: sync_every },
-            ..SliceConfig::default()
-        };
+        let config =
+            SliceConfig { batching: BatchingConfig { sync_every_packets: sync_every }, ..SliceConfig::default() };
         Slice::new(&config, 0x0AFE0001, 1, alloc(), None)
     }
 
@@ -445,6 +471,29 @@ mod tests {
     }
 
     #[test]
+    fn inline_snapshot_reflects_activity() {
+        let mut s = inline_slice(1);
+        s.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 });
+        for _ in 0..4 {
+            assert!(s.process_packet(uplink(0x1000, 0x0A000001)).is_forward());
+        }
+        // One miss for the drop taxonomy.
+        assert!(!s.process_packet(uplink(0xDEAD, 0x0A000001)).is_forward());
+        let snap = s.telemetry_snapshot(2);
+        assert_eq!(snap.slice_id, 2);
+        assert_eq!(snap.users, 1);
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.data.forwarded, 4);
+        assert_eq!(snap.data.drop_unknown_user, 1);
+        assert_eq!(snap.pipeline_ns.count(), snap.data.forwarded);
+        assert_eq!(snap.update_delay_ns.count(), snap.data.updates_applied);
+        assert_eq!(snap.attach_ns.count(), 1);
+        assert_eq!(snap.rings.len(), 1);
+        assert_eq!(snap.rings[0].name, "update_ring");
+        assert_eq!(snap.rings[0].depth, 0, "drained at the sync boundary");
+    }
+
+    #[test]
     fn inline_migration_between_slices_preserves_traffic() {
         let mut a = inline_slice(1);
         let mut b = Slice::new(
@@ -469,10 +518,7 @@ mod tests {
 
     #[test]
     fn threaded_slice_end_to_end() {
-        let config = SliceConfig {
-            batching: BatchingConfig { sync_every_packets: 1 },
-            ..SliceConfig::default()
-        };
+        let config = SliceConfig { batching: BatchingConfig { sync_every_packets: 1 }, ..SliceConfig::default() };
         let mut h = Slice::spawn(&config, 0x0AFE0001, 1, alloc(), None);
         h.ctrl_tx.send(CtrlCmd::Event(CtrlEvent::Attach { imsi: 7 })).unwrap();
         // Wait for the attach to land.

@@ -223,11 +223,13 @@ mod tests {
 
     #[test]
     fn counter_snapshot_copies_fields() {
-        let mut c = CounterState::default();
-        c.uplink_packets = 5;
-        c.downlink_bytes = 999;
-        c.qos_drops = 1;
-        c.last_activity_ns = 42;
+        let c = CounterState {
+            uplink_packets: 5,
+            downlink_bytes: 999,
+            qos_drops: 1,
+            last_activity_ns: 42,
+            ..CounterState::default()
+        };
         let s = c.snapshot();
         assert_eq!(s.uplink_packets, 5);
         assert_eq!(s.downlink_bytes, 999);

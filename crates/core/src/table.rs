@@ -324,9 +324,7 @@ mod tests {
             s.insert(2, ControlState::new(200));
             assert_eq!(s.len(), 2, "{name}");
 
-            let verdict = s
-                .data_path_visit(1, true, 64, 1000, &mut |c| c.imsi == 100)
-                .expect("user exists");
+            let verdict = s.data_path_visit(1, true, 64, 1000, &mut |c| c.imsi == 100).expect("user exists");
             assert!(verdict, "{name}");
             s.data_path_visit(1, false, 128, 2000, &mut |_| true).unwrap();
 

@@ -155,12 +155,7 @@ impl<V> TwoLevelTable<V> {
             return 0;
         }
         let cutoff = now_ns.saturating_sub(self.idle_timeout_ns);
-        let idle: Vec<u64> = self
-            .primary
-            .iter()
-            .filter(|(_, e)| e.last_touch_ns < cutoff)
-            .map(|(k, _)| *k)
-            .collect();
+        let idle: Vec<u64> = self.primary.iter().filter(|(_, e)| e.last_touch_ns < cutoff).map(|(k, _)| *k).collect();
         let n = idle.len();
         for k in idle {
             self.demote(k);

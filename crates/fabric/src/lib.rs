@@ -36,4 +36,4 @@ pub use maglev::Maglev;
 pub use pcap::PcapWriter;
 pub use port::{Port, PortPair, PortStats};
 pub use ring::SpscRing;
-pub use wire::{FaultSpec, Wire};
+pub use wire::{FaultSpec, Wire, WireStats};

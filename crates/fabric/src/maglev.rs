@@ -142,10 +142,7 @@ mod tests {
         }
         // Maglev guarantees *mostly* stable mappings; allow a few percent.
         let stable_keys = 50_000 - to_removed;
-        assert!(
-            (moved as f64) < stable_keys as f64 * 0.05,
-            "{moved} of {stable_keys} stable keys moved"
-        );
+        assert!((moved as f64) < stable_keys as f64 * 0.05, "{moved} of {stable_keys} stable keys moved");
     }
 
     #[test]

@@ -99,9 +99,8 @@ impl Port {
         let mut it = pkts.drain(..);
         let mut sent_bytes = 0u64;
         // Count bytes as we hand packets to the ring via a wrapping iterator.
-        let mut counting = (&mut it).map(|m| {
+        let mut counting = (&mut it).inspect(|m| {
             sent_bytes += m.len() as u64;
-            m
         });
         let sent = self.tx.push_burst(&mut counting);
         // Items pulled from `counting` but rejected by a full ring were
@@ -123,6 +122,20 @@ impl Port {
         self.rx.len()
     }
 
+    /// Depth/capacity gauges for both rings of this port, for telemetry
+    /// snapshots. `name` prefixes the ring labels (`<name>_rx`,
+    /// `<name>_tx`).
+    pub fn gauges(&self, name: &str) -> Vec<pepc_telemetry::RingGauge> {
+        vec![
+            self.rx.gauge(&format!("{name}_rx")),
+            pepc_telemetry::RingGauge {
+                name: format!("{name}_tx"),
+                depth: self.tx.len() as u64,
+                capacity: self.tx.capacity() as u64,
+            },
+        ]
+    }
+
     /// Shared statistics handle (cloneable, readable from other threads).
     pub fn stats(&self) -> Arc<PortStats> {
         Arc::clone(&self.stats)
@@ -135,6 +148,7 @@ pub struct PortPair;
 impl PortPair {
     /// Create two ports wired back-to-back with `depth`-entry queues:
     /// whatever `a` transmits, `b` receives, and vice versa.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(depth: usize) -> (Port, Port) {
         let (a_tx, b_rx) = SpscRing::with_capacity(depth);
         let (b_tx, a_rx) = SpscRing::with_capacity(depth);
@@ -217,6 +231,21 @@ mod tests {
         a.tx(Mbuf::new());
         a.tx(Mbuf::new());
         assert_eq!(b.rx_pending(), 2);
+    }
+
+    #[test]
+    fn port_gauges_cover_both_rings() {
+        let (mut a, b) = PortPair::new(8);
+        a.tx(Mbuf::new());
+        a.tx(Mbuf::new());
+        a.tx(Mbuf::new());
+        let gauges = b.gauges("enb");
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].name, "enb_rx");
+        assert_eq!(gauges[0].depth, 3);
+        assert_eq!(gauges[0].capacity, 8);
+        assert_eq!(gauges[1].name, "enb_tx");
+        assert_eq!(gauges[1].depth, 0);
     }
 
     #[test]

@@ -146,6 +146,16 @@ impl<T> Drop for Producer<T> {
 }
 
 impl<T> Consumer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Depth/capacity gauge for this ring, for telemetry snapshots.
+    pub fn gauge(&self, name: &str) -> pepc_telemetry::RingGauge {
+        pepc_telemetry::RingGauge { name: name.to_string(), depth: self.len() as u64, capacity: self.capacity() as u64 }
+    }
+
     /// Try to dequeue one element.
     pub fn pop(&mut self) -> Option<T> {
         if self.head == self.cached_tail {
@@ -229,10 +239,22 @@ mod tests {
 
     #[test]
     fn capacity_rounds_to_power_of_two() {
-        let (tx, _rx) = SpscRing::with_capacity::<u8>(100);
+        let (tx, rx) = SpscRing::with_capacity::<u8>(100);
         assert_eq!(tx.capacity(), 128);
+        assert_eq!(rx.capacity(), 128);
         let (tx, _rx) = SpscRing::with_capacity::<u8>(0);
         assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn consumer_gauge_reports_depth() {
+        let (mut tx, rx) = SpscRing::with_capacity::<u8>(8);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        let g = rx.gauge("update_ring");
+        assert_eq!(g.name, "update_ring");
+        assert_eq!(g.depth, 2);
+        assert_eq!(g.capacity, 8);
     }
 
     #[test]

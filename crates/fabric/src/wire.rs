@@ -20,6 +20,9 @@ pub struct FaultSpec {
     pub drop_chance: f64,
     /// Probability in [0,1] that one random byte of a packet is flipped.
     pub corrupt_chance: f64,
+    /// Probability in [0,1] that a packet is swapped with its successor
+    /// within the same pumped burst (adjacent reordering).
+    pub reorder_chance: f64,
     /// Token-bucket rate limit in packets per refill interval;
     /// `None` = unlimited.
     pub rate_limit: Option<u32>,
@@ -34,6 +37,7 @@ impl Default for FaultSpec {
         FaultSpec {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
+            reorder_chance: 0.0,
             rate_limit: None,
             shaping_interval: Duration::from_millis(50),
             seed: 0x5EED,
@@ -54,6 +58,7 @@ pub struct WireStats {
     pub forwarded: u64,
     pub dropped: u64,
     pub corrupted: u64,
+    pub reordered: u64,
     pub rate_limited: u64,
 }
 
@@ -78,7 +83,16 @@ impl Wire {
     pub fn new(from: Port, to: Port, spec: FaultSpec) -> Self {
         let tokens = spec.rate_limit.unwrap_or(u32::MAX);
         let rng = StdRng::seed_from_u64(spec.seed);
-        Wire { from, to, spec, rng, tokens, last_refill: Instant::now(), stats: WireStats::default(), scratch: Vec::with_capacity(64) }
+        Wire {
+            from,
+            to,
+            spec,
+            rng,
+            tokens,
+            last_refill: Instant::now(),
+            stats: WireStats::default(),
+            scratch: Vec::with_capacity(64),
+        }
     }
 
     /// Move up to `max` packets across the wire, applying faults.
@@ -92,6 +106,14 @@ impl Wire {
         }
         self.scratch.clear();
         self.from.rx_burst(&mut self.scratch, max);
+        if self.spec.reorder_chance > 0.0 && self.scratch.len() > 1 {
+            for i in 1..self.scratch.len() {
+                if self.rng.gen_bool(self.spec.reorder_chance) {
+                    self.scratch.swap(i - 1, i);
+                    self.stats.reordered += 1;
+                }
+            }
+        }
         let mut forwarded = 0;
         for mut m in self.scratch.drain(..) {
             if self.spec.rate_limit.is_some() {
@@ -105,8 +127,7 @@ impl Wire {
                 self.stats.dropped += 1;
                 continue;
             }
-            if self.spec.corrupt_chance > 0.0 && !m.is_empty() && self.rng.gen_bool(self.spec.corrupt_chance)
-            {
+            if self.spec.corrupt_chance > 0.0 && !m.is_empty() && self.rng.gen_bool(self.spec.corrupt_chance) {
                 let idx = self.rng.gen_range(0..m.len());
                 m.data_mut()[idx] ^= 0xFF;
                 self.stats.corrupted += 1;
@@ -155,8 +176,7 @@ mod tests {
 
     #[test]
     fn drop_chance_drops_roughly_that_fraction() {
-        let (mut src, mut wire, mut sink) =
-            rig(FaultSpec { drop_chance: 0.5, ..FaultSpec::default() });
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { drop_chance: 0.5, ..FaultSpec::default() });
         for _ in 0..1000 {
             src.tx(Mbuf::from_payload(&[0]));
         }
@@ -175,8 +195,7 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_byte() {
-        let (mut src, mut wire, mut sink) =
-            rig(FaultSpec { corrupt_chance: 1.0, ..FaultSpec::default() });
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { corrupt_chance: 1.0, ..FaultSpec::default() });
         src.tx(Mbuf::from_payload(&[0u8; 32]));
         wire.pump(10);
         let mut out = Vec::new();
@@ -205,8 +224,7 @@ mod tests {
     #[test]
     fn seeded_faults_are_reproducible() {
         let run = || {
-            let (mut src, mut wire, _sink) =
-                rig(FaultSpec { drop_chance: 0.3, seed: 42, ..FaultSpec::default() });
+            let (mut src, mut wire, _sink) = rig(FaultSpec { drop_chance: 0.3, seed: 42, ..FaultSpec::default() });
             for _ in 0..200 {
                 src.tx(Mbuf::new());
             }
@@ -214,6 +232,24 @@ mod tests {
             wire.stats().dropped
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reordering_permutes_but_conserves() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { reorder_chance: 0.5, seed: 7, ..FaultSpec::default() });
+        for i in 0..200u8 {
+            src.tx(Mbuf::from_payload(&[i]));
+        }
+        wire.pump(500);
+        let s = wire.stats();
+        assert_eq!(s.forwarded, 200, "reordering must not lose packets");
+        assert!(s.reordered > 0, "expected some swaps at 50%");
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 500);
+        let mut seen: Vec<u8> = out.iter().map(|m| m.data()[0]).collect();
+        assert_ne!(seen, (0..200).collect::<Vec<_>>(), "order should change");
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>(), "same multiset");
     }
 
     #[test]

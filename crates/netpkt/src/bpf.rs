@@ -217,11 +217,7 @@ mod tests {
         // Doesn't end in Ret.
         assert!(BpfProgram::new(vec![Insn::Ld(Field::Proto)]).is_err());
         // Jump past the end.
-        assert!(BpfProgram::new(vec![
-            Insn::JmpEq { k: 0, jt: 200, jf: 0 },
-            Insn::Ret(0),
-        ])
-        .is_err());
+        assert!(BpfProgram::new(vec![Insn::JmpEq { k: 0, jt: 200, jf: 0 }, Insn::Ret(0),]).is_err());
         // Over-long program.
         let long = vec![Insn::Ret(0); BpfProgram::MAX_LEN + 1];
         assert!(BpfProgram::new(long).is_err());

@@ -15,28 +15,15 @@ pub enum NetError {
         have: usize,
     },
     /// A version / type / flag field holds a value this stack does not speak.
-    Unsupported {
-        what: &'static str,
-        value: u32,
-    },
+    Unsupported { what: &'static str, value: u32 },
     /// A length field is inconsistent with the enclosing buffer.
-    BadLength {
-        what: &'static str,
-        value: usize,
-    },
+    BadLength { what: &'static str, value: usize },
     /// A checksum failed verification.
-    BadChecksum {
-        what: &'static str,
-    },
+    BadChecksum { what: &'static str },
     /// There is not enough headroom in the [`crate::Mbuf`] to push a header.
-    NoHeadroom {
-        need: usize,
-        have: usize,
-    },
+    NoHeadroom { need: usize, have: usize },
     /// A BPF program was malformed (e.g. jump out of range).
-    BadProgram {
-        reason: &'static str,
-    },
+    BadProgram { reason: &'static str },
 }
 
 impl fmt::Display for NetError {
@@ -79,13 +66,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            NetError::BadProgram { reason: "x" },
-            NetError::BadProgram { reason: "x" }
-        );
-        assert_ne!(
-            NetError::Unsupported { what: "v", value: 1 },
-            NetError::Unsupported { what: "v", value: 2 }
-        );
+        assert_eq!(NetError::BadProgram { reason: "x" }, NetError::BadProgram { reason: "x" });
+        assert_ne!(NetError::Unsupported { what: "v", value: 1 }, NetError::Unsupported { what: "v", value: 2 });
     }
 }

@@ -105,11 +105,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let h = EtherHdr {
-            dst: MacAddr::from_index(7),
-            src: MacAddr::from_index(9),
-            ethertype: EtherType::Ipv4,
-        };
+        let h = EtherHdr { dst: MacAddr::from_index(7), src: MacAddr::from_index(9), ethertype: EtherType::Ipv4 };
         let mut buf = [0u8; ETHER_HDR_LEN];
         h.emit(&mut buf).unwrap();
         assert_eq!(EtherHdr::parse(&buf).unwrap(), h);

@@ -54,8 +54,7 @@ impl FiveTuple {
         let b = (u64::from(self.dst_ip) << 16) | u64::from(self.dst_port);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         // Fibonacci-style mix; quality only needs to be "spreads buckets".
-        (lo ^ hi.rotate_left(25) ^ u64::from(self.proto))
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        (lo ^ hi.rotate_left(25) ^ u64::from(self.proto)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 }
 

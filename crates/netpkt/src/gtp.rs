@@ -446,7 +446,13 @@ mod tests {
                 qci: 9,
                 ambr_kbps: 100_000,
             },
-            GtpcMsg::CreateSessionResponse { seq: 9, sender_cteid: 0x11, bearer_teid: 0x33, ue_ip: 0x0A00002A, cause: GtpcMsg::CAUSE_ACCEPTED },
+            GtpcMsg::CreateSessionResponse {
+                seq: 9,
+                sender_cteid: 0x11,
+                bearer_teid: 0x33,
+                ue_ip: 0x0A00002A,
+                cause: GtpcMsg::CAUSE_ACCEPTED,
+            },
             GtpcMsg::ModifyBearerRequest { seq: 10, imsi: 1, enb_teid: 0x44, enb_ip: 0xC0A80005 },
             GtpcMsg::ModifyBearerResponse { seq: 10, cause: GtpcMsg::CAUSE_ACCEPTED },
             GtpcMsg::DeleteSessionRequest { seq: 11, imsi: 1 },

@@ -56,15 +56,7 @@ pub struct Ipv4Hdr {
 impl Ipv4Hdr {
     /// A fresh header for a payload of `payload_len` bytes.
     pub fn new(src: u32, dst: u32, proto: IpProto, payload_len: usize) -> Self {
-        Ipv4Hdr {
-            dscp: 0,
-            identification: 0,
-            ttl: 64,
-            proto,
-            src,
-            dst,
-            total_len: (IPV4_HDR_LEN + payload_len) as u16,
-        }
+        Ipv4Hdr { dscp: 0, identification: 0, ttl: 64, proto, src, dst, total_len: (IPV4_HDR_LEN + payload_len) as u16 }
     }
 
     /// Parse and validate the header at the front of `buf`.

@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! # pepc-net — packet representation and wire protocols for PEPC
 //!
 //! This crate is the lowest layer of the PEPC reproduction. It provides:

@@ -125,12 +125,7 @@ impl Mbuf {
     /// caller's control, unlike header pushes which depend on packet
     /// provenance and therefore return `Result`.
     pub fn extend(&mut self, bytes: &[u8]) {
-        assert!(
-            bytes.len() <= self.tailroom(),
-            "tailroom exhausted: need {}, have {}",
-            bytes.len(),
-            self.tailroom()
-        );
+        assert!(bytes.len() <= self.tailroom(), "tailroom exhausted: need {}, have {}", bytes.len(), self.tailroom());
         self.buf[self.tail..self.tail + bytes.len()].copy_from_slice(bytes);
         self.tail += bytes.len();
     }

@@ -93,17 +93,9 @@ mod tests {
     #[test]
     fn options_skipped() {
         let mut buf = [0u8; 28];
-        TcpHdr {
-            src_port: 1,
-            dst_port: 2,
-            seq: 0,
-            ack: 0,
-            data_offset: TCP_HDR_LEN,
-            flags: flags::ACK,
-            window: 1000,
-        }
-        .emit(&mut buf)
-        .unwrap();
+        TcpHdr { src_port: 1, dst_port: 2, seq: 0, ack: 0, data_offset: TCP_HDR_LEN, flags: flags::ACK, window: 1000 }
+            .emit(&mut buf)
+            .unwrap();
         buf[12] = 7 << 4; // 28-byte header, 8 bytes of options
         let h = TcpHdr::parse(&buf).unwrap();
         assert_eq!(h.data_offset, 28);

@@ -38,13 +38,7 @@ pub enum DiameterMsg {
         plmn: u32,
     },
     /// HSS → MME: one authentication vector.
-    AuthInfoAnswer {
-        hop_id: u32,
-        result: u32,
-        rand: u64,
-        autn: u64,
-        xres: u64,
-    },
+    AuthInfoAnswer { hop_id: u32, result: u32, rand: u64, autn: u64, xres: u64 },
     /// MME → HSS: register this MME as serving the subscriber.
     UpdateLocationRequest {
         hop_id: u32,
@@ -126,11 +120,7 @@ impl DiameterMsg {
             }
             (command::UPDATE_LOCATION, true) => {
                 need(buf, 21, "ulr")?;
-                Ok(DiameterMsg::UpdateLocationRequest {
-                    hop_id,
-                    imsi: u64_at(buf, 9),
-                    serving_node: u32_at(buf, 17),
-                })
+                Ok(DiameterMsg::UpdateLocationRequest { hop_id, imsi: u64_at(buf, 9), serving_node: u32_at(buf, 17) })
             }
             (command::UPDATE_LOCATION, false) => {
                 need(buf, 18, "ula")?;

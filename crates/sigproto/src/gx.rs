@@ -61,29 +61,13 @@ impl GxRule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GxMsg {
     /// PCEF → PCRF at session establishment.
-    CcrInitial {
-        session_id: u32,
-        imsi: u64,
-    },
+    CcrInitial { session_id: u32, imsi: u64 },
     /// PCRF → PCEF: install these rules.
-    CcaInitial {
-        session_id: u32,
-        result: u32,
-        rules: Vec<GxRule>,
-    },
+    CcaInitial { session_id: u32, result: u32, rules: Vec<GxRule> },
     /// PCEF → PCRF: usage report.
-    CcrUpdate {
-        session_id: u32,
-        imsi: u64,
-        uplink_bytes: u64,
-        downlink_bytes: u64,
-    },
+    CcrUpdate { session_id: u32, imsi: u64, uplink_bytes: u64, downlink_bytes: u64 },
     /// PCRF → PCEF: acknowledged; optionally a new aggregate rate limit.
-    CcaUpdate {
-        session_id: u32,
-        result: u32,
-        new_ambr_kbps: u32,
-    },
+    CcaUpdate { session_id: u32, result: u32, new_ambr_kbps: u32 },
 }
 
 impl GxMsg {

@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! # pepc-sigproto — cellular signaling protocols
 //!
 //! Everything a software EPC speaks on its control interfaces:

@@ -44,9 +44,9 @@ pub fn imsi_to_bcd(imsi: Imsi) -> [u8; 8] {
 /// Decode a packed-BCD IMSI (inverse of [`imsi_to_bcd`]).
 pub fn imsi_from_bcd(bcd: &[u8; 8]) -> Result<Imsi> {
     let mut v: u64 = 0;
-    for i in 0..7 {
-        let hi = bcd[i] >> 4;
-        let lo = bcd[i] & 0xF;
+    for &b in bcd.iter().take(7) {
+        let hi = b >> 4;
+        let lo = b & 0xF;
         if hi > 9 || lo > 9 {
             return Err(SigError::BadValue("imsi bcd digit"));
         }
@@ -69,23 +69,13 @@ pub enum NasMsg {
         ue_capability: u32,
     },
     /// MME → UE: authentication challenge (RAND, AUTN from the HSS).
-    AuthenticationRequest {
-        rand: u64,
-        autn: u64,
-    },
+    AuthenticationRequest { rand: u64, autn: u64 },
     /// UE → MME: challenge response (RES).
-    AuthenticationResponse {
-        res: u64,
-    },
+    AuthenticationResponse { res: u64 },
     /// MME → UE: reject (bad RES, unknown IMSI, ...).
-    AuthenticationReject {
-        cause: u8,
-    },
+    AuthenticationReject { cause: u8 },
     /// MME → UE: select security algorithms.
-    SecurityModeCommand {
-        integrity_alg: u8,
-        ciphering_alg: u8,
-    },
+    SecurityModeCommand { integrity_alg: u8, ciphering_alg: u8 },
     /// UE → MME.
     SecurityModeComplete,
     /// MME → UE: attach succeeded; carries the GUTI and the UE's IP.
@@ -98,30 +88,19 @@ pub enum NasMsg {
     /// UE → MME: final leg of attach.
     AttachComplete,
     /// MME → UE: attach failed.
-    AttachReject {
-        cause: u8,
-    },
+    AttachReject { cause: u8 },
     /// UE → MME: leave the network.
-    DetachRequest {
-        guti: Guti,
-    },
+    DetachRequest { guti: Guti },
     /// MME → UE.
     DetachAccept,
     /// UE → MME: entered a tracking area outside its list.
-    TrackingAreaUpdateRequest {
-        guti: Guti,
-        tac: u16,
-    },
+    TrackingAreaUpdateRequest { guti: Guti, tac: u16 },
     /// MME → UE.
-    TrackingAreaUpdateAccept {
-        tac: u16,
-    },
+    TrackingAreaUpdateAccept { tac: u16 },
     /// UE → MME: an idle UE has uplink data pending — re-establish the
     /// bearer (the idle→active transition that drives PEPC's two-level
     /// table promotion).
-    ServiceRequest {
-        guti: Guti,
-    },
+    ServiceRequest { guti: Guti },
     /// MME → UE: service request accepted; bearer re-established.
     ServiceAccept,
 }

@@ -27,17 +27,9 @@ pub enum S1apPdu {
         nas: Vec<u8>,
     },
     /// MME → eNodeB: NAS message for the UE.
-    DownlinkNasTransport {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        nas: Vec<u8>,
-    },
+    DownlinkNasTransport { enb_ue_id: u32, mme_ue_id: u32, nas: Vec<u8> },
     /// eNodeB → MME: NAS message from the UE.
-    UplinkNasTransport {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        nas: Vec<u8>,
-    },
+    UplinkNasTransport { enb_ue_id: u32, mme_ue_id: u32, nas: Vec<u8> },
     /// MME → eNodeB: establish the UE context and the S1-U bearer; carries
     /// the gateway-side tunnel endpoint and the final NAS Attach Accept.
     InitialContextSetupRequest {
@@ -53,62 +45,25 @@ pub enum S1apPdu {
     },
     /// eNodeB → MME: bearer is up; carries the eNodeB-side tunnel endpoint
     /// for downlink traffic.
-    InitialContextSetupResponse {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        enb_teid: u32,
-        enb_ip: u32,
-    },
+    InitialContextSetupResponse { enb_ue_id: u32, mme_ue_id: u32, enb_teid: u32, enb_ip: u32 },
     /// eNodeB → MME after an X2 handover: the UE moved to a new eNodeB
     /// that has a direct link to the old one; switch the downlink path.
-    PathSwitchRequest {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        new_enb_teid: u32,
-        new_enb_ip: u32,
-        ecgi: u32,
-    },
+    PathSwitchRequest { enb_ue_id: u32, mme_ue_id: u32, new_enb_teid: u32, new_enb_ip: u32, ecgi: u32 },
     /// MME → eNodeB: path switched.
-    PathSwitchRequestAck {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-    },
+    PathSwitchRequestAck { enb_ue_id: u32, mme_ue_id: u32 },
     /// Source eNodeB → MME: S1 handover needed (no X2 link between the
     /// eNodeBs).
-    HandoverRequired {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        target_ecgi: u32,
-    },
+    HandoverRequired { enb_ue_id: u32, mme_ue_id: u32, target_ecgi: u32 },
     /// MME → target eNodeB: prepare resources for the incoming UE.
-    HandoverRequest {
-        mme_ue_id: u32,
-        gw_teid: u32,
-        gw_ip: u32,
-        ambr_kbps: u32,
-    },
+    HandoverRequest { mme_ue_id: u32, gw_teid: u32, gw_ip: u32, ambr_kbps: u32 },
     /// Target eNodeB → MME: resources ready; downlink tunnel endpoint.
-    HandoverRequestAck {
-        mme_ue_id: u32,
-        new_enb_teid: u32,
-        new_enb_ip: u32,
-    },
+    HandoverRequestAck { mme_ue_id: u32, new_enb_teid: u32, new_enb_ip: u32 },
     /// MME → source eNodeB: proceed with the handover.
-    HandoverCommand {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-    },
+    HandoverCommand { enb_ue_id: u32, mme_ue_id: u32 },
     /// MME → eNodeB: tear down the UE context (detach, inactivity).
-    UeContextReleaseCommand {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        cause: u8,
-    },
+    UeContextReleaseCommand { enb_ue_id: u32, mme_ue_id: u32, cause: u8 },
     /// eNodeB → MME.
-    UeContextReleaseComplete {
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-    },
+    UeContextReleaseComplete { enb_ue_id: u32, mme_ue_id: u32 },
 }
 
 impl S1apPdu {

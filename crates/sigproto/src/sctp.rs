@@ -24,34 +24,14 @@ use std::collections::BTreeMap;
 /// An SCTP chunk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SctpChunk {
-    Init {
-        initiate_tag: u32,
-        initial_tsn: u32,
-    },
-    InitAck {
-        initiate_tag: u32,
-        initial_tsn: u32,
-        cookie: Vec<u8>,
-    },
-    CookieEcho {
-        cookie: Vec<u8>,
-    },
+    Init { initiate_tag: u32, initial_tsn: u32 },
+    InitAck { initiate_tag: u32, initial_tsn: u32, cookie: Vec<u8> },
+    CookieEcho { cookie: Vec<u8> },
     CookieAck,
-    Data {
-        tsn: u32,
-        stream_id: u16,
-        stream_seq: u16,
-        payload: Vec<u8>,
-    },
-    Sack {
-        cumulative_tsn: u32,
-    },
-    Heartbeat {
-        nonce: u32,
-    },
-    HeartbeatAck {
-        nonce: u32,
-    },
+    Data { tsn: u32, stream_id: u16, stream_seq: u16, payload: Vec<u8> },
+    Sack { cumulative_tsn: u32 },
+    Heartbeat { nonce: u32 },
+    HeartbeatAck { nonce: u32 },
     Shutdown,
     ShutdownAck,
     Abort,
@@ -395,11 +375,7 @@ impl Association {
                     cookie.extend_from_slice(&digest.to_be_bytes());
                     self.queue(
                         *initiate_tag,
-                        vec![SctpChunk::InitAck {
-                            initiate_tag: self.local_tag,
-                            initial_tsn: self.next_tsn,
-                            cookie,
-                        }],
+                        vec![SctpChunk::InitAck { initiate_tag: self.local_tag, initial_tsn: self.next_tsn, cookie }],
                     );
                 }
                 SctpChunk::InitAck { initiate_tag, initial_tsn, cookie } => {
@@ -512,13 +488,7 @@ impl Association {
     }
 
     /// Per-stream ordered delivery.
-    fn deliver_ordered(
-        &mut self,
-        stream_id: u16,
-        stream_seq: u16,
-        payload: Vec<u8>,
-        events: &mut Vec<SctpEvent>,
-    ) {
+    fn deliver_ordered(&mut self, stream_id: u16, stream_seq: u16, payload: Vec<u8>, events: &mut Vec<SctpEvent>) {
         let next = self.stream_rx_seq.entry(stream_id).or_insert(0);
         if stream_seq == *next {
             *next = next.wrapping_add(1);
@@ -759,10 +729,7 @@ mod tests {
         let pkts = c.take_outbound();
         s.handle_packet(&pkts[0]).unwrap();
         let acks = s.take_outbound();
-        assert!(acks
-            .iter()
-            .flat_map(|p| &p.chunks)
-            .any(|ch| matches!(ch, SctpChunk::HeartbeatAck { nonce: 0xDEAD })));
+        assert!(acks.iter().flat_map(|p| &p.chunks).any(|ch| matches!(ch, SctpChunk::HeartbeatAck { nonce: 0xDEAD })));
     }
 
     #[test]
@@ -825,10 +792,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(
-            seq,
-            vec![(1, b"a1".to_vec()), (2, b"b1".to_vec()), (1, b"a2".to_vec())]
-        );
+        assert_eq!(seq, vec![(1, b"a1".to_vec()), (2, b"b1".to_vec()), (1, b"a2".to_vec())]);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Per-slice observability for the PEPC reproduction.
+//!
+//! This crate sits below `pepc-fabric` and `pepc` (core) and owns the
+//! three observability primitives the rest of the system threads through
+//! its planes:
+//!
+//! - [`LatencyHistogram`] — log-linear fixed-bucket histogram, O(1)
+//!   allocation-free insert, safe on the data path. Records per-packet
+//!   pipeline latency, control→data update propagation delay, and
+//!   control-procedure latencies (attach, service request, handover,
+//!   migration).
+//! - [`DataMetrics`] / [`CtrlMetrics`] — plane-local counters with a
+//!   complete drop-cause taxonomy, so `rx == forwarded + Σ drops` is a
+//!   checkable invariant ([`SliceSnapshot::conservation_holds`]).
+//! - [`MetricsSnapshot`] — a by-value, per-slice registry snapshot with
+//!   ring-depth gauges, rendered as a human-readable table
+//!   ([`MetricsSnapshot::render`]) or JSON
+//!   ([`MetricsSnapshot::to_json`] / [`MetricsSnapshot::from_json`]).
+//!
+//! Threading model: planes update their own metrics on their own threads
+//! — no atomics, no locks, no allocation on the hot path. Snapshots
+//! cross threads by value (clone-out), matching the single-writer
+//! discipline the rest of PEPC uses for user state.
+
+mod hist;
+mod metrics;
+mod snapshot;
+
+pub use hist::{HistogramSummary, LatencyHistogram};
+pub use metrics::{CtrlMetrics, DataMetrics};
+pub use snapshot::{MetricsSnapshot, RingGauge, SliceSnapshot};

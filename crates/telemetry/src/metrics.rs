@@ -1,0 +1,92 @@
+//! Plane-local metrics.
+//!
+//! Counters the planes update on their own threads (no atomics on the hot
+//! path); snapshots cross threads by value. The drop counters form a
+//! complete taxonomy: every packet that enters the pipeline either
+//! forwards or increments exactly one `drop_*` counter, so
+//! `rx == forwarded + drops_total()` is an invariant the test suite
+//! checks per slice.
+
+/// Data-plane counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DataMetrics {
+    /// Packets entering the pipeline.
+    pub rx: u64,
+    /// Packets forwarded (uplink toward egress, downlink toward eNodeB).
+    pub forwarded: u64,
+    /// Packets taking the stateless-IoT fast path (subset of `forwarded`).
+    pub iot_fast_path: u64,
+    /// Drops: no user state found for the TEID / UE IP.
+    pub drop_unknown_user: u64,
+    /// Drops: PCEF gate closed.
+    pub drop_gate: u64,
+    /// Drops: rate enforcement (AMBR/MBR).
+    pub drop_qos: u64,
+    /// Drops: unparseable packets.
+    pub drop_malformed: u64,
+    /// Control→data updates applied.
+    pub updates_applied: u64,
+}
+
+impl DataMetrics {
+    /// Sum over the full drop-cause taxonomy.
+    pub fn drops_total(&self) -> u64 {
+        self.drop_unknown_user + self.drop_gate + self.drop_qos + self.drop_malformed
+    }
+
+    /// Packet conservation: every received packet is either forwarded or
+    /// attributed to exactly one drop cause.
+    pub fn conservation_holds(&self) -> bool {
+        self.rx == self.forwarded + self.drops_total()
+    }
+}
+
+/// Control-plane counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CtrlMetrics {
+    /// Completed attach procedures.
+    pub attaches: u64,
+    /// Rejected attach attempts (auth failure, unknown IMSI).
+    pub attach_rejects: u64,
+    /// Handover events applied (S1 or X2).
+    pub handovers: u64,
+    /// Detaches processed.
+    pub detaches: u64,
+    /// Bearer modifications applied.
+    pub bearer_updates: u64,
+    /// Users migrated out of this slice.
+    pub migrations_out: u64,
+    /// Users migrated into this slice.
+    pub migrations_in: u64,
+    /// S1AP PDUs processed.
+    pub s1ap_rx: u64,
+    /// Service Requests served (idle→active).
+    pub service_requests: u64,
+    /// UE context releases (active→idle).
+    pub releases: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let d = DataMetrics::default();
+        assert_eq!(d.rx + d.forwarded + d.drop_unknown_user, 0);
+        assert_eq!(d.drops_total(), 0);
+        assert!(d.conservation_holds());
+        let c = CtrlMetrics::default();
+        assert_eq!(c.attaches + c.handovers, 0);
+    }
+
+    #[test]
+    fn conservation_detects_leaks() {
+        let mut d = DataMetrics { rx: 10, forwarded: 7, ..Default::default() };
+        assert!(!d.conservation_holds());
+        d.drop_gate = 2;
+        d.drop_malformed = 1;
+        assert!(d.conservation_holds());
+        assert_eq!(d.drops_total(), 3);
+    }
+}

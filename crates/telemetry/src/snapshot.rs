@@ -1,0 +1,282 @@
+//! By-value snapshots of the per-slice observability registry.
+
+use crate::{CtrlMetrics, DataMetrics, LatencyHistogram};
+
+/// Depth/capacity gauge for one SPSC ring or port queue, sampled at
+/// snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RingGauge {
+    /// Which ring this is (e.g. `"update_ring"`, `"port_rx"`).
+    pub name: String,
+    /// Elements queued when the snapshot was taken.
+    pub depth: u64,
+    /// Ring capacity in elements.
+    pub capacity: u64,
+}
+
+impl RingGauge {
+    /// Fill fraction in [0, 1].
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.depth as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Everything one slice reports: plane counters, latency histograms, and
+/// ring gauges. Assembled by the slice owner thread; crosses threads by
+/// value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SliceSnapshot {
+    pub slice_id: u64,
+    /// Attached users at snapshot time.
+    pub users: u64,
+    pub data: DataMetrics,
+    pub ctrl: CtrlMetrics,
+    /// Per-packet data-plane pipeline latency (recorded on forward).
+    pub pipeline_ns: LatencyHistogram,
+    /// Control→data update propagation delay (enqueue → apply).
+    pub update_delay_ns: LatencyHistogram,
+    /// Attach procedure latency.
+    pub attach_ns: LatencyHistogram,
+    /// Service Request procedure latency.
+    pub service_request_ns: LatencyHistogram,
+    /// Handover procedure latency.
+    pub handover_ns: LatencyHistogram,
+    /// Per-user migration latency (park → drain).
+    pub migration_ns: LatencyHistogram,
+    pub rings: Vec<RingGauge>,
+}
+
+impl SliceSnapshot {
+    pub fn new(slice_id: u64) -> Self {
+        SliceSnapshot {
+            slice_id,
+            users: 0,
+            data: DataMetrics::default(),
+            ctrl: CtrlMetrics::default(),
+            pipeline_ns: LatencyHistogram::new(),
+            update_delay_ns: LatencyHistogram::new(),
+            attach_ns: LatencyHistogram::new(),
+            service_request_ns: LatencyHistogram::new(),
+            handover_ns: LatencyHistogram::new(),
+            migration_ns: LatencyHistogram::new(),
+            rings: Vec::new(),
+        }
+    }
+
+    /// Packet conservation for this slice: `rx == forwarded + Σ drops`.
+    pub fn conservation_holds(&self) -> bool {
+        self.data.conservation_holds()
+    }
+
+    /// Equality on the deterministic part of the snapshot: all counters,
+    /// the drop taxonomy, user/ring gauges, and histogram *counts*.
+    /// Histogram bucket contents are wall-clock measurements and differ
+    /// across runs even with identical seeds, so they are excluded.
+    pub fn deterministic_eq(&self, other: &SliceSnapshot) -> bool {
+        self.slice_id == other.slice_id
+            && self.users == other.users
+            && self.data == other.data
+            && self.ctrl == other.ctrl
+            && self.pipeline_ns.count() == other.pipeline_ns.count()
+            && self.update_delay_ns.count() == other.update_delay_ns.count()
+            && self.attach_ns.count() == other.attach_ns.count()
+            && self.service_request_ns.count() == other.service_request_ns.count()
+            && self.handover_ns.count() == other.handover_ns.count()
+            && self.migration_ns.count() == other.migration_ns.count()
+            && self.rings == other.rings
+    }
+
+    fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        let d = &self.data;
+        let c = &self.ctrl;
+        let conservation = if self.conservation_holds() { "ok" } else { "VIOLATED" };
+        let _ = writeln!(out, "slice {}: users={}", self.slice_id, self.users);
+        let _ = writeln!(
+            out,
+            "  packets: rx={} fwd={} iot={} drops[unknown={} gate={} qos={} malformed={}] \
+             updates={} conservation={}",
+            d.rx,
+            d.forwarded,
+            d.iot_fast_path,
+            d.drop_unknown_user,
+            d.drop_gate,
+            d.drop_qos,
+            d.drop_malformed,
+            d.updates_applied,
+            conservation,
+        );
+        let _ = writeln!(
+            out,
+            "  ctrl: attach={}/{}rej sr={} ho={} rel={} detach={} bearer={} migr={}out/{}in s1ap={}",
+            c.attaches,
+            c.attach_rejects,
+            c.service_requests,
+            c.handovers,
+            c.releases,
+            c.detaches,
+            c.bearer_updates,
+            c.migrations_out,
+            c.migrations_in,
+            c.s1ap_rx,
+        );
+        for (label, h) in [
+            ("pipeline", &self.pipeline_ns),
+            ("upd-delay", &self.update_delay_ns),
+            ("attach", &self.attach_ns),
+            ("service-req", &self.service_request_ns),
+            ("handover", &self.handover_ns),
+            ("migration", &self.migration_ns),
+        ] {
+            if h.count() > 0 {
+                let _ = writeln!(out, "  {label:<11} {}", h.summary());
+            }
+        }
+        for r in &self.rings {
+            let _ = writeln!(out, "  ring {:<11} {}/{} ({:.1}%)", r.name, r.depth, r.capacity, r.occupancy() * 100.0);
+        }
+    }
+}
+
+/// Node-wide snapshot: one [`SliceSnapshot`] per slice, taken at a single
+/// point in time by the owner of each plane.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    pub slices: Vec<SliceSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Human-readable multi-line report with p50/p99/p999 per histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.slices {
+            s.render_into(&mut out);
+        }
+        if self.slices.is_empty() {
+            out.push_str("(no slices)\n");
+        }
+        out
+    }
+
+    /// Machine-readable JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parse a snapshot previously produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Conservation across every slice.
+    pub fn conservation_holds(&self) -> bool {
+        self.slices.iter().all(SliceSnapshot::conservation_holds)
+    }
+
+    /// Node-wide totals of the data-plane counters (drop taxonomy summed
+    /// across slices).
+    pub fn data_totals(&self) -> DataMetrics {
+        let mut t = DataMetrics::default();
+        for s in &self.slices {
+            let d = &s.data;
+            t.rx += d.rx;
+            t.forwarded += d.forwarded;
+            t.iot_fast_path += d.iot_fast_path;
+            t.drop_unknown_user += d.drop_unknown_user;
+            t.drop_gate += d.drop_gate;
+            t.drop_qos += d.drop_qos;
+            t.drop_malformed += d.drop_malformed;
+            t.updates_applied += d.updates_applied;
+        }
+        t
+    }
+
+    /// See [`SliceSnapshot::deterministic_eq`].
+    pub fn deterministic_eq(&self, other: &MetricsSnapshot) -> bool {
+        self.slices.len() == other.slices.len()
+            && self.slices.iter().zip(&other.slices).all(|(a, b)| a.deterministic_eq(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = SliceSnapshot::new(3);
+        s.users = 4;
+        s.data.rx = 100;
+        s.data.forwarded = 90;
+        s.data.drop_gate = 6;
+        s.data.drop_qos = 4;
+        s.ctrl.attaches = 4;
+        for i in 1..=90u64 {
+            s.pipeline_ns.record(i * 100);
+        }
+        s.attach_ns.record(5_000);
+        s.rings.push(RingGauge { name: "update_ring".into(), depth: 3, capacity: 1024 });
+        MetricsSnapshot { slices: vec![s] }
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let snap = sample();
+        let text = snap.render();
+        assert!(text.contains("slice 3"), "{text}");
+        assert!(text.contains("conservation=ok"), "{text}");
+        assert!(text.contains("p999="), "{text}");
+        assert!(text.contains("ring update_ring"), "{text}");
+        assert!(MetricsSnapshot::new().render().contains("no slices"));
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let snap = sample();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.deterministic_eq(&snap));
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn conservation_and_totals() {
+        let mut snap = sample();
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.data_totals().rx, 100);
+        assert_eq!(snap.data_totals().drops_total(), 10);
+        snap.slices[0].data.rx += 1;
+        assert!(!snap.conservation_holds());
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_latency_values() {
+        let a = sample();
+        let mut b = sample();
+        // Same population size, different measured values.
+        b.slices[0].pipeline_ns = LatencyHistogram::new();
+        for i in 1..=90u64 {
+            b.slices[0].pipeline_ns.record(i * 999);
+        }
+        assert!(a.deterministic_eq(&b));
+        assert_ne!(a, b);
+        // Different counter values are not deterministic-equal.
+        b.slices[0].data.forwarded += 1;
+        assert!(!a.deterministic_eq(&b));
+    }
+
+    #[test]
+    fn ring_gauge_occupancy() {
+        let g = RingGauge { name: "x".into(), depth: 512, capacity: 1024 };
+        assert!((g.occupancy() - 0.5).abs() < 1e-9);
+        let z = RingGauge { name: "y".into(), depth: 0, capacity: 0 };
+        assert_eq!(z.occupancy(), 0.0);
+    }
+}

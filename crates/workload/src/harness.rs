@@ -32,6 +32,12 @@ pub trait SystemUnderTest {
 
     /// Display name for reports.
     fn name(&self) -> &'static str;
+
+    /// The system's observability snapshot, when it has one (the classic
+    /// EPC baseline predates the telemetry layer and returns `None`).
+    fn telemetry(&self) -> Option<pepc::MetricsSnapshot> {
+        None
+    }
 }
 
 /// PEPC: an inline slice as the system under test (per-core numbers, as
@@ -98,6 +104,10 @@ impl SystemUnderTest for PepcSut {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn telemetry(&self) -> Option<pepc::MetricsSnapshot> {
+        Some(pepc::MetricsSnapshot { slices: vec![self.slice.telemetry_snapshot(0)] })
+    }
 }
 
 /// The classic EPC as the system under test.
@@ -160,6 +170,8 @@ pub struct Measurement {
     pub elapsed: Duration,
     /// Per-packet latency (generation → forward), when sampled.
     pub latency: Option<LatencyHistogram>,
+    /// The SUT's observability snapshot, taken when the run ended.
+    pub snapshot: Option<pepc::MetricsSnapshot>,
 }
 
 impl Measurement {
@@ -181,6 +193,21 @@ impl Measurement {
         } else {
             self.forwarded as f64 / self.offered as f64
         }
+    }
+
+    /// One `p50/p99/p999` line per slice of the SUT's pipeline latency
+    /// (empty when the SUT has no telemetry or recorded nothing).
+    pub fn pipeline_latency_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if let Some(snap) = &self.snapshot {
+            for s in &snap.slices {
+                if s.pipeline_ns.count() > 0 {
+                    let _ = writeln!(out, "slice {} pipeline {}", s.slice_id, s.pipeline_ns.summary());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -240,7 +267,7 @@ pub fn measure_with<S: SystemUnderTest + ?Sized>(
             if let Some(out) = sut.process(m) {
                 forwarded += 1;
                 if let Some(h) = latency.as_mut() {
-                    if forwarded % opts.latency_sample_every == 0 {
+                    if forwarded.is_multiple_of(opts.latency_sample_every) {
                         if let Some(t0) = read_timestamp(&out) {
                             h.record(clock.now_ns().saturating_sub(t0));
                         }
@@ -250,7 +277,7 @@ pub fn measure_with<S: SystemUnderTest + ?Sized>(
             }
         }
     }
-    Measurement { offered, forwarded, events, elapsed: start.elapsed(), latency }
+    Measurement { offered, forwarded, events, elapsed: start.elapsed(), latency, snapshot: sut.telemetry() }
 }
 
 /// [`measure_with`] without a tick hook.
@@ -349,16 +376,35 @@ mod tests {
             &mut sut,
             &mut gen,
             None,
-            &MeasureOpts {
-                duration: Duration::from_millis(50),
-                latency_sample_every: 16,
-                ..Default::default()
-            },
+            &MeasureOpts { duration: Duration::from_millis(50), latency_sample_every: 16, ..Default::default() },
         );
         let h = m.latency.expect("sampled");
         assert!(h.count() > 10);
         assert!(h.quantile_ns(0.5) > 0, "median latency should be non-zero ns");
         assert!(h.quantile_ns(0.5) < 1_000_000, "inline pipeline is sub-ms");
+    }
+
+    #[test]
+    fn measurement_carries_telemetry_snapshot() {
+        let mut sut = PepcSut::new(default_pepc_slice(64, true, 32));
+        let keys = sut.attach_all(&imsis(4));
+        let mut gen = TrafficGen::new(keys);
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts { duration: Duration::from_millis(20), ..Default::default() },
+        );
+        let snap = m.snapshot.as_ref().expect("PEPC SUT exports telemetry");
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.slices[0].pipeline_ns.count(), snap.slices[0].data.forwarded);
+        let report = m.pipeline_latency_report();
+        assert!(report.contains("p99="), "{report}");
+
+        // The classic baseline has none.
+        let epc = ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1));
+        let sut = ClassicSut::new(epc, "classic");
+        assert!(sut.telemetry().is_none());
     }
 
     #[test]

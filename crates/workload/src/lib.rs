@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! # pepc-workload — workload generation and the measurement harness
 //!
 //! The paper's testbed drove PEPC with OpenAirInterface-derived GTP-U

@@ -43,15 +43,7 @@ pub struct SignalingGen {
 impl SignalingGen {
     pub fn new(imsi_base: u64, users: u64, rate_per_sec: u64, mix: EventMix) -> Self {
         assert!(users > 0);
-        SignalingGen {
-            imsi_base,
-            users,
-            rate_per_sec,
-            mix,
-            issued: 0,
-            lcg: 0x2545_F491_4F6C_DD1D,
-            enb_counter: 0,
-        }
+        SignalingGen { imsi_base, users, rate_per_sec, mix, issued: 0, lcg: 0x2545_F491_4F6C_DD1D, enb_counter: 0 }
     }
 
     /// Events per second this stream targets.
@@ -156,10 +148,9 @@ mod tests {
         let e1 = g.next_event();
         let e2 = g.next_event();
         match (e1, e2) {
-            (
-                SigEvent::S1Handover { new_enb_teid: t1, .. },
-                SigEvent::S1Handover { new_enb_teid: t2, .. },
-            ) => assert_ne!(t1, t2),
+            (SigEvent::S1Handover { new_enb_teid: t1, .. }, SigEvent::S1Handover { new_enb_teid: t2, .. }) => {
+                assert_ne!(t1, t2)
+            }
             other => panic!("{other:?}"),
         }
     }

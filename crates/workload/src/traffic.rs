@@ -45,10 +45,7 @@ impl TrafficGen {
         let (ul, dl) = Defaults::UPLINK_PER_DOWNLINK;
         // Wire sizes: uplink 128 B including the outer stack, downlink
         // 64 B plain IP. Inner payloads are what remains after headers.
-        let uplink_payload = Defaults::UPLINK_PACKET_BYTES
-            - pepc_net::gtp::GTPU_OVERHEAD
-            - IPV4_HDR_LEN
-            - UDP_HDR_LEN;
+        let uplink_payload = Defaults::UPLINK_PACKET_BYTES - pepc_net::gtp::GTPU_OVERHEAD - IPV4_HDR_LEN - UDP_HDR_LEN;
         let downlink_payload = Defaults::DOWNLINK_PACKET_BYTES - IPV4_HDR_LEN - UDP_HDR_LEN;
         TrafficGen {
             users,
@@ -166,11 +163,7 @@ impl TrafficGen {
 pub fn read_timestamp(m: &Mbuf) -> Option<u64> {
     let mut d = m.data();
     // Strip any GTP-U outer stacks.
-    while d.len() >= 36
-        && d[0] == 0x45
-        && d[9] == 17
-        && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT
-    {
+    while d.len() >= 36 && d[0] == 0x45 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT {
         d = &d[IPV4_HDR_LEN + UDP_HDR_LEN + pepc_net::GTPU_HDR_LEN..];
     }
     if d.len() < IPV4_HDR_LEN + UDP_HDR_LEN + 8 || d[0] != 0x45 {

@@ -7,9 +7,7 @@
 //! ```
 
 use pepc_baseline::{BaselinePreset, ClassicConfig, ClassicEpc};
-use pepc_workload::harness::{
-    default_pepc_slice, measure, ClassicSut, MeasureOpts, PepcSut, SystemUnderTest,
-};
+use pepc_workload::harness::{default_pepc_slice, measure, ClassicSut, MeasureOpts, PepcSut, SystemUnderTest};
 use pepc_workload::params::Defaults;
 use pepc_workload::signaling::{EventMix, SignalingGen};
 use pepc_workload::traffic::TrafficGen;
@@ -41,17 +39,15 @@ fn main() {
     let (pepc_mpps, ev) = run(&mut pepc, USERS);
     println!("PEPC          : {pepc_mpps:.3} Mpps  ({ev} signaling events absorbed)");
 
-    for (preset, name) in [
-        (BaselinePreset::Industrial1, "Industrial#1 "),
-        (BaselinePreset::Industrial2, "Industrial#2 "),
-    ] {
+    for (preset, name) in
+        [(BaselinePreset::Industrial1, "Industrial#1 "), (BaselinePreset::Industrial2, "Industrial#2 ")]
+    {
         // Provision without the calibrated stalls, measure with them.
         let mut sut = ClassicSut::new(ClassicEpc::new(ClassicConfig::mechanisms_only(preset)), name);
         let keys = sut.attach_all(&(0..USERS).map(|i| Defaults::IMSI_BASE + i).collect::<Vec<_>>());
         *sut.epc.config_mut() = ClassicConfig::preset(preset);
         let mut gen = TrafficGen::new(keys);
-        let mut sig =
-            SignalingGen::new(Defaults::IMSI_BASE, USERS, ATTACH_PER_SEC, EventMix::attaches_only());
+        let mut sig = SignalingGen::new(Defaults::IMSI_BASE, USERS, ATTACH_PER_SEC, EventMix::attaches_only());
         let m = measure(
             &mut sut,
             &mut gen,

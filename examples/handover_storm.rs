@@ -37,8 +37,7 @@ fn main() {
         expected_users: USERS as usize,
         ..SliceConfig::default()
     };
-    let alloc =
-        Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD000, mme_ue_id_base: 1 };
+    let alloc = Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD000, mme_ue_id_base: 1 };
     let mut handle = Slice::spawn(&config, 0x0AFE_0001, 1, alloc, None);
 
     // Attach a population through the control thread.

@@ -22,9 +22,7 @@ const IOT_IP_BASE: u32 = 0x6400_0000;
 fn sensor_reading(teid: u32) -> Mbuf {
     let mut m = Mbuf::new();
     let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
-    Ipv4Hdr::new(0x0A00_0001, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + 16)
-        .emit(&mut hdr[..IPV4_HDR_LEN])
-        .unwrap();
+    Ipv4Hdr::new(0x0A00_0001, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + 16).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
     UdpHdr::new(5683, 5683, 16).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap(); // CoAP
     m.extend(&hdr);
     m.extend(&[0u8; 16]); // 16-byte telemetry payload
@@ -67,10 +65,7 @@ fn main() {
 
     let m = slice.data.metrics();
     println!("fast-path packets: {} (state lookups skipped)", m.iot_fast_path);
-    println!(
-        "aggregate charging for the pool: {} packets, {} bytes",
-        slice.data.iot_packets, slice.data.iot_bytes
-    );
+    println!("aggregate charging for the pool: {} packets, {} bytes", slice.data.iot_packets, slice.data.iot_bytes);
     assert_eq!(m.iot_fast_path as u32, N);
 
     // A packet from outside the pool still requires state (and is dropped

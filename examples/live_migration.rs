@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! Live user migration between slices under traffic — the paper's §6.6
 //! scenario: state moves, tunnels stay valid, no packet is lost, and
 //! charging counters travel with the user.
@@ -7,7 +10,7 @@
 //! ```
 
 use pepc::config::{BatchingConfig, EpcConfig, SliceConfig};
-use pepc::node::{NodeVerdict, PepcNode};
+use pepc::node::PepcNode;
 use pepc_net::gtp::encap_gtpu;
 use pepc_net::ipv4::IpProto;
 use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};

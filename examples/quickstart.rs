@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! Quickstart: bring up a PEPC node with real HSS/PCRF backends, attach a
 //! subscriber over the full S1AP/NAS call flow, and push traffic both
 //! ways.
@@ -35,8 +38,7 @@ fn main() {
     //    against the HSS → security mode → context setup → complete.
     let imsi = 404_01_0000000042;
     let (guti, ue_ip, gw_teid) =
-        run_attach_with(|pdu| node.handle_s1ap(pdu), imsi, 1, 0xE100, 0xC0A8_0001)
-            .expect("attach procedure");
+        run_attach_with(|pdu| node.handle_s1ap(pdu), imsi, 1, 0xE100, 0xC0A8_0001).expect("attach procedure");
     println!("attached imsi {imsi}");
     println!("  GUTI    {guti:#x}");
     println!("  UE IP   {}", Ipv4Hdr::addr_to_string(ue_ip));
@@ -46,9 +48,7 @@ fn main() {
     let mut up = Mbuf::new();
     let payload = b"hello from the UE";
     let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
-    Ipv4Hdr::new(ue_ip, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + payload.len())
-        .emit(&mut hdr[..IPV4_HDR_LEN])
-        .unwrap();
+    Ipv4Hdr::new(ue_ip, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + payload.len()).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
     UdpHdr::new(40000, 53, payload.len()).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
     up.extend(&hdr);
     up.extend(payload);
@@ -57,11 +57,7 @@ fn main() {
     match node.process(up) {
         pepc::node::NodeVerdict::Forward(m) => {
             let ip = Ipv4Hdr::parse(m.data()).unwrap();
-            println!(
-                "uplink: decapsulated and forwarded to {} ({} bytes)",
-                Ipv4Hdr::addr_to_string(ip.dst),
-                m.len()
-            );
+            println!("uplink: decapsulated and forwarded to {} ({} bytes)", Ipv4Hdr::addr_to_string(ip.dst), m.len());
         }
         other => panic!("uplink failed: {other:?}"),
     }
@@ -78,11 +74,7 @@ fn main() {
     match node.process(down) {
         pepc::node::NodeVerdict::Forward(mut m) => {
             let (gtp, outer) = pepc_net::gtp::decap_gtpu(&mut m).unwrap();
-            println!(
-                "downlink: tunnelled to eNodeB {} with TEID {:#x}",
-                Ipv4Hdr::addr_to_string(outer.dst),
-                gtp.teid
-            );
+            println!("downlink: tunnelled to eNodeB {} with TEID {:#x}", Ipv4Hdr::addr_to_string(outer.dst), gtp.teid);
         }
         other => panic!("downlink failed: {other:?}"),
     }

@@ -1,0 +1,374 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the DSL subset this repo's property tests use — the
+//! `proptest!` macro, `any::<T>()`, integer-range strategies, tuple
+//! strategies, `prop_map`, `prop_oneof!`, `collection::{vec, hash_set}`,
+//! and `prop_assert{,_eq}!` — running a fixed number of deterministic
+//! seeded cases per property. No shrinking: a failing case reports its
+//! case index and seed so it can be replayed by rerunning the test.
+
+use std::collections::HashSet;
+
+/// Deterministic per-test RNG (xorshift64*; seeded per property).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Failure raised by `prop_assert!`/`prop_assert_eq!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a full-range default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Helper for `prop_oneof!` — unifies arm types into one boxed strategy.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+pub mod collection {
+    use super::{HashSet, Strategy, TestRng};
+    use std::hash::Hash;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `Vec` of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `HashSet` of `element` values with a size drawn from `len`. The
+    /// element domain must be large enough to reach the minimum size.
+    pub fn hash_set<S: Strategy>(element: S, len: std::ops::Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.len.generate(rng);
+            let mut out = HashSet::new();
+            // Duplicates shrink the set; bounded retries restore the
+            // minimum as long as the element domain is large enough.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 100 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.len.start,
+                "hash_set strategy could not reach minimum size {} (domain too small?)",
+                self.len.start
+            );
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, boxed, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Number of deterministic cases run per property.
+pub const CASES: u64 = 96;
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Seed differs per property (derived from its name) but is
+                // stable across runs.
+                let mut seed = 0xB5EDu64;
+                for b in stringify!($name).bytes() {
+                    seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+                }
+                let mut rng = $crate::TestRng::new(seed);
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed on case {case} (seed {seed:#x}): {e}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i64..5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u8..4, any::<bool>()).prop_map(|(a, b)| (a as u32, b)),
+            items in crate::collection::vec(any::<u8>(), 0..16),
+            keys in crate::collection::hash_set(0u64..100, 1..10),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(items.len() < 16);
+            prop_assert!(!keys.is_empty() && keys.len() < 10);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm_shape(
+            v in crate::collection::vec(
+                prop_oneof![
+                    (0u8..3).prop_map(|n| n as u32),
+                    any::<u32>(),
+                    (any::<u16>(), 0u8..2).prop_map(|(k, _)| k as u32),
+                ],
+                1..32,
+            ),
+        ) {
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -80,11 +80,7 @@ fn checkpoint_restore_survives_node_failure() {
     let mut keys = Vec::new();
     for &imsi in &imsis {
         node.attach(imsi);
-        node.ctrl_event(CtrlEvent::S1Handover {
-            imsi,
-            new_enb_teid: 0xE000 + imsi as u32,
-            new_enb_ip: 0xC0A8_0001,
-        });
+        node.ctrl_event(CtrlEvent::S1Handover { imsi, new_enb_teid: 0xE000 + imsi as u32, new_enb_ip: 0xC0A8_0001 });
         let k = node.demux().slice_for_imsi(imsi).unwrap();
         let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
         let c = ctx.ctrl.read();

@@ -1,3 +1,6 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
 //! End-to-end attach and session lifecycle through a whole PEPC node:
 //! S1AP/NAS signaling against live HSS/PCRF backends, then data traffic,
 //! mobility and detach.
@@ -67,8 +70,8 @@ fn attach_traffic_handover_detach_lifecycle() {
     let k = node.demux().slice_for_imsi(imsi).unwrap();
     let mme_ue_id = {
         // First attach on this slice → first MME UE id of its range.
-        let base = 1 + ((k as u32) << 24);
-        base
+
+        1 + ((k as u32) << 24)
     };
     let rsp = node.handle_s1ap(&S1apPdu::PathSwitchRequest {
         enb_ue_id: 9,
@@ -152,8 +155,7 @@ fn unknown_subscriber_is_rejected_with_nas_cause() {
 fn pcef_rules_from_pcrf_drive_qos_classing() {
     let mut node = node_with_backends(1, 10);
     let imsi = IMSI_BASE + 1;
-    let (_, ue_ip, gw_teid) =
-        run_attach_with(|p| node.handle_s1ap(p), imsi, 1, 0xE1, 0xC0A8_0001).expect("attach");
+    let (_, ue_ip, gw_teid) = run_attach_with(|p| node.handle_s1ap(p), imsi, 1, 0xE1, 0xC0A8_0001).expect("attach");
     // SIP traffic (udp :5060) matches the PCRF's QCI-5 rule — the rule
     // set was installed at attach; verify the user's rule list is wired.
     let k = node.demux().slice_for_imsi(imsi).unwrap();

@@ -5,6 +5,7 @@
 use pepc::state::ControlState;
 use pepc::table::{PepcStore, StateStore};
 use pepc::twolevel::TwoLevelTable;
+use pepc::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnapshot};
 use pepc_net::bpf::{BpfProgram, Field, Insn};
 use pepc_net::gtp::{decap_gtpu, encap_gtpu, GtpcMsg};
 use pepc_net::{FiveTuple, Ipv4Hdr, Mbuf};
@@ -147,6 +148,108 @@ proptest! {
         for &k in &keys {
             prop_assert_eq!(t.get(k, u64::MAX), Some(&k));
         }
+    }
+
+    #[test]
+    fn histogram_bucket_floor_inverts_index(v in any::<u64>()) {
+        // Every value lands in a bucket whose floor is ≤ the value, and
+        // the floor itself maps back to the same bucket (the floor is the
+        // smallest member of its bucket).
+        let idx = LatencyHistogram::index(v);
+        let floor = LatencyHistogram::bucket_floor(idx);
+        prop_assert!(floor <= v.max(1), "floor {floor} above value {v}");
+        prop_assert_eq!(LatencyHistogram::index(floor), idx);
+        // Log-linear guarantee: relative bucket width ≤ 1/16 + rounding.
+        if v >= 16 {
+            prop_assert!((v - floor) as f64 <= v as f64 * 0.0626, "bucket too wide for {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(1u64..1_000_000_000, 0..64),
+        ys in proptest::collection::vec(1u64..1_000_000_000, 0..64),
+        zs in proptest::collection::vec(1u64..1_000_000_000, 0..64),
+    ) {
+        let hist = |vals: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // (x ∪ y) ∪ z == x ∪ (y ∪ z) == recording everything into one.
+        let mut left = hist(&xs);
+        left.merge(&hist(&ys));
+        left.merge(&hist(&zs));
+        let mut yz = hist(&ys);
+        yz.merge(&hist(&zs));
+        let mut right = hist(&xs);
+        right.merge(&yz);
+        prop_assert_eq!(&left, &right);
+        let mut all = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        prop_assert_eq!(&left, &hist(&all));
+        // x ∪ y == y ∪ x.
+        let mut xy = hist(&xs);
+        xy.merge(&hist(&ys));
+        let mut yx = hist(&ys);
+        yx.merge(&hist(&xs));
+        prop_assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        vals in proptest::collection::vec(1u64..10_000_000_000, 1..128),
+        qs_permille in proptest::collection::vec(0u64..1001, 2..8),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = qs_permille.clone();
+        sorted.sort_unstable();
+        let mut prev = 0u64;
+        for &qp in &sorted {
+            let q = qp as f64 / 1000.0;
+            let x = h.quantile_ns(q);
+            prop_assert!(x >= prev, "quantile not monotone at q={q}");
+            prev = x;
+        }
+        // All quantiles live within the recorded range (floors may sit
+        // below the true minimum, never above the maximum).
+        prop_assert!(h.quantile_ns(1.0) <= h.max_ns());
+        prop_assert!(h.quantile_ns(0.0) <= *vals.iter().min().unwrap());
+    }
+
+    #[test]
+    fn metrics_snapshot_json_roundtrips_exactly(
+        rx_extra in 0u64..1000, fwd in 0u64..1000, drops in proptest::collection::vec(0u64..250, 4..5),
+        users in 0u64..5000, lat in proptest::collection::vec(1u64..100_000_000, 0..64),
+        depth in 0u64..4096,
+    ) {
+        let mut s = SliceSnapshot::new(7);
+        s.users = users;
+        s.data.forwarded = fwd;
+        s.data.drop_unknown_user = drops[0];
+        s.data.drop_gate = drops[1];
+        s.data.drop_qos = drops[2];
+        s.data.drop_malformed = drops[3];
+        s.data.rx = fwd + drops.iter().sum::<u64>() + rx_extra;
+        s.ctrl.attaches = users;
+        for &v in &lat {
+            s.pipeline_ns.record(v);
+            s.attach_ns.record(v * 3);
+        }
+        s.rings.push(RingGauge { name: "update_ring".into(), depth, capacity: 65536 });
+        let snap = MetricsSnapshot { slices: vec![s] };
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(&back, &snap);
+        prop_assert!(back.deterministic_eq(&snap));
+        // Conservation is exactly "no unattributed packets".
+        prop_assert_eq!(back.conservation_holds(), rx_extra == 0);
+        prop_assert_eq!(back.data_totals().drops_total(), drops.iter().sum::<u64>());
     }
 
     #[test]
