@@ -1,0 +1,65 @@
+//! Figure 13b kernel: scalar vs burst data-plane throughput across burst
+//! sizes, mixed uplink/downlink traffic over a 10K-user population.
+//!
+//! Every case processes the same 64 packets per iteration — scalar one at
+//! a time, burst in `64 / N` calls of size `N` — so `ns/iter / 64` is
+//! directly comparable ns/packet (`scripts/bench_burst.py` derives the
+//! speedups committed in `BENCH_burst.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pepc::data::PacketVerdict;
+use pepc_net::Mbuf;
+use pepc_workload::harness::{default_pepc_slice, PepcSut, SystemUnderTest};
+use pepc_workload::traffic::TrafficGen;
+
+const USERS: u64 = 10_000;
+const PKTS_PER_ITER: usize = 64;
+
+fn setup() -> (PepcSut, TrafficGen) {
+    let mut sut = PepcSut::new(default_pepc_slice(65_536, true, 32));
+    let keys = sut.attach_all(&(0..USERS).collect::<Vec<_>>());
+    let gen = TrafficGen::new(keys);
+    (sut, gen)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13b_burst");
+
+    {
+        let (mut sut, mut gen) = setup();
+        g.bench_function("scalar", |b| {
+            b.iter(|| {
+                for _ in 0..PKTS_PER_ITER {
+                    let m = gen.next_packet(0);
+                    if let PacketVerdict::Forward(out) = sut.slice.process_packet(m) {
+                        gen.recycle(out);
+                    }
+                }
+            })
+        });
+    }
+
+    for burst_size in [1usize, 8, 32, 64] {
+        let (mut sut, mut gen) = setup();
+        let mut burst: Vec<Mbuf> = Vec::with_capacity(burst_size);
+        g.bench_with_input(BenchmarkId::new("burst", burst_size), &burst_size, |b, &n| {
+            b.iter(|| {
+                for _ in 0..PKTS_PER_ITER / n {
+                    burst.clear();
+                    for _ in 0..n {
+                        burst.push(gen.next_packet(0));
+                    }
+                    for v in sut.slice.process_burst(&mut burst) {
+                        if let PacketVerdict::Forward(out) = v {
+                            gen.recycle(out);
+                        }
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

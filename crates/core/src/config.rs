@@ -72,6 +72,10 @@ pub struct SliceConfig {
     pub pcef_programs: Vec<(u16, BpfProgram)>,
     /// Capacity hint: expected users per slice (pre-sizes tables).
     pub expected_users: usize,
+    /// Capacity of the control→data membership update ring (rounded up to
+    /// a power of two by the ring). Sized so bulk attach floods don't
+    /// stall the control thread.
+    pub update_ring_capacity: usize,
     /// Record per-packet pipeline latency and update-propagation delay
     /// (two monotonic clock reads per packet). Counters are unaffected.
     pub telemetry: bool,
@@ -87,6 +91,7 @@ impl Default for SliceConfig {
             iot: IotConfig::default(),
             pcef_programs: Vec::new(),
             expected_users: 1024,
+            update_ring_capacity: 64 * 1024,
             telemetry: true,
         }
     }
@@ -135,6 +140,7 @@ mod tests {
         assert_eq!(c.slice.batching.sync_every_packets, 32, "paper batches every 32 packets");
         assert!(c.slice.two_level.enabled, "two-level tables are the PEPC design");
         assert!(!c.slice.iot.enabled, "IoT fast path is an opt-in customization");
+        assert_eq!(c.slice.update_ring_capacity, 64 * 1024, "update-ring default unchanged");
         assert_eq!(c.slices, 1);
     }
 

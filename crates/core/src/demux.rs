@@ -92,6 +92,17 @@ impl Demux {
         }
     }
 
+    /// Steer a whole burst, appending one `(steer, packet)` pair per
+    /// packet to `out` in input order. The burst vector is drained.
+    /// Parked packets are consumed by their migration queue (the `Mbuf`
+    /// side of the pair is `None`), exactly as in [`Self::steer`].
+    pub fn steer_burst(&mut self, burst: &mut Vec<Mbuf>, out: &mut Vec<(Steer, Option<Mbuf>)>) {
+        out.reserve(burst.len());
+        for m in burst.drain(..) {
+            out.push(self.steer(m));
+        }
+    }
+
     /// Begin parking packets for `imsi` (migration started).
     pub fn begin_migration(&mut self, imsi: u64) {
         self.migrating.entry(imsi).or_default();

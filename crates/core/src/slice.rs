@@ -103,7 +103,7 @@ impl Slice {
                 0,
             );
         }
-        let (update_tx, update_rx) = SpscRing::with_capacity(64 * 1024);
+        let (update_tx, update_rx) = SpscRing::with_capacity(config.update_ring_capacity);
         Slice {
             ctrl: ControlPlane::new(gw_ip, tac, alloc, proxy),
             data,
@@ -184,6 +184,19 @@ impl Slice {
         self.data.process(m, self.clock.now_ns())
     }
 
+    /// Process a whole burst of data packets, honouring the batched-sync
+    /// schedule at burst granularity: the membership sync happens at most
+    /// once per burst, before any packet of the burst is processed (a
+    /// burst is the unit of work, just as one packet is in
+    /// [`Self::process_packet`]). The burst vector is drained.
+    pub fn process_burst(&mut self, burst: &mut Vec<Mbuf>) -> Vec<PacketVerdict> {
+        self.packets_since_sync = self.packets_since_sync.saturating_add(burst.len() as u32);
+        if self.packets_since_sync >= self.sync_every {
+            self.sync_now();
+        }
+        self.data.process_burst(burst, self.clock.now_ns())
+    }
+
     /// Migration source: extract a user (and sync so the data plane
     /// forgets it before the snapshot leaves).
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
@@ -260,7 +273,7 @@ impl Slice {
         proxy: Option<Arc<Proxy>>,
     ) -> SliceHandle {
         let stats = Arc::new(SliceStats::default());
-        let (update_tx, update_rx) = SpscRing::with_capacity::<(u64, DpUpdate)>(64 * 1024);
+        let (update_tx, update_rx) = SpscRing::with_capacity::<(u64, DpUpdate)>(config.update_ring_capacity);
         let (data_in_tx, data_in_rx) = SpscRing::with_capacity::<Mbuf>(4096);
         let (data_out_tx, data_out_rx) = SpscRing::with_capacity::<Mbuf>(4096);
         let (ctrl_tx, ctrl_cmd_rx) = unbounded::<CtrlCmd>();
@@ -283,6 +296,7 @@ impl Slice {
             let mut rx = data_in_rx;
             let mut tx = data_out_tx;
             let mut rx_buf: Vec<Mbuf> = Vec::with_capacity(64);
+            let mut out_buf: Vec<PacketVerdict> = Vec::with_capacity(64);
             let mut upd_buf: Vec<(u64, DpUpdate)> = Vec::with_capacity(64);
             let mut since_sync = 0usize;
             Worker::spawn_state(CoreId(config.data_core), data, move |dp: &mut DataPlane| {
@@ -315,8 +329,10 @@ impl Slice {
                 let now = clock.now_ns();
                 let mut fwd = 0u64;
                 let mut dropped = 0u64;
-                for m in rx_buf.drain(..) {
-                    match dp.process(m, now) {
+                out_buf.clear();
+                dp.process_burst_into(&mut rx_buf, now, &mut out_buf);
+                for v in out_buf.drain(..) {
+                    match v {
                         PacketVerdict::Forward(out) => {
                             fwd += 1;
                             // Full output ring = tail drop, like a NIC.
@@ -460,6 +476,27 @@ mod tests {
         }
         let idx = first_forward.expect("eventually visible");
         assert!(idx >= 30, "visible only at the sync boundary, got {idx}");
+    }
+
+    #[test]
+    fn burst_honours_sync_schedule_at_burst_granularity() {
+        let mut s = inline_slice(32);
+        s.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 });
+        // A burst below the boundary does not sync: all unknown-user.
+        let mut small: Vec<Mbuf> = (0..8).map(|_| uplink(0x1000, 0x0A000001)).collect();
+        assert!(s.process_burst(&mut small).iter().all(|v| !v.is_forward()));
+        // The burst that crosses the boundary syncs before processing, so
+        // every packet in it sees the attach.
+        let mut crossing: Vec<Mbuf> = (0..32).map(|_| uplink(0x1000, 0x0A000001)).collect();
+        assert!(s.process_burst(&mut crossing).iter().all(|v| v.is_forward()));
+    }
+
+    #[test]
+    fn update_ring_capacity_knob_surfaces_in_gauge() {
+        let config = SliceConfig { update_ring_capacity: 128, ..SliceConfig::default() };
+        let s = Slice::new(&config, 0x0AFE0001, 1, alloc(), None);
+        let snap = s.telemetry_snapshot(0);
+        assert_eq!(snap.rings[0].capacity, 128);
     }
 
     #[test]

@@ -123,6 +123,17 @@ impl<V> TwoLevelTable<V> {
         }
     }
 
+    /// Non-mutating lookup: no promotion, no activity refresh, no stats.
+    /// Used by the burst path to find the address to software-prefetch
+    /// ahead of the real [`Self::get`].
+    #[inline]
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        if let Some(e) = self.primary.get(&key) {
+            return Some(&e.value);
+        }
+        self.secondary.get(&key)
+    }
+
     /// Remove a user entirely (detach / migration). Returns the value.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         if let Some(e) = self.primary.remove(&key) {
@@ -220,6 +231,20 @@ mod tests {
         let mut t: TwoLevelTable<u8> = TwoLevelTable::new(10, 1000);
         assert_eq!(t.get(42, 0), None);
         assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn peek_reaches_both_levels_without_side_effects() {
+        let mut t = TwoLevelTable::new(10, 1000);
+        t.insert_active(1, "p", 0);
+        t.insert_idle(2, "s");
+        assert_eq!(t.peek(1), Some(&"p"));
+        assert_eq!(t.peek(2), Some(&"s"));
+        assert_eq!(t.peek(3), None);
+        // No promotion, no stats movement.
+        assert_eq!(t.primary_len(), 1);
+        assert_eq!(t.secondary_len(), 1);
+        assert_eq!(t.stats(), TwoLevelStats::default());
     }
 
     #[test]

@@ -95,26 +95,34 @@ impl<T> Producer<T> {
     }
 
     /// Enqueue as many items from `iter` as fit; returns how many were
-    /// accepted. This is the DPDK-style burst enqueue.
+    /// accepted. This is the DPDK-style burst enqueue: the free-slot
+    /// count is derived once per cached-head refresh and the fill loop
+    /// checks only the iterator, not the ring.
     pub fn push_burst(&mut self, iter: &mut impl Iterator<Item = T>) -> usize {
         let cap = self.shared.mask + 1;
         let mut pushed = 0;
         loop {
-            if self.tail.wrapping_sub(self.cached_head) == cap {
+            let mut free = cap - self.tail.wrapping_sub(self.cached_head);
+            if free == 0 {
                 self.cached_head = self.shared.head.load(Ordering::Acquire);
-                if self.tail.wrapping_sub(self.cached_head) == cap {
+                free = cap - self.tail.wrapping_sub(self.cached_head);
+                if free == 0 {
                     break;
                 }
             }
-            match iter.next() {
-                Some(v) => {
-                    let idx = self.tail & self.shared.mask;
-                    // SAFETY: as in `push`.
-                    unsafe { (*self.shared.buf[idx].get()).write(v) };
-                    self.tail = self.tail.wrapping_add(1);
-                    pushed += 1;
-                }
-                None => break,
+            while free > 0 {
+                let Some(v) = iter.next() else {
+                    if pushed > 0 {
+                        self.shared.tail.store(self.tail, Ordering::Release);
+                    }
+                    return pushed;
+                };
+                let idx = self.tail & self.shared.mask;
+                // SAFETY: as in `push`.
+                unsafe { (*self.shared.buf[idx].get()).write(v) };
+                self.tail = self.tail.wrapping_add(1);
+                pushed += 1;
+                free -= 1;
             }
         }
         if pushed > 0 {
@@ -174,21 +182,29 @@ impl<T> Consumer<T> {
     }
 
     /// Dequeue up to `max` elements into `out`; returns how many were
-    /// taken. This is the DPDK-style burst dequeue.
+    /// taken. This is the DPDK-style burst dequeue: the available count
+    /// is derived once per cached-tail refresh and the drain loop runs
+    /// over `min(available, remaining)` without re-checking emptiness.
     pub fn pop_burst(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         let mut taken = 0;
         while taken < max {
-            if self.head == self.cached_tail {
+            let mut avail = self.cached_tail.wrapping_sub(self.head);
+            if avail == 0 {
                 self.cached_tail = self.shared.tail.load(Ordering::Acquire);
-                if self.head == self.cached_tail {
+                avail = self.cached_tail.wrapping_sub(self.head);
+                if avail == 0 {
                     break;
                 }
             }
-            let idx = self.head & self.shared.mask;
-            // SAFETY: as in `pop`.
-            out.push(unsafe { (*self.shared.buf[idx].get()).assume_init_read() });
-            self.head = self.head.wrapping_add(1);
-            taken += 1;
+            let run = avail.min(max - taken);
+            out.reserve(run);
+            for _ in 0..run {
+                let idx = self.head & self.shared.mask;
+                // SAFETY: as in `pop`.
+                out.push(unsafe { (*self.shared.buf[idx].get()).assume_init_read() });
+                self.head = self.head.wrapping_add(1);
+            }
+            taken += run;
         }
         if taken > 0 {
             self.shared.head.store(self.head, Ordering::Release);

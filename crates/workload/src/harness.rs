@@ -27,6 +27,17 @@ pub trait SystemUnderTest {
     /// buffer recycling), `None` means it was dropped.
     fn process(&mut self, m: Mbuf) -> Option<Mbuf>;
 
+    /// Process a whole burst, appending forwarded packets to `out` (for
+    /// buffer recycling) and draining `burst`. Default: the scalar loop,
+    /// so SUTs without a native burst path still run burst workloads.
+    fn process_burst(&mut self, burst: &mut Vec<Mbuf>, out: &mut Vec<Mbuf>) {
+        for m in burst.drain(..) {
+            if let Some(fwd) = self.process(m) {
+                out.push(fwd);
+            }
+        }
+    }
+
     /// Attach `imsis` and return each user's data-plane keys in order.
     fn attach_all(&mut self, imsis: &[u64]) -> Vec<UserKeys>;
 
@@ -79,6 +90,14 @@ impl SystemUnderTest for PepcSut {
         match self.slice.process_packet(m) {
             pepc::data::PacketVerdict::Forward(out) => Some(out),
             pepc::data::PacketVerdict::Drop(_) => None,
+        }
+    }
+
+    fn process_burst(&mut self, burst: &mut Vec<Mbuf>, out: &mut Vec<Mbuf>) {
+        for v in self.slice.process_burst(burst) {
+            if let pepc::data::PacketVerdict::Forward(fwd) = v {
+                out.push(fwd);
+            }
         }
     }
 
@@ -219,11 +238,14 @@ pub struct MeasureOpts {
     pub latency_sample_every: u64,
     /// Burst size between signaling checks.
     pub burst: usize,
+    /// Feed each burst through [`SystemUnderTest::process_burst`] instead
+    /// of one packet at a time (the fig13b burst-path experiments).
+    pub use_burst_api: bool,
 }
 
 impl Default for MeasureOpts {
     fn default() -> Self {
-        MeasureOpts { duration: Duration::from_millis(300), latency_sample_every: 0, burst: 32 }
+        MeasureOpts { duration: Duration::from_millis(300), latency_sample_every: 0, burst: 32, use_burst_api: false }
     }
 }
 
@@ -244,6 +266,8 @@ pub fn measure_with<S: SystemUnderTest + ?Sized>(
     let mut forwarded = 0u64;
     let mut events = 0u64;
     let mut sig = sig;
+    let mut burst_buf: Vec<Mbuf> = Vec::with_capacity(opts.burst);
+    let mut fwd_buf: Vec<Mbuf> = Vec::with_capacity(opts.burst);
     loop {
         let elapsed_ns = clock.now_ns();
         if start.elapsed() >= opts.duration {
@@ -260,20 +284,43 @@ pub fn measure_with<S: SystemUnderTest + ?Sized>(
             }
         }
         on_tick(sut, elapsed_ns);
-        for _ in 0..opts.burst {
-            let now = clock.now_ns();
-            let m = gen.next_packet(now);
-            offered += 1;
-            if let Some(out) = sut.process(m) {
+        if opts.use_burst_api {
+            burst_buf.clear();
+            for _ in 0..opts.burst {
+                let m = gen.next_packet(clock.now_ns());
+                burst_buf.push(m);
+            }
+            offered += burst_buf.len() as u64;
+            fwd_buf.clear();
+            sut.process_burst(&mut burst_buf, &mut fwd_buf);
+            let done = clock.now_ns();
+            for out in fwd_buf.drain(..) {
                 forwarded += 1;
                 if let Some(h) = latency.as_mut() {
                     if forwarded.is_multiple_of(opts.latency_sample_every) {
                         if let Some(t0) = read_timestamp(&out) {
-                            h.record(clock.now_ns().saturating_sub(t0));
+                            h.record(done.saturating_sub(t0));
                         }
                     }
                 }
                 gen.recycle(out);
+            }
+        } else {
+            for _ in 0..opts.burst {
+                let now = clock.now_ns();
+                let m = gen.next_packet(now);
+                offered += 1;
+                if let Some(out) = sut.process(m) {
+                    forwarded += 1;
+                    if let Some(h) = latency.as_mut() {
+                        if forwarded.is_multiple_of(opts.latency_sample_every) {
+                            if let Some(t0) = read_timestamp(&out) {
+                                h.record(clock.now_ns().saturating_sub(t0));
+                            }
+                        }
+                    }
+                    gen.recycle(out);
+                }
             }
         }
     }
@@ -334,6 +381,45 @@ mod tests {
         assert!(m.offered > 1000, "offered {}", m.offered);
         assert!(m.delivery_ratio() > 0.99, "delivery {}", m.delivery_ratio());
         assert!(m.mpps() > 0.0);
+    }
+
+    #[test]
+    fn burst_api_measures_forwarding() {
+        let mut sut = PepcSut::new(default_pepc_slice(64, true, 32));
+        let keys = sut.attach_all(&imsis(16));
+        let mut gen = TrafficGen::new(keys);
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts {
+                duration: Duration::from_millis(50),
+                use_burst_api: true,
+                latency_sample_every: 16,
+                ..Default::default()
+            },
+        );
+        assert!(m.offered > 1000, "offered {}", m.offered);
+        assert!(m.delivery_ratio() > 0.99, "delivery {}", m.delivery_ratio());
+        assert!(m.latency.expect("sampled").count() > 10);
+        let snap = m.snapshot.expect("telemetry");
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.slices[0].pipeline_ns.count(), snap.slices[0].data.forwarded);
+    }
+
+    #[test]
+    fn classic_sut_runs_bursts_via_default_scalar_fallback() {
+        let epc = ClassicEpc::new(ClassicConfig::mechanisms_only(BaselinePreset::Industrial1));
+        let mut sut = ClassicSut::new(epc, "Industrial#1 (mechanisms)");
+        let keys = sut.attach_all(&imsis(8));
+        let mut gen = TrafficGen::new(keys);
+        let m = measure(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts { duration: Duration::from_millis(30), use_burst_api: true, ..Default::default() },
+        );
+        assert!(m.delivery_ratio() > 0.99, "delivery {}", m.delivery_ratio());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Run the fig13b_burst bench and commit its numbers to BENCH_burst.json.
+
+Usage: python3 scripts/bench_burst.py
+
+Runs `cargo bench -p pepc-bench --bench fig13b_burst`, parses the
+`bench <name> <ns> ns/iter` lines, and writes BENCH_burst.json with
+per-packet latency (every case processes 64 packets per iteration) and
+the speedup of each burst size over the scalar baseline.
+"""
+import json
+import re
+import subprocess
+import sys
+
+PKTS_PER_ITER = 64
+
+
+def main():
+    proc = subprocess.run(
+        ["cargo", "bench", "-p", "pepc-bench", "--bench", "fig13b_burst"],
+        capture_output=True,
+        text=True,
+        cwd=".",
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(proc.returncode)
+
+    cases = {}
+    for line in proc.stdout.splitlines():
+        m = re.match(r"bench\s+(\S+)\s+([\d.]+)\s+ns/iter", line)
+        if m:
+            cases[m.group(1)] = float(m.group(2))
+    if "fig13b_burst/scalar" not in cases:
+        sys.stderr.write("no scalar baseline in bench output:\n" + proc.stdout)
+        sys.exit(1)
+
+    scalar_ns = cases["fig13b_burst/scalar"]
+    results = {
+        "bench": "fig13b_burst",
+        "packets_per_iter": PKTS_PER_ITER,
+        "scalar_ns_per_packet": round(scalar_ns / PKTS_PER_ITER, 2),
+        "burst": {},
+    }
+    for name, ns in sorted(cases.items()):
+        m = re.match(r"fig13b_burst/burst/(\d+)$", name)
+        if not m:
+            continue
+        size = int(m.group(1))
+        results["burst"][str(size)] = {
+            "ns_per_packet": round(ns / PKTS_PER_ITER, 2),
+            "speedup_vs_scalar": round(scalar_ns / ns, 2),
+        }
+
+    with open("BENCH_burst.json", "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

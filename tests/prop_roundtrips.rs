@@ -253,6 +253,42 @@ proptest! {
     }
 
     #[test]
+    fn ring_burst_ops_match_fifo_model(
+        cap_hint in 1usize..64,
+        ops in proptest::collection::vec((any::<bool>(), 1usize..40), 1..60),
+    ) {
+        // Model check of the once-per-refresh free/available counting in
+        // push_burst/pop_burst: any op interleaving must behave exactly
+        // like a bounded FIFO queue.
+        use std::collections::VecDeque;
+        let (mut tx, mut rx) = pepc_fabric::ring::SpscRing::with_capacity::<u32>(cap_hint);
+        let cap = tx.capacity();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        let mut out = Vec::new();
+        for (push, n) in ops {
+            if push {
+                let mut it = next..u32::MAX;
+                let pushed = tx.push_burst(&mut (&mut it).take(n));
+                prop_assert_eq!(pushed, (cap - model.len()).min(n), "burst fills exactly the free slots");
+                for v in next..next + pushed as u32 {
+                    model.push_back(v);
+                }
+                next += pushed as u32;
+            } else {
+                out.clear();
+                let taken = rx.pop_burst(&mut out, n);
+                prop_assert_eq!(taken, model.len().min(n), "burst drains exactly the available slots");
+                prop_assert_eq!(out.len(), taken);
+                for v in &out {
+                    prop_assert_eq!(Some(*v), model.pop_front());
+                }
+            }
+        }
+        prop_assert_eq!(rx.len(), model.len());
+    }
+
+    #[test]
     fn pepc_store_counters_are_exact(
         visits in proptest::collection::vec((0u64..8, any::<bool>(), 1u64..1500), 0..200),
     ) {
