@@ -19,19 +19,44 @@
 
 use crate::config::EpcConfig;
 use crate::node::{NodeVerdict, PepcNode};
+use crate::state::{ControlState, CounterState};
 use pepc_backend::{Hss, Pcrf};
 use pepc_fabric::Maglev;
 use pepc_net::Mbuf;
+use pepc_telemetry::{DataMetrics, MetricsSnapshot, SliceSnapshot};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Bits reserved below the node index in TEID / UE IP spaces.
 const NODE_SHIFT: u32 = 28;
+
+/// The data-plane key the balancer routes a packet by.
+#[derive(Debug, Clone, Copy)]
+enum RouteKey {
+    /// Uplink GTP-U: gateway TEID.
+    Teid(u32),
+    /// Downlink plain IP: UE address.
+    UeIp(u32),
+}
 
 /// A cluster of PEPC nodes behind one virtual IP.
 pub struct Cluster {
     nodes: Vec<PepcNode>,
     lb: Maglev,
     virtual_ip: u32,
+    /// Nodes declared dead by the failover coordinator. Their identifier
+    /// regions stay allocated (TEIDs / UE IPs survive the failover), but
+    /// packets re-steer through the redirect tables below.
+    dead: Vec<bool>,
+    /// Adopted-user re-steering: gateway TEID → surviving node.
+    redirect_teid: HashMap<u32, usize>,
+    /// Adopted-user re-steering: UE IP → surviving node.
+    redirect_ue_ip: HashMap<u32, usize>,
+    /// Balancer-level terminal drops (unroutable regions, failover
+    /// blackout). Exported as a pseudo-slice so cluster-wide packet
+    /// conservation stays checkable: `rx` here counts only packets the
+    /// balancer itself dropped.
+    lb_drops: DataMetrics,
 }
 
 impl Cluster {
@@ -50,7 +75,15 @@ impl Cluster {
             nodes.push(PepcNode::new(cfg, backends.clone()));
         }
         let names: Vec<String> = (0..n).map(|k| format!("pepc-node-{k}")).collect();
-        Cluster { nodes, lb: Maglev::new(&names, 65537), virtual_ip }
+        Cluster {
+            nodes,
+            lb: Maglev::new(&names, 65537),
+            virtual_ip,
+            dead: vec![false; n],
+            redirect_teid: HashMap::new(),
+            redirect_ue_ip: HashMap::new(),
+            lb_drops: DataMetrics::default(),
+        }
     }
 
     /// The cluster's virtual IP (what eNodeBs tunnel to).
@@ -76,30 +109,135 @@ impl Cluster {
     }
 
     /// Route one data packet: TEID (uplink) / UE IP (downlink) ranges
-    /// identify the owning node without any per-user LB state.
+    /// identify the owning node without any per-user LB state. Packets
+    /// whose region node is dead re-steer through the redirect tables a
+    /// failover populated; before adoption completes they are charged to
+    /// the failover blackout.
     pub fn process(&mut self, m: Mbuf) -> NodeVerdict {
-        match Self::node_of_packet(&m, self.nodes.len()) {
-            Some(k) => self.nodes[k].process(m),
-            None => NodeVerdict::Drop,
+        let n = self.nodes.len();
+        match Self::route_of_packet(&m) {
+            Some((k, key)) if k < n => {
+                if self.dead[k] {
+                    let target = match key {
+                        RouteKey::Teid(teid) => self.redirect_teid.get(&teid),
+                        RouteKey::UeIp(ip) => self.redirect_ue_ip.get(&ip),
+                    };
+                    match target.copied() {
+                        Some(t) => self.nodes[t].process(m),
+                        None => {
+                            self.lb_drops.rx += 1;
+                            self.lb_drops.drop_failover += 1;
+                            NodeVerdict::Drop
+                        }
+                    }
+                } else {
+                    self.nodes[k].process(m)
+                }
+            }
+            _ => {
+                self.lb_drops.rx += 1;
+                self.lb_drops.drop_unknown_user += 1;
+                NodeVerdict::Drop
+            }
         }
     }
 
-    fn node_of_packet(m: &Mbuf, n: usize) -> Option<usize> {
+    fn route_of_packet(m: &Mbuf) -> Option<(usize, RouteKey)> {
         let d = m.data();
         if d.len() < 20 || d[0] != 0x45 {
             return None;
         }
         let is_gtpu = d.len() >= 36 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT;
-        let k = if is_gtpu {
+        if is_gtpu {
             // Uplink: TEID regions start at 0x1000_0000, one per node.
             let teid = u32::from_be_bytes([d[32], d[33], d[34], d[35]]);
-            usize::try_from((teid >> NODE_SHIFT).checked_sub(1)?).ok()?
+            let k = usize::try_from((teid >> NODE_SHIFT).checked_sub(1)?).ok()?;
+            Some((k, RouteKey::Teid(teid)))
         } else {
             // Downlink: UE IP regions start at 0x0A00_0001, one per node.
             let dst = u32::from_be_bytes([d[16], d[17], d[18], d[19]]);
-            (dst >> NODE_SHIFT) as usize
-        };
-        (k < n).then_some(k)
+            Some(((dst >> NODE_SHIFT) as usize, RouteKey::UeIp(dst)))
+        }
+    }
+
+    // -- failover mechanisms (driven by the `pepc-ha` coordinator) -------------
+
+    /// Node `k` just died: its region's packets start blackholing (charged
+    /// to the failover blackout) the instant the hardware goes away —
+    /// *before* any detector has noticed. Steering is not repaired yet;
+    /// that is [`Cluster::repair_steering`]'s job, once a failure detector
+    /// confirms the death.
+    ///
+    /// # Panics
+    /// Panics if `k` is already dead or the last live node.
+    pub fn power_off(&mut self, k: usize) {
+        assert!(!self.dead[k], "node {k} already dead");
+        assert!(self.live_count() > 1, "cannot power off the last live node");
+        self.dead[k] = true;
+    }
+
+    /// Repair the Maglev table after `k`'s death was confirmed: only the
+    /// dead node's keys re-steer — survivors' signaling homes are
+    /// untouched, so in-flight flows of healthy users never move.
+    ///
+    /// # Panics
+    /// Panics if `k` was not powered off first, or was already repaired.
+    pub fn repair_steering(&mut self, k: usize) {
+        assert!(self.dead[k], "repair_steering before power_off({k})");
+        self.lb.remove_backend(k);
+    }
+
+    /// Declare node `k` dead and repair steering in one step — the
+    /// shortcut for callers without a detection delay to model.
+    pub fn mark_dead(&mut self, k: usize) {
+        self.power_off(k);
+        self.repair_steering(k);
+    }
+
+    /// Whether node `k` has been declared dead.
+    pub fn is_dead(&self, k: usize) -> bool {
+        self.dead[k]
+    }
+
+    /// Live nodes remaining.
+    pub fn live_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Promote one recovered user onto live node `target` (restore into
+    /// its home slice there, push the data-plane insert, register Demux
+    /// steering) and record the redirect entries so region-routed packets
+    /// for the dead node's TEID / UE IP re-steer deterministically.
+    /// Returns the slice the user landed on.
+    pub fn adopt_user(&mut self, target: usize, ctrl: ControlState, counters: CounterState) -> usize {
+        assert!(!self.dead[target], "cannot adopt onto a dead node");
+        let (gw_teid, ue_ip) = (ctrl.tunnels.gw_teid, ctrl.ue_ip);
+        let slice = self.nodes[target].adopt_user(ctrl, counters);
+        self.redirect_teid.insert(gw_teid, target);
+        self.redirect_ue_ip.insert(ue_ip, target);
+        slice
+    }
+
+    /// Pseudo-slice id under which balancer-level drops are exported.
+    pub const LB_SLICE_ID: u64 = u64::MAX;
+
+    /// Cluster-wide observability: every node's slices (slice ids get the
+    /// node index in their high bits so they stay distinct) plus the
+    /// balancer pseudo-slice, so `rx == forwarded + Σ drops` holds for
+    /// every packet offered to the cluster — including the failover
+    /// blackout.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for (k, node) in self.nodes.iter().enumerate() {
+            for mut s in node.metrics_snapshot().slices {
+                s.slice_id |= (k as u64) << 32;
+                snap.slices.push(s);
+            }
+        }
+        let mut lb = SliceSnapshot::new(Self::LB_SLICE_ID);
+        lb.data = self.lb_drops;
+        snap.slices.push(lb);
+        snap
     }
 
     /// Access one node (tests, harnesses, migration orchestration).
@@ -200,6 +338,71 @@ mod tests {
         let m = uplink(0x1000_0000 + (7 << NODE_SHIFT), 1);
         assert!(!c.process(m).is_forward());
         assert!(!c.process(Mbuf::from_payload(&[0u8; 8])).is_forward());
+    }
+
+    #[test]
+    fn dead_node_blackholes_then_redirects_after_adoption() {
+        let mut c = cluster(3);
+        for imsi in 0..48u64 {
+            c.attach(imsi);
+            c.node(c.home_node(imsi)).ctrl_event(crate::ctrl::CtrlEvent::S1Handover {
+                imsi,
+                new_enb_teid: 0xE000 + imsi as u32,
+                new_enb_ip: 0xC0A80001,
+            });
+        }
+        // Pick a victim node and one of its users.
+        let victim = c.home_node(0);
+        let imsi = 0u64;
+        let (teid, ue_ip) = keys_of(&mut c, imsi);
+        // Standby replica of the user's state (here: read straight off the
+        // still-in-memory node; in the HA subsystem this comes from the
+        // replication log).
+        let (ctrl, counters) = {
+            let node = c.node(victim);
+            let s = node.demux().slice_for_imsi(imsi).unwrap();
+            let ctx = node.slice(s).ctrl.context_of(imsi).unwrap();
+            let pair = (ctx.ctrl.read().clone(), ctx.counters.read().clone());
+            pair
+        };
+
+        c.mark_dead(victim);
+        assert!(c.is_dead(victim));
+        assert_eq!(c.live_count(), 2);
+        // Blackout: packets for the dead region drop under the failover cause.
+        assert!(!c.process(uplink(teid, ue_ip)).is_forward());
+        assert!(!c.process(downlink(ue_ip)).is_forward());
+        let snap = c.metrics_snapshot();
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.data_totals().drop_failover, 2);
+
+        // Maglev repair: the victim no longer owns any signaling keys, and
+        // surviving homes did not move.
+        let target = c.home_node(imsi);
+        assert_ne!(target, victim);
+
+        // Adoption: state promotes onto a survivor, traffic re-steers.
+        c.adopt_user(target, ctrl, counters);
+        assert!(c.process(uplink(teid, ue_ip)).is_forward(), "uplink after adoption");
+        assert!(c.process(downlink(ue_ip)).is_forward(), "downlink after adoption");
+        let snap = c.metrics_snapshot();
+        assert!(snap.conservation_holds());
+        assert_eq!(snap.data_totals().drop_failover, 2, "no further failover drops");
+        // Counters travelled with the user.
+        let node = c.node(target);
+        let s = node.demux().slice_for_imsi(imsi).unwrap();
+        assert!(node.slice(s).ctrl.counters_of(imsi).unwrap().uplink_packets >= 1);
+    }
+
+    #[test]
+    fn lb_pseudo_slice_accounts_unroutable_packets() {
+        let mut c = cluster(2);
+        let m = uplink(0x1000_0000 + (7 << NODE_SHIFT), 1);
+        assert!(!c.process(m).is_forward());
+        let snap = c.metrics_snapshot();
+        assert!(snap.conservation_holds());
+        let lb = snap.slices.iter().find(|s| s.slice_id == Cluster::LB_SLICE_ID).unwrap();
+        assert_eq!(lb.data.drop_unknown_user, 1);
     }
 
     #[test]

@@ -102,6 +102,12 @@ pub struct ControlPlane {
     attach_fsms: HashMap<u32, AttachFsm>,
     handover_fsms: HashMap<u32, HandoverFsm>,
     metrics: CtrlMetrics,
+    /// IMSIs whose control state changed since the last
+    /// [`ControlPlane::take_dirty_users`] drain — the replication hook:
+    /// an HA layer drains this after applying events and ships a fresh
+    /// snapshot per dirty user, without knowing event semantics. A
+    /// `BTreeSet` so the drain order is deterministic.
+    dirty: std::collections::BTreeSet<u64>,
     /// Per-procedure processing latency (control threads are off the
     /// packet hot path, so these are always recorded).
     attach_ns: LatencyHistogram,
@@ -128,6 +134,7 @@ impl ControlPlane {
             attach_fsms: HashMap::new(),
             handover_fsms: HashMap::new(),
             metrics: CtrlMetrics::default(),
+            dirty: std::collections::BTreeSet::new(),
             attach_ns: LatencyHistogram::new(),
             service_request_ns: LatencyHistogram::new(),
             handover_ns: LatencyHistogram::new(),
@@ -176,6 +183,7 @@ impl ControlPlane {
     }
 
     fn attach_inner(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32) {
+        self.dirty.insert(imsi);
         if let Some(ctx) = self.users.get(&imsi) {
             // Re-attach: refresh and re-announce as active.
             let ctx = Arc::clone(ctx);
@@ -223,6 +231,7 @@ impl ControlPlane {
                     }
                 }
                 self.metrics.handovers += 1;
+                self.dirty.insert(imsi);
                 self.handover_ns.record(t0.elapsed().as_nanos() as u64);
                 true
             }
@@ -240,6 +249,7 @@ impl ControlPlane {
                 self.by_guti.remove(&guti);
                 self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
                 self.metrics.detaches += 1;
+                self.dirty.insert(imsi);
                 true
             }
             None => false,
@@ -263,6 +273,7 @@ impl ControlPlane {
                 Some(ctx) => {
                     ctx.ctrl.write().qos.ambr_kbps = ambr_kbps;
                     self.metrics.bearer_updates += 1;
+                    self.dirty.insert(imsi);
                     true
                 }
                 None => false,
@@ -463,6 +474,7 @@ impl ControlPlane {
                 match self.by_guti.get(&guti).copied() {
                     Some(user_imsi) => {
                         self.users[&user_imsi].ctrl.write().tac = tac;
+                        self.dirty.insert(user_imsi);
                         vec![S1apPdu::DownlinkNasTransport {
                             enb_ue_id,
                             mme_ue_id,
@@ -491,6 +503,8 @@ impl ControlPlane {
                     let mut c = ctx.ctrl.write();
                     c.tunnels.enb_teid = enb_teid;
                     c.tunnels.enb_ip = enb_ip;
+                    drop(c);
+                    self.dirty.insert(imsi);
                 }
                 self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitAttachComplete);
             }
@@ -524,6 +538,7 @@ impl ControlPlane {
         self.next_mme_ue_id += 1;
         self.by_mme_ue_id.insert(mme_ue_id, imsi);
         self.metrics.service_requests += 1;
+        self.dirty.insert(imsi);
         self.service_request_ns.record(t0.elapsed().as_nanos() as u64);
         vec![S1apPdu::DownlinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::ServiceAccept.encode() }]
     }
@@ -566,6 +581,7 @@ impl ControlPlane {
         self.by_mme_ue_id.retain(|_, u| *u != imsi);
         self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
         self.metrics.migrations_out += 1;
+        self.dirty.insert(imsi);
         Some(UserSnapshot { uid: imsi, imsi, gw_teid, ue_ip, ctx })
     }
 
@@ -582,6 +598,7 @@ impl ControlPlane {
             active: true,
         });
         self.metrics.migrations_in += 1;
+        self.dirty.insert(snap.imsi);
     }
 
     /// Recovery: re-create a user from checkpointed state (see
@@ -597,6 +614,7 @@ impl ControlPlane {
         self.users.insert(imsi, Arc::clone(&ctx));
         self.by_guti.insert(guti, imsi);
         self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        self.dirty.insert(imsi);
     }
 
     /// Report every user's accumulated usage to the PCRF over Gx
@@ -610,16 +628,19 @@ impl ControlPlane {
             None => return 0,
         };
         let mut reported = 0;
+        let mut overridden = Vec::new();
         for (imsi, ctx) in &self.users {
             let snap = ctx.counters.read().snapshot();
             if let Ok(new_ambr) = proxy.report_usage(reported as u32 + 1, *imsi, snap.uplink_bytes, snap.downlink_bytes)
             {
                 if new_ambr != 0 {
                     ctx.ctrl.write().qos.ambr_kbps = new_ambr;
+                    overridden.push(*imsi);
                 }
                 reported += 1;
             }
         }
+        self.dirty.extend(overridden);
         reported
     }
 
@@ -633,6 +654,21 @@ impl ControlPlane {
     /// Whether updates are waiting.
     pub fn has_updates(&self) -> bool {
         !self.pending_updates.is_empty()
+    }
+
+    /// Drain the IMSIs whose control state changed since the last drain
+    /// (ascending order, so replication is deterministic). An IMSI in the
+    /// result that no longer resolves via [`ControlPlane::context_of`]
+    /// was detached/extracted — replicate that as a deletion.
+    pub fn take_dirty_users(&mut self) -> Vec<u64> {
+        let out: Vec<u64> = self.dirty.iter().copied().collect();
+        self.dirty.clear();
+        out
+    }
+
+    /// Whether any control state changed since the last dirty drain.
+    pub fn has_dirty_users(&self) -> bool {
+        !self.dirty.is_empty()
     }
 
     /// Look up a user's shared context by IMSI.

@@ -63,7 +63,7 @@ pub use metrics::{CtrlMetrics, DataMetrics};
 pub use migrate::{StateTransferMessage, UserSnapshot};
 pub use node::PepcNode;
 pub use pcef::Pcef;
-pub use pepc_telemetry::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnapshot};
+pub use pepc_telemetry::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnapshot, WireStat};
 pub use proxy::Proxy;
 pub use slice::{Slice, SliceHandle};
 pub use state::{ControlState, CounterState, DeviceClass, UeContext, Uid};

@@ -333,6 +333,21 @@ impl PepcNode {
         self.demux.map_user(imsi, gw_teid, ue_ip, slice);
     }
 
+    /// Adopt a user recovered from another node's replica: restore the
+    /// state into the IMSI's home slice (identifiers and tunnels are
+    /// preserved, so in-flight GTP tunnels stay valid), push the
+    /// data-plane insert through immediately, and register the Demux
+    /// steering keys. Returns the slice the user landed on.
+    pub fn adopt_user(&mut self, ctrl: crate::state::ControlState, counters: crate::state::CounterState) -> usize {
+        let imsi = ctrl.imsi;
+        let (gw_teid, ue_ip) = (ctrl.tunnels.gw_teid, ctrl.ue_ip);
+        let k = self.demux.slice_for_imsi(imsi).unwrap_or_else(|| self.home_slice(imsi));
+        self.slices[k].ctrl.restore_user(ctrl, counters);
+        self.slices[k].sync_now();
+        self.demux.map_user(imsi, gw_teid, ue_ip, k);
+        k
+    }
+
     /// The proxy, when backends were supplied.
     pub fn proxy(&self) -> Option<&Arc<Proxy>> {
         self.proxy.as_ref()

@@ -10,9 +10,11 @@
 //! might be mid-synchronization. The same property that makes migration
 //! trivial makes recovery trivial.
 //!
-//! The wire format is a versioned JSON document (human-inspectable,
-//! schema-evolvable); a production deployment would swap in a binary
-//! codec without touching callers.
+//! The wire format is a one-byte format version followed by a versioned
+//! JSON document (human-inspectable, schema-evolvable); the raw leading
+//! byte lets a reader reject a future incompatible format before
+//! attempting to parse the body at all. A production deployment would
+//! swap in a binary codec without touching callers.
 
 use crate::ctrl::ControlPlane;
 use crate::state::{ControlState, CounterState};
@@ -42,6 +44,9 @@ pub enum RecoveryError {
     Malformed(String),
     /// Version mismatch.
     WrongVersion { found: u32, expected: u32 },
+    /// The same IMSI appears more than once in one checkpoint; applying
+    /// it would silently overwrite one record with the other.
+    DuplicateImsi(u64),
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -50,6 +55,9 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
             RecoveryError::WrongVersion { found, expected } => {
                 write!(f, "checkpoint version {found}, expected {expected}")
+            }
+            RecoveryError::DuplicateImsi(imsi) => {
+                write!(f, "checkpoint lists imsi {imsi} more than once")
             }
         }
     }
@@ -71,13 +79,26 @@ pub fn checkpoint(cp: &ControlPlane) -> Vec<u8> {
             users.push(UserRecord { ctrl: ctx.ctrl.read().clone(), counters: ctx.counters.read().clone() });
         }
     }
-    serde_json::to_vec(&SliceCheckpoint { version: CHECKPOINT_VERSION, users })
-        .expect("checkpoint types always serialize")
+    encode(&SliceCheckpoint { version: CHECKPOINT_VERSION, users })
 }
 
-/// Parse checkpoint bytes.
+/// Serialize a checkpoint document: raw format-version byte, then JSON.
+pub fn encode(cp: &SliceCheckpoint) -> Vec<u8> {
+    let body = serde_json::to_vec(cp).expect("checkpoint types always serialize");
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(cp.version as u8);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parse checkpoint bytes: the header byte gates the format before the
+/// body is touched, then the document's own `version` field is checked.
 pub fn parse(bytes: &[u8]) -> Result<SliceCheckpoint, RecoveryError> {
-    let cp: SliceCheckpoint = serde_json::from_slice(bytes).map_err(|e| RecoveryError::Malformed(e.to_string()))?;
+    let (&header, body) = bytes.split_first().ok_or_else(|| RecoveryError::Malformed("empty checkpoint".into()))?;
+    if u32::from(header) != CHECKPOINT_VERSION {
+        return Err(RecoveryError::WrongVersion { found: u32::from(header), expected: CHECKPOINT_VERSION });
+    }
+    let cp: SliceCheckpoint = serde_json::from_slice(body).map_err(|e| RecoveryError::Malformed(e.to_string()))?;
     if cp.version != CHECKPOINT_VERSION {
         return Err(RecoveryError::WrongVersion { found: cp.version, expected: CHECKPOINT_VERSION });
     }
@@ -87,8 +108,18 @@ pub fn parse(bytes: &[u8]) -> Result<SliceCheckpoint, RecoveryError> {
 /// Rebuild users into a (fresh) control plane from a checkpoint. Returns
 /// how many users were restored. Data-plane membership updates are queued
 /// exactly as attaches would queue them.
+///
+/// All validation — parse errors and intra-checkpoint duplicate IMSIs —
+/// happens before the first record is applied, so a rejected checkpoint
+/// never partially applies.
 pub fn restore(cp: &mut ControlPlane, bytes: &[u8]) -> Result<usize, RecoveryError> {
     let parsed = parse(bytes)?;
+    let mut seen = std::collections::HashSet::with_capacity(parsed.users.len());
+    for rec in &parsed.users {
+        if !seen.insert(rec.ctrl.imsi) {
+            return Err(RecoveryError::DuplicateImsi(rec.ctrl.imsi));
+        }
+    }
     let n = parsed.users.len();
     for rec in parsed.users {
         cp.restore_user(rec.ctrl, rec.counters);
@@ -159,12 +190,34 @@ mod tests {
     #[test]
     fn malformed_and_wrong_version_rejected() {
         let mut c = cp();
-        assert!(matches!(restore(&mut c, b"not json"), Err(RecoveryError::Malformed(_))));
+        assert!(matches!(restore(&mut c, &[]), Err(RecoveryError::Malformed(_))));
+        // Valid header byte, garbage body.
+        assert!(matches!(restore(&mut c, b"\x01not json"), Err(RecoveryError::Malformed(_))));
+        // Wrong header byte is rejected before the body is even parsed.
+        assert!(matches!(restore(&mut c, b"\x63garbage"), Err(RecoveryError::WrongVersion { found: 99, .. })));
+        // Header passes but the document's own version field disagrees.
         let mut doc = parse(&checkpoint(&populated(1))).unwrap();
         doc.version = 99;
-        let bytes = serde_json::to_vec(&doc).unwrap();
+        let mut bytes = vec![CHECKPOINT_VERSION as u8];
+        bytes.extend_from_slice(&serde_json::to_vec(&doc).unwrap());
         assert!(matches!(restore(&mut c, &bytes), Err(RecoveryError::WrongVersion { found: 99, .. })));
         assert_eq!(c.user_count(), 0, "failed restore leaves nothing behind");
+    }
+
+    #[test]
+    fn duplicate_imsis_rejected_without_partial_apply() {
+        let mut doc = parse(&checkpoint(&populated(3))).unwrap();
+        let dup = doc.users[1].clone();
+        let dup_imsi = dup.ctrl.imsi;
+        doc.users.push(dup);
+        let bytes = encode(&doc);
+        let mut c = cp();
+        match restore(&mut c, &bytes) {
+            Err(RecoveryError::DuplicateImsi(i)) => assert_eq!(i, dup_imsi),
+            other => panic!("expected DuplicateImsi, got {other:?}"),
+        }
+        assert_eq!(c.user_count(), 0, "duplicate checkpoint must not partially apply");
+        assert!(!c.has_updates());
     }
 
     #[test]
@@ -175,9 +228,10 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_is_versioned_json() {
+    fn checkpoint_is_version_byte_then_json() {
         let bytes = checkpoint(&populated(1));
-        let v: serde_json::Value = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(bytes[0], CHECKPOINT_VERSION as u8);
+        let v: serde_json::Value = serde_json::from_slice(&bytes[1..]).unwrap();
         assert_eq!(v["version"], 1);
         assert!(v["users"].is_array());
     }

@@ -11,6 +11,9 @@
 pub struct Maglev {
     table: Vec<u32>,
     backends: Vec<String>,
+    /// Backends still in service. Indices stay stable across removals so
+    /// `lookup` results remain valid handles for the cluster.
+    alive: Vec<bool>,
 }
 
 impl Maglev {
@@ -28,18 +31,7 @@ impl Maglev {
         assert!(table_size > backends.len(), "table must exceed backend count");
         let n = backends.len();
         let m = table_size;
-
-        // Each backend gets a permutation of table slots derived from two
-        // hashes of its name (offset, skip).
-        let mut offset = vec![0usize; n];
-        let mut skip = vec![0usize; n];
-        for (i, b) in backends.iter().enumerate() {
-            let h1 = fnv1a(b.as_bytes(), 0x811C_9DC5);
-            let h2 = fnv1a(b.as_bytes(), 0x0100_0193);
-            offset[i] = (h1 as usize) % m;
-            skip[i] = (h2 as usize) % (m - 1) + 1;
-        }
-
+        let (offset, skip) = permutation_params(backends, m);
         let mut next = vec![0usize; n];
         let mut table = vec![u32::MAX; m];
         let mut filled = 0usize;
@@ -60,7 +52,72 @@ impl Maglev {
                 }
             }
         }
-        Maglev { table, backends: backends.to_vec() }
+        Maglev { table, backends: backends.to_vec(), alive: vec![true; n] }
+    }
+
+    /// Repair the table in place after backend `dead` fails.
+    ///
+    /// Only the slots the dead backend owned are refilled — survivors
+    /// continue their permutation walks into the vacated slots while
+    /// every slot a survivor already owns stays put. That makes Maglev's
+    /// minimal-disruption property *strict* for repair: keys mapped to a
+    /// surviving backend never re-steer, and keys of the dead backend
+    /// land deterministically on survivors. Backend indices are stable
+    /// across removals ([`Self::lookup`] keeps returning the same handle
+    /// for surviving backends).
+    ///
+    /// # Panics
+    /// Panics if `dead` is out of range, already removed, or the last
+    /// live backend.
+    pub fn remove_backend(&mut self, dead: usize) {
+        assert!(dead < self.backends.len(), "backend index out of range");
+        assert!(self.alive[dead], "backend already removed");
+        self.alive[dead] = false;
+        assert!(self.alive.iter().any(|&a| a), "cannot remove the last live backend");
+
+        let m = self.table.len();
+        let n = self.backends.len();
+        let mut filled = 0usize;
+        for slot in self.table.iter_mut() {
+            if *slot == dead as u32 {
+                *slot = u32::MAX;
+            } else {
+                filled += 1;
+            }
+        }
+
+        let (offset, skip) = permutation_params(&self.backends, m);
+        let mut next = vec![0usize; n];
+        'outer: while filled < m {
+            for i in 0..n {
+                if !self.alive[i] {
+                    continue;
+                }
+                // Walk survivor i's permutation to its next vacated slot.
+                loop {
+                    let c = (offset[i] + next[i] * skip[i]) % m;
+                    next[i] += 1;
+                    if self.table[c] == u32::MAX {
+                        self.table[c] = i as u32;
+                        filled += 1;
+                        if filled == m {
+                            break 'outer;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether backend `i` is still in service.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Live backends remaining.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
     }
 
     /// Index of the backend responsible for `key`.
@@ -78,6 +135,22 @@ impl Maglev {
     pub fn backend_count(&self) -> usize {
         self.backends.len()
     }
+}
+
+/// Each backend gets a permutation of table slots derived from two
+/// hashes of its name (offset, skip). Shared by construction and repair
+/// so a survivor's walk is identical in both.
+fn permutation_params(backends: &[String], m: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = backends.len();
+    let mut offset = vec![0usize; n];
+    let mut skip = vec![0usize; n];
+    for (i, b) in backends.iter().enumerate() {
+        let h1 = fnv1a(b.as_bytes(), 0x811C_9DC5);
+        let h2 = fnv1a(b.as_bytes(), 0x0100_0193);
+        offset[i] = (h1 as usize) % m;
+        skip[i] = (h2 as usize) % (m - 1) + 1;
+    }
+    (offset, skip)
 }
 
 #[inline]
@@ -164,5 +237,52 @@ mod tests {
         let m = Maglev::new(&names(3), 257);
         assert!(m.table.iter().all(|&s| s != u32::MAX));
         assert_eq!(m.backend_count(), 3);
+    }
+
+    #[test]
+    fn repair_resteers_only_the_dead_backends_keys() {
+        for size in [257usize, 1031, 65537] {
+            let before = Maglev::new(&names(5), size);
+            let mut after = before.clone();
+            after.remove_backend(2);
+            assert!(!after.is_alive(2));
+            assert_eq!(after.alive_count(), 4);
+            for k in 0..20_000u64 {
+                let owner = before.lookup(k);
+                if owner == 2 {
+                    assert_ne!(after.lookup(k), 2, "dead backend still owns key {k} (size {size})");
+                } else {
+                    assert_eq!(after.lookup(k), owner, "surviving key {k} re-steered (size {size})");
+                }
+            }
+            assert!(after.table.iter().all(|&s| s != u32::MAX && s != 2));
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic_and_composes() {
+        let mut a = Maglev::new(&names(4), 1031);
+        let mut b = a.clone();
+        a.remove_backend(1);
+        b.remove_backend(1);
+        assert_eq!(a.table, b.table);
+        // A second failure repairs again, still only vacated slots move.
+        let before_second = a.clone();
+        a.remove_backend(3);
+        for k in 0..10_000u64 {
+            let owner = before_second.lookup(k);
+            if owner != 3 {
+                assert_eq!(a.lookup(k), owner);
+            } else {
+                assert_ne!(a.lookup(k), 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last live backend")]
+    fn cannot_remove_last_backend() {
+        let mut m = Maglev::new(&names(1), 101);
+        m.remove_backend(0);
     }
 }

@@ -72,6 +72,7 @@ pub struct Wire {
     last_refill: Instant,
     stats: WireStats,
     scratch: Vec<Mbuf>,
+    severed: bool,
 }
 
 impl Wire {
@@ -92,12 +93,33 @@ impl Wire {
             last_refill: Instant::now(),
             stats: WireStats::default(),
             scratch: Vec::with_capacity(64),
+            severed: false,
         }
+    }
+
+    /// Permanently cut the wire: everything pumped from now on — including
+    /// frames already queued at the source — is counted as dropped. This is
+    /// how fault injection models a node crash or network partition, as
+    /// opposed to the probabilistic losses of [`FaultSpec`].
+    pub fn sever(&mut self) {
+        self.severed = true;
+    }
+
+    /// Whether [`Wire::sever`] has been called.
+    pub fn is_severed(&self) -> bool {
+        self.severed
     }
 
     /// Move up to `max` packets across the wire, applying faults.
     /// Returns how many packets were forwarded.
     pub fn pump(&mut self, max: usize) -> usize {
+        if self.severed {
+            self.scratch.clear();
+            self.from.rx_burst(&mut self.scratch, max);
+            self.stats.dropped += self.scratch.len() as u64;
+            self.scratch.clear();
+            return 0;
+        }
         if let Some(limit) = self.spec.rate_limit {
             if self.last_refill.elapsed() >= self.spec.shaping_interval {
                 self.tokens = limit;
@@ -250,6 +272,25 @@ mod tests {
         assert_ne!(seen, (0..200).collect::<Vec<_>>(), "order should change");
         seen.sort_unstable();
         assert_eq!(seen, (0..200).collect::<Vec<_>>(), "same multiset");
+    }
+
+    #[test]
+    fn severed_wire_drops_everything_including_queued_frames() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec::none());
+        for i in 0..10u8 {
+            src.tx(Mbuf::from_payload(&[i]));
+        }
+        wire.sever();
+        assert!(wire.is_severed());
+        assert_eq!(wire.pump(100), 0);
+        src.tx(Mbuf::from_payload(&[99]));
+        assert_eq!(wire.pump(100), 0);
+        let s = wire.stats();
+        assert_eq!(s.forwarded, 0);
+        assert_eq!(s.dropped, 11);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 100);
+        assert!(out.is_empty());
     }
 
     #[test]

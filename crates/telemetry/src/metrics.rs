@@ -24,6 +24,9 @@ pub struct DataMetrics {
     pub drop_qos: u64,
     /// Drops: unparseable packets.
     pub drop_malformed: u64,
+    /// Drops: packet arrived for a user whose node died and whose state
+    /// was still being promoted onto a survivor (the failover blackout).
+    pub drop_failover: u64,
     /// Control→data updates applied.
     pub updates_applied: u64,
 }
@@ -31,7 +34,7 @@ pub struct DataMetrics {
 impl DataMetrics {
     /// Sum over the full drop-cause taxonomy.
     pub fn drops_total(&self) -> u64 {
-        self.drop_unknown_user + self.drop_gate + self.drop_qos + self.drop_malformed
+        self.drop_unknown_user + self.drop_gate + self.drop_qos + self.drop_malformed + self.drop_failover
     }
 
     /// Packet conservation: every received packet is either forwarded or

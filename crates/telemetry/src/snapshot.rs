@@ -25,6 +25,25 @@ impl RingGauge {
     }
 }
 
+/// Per-wire fabric delivery stats, exported by whoever owns the wires
+/// (the cluster) so chaos runs show fabric-level loss next to the
+/// slice-level drop taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WireStat {
+    /// Which wire this is (e.g. `"repl:node1"`, `"hb:node2"`).
+    pub name: String,
+    /// Frames delivered to the far port.
+    pub forwarded: u64,
+    /// Frames dropped by injected loss.
+    pub dropped: u64,
+    /// Frames delivered with corrupted payloads (subset of `forwarded`).
+    pub corrupted: u64,
+    /// Frames delivered out of order (subset of `forwarded`).
+    pub reordered: u64,
+    /// Frames deferred by rate limiting (later delivered or dropped).
+    pub rate_limited: u64,
+}
+
 /// Everything one slice reports: plane counters, latency histograms, and
 /// ring gauges. Assembled by the slice owner thread; crosses threads by
 /// value.
@@ -98,7 +117,7 @@ impl SliceSnapshot {
         let _ = writeln!(out, "slice {}: users={}", self.slice_id, self.users);
         let _ = writeln!(
             out,
-            "  packets: rx={} fwd={} iot={} drops[unknown={} gate={} qos={} malformed={}] \
+            "  packets: rx={} fwd={} iot={} drops[unknown={} gate={} qos={} malformed={} failover={}] \
              updates={} conservation={}",
             d.rx,
             d.forwarded,
@@ -107,6 +126,7 @@ impl SliceSnapshot {
             d.drop_gate,
             d.drop_qos,
             d.drop_malformed,
+            d.drop_failover,
             d.updates_applied,
             conservation,
         );
@@ -147,6 +167,10 @@ impl SliceSnapshot {
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     pub slices: Vec<SliceSnapshot>,
+    /// Fabric wire delivery stats (empty for single-node snapshots; the
+    /// cluster fills these in so chaos runs can correlate fabric loss
+    /// with slice drops).
+    pub wires: Vec<WireStat>,
 }
 
 impl MetricsSnapshot {
@@ -162,6 +186,14 @@ impl MetricsSnapshot {
         }
         if self.slices.is_empty() {
             out.push_str("(no slices)\n");
+        }
+        for w in &self.wires {
+            use std::fmt::Write;
+            let _ = writeln!(
+                out,
+                "wire {}: fwd={} dropped={} corrupted={} reordered={} rate_limited={}",
+                w.name, w.forwarded, w.dropped, w.corrupted, w.reordered, w.rate_limited,
+            );
         }
         out
     }
@@ -194,6 +226,7 @@ impl MetricsSnapshot {
             t.drop_gate += d.drop_gate;
             t.drop_qos += d.drop_qos;
             t.drop_malformed += d.drop_malformed;
+            t.drop_failover += d.drop_failover;
             t.updates_applied += d.updates_applied;
         }
         t
@@ -203,6 +236,7 @@ impl MetricsSnapshot {
     pub fn deterministic_eq(&self, other: &MetricsSnapshot) -> bool {
         self.slices.len() == other.slices.len()
             && self.slices.iter().zip(&other.slices).all(|(a, b)| a.deterministic_eq(b))
+            && self.wires == other.wires
     }
 }
 
@@ -223,7 +257,8 @@ mod tests {
         }
         s.attach_ns.record(5_000);
         s.rings.push(RingGauge { name: "update_ring".into(), depth: 3, capacity: 1024 });
-        MetricsSnapshot { slices: vec![s] }
+        let wires = vec![WireStat { name: "repl:node1".into(), forwarded: 40, dropped: 2, ..Default::default() }];
+        MetricsSnapshot { slices: vec![s], wires }
     }
 
     #[test]
@@ -232,8 +267,10 @@ mod tests {
         let text = snap.render();
         assert!(text.contains("slice 3"), "{text}");
         assert!(text.contains("conservation=ok"), "{text}");
+        assert!(text.contains("failover="), "{text}");
         assert!(text.contains("p999="), "{text}");
         assert!(text.contains("ring update_ring"), "{text}");
+        assert!(text.contains("wire repl:node1: fwd=40 dropped=2"), "{text}");
         assert!(MetricsSnapshot::new().render().contains("no slices"));
     }
 
@@ -270,6 +307,10 @@ mod tests {
         // Different counter values are not deterministic-equal.
         b.slices[0].data.forwarded += 1;
         assert!(!a.deterministic_eq(&b));
+        // Wire stats are deterministic and must match too.
+        let mut c = sample();
+        c.wires[0].dropped += 1;
+        assert!(!a.deterministic_eq(&c));
     }
 
     #[test]

@@ -125,7 +125,90 @@ impl SystemUnderTest for PepcSut {
     }
 
     fn telemetry(&self) -> Option<pepc::MetricsSnapshot> {
-        Some(pepc::MetricsSnapshot { slices: vec![self.slice.telemetry_snapshot(0)] })
+        Some(pepc::MetricsSnapshot { slices: vec![self.slice.telemetry_snapshot(0)], wires: Vec::new() })
+    }
+}
+
+/// An HA cluster as the system under test: the same mixed workload the
+/// single-slice figures use, but routed through the balancer into a
+/// replicated multi-node cluster — chaos tests kill a node mid-run and
+/// keep the loop going.
+pub struct HaSut {
+    pub ha: pepc_ha::HaCluster,
+    /// Run one coordinator tick (replication, heartbeats, detection) every
+    /// this many processed packets, so replication cadence scales with
+    /// offered load instead of wall-clock.
+    tick_every: u32,
+    since_tick: u32,
+    name: &'static str,
+}
+
+impl HaSut {
+    pub fn new(ha: pepc_ha::HaCluster, tick_every: u32) -> Self {
+        assert!(tick_every > 0);
+        HaSut { ha, tick_every, since_tick: 0, name: "PEPC-HA cluster" }
+    }
+
+    /// Crash a node; the workload loop keeps running through the blackout
+    /// and the coordinator recovers automatically.
+    pub fn kill_node(&mut self, k: usize) {
+        self.ha.kill_node(k);
+    }
+}
+
+impl SystemUnderTest for HaSut {
+    fn signal(&mut self, ev: SigEvent) -> bool {
+        match ev {
+            SigEvent::Attach { imsi } => self.ha.ctrl_event(CtrlEvent::Attach { imsi }),
+            SigEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
+                self.ha.ctrl_event(CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip })
+            }
+        }
+    }
+
+    fn process(&mut self, m: Mbuf) -> Option<Mbuf> {
+        self.since_tick += 1;
+        if self.since_tick >= self.tick_every {
+            self.since_tick = 0;
+            self.ha.tick();
+        }
+        match self.ha.process(m) {
+            pepc::node::NodeVerdict::Forward(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    fn attach_all(&mut self, imsis: &[u64]) -> Vec<UserKeys> {
+        let mut keys = Vec::with_capacity(imsis.len());
+        for &imsi in imsis {
+            let k = self.ha.attach(imsi);
+            self.ha.ctrl_event(CtrlEvent::S1Handover {
+                imsi,
+                new_enb_teid: 0xE000_0000 + (imsi as u32 & 0xFFFF),
+                new_enb_ip: 0xC0A8_0001,
+            });
+            let node = self.ha.cluster().node(k);
+            let s = node.demux().slice_for_imsi(imsi).expect("attached");
+            let ctx = node.slice(s).ctrl.context_of(imsi).expect("attached");
+            let c = ctx.ctrl.read();
+            keys.push(UserKeys { teid: c.tunnels.gw_teid, ue_ip: c.ue_ip });
+        }
+        let n = self.ha.cluster().node_count();
+        for k in 0..n {
+            let slices = self.ha.cluster().node(k).slice_count();
+            for s in 0..slices {
+                self.ha.cluster().node(k).slice(s).sync_now();
+            }
+        }
+        keys
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn telemetry(&self) -> Option<pepc::MetricsSnapshot> {
+        Some(self.ha.metrics_snapshot())
     }
 }
 
@@ -405,6 +488,42 @@ mod tests {
         let snap = m.snapshot.expect("telemetry");
         assert!(snap.conservation_holds());
         assert_eq!(snap.slices[0].pipeline_ns.count(), snap.slices[0].data.forwarded);
+    }
+
+    #[test]
+    fn ha_sut_survives_a_mid_run_kill() {
+        use pepc::config::{BatchingConfig, EpcConfig, SliceConfig};
+        let template = EpcConfig {
+            slices: 2,
+            slice: SliceConfig { batching: BatchingConfig { sync_every_packets: 1 }, ..SliceConfig::default() },
+            ..EpcConfig::default()
+        };
+        let ha = pepc_ha::HaCluster::new(3, template, pepc_ha::HaConfig::default());
+        let mut sut = HaSut::new(ha, 64);
+        let keys = sut.attach_all(&imsis(24));
+        let mut gen = TrafficGen::new(keys);
+        let victim = sut.ha.owner_of(crate::params::Defaults::IMSI_BASE).unwrap();
+        let mut killed = false;
+        let m = measure_with(
+            &mut sut,
+            &mut gen,
+            None,
+            &MeasureOpts { duration: Duration::from_millis(60), ..Default::default() },
+            |sut, elapsed_ns| {
+                if !killed && elapsed_ns > 20_000_000 {
+                    sut.kill_node(victim);
+                    killed = true;
+                }
+            },
+        );
+        assert!(killed, "kill hook never fired");
+        let snap = m.snapshot.as_ref().expect("telemetry");
+        assert!(snap.conservation_holds());
+        assert!(snap.data_totals().drop_failover > 0, "blackout should be visible");
+        assert_eq!(sut.ha.failovers().len(), 1, "failover completed mid-run");
+        // After recovery the blackout ends: delivery resumed, so forwarded
+        // packets dominate the run despite the kill.
+        assert!(m.delivery_ratio() > 0.5, "delivery {}", m.delivery_ratio());
     }
 
     #[test]

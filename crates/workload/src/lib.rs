@@ -26,7 +26,7 @@ pub mod population;
 pub mod signaling;
 pub mod traffic;
 
-pub use harness::{ClassicSut, Measurement, PepcSut, SystemUnderTest};
+pub use harness::{ClassicSut, HaSut, Measurement, PepcSut, SystemUnderTest};
 pub use params::Defaults;
 pub use population::Population;
 pub use signaling::{SigEvent, SignalingGen};

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run the ha_failover bench and commit its numbers to BENCH_failover.json.
+
+Usage: python3 scripts/bench_failover.py
+
+Runs `cargo bench -p pepc-bench --bench ha_failover`, parses the
+`bench <name> <ns> ns/iter` lines, and writes BENCH_failover.json.
+The headline number is the blackout duration — time from killing a node
+to the first forwarded packet for a recovered user — derived as
+`kill_to_first_forward - setup_only` (the two kernels are identical
+except for the kill / detect / failover / first-packet sequence).
+"""
+import json
+import re
+import subprocess
+import sys
+
+REQUIRED = [
+    "ha_failover/ctrl_event_replicated",
+    "ha_failover/counter_delta_tick",
+    "ha_failover/setup_only",
+    "ha_failover/kill_to_first_forward",
+]
+
+
+def main():
+    proc = subprocess.run(
+        ["cargo", "bench", "-p", "pepc-bench", "--bench", "ha_failover"],
+        capture_output=True,
+        text=True,
+        cwd=".",
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(proc.returncode)
+
+    cases = {}
+    for line in proc.stdout.splitlines():
+        m = re.match(r"bench\s+(\S+)\s+([\d.]+)\s+ns/iter", line)
+        if m:
+            cases[m.group(1)] = float(m.group(2))
+    missing = [name for name in REQUIRED if name not in cases]
+    if missing:
+        sys.stderr.write(f"missing bench cases {missing} in output:\n" + proc.stdout)
+        sys.exit(1)
+
+    setup_ns = cases["ha_failover/setup_only"]
+    kill_ns = cases["ha_failover/kill_to_first_forward"]
+    blackout_ns = max(0.0, kill_ns - setup_ns)
+    results = {
+        "bench": "ha_failover",
+        "nodes": 3,
+        "users": 64,
+        "blackout_ns": round(blackout_ns, 1),
+        "blackout_us": round(blackout_ns / 1e3, 2),
+        "ctrl_event_replicated_ns": round(cases["ha_failover/ctrl_event_replicated"], 1),
+        "counter_delta_tick_ns": round(cases["ha_failover/counter_delta_tick"], 1),
+        "setup_only_ns": round(setup_ns, 1),
+        "kill_to_first_forward_ns": round(kill_ns, 1),
+    }
+
+    with open("BENCH_failover.json", "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

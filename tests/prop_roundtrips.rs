@@ -243,7 +243,13 @@ proptest! {
             s.attach_ns.record(v * 3);
         }
         s.rings.push(RingGauge { name: "update_ring".into(), depth, capacity: 65536 });
-        let snap = MetricsSnapshot { slices: vec![s] };
+        let wires = vec![pepc::WireStat {
+            name: "repl:node1".into(),
+            forwarded: fwd,
+            dropped: drops[0],
+            ..Default::default()
+        }];
+        let snap = MetricsSnapshot { slices: vec![s], wires };
         let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         prop_assert_eq!(&back, &snap);
         prop_assert!(back.deterministic_eq(&snap));
@@ -286,6 +292,87 @@ proptest! {
             }
         }
         prop_assert_eq!(rx.len(), model.len());
+    }
+
+    #[test]
+    fn maglev_repair_resteers_only_the_dead_backends_keys(
+        n in 3usize..8,
+        dead_pick in any::<u64>(),
+        size_pick in 0usize..3,
+        key_base in any::<u64>(),
+    ) {
+        // Maglev's minimal-disruption guarantee, across three table sizes:
+        // after a backend dies and the table is repaired in place, every
+        // key that hashed to a survivor still hashes to the same survivor;
+        // only the dead backend's keys move.
+        let m = [251usize, 1031, 65537][size_pick];
+        let names: Vec<String> = (0..n).map(|k| format!("pepc-node-{k}")).collect();
+        let mut lb = pepc_fabric::Maglev::new(&names, m);
+        let dead = (dead_pick as usize) % n;
+        let keys: Vec<u64> = (0..2000u64).map(|i| key_base.wrapping_add(i)).collect();
+        let before: Vec<usize> = keys.iter().map(|&k| lb.lookup(k)).collect();
+        lb.remove_backend(dead);
+        prop_assert_eq!(lb.alive_count(), n - 1);
+        for (&key, &owner) in keys.iter().zip(&before) {
+            let now = lb.lookup(key);
+            prop_assert!(now != dead, "key {key} still on the dead backend");
+            if owner != dead {
+                prop_assert_eq!(now, owner, "surviving key {key} re-steered");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_parse_fuzz_never_panics_or_partially_applies(
+        users in 1u64..8,
+        cut in any::<u64>(),
+        flip_at in any::<u64>(),
+        flip_bits in 1u8..255,
+    ) {
+        use pepc::ctrl::{Allocator, ControlPlane, CtrlEvent};
+        let fresh = || ControlPlane::new(
+            0x0AFE_0001,
+            1,
+            Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD000, mme_ue_id_base: 1 },
+            None,
+        );
+        let mut original = fresh();
+        for imsi in 0..users {
+            original.apply_event(CtrlEvent::Attach { imsi });
+        }
+        original.take_updates();
+        let bytes = pepc::recovery::checkpoint(&original);
+
+        // Truncation at any point must reject cleanly (except the full
+        // buffer, which restores) and leave the target untouched on error.
+        let cut = (cut as usize) % (bytes.len() + 1);
+        let mut target = fresh();
+        match pepc::recovery::restore(&mut target, &bytes[..cut]) {
+            Ok(n) => {
+                prop_assert_eq!(cut, bytes.len(), "partial buffer restored");
+                prop_assert_eq!(n as u64, users);
+            }
+            Err(_) => {
+                prop_assert_eq!(target.user_count(), 0, "failed restore left users behind");
+                prop_assert!(!target.has_updates(), "failed restore queued updates");
+            }
+        }
+
+        // A flipped byte either still parses to a valid document (and
+        // fully applies) or rejects without touching anything — and the
+        // whole-checkpoint invariant holds either way: never a panic,
+        // never a partial apply.
+        let mut corrupt = bytes.clone();
+        let at = (flip_at as usize) % corrupt.len();
+        corrupt[at] ^= flip_bits;
+        let mut target = fresh();
+        match pepc::recovery::restore(&mut target, &corrupt) {
+            Ok(n) => prop_assert_eq!(target.user_count() as u64, n as u64),
+            Err(_) => {
+                prop_assert_eq!(target.user_count(), 0);
+                prop_assert!(!target.has_updates());
+            }
+        }
     }
 
     #[test]
