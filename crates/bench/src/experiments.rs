@@ -10,7 +10,7 @@ use pepc::ctrl::{run_attach_with, Allocator, ControlPlane};
 use pepc::proxy::Proxy;
 use pepc::slice::Slice;
 use pepc::state::ControlState;
-use pepc::table::{DatapathWriterStore, GiantLockStore, PepcStore, StateStore};
+use pepc::table::{DatapathWriterStore, GiantLockStore, PepcStore, RwLockFineStore, StateStore};
 use pepc_backend::{Hss, Pcrf};
 use pepc_baseline::{BaselinePreset, ClassicConfig, ClassicEpc};
 use pepc_sigproto::s1ap::S1apPdu;
@@ -687,12 +687,12 @@ fn measure_store_constants<S: StateStore>(store: &S, users: u64, samples: u64) -
     // Warm.
     for i in 0..samples / 4 {
         lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        store.data_path_visit((lcg >> 33) % users, i % 4 == 0, 100, i, &mut |c| c.imsi != u64::MAX);
+        store.data_path_visit((lcg >> 33) % users, i % 4 == 0, 100, i, &mut |v| v.tunnels.gw_teid != u32::MAX);
     }
     let t = Instant::now();
     for i in 0..samples {
         lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        store.data_path_visit((lcg >> 33) % users, i % 4 == 0, 100, i, &mut |c| c.imsi != u64::MAX);
+        store.data_path_visit((lcg >> 33) % users, i % 4 == 0, 100, i, &mut |v| v.tunnels.gw_teid != u32::MAX);
     }
     let visit_s = t.elapsed().as_secs_f64() / samples as f64;
     let t = Instant::now();
@@ -707,8 +707,8 @@ fn measure_store_constants<S: StateStore>(store: &S, users: u64, samples: u64) -
     (visit_s, update_s)
 }
 
-/// Figure 12: giant lock vs datapath-writer vs PEPC under rising control
-/// update rates.
+/// Figure 12: giant lock vs datapath-writer vs rwlock-fine vs PEPC
+/// (seqlock) under rising control update rates.
 ///
 /// On a host with ≥3 physical cores this runs the real two-thread
 /// contention experiment. On this reproduction's 1-CPU host cross-core
@@ -733,6 +733,8 @@ pub fn fig12_lock_strategies(scale: Scale) -> Vec<Fig12Row> {
             rows.push(Fig12Row { implementation: "Giant lock", updates_per_sec: rate, visits_mpps: giant / 1e6 });
             let dw = run_lock_experiment(Arc::new(DatapathWriterStore::new(users as usize)), users, rate, duration);
             rows.push(Fig12Row { implementation: "Datapath writer", updates_per_sec: rate, visits_mpps: dw / 1e6 });
+            let rwf = run_lock_experiment(Arc::new(RwLockFineStore::new(users as usize)), users, rate, duration);
+            rows.push(Fig12Row { implementation: "RwLock fine", updates_per_sec: rate, visits_mpps: rwf / 1e6 });
             let pepc = run_lock_experiment(Arc::new(PepcStore::new(users as usize)), users, rate, duration);
             rows.push(Fig12Row { implementation: "PEPC", updates_per_sec: rate, visits_mpps: pepc / 1e6 });
         }
@@ -741,13 +743,15 @@ pub fn fig12_lock_strategies(scale: Scale) -> Vec<Fig12Row> {
         let samples = 400_000;
         let (v_g, u_g) = measure_store_constants(&GiantLockStore::new(users as usize), users, samples);
         let (v_d, _) = measure_store_constants(&DatapathWriterStore::new(users as usize), users, samples);
+        let (v_r, _) = measure_store_constants(&RwLockFineStore::new(users as usize), users, samples);
         let (v_p, _) = measure_store_constants(&PepcStore::new(users as usize), users, samples);
         println!(
             "\nFigure 12 — shared state implementations (single-CPU host: computed from\n\
              measured constants; see DESIGN.md §2. visit: giant {:.0} ns, datapath-writer {:.0} ns,\n\
-             PEPC {:.0} ns; giant-lock write hold {:.0} ns/update)",
+             rwlock-fine {:.0} ns, PEPC seqlock {:.0} ns; giant-lock write hold {:.0} ns/update)",
             v_g * 1e9,
             v_d * 1e9,
+            v_r * 1e9,
             v_p * 1e9,
             u_g * 1e9
         );
@@ -763,6 +767,7 @@ pub fn fig12_lock_strategies(scale: Scale) -> Vec<Fig12Row> {
                 updates_per_sec: rate,
                 visits_mpps: 1.0 / v_d / 1e6,
             });
+            rows.push(Fig12Row { implementation: "RwLock fine", updates_per_sec: rate, visits_mpps: 1.0 / v_r / 1e6 });
             rows.push(Fig12Row { implementation: "PEPC", updates_per_sec: rate, visits_mpps: 1.0 / v_p / 1e6 });
         }
     }

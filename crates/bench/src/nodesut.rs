@@ -70,7 +70,7 @@ impl SystemUnderTest for NodeSut {
                 new_enb_ip: 0xC0A8_0001,
             });
             let ctx = self.node.slice(k).ctrl.context_of(imsi).expect("attached");
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             keys.push(UserKeys { teid: c.tunnels.gw_teid, ue_ip: c.ue_ip });
         }
         // Make memberships visible on every slice.

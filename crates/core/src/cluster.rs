@@ -273,7 +273,7 @@ mod tests {
         let node = c.node(k);
         let s = node.demux().slice_for_imsi(imsi).unwrap();
         let ctx = node.slice(s).ctrl.context_of(imsi).unwrap();
-        let g = ctx.ctrl.read();
+        let g = ctx.ctrl_read();
         (g.tunnels.gw_teid, g.ue_ip)
     }
 
@@ -362,7 +362,7 @@ mod tests {
             let node = c.node(victim);
             let s = node.demux().slice_for_imsi(imsi).unwrap();
             let ctx = node.slice(s).ctrl.context_of(imsi).unwrap();
-            let pair = (ctx.ctrl.read().clone(), ctx.counters.read().clone());
+            let pair = (ctx.ctrl_read().clone(), ctx.counters());
             pair
         };
 

@@ -170,7 +170,7 @@ impl ControlPlane {
     /// keys, so these are never re-derived arithmetically.
     fn keys_of(&self, imsi: u64) -> Option<(u32, u32)> {
         let ctx = self.users.get(&imsi)?;
-        let c = ctx.ctrl.read();
+        let c = ctx.ctrl_read();
         Some((c.tunnels.gw_teid, c.ue_ip))
     }
 
@@ -188,7 +188,7 @@ impl ControlPlane {
             // Re-attach: refresh and re-announce as active.
             let ctx = Arc::clone(ctx);
             let (gw_teid, ue_ip) = {
-                let mut c = ctx.ctrl.write();
+                let mut c = ctx.ctrl_write();
                 c.ecgi = ecgi;
                 c.qos = qos;
                 (c.tunnels.gw_teid, c.ue_ip)
@@ -223,7 +223,7 @@ impl ControlPlane {
                 // The whole point: one in-place write, visible to the data
                 // thread through the shared context. No DpUpdate needed.
                 {
-                    let mut c = ctx.ctrl.write();
+                    let mut c = ctx.ctrl_write();
                     c.tunnels.enb_teid = new_enb_teid;
                     c.tunnels.enb_ip = new_enb_ip;
                     if new_ecgi != 0 {
@@ -243,7 +243,7 @@ impl ControlPlane {
         match self.users.remove(&imsi) {
             Some(ctx) => {
                 let (guti, gw_teid, ue_ip) = {
-                    let c = ctx.ctrl.read();
+                    let c = ctx.ctrl_read();
                     (c.guti, c.tunnels.gw_teid, c.ue_ip)
                 };
                 self.by_guti.remove(&guti);
@@ -271,7 +271,7 @@ impl ControlPlane {
             }
             CtrlEvent::ModifyBearer { imsi, ambr_kbps } => match self.users.get(&imsi) {
                 Some(ctx) => {
-                    ctx.ctrl.write().qos.ambr_kbps = ambr_kbps;
+                    ctx.ctrl_write().qos.ambr_kbps = ambr_kbps;
                     self.metrics.bearer_updates += 1;
                     self.dirty.insert(imsi);
                     true
@@ -310,7 +310,7 @@ impl ControlPlane {
                         self.handover_fsms.insert(*mme_ue_id, HandoverFsm { imsi, source_enb_ue_id: *enb_ue_id });
                         let ctx = &self.users[&imsi];
                         let (gw_teid, ambr) = {
-                            let c = ctx.ctrl.read();
+                            let c = ctx.ctrl_read();
                             (c.tunnels.gw_teid, c.qos.ambr_kbps)
                         };
                         // Addressed to the *target* eNodeB (the node layer
@@ -426,7 +426,7 @@ impl ControlPlane {
                 // Install PCRF rules.
                 if let Ok(rules) = proxy.fetch_rules(id, imsi) {
                     let ctx = Arc::clone(&self.users[&imsi]);
-                    let mut c = ctx.ctrl.write();
+                    let mut c = ctx.ctrl_write();
                     for r in rules {
                         if self.installed_rules.insert(r.rule_id as u16) {
                             self.pending_updates.push(rule_to_update(&r));
@@ -436,7 +436,7 @@ impl ControlPlane {
                 }
                 let ctx = &self.users[&imsi];
                 let (guti, ue_ip, gw_teid, ambr) = {
-                    let c = ctx.ctrl.read();
+                    let c = ctx.ctrl_read();
                     (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
                 };
                 self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitContextSetup { imsi, mme_ue_id: id });
@@ -473,7 +473,7 @@ impl ControlPlane {
                 }
                 match self.by_guti.get(&guti).copied() {
                     Some(user_imsi) => {
-                        self.users[&user_imsi].ctrl.write().tac = tac;
+                        self.users[&user_imsi].ctrl_write().tac = tac;
                         self.dirty.insert(user_imsi);
                         vec![S1apPdu::DownlinkNasTransport {
                             enb_ue_id,
@@ -500,7 +500,7 @@ impl ControlPlane {
         if let Some(AttachFsm::WaitContextSetup { imsi, mme_ue_id: id }) = self.attach_fsms.remove(&enb_ue_id) {
             if id == mme_ue_id {
                 if let Some(ctx) = self.users.get(&imsi) {
-                    let mut c = ctx.ctrl.write();
+                    let mut c = ctx.ctrl_write();
                     c.tunnels.enb_teid = enb_teid;
                     c.tunnels.enb_ip = enb_ip;
                     drop(c);
@@ -527,7 +527,7 @@ impl ControlPlane {
         };
         let ctx = Arc::clone(&self.users[&imsi]);
         let (gw_teid, ue_ip) = {
-            let mut c = ctx.ctrl.write();
+            let mut c = ctx.ctrl_write();
             if ecgi != 0 {
                 c.ecgi = ecgi;
             }
@@ -574,7 +574,7 @@ impl ControlPlane {
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
         let ctx = self.users.remove(&imsi)?;
         let (guti, gw_teid, ue_ip) = {
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             (c.guti, c.tunnels.gw_teid, c.ue_ip)
         };
         self.by_guti.remove(&guti);
@@ -588,7 +588,7 @@ impl ControlPlane {
     /// Destination side: install a migrated user. Keys (TEID/UE IP) are
     /// preserved so in-flight tunnels stay valid.
     pub fn install_user(&mut self, snap: UserSnapshot) {
-        let guti = snap.ctx.ctrl.read().guti;
+        let guti = snap.ctx.ctrl_read().guti;
         self.by_guti.insert(guti, snap.imsi);
         self.users.insert(snap.imsi, Arc::clone(&snap.ctx));
         self.pending_updates.push(DpUpdate::Insert {
@@ -609,8 +609,7 @@ impl ControlPlane {
         let guti = ctrl.guti;
         let gw_teid = ctrl.tunnels.gw_teid;
         let ue_ip = ctrl.ue_ip;
-        let ctx = UeContext::new(ctrl);
-        *ctx.counters.write() = counters;
+        let ctx = UeContext::with_counters(ctrl, counters);
         self.users.insert(imsi, Arc::clone(&ctx));
         self.by_guti.insert(guti, imsi);
         self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
@@ -630,11 +629,11 @@ impl ControlPlane {
         let mut reported = 0;
         let mut overridden = Vec::new();
         for (imsi, ctx) in &self.users {
-            let snap = ctx.counters.read().snapshot();
+            let snap = ctx.counters().snapshot();
             if let Ok(new_ambr) = proxy.report_usage(reported as u32 + 1, *imsi, snap.uplink_bytes, snap.downlink_bytes)
             {
                 if new_ambr != 0 {
-                    ctx.ctrl.write().qos.ambr_kbps = new_ambr;
+                    ctx.ctrl_write().qos.ambr_kbps = new_ambr;
                     overridden.push(*imsi);
                 }
                 reported += 1;
@@ -679,7 +678,7 @@ impl ControlPlane {
     /// Counter snapshot for PCRF reporting (reads the data-thread-written
     /// half — the legal cross-plane read).
     pub fn counters_of(&self, imsi: u64) -> Option<CounterSnapshot> {
-        Some(self.users.get(&imsi)?.counters.read().snapshot())
+        Some(self.users.get(&imsi)?.counters().snapshot())
     }
 
     /// Number of users homed on this slice.
@@ -828,7 +827,7 @@ mod tests {
         assert!(matches!(&ups[0], DpUpdate::Insert { active: true, .. }));
         assert_eq!(cp.metrics().attaches, 1);
         let ctx = cp.context_of(7).unwrap();
-        let c = ctx.ctrl.read();
+        let c = ctx.ctrl_read();
         assert_eq!(c.ue_ip, 0x0A000001);
         assert_eq!(c.tunnels.gw_teid, 0x1000);
         assert_eq!(c.guti, 0xD00D_0000);
@@ -842,7 +841,7 @@ mod tests {
         assert!(cp.apply_event(CtrlEvent::S1Handover { imsi: 7, new_enb_teid: 0x99, new_enb_ip: 0xC0A80001 }));
         assert!(!cp.has_updates(), "handover needs no data-plane message");
         let ctx = cp.context_of(7).unwrap();
-        assert_eq!(ctx.ctrl.read().tunnels.enb_teid, 0x99);
+        assert_eq!(ctx.ctrl_read().tunnels.enb_teid, 0x99);
         assert_eq!(cp.metrics().handovers, 1);
     }
 
@@ -870,10 +869,10 @@ mod tests {
     fn reattach_is_idempotent_on_identifiers() {
         let mut cp = cp_synthetic();
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
-        let ip1 = cp.context_of(7).unwrap().ctrl.read().ue_ip;
+        let ip1 = cp.context_of(7).unwrap().ctrl_read().ue_ip;
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
         assert_eq!(cp.user_count(), 1);
-        assert_eq!(cp.context_of(7).unwrap().ctrl.read().ue_ip, ip1);
+        assert_eq!(cp.context_of(7).unwrap().ctrl_read().ue_ip, ip1);
     }
 
     #[test]
@@ -881,7 +880,7 @@ mod tests {
         let mut cp = cp_synthetic();
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
         assert!(cp.apply_event(CtrlEvent::ModifyBearer { imsi: 7, ambr_kbps: 64 }));
-        assert_eq!(cp.context_of(7).unwrap().ctrl.read().qos.ambr_kbps, 64);
+        assert_eq!(cp.context_of(7).unwrap().ctrl_read().qos.ambr_kbps, 64);
         assert_eq!(cp.metrics().bearer_updates, 1);
     }
 
@@ -907,7 +906,7 @@ mod tests {
         assert_eq!(cp.metrics().attach_rejects, 0);
         assert_eq!(cp.user_count(), 1);
         let ctx = cp.context_of(42).unwrap();
-        let c = ctx.ctrl.read();
+        let c = ctx.ctrl_read();
         assert_eq!(c.guti, guti);
         assert_eq!(c.ue_ip, ue_ip);
         assert_eq!(c.tunnels.gw_teid, gw_teid);
@@ -980,7 +979,7 @@ mod tests {
         });
         assert!(matches!(rsp.as_slice(), [S1apPdu::PathSwitchRequestAck { .. }]));
         let c = cp.context_of(3).unwrap();
-        let ctrl = c.ctrl.read();
+        let ctrl = c.ctrl_read();
         assert_eq!(ctrl.tunnels.enb_teid, 0xF1);
         assert_eq!(ctrl.ecgi, 0x200);
     }
@@ -1002,7 +1001,7 @@ mod tests {
             cp.handle_s1ap(&S1apPdu::HandoverRequestAck { mme_ue_id: 1, new_enb_teid: 0xAA, new_enb_ip: 0xC0A80007 });
         assert!(matches!(rsp.as_slice(), [S1apPdu::HandoverCommand { enb_ue_id: 1, .. }]));
         let c = cp.context_of(3).unwrap();
-        assert_eq!(c.ctrl.read().tunnels.enb_teid, 0xAA);
+        assert_eq!(c.ctrl_read().tunnels.enb_teid, 0xAA);
         assert_eq!(cp.metrics().handovers, 1);
     }
 
@@ -1034,7 +1033,7 @@ mod tests {
             nas: NasMsg::TrackingAreaUpdateRequest { guti, tac: 42 }.encode(),
         });
         assert!(matches!(rsp.as_slice(), [S1apPdu::DownlinkNasTransport { .. }]));
-        assert_eq!(cp.context_of(3).unwrap().ctrl.read().tac, 42);
+        assert_eq!(cp.context_of(3).unwrap().ctrl_read().tac, 42);
     }
 
     #[test]
@@ -1043,7 +1042,7 @@ mod tests {
         src.apply_event(CtrlEvent::Attach { imsi: 7 });
         src.take_updates();
         let ctx = src.context_of(7).unwrap();
-        ctx.counters.write().uplink_bytes = 12345;
+        ctx.update_counters(|c| c.uplink_bytes = 12345);
 
         let snap = src.extract_user(7).unwrap();
         assert_eq!(src.user_count(), 0);
@@ -1060,7 +1059,7 @@ mod tests {
         assert_eq!(dst.user_count(), 1);
         assert_eq!(dst.metrics().migrations_in, 1);
         let moved = dst.context_of(7).unwrap();
-        assert_eq!(moved.counters.read().uplink_bytes, 12345, "counters travelled");
+        assert_eq!(moved.counters().uplink_bytes, 12345, "counters travelled");
         // The update re-announces the ORIGINAL keys so tunnels stay valid.
         match dst.take_updates().as_slice() {
             [DpUpdate::Insert { gw_teid, ue_ip, .. }] => {
@@ -1081,7 +1080,7 @@ mod tests {
     fn counters_readable_for_pcrf_reporting() {
         let mut cp = cp_synthetic();
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
-        cp.context_of(7).unwrap().counters.write().downlink_bytes = 555;
+        cp.context_of(7).unwrap().update_counters(|c| c.downlink_bytes = 555);
         assert_eq!(cp.counters_of(7).unwrap().downlink_bytes, 555);
         assert!(cp.counters_of(8).is_none());
     }
@@ -1106,7 +1105,7 @@ mod pcrf_reporting_tests {
         );
         for imsi in 1..=3u64 {
             cp.apply_event(CtrlEvent::Attach { imsi });
-            cp.context_of(imsi).unwrap().counters.write().uplink_bytes = imsi * 1000;
+            cp.context_of(imsi).unwrap().update_counters(|c| c.uplink_bytes = imsi * 1000);
         }
         assert_eq!(cp.report_usage_to_pcrf(), 3);
         assert_eq!(pcrf.usage_for(2).uplink_bytes, 2000);
@@ -1129,7 +1128,7 @@ mod pcrf_reporting_tests {
             None,
         );
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
-        let guti = cp.context_of(7).unwrap().ctrl.read().guti;
+        let guti = cp.context_of(7).unwrap().ctrl_read().guti;
         cp.apply_event(CtrlEvent::Release { imsi: 7 });
         cp.take_updates();
         // Idle UE sends a Service Request over S1AP.
@@ -1149,7 +1148,7 @@ mod pcrf_reporting_tests {
         // The re-announce reaches the data plane as an *active* insert.
         let ups = cp.take_updates();
         assert!(ups.iter().any(|u| matches!(u, DpUpdate::Insert { active: true, .. })));
-        assert_eq!(cp.context_of(7).unwrap().ctrl.read().ecgi, 0x200, "location refreshed");
+        assert_eq!(cp.context_of(7).unwrap().ctrl_read().ecgi, 0x200, "location refreshed");
     }
 
     #[test]

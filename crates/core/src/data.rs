@@ -36,9 +36,11 @@
 //!    two-level table in packet order, issuing software prefetches for
 //!    the lookup [`PREFETCH_DISTANCE`] slots ahead, and fuse consecutive
 //!    packets that resolve to the same user into *groups*.
-//! 3. **Act pass** — enforce each group under **one** `ctrl.read()` and
-//!    **one** `counters.write()` acquisition (and one token-bucket setup
-//!    when the user has no PCEF rules), then emit verdicts.
+//! 3. **Act pass** — enforce each group with **one** lock-free seqlock
+//!    read of the user's [`crate::state::CtrlView`] and **one** counter
+//!    publish (and one token-bucket setup when the user has no PCEF
+//!    rules), then emit verdicts. No lock is taken per packet or per
+//!    group.
 //!
 //! With telemetry on, the whole burst costs one `Instant` read pair
 //! instead of two clock reads per packet; forwarded packets record the
@@ -145,11 +147,32 @@ pub struct DataPlane {
     slots: Vec<Slot>,
     decisions: Vec<Decision>,
     /// Same-user run starts discovered in pass 2: (first slot index, ctx).
-    groups: Vec<(usize, Arc<UeContext>)>,
+    /// Lives only within one `process_burst_into` call (cleared at entry
+    /// and exit); see the SAFETY notes at its fill and use sites.
+    groups: Vec<GroupRun>,
     /// Scratch for the scalar wrapper (burst-of-1 path).
     scalar_burst: Vec<Mbuf>,
     scalar_out: Vec<PacketVerdict>,
 }
+
+/// One same-user run handed from the resolve pass to the act pass.
+///
+/// The context is a borrowed raw pointer rather than an `Arc` clone: at
+/// run length 1 (uniform traffic) the clone+drop cost two atomic RMWs
+/// per packet, which is more than the whole seqlock visit. Validity is
+/// argued at the use sites — the pointee is owned by the plane's tables
+/// for the duration of the burst call.
+#[derive(Clone, Copy)]
+struct GroupRun {
+    start: usize,
+    ctx: *const UeContext,
+}
+
+// SAFETY: `GroupRun` values never outlive the single-threaded
+// `process_burst_into` call that created them (the scratch vec is
+// cleared at entry and exit), so sending the containing `DataPlane`
+// between threads never sends a live pointer.
+unsafe impl Send for GroupRun {}
 
 impl DataPlane {
     /// Build a data plane.
@@ -283,9 +306,13 @@ impl DataPlane {
                 Some(c) => {
                     let p = Arc::as_ptr(c);
                     if p != last_ptr {
-                        let ctx = Arc::clone(c);
                         last_ptr = p;
-                        self.groups.push((k, ctx));
+                        // SAFETY: `p` points into an `Arc` owned by this
+                        // plane's tables; the prefetch itself never
+                        // dereferences, and pass 3 re-justifies the
+                        // borrow before using the pointer.
+                        unsafe { (*p).prefetch_cells() };
+                        self.groups.push(GroupRun { start: k, ctx: p });
                     }
                 }
                 None => {
@@ -296,19 +323,27 @@ impl DataPlane {
             }
         }
 
-        // Pass 3: act. Each same-user run is enforced under one
-        // ctrl.read() + one counters.write() acquisition.
+        // Pass 3: act. Each same-user run is enforced under one seqlock
+        // view read + one counter-cell publish (no locks).
         let groups = std::mem::take(&mut self.groups);
-        for (gi, (start, ctx)) in groups.iter().enumerate() {
-            let next_start = groups.get(gi + 1).map_or(n, |(s, _)| *s);
-            let mut end = *start;
+        for (gi, g) in groups.iter().enumerate() {
+            let next_start = groups.get(gi + 1).map_or(n, |g| g.start);
+            let mut end = g.start;
             while end < next_start && matches!(self.slots[end], Slot::Lookup { .. }) {
                 end += 1;
             }
-            self.enforce_group(ctx, *start, end, burst, now_ns);
+            // SAFETY: `g.ctx` was taken from an `Arc` held by `by_teid`
+            // / `by_ue_ip` during pass 2 of this same call. We hold
+            // `&mut self` across both passes and nothing in between
+            // removes table entries (pass 3 only touches slots /
+            // decisions / metrics / pcef), so the `Arc` — and therefore
+            // the pointee — is still alive; table-internal promotions
+            // move the `Arc` handle, never the heap allocation.
+            let ctx = unsafe { &*g.ctx };
+            self.enforce_group(ctx, g.start, end, burst, now_ns);
         }
         self.groups = groups;
-        self.groups.clear(); // release the per-burst Arc references
+        self.groups.clear(); // drop the raw pointers before returning
 
         // Copy pass-1/2 decisions for the slots decided outside groups.
         for k in 0..n {
@@ -401,21 +436,27 @@ impl DataPlane {
         }
     }
 
-    /// Enforcement for one same-user run `[start, end)` of the burst: one
-    /// control-read, one counters-write, and (for rule-less users, the
+    /// Enforcement for one same-user run `[start, end)` of the burst:
+    /// one lock-free seqlock read of the control view, one owner-read +
+    /// single publish of the counter cell, and (for rule-less users, the
     /// common case) one token-bucket setup amortized over the whole run.
+    /// No lock is acquired on this path.
     fn enforce_group(&mut self, ctx: &UeContext, start: usize, end: usize, burst: &mut [Mbuf], now_ns: u64) {
-        // Read-lock the control half once (its writer is the control
-        // thread); downlink tunnel endpoints come from this same read.
-        let c = ctx.ctrl.read();
-        let rules_empty = c.pcef_rules.is_empty();
-        let ambr_kbps = c.qos.ambr_kbps;
+        // Seqlock read of the control projection (its writer is the
+        // control thread); downlink tunnel endpoints come from this same
+        // consistent snapshot.
+        let c = ctx.ctrl_view();
+        let rules_empty = c.rules_empty();
+        let rules = c.pcef_rules();
+        let ambr_kbps = c.ambr_kbps;
         let tunnels = c.tunnels;
         // With no PCEF rules the action is always the default, so the
         // effective rate is the plain AMBR for every packet of the run.
         let run_bucket = TokenBucket::from_kbps(ambr_kbps);
-        // Write-lock the counter half once (we are its only writer).
-        let mut cnt = ctx.counters.write();
+        // Owner read of the counter cell — we are its single writer, so
+        // this is a plain copy; mutate locally across the run and
+        // publish once at the end.
+        let mut cnt = ctx.counters();
         // `k` indexes three parallel arrays (slots, burst, decisions).
         #[allow(clippy::needless_range_loop)]
         for k in start..end {
@@ -426,7 +467,7 @@ impl DataPlane {
                 PcefAction::default()
             } else {
                 let ft = FiveTuple::from_ipv4(burst[k].data()).unwrap_or_default();
-                self.pcef.classify(&ft, c.pcef_rules.iter())
+                self.pcef.classify(&ft, rules.iter())
             };
             if action.gate_closed {
                 self.metrics.drop_gate += 1;
@@ -471,6 +512,9 @@ impl DataPlane {
                 self.decisions[k] = Decision::Forward;
             }
         }
+        // One release publish per same-user run (the seqlock analogue of
+        // the former per-run `counters.write()` release).
+        ctx.publish_counters(cnt);
     }
 
     /// Record one control→data update propagation delay (enqueue→apply),
@@ -606,7 +650,7 @@ mod tests {
             }
             other => panic!("expected forward, got {other:?}"),
         }
-        let cnt = ctx.counters.read();
+        let cnt = ctx.counters();
         assert_eq!(cnt.uplink_packets, 1);
         assert!(cnt.uplink_bytes > 0);
         assert_eq!(cnt.last_activity_ns, 100);
@@ -628,7 +672,7 @@ mod tests {
             }
             other => panic!("expected forward, got {other:?}"),
         }
-        assert_eq!(ctx.counters.read().downlink_packets, 1);
+        assert_eq!(ctx.counters().downlink_packets, 1);
     }
 
     #[test]
@@ -662,7 +706,7 @@ mod tests {
         let mut dp = dp();
         let ctx = attach_user(&mut dp, 0);
         {
-            let mut c = ctx.ctrl.write();
+            let mut c = ctx.ctrl_write();
             c.tunnels.enb_teid = 0x3333;
             c.tunnels.enb_ip = 0xC0A80099;
         }
@@ -693,7 +737,7 @@ mod tests {
         }
         assert!((10..25).contains(&forwarded), "burst admitted ~15: {forwarded}");
         assert!(dropped > 0);
-        assert_eq!(ctx.counters.read().qos_drops, dropped);
+        assert_eq!(ctx.counters().qos_drops, dropped);
         assert_eq!(dp.metrics().drop_qos, dropped);
     }
 
@@ -709,7 +753,7 @@ mod tests {
             },
             0,
         );
-        ctx.ctrl.write().pcef_rules.push(1);
+        ctx.ctrl_write().pcef_rules.push(1);
         let v = dp.process(uplink_packet(TEID_UL), 1);
         assert!(matches!(v, PacketVerdict::Drop(DropReason::GateClosed)));
         assert_eq!(dp.metrics().drop_gate, 1);
@@ -852,8 +896,8 @@ mod tests {
         ];
         let out = dp.process_burst(&mut burst, 50);
         assert!(out.iter().all(|v| v.is_forward()));
-        assert_eq!(a.counters.read().uplink_packets, 4);
-        assert_eq!(b.counters.read().uplink_packets, 2);
+        assert_eq!(a.counters().uplink_packets, 4);
+        assert_eq!(b.counters().uplink_packets, 2);
         // Per-packet gets still happened in order: 6 primary hits.
         assert_eq!(dp.table_stats().primary_hits, 6);
     }
@@ -897,7 +941,7 @@ mod tests {
         let burst_verdicts: Vec<bool> =
             burst_dp.process_burst(&mut burst, now).iter().map(|v| v.is_forward()).collect();
         assert_eq!(scalar_verdicts, burst_verdicts);
-        assert_eq!(*scalar_ctx.counters.read(), *burst_ctx.counters.read());
+        assert_eq!(scalar_ctx.counters(), burst_ctx.counters());
         assert_eq!(scalar.metrics(), burst_dp.metrics());
     }
 

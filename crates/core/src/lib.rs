@@ -25,7 +25,8 @@
 //! | Module       | Paper | What it provides |
 //! |--------------|-------|------------------|
 //! | [`state`]    | §2.3, Table 1 | the per-user state taxonomy, split by writer |
-//! | [`table`]    | §7.1, Fig 12  | the three shared-state stores (giant lock / datapath-writer / PEPC) |
+//! | [`seqlock`]  | §4.2  | single-writer seqlock cells behind [`state::UeContext`] |
+//! | [`table`]    | §7.1, Fig 12  | the shared-state stores (giant lock / datapath-writer / rwlock-fine / PEPC seqlock) |
 //! | [`twolevel`] | §3.2, §7.3, Fig 14 | primary/secondary state tables |
 //! | [`pcef`]     | §4.2  | the BPF match-action Policy & Charging Enforcement Function |
 //! | [`qos`]      | §3.1  | token-bucket MBR/AMBR enforcement |
@@ -49,6 +50,7 @@ pub mod pcef;
 pub mod proxy;
 pub mod qos;
 pub mod recovery;
+pub mod seqlock;
 pub mod slice;
 pub mod state;
 pub mod table;
@@ -65,7 +67,8 @@ pub use node::PepcNode;
 pub use pcef::Pcef;
 pub use pepc_telemetry::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnapshot, WireStat};
 pub use proxy::Proxy;
+pub use seqlock::SeqCell;
 pub use slice::{Slice, SliceHandle};
-pub use state::{ControlState, CounterState, DeviceClass, UeContext, Uid};
-pub use table::{DatapathWriterStore, GiantLockStore, PepcStore, StateStore};
+pub use state::{ControlState, CounterState, CtrlView, DeviceClass, UeContext, Uid};
+pub use table::{DatapathWriterStore, GiantLockStore, PepcStore, RwLockFineStore, StateStore};
 pub use twolevel::TwoLevelTable;

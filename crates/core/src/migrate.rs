@@ -12,7 +12,11 @@
 //!    a per-user migration queue (no loss, no reordering);
 //! 2. source control thread removes the user from its tables, tells its
 //!    data thread to forget the user, and answers with
-//!    [`StateTransferMessage::Response`] carrying the [`UserSnapshot`];
+//!    [`StateTransferMessage::Response`] carrying the [`UserSnapshot`].
+//!    During this handoff window the user's seqlock view cell is held
+//!    frozen (sequence odd, see [`crate::seqlock::SeqHold`]): a racing
+//!    data-path reader falls back to projecting from the control lock
+//!    rather than acting on a stale published view;
 //! 3. scheduler installs the snapshot at the destination slice and
 //!    repoints the Demux mapping;
 //! 4. the parked packets drain to the destination slice.
@@ -55,12 +59,28 @@ mod tests {
     #[test]
     fn snapshot_carries_live_context() {
         let ctx = UeContext::new(ControlState::new(42));
-        ctx.counters.write().uplink_bytes = 777;
+        ctx.update_counters(|c| c.uplink_bytes = 777);
         let snap = UserSnapshot { uid: 1, imsi: 42, gw_teid: 2, ue_ip: 3, ctx: Arc::clone(&ctx) };
         // The snapshot aliases the same context — counter state moves with
         // the user, not a copy.
-        ctx.counters.write().uplink_bytes += 1;
-        assert_eq!(snap.ctx.counters.read().uplink_bytes, 778);
+        ctx.update_counters(|c| c.uplink_bytes += 1);
+        assert_eq!(snap.ctx.counters().uplink_bytes, 778);
+    }
+
+    #[test]
+    fn frozen_handoff_readers_fall_back_to_the_lock() {
+        use crate::state::CtrlView;
+        let ctx = UeContext::new(ControlState::new(42));
+        let snap = UserSnapshot { uid: 1, imsi: 42, gw_teid: 2, ue_ip: 3, ctx: Arc::clone(&ctx) };
+        let hold = snap.ctx.freeze_view();
+        // An optimistic reader during the handoff window exhausts its
+        // bounded retries and projects from the control lock —
+        // consistent, never torn, never blocked.
+        let (view, retries) = ctx.ctrl_view_with_retries();
+        assert!(retries > 0, "frozen cell must force the fallback");
+        assert_eq!(view, CtrlView::project(&ctx.ctrl_read()));
+        drop(hold);
+        assert_eq!(ctx.ctrl_view_with_retries().1, 0, "optimistic again after the hold drops");
     }
 
     #[test]

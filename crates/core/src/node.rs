@@ -95,7 +95,7 @@ impl PepcNode {
         self.slices[k].handle_ctrl_event(CtrlEvent::Attach { imsi });
         let ctx = self.slices[k].ctrl.context_of(imsi).expect("just attached");
         let (gw_teid, ue_ip) = {
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             (c.tunnels.gw_teid, c.ue_ip)
         };
         self.demux.map_user(imsi, gw_teid, ue_ip, k);
@@ -109,7 +109,7 @@ impl PepcNode {
                 let ctx = self.slices[k].ctrl.context_of(imsi);
                 if let Some(ctx) = ctx {
                     let (gw_teid, ue_ip) = {
-                        let c = ctx.ctrl.read();
+                        let c = ctx.ctrl_read();
                         (c.tunnels.gw_teid, c.ue_ip)
                     };
                     self.demux.unmap_user(imsi, gw_teid, ue_ip);
@@ -170,7 +170,7 @@ impl PepcNode {
             for imsi in self.slices[k].ctrl.imsis() {
                 if self.demux.slice_for_imsi(imsi).is_none() {
                     if let Some(ctx) = self.slices[k].ctrl.context_of(imsi) {
-                        let c = ctx.ctrl.read();
+                        let c = ctx.ctrl_read();
                         self.demux.map_user(imsi, c.tunnels.gw_teid, c.ue_ip, k);
                     }
                 }
@@ -382,7 +382,7 @@ mod tests {
         let k = node.demux.slice_for_imsi(imsi).unwrap();
         let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
         let (teid, ue_ip) = {
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             (c.tunnels.gw_teid, c.ue_ip)
         };
         let mut m = Mbuf::new();
@@ -396,7 +396,7 @@ mod tests {
     fn downlink_for(node: &mut PepcNode, imsi: u64) -> Mbuf {
         let k = node.demux.slice_for_imsi(imsi).unwrap();
         let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
-        let ue_ip = ctx.ctrl.read().ue_ip;
+        let ue_ip = ctx.ctrl_read().ue_ip;
         let mut m = Mbuf::new();
         let mut hdr = vec![0u8; IPV4_HDR_LEN + 8];
         Ipv4Hdr::new(0x08080808, ue_ip, IpProto::Udp, 8).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();

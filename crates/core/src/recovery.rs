@@ -68,7 +68,8 @@ impl std::error::Error for RecoveryError {}
 /// Snapshot every user of a control plane into checkpoint bytes.
 ///
 /// Consistency note: the control thread calls this on itself, so control
-/// state is quiescent; counters are read under their lock, so each user's
+/// state is quiescent; counters are read as acquire/retry seqlock
+/// snapshots ([`crate::state::UeContext::counters`]), so each user's
 /// record is internally consistent (the paper's rollback-recovery
 /// citations handle cross-packet output consistency, which an EPC data
 /// plane — idempotent per packet — does not need).
@@ -76,7 +77,7 @@ pub fn checkpoint(cp: &ControlPlane) -> Vec<u8> {
     let mut users = Vec::with_capacity(cp.user_count());
     for imsi in cp.imsis() {
         if let Some(ctx) = cp.context_of(imsi) {
-            users.push(UserRecord { ctrl: ctx.ctrl.read().clone(), counters: ctx.counters.read().clone() });
+            users.push(UserRecord { ctrl: ctx.ctrl_read().clone(), counters: ctx.counters() });
         }
     }
     encode(&SliceCheckpoint { version: CHECKPOINT_VERSION, users })
@@ -147,7 +148,7 @@ mod tests {
             c.apply_event(CtrlEvent::Attach { imsi });
             c.apply_event(CtrlEvent::S1Handover { imsi, new_enb_teid: 0xE000 + imsi as u32, new_enb_ip: 0xC0A80001 });
             let ctx = c.context_of(imsi).unwrap();
-            ctx.counters.write().uplink_bytes = imsi * 100;
+            ctx.update_counters(|c| c.uplink_bytes = imsi * 100);
         }
         c.take_updates();
         c
@@ -165,8 +166,8 @@ mod tests {
         for imsi in 0..50u64 {
             let a = original.context_of(imsi).unwrap();
             let b = recovered.context_of(imsi).unwrap();
-            assert_eq!(*a.ctrl.read(), *b.ctrl.read(), "control state imsi {imsi}");
-            assert_eq!(*a.counters.read(), *b.counters.read(), "counters imsi {imsi}");
+            assert_eq!(*a.ctrl_read(), *b.ctrl_read(), "control state imsi {imsi}");
+            assert_eq!(a.counters(), b.counters(), "counters imsi {imsi}");
         }
         // Restoration queued data-plane inserts like attaches do.
         assert!(recovered.has_updates());
@@ -179,7 +180,7 @@ mod tests {
         let mut recovered = cp();
         restore(&mut recovered, &bytes).unwrap();
         let c = recovered.context_of(3).unwrap();
-        let s = c.ctrl.read();
+        let s = c.ctrl_read();
         assert_eq!(s.tunnels.enb_teid, 0xE003);
         assert_eq!(s.tunnels.gw_teid, 0x1000 + 3);
         // GUTI index rebuilt: a detach-by-guti style lookup still works.

@@ -201,8 +201,15 @@ impl Slice {
     /// forgets it before the snapshot leaves).
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
         let snap = self.ctrl.extract_user(imsi)?;
+        // Freeze the user's view cell for the handoff window: an
+        // optimistic data-path reader that races the extraction exhausts
+        // its bounded retries and projects from the authoritative control
+        // lock instead, so it cannot act on a pre-extraction view while
+        // the membership removal drains to the data plane.
+        let frozen = snap.ctx.freeze_view();
         self.flush_ctrl_updates();
         self.sync_now();
+        drop(frozen);
         Some(snap)
     }
 

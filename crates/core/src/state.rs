@@ -15,13 +15,19 @@
 //! | Bandwidth counters            | data thread     | control thread | per-packet |
 //!
 //! [`ControlState`] is everything above the line; [`CounterState`] is the
-//! last row. [`UeContext`] pairs them under separate locks so the
-//! single-writer discipline is enforced by *which lock a thread takes
-//! writable*, and the type system confines writable access to the owning
-//! plane (see [`crate::table::PepcStore`]).
+//! last row. [`UeContext`] pairs them under the single-writer seqlock
+//! protocol (see [`crate::seqlock`] and DESIGN.md §10): the control
+//! thread owns the authoritative `ControlState` behind a lock *and*
+//! publishes a data-path projection ([`CtrlView`]) into a lock-free
+//! seqlock cell on every mutation; the data thread owns the counter cell
+//! outright and publishes it with plain stores. Neither plane ever takes
+//! a lock on the per-packet path.
 
-use parking_lot::RwLock;
+use crate::seqlock::{SeqCell, SeqHold, READ_RETRY_LIMIT};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// Slice-internal user identifier: dense, assigned at attach.
@@ -141,7 +147,11 @@ pub mod smallrules {
 
 /// The data-thread-written half of a user's state: bandwidth counters and
 /// QoS token buckets (Table 1 last row; per-packet update frequency).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy`, all-integer, no padding surprises: it travels through a
+/// [`SeqCell`], whose readers may materialize torn copies before
+/// discarding them (see [`crate::seqlock`] module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterState {
     pub uplink_packets: u64,
     pub uplink_bytes: u64,
@@ -157,6 +167,10 @@ pub struct CounterState {
     pub ambr_tokens: u64,
     pub ambr_last_refill_ns: u64,
 }
+
+// SAFETY: eight `u64` fields — Copy, any bit pattern valid, no padding,
+// size 64 (multiple of 8), alignment 8.
+unsafe impl crate::seqlock::SeqPayload for CounterState {}
 
 /// A point-in-time copy of a user's counters, safe to hand to the control
 /// plane / PCRF reporting without holding the lock.
@@ -183,18 +197,282 @@ impl CounterState {
     }
 }
 
-/// A user's consolidated state: the two single-writer halves behind
-/// fine-grained locks (paper Fig 2: "shared state with fine-grained
-/// locks", one reader/writer lock per half).
-#[derive(Debug)]
-pub struct UeContext {
-    pub ctrl: RwLock<ControlState>,
-    pub counters: RwLock<CounterState>,
+/// The data-path-relevant projection of [`ControlState`]: exactly what
+/// the enforcement pass needs per packet — tunnels, QoS parameters, the
+/// PCEF rule view, and the device-class flag. Published by the control
+/// thread into a seqlock cell on every control mutation, so the data
+/// thread reads it without any lock.
+///
+/// All-integer on purpose (a `u8` flag word instead of `bool`/enum): a
+/// seqlock reader may materialize a torn copy before discarding it, and
+/// every bit pattern of this struct must be a valid value.
+///
+/// The layout is flat and **padding-free** (explicit `_pad` tail, fields
+/// ordered widest-first, 8-byte aligned, 40 bytes = 5 words): the
+/// [`SeqCell`] copies its payload as whole 64-bit words, which requires
+/// every byte to be initialized and the size to be a multiple of 8 —
+/// and is what makes the lock-free read cheaper than a lock (a handful
+/// of word loads instead of scalarized per-field volatile traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C, align(8))]
+pub struct CtrlView {
+    pub tunnels: TunnelState, // 3 × u32, bytes 0..12
+    /// Aggregate maximum bit rate, kbps (see [`QosPolicy::ambr_kbps`]).
+    pub ambr_kbps: u32, // 12..16
+    /// Guaranteed bit rate, kbps (see [`QosPolicy::gbr_kbps`]).
+    pub gbr_kbps: u32, // 16..20
+    rule_ids: [u16; 6],       // 20..32
+    rule_len: u8,             // 32
+    /// QoS class identifier of the default bearer.
+    pub qci: u8, // 33
+    flags: u8,                // 34
+    _pad: [u8; 5],            // 35..40, always zero
 }
+
+const _: () = {
+    assert!(std::mem::size_of::<CtrlView>() == 40);
+    assert!(std::mem::align_of::<CtrlView>() == 8);
+};
+
+// SAFETY: Copy, all-integer (any bit pattern valid), explicitly
+// padding-free per the layout comments above, size 40 (multiple of 8),
+// alignment 8.
+unsafe impl crate::seqlock::SeqPayload for CtrlView {}
+
+impl CtrlView {
+    const FLAG_IOT: u8 = 1;
+
+    /// Project the data-path view out of the authoritative control state.
+    pub fn project(c: &ControlState) -> Self {
+        let mut rule_ids = [0u16; 6];
+        for (i, id) in c.pcef_rules.iter().enumerate() {
+            rule_ids[i] = id;
+        }
+        CtrlView {
+            tunnels: c.tunnels,
+            ambr_kbps: c.qos.ambr_kbps,
+            gbr_kbps: c.qos.gbr_kbps,
+            rule_ids,
+            rule_len: c.pcef_rules.len() as u8,
+            qci: c.qos.qci,
+            flags: if c.device_class == DeviceClass::StatelessIot { Self::FLAG_IOT } else { 0 },
+            _pad: [0; 5],
+        }
+    }
+
+    /// The QoS parameters, re-assembled into the struct shape.
+    pub fn qos(&self) -> QosPolicy {
+        QosPolicy { qci: self.qci, ambr_kbps: self.ambr_kbps, gbr_kbps: self.gbr_kbps }
+    }
+
+    /// Whether any PCEF rules apply to this user (the enforcement
+    /// fast-path check).
+    pub fn rules_empty(&self) -> bool {
+        self.rule_len == 0
+    }
+
+    /// The applicable PCEF rule ids, re-assembled into a [`smallrules::RuleSet`].
+    pub fn pcef_rules(&self) -> smallrules::RuleSet {
+        let mut rs = smallrules::RuleSet::default();
+        for &id in &self.rule_ids[..usize::from(self.rule_len).min(6)] {
+            rs.push(id);
+        }
+        rs
+    }
+
+    /// Whether the user is a stateless-IoT pool device.
+    pub fn is_iot(&self) -> bool {
+        self.flags & Self::FLAG_IOT != 0
+    }
+}
+
+/// A user's consolidated state under the single-writer lock protocol
+/// (paper §4.2; DESIGN.md §10).
+///
+/// Layout (each part on its own cache line — the `const` assertions
+/// below hold the compiler to it):
+///
+/// * `ctrl` — the authoritative [`ControlState`], written only by the
+///   control thread. The lock is for *control-plane-side* coherent reads
+///   (checkpointing, HA replication, migration) and for serializing the
+///   writer; the data path never takes it.
+/// * `view` — the seqlock-published [`CtrlView`] projection the data
+///   thread reads lock-free ([`UeContext::ctrl_view`]). Republished by
+///   [`CtrlWriteGuard`] on drop of every control write.
+/// * `counters` — the [`CounterState`] cell. The data thread is its
+///   single writer (owner reads + [`UeContext::publish_counters`]);
+///   control/recovery/HA readers take consistent snapshots via
+///   acquire/retry ([`UeContext::counters`]).
+#[derive(Debug)]
+#[repr(C)]
+pub struct UeContext {
+    ctrl: RwLock<ControlState>,
+    view: SeqCell<CtrlView>,
+    counters: SeqCell<CounterState>,
+}
+
+// Padding audit: the seqlock cells are 64-byte aligned, so within the
+// (repr(C)) context the view and counter cells start on distinct cache
+// lines and the counter cell never shares a line with anything else —
+// the data thread's per-packet stores cannot false-share with control
+// reads of the view or the lock word.
+const _: () = {
+    assert!(std::mem::align_of::<SeqCell<CtrlView>>() == 64);
+    assert!(std::mem::align_of::<SeqCell<CounterState>>() == 64);
+    assert!(std::mem::align_of::<UeContext>() == 64);
+    // The view (8-byte seq + projection) must stay within one line so a
+    // data-path read touches a single cache line.
+    assert!(std::mem::size_of::<SeqCell<CtrlView>>() == 64);
+    let view_off = std::mem::offset_of!(UeContext, view);
+    let cnt_off = std::mem::offset_of!(UeContext, counters);
+    assert!(view_off % 64 == 0);
+    assert!(cnt_off % 64 == 0);
+    assert!(cnt_off - view_off >= 64);
+};
 
 impl UeContext {
     pub fn new(ctrl: ControlState) -> Arc<Self> {
-        Arc::new(UeContext { ctrl: RwLock::new(ctrl), counters: RwLock::new(CounterState::default()) })
+        Self::with_counters(ctrl, CounterState::default())
+    }
+
+    /// Build a context with pre-existing counters (checkpoint restore /
+    /// HA adoption) — no publish race, the cell is born populated.
+    pub fn with_counters(ctrl: ControlState, counters: CounterState) -> Arc<Self> {
+        let view = CtrlView::project(&ctrl);
+        Arc::new(UeContext { ctrl: RwLock::new(ctrl), view: SeqCell::new(view), counters: SeqCell::new(counters) })
+    }
+
+    // -- control half ---------------------------------------------------------
+
+    /// Coherent read of the authoritative control state (control-plane
+    /// side: signaling logic, checkpoints, replication). The data path
+    /// uses [`Self::ctrl_view`] instead.
+    pub fn ctrl_read(&self) -> RwLockReadGuard<'_, ControlState> {
+        self.ctrl.read()
+    }
+
+    /// Mutable access for the control thread (the single writer). The
+    /// returned guard republishes the [`CtrlView`] projection into the
+    /// seqlock cell when dropped, so every control mutation is visible
+    /// to the lock-free data path.
+    pub fn ctrl_write(&self) -> CtrlWriteGuard<'_> {
+        CtrlWriteGuard { ctx: self, guard: ManuallyDrop::new(self.ctrl.write()) }
+    }
+
+    /// Lock-free data-path read of the control projection.
+    pub fn ctrl_view(&self) -> CtrlView {
+        self.ctrl_view_with_retries().0
+    }
+
+    /// Hint the CPU to pull the view and counter cell cache lines for an
+    /// upcoming visit. The burst path's resolve pass calls this so the
+    /// enforcement pass's cell reads overlap their misses across the
+    /// whole burst instead of paying them serially.
+    #[inline]
+    pub fn prefetch_cells(&self) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint; it does not dereference.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(std::ptr::from_ref(&self.view) as *const i8, _MM_HINT_T0);
+            _mm_prefetch(std::ptr::from_ref(&self.counters) as *const i8, _MM_HINT_T0);
+        }
+    }
+
+    /// [`Self::ctrl_view`] plus the retry count (stress-test
+    /// instrumentation). Optimistic seqlock reads with bounded retries;
+    /// if the cell stays unreadable (held by a migration freeze, or
+    /// pathological writer interference) the read falls back to
+    /// projecting from the authoritative lock, which is always coherent.
+    pub fn ctrl_view_with_retries(&self) -> (CtrlView, u32) {
+        match self.view.read_bounded(READ_RETRY_LIMIT) {
+            Ok(r) => r,
+            Err(retries) => (CtrlView::project(&self.ctrl.read()), retries),
+        }
+    }
+
+    /// Migration freeze: hold the view cell's sequence odd so every
+    /// optimistic data-path read fails over to the authoritative lock
+    /// while the user is in transfer (writer-side seq hold; see
+    /// [`crate::migrate`]). Must only be taken by the control thread —
+    /// the view's writer — and control writes must not occur while held.
+    pub fn freeze_view(&self) -> SeqHold<'_, CtrlView> {
+        self.view.hold()
+    }
+
+    /// Whether a migration freeze currently holds the view cell.
+    pub fn view_frozen(&self) -> bool {
+        self.view.is_held()
+    }
+
+    /// Sequence number of the view cell (two per publish; test hook).
+    pub fn view_version(&self) -> u64 {
+        self.view.version()
+    }
+
+    // -- counter half ---------------------------------------------------------
+
+    /// Consistent snapshot of the counters. For the owning data thread
+    /// this is a plain read (it never observes its own writes torn); for
+    /// cross-plane readers (PCRF reporting, checkpoints, HA) it is an
+    /// acquire/retry seqlock read.
+    pub fn counters(&self) -> CounterState {
+        self.counters.read().0
+    }
+
+    /// [`Self::counters`] plus the retry count (stress-test hook).
+    pub fn counters_with_retries(&self) -> (CounterState, u32) {
+        self.counters.read()
+    }
+
+    /// Data-thread publish: plain stores of the new counter values plus
+    /// a release bump of the cell version. The data thread is the single
+    /// writer of this cell while the user is live.
+    pub fn publish_counters(&self, counters: CounterState) {
+        self.counters.publish(counters);
+    }
+
+    /// Read-modify-publish convenience for *quiescent* counter writes
+    /// (restore, migration fix-ups, tests) — contexts where the data
+    /// thread is not concurrently publishing, per the single-writer
+    /// discipline.
+    pub fn update_counters(&self, f: impl FnOnce(&mut CounterState)) {
+        let mut c = self.counters();
+        f(&mut c);
+        self.publish_counters(c);
+    }
+}
+
+/// Write guard over the authoritative [`ControlState`]. On drop — while
+/// still holding the lock, so publishes stay serialized — it projects
+/// and republishes the [`CtrlView`] into the seqlock cell. This is the
+/// "writer-side publish on every control mutation" of the protocol: no
+/// call site can mutate control state and forget to publish.
+pub struct CtrlWriteGuard<'a> {
+    ctx: &'a UeContext,
+    guard: ManuallyDrop<RwLockWriteGuard<'a, ControlState>>,
+}
+
+impl Deref for CtrlWriteGuard<'_> {
+    type Target = ControlState;
+    fn deref(&self) -> &ControlState {
+        &self.guard
+    }
+}
+
+impl DerefMut for CtrlWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ControlState {
+        &mut self.guard
+    }
+}
+
+impl Drop for CtrlWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.view.publish(CtrlView::project(&self.guard));
+        // SAFETY: dropped exactly once, here; the field is never touched
+        // again (publishing above still held the lock, keeping seqlock
+        // writers serialized).
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
     }
 }
 
@@ -238,29 +516,82 @@ mod tests {
     }
 
     #[test]
-    fn ue_context_halves_lock_independently() {
+    fn ue_context_halves_stay_independent() {
         let ue = UeContext::new(ControlState::new(1));
-        // Hold the control half read-locked while writing counters — the
-        // core of the paper's contention-avoidance claim.
-        let ctrl_guard = ue.ctrl.read();
-        {
-            let mut c = ue.counters.write();
-            c.uplink_packets += 1;
-        }
+        // Hold the control half read-locked while the data side updates
+        // counters — the core of the paper's contention-avoidance claim.
+        // With seqlock cells the counter publish takes no lock at all.
+        let ctrl_guard = ue.ctrl_read();
+        ue.update_counters(|c| c.uplink_packets += 1);
         assert_eq!(ctrl_guard.imsi, 1);
-        assert_eq!(ue.counters.read().uplink_packets, 1);
+        assert_eq!(ue.counters().uplink_packets, 1);
+    }
+
+    #[test]
+    fn ctrl_write_republishes_the_view() {
+        let ue = UeContext::new(ControlState::new(1));
+        let v0 = ue.view_version();
+        {
+            let mut c = ue.ctrl_write();
+            c.tunnels.enb_teid = 0xBEEF;
+            c.qos.ambr_kbps = 64;
+            c.device_class = DeviceClass::StatelessIot;
+        }
+        assert_eq!(ue.view_version(), v0 + 2, "one publish per write guard drop");
+        let v = ue.ctrl_view();
+        assert_eq!(v.tunnels.enb_teid, 0xBEEF);
+        assert_eq!(v.ambr_kbps, 64);
+        assert!(v.is_iot());
+        // The lock-free view always equals the lock-held projection.
+        assert_eq!(v, CtrlView::project(&ue.ctrl_read()));
+    }
+
+    #[test]
+    fn frozen_view_falls_back_to_the_lock() {
+        let ue = UeContext::new(ControlState::new(7));
+        let before = ue.ctrl_view();
+        let hold = ue.freeze_view();
+        assert!(ue.view_frozen());
+        let (v, retries) = ue.ctrl_view_with_retries();
+        assert_eq!(v, before, "fallback projection is coherent");
+        assert!(retries > 0, "freeze forces the retry/fallback path");
+        drop(hold);
+        assert!(!ue.view_frozen());
+        assert_eq!(ue.ctrl_view_with_retries().1, 0);
+    }
+
+    #[test]
+    fn counter_publish_roundtrips() {
+        let ue = UeContext::new(ControlState::new(1));
+        let mut c = ue.counters();
+        c.uplink_packets = 3;
+        c.uplink_bytes = 300;
+        ue.publish_counters(c);
+        let (back, retries) = ue.counters_with_retries();
+        assert_eq!(back, c);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn with_counters_preserves_restored_state() {
+        let counters = CounterState { downlink_bytes: 999, qos_drops: 2, ..CounterState::default() };
+        let ue = UeContext::with_counters(ControlState::new(5), counters);
+        assert_eq!(ue.counters(), counters);
+        assert_eq!(ue.ctrl_read().imsi, 5);
     }
 
     #[test]
     fn control_state_is_compact() {
-        // The data plane touches one ControlState per packet; keep it
-        // within a couple of cache lines so millions of users stay
-        // cache-friendly (this is what Figure 5 measures).
+        // The data plane touches one CtrlView per packet; the view cell
+        // (sequence word + projection) must fit one cache line, and the
+        // authoritative structs stay within a couple of lines so
+        // millions of users stay cache-friendly (what Figure 5 measures).
         assert!(
             std::mem::size_of::<ControlState>() <= 128,
             "ControlState grew to {} bytes",
             std::mem::size_of::<ControlState>()
         );
         assert!(std::mem::size_of::<CounterState>() <= 128);
+        assert!(std::mem::size_of::<CtrlView>() <= 56, "CtrlView grew to {} bytes", std::mem::size_of::<CtrlView>());
     }
 }

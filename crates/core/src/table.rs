@@ -1,7 +1,6 @@
-//! The three shared-state implementations compared in paper §7.1 /
-//! Figure 12.
+//! The shared-state implementations compared in paper §7.1 / Figure 12.
 //!
-//! All three store the same per-user state; they differ in lock
+//! All stores hold the same per-user state; they differ in lock
 //! granularity and in who may write:
 //!
 //! * [`GiantLockStore`] — one reader/writer lock over the entire state
@@ -10,15 +9,23 @@
 //! * [`DatapathWriterStore`] — a fine-grained lock per user, but a single
 //!   combined state record, so the data plane takes the *write* lock on
 //!   the same lock the control plane writes ("Datapath writer").
-//! * [`PepcStore`] — fine-grained per-user locks *and* the single-writer
-//!   split: control state and counter state live behind separate locks;
-//!   each plane write-locks only its own half and read-locks the other
-//!   ("PEPC").
+//! * [`RwLockFineStore`] — fine-grained per-user locks *and* the
+//!   single-writer split across two `RwLock`s per user (control half /
+//!   counter half) — this repo's pre-seqlock `UeContext` design, kept as
+//!   the "RwLock fine-grained" baseline: still two atomic RMW lock
+//!   acquisitions on every data-path visit.
+//! * [`PepcStore`] — the shipping design: per-user [`UeContext`]s under
+//!   the single-writer seqlock protocol. A data-path visit is a lock-free
+//!   view read plus a plain-store counter publish — no RMW at all.
 //!
 //! The [`StateStore`] trait exposes the operations the planes perform so
-//! benchmarks drive all three through identical code.
+//! benchmarks drive all stores through identical code; the data-path
+//! callback receives the [`CtrlView`] projection (what the enforcement
+//! pass actually consumes), which every store materializes per visit so
+//! the comparison isolates the locking discipline.
 
-use crate::state::{ControlState, CounterSnapshot, CounterState, UeContext, Uid};
+use crate::state::{ControlState, CounterSnapshot, CounterState, CtrlView, UeContext, Uid};
+use crate::twolevel::BuildKeyHasher;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,9 +46,9 @@ pub trait StateStore: Send + Sync + 'static {
     /// the user is unknown.
     fn update_ctrl(&self, uid: Uid, f: &mut dyn FnMut(&mut ControlState)) -> bool;
 
-    /// Data plane: read the user's control state and charge the packet to
-    /// the user's counters in one visit. Returns `None` if the user is
-    /// unknown; otherwise the value produced by `f`.
+    /// Data plane: read the user's control-state projection and charge
+    /// the packet to the user's counters in one visit. Returns `None` if
+    /// the user is unknown; otherwise the value produced by `f`.
     ///
     /// `charge` is `(uplink, bytes, now_ns)`.
     fn data_path_visit(
@@ -50,7 +57,7 @@ pub trait StateStore: Send + Sync + 'static {
         uplink: bool,
         bytes: u64,
         now_ns: u64,
-        f: &mut dyn FnMut(&ControlState) -> bool,
+        f: &mut dyn FnMut(&CtrlView) -> bool,
     ) -> Option<bool>;
 
     /// Control plane: snapshot a user's counters (for PCRF reporting).
@@ -92,12 +99,12 @@ struct GiantEntry {
 /// matches the fine-grained stores — the three implementations differ
 /// ONLY in locking, as in the paper's Figure 12.
 pub struct GiantLockStore {
-    table: RwLock<HashMap<Uid, Box<GiantEntry>>>,
+    table: RwLock<HashMap<Uid, Box<GiantEntry>, BuildKeyHasher>>,
 }
 
 impl GiantLockStore {
     pub fn new(capacity: usize) -> Self {
-        GiantLockStore { table: RwLock::new(HashMap::with_capacity(capacity)) }
+        GiantLockStore { table: RwLock::new(HashMap::with_capacity_and_hasher(capacity, Default::default())) }
     }
 }
 
@@ -127,13 +134,13 @@ impl StateStore for GiantLockStore {
         uplink: bool,
         bytes: u64,
         now_ns: u64,
-        f: &mut dyn FnMut(&ControlState) -> bool,
+        f: &mut dyn FnMut(&CtrlView) -> bool,
     ) -> Option<bool> {
         // Counters are written per packet, so the data plane needs the
         // *write* lock on the whole table — this is the collapse mechanism.
         let mut t = self.table.write();
         let e = t.get_mut(&uid)?;
-        let verdict = f(&e.ctrl);
+        let verdict = f(&CtrlView::project(&e.ctrl));
         charge(&mut e.counters, uplink, bytes, now_ns);
         Some(verdict)
     }
@@ -163,12 +170,12 @@ struct DwState {
 /// Fine-grained per-user locks, but one combined record per user: both
 /// planes contend for the same write lock ("Datapath writer" in Fig 12).
 pub struct DatapathWriterStore {
-    table: RwLock<HashMap<Uid, Arc<DwEntry>>>,
+    table: RwLock<HashMap<Uid, Arc<DwEntry>, BuildKeyHasher>>,
 }
 
 impl DatapathWriterStore {
     pub fn new(capacity: usize) -> Self {
-        DatapathWriterStore { table: RwLock::new(HashMap::with_capacity(capacity)) }
+        DatapathWriterStore { table: RwLock::new(HashMap::with_capacity_and_hasher(capacity, Default::default())) }
     }
 }
 
@@ -199,14 +206,14 @@ impl StateStore for DatapathWriterStore {
         uplink: bool,
         bytes: u64,
         now_ns: u64,
-        f: &mut dyn FnMut(&ControlState) -> bool,
+        f: &mut dyn FnMut(&CtrlView) -> bool,
     ) -> Option<bool> {
         let t = self.table.read();
         let entry = t.get(&uid)?;
         // Single combined record: counters force a write lock, which also
         // excludes the control plane's readers/writers of the same user.
         let mut s = entry.state.write();
-        let verdict = f(&s.ctrl);
+        let verdict = f(&CtrlView::project(&s.ctrl));
         charge(&mut s.counters, uplink, bytes, now_ns);
         Some(verdict)
     }
@@ -223,18 +230,93 @@ impl StateStore for DatapathWriterStore {
 }
 
 // ---------------------------------------------------------------------------
-// PEPC
+// RwLock fine-grained (the pre-seqlock UeContext design)
 // ---------------------------------------------------------------------------
 
-/// The PEPC design: per-user [`UeContext`]s whose control and counter
-/// halves have separate locks and exactly one writer each.
+struct RwFineEntry {
+    ctrl: RwLock<ControlState>,
+    counters: RwLock<CounterState>,
+}
+
+/// Fine-grained per-user locks with the single-writer split — control
+/// and counter halves behind *separate* `RwLock`s, each plane
+/// write-locking only its own half. This was this repo's `UeContext`
+/// before the seqlock protocol; a data-path visit still pays two lock
+/// acquisitions (ctrl read + counters write), i.e. four atomic RMWs,
+/// per packet even uncontended.
+pub struct RwLockFineStore {
+    table: RwLock<HashMap<Uid, Arc<RwFineEntry>, BuildKeyHasher>>,
+}
+
+impl RwLockFineStore {
+    pub fn new(capacity: usize) -> Self {
+        RwLockFineStore { table: RwLock::new(HashMap::with_capacity_and_hasher(capacity, Default::default())) }
+    }
+}
+
+impl StateStore for RwLockFineStore {
+    fn insert(&self, uid: Uid, ctrl: ControlState) {
+        let entry = Arc::new(RwFineEntry { ctrl: RwLock::new(ctrl), counters: RwLock::new(CounterState::default()) });
+        self.table.write().insert(uid, entry);
+    }
+
+    fn remove(&self, uid: Uid) -> bool {
+        self.table.write().remove(&uid).is_some()
+    }
+
+    fn update_ctrl(&self, uid: Uid, f: &mut dyn FnMut(&mut ControlState)) -> bool {
+        let t = self.table.read();
+        match t.get(&uid) {
+            Some(entry) => {
+                f(&mut entry.ctrl.write());
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn data_path_visit(
+        &self,
+        uid: Uid,
+        uplink: bool,
+        bytes: u64,
+        now_ns: u64,
+        f: &mut dyn FnMut(&CtrlView) -> bool,
+    ) -> Option<bool> {
+        let t = self.table.read();
+        let entry = t.get(&uid)?;
+        // Read lock on the control half, write lock on the counter half
+        // — correct single-writer semantics, but two RMW acquisitions.
+        let verdict = f(&CtrlView::project(&entry.ctrl.read()));
+        charge(&mut entry.counters.write(), uplink, bytes, now_ns);
+        Some(verdict)
+    }
+
+    fn read_counters(&self, uid: Uid) -> Option<CounterSnapshot> {
+        let t = self.table.read();
+        let s = t.get(&uid)?.counters.read().snapshot();
+        Some(s)
+    }
+
+    fn len(&self) -> usize {
+        self.table.read().len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PEPC (seqlock single-writer)
+// ---------------------------------------------------------------------------
+
+/// The PEPC design: per-user [`UeContext`]s under the single-writer
+/// seqlock protocol — lock-free view reads and plain-store counter
+/// publishes on the data path.
 pub struct PepcStore {
-    table: RwLock<HashMap<Uid, Arc<UeContext>>>,
+    table: RwLock<HashMap<Uid, Arc<UeContext>, BuildKeyHasher>>,
 }
 
 impl PepcStore {
     pub fn new(capacity: usize) -> Self {
-        PepcStore { table: RwLock::new(HashMap::with_capacity(capacity)) }
+        PepcStore { table: RwLock::new(HashMap::with_capacity_and_hasher(capacity, Default::default())) }
     }
 
     /// Shared handle to a user's context — what the control thread hands
@@ -268,7 +350,7 @@ impl StateStore for PepcStore {
         let t = self.table.read();
         match t.get(&uid) {
             Some(ctx) => {
-                f(&mut ctx.ctrl.write());
+                f(&mut ctx.ctrl_write());
                 true
             }
             None => false,
@@ -281,20 +363,23 @@ impl StateStore for PepcStore {
         uplink: bool,
         bytes: u64,
         now_ns: u64,
-        f: &mut dyn FnMut(&ControlState) -> bool,
+        f: &mut dyn FnMut(&CtrlView) -> bool,
     ) -> Option<bool> {
         let t = self.table.read();
         let ctx = t.get(&uid)?;
-        // Read lock on control state (shared with the control plane's
-        // readers), write lock on counters (we are its only writer).
-        let verdict = f(&ctx.ctrl.read());
-        charge(&mut ctx.counters.write(), uplink, bytes, now_ns);
+        // Seqlock view read (no RMW; retries only if a control publish
+        // races), then a local counter mutation and a plain-store publish
+        // — we are the counter cell's only writer.
+        let verdict = f(&ctx.ctrl_view());
+        let mut c = ctx.counters();
+        charge(&mut c, uplink, bytes, now_ns);
+        ctx.publish_counters(c);
         Some(verdict)
     }
 
     fn read_counters(&self, uid: Uid) -> Option<CounterSnapshot> {
         let t = self.table.read();
-        let s = t.get(&uid)?.counters.read().snapshot();
+        let s = t.get(&uid)?.counters().snapshot();
         Some(s)
     }
 
@@ -312,6 +397,7 @@ mod tests {
         vec![
             ("giant", Box::new(GiantLockStore::new(16))),
             ("datapath-writer", Box::new(DatapathWriterStore::new(16))),
+            ("rwlock-fine", Box::new(RwLockFineStore::new(16))),
             ("pepc", Box::new(PepcStore::new(16))),
         ]
     }
@@ -320,11 +406,16 @@ mod tests {
     fn insert_visit_remove_semantics_identical_across_stores() {
         for (name, s) in stores() {
             assert!(s.is_empty(), "{name}");
-            s.insert(1, ControlState::new(100));
+            let mut ctrl = ControlState::new(100);
+            ctrl.tunnels.gw_teid = 0x1234;
+            s.insert(1, ctrl);
             s.insert(2, ControlState::new(200));
             assert_eq!(s.len(), 2, "{name}");
 
-            let verdict = s.data_path_visit(1, true, 64, 1000, &mut |c| c.imsi == 100).expect("user exists");
+            // The callback sees the CtrlView projection, not the raw
+            // ControlState — check a tunnel field carried by the view.
+            let verdict =
+                s.data_path_visit(1, true, 64, 1000, &mut |v| v.tunnels.gw_teid == 0x1234).expect("user exists");
             assert!(verdict, "{name}");
             s.data_path_visit(1, false, 128, 2000, &mut |_| true).unwrap();
 
@@ -364,7 +455,7 @@ mod tests {
         // Data-plane write through the trait is visible through the shared
         // Arc — the "consolidated state, no copies" property.
         s.data_path_visit(1, true, 50, 9, &mut |_| true).unwrap();
-        assert_eq!(ctx.counters.read().uplink_bytes, 50);
+        assert_eq!(ctx.counters().uplink_bytes, 50);
         // take() moves the whole context out (migration).
         let moved = s.take(1).unwrap();
         assert!(Arc::ptr_eq(&ctx, &moved));
@@ -378,11 +469,11 @@ mod tests {
     #[test]
     fn pepc_data_path_does_not_block_on_ctrl_readers() {
         // A control-plane reader holding the ctrl read lock must not stop
-        // the data path (which only needs ctrl-read + counters-write).
+        // the data path (which reads the seqlock view, never the lock).
         let s = Arc::new(PepcStore::new(4));
         s.insert(1, ControlState::new(1));
         let ctx = s.get(1).unwrap();
-        let _ctrl_reader = ctx.ctrl.read();
+        let _ctrl_reader = ctx.ctrl_read();
         let done = Arc::new(AtomicBool::new(false));
         let d2 = Arc::clone(&done);
         let s2 = Arc::clone(&s);

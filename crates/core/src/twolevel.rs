@@ -22,6 +22,45 @@
 //! to exactly one thread, per PEPC's single-writer discipline.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hasher for the table's integer keys (TEIDs / UE IPs widened to u64).
+///
+/// The default SipHash costs more per lookup than the probe itself on
+/// this path — and its DoS hardening buys nothing here: keys are
+/// operator-assigned tunnel identifiers, not attacker-chosen input. One
+/// splitmix64 finalizer pass gives full-avalanche mixing at a few
+/// cycles.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        // splitmix64 finalizer (Vigna) — bijective, full avalanche.
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64-keyed maps): FNV-1a.
+        let mut h = if self.0 == 0 { 0xCBF2_9CE4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`KeyHasher`] into the std `HashMap`.
+pub type BuildKeyHasher = BuildHasherDefault<KeyHasher>;
 
 struct Entry<V> {
     value: V,
@@ -40,8 +79,8 @@ pub struct TwoLevelStats {
 /// A primary/secondary keyed table (keys are TEIDs or UE IPs widened to
 /// `u64`).
 pub struct TwoLevelTable<V> {
-    primary: HashMap<u64, Entry<V>>,
-    secondary: HashMap<u64, V>,
+    primary: HashMap<u64, Entry<V>, BuildKeyHasher>,
+    secondary: HashMap<u64, V, BuildKeyHasher>,
     /// When false, the table degenerates to a single flat table (the
     /// baseline of Figure 14): everything lives in `primary` and nothing
     /// is ever demoted.
@@ -54,8 +93,8 @@ impl<V> TwoLevelTable<V> {
     /// A two-level table demoting entries idle for `idle_timeout_ns`.
     pub fn new(expected_users: usize, idle_timeout_ns: u64) -> Self {
         TwoLevelTable {
-            primary: HashMap::with_capacity(1024.min(expected_users.max(16))),
-            secondary: HashMap::with_capacity(expected_users),
+            primary: HashMap::with_capacity_and_hasher(1024.min(expected_users.max(16)), Default::default()),
+            secondary: HashMap::with_capacity_and_hasher(expected_users, Default::default()),
             enabled: true,
             idle_timeout_ns,
             stats: TwoLevelStats::default(),
@@ -66,8 +105,8 @@ impl<V> TwoLevelTable<V> {
     /// comparison baseline.
     pub fn new_single(expected_users: usize) -> Self {
         TwoLevelTable {
-            primary: HashMap::with_capacity(expected_users),
-            secondary: HashMap::new(),
+            primary: HashMap::with_capacity_and_hasher(expected_users, Default::default()),
+            secondary: HashMap::default(),
             enabled: false,
             idle_timeout_ns: u64::MAX,
             stats: TwoLevelStats::default(),

@@ -293,7 +293,7 @@ impl HaCluster {
                     .slice(s)
                     .ctrl
                     .context_of(imsi)
-                    .map(|ctx| UserRecord { ctrl: ctx.ctrl.read().clone(), counters: ctx.counters.read().clone() });
+                    .map(|ctx| UserRecord { ctrl: ctx.ctrl_read().clone(), counters: ctx.counters() });
                 match user {
                     Some(u) => self.emit(k, ReplKind::CtrlSnapshot, imsi, Some(u)),
                     None => self.emit(k, ReplKind::CtrlDelete, imsi, None),
@@ -309,7 +309,7 @@ impl HaCluster {
             imsis.sort_unstable(); // HashMap order would break determinism
             for imsi in imsis {
                 if let Some(ctx) = self.cluster.node(k).slice(s).ctrl.context_of(imsi) {
-                    let u = UserRecord { ctrl: ctx.ctrl.read().clone(), counters: ctx.counters.read().clone() };
+                    let u = UserRecord { ctrl: ctx.ctrl_read().clone(), counters: ctx.counters() };
                     self.emit(k, ReplKind::CounterDelta, imsi, Some(u));
                 }
             }
@@ -399,7 +399,7 @@ mod tests {
         let node = c.cluster().node(k);
         let s = node.demux().slice_for_imsi(imsi).unwrap();
         let ctx = node.slice(s).ctrl.context_of(imsi).unwrap();
-        let g = ctx.ctrl.read();
+        let g = ctx.ctrl_read();
         (g.tunnels.gw_teid, g.ue_ip)
     }
 

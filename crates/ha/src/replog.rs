@@ -136,7 +136,7 @@ mod tests {
             seq: 1,
             tick: 3,
             imsi: ctrl.imsi,
-            user: Some(UserRecord { ctrl: ctrl.clone(), counters: counters.clone() }),
+            user: Some(UserRecord { ctrl: ctrl.clone(), counters }),
         };
         let back = decode(&encode(&rec)).unwrap();
         let user = back.user.unwrap();

@@ -106,7 +106,7 @@ impl SystemUnderTest for PepcSut {
         for &imsi in imsis {
             self.slice.handle_ctrl_event(CtrlEvent::Attach { imsi });
             let ctx = self.slice.ctrl.context_of(imsi).expect("attached");
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             keys.push(UserKeys { teid: c.tunnels.gw_teid, ue_ip: c.ue_ip });
             drop(c);
             // Give the UE a serving eNodeB so downlink works.
@@ -190,7 +190,7 @@ impl SystemUnderTest for HaSut {
             let node = self.ha.cluster().node(k);
             let s = node.demux().slice_for_imsi(imsi).expect("attached");
             let ctx = node.slice(s).ctrl.context_of(imsi).expect("attached");
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             keys.push(UserKeys { teid: c.tunnels.gw_teid, ue_ip: c.ue_ip });
         }
         let n = self.ha.cluster().node_count();

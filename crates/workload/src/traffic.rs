@@ -33,10 +33,77 @@ pub struct TrafficGen {
     enb_ip: u32,
     gw_ip: u32,
     generated: u64,
+    /// Prebuilt wire images: `[uplink, downlink]`. Per-packet generation
+    /// is one memcpy plus four field patches; see [`DirTemplate`].
+    templates: [DirTemplate; 2],
 }
 
 /// Headroom kept in recycled buffers (enough for one more outer stack).
 const GEN_HEADROOM: usize = 64;
+
+/// A fully emitted packet image for one direction with the per-user /
+/// per-packet fields located by sentinel scan at construction.
+///
+/// Only four things vary between packets of a direction: the user IP,
+/// the uplink TEID, the IP checksum covering the user IP, and the
+/// payload timestamp. Emitting headers per packet (two header emits, a
+/// full checksum, a GTP-U encap, and a zeroed payload buffer) costs more
+/// than the whole lock protocol under measurement, so the harness pays
+/// it once here and memcpy-patches afterwards. Packet bytes are
+/// identical to the emit path's output for the same user and timestamp.
+#[derive(Default)]
+struct DirTemplate {
+    bytes: Vec<u8>,
+    /// Offset of the 4-byte user IP (uplink: inner source; downlink:
+    /// destination). The template stores zero there.
+    user_off: usize,
+    /// Offset of the IPv4 checksum covering `user_off`.
+    csum_off: usize,
+    /// Checksum value with the user IP zeroed; the per-user checksum is
+    /// derived from it by one's-complement-adding the user IP words.
+    csum_base: u16,
+    /// Offset of the 8-byte payload timestamp.
+    ts_off: usize,
+    /// Offset of the GTP-U TEID (`usize::MAX` for downlink: no tunnel).
+    teid_off: usize,
+}
+
+/// RFC 1071 checksum over an IPv4 header slice (checksum field must be
+/// zeroed by the caller).
+fn ipv4_csum(h: &[u8]) -> u16 {
+    let mut s = 0u32;
+    for w in h.chunks(2) {
+        s += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    while s >> 16 != 0 {
+        s = (s & 0xFFFF) + (s >> 16);
+    }
+    !(s as u16)
+}
+
+fn find(hay: &[u8], needle: &[u8]) -> usize {
+    hay.windows(needle.len()).position(|w| w == needle).expect("sentinel present in emitted packet")
+}
+
+impl DirTemplate {
+    /// Locate the variable fields in an emitted sentinel packet and zero
+    /// the user field (rebasing the checksum accordingly).
+    fn from_sentinel(m: &Mbuf, ue_ip: u32, teid: Option<u32>, ts: u64, user_field_off: usize) -> Self {
+        let d = m.data();
+        let user_off = find(d, &ue_ip.to_be_bytes());
+        let ts_off = find(d, &ts.to_be_bytes());
+        let teid_off = teid.map_or(usize::MAX, |t| find(d, &t.to_be_bytes()));
+        // The user IP lives `user_field_off` bytes into its IPv4 header.
+        let hdr = user_off - user_field_off;
+        let csum_off = hdr + 10;
+        let mut bytes = d.to_vec();
+        bytes[user_off..user_off + 4].fill(0);
+        bytes[csum_off..csum_off + 2].fill(0);
+        let csum_base = ipv4_csum(&bytes[hdr..hdr + 20]);
+        bytes[csum_off..csum_off + 2].copy_from_slice(&csum_base.to_be_bytes());
+        DirTemplate { bytes, user_off, csum_off, csum_base, ts_off, teid_off }
+    }
+}
 
 impl TrafficGen {
     /// A generator over `users`, with the default Table 2 mix and sizes.
@@ -47,7 +114,7 @@ impl TrafficGen {
         // 64 B plain IP. Inner payloads are what remains after headers.
         let uplink_payload = Defaults::UPLINK_PACKET_BYTES - pepc_net::gtp::GTPU_OVERHEAD - IPV4_HDR_LEN - UDP_HDR_LEN;
         let downlink_payload = Defaults::DOWNLINK_PACKET_BYTES - IPV4_HDR_LEN - UDP_HDR_LEN;
-        TrafficGen {
+        let mut g = TrafficGen {
             users,
             ul,
             dl,
@@ -59,7 +126,22 @@ impl TrafficGen {
             enb_ip: Defaults::ENB_IP,
             gw_ip: Defaults::GW_IP,
             generated: 0,
-        }
+            templates: Default::default(),
+        };
+        // Emit one sentinel packet per direction and lift the wire
+        // images into patchable templates. The sentinels are values
+        // guaranteed not to collide with the constant header fields.
+        let s = UserKeys { teid: 0xA5A5_5A5A, ue_ip: 0x5AA5_A55A };
+        const TS: u64 = 0xDEAD_C0DE_1234_5678;
+        let up = g.emit_uplink(s, TS);
+        // The user IP is the inner source (offset 12 in its header).
+        g.templates[0] = DirTemplate::from_sentinel(&up, s.ue_ip, Some(s.teid), TS, 12);
+        g.recycle(up);
+        let down = g.emit_downlink(s, TS);
+        // The user IP is the destination (offset 16 in its header).
+        g.templates[1] = DirTemplate::from_sentinel(&down, s.ue_ip, None, TS, 16);
+        g.recycle(down);
+        g
     }
 
     /// Override the UL:DL mix (e.g. (1, 3) for Industrial#2 comparisons
@@ -117,14 +199,28 @@ impl TrafficGen {
         self.mix_pos = (self.mix_pos + 1) % (self.ul + self.dl);
         self.generated += 1;
         let user = self.next_user();
-        if pos < self.ul {
-            self.uplink(user, now_ns)
-        } else {
-            self.downlink(user, now_ns)
+        let dir = usize::from(pos >= self.ul);
+        let mut m = self.buffer();
+        let t = &self.templates[dir];
+        m.extend(&t.bytes);
+        let d = m.data_mut();
+        d[t.user_off..t.user_off + 4].copy_from_slice(&user.ue_ip.to_be_bytes());
+        if t.teid_off != usize::MAX {
+            d[t.teid_off..t.teid_off + 4].copy_from_slice(&user.teid.to_be_bytes());
         }
+        // One's-complement-add the user IP into the zero-user-field base
+        // checksum (RFC 1624); identical to recomputing from scratch.
+        let mut s = u32::from(!t.csum_base) + (user.ue_ip >> 16) + (user.ue_ip & 0xFFFF);
+        s = (s & 0xFFFF) + (s >> 16);
+        s = (s & 0xFFFF) + (s >> 16);
+        d[t.csum_off..t.csum_off + 2].copy_from_slice(&(!(s as u16)).to_be_bytes());
+        d[t.ts_off..t.ts_off + 8].copy_from_slice(&now_ns.to_be_bytes());
+        m
     }
 
-    fn uplink(&mut self, user: UserKeys, now_ns: u64) -> Mbuf {
+    /// Emit-path uplink builder (template construction and tests; the
+    /// hot path uses the patched template instead).
+    fn emit_uplink(&mut self, user: UserKeys, now_ns: u64) -> Mbuf {
         let mut m = self.buffer();
         let payload_len = self.uplink_payload;
         let mut hdr = [0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
@@ -140,7 +236,8 @@ impl TrafficGen {
         m
     }
 
-    fn downlink(&mut self, user: UserKeys, now_ns: u64) -> Mbuf {
+    /// Emit-path downlink builder (template construction and tests).
+    fn emit_downlink(&mut self, user: UserKeys, now_ns: u64) -> Mbuf {
         let mut m = self.buffer();
         let payload_len = self.downlink_payload;
         let mut hdr = [0u8; IPV4_HDR_LEN + UDP_HDR_LEN];

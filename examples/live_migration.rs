@@ -41,7 +41,7 @@ fn main() {
 
     let ctx = node.slice(home).ctrl.context_of(imsi).unwrap();
     let (teid, ue_ip) = {
-        let c = ctx.ctrl.read();
+        let c = ctx.ctrl_read();
         (c.tunnels.gw_teid, c.ue_ip)
     };
     drop(ctx);

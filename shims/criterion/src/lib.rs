@@ -38,8 +38,9 @@ pub struct Bencher {
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Calibrate: grow the batch until it runs long enough to time.
+        // The calibration batches double as cache/branch warmup.
         let mut batch = 1u64;
-        let target = Duration::from_millis(20);
+        let target = Duration::from_millis(40);
         loop {
             let start = Instant::now();
             for _ in 0..batch {
@@ -47,7 +48,6 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             if elapsed >= target || batch >= 1 << 30 {
-                self.last_ns = elapsed.as_nanos() as f64 / batch as f64;
                 break;
             }
             batch = batch.saturating_mul(if elapsed.is_zero() {
@@ -56,6 +56,23 @@ impl Bencher {
                 (target.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
             });
         }
+        // Measure: median of several samples. A single ~20ms sample is
+        // hostage to scheduler interference (especially with a
+        // contention thread running); the median keeps sustained effects
+        // (real blocking) while shedding one-off outliers. Not min-of-N:
+        // that would hide exactly the contention cost the lock benches
+        // exist to measure.
+        const SAMPLES: usize = 11;
+        let mut ns = [0.0f64; SAMPLES];
+        for s in &mut ns {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            *s = start.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = ns[SAMPLES / 2];
     }
 }
 

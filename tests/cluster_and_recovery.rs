@@ -35,7 +35,7 @@ fn keys_of(c: &mut Cluster, imsi: u64) -> (u32, u32) {
     let node = c.node(k);
     let s = node.demux().slice_for_imsi(imsi).unwrap();
     let ctx = node.slice(s).ctrl.context_of(imsi).unwrap();
-    let g = ctx.ctrl.read();
+    let g = ctx.ctrl_read();
     (g.tunnels.gw_teid, g.ue_ip)
 }
 
@@ -83,7 +83,7 @@ fn checkpoint_restore_survives_node_failure() {
         node.ctrl_event(CtrlEvent::S1Handover { imsi, new_enb_teid: 0xE000 + imsi as u32, new_enb_ip: 0xC0A8_0001 });
         let k = node.demux().slice_for_imsi(imsi).unwrap();
         let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
-        let c = ctx.ctrl.read();
+        let c = ctx.ctrl_read();
         keys.push((c.tunnels.gw_teid, c.ue_ip));
     }
     // Traffic accumulates charging state.
@@ -111,7 +111,7 @@ fn checkpoint_restore_survives_node_failure() {
     for k in 0..2 {
         for imsi in recovered.slice(k).ctrl.imsis() {
             let ctx = recovered.slice(k).ctrl.context_of(imsi).unwrap();
-            let c = ctx.ctrl.read();
+            let c = ctx.ctrl_read();
             let (teid, ue_ip) = (c.tunnels.gw_teid, c.ue_ip);
             drop(c);
             recovered.demux_mut_for_recovery(imsi, teid, ue_ip, k);

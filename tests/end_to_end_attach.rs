@@ -160,7 +160,7 @@ fn pcef_rules_from_pcrf_drive_qos_classing() {
     // set was installed at attach; verify the user's rule list is wired.
     let k = node.demux().slice_for_imsi(imsi).unwrap();
     let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
-    assert!(!ctx.ctrl.read().pcef_rules.is_empty());
+    assert!(!ctx.ctrl_read().pcef_rules.is_empty());
     drop(ctx);
     let mut up = udp_packet(ue_ip, 0x0808_0808, 5060, b"INVITE");
     encap_gtpu(&mut up, 0xC0A8_0001, node.config().gw_ip, gw_teid).unwrap();

@@ -56,7 +56,7 @@ fn ctrl_state_of(ha: &mut HaCluster, node: usize, imsi: u64) -> Option<ControlSt
     let n = ha.cluster().node(node);
     let s = n.demux().slice_for_imsi(imsi)?;
     let ctx = n.slice(s).ctrl.context_of(imsi)?;
-    let state = ctx.ctrl.read().clone();
+    let state = ctx.ctrl_read().clone();
     Some(state)
 }
 

@@ -30,7 +30,7 @@ fn node(slices: usize) -> PepcNode {
 fn keys_of(node: &mut PepcNode, imsi: u64) -> (u32, u32) {
     let k = node.demux().slice_for_imsi(imsi).unwrap();
     let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
-    let c = ctx.ctrl.read();
+    let c = ctx.ctrl_read();
     (c.tunnels.gw_teid, c.ue_ip)
 }
 
@@ -67,7 +67,7 @@ fn close_dns_gate(node: &mut PepcNode, imsi: u64) {
         0,
     );
     let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
-    ctx.ctrl.write().pcef_rules.push(100);
+    ctx.ctrl_write().pcef_rules.push(100);
 }
 
 /// Drive one seeded mixed workload (valid uplink/downlink, gated flows,

@@ -23,7 +23,7 @@ fn uplink(node: &mut PepcNode, imsi: u64) -> Mbuf {
     let k = node.demux().slice_for_imsi(imsi).unwrap();
     let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
     let (teid, ue_ip) = {
-        let c = ctx.ctrl.read();
+        let c = ctx.ctrl_read();
         (c.tunnels.gw_teid, c.ue_ip)
     };
     drop(ctx);

@@ -376,6 +376,55 @@ proptest! {
     }
 
     #[test]
+    fn counter_cell_publish_read_roundtrips_exactly(
+        fields in proptest::collection::vec(any::<u64>(), 8..9),
+    ) {
+        // An arbitrary CounterState pushed through the seqlock cell must
+        // come back bit-identical — publish/read is a pure round-trip.
+        use pepc::state::{CounterState, UeContext};
+        let ctx = UeContext::new(ControlState::new(1));
+        let c = CounterState {
+            uplink_packets: fields[0],
+            uplink_bytes: fields[1],
+            downlink_packets: fields[2],
+            downlink_bytes: fields[3],
+            qos_drops: fields[4],
+            last_activity_ns: fields[5],
+            ambr_tokens: fields[6],
+            ambr_last_refill_ns: fields[7],
+        };
+        ctx.publish_counters(c);
+        prop_assert_eq!(ctx.counters(), c);
+        let (again, retries) = ctx.counters_with_retries();
+        prop_assert_eq!(again, c);
+        prop_assert_eq!(retries, 0, "uncontended read never retries");
+    }
+
+    #[test]
+    fn ctrl_view_always_equals_lock_projection(
+        muts in proptest::collection::vec((0u8..5, any::<u32>()), 0..40),
+    ) {
+        // After any sequence of control-plane mutations (each through the
+        // publishing write guard), the lock-free view must equal what the
+        // RwLock-era reader would have projected from the locked state.
+        use pepc::state::{CtrlView, UeContext};
+        let ctx = UeContext::new(ControlState::new(9));
+        for (which, v) in muts {
+            {
+                let mut g = ctx.ctrl_write();
+                match which {
+                    0 => g.tunnels.enb_teid = v,
+                    1 => g.tunnels.enb_ip = v,
+                    2 => g.qos.ambr_kbps = v,
+                    3 => g.qos.qci = v as u8,
+                    _ => g.pcef_rules.push(v as u16),
+                }
+            }
+            prop_assert_eq!(ctx.ctrl_view(), CtrlView::project(&ctx.ctrl_read()));
+        }
+    }
+
+    #[test]
     fn pepc_store_counters_are_exact(
         visits in proptest::collection::vec((0u64..8, any::<bool>(), 1u64..1500), 0..200),
     ) {
