@@ -77,7 +77,7 @@ impl Cluster {
         let names: Vec<String> = (0..n).map(|k| format!("pepc-node-{k}")).collect();
         Cluster {
             nodes,
-            lb: Maglev::new(&names, 65537),
+            lb: Maglev::new(&names, template.lb_table_size),
             virtual_ip,
             dead: vec![false; n],
             redirect_teid: HashMap::new(),
@@ -243,6 +243,18 @@ impl Cluster {
     /// Access one node (tests, harnesses, migration orchestration).
     pub fn node(&mut self, k: usize) -> &mut PepcNode {
         &mut self.nodes[k]
+    }
+
+    /// Immutable access to one node (oracles, inspection).
+    pub fn node_ref(&self, k: usize) -> &PepcNode {
+        &self.nodes[k]
+    }
+
+    /// Substitute the clock on every node (simulation harness).
+    pub fn set_clock(&mut self, clock: pepc_fabric::Clock) {
+        for n in &mut self.nodes {
+            n.set_clock(clock);
+        }
     }
 
     /// Total attached users across nodes.

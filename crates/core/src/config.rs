@@ -114,6 +114,11 @@ pub struct EpcConfig {
     pub slice: SliceConfig,
     /// Number of slices to instantiate.
     pub slices: usize,
+    /// Cluster load-balancer (Maglev) table size; must be prime and
+    /// exceed the node count. Maglev's §3.4 recommends ≥ 100× the
+    /// backend count for even spread; the deterministic simulator uses a
+    /// small prime since it builds thousands of clusters per test run.
+    pub lb_table_size: usize,
 }
 
 impl Default for EpcConfig {
@@ -126,6 +131,7 @@ impl Default for EpcConfig {
             plmn: 40401,
             slice: SliceConfig::default(),
             slices: 1,
+            lb_table_size: 65537,
         }
     }
 }

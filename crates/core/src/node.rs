@@ -18,6 +18,7 @@ use crate::migrate::UserSnapshot;
 use crate::proxy::Proxy;
 use crate::slice::Slice;
 use pepc_backend::{Hss, Pcrf};
+use pepc_fabric::Clock;
 use pepc_net::Mbuf;
 use pepc_sigproto::s1ap::S1apPdu;
 use pepc_telemetry::{LatencyHistogram, MetricsSnapshot};
@@ -51,6 +52,8 @@ pub struct PepcNode {
     /// Per-user migration latency (park→drain), indexed by target slice —
     /// migration is a node procedure, so the node owns its histogram.
     migration_ns: Vec<LatencyHistogram>,
+    /// Clock the node stamps migration latencies with (virtual under sim).
+    clock: Clock,
 }
 
 impl PepcNode {
@@ -67,7 +70,25 @@ impl PepcNode {
             slices.push(Slice::new(&slice_cfg, config.gw_ip, config.tac, alloc, proxy.clone()));
         }
         let migration_ns = vec![LatencyHistogram::new(); config.slices];
-        PepcNode { config, slices, demux: Demux::new(), proxy, migration_out: Vec::new(), migration_ns }
+        PepcNode {
+            config,
+            slices,
+            demux: Demux::new(),
+            proxy,
+            migration_out: Vec::new(),
+            migration_ns,
+            clock: Clock::new(),
+        }
+    }
+
+    /// Substitute the clock for this node and all its slices (the
+    /// simulator installs a shared virtual clock so node time only moves
+    /// when the harness advances it).
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+        for s in &mut self.slices {
+            s.set_clock(clock);
+        }
     }
 
     /// The identifier region slice `k` allocates from (24 bits ≈ 16M users
@@ -257,7 +278,7 @@ impl PepcNode {
         if source == target || target >= self.slices.len() {
             return false;
         }
-        let t0 = std::time::Instant::now();
+        let t0 = self.clock.now_ns();
         // 1. Park subsequent packets.
         self.demux.begin_migration(imsi);
         // 2. Extract from the source slice (control thread removes its
@@ -277,7 +298,7 @@ impl PepcNode {
         // 4. Repoint the Demux and drain the parked packets to the target.
         let parked = self.demux.finish_migration(imsi, gw_teid, ue_ip, target);
         self.requeue(target, parked);
-        self.migration_ns[target].record(t0.elapsed().as_nanos() as u64);
+        self.migration_ns[target].record(self.clock.now_ns().saturating_sub(t0));
         true
     }
 
@@ -297,6 +318,11 @@ impl PepcNode {
     /// Direct access to a slice (harness / test hook).
     pub fn slice(&mut self, k: usize) -> &mut Slice {
         &mut self.slices[k]
+    }
+
+    /// Immutable access to a slice (oracles, inspection).
+    pub fn slice_ref(&self, k: usize) -> &Slice {
+        &self.slices[k]
     }
 
     /// Number of slices.

@@ -121,6 +121,13 @@ impl Slice {
         self.clock.now_ns()
     }
 
+    /// Substitute the clock every timestamp in this slice reads (update
+    /// stamping, QoS refill, inactivity) — the simulator installs a
+    /// virtual clock here so slice time only moves when it is advanced.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
     /// Apply a synthetic control event and queue the resulting updates.
     pub fn handle_ctrl_event(&mut self, ev: CtrlEvent) -> bool {
         let ok = self.ctrl.apply_event(ev);

@@ -410,6 +410,12 @@ impl UeContext {
         self.view.version()
     }
 
+    /// Sequence number of the counter cell (two per publish; the
+    /// simulator's seqlock-monotonicity oracle reads this).
+    pub fn counters_version(&self) -> u64 {
+        self.counters.version()
+    }
+
     // -- counter half ---------------------------------------------------------
 
     /// Consistent snapshot of the counters. For the owning data thread

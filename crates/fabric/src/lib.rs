@@ -30,7 +30,7 @@ pub mod port;
 pub mod ring;
 pub mod wire;
 
-pub use clock::{Clock, LatencyHistogram, RateMeter};
+pub use clock::{Clock, LatencyHistogram, RateMeter, VirtualClock};
 pub use exec::{CoreId, Worker};
 pub use maglev::Maglev;
 pub use pcap::PcapWriter;

@@ -1,17 +1,30 @@
 //! Wires: pumps that move packets between ports with optional fault
-//! injection (drop / corrupt / rate-limit), mirroring the fault-injection
-//! discipline of the smoltcp examples (`--drop-chance`, `--corrupt-chance`,
-//! `--tx-rate-limit`).
+//! injection (drop / corrupt / reorder / delay / duplicate / rate-limit),
+//! mirroring the fault-injection discipline of the smoltcp examples
+//! (`--drop-chance`, `--corrupt-chance`, `--tx-rate-limit`).
 //!
 //! A [`Wire`] is driven explicitly by calling [`Wire::pump`]; tests and the
 //! traffic generator call it from their poll loops, keeping the whole
 //! fabric deterministic and single-threaded unless threads are wanted.
+//!
+//! Beyond the probabilistic [`FaultSpec`] faults, a wire models two
+//! link-level conditions directly:
+//!
+//! * [`Wire::sever`] — a permanent cut (crashed NIC): everything queued
+//!   or in flight is lost, forever;
+//! * [`Wire::set_partitioned`] — a reversible partition: nothing moves
+//!   while partitioned, but frames stay queued at the source and in the
+//!   delay line, and flow again after a heal. Senders whose queue fills
+//!   during a long partition lose frames exactly as a real NIC ring
+//!   overflows.
 
+use crate::clock::Clock;
 use crate::port::Port;
 use pepc_net::Mbuf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::collections::VecDeque;
+use std::time::Duration;
 
 /// Fault-injection configuration for a wire.
 #[derive(Debug, Clone)]
@@ -23,6 +36,13 @@ pub struct FaultSpec {
     /// Probability in [0,1] that a packet is swapped with its successor
     /// within the same pumped burst (adjacent reordering).
     pub reorder_chance: f64,
+    /// Probability in [0,1] that a packet is delivered twice (the copy is
+    /// injected immediately after the original).
+    pub duplicate_chance: f64,
+    /// Fixed latency, in pump calls: every packet sits in the wire's
+    /// delay line for this many pumps before it becomes deliverable
+    /// (0 = same-pump delivery, the historical behaviour).
+    pub delay_pumps: u32,
     /// Token-bucket rate limit in packets per refill interval;
     /// `None` = unlimited.
     pub rate_limit: Option<u32>,
@@ -38,6 +58,8 @@ impl Default for FaultSpec {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
             reorder_chance: 0.0,
+            duplicate_chance: 0.0,
+            delay_pumps: 0,
             rate_limit: None,
             shaping_interval: Duration::from_millis(50),
             seed: 0x5EED,
@@ -59,6 +81,11 @@ pub struct WireStats {
     pub dropped: u64,
     pub corrupted: u64,
     pub reordered: u64,
+    /// Extra copies injected by duplication (each counted in `forwarded`
+    /// too, if delivered).
+    pub duplicated: u64,
+    /// Packets that spent at least one pump in the delay line.
+    pub delayed: u64,
     pub rate_limited: u64,
 }
 
@@ -69,10 +96,16 @@ pub struct Wire {
     spec: FaultSpec,
     rng: StdRng,
     tokens: u32,
-    last_refill: Instant,
+    clock: Clock,
+    last_refill_ns: u64,
     stats: WireStats,
     scratch: Vec<Mbuf>,
+    /// In-flight packets: `(due_pump, frame)`, FIFO by intake order.
+    delay_line: VecDeque<(u64, Mbuf)>,
+    /// Pump calls so far; the time base of the delay line.
+    pump_seq: u64,
     severed: bool,
+    partitioned: bool,
 }
 
 impl Wire {
@@ -84,25 +117,40 @@ impl Wire {
     pub fn new(from: Port, to: Port, spec: FaultSpec) -> Self {
         let tokens = spec.rate_limit.unwrap_or(u32::MAX);
         let rng = StdRng::seed_from_u64(spec.seed);
+        let clock = Clock::new();
         Wire {
             from,
             to,
             spec,
             rng,
             tokens,
-            last_refill: Instant::now(),
+            last_refill_ns: clock.now_ns(),
+            clock,
             stats: WireStats::default(),
             scratch: Vec::with_capacity(64),
+            delay_line: VecDeque::new(),
+            pump_seq: 0,
             severed: false,
+            partitioned: false,
         }
     }
 
+    /// Substitute the clock the token-bucket shaper reads (a virtual
+    /// clock makes rate-limit refills deterministic under simulation).
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.last_refill_ns = clock.now_ns();
+        self.clock = clock;
+    }
+
     /// Permanently cut the wire: everything pumped from now on — including
-    /// frames already queued at the source — is counted as dropped. This is
-    /// how fault injection models a node crash or network partition, as
-    /// opposed to the probabilistic losses of [`FaultSpec`].
+    /// frames already queued at the source or sitting in the delay line —
+    /// is counted as dropped. This is how fault injection models a node
+    /// crash, as opposed to the probabilistic losses of [`FaultSpec`] or a
+    /// healable [`Wire::set_partitioned`] partition.
     pub fn sever(&mut self) {
         self.severed = true;
+        self.stats.dropped += self.delay_line.len() as u64;
+        self.delay_line.clear();
     }
 
     /// Whether [`Wire::sever`] has been called.
@@ -110,8 +158,36 @@ impl Wire {
         self.severed
     }
 
-    /// Move up to `max` packets across the wire, applying faults.
-    /// Returns how many packets were forwarded.
+    /// Partition (`true`) or heal (`false`) the wire. While partitioned a
+    /// pump moves nothing: frames wait at the source and in the delay
+    /// line, and resume flowing after the heal — late, but intact.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.partitioned = on;
+    }
+
+    /// Whether the wire is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Update the fault parameters mid-run (scenario DSL hook). The RNG
+    /// stream and accumulated stats are preserved; the token bucket is
+    /// re-armed if the rate limit changed.
+    pub fn set_fault_spec(&mut self, spec: FaultSpec) {
+        if spec.rate_limit != self.spec.rate_limit {
+            self.tokens = spec.rate_limit.unwrap_or(u32::MAX);
+        }
+        self.spec = spec;
+    }
+
+    /// The current fault parameters.
+    pub fn fault_spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Move packets across the wire, applying faults. At most `max`
+    /// packets are taken in from the source and at most `max` delivered
+    /// from the delay line. Returns how many packets were forwarded.
     pub fn pump(&mut self, max: usize) -> usize {
         if self.severed {
             self.scratch.clear();
@@ -120,12 +196,19 @@ impl Wire {
             self.scratch.clear();
             return 0;
         }
+        if self.partitioned {
+            return 0;
+        }
+        self.pump_seq += 1;
         if let Some(limit) = self.spec.rate_limit {
-            if self.last_refill.elapsed() >= self.spec.shaping_interval {
+            let now = self.clock.now_ns();
+            if now.saturating_sub(self.last_refill_ns) >= self.spec.shaping_interval.as_nanos() as u64 {
                 self.tokens = limit;
-                self.last_refill = Instant::now();
+                self.last_refill_ns = now;
             }
         }
+        // Intake: pull a burst off the source, reorder within it, then
+        // append to the delay line stamped with its delivery pump.
         self.scratch.clear();
         self.from.rx_burst(&mut self.scratch, max);
         if self.spec.reorder_chance > 0.0 && self.scratch.len() > 1 {
@@ -136,8 +219,21 @@ impl Wire {
                 }
             }
         }
+        let due = self.pump_seq + u64::from(self.spec.delay_pumps);
+        for m in self.scratch.drain(..) {
+            if self.spec.delay_pumps > 0 {
+                self.stats.delayed += 1;
+            }
+            self.delay_line.push_back((due, m));
+        }
+        // Delivery: everything whose due pump has arrived, oldest first.
         let mut forwarded = 0;
-        for mut m in self.scratch.drain(..) {
+        while forwarded < max {
+            match self.delay_line.front() {
+                Some(&(d, _)) if d <= self.pump_seq => {}
+                _ => break,
+            }
+            let (_, mut m) = self.delay_line.pop_front().expect("checked front");
             if self.spec.rate_limit.is_some() {
                 if self.tokens == 0 {
                     self.stats.rate_limited += 1;
@@ -154,12 +250,25 @@ impl Wire {
                 m.data_mut()[idx] ^= 0xFF;
                 self.stats.corrupted += 1;
             }
+            let dup =
+                if self.spec.duplicate_chance > 0.0 { self.rng.gen_bool(self.spec.duplicate_chance) } else { false };
+            if dup {
+                self.stats.duplicated += 1;
+                if self.to.tx(m.clone()) {
+                    forwarded += 1;
+                }
+            }
             if self.to.tx(m) {
                 forwarded += 1;
             }
         }
         self.stats.forwarded += forwarded as u64;
         forwarded
+    }
+
+    /// Packets currently sitting in the delay line (in flight).
+    pub fn in_flight(&self) -> usize {
+        self.delay_line.len()
     }
 
     /// Accumulated statistics.
@@ -244,6 +353,29 @@ mod tests {
     }
 
     #[test]
+    fn rate_limit_refills_on_a_virtual_clock() {
+        let v = crate::clock::VirtualClock::new();
+        let (mut src, mut wire, _sink) =
+            rig(FaultSpec { rate_limit: Some(10), shaping_interval: Duration::from_millis(1), ..FaultSpec::default() });
+        wire.set_clock(v.clock());
+        let feed = |src: &mut Port| {
+            for _ in 0..30 {
+                src.tx(Mbuf::new());
+            }
+        };
+        feed(&mut src);
+        wire.pump(100);
+        assert_eq!(wire.stats().forwarded, 10, "first interval's tokens");
+        feed(&mut src);
+        wire.pump(100);
+        assert_eq!(wire.stats().forwarded, 10, "no refill until virtual time moves");
+        v.advance_ns(1_000_000);
+        feed(&mut src);
+        wire.pump(100);
+        assert_eq!(wire.stats().forwarded, 20, "refill after one virtual interval");
+    }
+
+    #[test]
     fn seeded_faults_are_reproducible() {
         let run = || {
             let (mut src, mut wire, _sink) = rig(FaultSpec { drop_chance: 0.3, seed: 42, ..FaultSpec::default() });
@@ -294,6 +426,23 @@ mod tests {
     }
 
     #[test]
+    fn sever_loses_the_delay_line_too() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { delay_pumps: 5, ..FaultSpec::default() });
+        for _ in 0..4 {
+            src.tx(Mbuf::new());
+        }
+        wire.pump(100); // intake only; nothing due for 5 pumps
+        assert_eq!(wire.in_flight(), 4);
+        wire.sever();
+        assert_eq!(wire.in_flight(), 0);
+        assert_eq!(wire.stats().dropped, 4, "in-flight frames die with the wire");
+        wire.pump(100);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 100);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn pump_respects_max() {
         let (mut src, mut wire, _sink) = rig(FaultSpec::none());
         for _ in 0..100 {
@@ -302,5 +451,116 @@ mod tests {
         assert_eq!(wire.pump(30), 30);
         assert_eq!(wire.pump(30), 30);
         assert_eq!(wire.pump(100), 40);
+    }
+
+    #[test]
+    fn delay_holds_packets_for_exactly_n_pumps() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { delay_pumps: 3, ..FaultSpec::default() });
+        src.tx(Mbuf::from_payload(&[1]));
+        assert_eq!(wire.pump(10), 0, "pump 1: intake, due at pump 4");
+        src.tx(Mbuf::from_payload(&[2]));
+        assert_eq!(wire.pump(10), 0, "pump 2: second intake, due at pump 5");
+        assert_eq!(wire.pump(10), 0, "pump 3");
+        assert_eq!(wire.in_flight(), 2);
+        assert_eq!(wire.pump(10), 1, "pump 4: first packet due");
+        assert_eq!(wire.pump(10), 1, "pump 5: second packet due");
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].data(), &[1], "delay preserves order");
+        assert_eq!(out[1].data(), &[2]);
+        let s = wire.stats();
+        assert_eq!(s.delayed, 2);
+        assert_eq!(s.forwarded, 2);
+    }
+
+    #[test]
+    fn delayed_wire_conserves_packets() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { delay_pumps: 2, ..FaultSpec::default() });
+        for i in 0..50u8 {
+            src.tx(Mbuf::from_payload(&[i]));
+        }
+        let mut total = 0;
+        for _ in 0..60 {
+            total += wire.pump(8);
+        }
+        assert_eq!(total, 50);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 100);
+        let seen: Vec<u8> = out.iter().map(|m| m.data()[0]).collect();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>(), "delay alone never reorders");
+    }
+
+    #[test]
+    fn duplicate_delivers_the_copy_adjacent_to_the_original() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec { duplicate_chance: 1.0, ..FaultSpec::default() });
+        for i in 0..5u8 {
+            src.tx(Mbuf::from_payload(&[i]));
+        }
+        let n = wire.pump(100);
+        assert_eq!(n, 10, "every packet delivered twice");
+        let s = wire.stats();
+        assert_eq!(s.duplicated, 5);
+        assert_eq!(s.forwarded, 10);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 100);
+        let seen: Vec<u8> = out.iter().map(|m| m.data()[0]).collect();
+        assert_eq!(seen, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn duplicate_chance_is_seeded_and_partial() {
+        let run = || {
+            let (mut src, mut wire, _sink) = rig(FaultSpec { duplicate_chance: 0.4, seed: 11, ..FaultSpec::default() });
+            for _ in 0..500 {
+                src.tx(Mbuf::new());
+            }
+            wire.pump(2000);
+            wire.stats()
+        };
+        let s = run();
+        assert!((100..300).contains(&(s.duplicated as usize)), "duplicated {}", s.duplicated);
+        assert_eq!(s.forwarded, 500 + s.duplicated);
+        assert_eq!(run(), s, "same seed, same duplications");
+    }
+
+    #[test]
+    fn partition_freezes_and_heal_releases() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec::none());
+        for i in 0..10u8 {
+            src.tx(Mbuf::from_payload(&[i]));
+        }
+        wire.set_partitioned(true);
+        assert!(wire.is_partitioned());
+        assert_eq!(wire.pump(100), 0);
+        assert_eq!(wire.pump(100), 0);
+        assert_eq!(wire.stats().forwarded, 0);
+        assert_eq!(wire.stats().dropped, 0, "partition loses nothing by itself");
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 100);
+        assert!(out.is_empty(), "nothing crosses a partitioned wire");
+
+        wire.set_partitioned(false);
+        assert_eq!(wire.pump(100), 10, "queued frames flow after the heal");
+        sink.rx_burst(&mut out, 100);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[3].data(), &[3], "order preserved across the partition");
+    }
+
+    #[test]
+    fn set_fault_spec_midstream_changes_behaviour() {
+        let (mut src, mut wire, mut sink) = rig(FaultSpec::none());
+        src.tx(Mbuf::from_payload(&[1]));
+        assert_eq!(wire.pump(10), 1);
+        wire.set_fault_spec(FaultSpec { drop_chance: 1.0, ..FaultSpec::default() });
+        src.tx(Mbuf::from_payload(&[2]));
+        assert_eq!(wire.pump(10), 0);
+        assert_eq!(wire.stats().dropped, 1);
+        wire.set_fault_spec(FaultSpec::none());
+        src.tx(Mbuf::from_payload(&[3]));
+        assert_eq!(wire.pump(10), 1);
+        let mut out = Vec::new();
+        sink.rx_burst(&mut out, 10);
+        assert_eq!(out.len(), 2);
     }
 }

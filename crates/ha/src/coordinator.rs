@@ -184,21 +184,52 @@ impl HaCluster {
     /// Advance one tick: emit periodic replication (counter deltas,
     /// heartbeat), pump every wire into the standby, run the detector, and
     /// fail over any node it declared dead.
+    ///
+    /// This is a fixed composition of the stepwise API below; the
+    /// deterministic simulator drives the four phases individually so a
+    /// seeded scheduler can explore their interleavings.
     pub fn tick(&mut self) {
+        self.advance_tick();
+        for k in 0..self.cluster.node_count() {
+            self.emit_periodic(k);
+        }
+        for k in 0..self.cluster.node_count() {
+            self.pump_wire(k);
+        }
+        self.run_detector();
+    }
+
+    // -- stepwise tick phases (simulation hooks) -------------------------------
+
+    /// Phase 1 of a tick: advance the logical clock. Returns the new tick.
+    pub fn advance_tick(&mut self) -> u64 {
         self.tick += 1;
-        for k in 0..self.cluster.node_count() {
-            if self.killed[k] || self.cluster.is_dead(k) {
-                continue;
-            }
-            self.replicate_dirty(k);
-            if self.tick.is_multiple_of(self.cfg.counter_interval) {
-                self.emit_counter_deltas(k);
-            }
-            self.emit(k, ReplKind::Heartbeat, 0, None);
+        self.tick
+    }
+
+    /// Phase 2 of a tick, per node: emit node `k`'s periodic replication —
+    /// dirty-user snapshots, counter deltas when the interval divides the
+    /// tick, and a heartbeat. No-op for killed or dead nodes.
+    pub fn emit_periodic(&mut self, k: usize) {
+        if self.killed[k] || self.cluster.is_dead(k) {
+            return;
         }
-        for k in 0..self.cluster.node_count() {
-            self.pump_node(k);
+        self.replicate_dirty(k);
+        if self.tick.is_multiple_of(self.cfg.counter_interval) {
+            self.emit_counter_deltas(k);
         }
+        self.emit(k, ReplKind::Heartbeat, 0, None);
+    }
+
+    /// Phase 3 of a tick, per node: pump node `k`'s replication wire and
+    /// ingest whatever reached the standby.
+    pub fn pump_wire(&mut self, k: usize) {
+        self.pump_node(k);
+    }
+
+    /// Phase 4 of a tick: advance the failure detector and fail over any
+    /// node it just declared dead.
+    pub fn run_detector(&mut self) {
         let transitions = self.detector.tick(self.tick);
         for (k, health) in transitions {
             if health == NodeHealth::Dead {
@@ -237,6 +268,36 @@ impl HaCluster {
         &mut self.cluster
     }
 
+    /// Immutable view of the wrapped cluster (oracles, inspection).
+    pub fn cluster_ref(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Whether the harness crashed node `k`.
+    pub fn is_killed(&self, k: usize) -> bool {
+        self.killed[k]
+    }
+
+    /// The configured counter-delta interval (staleness bound on a clean
+    /// wire).
+    pub fn counter_interval(&self) -> u64 {
+        self.cfg.counter_interval
+    }
+
+    /// Node `k`'s replication wire (fault-scenario control: partition,
+    /// heal, mid-run `FaultSpec` changes).
+    pub fn wire_mut(&mut self, k: usize) -> &mut Wire {
+        &mut self.wires[k]
+    }
+
+    /// Substitute the clock on every node and wire (simulation harness).
+    pub fn set_clock(&mut self, clock: pepc_fabric::Clock) {
+        self.cluster.set_clock(clock);
+        for w in &mut self.wires {
+            w.set_clock(clock);
+        }
+    }
+
     /// Current coordinator tick.
     pub fn now(&self) -> u64 {
         self.tick
@@ -262,6 +323,8 @@ impl HaCluster {
                     dropped: s.dropped,
                     corrupted: s.corrupted,
                     reordered: s.reordered,
+                    duplicated: s.duplicated,
+                    delayed: s.delayed,
                     rate_limited: s.rate_limited,
                 }
             })

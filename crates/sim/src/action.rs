@@ -1,0 +1,51 @@
+//! The schedule alphabet: every step the simulator can take is one
+//! [`Action`], and a full run is nothing but the sequence of actions the
+//! seeded scheduler picked. Traces serialize this sequence, replay
+//! re-applies it verbatim, and shrinking deletes subsequences of it.
+//!
+//! The serde shim only derives unit-variant enums, so an action is a
+//! `(kind, arg)` pair rather than an enum with payloads: `arg` is the
+//! node index for `Emit`/`Pump`, the workload-op index for `Workload`,
+//! and the chaos-command index for `Chaos` (indices stay stable when the
+//! shrinker deletes *other* actions, which is what makes shrunk traces
+//! replayable).
+
+use serde::{Deserialize, Serialize};
+
+/// What one scheduler step does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Advance the virtual clock and the coordinator's logical tick.
+    Tick,
+    /// Node `arg` emits its periodic replication (dirty snapshots,
+    /// counter deltas on the interval, heartbeat).
+    Emit,
+    /// Pump node `arg`'s replication wire into the standby.
+    Pump,
+    /// Advance the failure detector (and fail over anything it declares
+    /// dead).
+    Detect,
+    /// Execute eNodeB workload op `arg` (attach / bearer / data packet /
+    /// migration / detach — derived deterministically from the seed).
+    Workload,
+    /// Execute scenario chaos command `arg` (kill / partition / heal /
+    /// wire-fault change).
+    Chaos,
+}
+
+/// One schedule step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action {
+    pub kind: ActionKind,
+    pub arg: u32,
+}
+
+impl Action {
+    pub fn new(kind: ActionKind, arg: u32) -> Self {
+        Action { kind, arg }
+    }
+
+    pub fn tick() -> Self {
+        Action::new(ActionKind::Tick, 0)
+    }
+}

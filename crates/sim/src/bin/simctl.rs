@@ -1,0 +1,148 @@
+//! Command-line front end for the deterministic simulator.
+//!
+//! ```text
+//! simctl run <seed> [--scenario two_node_failover|partition_heal|lossy_wires]
+//! simctl sweep <first_seed> <count> [--scenario NAME]
+//! simctl replay <trace.json>
+//! simctl shrink <trace.json>
+//! ```
+
+use pepc_sim::{replay_trace, run, shrink, SimConfig, Trace};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn scenario(name: &str, seed: u64) -> Result<SimConfig, String> {
+    match name {
+        "two_node_failover" => Ok(SimConfig::two_node_failover(seed)),
+        "partition_heal" => Ok(SimConfig::partition_heal(seed)),
+        "lossy_wires" => Ok(SimConfig::lossy_wires(seed)),
+        other => Err(format!("unknown scenario `{other}`")),
+    }
+}
+
+fn scenario_arg(args: &[String]) -> &str {
+    args.iter().position(|a| a == "--scenario").and_then(|i| args.get(i + 1)).map_or("two_node_failover", |s| s)
+}
+
+fn run_one(cfg: &SimConfig) -> ExitCode {
+    let r = run(cfg);
+    println!(
+        "seed {}: {} steps, digest {:016x}, {} forwarded, {} failovers, {} users live",
+        cfg.seed,
+        r.schedule.len(),
+        r.digest,
+        r.forwarded,
+        r.failovers,
+        r.users_live
+    );
+    match r.failure {
+        None => ExitCode::SUCCESS,
+        Some(f) => {
+            let shrunk = shrink(cfg, &r.schedule, &f.oracle);
+            let trace = Trace::new(cfg.clone(), shrunk, f.clone());
+            match trace.save(None) {
+                Ok(p) => eprintln!(
+                    "FAIL oracle `{}` at step {}: {}\n  shrunk trace ({} steps) -> {}",
+                    f.oracle,
+                    f.step,
+                    f.message,
+                    trace.schedule.len(),
+                    p.display()
+                ),
+                Err(e) => eprintln!("FAIL oracle `{}` (trace save failed: {e})", f.oracle),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let Some(seed) = args.get(1).and_then(|s| s.parse().ok()) else {
+                eprintln!("usage: simctl run <seed> [--scenario NAME]");
+                return ExitCode::FAILURE;
+            };
+            match scenario(scenario_arg(&args), seed) {
+                Ok(cfg) => run_one(&cfg),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("sweep") => {
+            let (Some(first), Some(count)) =
+                (args.get(1).and_then(|s| s.parse::<u64>().ok()), args.get(2).and_then(|s| s.parse::<u64>().ok()))
+            else {
+                eprintln!("usage: simctl sweep <first_seed> <count> [--scenario NAME]");
+                return ExitCode::FAILURE;
+            };
+            for seed in first..first + count {
+                let cfg = match scenario(scenario_arg(&args), seed) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if run_one(&cfg) != ExitCode::SUCCESS {
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("replay") | Some("shrink") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: simctl {} <trace.json>", args[0]);
+                return ExitCode::FAILURE;
+            };
+            let trace = match Trace::load(Path::new(path)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot load trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if args[0] == "shrink" {
+                let shrunk = shrink(&trace.config, &trace.schedule, &trace.failure.oracle);
+                let out = Trace::new(trace.config.clone(), shrunk, trace.failure.clone());
+                match out.save(None) {
+                    Ok(p) => {
+                        println!(
+                            "{} steps -> {} steps, saved {}",
+                            trace.schedule.len(),
+                            out.schedule.len(),
+                            p.display()
+                        );
+                        return ExitCode::SUCCESS;
+                    }
+                    Err(e) => {
+                        eprintln!("save failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let r = replay_trace(&trace);
+            match r.failure {
+                Some(f) if f.oracle == trace.failure.oracle => {
+                    println!("reproduced: oracle `{}` at step {}: {}", f.oracle, f.step, f.message);
+                    ExitCode::SUCCESS
+                }
+                Some(f) => {
+                    eprintln!("different failure: oracle `{}` (recorded `{}`)", f.oracle, trace.failure.oracle);
+                    ExitCode::FAILURE
+                }
+                None => {
+                    eprintln!("trace no longer fails (recorded oracle `{}`)", trace.failure.oracle);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: simctl run|sweep|replay|shrink ...");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulation configuration: cluster shape, workload volume, the fault
+//! scenario (chaos commands keyed on ticks), and optional intentional
+//! bugs used to prove the oracles and the shrinker actually work.
+//!
+//! Everything here serializes into the trace file, so replaying a trace
+//! needs no out-of-band context: `(config, schedule)` rebuilds the exact
+//! run.
+
+use serde::{Deserialize, Serialize};
+
+/// A scheduled fault-scenario command. Commands become *eligible* at
+/// `at_tick`; the seeded scheduler decides exactly where inside the
+/// tick's step interleaving they land (that placement is the thing being
+/// explored).
+///
+/// Per-node and per-wire compose: each node has exactly one replication
+/// wire, so `node` names both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosKind {
+    /// Crash the node: replication wire severed (in-flight frames lost),
+    /// data region blackholes until failover. Guarded no-op if the node
+    /// is already killed/dead or is the last live node.
+    Kill,
+    /// Partition the node's replication wire: nothing crosses it, but
+    /// frames queue and survive until a `Heal`.
+    Partition,
+    /// Heal a partition.
+    Heal,
+    /// Set the wire's fixed latency to `amount` pumps.
+    Delay,
+    /// Set the wire's drop chance to `amount` per-mille.
+    Drop,
+    /// Set the wire's duplicate chance to `amount` per-mille.
+    Duplicate,
+}
+
+/// One chaos command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosCmd {
+    /// Tick at which this command becomes schedulable.
+    pub at_tick: u64,
+    pub kind: ChaosKind,
+    /// Node (= wire) the command targets.
+    pub node: u32,
+    /// `Delay`: pumps; `Drop`/`Duplicate`: per-mille probability.
+    pub amount: u32,
+}
+
+/// Intentional defects, injected to prove a violated invariant produces
+/// a failing, shrinkable, replayable trace (they model real bug classes:
+/// `DoubleAdopt` is a failover controller adopting one IMSI onto two
+/// survivors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugKind {
+    None,
+    /// After every successful intra-node migration, also adopt the same
+    /// IMSI onto a *different* live node — violating the single-owner
+    /// invariant the `dup_imsi` oracle guards.
+    DoubleAdopt,
+}
+
+/// Full description of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for both the workload generator and the scheduler.
+    pub seed: u64,
+    /// Cluster size (2..=8; ≥2 so a kill leaves a survivor).
+    pub nodes: u32,
+    /// Subscribers the workload attaches.
+    pub users: u32,
+    /// Tick budget: the scheduler stops advancing time here and drains
+    /// what is still eligible.
+    pub ticks: u64,
+    /// HA counter-delta interval (the staleness bound on clean wires).
+    pub counter_interval: u64,
+    /// The fault scenario.
+    pub chaos: Vec<ChaosCmd>,
+    /// Intentional defect, if any.
+    pub bug: BugKind,
+    /// Check `max_counter_staleness ≤ counter_interval` on every
+    /// failover. Only sound while replication wires are loss- and
+    /// delay-free, so lossy scenarios turn it off.
+    pub check_staleness: bool,
+}
+
+impl SimConfig {
+    /// The acceptance scenario: a 2-node cluster, attaches + bearers,
+    /// data traffic, intra-node migrations, and a kill landing mid-run —
+    /// the scheduler decides exactly where the kill falls relative to
+    /// migration, replication, pumping, and detection steps.
+    pub fn two_node_failover(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 2,
+            users: 16,
+            ticks: 32,
+            counter_interval: 4,
+            chaos: vec![ChaosCmd { at_tick: 10, kind: ChaosKind::Kill, node: (seed % 2) as u32, amount: 0 }],
+            bug: BugKind::None,
+            check_staleness: true,
+        }
+    }
+
+    /// A 3-node cluster where one node's replication wire partitions and
+    /// later heals. The detector declares the partitioned node dead
+    /// (split-brain guard powers it off), so this explores
+    /// failover-without-crash; staleness is unchecked because heartbeats
+    /// stall.
+    pub fn partition_heal(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 3,
+            users: 18,
+            ticks: 36,
+            counter_interval: 4,
+            chaos: vec![
+                ChaosCmd { at_tick: 8, kind: ChaosKind::Partition, node: (seed % 3) as u32, amount: 0 },
+                ChaosCmd { at_tick: 22, kind: ChaosKind::Heal, node: (seed % 3) as u32, amount: 0 },
+            ],
+            bug: BugKind::None,
+            check_staleness: false,
+        }
+    }
+
+    /// Lossy replication: delay, duplication, and drops on every wire
+    /// plus a kill. Exercises the standby's reorder/gap tolerance under
+    /// schedule exploration; staleness unchecked (delayed heartbeats).
+    pub fn lossy_wires(seed: u64) -> Self {
+        let mut chaos = Vec::new();
+        for node in 0..3u32 {
+            chaos.push(ChaosCmd { at_tick: 2, kind: ChaosKind::Delay, node, amount: 2 });
+            chaos.push(ChaosCmd { at_tick: 2, kind: ChaosKind::Drop, node, amount: 100 });
+            chaos.push(ChaosCmd { at_tick: 2, kind: ChaosKind::Duplicate, node, amount: 100 });
+        }
+        chaos.push(ChaosCmd { at_tick: 14, kind: ChaosKind::Kill, node: (seed % 3) as u32, amount: 0 });
+        SimConfig {
+            seed,
+            nodes: 3,
+            users: 18,
+            ticks: 36,
+            counter_interval: 4,
+            chaos,
+            bug: BugKind::None,
+            check_staleness: false,
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # pepc-sim — deterministic cluster simulation
+//!
+//! The paper's hardest claims are concurrency claims: single-writer
+//! state sharing (§4.1), migration with bounded loss, failover with
+//! bounded counter staleness. Real-thread tests check them under
+//! whatever interleavings the host scheduler happens to produce; this
+//! crate checks them under interleavings *we* choose.
+//!
+//! A simulated run is single-threaded discrete-event execution on
+//! virtual time:
+//!
+//! * **virtual clock** — every component that would read `Instant`
+//!   (slice timestamps, QoS refill, wire shaping, rate meters) reads a
+//!   [`pepc_fabric::VirtualClock`] instead, advanced only by the
+//!   scheduler. A run consumes zero wall time and two runs with one seed
+//!   observe byte-identical timestamps.
+//! * **seeded scheduler** ([`sched`]) — per-node replication emit, wire
+//!   pump, failure detection, eNodeB workload events, and chaos commands
+//!   are all individually schedulable steps; a seeded RNG picks the next
+//!   one. Same seed, byte-identical schedule and state digest.
+//! * **fault scenarios** ([`config`]) — kill, partition/heal, and
+//!   per-wire delay/drop/duplicate commands keyed on ticks, layered on
+//!   the fabric's [`FaultSpec`](pepc_fabric::FaultSpec).
+//! * **oracles** ([`oracle`]) — packet conservation, replication
+//!   staleness, single-owner IMSIs, and seqlock sequence sanity, checked
+//!   after every step.
+//! * **traces** ([`trace`]) — a failing schedule is captured to a JSON
+//!   file, replayable exactly, and greedily shrunk to a minimal
+//!   reproducer (`simctl replay` / `simctl shrink`).
+//!
+//! ```
+//! use pepc_sim::{run, SimConfig};
+//! let a = run(&SimConfig::two_node_failover(7));
+//! let b = run(&SimConfig::two_node_failover(7));
+//! assert!(a.failure.is_none());
+//! assert_eq!((a.schedule, a.digest), (b.schedule, b.digest));
+//! ```
+
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
+pub mod action;
+pub mod config;
+pub mod oracle;
+pub mod sched;
+pub mod trace;
+pub mod world;
+
+pub use action::{Action, ActionKind};
+pub use config::{BugKind, ChaosCmd, ChaosKind, SimConfig};
+pub use oracle::{Failure, Oracles};
+pub use sched::{replay, run, RunResult};
+pub use trace::{replay_trace, shrink, Trace, TRACE_VERSION};
+pub use world::{SimWorld, TICK_NS};
+
+/// Number of schedules to explore, from the `SIM_SCHEDULES` environment
+/// variable (CI soak knob), defaulting to `default`.
+pub fn schedules_from_env(default: u64) -> u64 {
+    std::env::var("SIM_SCHEDULES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

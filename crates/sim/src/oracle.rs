@@ -1,0 +1,152 @@
+//! Invariant oracles, checked after every applied step.
+//!
+//! * `conservation` — every packet offered to the cluster is accounted:
+//!   `rx == forwarded + Σ drops` over all slices plus the balancer
+//!   pseudo-slice (from `pepc-telemetry`).
+//! * `staleness` — on every completed failover, the recovered counters
+//!   are at most `counter_interval` ticks behind the dead node's last
+//!   contact (only checked while wires are clean; see
+//!   [`crate::SimConfig::check_staleness`]).
+//! * `dup_imsi` — an IMSI is owned by at most one live node at any
+//!   moment (the single-owner invariant adoption and migration must
+//!   preserve).
+//! * `seqlock` — per-user view/counter cell sequence numbers are even
+//!   (no publish left half-finished across a step) and never move
+//!   backwards while the context identity is unchanged.
+
+use crate::world::SimWorld;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An oracle violation: which invariant, at which step, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Failure {
+    pub oracle: String,
+    pub step: u64,
+    pub message: String,
+}
+
+/// Per-context seqlock history (context identity, view seq, counter seq).
+#[derive(Debug, Clone, Copy)]
+struct SeqTrack {
+    ptr: usize,
+    view: u64,
+    counters: u64,
+}
+
+/// Stateful oracle set; one per run.
+#[derive(Default)]
+pub struct Oracles {
+    failovers_seen: usize,
+    seq: HashMap<u64, SeqTrack>,
+}
+
+impl Oracles {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check every invariant against the world after a step. Returns the
+    /// first violation found.
+    pub fn check(&mut self, w: &SimWorld) -> Option<Failure> {
+        let step = w.step;
+        let fail = |oracle: &str, message: String| Some(Failure { oracle: oracle.into(), step, message });
+
+        // -- staleness: inspect failovers completed since the last check.
+        let reports = w.ha.failovers();
+        for r in &reports[self.failovers_seen..] {
+            if w.cfg.check_staleness && r.max_counter_staleness > w.cfg.counter_interval {
+                return fail(
+                    "staleness",
+                    format!(
+                        "failover of node {} recovered counters {} ticks stale (bound {})",
+                        r.node, r.max_counter_staleness, w.cfg.counter_interval
+                    ),
+                );
+            }
+        }
+        self.failovers_seen = reports.len();
+
+        // -- dup_imsi + seqlock: one sweep over every live node's users.
+        let cluster = w.ha.cluster_ref();
+        let mut owners: HashMap<u64, usize> = HashMap::new();
+        for k in 0..cluster.node_count() {
+            if cluster.is_dead(k) {
+                continue;
+            }
+            let node = cluster.node_ref(k);
+            for s in 0..node.slice_count() {
+                let slice = node.slice_ref(s);
+                for imsi in slice.ctrl.imsis() {
+                    if let Some(prev) = owners.insert(imsi, k) {
+                        return fail(
+                            "dup_imsi",
+                            format!("imsi {imsi} live on node {prev} and node {k} simultaneously"),
+                        );
+                    }
+                    let Some(ctx) = slice.ctrl.context_of(imsi) else { continue };
+                    let ptr = std::sync::Arc::as_ptr(&ctx) as usize;
+                    let view = ctx.view_version();
+                    let counters = ctx.counters_version();
+                    if view % 2 != 0 || counters % 2 != 0 {
+                        return fail(
+                            "seqlock",
+                            format!("imsi {imsi}: odd seq between steps (view={view} counters={counters})"),
+                        );
+                    }
+                    match self.seq.get(&imsi) {
+                        Some(t) if t.ptr == ptr && (view < t.view || counters < t.counters) => {
+                            return fail(
+                                "seqlock",
+                                format!(
+                                    "imsi {imsi}: sequence went backwards (view {}→{view}, counters {}→{counters})",
+                                    t.view, t.counters
+                                ),
+                            );
+                        }
+                        _ => {}
+                    }
+                    self.seq.insert(imsi, SeqTrack { ptr, view, counters });
+                }
+            }
+        }
+
+        // -- conservation: the full telemetry identity. Snapshotting
+        // clones every histogram, so this runs on a stride (counters
+        // only grow — a broken identity stays broken, it is just
+        // reported up to `CONSERVATION_STRIDE - 1` steps late);
+        // [`Oracles::check_final`] closes the run with an exact check.
+        if w.step.is_multiple_of(CONSERVATION_STRIDE) {
+            if let Some(f) = Self::check_conservation(w) {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// End-of-run check of the stride-sampled invariants.
+    pub fn check_final(&mut self, w: &SimWorld) -> Option<Failure> {
+        Self::check_conservation(w)
+    }
+
+    fn check_conservation(w: &SimWorld) -> Option<Failure> {
+        let snap = w.ha.metrics_snapshot();
+        if !snap.conservation_holds() {
+            let t = snap.data_totals();
+            return Some(Failure {
+                oracle: "conservation".into(),
+                step: w.step,
+                message: format!(
+                    "rx {} != forwarded {} + drops {}",
+                    t.rx,
+                    t.forwarded,
+                    t.rx.saturating_sub(t.forwarded)
+                ),
+            });
+        }
+        None
+    }
+}
+
+/// Steps between full conservation snapshots.
+const CONSERVATION_STRIDE: u64 = 4;

@@ -1,0 +1,140 @@
+//! The seeded scheduler: the single-threaded event loop that owns every
+//! steppable actor and decides, one RNG draw at a time, what happens
+//! next.
+//!
+//! ## Schedule discipline
+//!
+//! Each simulated tick consists of a set of **mandatory** steps — one
+//! `Emit` and one `Pump` per node plus one `Detect` — enqueued when the
+//! tick opens. `Tick` only becomes choosable once the mandatory set is
+//! drained, so every tick performs its full periodic work (the property
+//! the staleness bound relies on) while the *order* of those steps, and
+//! the placement of workload and chaos steps among them, is what the
+//! seed explores. Workload ops and chaos commands become eligible at
+//! their scheduled tick and stay in the pool until drawn — so a kill
+//! "at tick 10" can land before, between, or after any of tick 10+'s
+//! replication phases, which is exactly the interleaving space a
+//! wall-clock harness cannot control.
+//!
+//! Same seed ⇒ same draw sequence ⇒ byte-identical schedule and digest.
+
+use crate::config::SimConfig;
+use crate::oracle::{Failure, Oracles};
+use crate::world::SimWorld;
+use crate::{Action, ActionKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of one run (seeded or replayed).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Every step applied, in order — the trace.
+    pub schedule: Vec<Action>,
+    /// Rolling digest over actions and observable state; two runs are
+    /// byte-identical iff their (schedule, digest) pairs match.
+    pub digest: u64,
+    /// First invariant violation, if any (the schedule ends at it).
+    pub failure: Option<Failure>,
+    /// Completed failovers.
+    pub failovers: usize,
+    /// Data packets forwarded end-to-end.
+    pub forwarded: u64,
+    /// Subscribers attached at the end of the run.
+    pub users_live: usize,
+}
+
+/// Run one seeded schedule to completion (or first oracle violation).
+pub fn run(cfg: &SimConfig) -> RunResult {
+    let mut w = SimWorld::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5C4E_D01E_5EED_0001);
+    let mut oracles = Oracles::new();
+    let mut schedule = Vec::new();
+
+    // Pools the scheduler draws from.
+    let mut mandatory: Vec<Action> = Vec::new();
+    let mut eligible: Vec<Action> = Vec::new();
+    let mut next_op = 0usize;
+    let mut next_chaos = 0usize;
+    // Chaos commands sorted by eligibility tick (indices stay the
+    // config-order indices, so traces reference them stably).
+    let mut chaos_order: Vec<usize> = (0..cfg.chaos.len()).collect();
+    chaos_order.sort_by_key(|&i| cfg.chaos[i].at_tick);
+
+    let failure = loop {
+        let tick = w.now();
+        while next_op < w.op_count() && w.op_tick(next_op) <= tick {
+            eligible.push(Action::new(ActionKind::Workload, next_op as u32));
+            next_op += 1;
+        }
+        while next_chaos < chaos_order.len() && cfg.chaos[chaos_order[next_chaos]].at_tick <= tick {
+            eligible.push(Action::new(ActionKind::Chaos, chaos_order[next_chaos] as u32));
+            next_chaos += 1;
+        }
+
+        // Draw uniformly over mandatory ∪ eligible ∪ {Tick if allowed}.
+        let tick_ok = mandatory.is_empty() && tick < cfg.ticks;
+        let total = mandatory.len() + eligible.len() + usize::from(tick_ok);
+        if total == 0 {
+            break None;
+        }
+        let i = rng.gen_range(0..total);
+        let a = if i < mandatory.len() {
+            mandatory.swap_remove(i)
+        } else if i < mandatory.len() + eligible.len() {
+            eligible.swap_remove(i - mandatory.len())
+        } else {
+            Action::tick()
+        };
+
+        w.apply(a);
+        schedule.push(a);
+        if a.kind == ActionKind::Tick {
+            for k in 0..w.node_count() as u32 {
+                mandatory.push(Action::new(ActionKind::Emit, k));
+                mandatory.push(Action::new(ActionKind::Pump, k));
+            }
+            mandatory.push(Action::new(ActionKind::Detect, 0));
+        }
+        if let Some(f) = oracles.check(&w) {
+            break Some(f);
+        }
+    };
+
+    let failure = failure.or_else(|| oracles.check_final(&w));
+    finish(w, schedule, failure)
+}
+
+/// Re-apply a recorded schedule verbatim — no RNG, no scheduling; the
+/// trace *is* the schedule. Oracles run exactly as in [`run`], so a
+/// failing trace fails again at the same step, and a shrunk candidate is
+/// judged by whether it still fails.
+pub fn replay(cfg: &SimConfig, schedule: &[Action]) -> RunResult {
+    let mut w = SimWorld::new(cfg.clone());
+    let mut oracles = Oracles::new();
+    let mut applied = Vec::with_capacity(schedule.len());
+    let mut failure = None;
+    for &a in schedule {
+        w.apply(a);
+        applied.push(a);
+        if let Some(f) = oracles.check(&w) {
+            failure = Some(f);
+            break;
+        }
+    }
+    let failure = failure.or_else(|| oracles.check_final(&w));
+    finish(w, applied, failure)
+}
+
+fn finish(w: SimWorld, schedule: Vec<Action>, failure: Option<Failure>) -> RunResult {
+    let cluster = w.ha.cluster_ref();
+    let users_live =
+        (0..cluster.node_count()).filter(|&k| !cluster.is_dead(k)).map(|k| cluster.node_ref(k).user_count()).sum();
+    RunResult {
+        digest: w.digest,
+        failure,
+        failovers: w.ha.failovers().len(),
+        forwarded: w.forwarded,
+        users_live,
+        schedule,
+    }
+}

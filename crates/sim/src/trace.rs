@@ -1,0 +1,100 @@
+//! Failing-schedule capture, replay, and greedy shrinking.
+//!
+//! A trace file is self-contained JSON: the [`SimConfig`] (workload and
+//! scenario are both derived from it) plus the exact action sequence and
+//! the violation it produced. `simctl replay <file>` — or
+//! [`replay_trace`] — reproduces the failure deterministically on any
+//! machine.
+//!
+//! Shrinking is greedy delta-debugging: repeatedly try deleting chunks
+//! (halves, then quarters, … then single steps) and keep a deletion iff
+//! the candidate still fails the *same oracle*. Guarded no-op semantics
+//! in [`crate::SimWorld::apply`] guarantee every candidate is runnable.
+
+use crate::config::SimConfig;
+use crate::oracle::Failure;
+use crate::sched::{replay, RunResult};
+use crate::Action;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+pub const TRACE_VERSION: u32 = 1;
+
+/// A replayable failure record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub version: u32,
+    pub config: SimConfig,
+    pub schedule: Vec<Action>,
+    pub failure: Failure,
+}
+
+impl Trace {
+    pub fn new(config: SimConfig, schedule: Vec<Action>, failure: Failure) -> Self {
+        Trace { version: TRACE_VERSION, config, schedule, failure }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let t: Trace = serde_json::from_str(s).map_err(|e| format!("{e:?}"))?;
+        if t.version != TRACE_VERSION {
+            return Err(format!("trace version {} != supported {}", t.version, TRACE_VERSION));
+        }
+        Ok(t)
+    }
+
+    /// Write to `dir` (default: `SIM_TRACE_DIR`, else `target/sim-traces`)
+    /// as `trace-seed<seed>-<len>.json`. Returns the path.
+    pub fn save(&self, dir: Option<&Path>) -> std::io::Result<PathBuf> {
+        let dir = match dir {
+            Some(d) => d.to_path_buf(),
+            None => std::env::var_os("SIM_TRACE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("target/sim-traces")),
+        };
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("trace-seed{}-{}.json", self.config.seed, self.schedule.len()));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&s)
+    }
+}
+
+/// Replay a trace and report whether it still fails as recorded.
+pub fn replay_trace(t: &Trace) -> RunResult {
+    replay(&t.config, &t.schedule)
+}
+
+/// Greedy ddmin-style shrink: the returned schedule is 1-minimal with
+/// respect to single-step deletion (removing any one remaining step no
+/// longer triggers the same oracle).
+pub fn shrink(cfg: &SimConfig, schedule: &[Action], oracle: &str) -> Vec<Action> {
+    let still_fails = |s: &[Action]| replay(cfg, s).failure.is_some_and(|f| f.oracle == oracle);
+    let mut cur = schedule.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = Vec::with_capacity(cur.len().saturating_sub(chunk));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[(i + chunk).min(cur.len())..]);
+            if still_fails(&cand) {
+                cur = cand; // deletion kept; retry the same position
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    cur
+}

@@ -1,0 +1,321 @@
+//! The simulated world: a multi-node [`HaCluster`] on virtual time, a
+//! deterministic eNodeB workload derived from the seed, and the chaos
+//! command interpreter. [`SimWorld::apply`] is the single entry point —
+//! every schedule step, whether freshly picked by the scheduler or read
+//! back from a trace, goes through it.
+//!
+//! Every action is a *guarded* operation: on a weird state (unknown
+//! user, dead node, already-killed node, out-of-range index) it degrades
+//! to a no-op instead of panicking. The shrinker depends on this —
+//! deleting arbitrary subsequences of a failing schedule must always
+//! yield a runnable schedule.
+
+use crate::config::{BugKind, ChaosCmd, ChaosKind, SimConfig};
+use crate::{Action, ActionKind};
+use pepc::config::BatchingConfig;
+use pepc::ctrl::CtrlEvent;
+use pepc::{EpcConfig, SliceConfig};
+use pepc_fabric::VirtualClock;
+use pepc_ha::{HaCluster, HaConfig};
+use pepc_net::gtp::encap_gtpu;
+use pepc_net::ipv4::IpProto;
+use pepc_net::{Ipv4Hdr, Mbuf, IPV4_HDR_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Virtual nanoseconds per simulated tick (1 ms, matching the HA layer's
+/// reading of ticks as heartbeat intervals).
+pub const TICK_NS: u64 = 1_000_000;
+
+/// One eNodeB workload operation, generated from the seed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpKind {
+    /// Attach the subscriber on its home node (skipped if already
+    /// attached or the home node is down).
+    Attach(u64),
+    /// Establish the downlink bearer (S1 handover to an eNodeB TEID).
+    Bearer(u64),
+    /// Send one data packet; `uplink` selects GTP-U ingress vs plain IP
+    /// egress. Uses the identifiers the eNodeB cached at attach time —
+    /// exactly what a real eNodeB keeps sending during a blackout.
+    Data { imsi: u64, uplink: bool },
+    /// Migrate the subscriber to the next slice on its current node.
+    Migrate(u64),
+    /// Detach the subscriber.
+    Detach(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Op {
+    pub at_tick: u64,
+    pub kind: OpKind,
+}
+
+/// FNV-1a fold; the digest is the determinism witness two runs compare.
+fn fnv(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The simulated cluster plus everything the oracles track about it.
+pub struct SimWorld {
+    pub(crate) ha: HaCluster,
+    pub(crate) cfg: SimConfig,
+    clock: VirtualClock,
+    ops: Vec<Op>,
+    /// eNodeB-side cache of (gw_teid, ue_ip) per IMSI, filled at attach.
+    keys: HashMap<u64, (u32, u32)>,
+    /// Steps applied so far.
+    pub(crate) step: u64,
+    /// Rolling FNV digest over every applied action and the observable
+    /// state it produced.
+    pub(crate) digest: u64,
+    /// Data packets the world observed as forwarded.
+    pub(crate) forwarded: u64,
+}
+
+impl SimWorld {
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!((2..=8).contains(&cfg.nodes), "2..=8 nodes (a kill needs a survivor)");
+        let template = EpcConfig {
+            slices: 2,
+            slice: SliceConfig {
+                batching: BatchingConfig { sync_every_packets: 1 },
+                expected_users: 64,
+                update_ring_capacity: 1024,
+                ..SliceConfig::default()
+            },
+            // Small prime: thousands of clusters get built per sweep,
+            // and a 16-user scenario doesn't need a 65537-slot spread.
+            lb_table_size: 251,
+            ..EpcConfig::default()
+        };
+        let ha_cfg = HaConfig { counter_interval: cfg.counter_interval, ..HaConfig::default() };
+        let mut ha = HaCluster::new(cfg.nodes as usize, template, ha_cfg);
+        let clock = VirtualClock::new();
+        ha.set_clock(clock.clock());
+        let ops = Self::generate_ops(&cfg);
+        SimWorld { ha, cfg, clock, ops, keys: HashMap::new(), step: 0, digest: 0xCBF2_9CE4_8422_2325, forwarded: 0 }
+    }
+
+    /// The deterministic eNodeB script: attaches early, bearers right
+    /// after, then a mix of data, migrations, and a few detaches spread
+    /// over the run. Sorted by eligibility tick (stable, so generation
+    /// order breaks ties deterministically).
+    fn generate_ops(cfg: &SimConfig) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0E5B_0D00_77AA_1CE5);
+        let mut ops = Vec::new();
+        let horizon = cfg.ticks.max(8);
+        for u in 0..u64::from(cfg.users) {
+            let imsi = 404_01_000_000 + u;
+            let t = rng.gen_range(0..3u64);
+            ops.push(Op { at_tick: t, kind: OpKind::Attach(imsi) });
+            ops.push(Op { at_tick: t + 1, kind: OpKind::Bearer(imsi) });
+        }
+        for _ in 0..cfg.users * 4 {
+            let imsi = 404_01_000_000 + rng.gen_range(0..u64::from(cfg.users));
+            let at_tick = rng.gen_range(3..horizon - 1);
+            let uplink = rng.gen_bool(0.5);
+            ops.push(Op { at_tick, kind: OpKind::Data { imsi, uplink } });
+        }
+        for _ in 0..(cfg.users / 4).max(1) {
+            let imsi = 404_01_000_000 + rng.gen_range(0..u64::from(cfg.users));
+            ops.push(Op { at_tick: rng.gen_range(4..horizon - 2), kind: OpKind::Migrate(imsi) });
+        }
+        for _ in 0..(cfg.users / 8).max(1) {
+            let imsi = 404_01_000_000 + rng.gen_range(0..u64::from(cfg.users));
+            ops.push(Op { at_tick: rng.gen_range(horizon - 4..horizon - 1), kind: OpKind::Detach(imsi) });
+        }
+        ops.sort_by_key(|o| o.at_tick);
+        ops
+    }
+
+    pub(crate) fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub(crate) fn op_tick(&self, i: usize) -> u64 {
+        self.ops[i].at_tick
+    }
+
+    /// Current coordinator tick.
+    pub fn now(&self) -> u64 {
+        self.ha.now()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.ha.cluster_ref().node_count()
+    }
+
+    /// Apply one schedule step. Never panics, whatever subsequence of a
+    /// recorded schedule it is handed.
+    pub fn apply(&mut self, a: Action) {
+        self.step += 1;
+        let n = self.node_count();
+        match a.kind {
+            ActionKind::Tick => {
+                self.clock.advance_ns(TICK_NS);
+                self.ha.advance_tick();
+            }
+            ActionKind::Emit => {
+                if (a.arg as usize) < n {
+                    self.ha.emit_periodic(a.arg as usize);
+                }
+            }
+            ActionKind::Pump => {
+                if (a.arg as usize) < n {
+                    self.ha.pump_wire(a.arg as usize);
+                }
+            }
+            ActionKind::Detect => self.ha.run_detector(),
+            ActionKind::Workload => {
+                if (a.arg as usize) < self.ops.len() {
+                    let op = self.ops[a.arg as usize];
+                    self.exec_op(op);
+                }
+            }
+            ActionKind::Chaos => {
+                if (a.arg as usize) < self.cfg.chaos.len() {
+                    let cmd = self.cfg.chaos[a.arg as usize];
+                    self.exec_chaos(cmd);
+                }
+            }
+        }
+        // Fold the action and the cheap observables into the digest.
+        self.digest = fnv(self.digest, a.kind as u64);
+        self.digest = fnv(self.digest, u64::from(a.arg));
+        self.digest = fnv(self.digest, self.ha.now());
+        self.digest = fnv(self.digest, self.ha.cluster_ref().user_count() as u64);
+        self.digest = fnv(self.digest, self.ha.failovers().len() as u64);
+        self.digest = fnv(self.digest, self.forwarded);
+    }
+
+    fn exec_op(&mut self, op: Op) {
+        match op.kind {
+            OpKind::Attach(imsi) => {
+                if self.ha.owner_of(imsi).is_some() {
+                    return;
+                }
+                let home = self.ha.cluster_ref().home_node(imsi);
+                if self.ha.cluster_ref().is_dead(home) || self.ha.is_killed(home) {
+                    return; // blackout: the attach is lost, as in life
+                }
+                let k = self.ha.attach(imsi);
+                // Cache the identifiers the network handed back — the
+                // eNodeB addresses data by these from now on.
+                let node = self.ha.cluster().node(k);
+                if let Some(s) = node.demux().slice_for_imsi(imsi) {
+                    if let Some(ctx) = node.slice(s).ctrl.context_of(imsi) {
+                        let c = ctx.ctrl_read();
+                        self.keys.insert(imsi, (c.tunnels.gw_teid, c.ue_ip));
+                    }
+                }
+            }
+            OpKind::Bearer(imsi) => {
+                let enb_teid = 0xE000 + (imsi & 0xFFF) as u32;
+                self.ha.ctrl_event(CtrlEvent::S1Handover { imsi, new_enb_teid: enb_teid, new_enb_ip: 0xC0A8_0001 });
+            }
+            OpKind::Data { imsi, uplink } => {
+                let Some(&(teid, ue_ip)) = self.keys.get(&imsi) else { return };
+                let m = if uplink { Self::uplink(teid, ue_ip) } else { Self::downlink(ue_ip) };
+                if self.ha.process(m).is_forward() {
+                    self.forwarded += 1;
+                }
+            }
+            OpKind::Migrate(imsi) => {
+                let Some(k) = self.ha.owner_of(imsi) else { return };
+                if self.ha.cluster_ref().is_dead(k) {
+                    return;
+                }
+                let node = self.ha.cluster().node(k);
+                let Some(cur) = node.demux().slice_for_imsi(imsi) else { return };
+                let slices = node.slice_count();
+                if slices < 2 {
+                    return;
+                }
+                let target = (cur + 1) % slices;
+                if node.migrate(imsi, target) {
+                    node.take_migration_output();
+                    if self.cfg.bug == BugKind::DoubleAdopt {
+                        self.double_adopt(imsi, k);
+                    }
+                }
+            }
+            OpKind::Detach(imsi) => {
+                self.ha.ctrl_event(CtrlEvent::Detach { imsi });
+            }
+        }
+    }
+
+    /// The injected defect: adopt `imsi` onto a second live node without
+    /// removing it from `k` — the single-owner violation the `dup_imsi`
+    /// oracle exists to catch.
+    fn double_adopt(&mut self, imsi: u64, k: usize) {
+        let n = self.node_count();
+        let Some(other) = (0..n).find(|&t| t != k && !self.ha.cluster_ref().is_dead(t) && !self.ha.is_killed(t)) else {
+            return;
+        };
+        let state = {
+            let node = self.ha.cluster().node(k);
+            let s = node.demux().slice_for_imsi(imsi);
+            s.and_then(|s| node.slice(s).ctrl.context_of(imsi)).map(|ctx| (ctx.ctrl_read().clone(), ctx.counters()))
+        };
+        if let Some((ctrl, counters)) = state {
+            self.ha.cluster().adopt_user(other, ctrl, counters);
+        }
+    }
+
+    fn exec_chaos(&mut self, cmd: ChaosCmd) {
+        let k = cmd.node as usize;
+        if k >= self.node_count() {
+            return;
+        }
+        match cmd.kind {
+            ChaosKind::Kill => {
+                if !self.ha.is_killed(k) && !self.ha.cluster_ref().is_dead(k) && self.ha.cluster_ref().live_count() > 1
+                {
+                    self.ha.kill_node(k);
+                }
+            }
+            ChaosKind::Partition => self.ha.wire_mut(k).set_partitioned(true),
+            ChaosKind::Heal => self.ha.wire_mut(k).set_partitioned(false),
+            ChaosKind::Delay => {
+                let mut spec = self.ha.wire_mut(k).fault_spec().clone();
+                spec.delay_pumps = cmd.amount;
+                self.ha.wire_mut(k).set_fault_spec(spec);
+            }
+            ChaosKind::Drop => {
+                let mut spec = self.ha.wire_mut(k).fault_spec().clone();
+                spec.drop_chance = f64::from(cmd.amount) / 1000.0;
+                self.ha.wire_mut(k).set_fault_spec(spec);
+            }
+            ChaosKind::Duplicate => {
+                let mut spec = self.ha.wire_mut(k).fault_spec().clone();
+                spec.duplicate_chance = f64::from(cmd.amount) / 1000.0;
+                self.ha.wire_mut(k).set_fault_spec(spec);
+            }
+        }
+    }
+
+    fn uplink(teid: u32, ue_ip: u32) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + 8];
+        Ipv4Hdr::new(ue_ip, 0x0808_0808, IpProto::Udp, 8).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        m.extend(&hdr);
+        encap_gtpu(&mut m, 0xC0A8_0001, 0x0AFE_0001, teid).unwrap();
+        m
+    }
+
+    fn downlink(ue_ip: u32) -> Mbuf {
+        let mut m = Mbuf::new();
+        let mut hdr = vec![0u8; IPV4_HDR_LEN + 8];
+        Ipv4Hdr::new(0x0808_0808, ue_ip, IpProto::Udp, 8).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+        m.extend(&hdr);
+        m
+    }
+}

@@ -40,6 +40,10 @@ pub struct WireStat {
     pub corrupted: u64,
     /// Frames delivered out of order (subset of `forwarded`).
     pub reordered: u64,
+    /// Extra copies injected by duplication (subset of `forwarded`).
+    pub duplicated: u64,
+    /// Frames that sat in the wire's delay line for at least one pump.
+    pub delayed: u64,
     /// Frames deferred by rate limiting (later delivered or dropped).
     pub rate_limited: u64,
 }
@@ -191,8 +195,8 @@ impl MetricsSnapshot {
             use std::fmt::Write;
             let _ = writeln!(
                 out,
-                "wire {}: fwd={} dropped={} corrupted={} reordered={} rate_limited={}",
-                w.name, w.forwarded, w.dropped, w.corrupted, w.reordered, w.rate_limited,
+                "wire {}: fwd={} dropped={} corrupted={} reordered={} duplicated={} delayed={} rate_limited={}",
+                w.name, w.forwarded, w.dropped, w.corrupted, w.reordered, w.duplicated, w.delayed, w.rate_limited,
             );
         }
         out
