@@ -21,6 +21,7 @@ use crate::data::DpUpdate;
 use crate::metrics::CtrlMetrics;
 use crate::migrate::UserSnapshot;
 use crate::pcef::PcefAction;
+use crate::procedure::{Disposition, ProcState, SigMsg, UeMachine, MAILBOX_CAP};
 use crate::proxy::Proxy;
 use crate::state::{ControlState, CounterSnapshot, DeviceClass, QosPolicy, UeContext, Uid};
 use pepc_backend::hss::sim_response;
@@ -57,25 +58,14 @@ pub struct Allocator {
     pub mme_ue_id_base: u32,
 }
 
-/// Attach-procedure FSM (keyed by eNodeB UE id).
-#[derive(Debug)]
-#[allow(clippy::enum_variant_names)] // states are all waits, by nature
-enum AttachFsm {
-    /// Challenge sent; waiting for the UE's RES.
-    WaitAuthResponse { imsi: u64, xres: u64, ecgi: u32, mme_ue_id: u32 },
-    /// Security mode commanded; waiting for completion.
-    WaitSecurityComplete { imsi: u64, ecgi: u32, mme_ue_id: u32 },
-    /// Context setup sent; waiting for the eNodeB's tunnel endpoint.
-    WaitContextSetup { imsi: u64, mme_ue_id: u32 },
-    /// Waiting for the final NAS Attach Complete.
-    WaitAttachComplete,
-}
-
-/// In-flight S1 handover (keyed by MME UE id).
-#[derive(Debug)]
-struct HandoverFsm {
-    imsi: u64,
-    source_enb_ue_id: u32,
+/// Where the dispatcher's routing stage sends an inbound PDU.
+enum Routed {
+    /// Deliver into the owning UE's procedure machine.
+    Ue(u64, SigMsg),
+    /// Answered (or legally absorbed) at the dispatcher itself.
+    Immediate(Vec<S1apPdu>),
+    /// Unroutable, undecodable, or MME-originated: discard.
+    Discard,
 }
 
 /// The control plane of one slice. Owned by exactly one thread.
@@ -99,8 +89,14 @@ pub struct ControlPlane {
     /// PCEF rule ids already installed slice-wide.
     installed_rules: std::collections::HashSet<u16>,
     proxy: Option<Arc<Proxy>>,
-    attach_fsms: HashMap<u32, AttachFsm>,
-    handover_fsms: HashMap<u32, HandoverFsm>,
+    /// One procedure machine per UE with signaling in flight (or parked
+    /// in its mailbox). Retired as soon as the UE goes quiescent.
+    machines: HashMap<u64, UeMachine>,
+    /// eNodeB-UE-id → IMSI routing index, maintained by the dispatcher
+    /// (the S1 association a UE last signaled on).
+    by_enb_ue_id: HashMap<u32, u64>,
+    /// Current tick on the supervising clock (drives procedure expiry).
+    proc_tick: u64,
     metrics: CtrlMetrics,
     /// IMSIs whose control state changed since the last
     /// [`ControlPlane::take_dirty_users`] drain — the replication hook:
@@ -131,8 +127,9 @@ impl ControlPlane {
             pending_updates: Vec::new(),
             installed_rules: std::collections::HashSet::new(),
             proxy,
-            attach_fsms: HashMap::new(),
-            handover_fsms: HashMap::new(),
+            machines: HashMap::new(),
+            by_enb_ue_id: HashMap::new(),
+            proc_tick: 0,
             metrics: CtrlMetrics::default(),
             dirty: std::collections::BTreeSet::new(),
             attach_ns: LatencyHistogram::new(),
@@ -176,13 +173,16 @@ impl ControlPlane {
 
     /// Create and index a user; queues the data-plane insert. Idempotent
     /// per IMSI (re-attach reuses the context and re-announces it).
-    fn do_attach(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32) {
+    /// `count` controls whether `metrics.attaches` increments here: the
+    /// synthetic path counts at once, the S1AP path counts only when the
+    /// NAS Attach Complete lands.
+    fn do_attach(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32, count: bool) {
         let t0 = std::time::Instant::now();
-        self.attach_inner(imsi, qos, device_class, ecgi);
+        self.attach_inner(imsi, qos, device_class, ecgi, count);
         self.attach_ns.record(t0.elapsed().as_nanos() as u64);
     }
 
-    fn attach_inner(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32) {
+    fn attach_inner(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32, count: bool) {
         self.dirty.insert(imsi);
         if let Some(ctx) = self.users.get(&imsi) {
             // Re-attach: refresh and re-announce as active.
@@ -194,7 +194,9 @@ impl ControlPlane {
                 (c.tunnels.gw_teid, c.ue_ip)
             };
             self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
-            self.metrics.attaches += 1;
+            if count {
+                self.metrics.attaches += 1;
+            }
             return;
         }
         let uid = self.allocate_uid();
@@ -213,7 +215,9 @@ impl ControlPlane {
         self.users.insert(imsi, Arc::clone(&ctx));
         self.by_guti.insert(guti, imsi);
         self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
-        self.metrics.attaches += 1;
+        if count {
+            self.metrics.attaches += 1;
+        }
     }
 
     fn do_handover(&mut self, imsi: u64, new_enb_teid: u32, new_enb_ip: u32, new_ecgi: u32) -> bool {
@@ -250,6 +254,7 @@ impl ControlPlane {
                 self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
                 self.metrics.detaches += 1;
                 self.dirty.insert(imsi);
+                self.drop_machine(imsi);
                 true
             }
             None => false,
@@ -263,7 +268,7 @@ impl ControlPlane {
     pub fn apply_event(&mut self, ev: CtrlEvent) -> bool {
         match ev {
             CtrlEvent::Attach { imsi } => {
-                self.do_attach(imsi, QosPolicy::default(), DeviceClass::Smartphone, 0);
+                self.do_attach(imsi, QosPolicy::default(), DeviceClass::Smartphone, 0, true);
                 true
             }
             CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
@@ -286,69 +291,281 @@ impl ControlPlane {
     // -- full S1AP/NAS path -----------------------------------------------------
 
     /// Process one S1AP PDU from an eNodeB; returns the PDUs to send back.
+    ///
+    /// The dispatcher: route the PDU to the owning UE's procedure
+    /// machine, apply the machine's [`Disposition`], step it if the
+    /// message is delivered, then drain its mailbox while it is idle.
+    /// Every inbound PDU lands in exactly one signaling counter
+    /// (`sig_consumed` / `proc_deduped` / `sig_dropped`, or it is parked
+    /// in a mailbox) — see [`CtrlMetrics::signaling_conservation_holds`].
     pub fn handle_s1ap(&mut self, pdu: &S1apPdu) -> Vec<S1apPdu> {
         self.metrics.s1ap_rx += 1;
+        match self.route(pdu) {
+            Routed::Ue(imsi, msg) => self.deliver(imsi, msg),
+            Routed::Immediate(out) => {
+                self.metrics.sig_consumed += 1;
+                out
+            }
+            Routed::Discard => {
+                self.metrics.sig_dropped += 1;
+                vec![]
+            }
+        }
+    }
+
+    /// Resolve which UE a PDU belongs to. GUTI-addressed NAS routes by
+    /// GUTI (it may legally target a different user than the one
+    /// signaling on this S1 association); everything else by eNodeB UE
+    /// id, falling back to MME UE id.
+    fn route(&mut self, pdu: &S1apPdu) -> Routed {
         match pdu {
-            S1apPdu::InitialUeMessage { enb_ue_id, ecgi, tac, nas } => self.on_initial_ue(*enb_ue_id, *ecgi, *tac, nas),
+            S1apPdu::InitialUeMessage { enb_ue_id, ecgi, tac, nas } => match NasMsg::decode(nas) {
+                Ok(NasMsg::AttachRequest { imsi, .. }) => {
+                    Routed::Ue(imsi, SigMsg::AttachStart { enb_ue_id: *enb_ue_id, ecgi: *ecgi, tac: *tac, imsi })
+                }
+                Ok(NasMsg::ServiceRequest { guti }) => match self.by_guti.get(&guti).copied() {
+                    Some(imsi) => Routed::Ue(imsi, SigMsg::ServiceStart { enb_ue_id: *enb_ue_id, ecgi: *ecgi, guti }),
+                    // Unknown GUTI: tell the eNodeB to release the UE;
+                    // it will re-attach with its IMSI.
+                    None => Routed::Immediate(vec![S1apPdu::UeContextReleaseCommand {
+                        enb_ue_id: *enb_ue_id,
+                        mme_ue_id: 0,
+                        cause: cause::ILLEGAL_UE,
+                    }]),
+                },
+                _ => Routed::Discard,
+            },
             S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas } => {
-                self.on_uplink_nas(*enb_ue_id, *mme_ue_id, nas)
+                let msg = match NasMsg::decode(nas) {
+                    Ok(m) => m,
+                    Err(_) => return Routed::Discard,
+                };
+                let imsi = match &msg {
+                    NasMsg::DetachRequest { guti } | NasMsg::TrackingAreaUpdateRequest { guti, .. } => {
+                        self.by_guti.get(guti).copied()
+                    }
+                    _ => {
+                        self.by_enb_ue_id.get(enb_ue_id).copied().or_else(|| self.by_mme_ue_id.get(mme_ue_id).copied())
+                    }
+                };
+                match imsi {
+                    Some(imsi) => Routed::Ue(imsi, SigMsg::Nas { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id, msg }),
+                    None => Routed::Discard,
+                }
             }
             S1apPdu::InitialContextSetupResponse { enb_ue_id, mme_ue_id, enb_teid, enb_ip } => {
-                self.on_context_setup_response(*enb_ue_id, *mme_ue_id, *enb_teid, *enb_ip)
+                match self.by_enb_ue_id.get(enb_ue_id).copied().or_else(|| self.by_mme_ue_id.get(mme_ue_id).copied()) {
+                    Some(imsi) => Routed::Ue(
+                        imsi,
+                        SigMsg::IcsRsp {
+                            enb_ue_id: *enb_ue_id,
+                            mme_ue_id: *mme_ue_id,
+                            enb_teid: *enb_teid,
+                            enb_ip: *enb_ip,
+                        },
+                    ),
+                    None => Routed::Discard,
+                }
             }
             S1apPdu::PathSwitchRequest { enb_ue_id, mme_ue_id, new_enb_teid, new_enb_ip, ecgi } => {
                 match self.by_mme_ue_id.get(mme_ue_id).copied() {
-                    Some(imsi) if self.do_handover(imsi, *new_enb_teid, *new_enb_ip, *ecgi) => {
-                        vec![S1apPdu::PathSwitchRequestAck { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id }]
-                    }
-                    _ => vec![],
+                    Some(imsi) => Routed::Ue(
+                        imsi,
+                        SigMsg::PathSwitch {
+                            enb_ue_id: *enb_ue_id,
+                            mme_ue_id: *mme_ue_id,
+                            new_enb_teid: *new_enb_teid,
+                            new_enb_ip: *new_enb_ip,
+                            ecgi: *ecgi,
+                        },
+                    ),
+                    None => Routed::Discard,
                 }
             }
             S1apPdu::HandoverRequired { enb_ue_id, mme_ue_id, target_ecgi: _ } => {
                 match self.by_mme_ue_id.get(mme_ue_id).copied() {
-                    Some(imsi) => {
-                        self.handover_fsms.insert(*mme_ue_id, HandoverFsm { imsi, source_enb_ue_id: *enb_ue_id });
-                        let ctx = &self.users[&imsi];
-                        let (gw_teid, ambr) = {
-                            let c = ctx.ctrl_read();
-                            (c.tunnels.gw_teid, c.qos.ambr_kbps)
-                        };
-                        // Addressed to the *target* eNodeB (the node layer
-                        // routes it there).
-                        vec![S1apPdu::HandoverRequest {
-                            mme_ue_id: *mme_ue_id,
-                            gw_teid,
-                            gw_ip: self.gw_ip,
-                            ambr_kbps: ambr,
-                        }]
-                    }
-                    None => vec![],
+                    Some(imsi) => Routed::Ue(imsi, SigMsg::HoRequired { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id }),
+                    None => Routed::Discard,
                 }
             }
             S1apPdu::HandoverRequestAck { mme_ue_id, new_enb_teid, new_enb_ip } => {
-                match self.handover_fsms.remove(mme_ue_id) {
-                    Some(fsm) => {
-                        self.do_handover(fsm.imsi, *new_enb_teid, *new_enb_ip, 0);
-                        vec![S1apPdu::HandoverCommand { enb_ue_id: fsm.source_enb_ue_id, mme_ue_id: *mme_ue_id }]
-                    }
-                    None => vec![],
+                match self.by_mme_ue_id.get(mme_ue_id).copied() {
+                    Some(imsi) => Routed::Ue(
+                        imsi,
+                        SigMsg::HoAck { mme_ue_id: *mme_ue_id, new_enb_teid: *new_enb_teid, new_enb_ip: *new_enb_ip },
+                    ),
+                    None => Routed::Discard,
                 }
             }
-            S1apPdu::UeContextReleaseComplete { .. } => vec![],
+            // A completed release needs no further action.
+            S1apPdu::UeContextReleaseComplete { .. } => Routed::Immediate(vec![]),
             // MME-originated PDUs arriving inbound are protocol errors;
             // ignore them rather than crash the control thread.
-            _ => vec![],
+            _ => Routed::Discard,
         }
     }
 
-    fn on_initial_ue(&mut self, enb_ue_id: u32, ecgi: u32, _tac: u16, nas: &[u8]) -> Vec<S1apPdu> {
-        let imsi = match NasMsg::decode(nas) {
-            Ok(NasMsg::AttachRequest { imsi, .. }) => imsi,
-            Ok(NasMsg::ServiceRequest { guti }) => {
-                return self.on_service_request(enb_ue_id, ecgi, guti);
+    /// Check the UE's machine out of the table, deliver the message, then
+    /// drain the mailbox for as long as the machine stays idle (each
+    /// drained message may itself start a procedure and stop the drain).
+    fn deliver(&mut self, imsi: u64, msg: SigMsg) -> Vec<S1apPdu> {
+        let mut m = self.machines.remove(&imsi).unwrap_or_else(|| UeMachine::new(imsi, self.proc_tick));
+        let mut out = self.deliver_one(&mut m, msg);
+        while !m.in_flight() {
+            match m.mailbox.pop_front() {
+                Some(next) => {
+                    let more = self.deliver_one(&mut m, next);
+                    out.extend(more);
+                }
+                None => break,
             }
-            _ => return vec![],
+        }
+        self.retire_or_keep(m);
+        out
+    }
+
+    /// Apply the machine's disposition for one message.
+    fn deliver_one(&mut self, m: &mut UeMachine, msg: SigMsg) -> Vec<S1apPdu> {
+        m.last_progress = self.proc_tick;
+        match m.dispose(&msg) {
+            Disposition::Deliver => {
+                self.metrics.sig_consumed += 1;
+                self.step(m, msg)
+            }
+            Disposition::Dedup => {
+                self.metrics.proc_deduped += 1;
+                m.last_tx.clone()
+            }
+            Disposition::Defer => {
+                if m.mailbox.len() >= MAILBOX_CAP {
+                    self.metrics.sig_dropped += 1;
+                    // An overflowed service request gets an explicit
+                    // congestion answer so the UE backs off.
+                    if let SigMsg::ServiceStart { enb_ue_id, .. } = msg {
+                        vec![S1apPdu::DownlinkNasTransport {
+                            enb_ue_id,
+                            mme_ue_id: 0,
+                            nas: NasMsg::ServiceReject { cause: cause::CONGESTION }.encode(),
+                        }]
+                    } else {
+                        vec![]
+                    }
+                } else {
+                    self.metrics.sig_deferred += 1;
+                    m.mailbox.push_back(msg);
+                    vec![]
+                }
+            }
+            Disposition::Preempt => {
+                self.abort_machine(m);
+                self.metrics.proc_preempted += 1;
+                self.metrics.sig_consumed += 1;
+                self.step(m, msg)
+            }
+            Disposition::Abort => {
+                let (enb_ue_id, mme_ue_id) = match &msg {
+                    SigMsg::Nas { enb_ue_id, mme_ue_id, .. } => (*enb_ue_id, *mme_ue_id),
+                    _ => (m.enb_ue_id, 0),
+                };
+                self.abort_machine(m);
+                self.metrics.proc_aborted += 1;
+                self.metrics.sig_consumed += 1;
+                let out = vec![S1apPdu::DownlinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas: NasMsg::AttachReject { cause: cause::PROTOCOL_ERROR }.encode(),
+                }];
+                m.last_tx = out.clone();
+                out
+            }
+            Disposition::Drop => {
+                self.metrics.sig_dropped += 1;
+                vec![]
+            }
+        }
+    }
+
+    /// Tear down the in-flight procedure: roll back a half-created attach
+    /// (unless the user record predates the procedure) and reset the
+    /// machine to `Idle`. The caller accounts the outcome
+    /// (preempted/aborted/expired).
+    fn abort_machine(&mut self, m: &mut UeMachine) {
+        let rollback = match m.state {
+            ProcState::AttachWaitIcs { imsi, .. } | ProcState::AttachWaitComplete { imsi, .. } if !m.preexisting => {
+                Some(imsi)
+            }
+            _ => None,
         };
+        if let Some(imsi) = rollback {
+            if self.users.contains_key(&imsi) {
+                self.by_mme_ue_id.retain(|_, u| *u != imsi);
+                self.do_detach(imsi);
+                // Rollback of a never-completed attach, not a real detach.
+                self.metrics.detaches -= 1;
+            }
+        }
+        m.state = ProcState::Idle;
+        m.preexisting = false;
+        m.last_tx.clear();
+    }
+
+    /// A delivered message mutates the control plane here. Sets
+    /// `last_tx` so retransmissions can be answered idempotently.
+    fn step(&mut self, m: &mut UeMachine, msg: SigMsg) -> Vec<S1apPdu> {
+        let out = match msg {
+            SigMsg::AttachStart { enb_ue_id, ecgi, .. } => self.step_attach_start(m, enb_ue_id, ecgi),
+            SigMsg::ServiceStart { enb_ue_id, ecgi, guti } => self.step_service_start(m, enb_ue_id, ecgi, guti),
+            SigMsg::Nas { enb_ue_id, mme_ue_id, msg } => self.step_nas(m, enb_ue_id, mme_ue_id, msg),
+            SigMsg::IcsRsp { enb_teid, enb_ip, .. } => self.step_ics_rsp(m, enb_teid, enb_ip),
+            SigMsg::PathSwitch { enb_ue_id, mme_ue_id, new_enb_teid, new_enb_ip, ecgi } => {
+                self.step_path_switch(m, enb_ue_id, mme_ue_id, new_enb_teid, new_enb_ip, ecgi)
+            }
+            SigMsg::HoRequired { enb_ue_id, mme_ue_id } => self.step_ho_required(m, enb_ue_id, mme_ue_id),
+            SigMsg::HoAck { new_enb_teid, new_enb_ip, .. } => self.step_ho_ack(m, new_enb_teid, new_enb_ip),
+        };
+        m.last_tx = out.clone();
+        out
+    }
+
+    fn step_attach_start(&mut self, m: &mut UeMachine, enb_ue_id: u32, ecgi: u32) -> Vec<S1apPdu> {
+        let imsi = m.imsi;
+        m.enb_ue_id = enb_ue_id;
+        self.by_enb_ue_id.insert(enb_ue_id, imsi);
+        if let Some(ctx) = self.users.get(&imsi) {
+            // Duplicate attach for an already-attached IMSI (the UE lost
+            // our earlier accept): idempotent. Skip re-authentication and
+            // re-emit the context setup with the SAME identifiers —
+            // nothing is reallocated.
+            let ctx = Arc::clone(ctx);
+            let (guti, ue_ip, gw_teid, ambr) = {
+                let mut c = ctx.ctrl_write();
+                c.ecgi = ecgi;
+                (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
+            };
+            self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+            self.dirty.insert(imsi);
+            let mme_ue_id = match self.by_mme_ue_id.iter().filter(|(_, u)| **u == imsi).map(|(id, _)| *id).min() {
+                Some(id) => id,
+                None => {
+                    let id = self.next_mme_ue_id;
+                    self.next_mme_ue_id += 1;
+                    self.by_mme_ue_id.insert(id, imsi);
+                    id
+                }
+            };
+            self.metrics.proc_started += 1;
+            m.preexisting = true;
+            m.state = ProcState::AttachWaitIcs { imsi, mme_ue_id };
+            return vec![S1apPdu::InitialContextSetupRequest {
+                enb_ue_id,
+                mme_ue_id,
+                gw_teid,
+                gw_ip: self.gw_ip,
+                ambr_kbps: ambr,
+                nas: NasMsg::AttachAccept { guti, ue_ip, tac: self.tac }.encode(),
+            }];
+        }
+        // Fresh attach: authenticate against the HSS.
         let proxy = match &self.proxy {
             Some(p) => Arc::clone(p),
             None => return vec![],
@@ -357,8 +574,8 @@ impl ControlPlane {
         self.next_mme_ue_id += 1;
         match proxy.authentication_info(imsi) {
             Ok(ch) => {
-                self.attach_fsms
-                    .insert(enb_ue_id, AttachFsm::WaitAuthResponse { imsi, xres: ch.xres, ecgi, mme_ue_id });
+                self.metrics.proc_started += 1;
+                m.state = ProcState::AttachWaitAuth { imsi, xres: ch.xres, ecgi, mme_ue_id };
                 vec![S1apPdu::DownlinkNasTransport {
                     enb_ue_id,
                     mme_ue_id,
@@ -367,6 +584,8 @@ impl ControlPlane {
             }
             Err(_) => {
                 self.metrics.attach_rejects += 1;
+                self.metrics.proc_started += 1;
+                self.metrics.proc_aborted += 1;
                 vec![S1apPdu::DownlinkNasTransport {
                     enb_ue_id,
                     mme_ue_id,
@@ -376,18 +595,43 @@ impl ControlPlane {
         }
     }
 
-    fn on_uplink_nas(&mut self, enb_ue_id: u32, mme_ue_id: u32, nas: &[u8]) -> Vec<S1apPdu> {
-        let msg = match NasMsg::decode(nas) {
-            Ok(m) => m,
-            Err(_) => return vec![],
+    /// Idle→active: a Service Request re-activates a known (idle) user.
+    /// The user's context is re-announced to the data plane as *active*,
+    /// promoting it back into the primary table.
+    fn step_service_start(&mut self, m: &mut UeMachine, enb_ue_id: u32, ecgi: u32, guti: u64) -> Vec<S1apPdu> {
+        let t0 = std::time::Instant::now();
+        m.enb_ue_id = enb_ue_id;
+        // Re-check: a deferred service request may outlive the user.
+        if self.by_guti.get(&guti).copied() != Some(m.imsi) {
+            return vec![S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id: 0, cause: cause::ILLEGAL_UE }];
+        }
+        let imsi = m.imsi;
+        self.by_enb_ue_id.insert(enb_ue_id, imsi);
+        let ctx = Arc::clone(&self.users[&imsi]);
+        let (gw_teid, ue_ip) = {
+            let mut c = ctx.ctrl_write();
+            if ecgi != 0 {
+                c.ecgi = ecgi;
+            }
+            (c.tunnels.gw_teid, c.ue_ip)
         };
-        match (msg, self.attach_fsms.remove(&enb_ue_id)) {
-            (
-                NasMsg::AuthenticationResponse { res },
-                Some(AttachFsm::WaitAuthResponse { imsi, xres, ecgi, mme_ue_id: id }),
-            ) => {
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        let mme_ue_id = self.next_mme_ue_id;
+        self.next_mme_ue_id += 1;
+        self.by_mme_ue_id.insert(mme_ue_id, imsi);
+        self.metrics.service_requests += 1;
+        self.metrics.proc_started += 1;
+        self.metrics.proc_completed += 1;
+        self.dirty.insert(imsi);
+        self.service_request_ns.record(t0.elapsed().as_nanos() as u64);
+        vec![S1apPdu::DownlinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::ServiceAccept.encode() }]
+    }
+
+    fn step_nas(&mut self, m: &mut UeMachine, enb_ue_id: u32, mme_ue_id: u32, msg: NasMsg) -> Vec<S1apPdu> {
+        match (m.state, msg) {
+            (ProcState::AttachWaitAuth { imsi, xres, ecgi, mme_ue_id: id }, NasMsg::AuthenticationResponse { res }) => {
                 if res == xres {
-                    self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id });
+                    m.state = ProcState::AttachWaitSmc { imsi, ecgi, mme_ue_id: id };
                     vec![S1apPdu::DownlinkNasTransport {
                         enb_ue_id,
                         mme_ue_id: id,
@@ -395,6 +639,8 @@ impl ControlPlane {
                     }]
                 } else {
                     self.metrics.attach_rejects += 1;
+                    self.metrics.proc_aborted += 1;
+                    m.state = ProcState::Idle;
                     vec![S1apPdu::DownlinkNasTransport {
                         enb_ue_id,
                         mme_ue_id: id,
@@ -402,16 +648,22 @@ impl ControlPlane {
                     }]
                 }
             }
-            (NasMsg::SecurityModeComplete, Some(AttachFsm::WaitSecurityComplete { imsi, ecgi, mme_ue_id: id })) => {
+            (ProcState::AttachWaitSmc { imsi, ecgi, mme_ue_id: id }, NasMsg::SecurityModeComplete) => {
                 let proxy = match &self.proxy {
                     Some(p) => Arc::clone(p),
-                    None => return vec![],
+                    None => {
+                        self.metrics.proc_aborted += 1;
+                        m.state = ProcState::Idle;
+                        return vec![];
+                    }
                 };
                 // Pull the subscription profile and policy rules.
                 let sub = match proxy.update_location(imsi) {
                     Ok(s) => s,
                     Err(_) => {
                         self.metrics.attach_rejects += 1;
+                        self.metrics.proc_aborted += 1;
+                        m.state = ProcState::Idle;
                         return vec![S1apPdu::DownlinkNasTransport {
                             enb_ue_id,
                             mme_ue_id: id,
@@ -420,8 +672,8 @@ impl ControlPlane {
                     }
                 };
                 let qos = QosPolicy { qci: sub.default_qci, ambr_kbps: sub.ambr_kbps, gbr_kbps: 0 };
-                self.do_attach(imsi, qos, DeviceClass::Smartphone, ecgi);
-                self.metrics.attaches -= 1; // counted on AttachComplete instead
+                // Counted on AttachComplete instead.
+                self.do_attach(imsi, qos, DeviceClass::Smartphone, ecgi, false);
                 self.by_mme_ue_id.insert(id, imsi);
                 // Install PCRF rules.
                 if let Ok(rules) = proxy.fetch_rules(id, imsi) {
@@ -439,7 +691,7 @@ impl ControlPlane {
                     let c = ctx.ctrl_read();
                     (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
                 };
-                self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitContextSetup { imsi, mme_ue_id: id });
+                m.state = ProcState::AttachWaitIcs { imsi, mme_ue_id: id };
                 vec![S1apPdu::InitialContextSetupRequest {
                     enb_ue_id,
                     mme_ue_id: id,
@@ -449,98 +701,207 @@ impl ControlPlane {
                     nas: NasMsg::AttachAccept { guti, ue_ip, tac: self.tac }.encode(),
                 }]
             }
-            (NasMsg::AttachComplete, Some(AttachFsm::WaitAttachComplete)) => {
+            (ProcState::AttachWaitComplete { .. }, NasMsg::AttachComplete) => {
                 self.metrics.attaches += 1;
+                self.metrics.proc_completed += 1;
+                m.state = ProcState::Idle;
+                m.preexisting = false;
                 vec![]
             }
-            (NasMsg::DetachRequest { guti }, fsm) => {
-                // Detach can arrive outside any attach FSM.
-                if let Some(f) = fsm {
-                    self.attach_fsms.insert(enb_ue_id, f);
-                }
+            (_, NasMsg::DetachRequest { guti }) => {
+                // Single-shot procedure; routing already resolved the
+                // GUTI, but re-resolve in case a preemption rollback just
+                // removed the user.
                 match self.by_guti.get(&guti).copied() {
                     Some(user_imsi) => {
                         self.by_mme_ue_id.retain(|_, u| *u != user_imsi);
                         self.do_detach(user_imsi);
+                        self.metrics.proc_started += 1;
+                        self.metrics.proc_completed += 1;
                         vec![S1apPdu::DownlinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::DetachAccept.encode() }]
                     }
                     None => vec![],
                 }
             }
-            (NasMsg::TrackingAreaUpdateRequest { guti, tac }, fsm) => {
-                if let Some(f) = fsm {
-                    self.attach_fsms.insert(enb_ue_id, f);
+            (_, NasMsg::TrackingAreaUpdateRequest { guti, tac }) => match self.by_guti.get(&guti).copied() {
+                Some(user_imsi) => {
+                    self.users[&user_imsi].ctrl_write().tac = tac;
+                    self.dirty.insert(user_imsi);
+                    self.metrics.proc_started += 1;
+                    self.metrics.proc_completed += 1;
+                    vec![S1apPdu::DownlinkNasTransport {
+                        enb_ue_id,
+                        mme_ue_id,
+                        nas: NasMsg::TrackingAreaUpdateAccept { tac }.encode(),
+                    }]
                 }
-                match self.by_guti.get(&guti).copied() {
-                    Some(user_imsi) => {
-                        self.users[&user_imsi].ctrl_write().tac = tac;
-                        self.dirty.insert(user_imsi);
-                        vec![S1apPdu::DownlinkNasTransport {
-                            enb_ue_id,
-                            mme_ue_id,
-                            nas: NasMsg::TrackingAreaUpdateAccept { tac }.encode(),
-                        }]
-                    }
-                    None => vec![],
-                }
-            }
-            // Anything else: out-of-state NAS; drop the FSM progress made
-            // so far (the UE will retry the attach).
+                None => vec![],
+            },
+            // Delivered into Idle but meaningless there (stray
+            // AttachComplete after completion, etc.): consumed, no-op.
             _ => vec![],
         }
     }
 
-    fn on_context_setup_response(
-        &mut self,
-        enb_ue_id: u32,
-        mme_ue_id: u32,
-        enb_teid: u32,
-        enb_ip: u32,
-    ) -> Vec<S1apPdu> {
-        if let Some(AttachFsm::WaitContextSetup { imsi, mme_ue_id: id }) = self.attach_fsms.remove(&enb_ue_id) {
-            if id == mme_ue_id {
-                if let Some(ctx) = self.users.get(&imsi) {
-                    let mut c = ctx.ctrl_write();
-                    c.tunnels.enb_teid = enb_teid;
-                    c.tunnels.enb_ip = enb_ip;
-                    drop(c);
-                    self.dirty.insert(imsi);
-                }
-                self.attach_fsms.insert(enb_ue_id, AttachFsm::WaitAttachComplete);
+    fn step_ics_rsp(&mut self, m: &mut UeMachine, enb_teid: u32, enb_ip: u32) -> Vec<S1apPdu> {
+        if let ProcState::AttachWaitIcs { imsi, mme_ue_id } = m.state {
+            if let Some(ctx) = self.users.get(&imsi) {
+                let mut c = ctx.ctrl_write();
+                c.tunnels.enb_teid = enb_teid;
+                c.tunnels.enb_ip = enb_ip;
+                drop(c);
+                self.dirty.insert(imsi);
             }
+            m.state = ProcState::AttachWaitComplete { imsi, mme_ue_id };
         }
         vec![]
     }
 
-    /// Idle→active: a Service Request re-activates a known (idle) user.
-    /// The user's context is re-announced to the data plane as *active*,
-    /// promoting it back into the primary table.
-    fn on_service_request(&mut self, enb_ue_id: u32, ecgi: u32, guti: u64) -> Vec<S1apPdu> {
-        let t0 = std::time::Instant::now();
-        let imsi = match self.by_guti.get(&guti).copied() {
-            Some(i) => i,
-            None => {
-                // Unknown GUTI: tell the eNodeB to release the UE; it
-                // will re-attach with its IMSI.
-                return vec![S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id: 0, cause: cause::ILLEGAL_UE }];
+    fn step_path_switch(
+        &mut self,
+        m: &mut UeMachine,
+        enb_ue_id: u32,
+        mme_ue_id: u32,
+        new_enb_teid: u32,
+        new_enb_ip: u32,
+        ecgi: u32,
+    ) -> Vec<S1apPdu> {
+        // Re-check: a deferred path switch may outlive the session.
+        if self.by_mme_ue_id.get(&mme_ue_id).copied() != Some(m.imsi) {
+            return vec![];
+        }
+        if self.do_handover(m.imsi, new_enb_teid, new_enb_ip, ecgi) {
+            self.metrics.proc_started += 1;
+            self.metrics.proc_completed += 1;
+            vec![S1apPdu::PathSwitchRequestAck { enb_ue_id, mme_ue_id }]
+        } else {
+            vec![]
+        }
+    }
+
+    fn step_ho_required(&mut self, m: &mut UeMachine, enb_ue_id: u32, mme_ue_id: u32) -> Vec<S1apPdu> {
+        if self.by_mme_ue_id.get(&mme_ue_id).copied() != Some(m.imsi) {
+            return vec![];
+        }
+        let imsi = m.imsi;
+        let (gw_teid, ambr) = match self.users.get(&imsi) {
+            Some(ctx) => {
+                let c = ctx.ctrl_read();
+                (c.tunnels.gw_teid, c.qos.ambr_kbps)
             }
+            None => return vec![],
         };
-        let ctx = Arc::clone(&self.users[&imsi]);
-        let (gw_teid, ue_ip) = {
-            let mut c = ctx.ctrl_write();
-            if ecgi != 0 {
-                c.ecgi = ecgi;
+        self.metrics.proc_started += 1;
+        m.enb_ue_id = enb_ue_id;
+        self.by_enb_ue_id.insert(enb_ue_id, imsi);
+        m.state = ProcState::HandoverWaitAck { imsi, source_enb_ue_id: enb_ue_id, mme_ue_id };
+        // Addressed to the *target* eNodeB (the node layer routes it
+        // there).
+        vec![S1apPdu::HandoverRequest { mme_ue_id, gw_teid, gw_ip: self.gw_ip, ambr_kbps: ambr }]
+    }
+
+    fn step_ho_ack(&mut self, m: &mut UeMachine, new_enb_teid: u32, new_enb_ip: u32) -> Vec<S1apPdu> {
+        if let ProcState::HandoverWaitAck { imsi, source_enb_ue_id, mme_ue_id } = m.state {
+            self.do_handover(imsi, new_enb_teid, new_enb_ip, 0);
+            m.state = ProcState::Idle;
+            self.metrics.proc_completed += 1;
+            vec![S1apPdu::HandoverCommand { enb_ue_id: source_enb_ue_id, mme_ue_id }]
+        } else {
+            // Stray ack delivered into Idle: consumed, no-op.
+            vec![]
+        }
+    }
+
+    /// Put a machine back, or retire it if quiescent (idle with an empty
+    /// mailbox) so the table only holds UEs with signaling in flight.
+    fn retire_or_keep(&mut self, m: UeMachine) {
+        if m.in_flight() || !m.mailbox.is_empty() {
+            self.machines.insert(m.imsi, m);
+        }
+    }
+
+    /// Forget a UE's procedure machine (detach / extraction). A machine
+    /// checked out for stepping is not in the table — its teardown is the
+    /// caller's job — so this is safely a no-op mid-delivery.
+    fn drop_machine(&mut self, imsi: u64) {
+        if let Some(m) = self.machines.remove(&imsi) {
+            self.metrics.sig_dropped += m.mailbox.len() as u64;
+            if m.in_flight() {
+                self.metrics.proc_aborted += 1;
             }
-            (c.tunnels.gw_teid, c.ue_ip)
-        };
-        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
-        let mme_ue_id = self.next_mme_ue_id;
-        self.next_mme_ue_id += 1;
-        self.by_mme_ue_id.insert(mme_ue_id, imsi);
-        self.metrics.service_requests += 1;
-        self.dirty.insert(imsi);
-        self.service_request_ns.record(t0.elapsed().as_nanos() as u64);
-        vec![S1apPdu::DownlinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::ServiceAccept.encode() }]
+        }
+        self.by_enb_ue_id.retain(|_, u| *u != imsi);
+    }
+
+    // -- procedure supervision ---------------------------------------------------
+
+    /// Advance the supervision clock (ticks are whatever unit the caller
+    /// supervises in — the HA layer uses its own tick counter).
+    pub fn note_tick(&mut self, now: u64) {
+        self.proc_tick = now;
+    }
+
+    /// Expire procedures that made no progress for more than `max_age`
+    /// ticks: drop their mailboxes, roll back half-created users, and
+    /// retire the machines. Returns how many procedures expired.
+    /// `max_age == 0` disables expiry.
+    pub fn expire_procedures(&mut self, now: u64, max_age: u64) -> usize {
+        self.proc_tick = now;
+        if max_age == 0 {
+            return 0;
+        }
+        let mut stale: Vec<u64> = self
+            .machines
+            .iter()
+            .filter(|(_, m)| (m.in_flight() || !m.mailbox.is_empty()) && now.saturating_sub(m.last_progress) > max_age)
+            .map(|(imsi, _)| *imsi)
+            .collect();
+        // HashMap iteration order is arbitrary; expire in IMSI order so
+        // replication and the simulator stay deterministic.
+        stale.sort_unstable();
+        let n = stale.len();
+        for imsi in stale {
+            let mut m = self.machines.remove(&imsi).expect("selected above");
+            self.metrics.sig_dropped += m.mailbox.len() as u64;
+            m.mailbox.clear();
+            if m.in_flight() {
+                self.abort_machine(&mut m);
+                self.metrics.proc_expired += 1;
+            }
+            self.by_enb_ue_id.retain(|_, u| *u != imsi);
+        }
+        n
+    }
+
+    /// UEs whose procedure has been in flight without progress for more
+    /// than `bound` ticks, as `(imsi, age)` in IMSI order — the "stuck
+    /// procedure" oracle input.
+    pub fn stuck_procedures(&self, now: u64, bound: u64) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .machines
+            .values()
+            .filter(|m| m.in_flight())
+            .map(|m| (m.imsi, now.saturating_sub(m.last_progress)))
+            .filter(|(_, age)| *age > bound)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of procedures currently in flight.
+    pub fn procedures_in_flight(&self) -> u64 {
+        self.machines.values().filter(|m| m.in_flight()).count() as u64
+    }
+
+    /// Signaling messages currently parked in per-UE mailboxes.
+    pub fn mailbox_backlog(&self) -> u64 {
+        self.machines.values().map(|m| m.mailbox.len() as u64).sum()
+    }
+
+    /// Whether a GUTI resolves to a user on this slice (routing probe for
+    /// the node layer).
+    pub fn knows_guti(&self, guti: u64) -> bool {
+        self.by_guti.contains_key(&guti)
     }
 
     /// Active→idle: release a user's radio context (inactivity or an
@@ -573,6 +934,10 @@ impl ControlPlane {
     /// indexes and tells the data plane to forget the user.
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
         let ctx = self.users.remove(&imsi)?;
+        // An in-flight procedure does not migrate: the machine is dropped
+        // (accounted as aborted) and the peer retries against the new
+        // owner. Only the committed ControlState moves.
+        self.drop_machine(imsi);
         let (guti, gw_teid, ue_ip) = {
             let c = ctx.ctrl_read();
             (c.guti, c.tunnels.gw_teid, c.ue_ip)

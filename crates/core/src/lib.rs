@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod migrate;
 pub mod node;
 pub mod pcef;
+pub mod procedure;
 pub mod proxy;
 pub mod qos;
 pub mod recovery;

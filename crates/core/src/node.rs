@@ -170,6 +170,13 @@ impl PepcNode {
                 Ok(pepc_sigproto::nas::NasMsg::AttachRequest { imsi, .. }) => {
                     self.demux.slice_for_imsi(imsi).unwrap_or_else(|| self.home_slice(imsi))
                 }
+                // Service Requests carry only a GUTI; probe the slices for
+                // the owner (GUTI regions are per-slice, so at most one
+                // hit). Unknown GUTIs go to slice 0, which answers with
+                // the release-and-reattach command.
+                Ok(pepc_sigproto::nas::NasMsg::ServiceRequest { guti }) => {
+                    (0..self.slices.len()).find(|&k| self.slices[k].ctrl.knows_guti(guti)).unwrap_or(0)
+                }
                 _ => return vec![],
             },
             S1apPdu::UplinkNasTransport { mme_ue_id, .. }
@@ -313,6 +320,26 @@ impl PepcNode {
     /// Packets forwarded while draining migration queues.
     pub fn take_migration_output(&mut self) -> Vec<Mbuf> {
         std::mem::take(&mut self.migration_out)
+    }
+
+    /// Advance every slice's procedure-supervision clock.
+    pub fn note_tick(&mut self, now: u64) {
+        for s in &mut self.slices {
+            s.note_tick(now);
+        }
+    }
+
+    /// Expire stalled procedures on every slice; returns the total count.
+    pub fn expire_procedures(&mut self, now: u64, max_age: u64) -> usize {
+        self.slices.iter_mut().map(|s| s.expire_procedures(now, max_age)).sum()
+    }
+
+    /// UEs stuck mid-procedure beyond `bound` ticks across all slices,
+    /// as `(imsi, age)` — the simulator's liveness-oracle input.
+    pub fn stuck_procedures(&self, now: u64, bound: u64) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.slices.iter().flat_map(|s| s.ctrl.stuck_procedures(now, bound)).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Direct access to a slice (harness / test hook).

@@ -1,0 +1,396 @@
+//! Per-UE procedure state machines — the "UE serialization" layer (PR 6).
+//!
+//! The paper slices state by user so that one control thread owns each
+//! UE's signaling; this module makes the *procedure* dimension explicit.
+//! Every UE has at most one [`UeMachine`], which is the single owner of
+//! that UE's in-flight procedure: it consumes one routed signaling
+//! message ([`SigMsg`]) at a time and, for messages that do not fit the
+//! current state, decides a [`Disposition`] — queue it in the per-UE
+//! mailbox, preempt the running procedure, abort with a NAS cause, dedup
+//! a retransmission (answering from the cached response), or drop it.
+//!
+//! The machine itself is pure bookkeeping: [`crate::ctrl::ControlPlane`]
+//! is the dispatcher that routes PDUs to machines, applies dispositions,
+//! and performs the actual state mutations when a message is delivered.
+//! Keeping the policy table here, side-effect free, is what makes the
+//! interleaving test matrix (`tests/procedure_interleavings.rs`) able to
+//! enumerate it exhaustively.
+//!
+//! State diagram (attach; `*` marks states where the half-created user
+//! must be rolled back if the procedure is preempted/aborted/expired):
+//!
+//! ```text
+//! Idle --AttachStart--> WaitAuth --AuthRsp--> WaitSmc --SmcComplete-->
+//!     WaitIcs* --IcsRsp--> WaitComplete* --AttachComplete--> Idle
+//! ```
+//!
+//! Handover (S1 three-way):
+//!
+//! ```text
+//! Idle --HoRequired--> HandoverWaitAck --HoAck--> Idle
+//! ```
+//!
+//! Detach, TAU, service request, path switch (X2), and bearer setup are
+//! single-message procedures: they start and complete in one step and
+//! never leave `Idle` behind.
+
+use pepc_sigproto::nas::NasMsg;
+use pepc_sigproto::s1ap::S1apPdu;
+use std::collections::VecDeque;
+
+/// Per-UE mailbox depth. Deferred messages beyond this are dropped (and
+/// counted); 8 comfortably covers every legal overlap of two procedures.
+pub const MAILBOX_CAP: usize = 8;
+
+/// Which procedure a machine is currently running (telemetry label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcKind {
+    Attach,
+    Handover,
+}
+
+/// The resumable procedure state. `Copy` so HA snapshots and the
+/// dispatcher can move it around freely; identifiers needed to resume are
+/// carried inline (nothing hides in closures or call stacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// No procedure in flight.
+    Idle,
+    /// Attach: challenge sent, waiting for the UE's RES.
+    AttachWaitAuth { imsi: u64, xres: u64, ecgi: u32, mme_ue_id: u32 },
+    /// Attach: security mode commanded, waiting for completion.
+    AttachWaitSmc { imsi: u64, ecgi: u32, mme_ue_id: u32 },
+    /// Attach: context setup sent, waiting for the eNodeB's endpoint.
+    /// The user record exists from here on (rollback on abort).
+    AttachWaitIcs { imsi: u64, mme_ue_id: u32 },
+    /// Attach: waiting for the final NAS Attach Complete.
+    AttachWaitComplete { imsi: u64, mme_ue_id: u32 },
+    /// S1 handover: waiting for the target eNodeB's ack.
+    HandoverWaitAck { imsi: u64, source_enb_ue_id: u32, mme_ue_id: u32 },
+}
+
+impl ProcState {
+    /// The procedure this state belongs to, if any.
+    pub fn kind(&self) -> Option<ProcKind> {
+        match self {
+            ProcState::Idle => None,
+            ProcState::AttachWaitAuth { .. }
+            | ProcState::AttachWaitSmc { .. }
+            | ProcState::AttachWaitIcs { .. }
+            | ProcState::AttachWaitComplete { .. } => Some(ProcKind::Attach),
+            ProcState::HandoverWaitAck { .. } => Some(ProcKind::Handover),
+        }
+    }
+}
+
+/// A signaling message after routing: addressed to exactly one UE, with
+/// the transport identifiers it arrived under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigMsg {
+    /// Initial UE message carrying a NAS Attach Request.
+    AttachStart { enb_ue_id: u32, ecgi: u32, tac: u16, imsi: u64 },
+    /// Initial UE message carrying a NAS Service Request.
+    ServiceStart { enb_ue_id: u32, ecgi: u32, guti: u64 },
+    /// Uplink NAS transport (decoded).
+    Nas { enb_ue_id: u32, mme_ue_id: u32, msg: NasMsg },
+    /// Initial Context Setup Response from the eNodeB.
+    IcsRsp { enb_ue_id: u32, mme_ue_id: u32, enb_teid: u32, enb_ip: u32 },
+    /// X2 path switch request.
+    PathSwitch { enb_ue_id: u32, mme_ue_id: u32, new_enb_teid: u32, new_enb_ip: u32, ecgi: u32 },
+    /// S1 Handover Required from the source eNodeB.
+    HoRequired { enb_ue_id: u32, mme_ue_id: u32 },
+    /// S1 Handover Request Ack from the target eNodeB.
+    HoAck { mme_ue_id: u32, new_enb_teid: u32, new_enb_ip: u32 },
+}
+
+/// What the machine decides to do with an arriving message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Fits the current state: deliver and step the machine.
+    Deliver,
+    /// Legal but not now: park in the mailbox until the procedure ends.
+    Defer,
+    /// A retransmission of the message that produced the cached
+    /// response: re-emit [`UeMachine::last_tx`] without stepping.
+    Dedup,
+    /// A newer procedure displaces the running one: abort (with
+    /// rollback), then deliver this message into the fresh `Idle` state.
+    Preempt,
+    /// Irreconcilable mid-procedure: abort with a NAS cause.
+    Abort,
+    /// Meaningless in every reachable state: discard.
+    Drop,
+}
+
+/// The single-owner procedure machine for one UE.
+#[derive(Debug)]
+pub struct UeMachine {
+    pub imsi: u64,
+    /// Last eNodeB UE id seen for this UE (routing index value).
+    pub enb_ue_id: u32,
+    pub state: ProcState,
+    /// Messages deferred until the running procedure terminates.
+    pub mailbox: VecDeque<SigMsg>,
+    /// Response emitted for the last delivered message — replayed on
+    /// dedup so retransmissions are idempotent.
+    pub last_tx: Vec<S1apPdu>,
+    /// Tick of the last delivered message (drives the supervision timer
+    /// and the "stuck procedure" oracle).
+    pub last_progress: u64,
+    /// The user record predates the running procedure (idempotent
+    /// re-attach): abort must *not* roll the user back.
+    pub preexisting: bool,
+}
+
+impl UeMachine {
+    pub fn new(imsi: u64, now: u64) -> Self {
+        UeMachine {
+            imsi,
+            enb_ue_id: 0,
+            state: ProcState::Idle,
+            mailbox: VecDeque::new(),
+            last_tx: Vec::new(),
+            last_progress: now,
+            preexisting: false,
+        }
+    }
+
+    /// Whether a procedure is in flight.
+    pub fn in_flight(&self) -> bool {
+        self.state != ProcState::Idle
+    }
+
+    /// The policy table: given the current state, classify an arriving
+    /// message. Pure — no side effects, so tests can sweep it.
+    pub fn dispose(&self, msg: &SigMsg) -> Disposition {
+        use Disposition::*;
+        match self.state {
+            // Idle: everything is deliverable; the step function decides
+            // whether it means anything.
+            ProcState::Idle => Deliver,
+
+            // Mid-attach.
+            ProcState::AttachWaitAuth { mme_ue_id, .. }
+            | ProcState::AttachWaitSmc { mme_ue_id, .. }
+            | ProcState::AttachWaitIcs { mme_ue_id, .. }
+            | ProcState::AttachWaitComplete { mme_ue_id, .. } => match msg {
+                // Retransmitted Attach Request on the same S1 association
+                // is the same attempt; a different association is a new
+                // attempt that displaces this one.
+                SigMsg::AttachStart { enb_ue_id, .. } => {
+                    if *enb_ue_id == self.enb_ue_id {
+                        Dedup
+                    } else {
+                        Preempt
+                    }
+                }
+                // A UE mid-attach has no bearer to re-establish.
+                SigMsg::ServiceStart { .. } => Drop,
+                SigMsg::Nas { msg, .. } => match (self.state, msg) {
+                    // The expected next NAS message of each wait state.
+                    (ProcState::AttachWaitAuth { .. }, NasMsg::AuthenticationResponse { .. })
+                    | (ProcState::AttachWaitSmc { .. }, NasMsg::SecurityModeComplete)
+                    | (ProcState::AttachWaitComplete { .. }, NasMsg::AttachComplete) => Deliver,
+                    // Retransmits of already-consumed steps.
+                    (
+                        ProcState::AttachWaitSmc { .. }
+                        | ProcState::AttachWaitIcs { .. }
+                        | ProcState::AttachWaitComplete { .. },
+                        NasMsg::AuthenticationResponse { .. },
+                    )
+                    | (
+                        ProcState::AttachWaitIcs { .. } | ProcState::AttachWaitComplete { .. },
+                        NasMsg::SecurityModeComplete,
+                    ) => Dedup,
+                    // The UE changed its mind: detach wins over attach.
+                    (_, NasMsg::DetachRequest { .. }) => Preempt,
+                    // Mobility while attaching: hold until the attach
+                    // terminates, then apply.
+                    (_, NasMsg::TrackingAreaUpdateRequest { .. }) => Defer,
+                    // Anything else mid-attach is a protocol error.
+                    _ => Abort,
+                },
+                SigMsg::IcsRsp { mme_ue_id: got, .. } => {
+                    if matches!(self.state, ProcState::AttachWaitIcs { .. }) && *got == mme_ue_id {
+                        Deliver
+                    } else {
+                        Drop
+                    }
+                }
+                // Mobility events wait for the attach to finish.
+                SigMsg::PathSwitch { .. } | SigMsg::HoRequired { .. } => Defer,
+                // An S1 handover ack without a handover in flight.
+                SigMsg::HoAck { .. } => Drop,
+            },
+
+            // Mid-handover.
+            ProcState::HandoverWaitAck { mme_ue_id, .. } => match msg {
+                SigMsg::HoAck { mme_ue_id: got, .. } => {
+                    if *got == mme_ue_id {
+                        Deliver
+                    } else {
+                        Drop
+                    }
+                }
+                // Source eNodeB retransmitting Handover Required.
+                SigMsg::HoRequired { .. } => Dedup,
+                // A fresh attach or a detach displaces the handover.
+                SigMsg::AttachStart { .. } => Preempt,
+                SigMsg::Nas { msg: NasMsg::DetachRequest { .. }, .. } => Preempt,
+                // Competing mobility / activity: after the handover.
+                SigMsg::PathSwitch { .. }
+                | SigMsg::ServiceStart { .. }
+                | SigMsg::Nas { msg: NasMsg::TrackingAreaUpdateRequest { .. }, .. } => Defer,
+                // Stray attach-procedure messages during a handover.
+                _ => Drop,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_in(state: ProcState) -> UeMachine {
+        let mut m = UeMachine::new(7, 0);
+        m.enb_ue_id = 10;
+        m.state = state;
+        m
+    }
+
+    fn nas(msg: NasMsg) -> SigMsg {
+        SigMsg::Nas { enb_ue_id: 10, mme_ue_id: 1, msg }
+    }
+
+    const WAIT_AUTH: ProcState = ProcState::AttachWaitAuth { imsi: 7, xres: 1, ecgi: 1, mme_ue_id: 1 };
+    const WAIT_SMC: ProcState = ProcState::AttachWaitSmc { imsi: 7, ecgi: 1, mme_ue_id: 1 };
+    const WAIT_ICS: ProcState = ProcState::AttachWaitIcs { imsi: 7, mme_ue_id: 1 };
+    const WAIT_CPL: ProcState = ProcState::AttachWaitComplete { imsi: 7, mme_ue_id: 1 };
+    const HO_WAIT: ProcState = ProcState::HandoverWaitAck { imsi: 7, source_enb_ue_id: 10, mme_ue_id: 1 };
+
+    #[test]
+    fn idle_delivers_everything() {
+        let m = machine_in(ProcState::Idle);
+        for msg in [
+            SigMsg::AttachStart { enb_ue_id: 1, ecgi: 1, tac: 1, imsi: 7 },
+            SigMsg::ServiceStart { enb_ue_id: 1, ecgi: 1, guti: 9 },
+            nas(NasMsg::AttachComplete),
+            SigMsg::HoAck { mme_ue_id: 1, new_enb_teid: 1, new_enb_ip: 1 },
+        ] {
+            assert_eq!(m.dispose(&msg), Disposition::Deliver, "{msg:?}");
+        }
+        assert!(!m.in_flight());
+    }
+
+    #[test]
+    fn attach_expected_steps_deliver() {
+        assert_eq!(
+            machine_in(WAIT_AUTH).dispose(&nas(NasMsg::AuthenticationResponse { res: 1 })),
+            Disposition::Deliver
+        );
+        assert_eq!(machine_in(WAIT_SMC).dispose(&nas(NasMsg::SecurityModeComplete)), Disposition::Deliver);
+        assert_eq!(machine_in(WAIT_CPL).dispose(&nas(NasMsg::AttachComplete)), Disposition::Deliver);
+        assert_eq!(
+            machine_in(WAIT_ICS).dispose(&SigMsg::IcsRsp { enb_ue_id: 10, mme_ue_id: 1, enb_teid: 1, enb_ip: 1 }),
+            Disposition::Deliver
+        );
+    }
+
+    #[test]
+    fn attach_retransmits_dedup() {
+        // Same S1 association retransmitting the Attach Request.
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL] {
+            assert_eq!(
+                machine_in(st).dispose(&SigMsg::AttachStart { enb_ue_id: 10, ecgi: 1, tac: 1, imsi: 7 }),
+                Disposition::Dedup,
+                "{st:?}"
+            );
+        }
+        // Already-consumed NAS steps.
+        for st in [WAIT_SMC, WAIT_ICS, WAIT_CPL] {
+            assert_eq!(
+                machine_in(st).dispose(&nas(NasMsg::AuthenticationResponse { res: 1 })),
+                Disposition::Dedup,
+                "{st:?}"
+            );
+        }
+        for st in [WAIT_ICS, WAIT_CPL] {
+            assert_eq!(machine_in(st).dispose(&nas(NasMsg::SecurityModeComplete)), Disposition::Dedup, "{st:?}");
+        }
+    }
+
+    #[test]
+    fn new_association_preempts_attach() {
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL] {
+            assert_eq!(
+                machine_in(st).dispose(&SigMsg::AttachStart { enb_ue_id: 11, ecgi: 1, tac: 1, imsi: 7 }),
+                Disposition::Preempt,
+                "{st:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detach_preempts_everything() {
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL, HO_WAIT] {
+            assert_eq!(machine_in(st).dispose(&nas(NasMsg::DetachRequest { guti: 9 })), Disposition::Preempt, "{st:?}");
+        }
+    }
+
+    #[test]
+    fn mobility_defers_during_attach() {
+        let ps = SigMsg::PathSwitch { enb_ue_id: 1, mme_ue_id: 1, new_enb_teid: 1, new_enb_ip: 1, ecgi: 0 };
+        let ho = SigMsg::HoRequired { enb_ue_id: 1, mme_ue_id: 1 };
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL] {
+            assert_eq!(machine_in(st).dispose(&ps), Disposition::Defer, "{st:?}");
+            assert_eq!(machine_in(st).dispose(&ho), Disposition::Defer, "{st:?}");
+            assert_eq!(
+                machine_in(st).dispose(&nas(NasMsg::TrackingAreaUpdateRequest { guti: 9, tac: 2 })),
+                Disposition::Defer,
+                "{st:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_state_nas_aborts_attach() {
+        // An Attach Complete before the context is set up cannot be a
+        // retransmission — the procedure is broken.
+        assert_eq!(machine_in(WAIT_AUTH).dispose(&nas(NasMsg::AttachComplete)), Disposition::Abort);
+        assert_eq!(machine_in(WAIT_SMC).dispose(&nas(NasMsg::AttachComplete)), Disposition::Abort);
+        assert_eq!(machine_in(WAIT_AUTH).dispose(&nas(NasMsg::SecurityModeComplete)), Disposition::Abort);
+    }
+
+    #[test]
+    fn ics_response_gated_on_state_and_id() {
+        let good = SigMsg::IcsRsp { enb_ue_id: 10, mme_ue_id: 1, enb_teid: 1, enb_ip: 1 };
+        let bad_id = SigMsg::IcsRsp { enb_ue_id: 10, mme_ue_id: 99, enb_teid: 1, enb_ip: 1 };
+        assert_eq!(machine_in(WAIT_ICS).dispose(&good), Disposition::Deliver);
+        assert_eq!(machine_in(WAIT_ICS).dispose(&bad_id), Disposition::Drop);
+        assert_eq!(machine_in(WAIT_AUTH).dispose(&good), Disposition::Drop);
+    }
+
+    #[test]
+    fn handover_policy() {
+        let m = machine_in(HO_WAIT);
+        assert_eq!(m.dispose(&SigMsg::HoAck { mme_ue_id: 1, new_enb_teid: 1, new_enb_ip: 1 }), Disposition::Deliver);
+        assert_eq!(m.dispose(&SigMsg::HoAck { mme_ue_id: 2, new_enb_teid: 1, new_enb_ip: 1 }), Disposition::Drop);
+        assert_eq!(m.dispose(&SigMsg::HoRequired { enb_ue_id: 10, mme_ue_id: 1 }), Disposition::Dedup);
+        assert_eq!(m.dispose(&SigMsg::AttachStart { enb_ue_id: 12, ecgi: 1, tac: 1, imsi: 7 }), Disposition::Preempt);
+        assert_eq!(m.dispose(&SigMsg::ServiceStart { enb_ue_id: 1, ecgi: 1, guti: 9 }), Disposition::Defer);
+        assert_eq!(
+            m.dispose(&SigMsg::PathSwitch { enb_ue_id: 1, mme_ue_id: 1, new_enb_teid: 1, new_enb_ip: 1, ecgi: 0 }),
+            Disposition::Defer
+        );
+        assert_eq!(m.dispose(&nas(NasMsg::AuthenticationResponse { res: 1 })), Disposition::Drop);
+    }
+
+    #[test]
+    fn state_kinds() {
+        assert_eq!(ProcState::Idle.kind(), None);
+        assert_eq!(WAIT_AUTH.kind(), Some(ProcKind::Attach));
+        assert_eq!(WAIT_CPL.kind(), Some(ProcKind::Attach));
+        assert_eq!(HO_WAIT.kind(), Some(ProcKind::Handover));
+    }
+}

@@ -204,6 +204,21 @@ impl Slice {
         self.data.process_burst(burst, self.clock.now_ns())
     }
 
+    /// Advance the control plane's procedure-supervision clock.
+    pub fn note_tick(&mut self, now: u64) {
+        self.ctrl.note_tick(now);
+    }
+
+    /// Expire procedures stalled longer than `max_age` ticks and flush
+    /// any rollback updates to the data plane. Returns how many expired.
+    pub fn expire_procedures(&mut self, now: u64, max_age: u64) -> usize {
+        let n = self.ctrl.expire_procedures(now, max_age);
+        if n > 0 {
+            self.flush_ctrl_updates();
+        }
+        n
+    }
+
     /// Migration source: extract a user (and sync so the data plane
     /// forgets it before the snapshot leaves).
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {

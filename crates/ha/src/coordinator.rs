@@ -53,6 +53,10 @@ pub struct HaConfig {
     pub queue_depth: usize,
     /// Frames pumped per wire per pump call.
     pub pump_burst: usize,
+    /// Abort any UE procedure that makes no signaling progress for this
+    /// many ticks (mailboxes drain, half-created users roll back). `0`
+    /// disables procedure supervision.
+    pub procedure_timeout_ticks: u64,
 }
 
 impl Default for HaConfig {
@@ -63,6 +67,7 @@ impl Default for HaConfig {
             fault: FaultSpec::none(),
             queue_depth: 4096,
             pump_burst: 1024,
+            procedure_timeout_ticks: 0,
         }
     }
 }
@@ -111,7 +116,18 @@ impl HaCluster {
     /// Build `n` nodes from a template config with a replication wire per
     /// node.
     pub fn new(n: usize, template: EpcConfig, cfg: HaConfig) -> Self {
-        let cluster = Cluster::new(n, template, None);
+        Self::with_backends(n, template, cfg, None)
+    }
+
+    /// Build `n` nodes sharing HSS/PCRF backends — enables the full
+    /// S1AP/NAS signaling path via [`HaCluster::node_s1ap`].
+    pub fn with_backends(
+        n: usize,
+        template: EpcConfig,
+        cfg: HaConfig,
+        backends: Option<(std::sync::Arc<pepc_backend::Hss>, std::sync::Arc<pepc_backend::Pcrf>)>,
+    ) -> Self {
+        let cluster = Cluster::new(n, template, backends);
         let mut tx = Vec::with_capacity(n);
         let mut wires = Vec::with_capacity(n);
         let mut rx = Vec::with_capacity(n);
@@ -181,6 +197,27 @@ impl HaCluster {
         self.cluster.process(m)
     }
 
+    /// Deliver one S1AP PDU to node `k` (the eNodeB's S1 association pins
+    /// the serving node) and replicate the resulting state synchronously.
+    /// Signaling to a killed or dead node is lost in the blackout window
+    /// and returns no responses, like any packet to a crashed box.
+    pub fn node_s1ap(&mut self, k: usize, pdu: &pepc_sigproto::s1ap::S1apPdu) -> Vec<pepc_sigproto::s1ap::S1apPdu> {
+        if self.killed[k] || self.cluster.is_dead(k) {
+            return vec![];
+        }
+        // An attach starting here makes node `k` the owner (the UE's
+        // signaling connection terminates on it).
+        if let pepc_sigproto::s1ap::S1apPdu::InitialUeMessage { nas, .. } = pdu {
+            if let Ok(pepc_sigproto::nas::NasMsg::AttachRequest { imsi, .. }) = pepc_sigproto::nas::NasMsg::decode(nas)
+            {
+                self.owner.insert(imsi, k);
+            }
+        }
+        let rsp = self.cluster.node(k).handle_s1ap(pdu);
+        self.replicate_node(k);
+        rsp
+    }
+
     /// Advance one tick: emit periodic replication (counter deltas,
     /// heartbeat), pump every wire into the standby, run the detector, and
     /// fail over any node it declared dead.
@@ -213,6 +250,15 @@ impl HaCluster {
     pub fn emit_periodic(&mut self, k: usize) {
         if self.killed[k] || self.cluster.is_dead(k) {
             return;
+        }
+        // Supervise procedures in coordinator ticks: stamp the clock every
+        // tick; expiry (which may roll back half-created users, dirtying
+        // them) runs before the dirty drain below so rollbacks replicate
+        // in the same tick.
+        let (now, timeout) = (self.tick, self.cfg.procedure_timeout_ticks);
+        self.cluster.node(k).note_tick(now);
+        if timeout > 0 {
+            self.cluster.node(k).expire_procedures(now, timeout);
         }
         self.replicate_dirty(k);
         if self.tick.is_multiple_of(self.cfg.counter_interval) {
@@ -407,6 +453,14 @@ impl HaCluster {
     /// replicated user onto its post-repair home node.
     fn failover(&mut self, k: usize) {
         if !self.cluster.is_dead(k) {
+            if self.cluster.live_count() <= 1 {
+                // Detector declared the last live node dead (every
+                // heartbeat starved — e.g. a shrunk schedule deleting all
+                // emits). There is no survivor to adopt onto; acting
+                // would power off the whole cluster, so ignore the
+                // detector rather than panic.
+                return;
+            }
             // Detector fired without the harness killing the node first
             // (e.g. a fully partitioned but running node): treat it as
             // dead for data too — split-brain forwarding would be worse.

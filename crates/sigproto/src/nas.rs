@@ -22,6 +22,10 @@ pub mod cause {
     pub const ILLEGAL_UE: u8 = 3;
     pub const AUTH_FAILURE: u8 = 20;
     pub const NETWORK_FAILURE: u8 = 17;
+    pub const CONGESTION: u8 = 22;
+    /// "Protocol error, unspecified" — a message that makes no sense in
+    /// the procedure's current state and cannot be queued or deduped.
+    pub const PROTOCOL_ERROR: u8 = 111;
 }
 
 /// Encode an IMSI's 15 digits as packed BCD (8 bytes, high nibble of the
@@ -103,6 +107,9 @@ pub enum NasMsg {
     ServiceRequest { guti: Guti },
     /// MME → UE: service request accepted; bearer re-established.
     ServiceAccept,
+    /// MME → UE: service request refused (mailbox overflow / congestion,
+    /// unknown GUTI carried via S1AP release instead).
+    ServiceReject { cause: u8 },
 }
 
 impl NasMsg {
@@ -120,6 +127,7 @@ impl NasMsg {
     const T_SEC_CMD: u8 = 0x5D;
     const T_SEC_CPL: u8 = 0x5E;
     const T_SVC_REQ: u8 = 0x4D;
+    const T_SVC_REJ: u8 = 0x4E;
     const T_SVC_ACC: u8 = 0x4F;
 
     /// Serialize to bytes.
@@ -180,6 +188,10 @@ impl NasMsg {
                 out.extend_from_slice(&guti.to_be_bytes());
             }
             NasMsg::ServiceAccept => out.push(Self::T_SVC_ACC),
+            NasMsg::ServiceReject { cause } => {
+                out.push(Self::T_SVC_REJ);
+                out.push(*cause);
+            }
         }
         out
     }
@@ -242,6 +254,10 @@ impl NasMsg {
                 Ok(NasMsg::ServiceRequest { guti: u64_at(buf, 1) })
             }
             Self::T_SVC_ACC => Ok(NasMsg::ServiceAccept),
+            Self::T_SVC_REJ => {
+                need(buf, 2, "service reject")?;
+                Ok(NasMsg::ServiceReject { cause: buf[1] })
+            }
             other => Err(SigError::UnknownType("nas message", other.into())),
         }
     }
@@ -291,6 +307,7 @@ mod tests {
             NasMsg::TrackingAreaUpdateAccept { tac: 9 },
             NasMsg::ServiceRequest { guti: 99 },
             NasMsg::ServiceAccept,
+            NasMsg::ServiceReject { cause: cause::CONGESTION },
         ];
         for m in msgs {
             let enc = m.encode();

@@ -1,7 +1,8 @@
 //! Command-line front end for the deterministic simulator.
 //!
 //! ```text
-//! simctl run <seed> [--scenario two_node_failover|partition_heal|lossy_wires]
+//! simctl run <seed> [--scenario two_node_failover|partition_heal|lossy_wires
+//!                                |kill_mid_attach|migrate_mid_handover]
 //! simctl sweep <first_seed> <count> [--scenario NAME]
 //! simctl replay <trace.json>
 //! simctl shrink <trace.json>
@@ -16,6 +17,8 @@ fn scenario(name: &str, seed: u64) -> Result<SimConfig, String> {
         "two_node_failover" => Ok(SimConfig::two_node_failover(seed)),
         "partition_heal" => Ok(SimConfig::partition_heal(seed)),
         "lossy_wires" => Ok(SimConfig::lossy_wires(seed)),
+        "kill_mid_attach" => Ok(SimConfig::kill_mid_attach(seed)),
+        "migrate_mid_handover" => Ok(SimConfig::migrate_mid_handover(seed)),
         other => Err(format!("unknown scenario `{other}`")),
     }
 }

@@ -57,6 +57,11 @@ pub enum BugKind {
     /// IMSI onto a *different* live node — violating the single-owner
     /// invariant the `dup_imsi` oracle guards.
     DoubleAdopt,
+    /// Disable the control plane's procedure-supervision timer while the
+    /// workload still abandons a procedure mid-flight — the UE machine
+    /// stays in a waiting state forever, which the `stuck_procedure`
+    /// oracle exists to catch.
+    StuckProcedure,
 }
 
 /// Full description of one simulated run.
@@ -81,6 +86,18 @@ pub struct SimConfig {
     /// failover. Only sound while replication wires are loss- and
     /// delay-free, so lossy scenarios turn it off.
     pub check_staleness: bool,
+    /// Subscribers driven through the full per-message S1AP/NAS signaling
+    /// path (attach handshake, optionally a handover) instead of the
+    /// synthetic one-shot events. `0` disables signaling emulation and
+    /// keeps the run byte-identical with pre-signaling builds.
+    pub sig_users: u32,
+    /// After attaching, signaling subscribers also run an S1 handover
+    /// (HandoverRequired → HandoverRequest/Ack → HandoverCommand).
+    pub sig_handover: bool,
+    /// Control-plane procedure supervision timeout in ticks (`0` = off).
+    /// When `> 0`, the `stuck_procedure` oracle asserts no UE stays
+    /// mid-procedure beyond `2 × timeout + 2` ticks on a live node.
+    pub procedure_timeout: u64,
 }
 
 impl SimConfig {
@@ -98,6 +115,9 @@ impl SimConfig {
             chaos: vec![ChaosCmd { at_tick: 10, kind: ChaosKind::Kill, node: (seed % 2) as u32, amount: 0 }],
             bug: BugKind::None,
             check_staleness: true,
+            sig_users: 0,
+            sig_handover: false,
+            procedure_timeout: 0,
         }
     }
 
@@ -119,6 +139,9 @@ impl SimConfig {
             ],
             bug: BugKind::None,
             check_staleness: false,
+            sig_users: 0,
+            sig_handover: false,
+            procedure_timeout: 0,
         }
     }
 
@@ -142,6 +165,51 @@ impl SimConfig {
             chaos,
             bug: BugKind::None,
             check_staleness: false,
+            sig_users: 0,
+            sig_handover: false,
+            procedure_timeout: 0,
+        }
+    }
+
+    /// Kill a node while attach handshakes are mid-flight on it: six
+    /// subscribers run the per-message S1AP/NAS attach, the kill lands at
+    /// tick 4 (squarely inside the handshake window), and one subscriber
+    /// deliberately abandons its attach after the first message — the
+    /// supervision timer must reap it. Staleness is unchecked because
+    /// half-finished procedures legitimately lose their users.
+    pub fn kill_mid_attach(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 2,
+            users: 8,
+            ticks: 40,
+            counter_interval: 4,
+            chaos: vec![ChaosCmd { at_tick: 4, kind: ChaosKind::Kill, node: (seed % 2) as u32, amount: 0 }],
+            bug: BugKind::None,
+            check_staleness: false,
+            sig_users: 6,
+            sig_handover: false,
+            procedure_timeout: 6,
+        }
+    }
+
+    /// Intra-node slice migrations landing while S1 handovers are in
+    /// flight: the migration drops the in-flight procedure machine (the
+    /// snapshot carries only committed state), so the handover must abort
+    /// cleanly — accounted, no stuck UE, no conservation leak.
+    pub fn migrate_mid_handover(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 3,
+            users: 6,
+            ticks: 48,
+            counter_interval: 4,
+            chaos: vec![],
+            bug: BugKind::None,
+            check_staleness: true,
+            sig_users: 6,
+            sig_handover: true,
+            procedure_timeout: 6,
         }
     }
 }

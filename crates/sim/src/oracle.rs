@@ -13,6 +13,12 @@
 //! * `seqlock` — per-user view/counter cell sequence numbers are even
 //!   (no publish left half-finished across a step) and never move
 //!   backwards while the context identity is unchanged.
+//! * `stuck_procedure` — when procedure supervision is configured, no UE
+//!   sits mid-procedure on a live node beyond `2 × timeout + 2` ticks
+//!   (the timer must have reaped it).
+//! * `proc_accounting` / `sig_conservation` — per slice, every started
+//!   procedure resolves to exactly one outcome counter, and every S1AP
+//!   PDU received is consumed, deduped, dropped, or parked in a mailbox.
 
 use crate::world::SimWorld;
 use serde::{Deserialize, Serialize};
@@ -75,6 +81,54 @@ impl Oracles {
                 continue;
             }
             let node = cluster.node_ref(k);
+
+            // -- stuck_procedure: on a live node, the supervision timer
+            // must reap any UE machine that stops making progress; age
+            // beyond 2×timeout + 2 ticks means the timer never fired.
+            if w.cfg.procedure_timeout > 0 {
+                let bound = 2 * w.cfg.procedure_timeout + 2;
+                if let Some((imsi, age)) = node.stuck_procedures(w.ha.now(), bound).first() {
+                    return fail(
+                        "stuck_procedure",
+                        format!("imsi {imsi} stuck mid-procedure on node {k} for {age} ticks (bound {bound})"),
+                    );
+                }
+            }
+
+            // -- procedure accounting: per slice, every started procedure
+            // has exactly one outcome and every received S1AP PDU is
+            // attributed (consumed / deduped / dropped / parked).
+            for s in 0..node.slice_count() {
+                let ctrl = &node.slice_ref(s).ctrl;
+                let m = ctrl.metrics();
+                if !m.procedure_accounting_holds(ctrl.procedures_in_flight()) {
+                    return fail(
+                        "proc_accounting",
+                        format!(
+                            "node {k} slice {s}: started {} != completed {} + preempted {} + aborted {} + expired {} + in-flight {}",
+                            m.proc_started,
+                            m.proc_completed,
+                            m.proc_preempted,
+                            m.proc_aborted,
+                            m.proc_expired,
+                            ctrl.procedures_in_flight()
+                        ),
+                    );
+                }
+                if !m.signaling_conservation_holds(ctrl.mailbox_backlog()) {
+                    return fail(
+                        "sig_conservation",
+                        format!(
+                            "node {k} slice {s}: s1ap_rx {} != consumed {} + deduped {} + dropped {} + backlog {}",
+                            m.s1ap_rx,
+                            m.sig_consumed,
+                            m.proc_deduped,
+                            m.sig_dropped,
+                            ctrl.mailbox_backlog()
+                        ),
+                    );
+                }
+            }
             for s in 0..node.slice_count() {
                 let slice = node.slice_ref(s);
                 for imsi in slice.ctrl.imsis() {

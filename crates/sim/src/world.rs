@@ -28,6 +28,10 @@ use std::collections::HashMap;
 /// reading of ticks as heartbeat intervals).
 pub const TICK_NS: u64 = 1_000_000;
 
+/// IMSI range for signaling-emulated subscribers (disjoint from the
+/// synthetic-event range so the two workloads never collide).
+pub const SIG_IMSI_BASE: u64 = 404_02_000_000;
+
 /// One eNodeB workload operation, generated from the seed.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum OpKind {
@@ -44,12 +48,34 @@ pub(crate) enum OpKind {
     Migrate(u64),
     /// Detach the subscriber.
     Detach(u64),
+    /// Advance the subscriber's eNodeB signaling emulator by one S1AP
+    /// message (full per-message attach handshake, optionally an S1
+    /// handover). No-op while the subscriber's serving node is down.
+    Sig(u64),
 }
 
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Op {
     pub at_tick: u64,
     pub kind: OpKind,
+}
+
+/// Client-side state of one emulated eNodeB/UE signaling session. The
+/// emulator is deliberately dumb: each `Sig` op sends exactly the message
+/// its stage calls for, advancing only on the expected response — so a
+/// lost reply means the next op *retransmits*, exercising the control
+/// plane's dedup path, and a reject resets the session to a fresh attach.
+#[derive(Debug, Clone, Copy)]
+struct EnbUe {
+    enb_ue_id: u32,
+    /// 0 send-attach, 1 send-auth-rsp, 2 send-smc-complete, 3 send-ics-rsp,
+    /// 4 send-attach-complete, 5 attached, 6 ho-ack-pending, 7 done.
+    stage: u8,
+    mme_ue_id: u32,
+    /// RAND from the authentication challenge (for computing RES).
+    rand: u64,
+    /// Abandons after the first message — the stuck-procedure seed.
+    abandoner: bool,
 }
 
 /// FNV-1a fold; the digest is the determinism witness two runs compare.
@@ -70,6 +96,8 @@ pub struct SimWorld {
     ops: Vec<Op>,
     /// eNodeB-side cache of (gw_teid, ue_ip) per IMSI, filled at attach.
     keys: HashMap<u64, (u32, u32)>,
+    /// Per-subscriber signaling emulators (only for `cfg.sig_users`).
+    enbs: HashMap<u64, EnbUe>,
     /// Steps applied so far.
     pub(crate) step: u64,
     /// Rolling FNV digest over every applied action and the observable
@@ -95,12 +123,47 @@ impl SimWorld {
             lb_table_size: 251,
             ..EpcConfig::default()
         };
-        let ha_cfg = HaConfig { counter_interval: cfg.counter_interval, ..HaConfig::default() };
-        let mut ha = HaCluster::new(cfg.nodes as usize, template, ha_cfg);
+        // BugKind::StuckProcedure models a supervision timer that never
+        // fires: the HA layer gets timeout 0 while the oracle still
+        // expects reaping within the configured bound.
+        let timeout = if cfg.bug == BugKind::StuckProcedure { 0 } else { cfg.procedure_timeout };
+        let ha_cfg = HaConfig {
+            counter_interval: cfg.counter_interval,
+            procedure_timeout_ticks: timeout,
+            ..HaConfig::default()
+        };
+        // Full-path signaling needs HSS/PCRF backends; event-only runs
+        // skip them so pre-signaling digests stay byte-identical.
+        let backends = if cfg.sig_users > 0 {
+            let hss = std::sync::Arc::new(pepc_backend::Hss::new());
+            hss.provision_range(SIG_IMSI_BASE, u64::from(cfg.sig_users), 100_000);
+            Some((hss, std::sync::Arc::new(pepc_backend::Pcrf::with_standard_rules())))
+        } else {
+            None
+        };
+        let mut ha = HaCluster::with_backends(cfg.nodes as usize, template, ha_cfg, backends);
         let clock = VirtualClock::new();
         ha.set_clock(clock.clock());
         let ops = Self::generate_ops(&cfg);
-        SimWorld { ha, cfg, clock, ops, keys: HashMap::new(), step: 0, digest: 0xCBF2_9CE4_8422_2325, forwarded: 0 }
+        let mut enbs = HashMap::new();
+        for u in 0..u64::from(cfg.sig_users) {
+            let abandoner = cfg.procedure_timeout > 0 && cfg.sig_users > 1 && u == u64::from(cfg.sig_users) - 1;
+            enbs.insert(
+                SIG_IMSI_BASE + u,
+                EnbUe { enb_ue_id: 0x5000 + u as u32, stage: 0, mme_ue_id: 0, rand: 0, abandoner },
+            );
+        }
+        SimWorld {
+            ha,
+            cfg,
+            clock,
+            ops,
+            keys: HashMap::new(),
+            enbs,
+            step: 0,
+            digest: 0xCBF2_9CE4_8422_2325,
+            forwarded: 0,
+        }
     }
 
     /// The deterministic eNodeB script: attaches early, bearers right
@@ -130,6 +193,30 @@ impl SimWorld {
         for _ in 0..(cfg.users / 8).max(1) {
             let imsi = 404_01_000_000 + rng.gen_range(0..u64::from(cfg.users));
             ops.push(Op { at_tick: rng.gen_range(horizon - 4..horizon - 1), kind: OpKind::Detach(imsi) });
+        }
+        // Signaling ops are generated AFTER every legacy draw so that
+        // sig_users == 0 leaves the rng stream — and therefore the whole
+        // schedule and digest — byte-identical with pre-signaling builds.
+        if cfg.sig_users > 0 {
+            // Enough steps to finish the handshake (5 messages, plus a
+            // handover's 2) with headroom for retransmissions.
+            let steps = if cfg.sig_handover { 12u64 } else { 9 };
+            for u in 0..u64::from(cfg.sig_users) {
+                let imsi = SIG_IMSI_BASE + u;
+                let t = rng.gen_range(0..3u64);
+                for j in 0..steps {
+                    ops.push(Op { at_tick: (t + j * 3).min(horizon - 1), kind: OpKind::Sig(imsi) });
+                }
+            }
+            if cfg.sig_handover {
+                // Migrations aimed at the handover window, so the
+                // scheduler can land one mid-HandoverWaitAck.
+                for _ in 0..(cfg.sig_users / 2).max(1) {
+                    let imsi = SIG_IMSI_BASE + rng.gen_range(0..u64::from(cfg.sig_users));
+                    let lo = 14.min(horizon - 2);
+                    ops.push(Op { at_tick: rng.gen_range(lo..horizon - 1), kind: OpKind::Migrate(imsi) });
+                }
+            }
         }
         ops.sort_by_key(|o| o.at_tick);
         ops
@@ -248,6 +335,112 @@ impl SimWorld {
             }
             OpKind::Detach(imsi) => {
                 self.ha.ctrl_event(CtrlEvent::Detach { imsi });
+            }
+            OpKind::Sig(imsi) => self.exec_sig(imsi),
+        }
+    }
+
+    /// One emulator step: send the message the UE's stage calls for to
+    /// its pinned node, parse the response, maybe advance. A down node
+    /// means the message is lost (no state change — the next op
+    /// retransmits, which the control plane answers from its dedup
+    /// cache once the procedure is mid-flight).
+    fn exec_sig(&mut self, imsi: u64) {
+        use pepc_sigproto::nas::NasMsg;
+        use pepc_sigproto::s1ap::S1apPdu;
+        let Some(mut ue) = self.enbs.get(&imsi).copied() else { return };
+        if ue.abandoner && ue.stage != 0 {
+            return; // walked away mid-procedure; supervision must clean up
+        }
+        let k = self.ha.cluster_ref().home_node(imsi);
+        if self.ha.is_killed(k) || self.ha.cluster_ref().is_dead(k) {
+            return; // signaling lost in the blackout
+        }
+        let pdu = match ue.stage {
+            0 => S1apPdu::InitialUeMessage {
+                enb_ue_id: ue.enb_ue_id,
+                ecgi: 0x300,
+                tac: 7,
+                nas: NasMsg::AttachRequest { imsi, ue_capability: 0xF0 }.encode(),
+            },
+            1 => {
+                let res = pepc_backend::hss::sim_response(pepc_backend::Hss::key_for(imsi), ue.rand);
+                S1apPdu::UplinkNasTransport {
+                    enb_ue_id: ue.enb_ue_id,
+                    mme_ue_id: ue.mme_ue_id,
+                    nas: NasMsg::AuthenticationResponse { res }.encode(),
+                }
+            }
+            2 => S1apPdu::UplinkNasTransport {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                nas: NasMsg::SecurityModeComplete.encode(),
+            },
+            3 => S1apPdu::InitialContextSetupResponse {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                enb_teid: 0xE000 + (imsi & 0xFFF) as u32,
+                enb_ip: 0xC0A8_0002,
+            },
+            4 => S1apPdu::UplinkNasTransport {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                nas: NasMsg::AttachComplete.encode(),
+            },
+            5 if self.cfg.sig_handover => {
+                S1apPdu::HandoverRequired { enb_ue_id: ue.enb_ue_id, mme_ue_id: ue.mme_ue_id, target_ecgi: 0x400 }
+            }
+            6 => S1apPdu::HandoverRequestAck {
+                mme_ue_id: ue.mme_ue_id,
+                new_enb_teid: 0xF000 + (imsi & 0xFFF) as u32,
+                new_enb_ip: 0xC0A8_0003,
+            },
+            _ => return, // attached (no handover configured) or done
+        };
+        let rsp = self.ha.node_s1ap(k, &pdu);
+        // ICS responses and AttachComplete are acknowledged silently;
+        // advance those stages on delivery (the node was up).
+        if ue.stage == 3 || ue.stage == 4 {
+            ue.stage += 1;
+            if ue.stage == 5 {
+                self.cache_keys(imsi, k);
+            }
+        }
+        for p in &rsp {
+            match p {
+                S1apPdu::DownlinkNasTransport { mme_ue_id, nas, .. } => match NasMsg::decode(nas) {
+                    Ok(NasMsg::AuthenticationRequest { rand, .. }) if ue.stage == 0 => {
+                        ue.rand = rand;
+                        ue.mme_ue_id = *mme_ue_id;
+                        ue.stage = 1;
+                    }
+                    Ok(NasMsg::SecurityModeCommand { .. }) if ue.stage == 1 => ue.stage = 2,
+                    Ok(NasMsg::AttachReject { .. }) | Ok(NasMsg::AuthenticationReject { .. }) => {
+                        ue.stage = 0; // start over with a fresh attach
+                        ue.mme_ue_id = 0;
+                    }
+                    _ => {}
+                },
+                S1apPdu::InitialContextSetupRequest { mme_ue_id, .. } if ue.stage == 2 => {
+                    ue.mme_ue_id = *mme_ue_id;
+                    ue.stage = 3;
+                }
+                S1apPdu::HandoverRequest { .. } if ue.stage == 5 => ue.stage = 6,
+                S1apPdu::HandoverCommand { .. } if ue.stage == 6 => ue.stage = 7,
+                _ => {}
+            }
+        }
+        self.enbs.insert(imsi, ue);
+    }
+
+    /// Cache the network-assigned data-plane identifiers once the attach
+    /// handshake finishes (what a real eNodeB keeps from the ICS request).
+    fn cache_keys(&mut self, imsi: u64, k: usize) {
+        let node = self.ha.cluster().node(k);
+        if let Some(s) = node.demux().slice_for_imsi(imsi) {
+            if let Some(ctx) = node.slice(s).ctrl.context_of(imsi) {
+                let c = ctx.ctrl_read();
+                self.keys.insert(imsi, (c.tunnels.gw_teid, c.ue_ip));
             }
         }
     }

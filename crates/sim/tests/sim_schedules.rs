@@ -57,6 +57,69 @@ fn schedule_matrix_lossy_wires_green() {
     }
 }
 
+/// Per-message signaling under a mid-handshake crash: attach handshakes
+/// run message-by-message, the kill lands inside the handshake window,
+/// and one subscriber abandons its attach entirely. The in-run oracles
+/// (`stuck_procedure`, `proc_accounting`, `sig_conservation`) are the
+/// assertions; across the sweep some schedules must also finish attaches
+/// despite the kill, or the scenario isn't exercising anything.
+#[test]
+fn schedule_matrix_kill_mid_attach_green() {
+    let n = schedules_from_env(1000).min(64);
+    let mut attached_any = false;
+    for seed in 1..=n {
+        let r = run_green(&SimConfig::kill_mid_attach(seed));
+        if r.users_live > 8 {
+            attached_any = true; // more users than the 8 synthetic ones
+        }
+    }
+    assert!(attached_any, "no schedule completed a signaling attach");
+}
+
+/// Intra-node migrations colliding with in-flight S1 handovers: the
+/// migration drops the procedure machine, the handover must abort
+/// cleanly and the UE retries — no stuck procedure, exact accounting.
+#[test]
+fn schedule_matrix_migrate_mid_handover_green() {
+    let n = schedules_from_env(1000).min(64);
+    for seed in 1..=n {
+        run_green(&SimConfig::migrate_mid_handover(seed));
+    }
+}
+
+/// Cross-PR determinism anchor: the event-only scenarios must produce
+/// these exact digests (captured before the procedure-state-machine
+/// refactor). A mismatch means a code change altered scheduling, rng
+/// consumption, or observable state for runs that don't opt into the
+/// signaling path — the "same-seed runs stay byte-identical" guarantee.
+#[test]
+fn legacy_scenario_digests_are_stable_across_refactors() {
+    #[allow(clippy::type_complexity)]
+    let cases: &[(&str, fn(u64) -> SimConfig, &[(u64, u64)])] = &[
+        (
+            "two_node_failover",
+            SimConfig::two_node_failover,
+            &[(1, 0xdd017362e186fbeb), (7, 0x85b97be4930d0c31), (42, 0x8584c56f4349b602), (1234, 0x895ab9ca26e48336)],
+        ),
+        (
+            "partition_heal",
+            SimConfig::partition_heal,
+            &[(1, 0x29d6cbd155fa653d), (7, 0x6a5c1b8e2a8badfe), (42, 0x7e5d8a409a9c2a3a), (1234, 0xba9a0eb4a2eb47bb)],
+        ),
+        (
+            "lossy_wires",
+            SimConfig::lossy_wires,
+            &[(1, 0xb83f7d4ff652d029), (7, 0x0f38011b50df048c), (42, 0x547e5a80e3886fa5), (1234, 0x38d2425cd4d3e417)],
+        ),
+    ];
+    for (name, mk, golden) in cases {
+        for &(seed, want) in *golden {
+            let got = run(&mk(seed)).digest;
+            assert_eq!(got, want, "{name} seed {seed}: digest {got:#018x} != golden {want:#018x}");
+        }
+    }
+}
+
 #[test]
 fn same_seed_reproduces_identical_trace() {
     for seed in [1, 7, 42, 1234, 0xDEAD_BEEF] {
@@ -127,6 +190,41 @@ fn injected_violation_yields_shrunk_replayable_trace() {
         Some("dup_imsi"),
         "trace loaded from disk no longer reproduces"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Same pipeline for the procedure-supervision bug class: disable the
+/// supervision timer while a subscriber abandons its attach mid-flight.
+/// The `stuck_procedure` oracle must fire, and the failure must shrink
+/// and replay from disk like any other.
+#[test]
+fn stuck_procedure_violation_yields_shrunk_replayable_trace() {
+    let mut failing = None;
+    for seed in 1..=50 {
+        let mut cfg = SimConfig::kill_mid_attach(seed);
+        cfg.chaos.clear(); // keep every node alive so the oracle sweeps the stuck machine
+        cfg.bug = BugKind::StuckProcedure;
+        let r = run(&cfg);
+        if let Some(f) = r.failure.clone() {
+            failing = Some((cfg, r.schedule, f));
+            break;
+        }
+    }
+    let (cfg, schedule, failure) = failing.expect("StuckProcedure never tripped the oracle in 50 seeds");
+    assert_eq!(failure.oracle, "stuck_procedure", "unexpected oracle: {failure:?}");
+
+    let shrunk = shrink(&cfg, &schedule, &failure.oracle);
+    assert!(shrunk.len() < schedule.len(), "shrink removed nothing ({} steps)", schedule.len());
+    let re = replay(&cfg, &shrunk);
+    let f2 = re.failure.expect("shrunk schedule no longer fails");
+    assert_eq!(f2.oracle, "stuck_procedure");
+
+    let dir = std::env::temp_dir().join(format!("pepc-sim-stuck-{}", std::process::id()));
+    let t = Trace::new(cfg, shrunk, f2);
+    let path = t.save(Some(&dir)).expect("trace saves");
+    let loaded = Trace::load(&path).expect("trace loads");
+    let from_disk = replay_trace(&loaded);
+    assert_eq!(from_disk.failure.as_ref().map(|f| f.oracle.as_str()), Some("stuck_procedure"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -67,6 +67,46 @@ pub struct CtrlMetrics {
     pub service_requests: u64,
     /// UE context releases (active→idle).
     pub releases: u64,
+    // Per-procedure outcome taxonomy (PR 6). Together with
+    // `procedures_in_flight` these satisfy
+    // `proc_started == proc_completed + proc_preempted + proc_aborted +
+    //  proc_expired + in_flight`, and the signaling counters satisfy
+    // `s1ap_rx == sig_consumed + proc_deduped + sig_dropped + backlog`.
+    /// Procedures started (one per procedure instance, all kinds).
+    pub proc_started: u64,
+    /// Procedures that reached their legal terminal state.
+    pub proc_completed: u64,
+    /// Procedures torn down because a newer procedure preempted them.
+    pub proc_preempted: u64,
+    /// Procedures aborted with a NAS cause (protocol error mid-flight).
+    pub proc_aborted: u64,
+    /// Procedures expired by the supervision timer (peer went silent).
+    pub proc_expired: u64,
+    /// Retransmitted messages answered from the cached response.
+    pub proc_deduped: u64,
+    /// Signaling messages delivered into a procedure machine.
+    pub sig_consumed: u64,
+    /// Signaling messages parked in a per-UE mailbox (still counted in
+    /// `sig_consumed`/`sig_dropped` once they leave the mailbox).
+    pub sig_deferred: u64,
+    /// Signaling messages discarded: unroutable, undecodable, mailbox
+    /// overflow, or meaningless in every reachable state.
+    pub sig_dropped: u64,
+}
+
+impl CtrlMetrics {
+    /// Every started procedure is accounted to exactly one outcome, given
+    /// the number still in flight.
+    pub fn procedure_accounting_holds(&self, in_flight: u64) -> bool {
+        self.proc_started
+            == self.proc_completed + self.proc_preempted + self.proc_aborted + self.proc_expired + in_flight
+    }
+
+    /// Every S1AP PDU received is consumed, deduped, dropped, or still
+    /// parked in a mailbox.
+    pub fn signaling_conservation_holds(&self, mailbox_backlog: u64) -> bool {
+        self.s1ap_rx == self.sig_consumed + self.proc_deduped + self.sig_dropped + mailbox_backlog
+    }
 }
 
 #[cfg(test)]

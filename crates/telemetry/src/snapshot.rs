@@ -148,6 +148,21 @@ impl SliceSnapshot {
             c.migrations_in,
             c.s1ap_rx,
         );
+        if c.proc_started > 0 {
+            let _ = writeln!(
+                out,
+                "  proc: started={} done={} preempt={} abort={} expire={} dedup={} sig[consumed={} deferred={} dropped={}]",
+                c.proc_started,
+                c.proc_completed,
+                c.proc_preempted,
+                c.proc_aborted,
+                c.proc_expired,
+                c.proc_deduped,
+                c.sig_consumed,
+                c.sig_deferred,
+                c.sig_dropped,
+            );
+        }
         for (label, h) in [
             ("pipeline", &self.pipeline_ns),
             ("upd-delay", &self.update_delay_ns),

@@ -89,6 +89,102 @@ impl SignalingGen {
     }
 }
 
+// -- overlapping-procedure streams (PR 6) -----------------------------------
+
+/// One abstract step of a UE signaling procedure script. Steps are
+/// templates: the driver that replays them fills in transport
+/// identifiers (eNB UE id, MME UE id, GUTI) from the responses it has
+/// observed so far, so a step stays replayable even when an overlapping
+/// procedure preempted the one it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcStep {
+    /// Initial UE message carrying a NAS Attach Request.
+    AttachStart,
+    /// NAS Authentication Response (RES computed from the last challenge).
+    AuthResponse,
+    /// NAS Security Mode Complete.
+    SecurityModeComplete,
+    /// Initial Context Setup Response from the eNodeB.
+    IcsResponse,
+    /// NAS Attach Complete.
+    AttachComplete,
+    /// S1 Handover Required from the source eNodeB.
+    HoRequired,
+    /// S1 Handover Request Ack from the target eNodeB.
+    HoAck,
+    /// NAS Detach Request (GUTI-addressed).
+    Detach,
+    /// Bearer modification control event (AMBR change).
+    BearerModify,
+}
+
+/// The five procedure scripts the interleaving matrix shuffles. A
+/// duplicate attach is the same script replayed on the same S1
+/// association, so it shares [`attach_script`].
+pub fn attach_script() -> Vec<ProcStep> {
+    vec![
+        ProcStep::AttachStart,
+        ProcStep::AuthResponse,
+        ProcStep::SecurityModeComplete,
+        ProcStep::IcsResponse,
+        ProcStep::AttachComplete,
+    ]
+}
+
+pub fn handover_script() -> Vec<ProcStep> {
+    vec![ProcStep::HoRequired, ProcStep::HoAck]
+}
+
+pub fn detach_script() -> Vec<ProcStep> {
+    vec![ProcStep::Detach]
+}
+
+pub fn bearer_script() -> Vec<ProcStep> {
+    vec![ProcStep::BearerModify]
+}
+
+/// Seeded shuffle of several procedure scripts into one message stream.
+///
+/// Each call to [`OverlapGen::next_step`] picks one still-nonempty
+/// stream uniformly (seeded LCG) and pops its next step, so intra-stream
+/// order is always preserved while streams overlap arbitrarily — the
+/// generator form of the exhaustive pairwise enumeration in
+/// `tests/procedure_interleavings.rs`, usable at K > 2 streams where
+/// enumeration would explode.
+pub struct OverlapGen {
+    lcg: u64,
+    streams: Vec<(u32, std::collections::VecDeque<ProcStep>)>,
+}
+
+impl OverlapGen {
+    pub fn new(seed: u64, scripts: Vec<(u32, Vec<ProcStep>)>) -> Self {
+        OverlapGen {
+            // Avoid the all-zero LCG fixed point.
+            lcg: seed ^ 0x9E37_79B9_7F4A_7C15,
+            streams: scripts.into_iter().map(|(tag, s)| (tag, s.into())).collect(),
+        }
+    }
+
+    /// Steps not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.streams.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Emit the next `(stream_tag, step)`, or `None` when all streams
+    /// are drained.
+    pub fn next_step(&mut self) -> Option<(u32, ProcStep)> {
+        let live: Vec<usize> =
+            self.streams.iter().enumerate().filter(|(_, (_, s))| !s.is_empty()).map(|(i, _)| i).collect();
+        if live.is_empty() {
+            return None;
+        }
+        self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pick = live[((self.lcg >> 33) as usize) % live.len()];
+        let (tag, stream) = &mut self.streams[pick];
+        Some((*tag, stream.pop_front().expect("picked non-empty")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +255,43 @@ mod tests {
     fn zero_rate_never_due() {
         let g = SignalingGen::new(0, 10, 0, EventMix::attaches_only());
         assert_eq!(g.due(u64::MAX / 2), 0);
+    }
+
+    fn collect(mut g: OverlapGen) -> Vec<(u32, ProcStep)> {
+        let mut out = Vec::new();
+        while let Some(s) = g.next_step() {
+            out.push(s);
+        }
+        out
+    }
+
+    #[test]
+    fn overlap_emits_every_step_exactly_once() {
+        let g = OverlapGen::new(7, vec![(1, attach_script()), (2, handover_script()), (3, detach_script())]);
+        assert_eq!(g.remaining(), 8);
+        let steps = collect(g);
+        assert_eq!(steps.len(), 8);
+        assert_eq!(steps.iter().filter(|(t, _)| *t == 1).count(), 5);
+        assert_eq!(steps.iter().filter(|(t, _)| *t == 2).count(), 2);
+        assert_eq!(steps.iter().filter(|(t, _)| *t == 3).count(), 1);
+    }
+
+    #[test]
+    fn overlap_preserves_intra_stream_order() {
+        for seed in 0..50 {
+            let steps = collect(OverlapGen::new(seed, vec![(1, attach_script()), (2, attach_script())]));
+            for tag in [1u32, 2] {
+                let order: Vec<ProcStep> = steps.iter().filter(|(t, _)| *t == tag).map(|&(_, s)| s).collect();
+                assert_eq!(order, attach_script(), "seed {seed} tag {tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_same_seed_is_deterministic_and_seeds_differ() {
+        let mk = |seed| collect(OverlapGen::new(seed, vec![(1, attach_script()), (2, handover_script())]));
+        assert_eq!(mk(42), mk(42));
+        let distinct: std::collections::HashSet<Vec<(u32, ProcStep)>> = (0..20).map(mk).collect();
+        assert!(distinct.len() > 1, "seeds must explore different interleavings");
     }
 }

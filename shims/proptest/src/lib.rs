@@ -98,6 +98,44 @@ impl Arbitrary for bool {
     }
 }
 
+/// Strategy that always yields a fixed value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `proptest::option` — strategies for `Option<T>`.
+pub mod option {
+    use crate::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 pub struct Any<T> {
     _marker: std::marker::PhantomData<T>,
 }
@@ -243,7 +281,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::{
-        any, boxed, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Strategy, TestCaseError, TestRng,
+        any, boxed, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, Strategy, TestCaseError,
+        TestRng,
     };
 }
 

@@ -1,0 +1,201 @@
+//! Differential test for the procedure-machine dispatcher (PR 6).
+//!
+//! Replays PR-1-style seeded signaling workloads through strictly
+//! *sequential* delivery — every procedure runs to completion before the
+//! next message arrives, so no mailbox/preemption machinery can engage —
+//! and digests the emitted PDU bytes, the final per-user `ControlState`,
+//! and the (pre-existing) `CtrlMetrics` counters.
+//!
+//! The golden digests below were captured on the pre-refactor
+//! run-to-completion implementation. The state-machine dispatcher must
+//! reproduce them byte-for-byte: when procedures do not overlap, the
+//! refactor is not allowed to change behavior.
+//!
+//! Duplicate attaches for an already-attached IMSI are deliberately not
+//! replayed here: that path changes intentionally in this PR (idempotent
+//! re-accept instead of reallocation) and has its own regression test.
+
+use pepc::ctrl::{Allocator, ControlPlane};
+use pepc::proxy::Proxy;
+use pepc_backend::hss::sim_response;
+use pepc_backend::{Hss, Pcrf};
+use pepc_sigproto::nas::NasMsg;
+use pepc_sigproto::s1ap::S1apPdu;
+use pepc_workload::signaling::{EventMix, SigEvent, SignalingGen};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const USERS: u64 = 8;
+const EVENTS: usize = 60;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn cp_with_backends() -> ControlPlane {
+    let hss = Arc::new(Hss::new());
+    hss.provision_range(1, USERS, 100_000);
+    let pcrf = Arc::new(Pcrf::with_standard_rules());
+    let proxy = Arc::new(Proxy::new(hss, pcrf, 1, 40401));
+    let alloc = Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 };
+    ControlPlane::new(0x0AFE_0001, 1, alloc, Some(proxy))
+}
+
+/// Run one seeded workload sequentially and digest everything observable.
+fn run_workload(seed: u64) -> u64 {
+    let mut cp = cp_with_backends();
+    let mut gen = SignalingGen::new(1, USERS, 1000, EventMix { attach_fraction: 0.6 });
+    // The generator's LCG is fixed; the seed offsets into the stream so
+    // each seed replays a distinct event subsequence.
+    for _ in 0..seed {
+        gen.next_event();
+    }
+
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    // imsi -> mme_ue_id from the most recent attach.
+    let mut sessions: HashMap<u64, u32> = HashMap::new();
+    let mut next_enb_ue_id = 0x500u32;
+
+    let send = |cp: &mut ControlPlane, digest: &mut u64, pdu: &S1apPdu| -> Vec<S1apPdu> {
+        let out = cp.handle_s1ap(pdu);
+        for p in &out {
+            *digest = fnv(*digest, &p.encode());
+        }
+        *digest = fnv(*digest, &(out.len() as u64).to_le_bytes());
+        out
+    };
+
+    for _ in 0..EVENTS {
+        match gen.next_event() {
+            SigEvent::Attach { imsi } => {
+                if sessions.contains_key(&imsi) {
+                    // Duplicate attach: intentionally out of scope (see
+                    // module docs); fold a marker so skips still count.
+                    digest = fnv(digest, b"dup-skip");
+                    continue;
+                }
+                let enb_ue_id = next_enb_ue_id;
+                next_enb_ue_id += 1;
+                let rsp = send(
+                    &mut cp,
+                    &mut digest,
+                    &S1apPdu::InitialUeMessage {
+                        enb_ue_id,
+                        ecgi: 0x100,
+                        tac: 1,
+                        nas: NasMsg::AttachRequest { imsi, ue_capability: 0xF0 }.encode(),
+                    },
+                );
+                let (mme_ue_id, rand) = match rsp.as_slice() {
+                    [S1apPdu::DownlinkNasTransport { mme_ue_id, nas, .. }] => match NasMsg::decode(nas) {
+                        Ok(NasMsg::AuthenticationRequest { rand, .. }) => (*mme_ue_id, rand),
+                        other => panic!("expected auth request, got {other:?}"),
+                    },
+                    other => panic!("expected downlink NAS, got {other:?}"),
+                };
+                let res = sim_response(Hss::key_for(imsi), rand);
+                send(
+                    &mut cp,
+                    &mut digest,
+                    &S1apPdu::UplinkNasTransport {
+                        enb_ue_id,
+                        mme_ue_id,
+                        nas: NasMsg::AuthenticationResponse { res }.encode(),
+                    },
+                );
+                send(
+                    &mut cp,
+                    &mut digest,
+                    &S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::SecurityModeComplete.encode() },
+                );
+                send(
+                    &mut cp,
+                    &mut digest,
+                    &S1apPdu::InitialContextSetupResponse {
+                        enb_ue_id,
+                        mme_ue_id,
+                        enb_teid: 0xE000 + imsi as u32,
+                        enb_ip: 0xC0A8_0001,
+                    },
+                );
+                send(
+                    &mut cp,
+                    &mut digest,
+                    &S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::AttachComplete.encode() },
+                );
+                sessions.insert(imsi, mme_ue_id);
+            }
+            SigEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
+                // Attached users path-switch; unknown sessions exercise
+                // the unroutable path (mme_ue_id 0 resolves to nobody).
+                let mme_ue_id = sessions.get(&imsi).copied().unwrap_or(0);
+                send(
+                    &mut cp,
+                    &mut digest,
+                    &S1apPdu::PathSwitchRequest {
+                        enb_ue_id: 0x900 + imsi as u32,
+                        mme_ue_id,
+                        new_enb_teid,
+                        new_enb_ip,
+                        ecgi: 0x200,
+                    },
+                );
+            }
+        }
+    }
+
+    // Final state: every user's ControlState, in IMSI order.
+    let mut imsis = cp.imsis();
+    imsis.sort_unstable();
+    for imsi in imsis {
+        let ctx = cp.context_of(imsi).unwrap();
+        let json = serde_json::to_string(&ctx.ctrl_read().clone()).unwrap();
+        digest = fnv(digest, json.as_bytes());
+    }
+    // Pre-existing counters only: the refactor adds new per-procedure
+    // counters, which must not perturb these.
+    let m = cp.metrics();
+    for v in [
+        m.attaches,
+        m.attach_rejects,
+        m.handovers,
+        m.detaches,
+        m.bearer_updates,
+        m.migrations_out,
+        m.migrations_in,
+        m.s1ap_rx,
+        m.service_requests,
+        m.releases,
+        cp.user_count() as u64,
+    ] {
+        digest = fnv(digest, &v.to_le_bytes());
+    }
+    digest
+}
+
+#[test]
+fn sequential_delivery_matches_pre_refactor_goldens() {
+    // Captured on the pre-refactor run-to-completion control plane.
+    let golden: [(u64, u64); 3] = [(1, GOLDEN_SEED_1), (7, GOLDEN_SEED_7), (42, GOLDEN_SEED_42)];
+    for (seed, want) in golden {
+        let got = run_workload(seed);
+        assert_eq!(got, want, "seed {seed}: digest {got:#018x} != golden {want:#018x}");
+    }
+}
+
+// Golden digests; see capture notes in module docs.
+const GOLDEN_SEED_1: u64 = 0x4bf0_1a6f_2b4a_b0ae;
+const GOLDEN_SEED_7: u64 = 0x438d_8af5_8a9d_5611;
+const GOLDEN_SEED_42: u64 = 0x2b8e_b170_c94f_7399;
+
+#[test]
+#[ignore]
+fn print_digests() {
+    for seed in [1u64, 7, 42] {
+        println!("seed {seed}: {:#018x}", run_workload(seed));
+    }
+}

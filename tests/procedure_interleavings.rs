@@ -1,0 +1,412 @@
+//! Interleaving matrix for the per-UE procedure machines (PR 6).
+//!
+//! One UE, five procedure message streams — attach, duplicate attach
+//! (same S1 association), S1 handover, detach, bearer setup — shuffled
+//! against each other in **every** pairwise interleaving that preserves
+//! intra-stream order, plus seeded K-stream shuffles via
+//! [`pepc_workload::signaling::OverlapGen`] for the combinations where
+//! enumeration would explode.
+//!
+//! Every ordering must leave the control plane in a *legal terminal
+//! state*:
+//!   - no panic, ever;
+//!   - exact signaling conservation after **every** message:
+//!     `s1ap_rx == sig_consumed + proc_deduped + sig_dropped + backlog`;
+//!   - exact procedure accounting:
+//!     `started == completed + preempted + aborted + expired + in-flight`;
+//!   - after supervision expiry, nothing is left in flight or parked;
+//!   - at most one user record exists, internally consistent (its GUTI
+//!     routes back to it, its identifiers are non-zero).
+//!
+//! Failures in the seeded matrix dump a self-contained JSON trace to
+//! `$PROC_TRACE_DIR` (CI uploads them as artifacts) so any failing
+//! shuffle can be replayed exactly.
+
+use pepc::ctrl::{Allocator, ControlPlane, CtrlEvent};
+use pepc::proxy::Proxy;
+use pepc_backend::hss::sim_response;
+use pepc_backend::{Hss, Pcrf};
+use pepc_sigproto::nas::NasMsg;
+use pepc_sigproto::s1ap::S1apPdu;
+use pepc_workload::signaling::{attach_script, bearer_script, detach_script, handover_script, OverlapGen, ProcStep};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const IMSI: u64 = 1;
+
+fn cp_with_backends() -> ControlPlane {
+    let hss = std::sync::Arc::new(Hss::new());
+    hss.provision_range(1, 8, 100_000);
+    let pcrf = std::sync::Arc::new(Pcrf::with_standard_rules());
+    let proxy = std::sync::Arc::new(Proxy::new(hss, pcrf, 1, 40401));
+    let alloc = Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 };
+    ControlPlane::new(0x0AFE_0001, 1, alloc, Some(proxy))
+}
+
+/// Replays `(enb_ue_id, step)` pairs against one control plane, filling
+/// transport identifiers from the responses observed so far — exactly
+/// what a real eNodeB does, which is what keeps a stream replayable
+/// after an overlapping procedure preempted it (the identifiers simply
+/// go stale and the dispatcher must cope).
+struct Driver {
+    cp: ControlPlane,
+    /// Last authentication challenge seen (drives RES computation).
+    rand: Option<u64>,
+    /// Last MME UE id any downlink PDU carried.
+    mme: u32,
+    /// Last GUTI an Attach Accept carried.
+    guti: Option<u64>,
+    sent: u64,
+}
+
+impl Driver {
+    fn new() -> Self {
+        Driver { cp: cp_with_backends(), rand: None, mme: 0, guti: None, sent: 0 }
+    }
+
+    fn send(&mut self, pdu: &S1apPdu) -> Vec<S1apPdu> {
+        let out = self.cp.handle_s1ap(pdu);
+        self.sent += 1;
+        for p in &out {
+            match p {
+                S1apPdu::DownlinkNasTransport { mme_ue_id, nas, .. } => {
+                    if let Ok(NasMsg::AuthenticationRequest { rand, .. }) = NasMsg::decode(nas) {
+                        self.rand = Some(rand);
+                        self.mme = *mme_ue_id;
+                    }
+                }
+                S1apPdu::InitialContextSetupRequest { mme_ue_id, nas, .. } => {
+                    self.mme = *mme_ue_id;
+                    if let Ok(NasMsg::AttachAccept { guti, .. }) = NasMsg::decode(nas) {
+                        self.guti = Some(guti);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.assert_conservation("after message");
+        out
+    }
+
+    fn apply(&mut self, tag: u32, step: ProcStep) -> Vec<S1apPdu> {
+        let enb_ue_id = tag;
+        match step {
+            ProcStep::AttachStart => self.send(&S1apPdu::InitialUeMessage {
+                enb_ue_id,
+                ecgi: 0x100,
+                tac: 1,
+                nas: NasMsg::AttachRequest { imsi: IMSI, ue_capability: 0xF0 }.encode(),
+            }),
+            ProcStep::AuthResponse => {
+                // RES from the last challenge; 0 if we never saw one
+                // (the procedure it answers was displaced).
+                let res = self.rand.map(|r| sim_response(Hss::key_for(IMSI), r)).unwrap_or(0);
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::UplinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas: NasMsg::AuthenticationResponse { res }.encode(),
+                })
+            }
+            ProcStep::SecurityModeComplete => {
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::UplinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id,
+                    nas: NasMsg::SecurityModeComplete.encode(),
+                })
+            }
+            ProcStep::IcsResponse => {
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::InitialContextSetupResponse {
+                    enb_ue_id,
+                    mme_ue_id,
+                    enb_teid: 0xE000 + enb_ue_id,
+                    enb_ip: 0xC0A8_0001,
+                })
+            }
+            ProcStep::AttachComplete => {
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::AttachComplete.encode() })
+            }
+            ProcStep::HoRequired => {
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::HandoverRequired { enb_ue_id, mme_ue_id, target_ecgi: 0x300 })
+            }
+            ProcStep::HoAck => {
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::HandoverRequestAck {
+                    mme_ue_id,
+                    new_enb_teid: 0xE100 + enb_ue_id,
+                    new_enb_ip: 0xC0A8_0002,
+                })
+            }
+            ProcStep::Detach => {
+                // A GUTI we never learned cannot route: exercise the
+                // discard path with a miss value.
+                let guti = self.guti.unwrap_or(0xDEAD_BEEF);
+                self.send(&S1apPdu::UplinkNasTransport {
+                    enb_ue_id,
+                    mme_ue_id: self.mme,
+                    nas: NasMsg::DetachRequest { guti }.encode(),
+                })
+            }
+            ProcStep::BearerModify => {
+                // Bearer setup rides the synthetic event path (no S1AP
+                // message in this model); it must compose with any
+                // in-flight procedure.
+                self.cp.apply_event(CtrlEvent::ModifyBearer { imsi: IMSI, ambr_kbps: 4242 });
+                self.assert_conservation("after bearer event");
+                vec![]
+            }
+        }
+    }
+
+    fn assert_conservation(&self, when: &str) {
+        let m = self.cp.metrics();
+        assert!(
+            m.signaling_conservation_holds(self.cp.mailbox_backlog()),
+            "{when}: s1ap_rx={} consumed={} deduped={} dropped={} backlog={}",
+            m.s1ap_rx,
+            m.sig_consumed,
+            m.proc_deduped,
+            m.sig_dropped,
+            self.cp.mailbox_backlog()
+        );
+        assert!(
+            m.procedure_accounting_holds(self.cp.procedures_in_flight()),
+            "{when}: started={} completed={} preempted={} aborted={} expired={} in_flight={}",
+            m.proc_started,
+            m.proc_completed,
+            m.proc_preempted,
+            m.proc_aborted,
+            m.proc_expired,
+            self.cp.procedures_in_flight()
+        );
+    }
+
+    /// Terminal legality: expire whatever is still in flight, then
+    /// nothing may remain half-done and at most one consistent user
+    /// record may exist.
+    fn assert_legal_terminal_state(&mut self) {
+        self.cp.expire_procedures(1_000_000, 1);
+        assert_eq!(self.cp.procedures_in_flight(), 0, "UE stuck mid-procedure after expiry");
+        assert_eq!(self.cp.mailbox_backlog(), 0, "mailbox not drained by expiry");
+        self.assert_conservation("terminal");
+        let users = self.cp.user_count();
+        assert!(users <= 1, "single UE produced {users} user records");
+        if users == 1 {
+            let ctx = self.cp.context_of(IMSI).expect("the one user is our IMSI");
+            let c = ctx.ctrl_read().clone();
+            assert_eq!(c.imsi, IMSI);
+            assert_ne!(c.ue_ip, 0, "attached user without a UE IP");
+            assert_ne!(c.tunnels.gw_teid, 0, "attached user without a gateway TEID");
+            assert!(self.cp.knows_guti(c.guti), "user's GUTI does not route back to it");
+        }
+        // The data-plane update stream must drain without panicking.
+        let _ = self.cp.take_updates();
+    }
+}
+
+/// The five stream instances of the matrix. The duplicate attach shares
+/// the attach's S1 association (eNB UE id) — that is what makes it a
+/// retransmission rather than a new attempt.
+fn streams() -> Vec<(&'static str, u32, Vec<ProcStep>)> {
+    vec![
+        ("attach", 0x10, attach_script()),
+        ("dup-attach", 0x10, attach_script()),
+        ("handover", 0x20, handover_script()),
+        ("detach", 0x30, detach_script()),
+        ("bearer-setup", 0x40, bearer_script()),
+    ]
+}
+
+/// Enumerate every merge of `a` and `b` that preserves both orders
+/// (C(|a|+|b|, |a|) of them) and run `f` on each.
+fn for_each_interleaving<F: FnMut(&[(u32, ProcStep)])>(a: &[(u32, ProcStep)], b: &[(u32, ProcStep)], f: &mut F) {
+    fn rec<F: FnMut(&[(u32, ProcStep)])>(
+        a: &[(u32, ProcStep)],
+        b: &[(u32, ProcStep)],
+        prefix: &mut Vec<(u32, ProcStep)>,
+        f: &mut F,
+    ) {
+        if a.is_empty() && b.is_empty() {
+            f(prefix);
+            return;
+        }
+        if let Some((&x, rest)) = a.split_first() {
+            prefix.push(x);
+            rec(rest, b, prefix, f);
+            prefix.pop();
+        }
+        if let Some((&y, rest)) = b.split_first() {
+            prefix.push(y);
+            rec(a, rest, prefix, f);
+            prefix.pop();
+        }
+    }
+    rec(a, b, &mut Vec::new(), f);
+}
+
+fn run_sequence(seq: &[(u32, ProcStep)]) {
+    let mut d = Driver::new();
+    for &(tag, step) in seq {
+        d.apply(tag, step);
+    }
+    d.assert_legal_terminal_state();
+}
+
+/// All pairwise shuffles of the five streams, self-pairs included. For a
+/// self-pair the second instance gets its own S1 association (a second
+/// attach attempt), except dup-attach whose whole point is sharing one.
+#[test]
+fn all_pairwise_interleavings_terminate_legally() {
+    let streams = streams();
+    let mut total = 0u64;
+    for i in 0..streams.len() {
+        for j in i..streams.len() {
+            let (name_a, tag_a, script_a) = &streams[i];
+            let (name_b, mut tag_b, script_b) = streams[j].clone();
+            if i == j && name_b != "dup-attach" {
+                tag_b += 1;
+            }
+            let a: Vec<(u32, ProcStep)> = script_a.iter().map(|&s| (*tag_a, s)).collect();
+            let b: Vec<(u32, ProcStep)> = script_b.iter().map(|&s| (tag_b, s)).collect();
+            let mut count = 0u64;
+            for_each_interleaving(&a, &b, &mut |seq| {
+                count += 1;
+                run_sequence(seq);
+            });
+            let expected = binomial(a.len() + b.len(), a.len());
+            assert_eq!(count, expected, "{name_a} x {} enumeration incomplete", name_b);
+            total += count;
+        }
+    }
+    // 15 pairs; the three attach x attach-family pairs contribute
+    // C(10,5) = 252 orderings each.
+    assert_eq!(total, 840, "pairwise matrix size changed");
+}
+
+fn binomial(n: usize, k: usize) -> u64 {
+    let mut r = 1u64;
+    for i in 0..k {
+        r = r * (n - i) as u64 / (i + 1) as u64;
+    }
+    r
+}
+
+/// Seeded K-stream shuffles of ALL five streams at once — the region the
+/// pairwise matrix cannot reach. Seeds and volume are env-tunable so CI
+/// can matrix over them (`PROC_SEED`, `PROC_SHUFFLES`); failures dump a
+/// replayable JSON trace to `$PROC_TRACE_DIR`.
+#[test]
+fn seeded_five_stream_shuffles_terminate_legally() {
+    let seeds: Vec<u64> = match std::env::var("PROC_SEED") {
+        Ok(s) => vec![s.parse().expect("PROC_SEED must be a u64")],
+        Err(_) => vec![1, 7, 42],
+    };
+    let shuffles: u64 = std::env::var("PROC_SHUFFLES").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    for seed in seeds {
+        for k in 0..shuffles {
+            let shuffle_seed = seed.wrapping_mul(0x0100_0000_01B3).wrapping_add(k);
+            let scripts: Vec<(u32, Vec<ProcStep>)> = streams().into_iter().map(|(_, tag, s)| (tag, s)).collect();
+            let mut gen = OverlapGen::new(shuffle_seed, scripts);
+            let mut seq = Vec::new();
+            while let Some(step) = gen.next_step() {
+                seq.push(step);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_sequence(&seq)));
+            if let Err(panic) = outcome {
+                save_trace(shuffle_seed, &seq);
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Self-contained failure artifact: the exact step sequence, replayable
+/// by feeding it back through `run_sequence`.
+fn save_trace(shuffle_seed: u64, seq: &[(u32, ProcStep)]) {
+    let dir = match std::env::var("PROC_TRACE_DIR") {
+        Ok(d) => d,
+        Err(_) => return,
+    };
+    #[derive(serde::Serialize)]
+    struct TraceFile {
+        version: u32,
+        shuffle_seed: u64,
+        imsi: u64,
+        steps: Vec<String>,
+    }
+    let trace = TraceFile {
+        version: 1,
+        shuffle_seed,
+        imsi: IMSI,
+        steps: seq.iter().map(|(tag, s)| format!("{tag:#x}:{s:?}")).collect(),
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/proc-shuffle-{shuffle_seed:#018x}.json");
+    if std::fs::write(&path, serde_json::to_string(&trace).unwrap()).is_ok() {
+        eprintln!("interleaving failure trace saved to {path}");
+    }
+}
+
+// -- satellite 4: duplicate-attach idempotency regression --------------------
+
+/// A duplicate NAS Attach Request for an already-attached IMSI used to
+/// re-run the whole attach, reallocating TEID and UE IP and orphaning
+/// the old data-plane entry. It must instead be idempotent: skip
+/// re-authentication and re-emit the context setup with the SAME
+/// identifiers.
+#[test]
+fn duplicate_attach_for_attached_imsi_is_idempotent() {
+    let mut d = Driver::new();
+    // First attach runs to completion on association 0x10.
+    for step in attach_script() {
+        d.apply(0x10, step);
+    }
+    assert_eq!(d.cp.user_count(), 1);
+    let before = d.cp.context_of(IMSI).unwrap().ctrl_read().clone();
+    assert_ne!(before.ue_ip, 0);
+    let _ = d.cp.take_updates();
+
+    // The UE lost our accept and re-attaches on a new association.
+    let out = d.apply(0x99, ProcStep::AttachStart);
+    match out.as_slice() {
+        [S1apPdu::InitialContextSetupRequest { enb_ue_id, gw_teid, nas, .. }] => {
+            assert_eq!(*enb_ue_id, 0x99);
+            assert_eq!(*gw_teid, before.tunnels.gw_teid, "gateway TEID reallocated");
+            match NasMsg::decode(nas) {
+                Ok(NasMsg::AttachAccept { guti, ue_ip, .. }) => {
+                    assert_eq!(guti, before.guti, "GUTI reallocated");
+                    assert_eq!(ue_ip, before.ue_ip, "UE IP reallocated");
+                }
+                other => panic!("expected Attach Accept, got {other:?}"),
+            }
+        }
+        other => panic!("expected idempotent context setup (no re-auth), got {other:?}"),
+    }
+
+    // Completing the repeat leaves one user with unchanged identifiers.
+    d.apply(0x99, ProcStep::IcsResponse);
+    d.apply(0x99, ProcStep::AttachComplete);
+    assert_eq!(d.cp.user_count(), 1);
+    let after = d.cp.context_of(IMSI).unwrap().ctrl_read().clone();
+    assert_eq!(after.guti, before.guti);
+    assert_eq!(after.ue_ip, before.ue_ip);
+    assert_eq!(after.tunnels.gw_teid, before.tunnels.gw_teid);
+    assert_eq!(d.cp.metrics().attaches, 2, "both completions count");
+    d.assert_legal_terminal_state();
+}
+
+/// Retransmitting the Attach Request mid-procedure on the SAME S1
+/// association re-emits the cached answer instead of restarting.
+#[test]
+fn mid_procedure_attach_retransmit_dedups() {
+    let mut d = Driver::new();
+    let first = d.apply(0x10, ProcStep::AttachStart);
+    let again = d.apply(0x10, ProcStep::AttachStart);
+    assert_eq!(first, again, "retransmission must replay the cached challenge");
+    assert_eq!(d.cp.metrics().proc_deduped, 1);
+    assert_eq!(d.cp.metrics().proc_started, 1, "dedup must not start a second procedure");
+    d.assert_legal_terminal_state();
+}

@@ -568,3 +568,170 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Stateful delivery fuzzing of the procedure-machine dispatcher (PR 6).
+// The PR-5 fuzz above proves the *codecs* are total; these extend the
+// contract to stateful delivery: an arbitrary PDU sequence — well-formed
+// messages with clashing identifiers, truncated NAS, bit-flipped NAS —
+// must never panic the control plane, must emit a bounded number of PDUs
+// per inbound message, and must keep the signaling/procedure
+// conservation identities exact after every single delivery.
+// ---------------------------------------------------------------------------
+
+fn fuzz_control_plane() -> pepc::ctrl::ControlPlane {
+    let hss = std::sync::Arc::new(pepc_backend::Hss::new());
+    hss.provision_range(1, 4, 100_000);
+    let pcrf = std::sync::Arc::new(pepc_backend::Pcrf::with_standard_rules());
+    let proxy = std::sync::Arc::new(pepc::proxy::Proxy::new(hss, pcrf, 1, 40401));
+    let alloc =
+        pepc::ctrl::Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 };
+    pepc::ctrl::ControlPlane::new(0x0AFE_0001, 1, alloc, Some(proxy))
+}
+
+/// NAS payloads over a deliberately tiny identifier space so sequences
+/// actually collide with each other's sessions.
+fn small_nas() -> impl Strategy<Value = NasMsg> {
+    prop_oneof![
+        (1u64..5, any::<u32>()).prop_map(|(imsi, cap)| NasMsg::AttachRequest { imsi, ue_capability: cap }),
+        any::<u64>().prop_map(|res| NasMsg::AuthenticationResponse { res }),
+        Just(NasMsg::SecurityModeComplete),
+        Just(NasMsg::AttachComplete),
+        (0u64..8).prop_map(|g| NasMsg::DetachRequest { guti: 0xD00D_0000 + g }),
+        (0u64..8, any::<u16>()).prop_map(|(g, tac)| NasMsg::TrackingAreaUpdateRequest { guti: 0xD00D_0000 + g, tac }),
+        (0u64..8).prop_map(|g| NasMsg::ServiceRequest { guti: 0xD00D_0000 + g }),
+    ]
+}
+
+/// Inbound S1AP PDUs over the same tiny space, NAS-bearing ones built
+/// from [`small_nas`] with optional truncation and bit flips.
+fn mangled_nas() -> impl Strategy<Value = Vec<u8>> {
+    (small_nas(), any::<u16>(), proptest::option::of((any::<usize>(), 0u8..8))).prop_map(|(msg, cut, flip)| {
+        let mut bytes = msg.encode();
+        if let Some((pos, bit)) = flip {
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        let keep = (cut as usize) % (bytes.len() + 1);
+        // Truncate half the time, keep intact otherwise.
+        if keep.is_multiple_of(2) {
+            bytes.truncate(keep);
+        }
+        bytes
+    })
+}
+
+fn fuzz_pdu() -> impl Strategy<Value = S1apPdu> {
+    prop_oneof![
+        (0u32..4, mangled_nas())
+            .prop_map(|(enb_ue_id, nas)| { S1apPdu::InitialUeMessage { enb_ue_id, ecgi: 0x100, tac: 1, nas } }),
+        (0u32..4, 0u32..4, mangled_nas())
+            .prop_map(|(enb_ue_id, mme_ue_id, nas)| { S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas } }),
+        (0u32..4, 0u32..4, any::<u32>(), any::<u32>()).prop_map(|(enb_ue_id, mme_ue_id, enb_teid, enb_ip)| {
+            S1apPdu::InitialContextSetupResponse { enb_ue_id, mme_ue_id, enb_teid, enb_ip }
+        }),
+        (0u32..4, 0u32..4, any::<u32>(), any::<u32>()).prop_map(|(enb_ue_id, mme_ue_id, new_enb_teid, new_enb_ip)| {
+            S1apPdu::PathSwitchRequest { enb_ue_id, mme_ue_id, new_enb_teid, new_enb_ip, ecgi: 0x200 }
+        }),
+        (0u32..4, 0u32..4).prop_map(|(enb_ue_id, mme_ue_id)| {
+            S1apPdu::HandoverRequired { enb_ue_id, mme_ue_id, target_ecgi: 0x300 }
+        }),
+        (0u32..4, any::<u32>(), any::<u32>()).prop_map(|(mme_ue_id, new_enb_teid, new_enb_ip)| {
+            S1apPdu::HandoverRequestAck { mme_ue_id, new_enb_teid, new_enb_ip }
+        }),
+        (0u32..4, 0u32..4)
+            .prop_map(|(enb_ue_id, mme_ue_id)| { S1apPdu::UeContextReleaseComplete { enb_ue_id, mme_ue_id } }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn procedure_dispatcher_total_on_arbitrary_pdu_sequences(
+        pdus in proptest::collection::vec(fuzz_pdu(), 0..60),
+        expire_at in proptest::option::of(0usize..60),
+    ) {
+        let mut cp = fuzz_control_plane();
+        for (i, pdu) in pdus.iter().enumerate() {
+            cp.note_tick(i as u64);
+            let out = cp.handle_s1ap(pdu);
+            // One delivery can at most answer the message itself plus a
+            // full mailbox drained by it.
+            prop_assert!(
+                out.len() <= pepc::procedure::MAILBOX_CAP + 1,
+                "unbounded emission: {} PDUs from one message",
+                out.len()
+            );
+            let m = cp.metrics();
+            prop_assert!(m.signaling_conservation_holds(cp.mailbox_backlog()));
+            prop_assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+            if expire_at == Some(i) {
+                cp.expire_procedures(i as u64 + 100, 1);
+                let m = cp.metrics();
+                prop_assert!(m.signaling_conservation_holds(cp.mailbox_backlog()));
+                prop_assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+            }
+        }
+        // Supervision always converges: after expiry nothing is in
+        // flight, parked, or unaccounted.
+        cp.expire_procedures(1_000_000, 1);
+        prop_assert_eq!(cp.procedures_in_flight(), 0);
+        prop_assert_eq!(cp.mailbox_backlog(), 0);
+        let m = cp.metrics();
+        prop_assert!(m.signaling_conservation_holds(0));
+        prop_assert!(m.procedure_accounting_holds(0));
+        // Sessions stay within the provisioned population.
+        prop_assert!(cp.user_count() <= 4);
+    }
+
+    #[test]
+    fn procedure_machine_policy_is_total(
+        state_idx in 0usize..6,
+        pdu in fuzz_pdu(),
+    ) {
+        use pepc::procedure::{ProcState, UeMachine};
+        // Every reachable machine state must classify every routable
+        // message without panicking — the policy table is total.
+        let states = [
+            ProcState::Idle,
+            ProcState::AttachWaitAuth { imsi: 1, xres: 9, ecgi: 1, mme_ue_id: 1 },
+            ProcState::AttachWaitSmc { imsi: 1, ecgi: 1, mme_ue_id: 1 },
+            ProcState::AttachWaitIcs { imsi: 1, mme_ue_id: 1 },
+            ProcState::AttachWaitComplete { imsi: 1, mme_ue_id: 1 },
+            ProcState::HandoverWaitAck { imsi: 1, source_enb_ue_id: 2, mme_ue_id: 1 },
+        ];
+        let mut m = UeMachine::new(1, 0);
+        m.enb_ue_id = 2;
+        m.state = states[state_idx];
+        // Re-derive the routed message the dispatcher would build, if
+        // any, and classify it.
+        use pepc::procedure::SigMsg;
+        let msg = match &pdu {
+            S1apPdu::InitialUeMessage { enb_ue_id, ecgi, tac, nas } => match NasMsg::decode(nas) {
+                Ok(NasMsg::AttachRequest { imsi, .. }) => {
+                    Some(SigMsg::AttachStart { enb_ue_id: *enb_ue_id, ecgi: *ecgi, tac: *tac, imsi })
+                }
+                Ok(NasMsg::ServiceRequest { guti }) => {
+                    Some(SigMsg::ServiceStart { enb_ue_id: *enb_ue_id, ecgi: *ecgi, guti })
+                }
+                _ => None,
+            },
+            S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas } => NasMsg::decode(nas)
+                .ok()
+                .map(|msg| SigMsg::Nas { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id, msg }),
+            S1apPdu::InitialContextSetupResponse { enb_ue_id, mme_ue_id, enb_teid, enb_ip } => {
+                Some(SigMsg::IcsRsp {
+                    enb_ue_id: *enb_ue_id,
+                    mme_ue_id: *mme_ue_id,
+                    enb_teid: *enb_teid,
+                    enb_ip: *enb_ip,
+                })
+            }
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            let _ = m.dispose(&msg); // any Disposition is fine; panic is the bug
+        }
+    }
+}
