@@ -42,6 +42,7 @@ fn bench(c: &mut Criterion) {
     for burst_size in [1usize, 8, 32, 64] {
         let (mut sut, mut gen) = setup();
         let mut burst: Vec<Mbuf> = Vec::with_capacity(burst_size);
+        let mut verdicts: Vec<PacketVerdict> = Vec::with_capacity(burst_size);
         g.bench_with_input(BenchmarkId::new("burst", burst_size), &burst_size, |b, &n| {
             b.iter(|| {
                 for _ in 0..PKTS_PER_ITER / n {
@@ -49,7 +50,9 @@ fn bench(c: &mut Criterion) {
                     for _ in 0..n {
                         burst.push(gen.next_packet(0));
                     }
-                    for v in sut.slice.process_burst(&mut burst) {
+                    verdicts.clear();
+                    sut.slice.process_burst_into(&mut burst, &mut verdicts);
+                    for v in verdicts.drain(..) {
                         if let PacketVerdict::Forward(out) = v {
                             gen.recycle(out);
                         }
@@ -59,6 +62,38 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+    stage_medians();
+}
+
+/// Per-stage ns/packet medians of the burst-64 pipeline, printed in the
+/// shim's `bench <name> <ns> ns/iter` format so `scripts/bench_burst.py`
+/// can commit them to `BENCH_burst.json` next to the throughput numbers.
+/// One amortized sample per burst per stage (see `DataPlane::
+/// set_stage_timing`); the median is over bursts.
+fn stage_medians() {
+    const ROUNDS: usize = 4_000;
+    let (mut sut, mut gen) = setup();
+    sut.slice.data.set_stage_timing(true);
+    let mut burst: Vec<Mbuf> = Vec::with_capacity(PKTS_PER_ITER);
+    let mut verdicts: Vec<PacketVerdict> = Vec::with_capacity(PKTS_PER_ITER);
+    for _ in 0..ROUNDS {
+        burst.clear();
+        for _ in 0..PKTS_PER_ITER {
+            burst.push(gen.next_packet(0));
+        }
+        verdicts.clear();
+        sut.slice.process_burst_into(&mut burst, &mut verdicts);
+        for v in verdicts.drain(..) {
+            if let PacketVerdict::Forward(out) = v {
+                gen.recycle(out);
+            }
+        }
+    }
+    let stages = sut.slice.data.stage_latencies();
+    for (h, name) in stages.iter().zip(pepc::data::STAGE_NAMES) {
+        let name = format!("fig13b_burst/stage/{name}");
+        println!("bench {name:<50} {:>12.1} ns/iter", h.quantile_ns(0.5) as f64);
+    }
 }
 
 criterion_group!(benches, bench);

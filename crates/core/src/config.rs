@@ -79,6 +79,10 @@ pub struct SliceConfig {
     /// Record per-packet pipeline latency and update-propagation delay
     /// (two monotonic clock reads per packet). Counters are unaffected.
     pub telemetry: bool,
+    /// Record per-stage (parse/lookup/enforce) ns-per-packet medians, one
+    /// amortized sample per burst per stage. Requires `telemetry`; adds
+    /// two extra clock reads per burst, so it is off by default.
+    pub stage_timing: bool,
 }
 
 impl Default for SliceConfig {
@@ -93,6 +97,7 @@ impl Default for SliceConfig {
             expected_users: 1024,
             update_ring_capacity: 64 * 1024,
             telemetry: true,
+            stage_timing: false,
         }
     }
 }

@@ -53,10 +53,10 @@ use crate::config::{IotConfig, TwoLevelConfig};
 use crate::metrics::DataMetrics;
 use crate::pcef::{Pcef, PcefAction};
 use crate::qos::TokenBucket;
-use crate::state::UeContext;
+use crate::state::{CounterState, CtrlView, UeContext};
 use crate::twolevel::TwoLevelTable;
-use pepc_net::gtp::{decap_gtpu, encap_gtpu};
-use pepc_net::{BpfProgram, FiveTuple, Ipv4Hdr, Mbuf};
+use pepc_net::gtp::{encap_gtpu, GTPU_OVERHEAD};
+use pepc_net::{classify_fast, BpfProgram, FiveTuple, Mbuf, PktClass};
 use pepc_telemetry::LatencyHistogram;
 use std::sync::Arc;
 use std::time::Instant;
@@ -106,6 +106,11 @@ impl PacketVerdict {
 /// enough to stay within typical burst sizes.
 pub const PREFETCH_DISTANCE: usize = 8;
 
+/// Names of the three instrumented pipeline stages, index-aligned with
+/// [`DataPlane::stage_latencies`]: parse/classify, lookup+prefetch,
+/// enforce+charge.
+pub const STAGE_NAMES: [&str; 3] = ["parse", "lookup", "enforce"];
+
 /// Pass-1 classification of one packet in a burst.
 #[derive(Clone, Copy)]
 enum Slot {
@@ -150,9 +155,11 @@ pub struct DataPlane {
     /// Lives only within one `process_burst_into` call (cleared at entry
     /// and exit); see the SAFETY notes at its fill and use sites.
     groups: Vec<GroupRun>,
-    /// Scratch for the scalar wrapper (burst-of-1 path).
-    scalar_burst: Vec<Mbuf>,
-    scalar_out: Vec<PacketVerdict>,
+    /// When true (and `telemetry` too), each burst additionally records
+    /// one amortized ns/packet sample per pipeline stage.
+    stage_timing: bool,
+    /// Per-stage amortized ns/packet, indexed like [`STAGE_NAMES`].
+    stage_ns: [LatencyHistogram; 3],
 }
 
 /// One same-user run handed from the resolve pass to the act pass.
@@ -200,8 +207,8 @@ impl DataPlane {
             slots: Vec::with_capacity(64),
             decisions: Vec::with_capacity(64),
             groups: Vec::with_capacity(64),
-            scalar_burst: Vec::with_capacity(1),
-            scalar_out: Vec::with_capacity(1),
+            stage_timing: false,
+            stage_ns: [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()],
         }
     }
 
@@ -209,6 +216,12 @@ impl DataPlane {
     /// [`DataMetrics`] are always maintained).
     pub fn set_telemetry_enabled(&mut self, enabled: bool) {
         self.telemetry = enabled;
+    }
+
+    /// Enable/disable per-stage ns/packet recording (off by default: it
+    /// adds two extra clock reads per burst).
+    pub fn set_stage_timing(&mut self, enabled: bool) {
+        self.stage_timing = enabled;
     }
 
     /// Apply one control→data update.
@@ -246,18 +259,47 @@ impl DataPlane {
     /// Process one packet. `uplink` packets carry an outer GTP-U stack
     /// from the eNodeB; `downlink` packets are plain IP addressed to a UE.
     ///
-    /// This is the burst-size-1 degenerate case of
-    /// [`Self::process_burst`]; both paths run the same passes.
-    pub fn process(&mut self, m: Mbuf, now_ns: u64) -> PacketVerdict {
-        let mut burst = std::mem::take(&mut self.scalar_burst);
-        let mut out = std::mem::take(&mut self.scalar_out);
-        burst.push(m);
-        self.process_burst_into(&mut burst, now_ns, &mut out);
-        let v = out.pop().expect("one verdict per packet");
-        out.clear();
-        self.scalar_burst = burst;
-        self.scalar_out = out;
-        v
+    /// This is a dedicated burst-size-1 path sharing every decision stage
+    /// with [`Self::process_burst`] (same classifier, same table lookup,
+    /// same [`Self::enforce_one`] core), but skipping the burst machinery
+    /// — slot/decision/group scratch, prefetch scheduling, run fusion —
+    /// that only pays for itself at size > 1. Differential tests pin it
+    /// to the burst path's verdicts, counters and metrics.
+    pub fn process(&mut self, mut m: Mbuf, now_ns: u64) -> PacketVerdict {
+        self.metrics.rx += 1;
+        let t0 = if self.telemetry { Some(Instant::now()) } else { None };
+        let decision = match self.classify(&mut m) {
+            Slot::Done(d) => d,
+            Slot::Lookup { uplink, key, bytes } => {
+                let table = if uplink { &mut self.by_teid } else { &mut self.by_ue_ip };
+                match table.get(key, now_ns).map(Arc::as_ptr) {
+                    Some(p) => {
+                        // SAFETY: `p` was just taken from an `Arc` held by
+                        // this plane's tables; nothing between here and the
+                        // use removes table entries, so the pointee outlives
+                        // the call (same argument as burst pass 3).
+                        let ctx = unsafe { &*p };
+                        let c = ctx.ctrl_view();
+                        let run_bucket = TokenBucket::from_kbps(c.ambr_kbps);
+                        let mut cnt = ctx.counters();
+                        let d = self.enforce_one(&c, run_bucket, &mut cnt, uplink, bytes, &mut m, now_ns);
+                        ctx.publish_counters(cnt);
+                        d
+                    }
+                    None => {
+                        self.metrics.drop_unknown_user += 1;
+                        Decision::Drop(DropReason::UnknownUser)
+                    }
+                }
+            }
+        };
+        if let (Some(t0), Decision::Forward) = (t0, decision) {
+            self.pipeline_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        match decision {
+            Decision::Forward => PacketVerdict::Forward(m),
+            Decision::Drop(r) => PacketVerdict::Drop(r),
+        }
     }
 
     /// Process a whole burst, returning one verdict per packet in input
@@ -275,9 +317,19 @@ impl DataPlane {
         if n == 0 {
             return;
         }
+        if n == 1 {
+            // Burst-1 bypass: the slot/group scratch and the prefetch
+            // scheduling of the 3-pass pipeline cost more than they save
+            // for a single packet; the scalar path shares every decision
+            // stage, so verdicts and counters are identical.
+            let m = burst.pop().expect("len checked");
+            out.push(self.process(m, now_ns));
+            return;
+        }
         self.metrics.rx += n as u64;
         // One clock read pair per burst (not two per packet).
         let t0 = if self.telemetry { Some(Instant::now()) } else { None };
+        let stage = self.telemetry && self.stage_timing;
 
         // Pass 1: classify direction and parse headers for the whole
         // burst. Uplink packets are decapped in place.
@@ -286,6 +338,7 @@ impl DataPlane {
             let slot = self.classify(m);
             self.slots.push(slot);
         }
+        let t_parse = if stage { Some(Instant::now()) } else { None };
 
         // Pass 2: resolve contexts in packet order (promotions and stats
         // identical to the scalar path), prefetching the table target
@@ -322,6 +375,8 @@ impl DataPlane {
                 }
             }
         }
+
+        let t_lookup = if stage { Some(Instant::now()) } else { None };
 
         // Pass 3: act. Each same-user run is enforced under one seqlock
         // view read + one counter-cell publish (no locks).
@@ -364,63 +419,73 @@ impl DataPlane {
             // time so the histogram population equals `metrics.forwarded`
             // (the invariant the metrics tests check) at one clock read
             // per burst.
-            let per_pkt_ns = t0.elapsed().as_nanos() as u64 / n as u64;
+            let elapsed = t0.elapsed();
+            let per_pkt_ns = elapsed.as_nanos() as u64 / n as u64;
             for d in &self.decisions {
                 if matches!(d, Decision::Forward) {
                     self.pipeline_ns.record(per_pkt_ns);
                 }
             }
+            // One amortized ns/packet sample per stage per burst; the
+            // enforce stage runs from the end of pass 2 to verdict
+            // emission, so the three stage samples sum to ~per_pkt_ns.
+            if let (Some(tp), Some(tl)) = (t_parse, t_lookup) {
+                let n64 = n as u64;
+                self.stage_ns[0].record(tp.duration_since(t0).as_nanos() as u64 / n64);
+                self.stage_ns[1].record(tl.duration_since(tp).as_nanos() as u64 / n64);
+                self.stage_ns[2].record(tl.elapsed().as_nanos() as u64 / n64);
+            }
         }
     }
 
-    /// Pass 1 for one packet: direction sniff, decap/parse, IoT fast path.
+    /// Pass 1 for one packet: branchless classification ([`classify_fast`],
+    /// proven byte-equivalent to the old parser chain), decap, IoT fast
+    /// path.
     fn classify(&mut self, m: &mut Mbuf) -> Slot {
-        if is_gtpu(m) {
-            let gtp = match decap_gtpu(m) {
-                Ok((gtp, _outer)) => gtp,
-                Err(_) => {
-                    self.metrics.drop_malformed += 1;
-                    return Slot::Done(Decision::Drop(DropReason::Malformed));
+        match classify_fast(m.data()) {
+            PktClass::GtpU { teid } => {
+                // The classifier validated the full outer stack, including
+                // `len == gtp_length + GTPU_OVERHEAD`, so the pull cannot
+                // fail.
+                m.pull(GTPU_OVERHEAD).expect("classifier validated the outer stack");
+                let bytes = m.len() as u64;
+                // Stateless-IoT fast path (§4.2): TEID in the reserved
+                // pool ⇒ no per-user state lookup; aggregate charging;
+                // best effort.
+                if self.iot.enabled && in_pool(teid, self.iot.teid_base, self.iot.pool_size) {
+                    self.iot_packets += 1;
+                    self.iot_bytes += bytes;
+                    self.metrics.iot_fast_path += 1;
+                    self.metrics.forwarded += 1;
+                    return Slot::Done(Decision::Forward);
                 }
-            };
-            let bytes = m.len() as u64;
-            // Stateless-IoT fast path (§4.2): TEID in the reserved pool ⇒
-            // no per-user state lookup; aggregate charging; best effort.
-            if self.iot.enabled && in_pool(gtp.teid, self.iot.teid_base, self.iot.pool_size) {
-                self.iot_packets += 1;
-                self.iot_bytes += bytes;
-                self.metrics.iot_fast_path += 1;
-                self.metrics.forwarded += 1;
-                return Slot::Done(Decision::Forward);
+                Slot::Lookup { uplink: true, key: u64::from(teid), bytes }
             }
-            Slot::Lookup { uplink: true, key: u64::from(gtp.teid), bytes }
-        } else {
-            let ip = match Ipv4Hdr::parse(m.data()) {
-                Ok(ip) => ip,
-                Err(_) => {
-                    self.metrics.drop_malformed += 1;
-                    return Slot::Done(Decision::Drop(DropReason::Malformed));
+            PktClass::Ipv4 { dst } => {
+                let bytes = m.len() as u64;
+                if self.iot.enabled && in_pool(dst, self.iot.ip_base, self.iot.pool_size) {
+                    // Downlink to a pool device: tunnel parameters are
+                    // *computed* from the pool layout instead of looked up.
+                    let idx = dst - self.iot.ip_base;
+                    let teid = self.iot.teid_base + idx;
+                    self.iot_packets += 1;
+                    self.iot_bytes += bytes;
+                    self.metrics.iot_fast_path += 1;
+                    // Pool devices all camp on one IoT gateway eNodeB
+                    // address derived from the pool base.
+                    if encap_gtpu(m, self.gw_ip, self.iot.ip_base, teid).is_err() {
+                        self.metrics.drop_malformed += 1;
+                        return Slot::Done(Decision::Drop(DropReason::Malformed));
+                    }
+                    self.metrics.forwarded += 1;
+                    return Slot::Done(Decision::Forward);
                 }
-            };
-            let bytes = m.len() as u64;
-            if self.iot.enabled && in_pool(ip.dst, self.iot.ip_base, self.iot.pool_size) {
-                // Downlink to a pool device: tunnel parameters are
-                // *computed* from the pool layout instead of looked up.
-                let idx = ip.dst - self.iot.ip_base;
-                let teid = self.iot.teid_base + idx;
-                self.iot_packets += 1;
-                self.iot_bytes += bytes;
-                self.metrics.iot_fast_path += 1;
-                // Pool devices all camp on one IoT gateway eNodeB address
-                // derived from the pool base.
-                if encap_gtpu(m, self.gw_ip, self.iot.ip_base, teid).is_err() {
-                    self.metrics.drop_malformed += 1;
-                    return Slot::Done(Decision::Drop(DropReason::Malformed));
-                }
-                self.metrics.forwarded += 1;
-                return Slot::Done(Decision::Forward);
+                Slot::Lookup { uplink: false, key: u64::from(dst), bytes }
             }
-            Slot::Lookup { uplink: false, key: u64::from(ip.dst), bytes }
+            PktClass::Malformed => {
+                self.metrics.drop_malformed += 1;
+                Slot::Done(Decision::Drop(DropReason::Malformed))
+            }
         }
     }
 
@@ -446,75 +511,87 @@ impl DataPlane {
         // control thread); downlink tunnel endpoints come from this same
         // consistent snapshot.
         let c = ctx.ctrl_view();
-        let rules_empty = c.rules_empty();
-        let rules = c.pcef_rules();
-        let ambr_kbps = c.ambr_kbps;
-        let tunnels = c.tunnels;
         // With no PCEF rules the action is always the default, so the
         // effective rate is the plain AMBR for every packet of the run.
-        let run_bucket = TokenBucket::from_kbps(ambr_kbps);
+        let run_bucket = TokenBucket::from_kbps(c.ambr_kbps);
         // Owner read of the counter cell — we are its single writer, so
         // this is a plain copy; mutate locally across the run and
         // publish once at the end.
         let mut cnt = ctx.counters();
-        // `k` indexes three parallel arrays (slots, burst, decisions).
-        #[allow(clippy::needless_range_loop)]
+        #[allow(clippy::needless_range_loop)] // k indexes three parallel arrays
         for k in start..end {
             let Slot::Lookup { uplink, bytes, .. } = self.slots[k] else { unreachable!("groups span Lookup slots") };
-            let action = if rules_empty {
-                // Rule-less fast path: skip the 5-tuple parse and PCEF
-                // walk entirely; classify would return the default.
-                PcefAction::default()
-            } else {
-                let ft = FiveTuple::from_ipv4(burst[k].data()).unwrap_or_default();
-                self.pcef.classify(&ft, rules.iter())
-            };
-            if action.gate_closed {
-                self.metrics.drop_gate += 1;
-                cnt.qos_drops += 1;
-                cnt.last_activity_ns = now_ns;
-                self.decisions[k] = Decision::Drop(DropReason::GateClosed);
-                continue;
-            }
-            let bucket = if rules_empty {
-                run_bucket
-            } else {
-                TokenBucket::from_kbps(effective_rate(ambr_kbps, action.rate_kbps))
-            };
-            let mut tokens = cnt.ambr_tokens;
-            let mut last = cnt.ambr_last_refill_ns;
-            let admitted = bucket.admit(&mut tokens, &mut last, now_ns, bytes);
-            cnt.ambr_tokens = tokens;
-            cnt.ambr_last_refill_ns = last;
-            if !admitted {
-                cnt.qos_drops += 1;
-                cnt.last_activity_ns = now_ns;
-                self.metrics.drop_qos += 1;
-                self.decisions[k] = Decision::Drop(DropReason::RateExceeded);
-                continue;
-            }
-            if uplink {
-                cnt.uplink_packets += 1;
-                cnt.uplink_bytes += bytes;
-            } else {
-                cnt.downlink_packets += 1;
-                cnt.downlink_bytes += bytes;
-            }
-            cnt.last_activity_ns = now_ns;
-            if uplink {
-                self.metrics.forwarded += 1;
-                self.decisions[k] = Decision::Forward;
-            } else if encap_gtpu(&mut burst[k], self.gw_ip, tunnels.enb_ip, tunnels.enb_teid).is_err() {
-                self.metrics.drop_malformed += 1;
-                self.decisions[k] = Decision::Drop(DropReason::Malformed);
-            } else {
-                self.metrics.forwarded += 1;
-                self.decisions[k] = Decision::Forward;
-            }
+            self.decisions[k] = self.enforce_one(&c, run_bucket, &mut cnt, uplink, bytes, &mut burst[k], now_ns);
         }
         // One release publish per same-user run (the seqlock analogue of
         // the former per-run `counters.write()` release).
         ctx.publish_counters(cnt);
+    }
+
+    /// Enforce one packet against an already-read control view, mutating
+    /// the caller's local counter copy (not published here — the caller
+    /// amortizes the publish over the run). Shared verbatim by the burst
+    /// act pass and the scalar path, so their decisions cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn enforce_one(
+        &mut self,
+        c: &CtrlView,
+        run_bucket: TokenBucket,
+        cnt: &mut CounterState,
+        uplink: bool,
+        bytes: u64,
+        m: &mut Mbuf,
+        now_ns: u64,
+    ) -> Decision {
+        let rules_empty = c.rules_empty();
+        let action = if rules_empty {
+            // Rule-less fast path: skip the 5-tuple parse and PCEF walk
+            // entirely; classify would return the default.
+            PcefAction::default()
+        } else {
+            let ft = FiveTuple::from_ipv4(m.data()).unwrap_or_default();
+            self.pcef.classify(&ft, c.pcef_rules().iter())
+        };
+        if action.gate_closed {
+            self.metrics.drop_gate += 1;
+            cnt.qos_drops += 1;
+            cnt.last_activity_ns = now_ns;
+            return Decision::Drop(DropReason::GateClosed);
+        }
+        let bucket = if rules_empty {
+            run_bucket
+        } else {
+            TokenBucket::from_kbps(effective_rate(c.ambr_kbps, action.rate_kbps))
+        };
+        let mut tokens = cnt.ambr_tokens;
+        let mut last = cnt.ambr_last_refill_ns;
+        let admitted = bucket.admit(&mut tokens, &mut last, now_ns, bytes);
+        cnt.ambr_tokens = tokens;
+        cnt.ambr_last_refill_ns = last;
+        if !admitted {
+            cnt.qos_drops += 1;
+            cnt.last_activity_ns = now_ns;
+            self.metrics.drop_qos += 1;
+            return Decision::Drop(DropReason::RateExceeded);
+        }
+        if uplink {
+            cnt.uplink_packets += 1;
+            cnt.uplink_bytes += bytes;
+        } else {
+            cnt.downlink_packets += 1;
+            cnt.downlink_bytes += bytes;
+        }
+        cnt.last_activity_ns = now_ns;
+        if uplink {
+            self.metrics.forwarded += 1;
+            Decision::Forward
+        } else if encap_gtpu(m, self.gw_ip, c.tunnels.enb_ip, c.tunnels.enb_teid).is_err() {
+            self.metrics.drop_malformed += 1;
+            Decision::Drop(DropReason::Malformed)
+        } else {
+            self.metrics.forwarded += 1;
+            Decision::Forward
+        }
     }
 
     /// Record one control→data update propagation delay (enqueue→apply),
@@ -534,6 +611,13 @@ impl DataPlane {
     /// Control→data update propagation delays.
     pub fn update_delay(&self) -> &LatencyHistogram {
         &self.update_delay_ns
+    }
+
+    /// Per-stage amortized ns/packet histograms (one sample per burst),
+    /// index-aligned with [`STAGE_NAMES`]. Empty unless
+    /// [`Self::set_stage_timing`] enabled recording.
+    pub fn stage_latencies(&self) -> &[LatencyHistogram; 3] {
+        &self.stage_ns
     }
 
     /// Data-plane metrics snapshot.
@@ -584,22 +668,15 @@ fn prefetch_read(p: *const u8) {
     let _ = p;
 }
 
-/// Cheap direction sniff: outer IPv4 + UDP with destination port 2152.
-#[inline]
-fn is_gtpu(m: &Mbuf) -> bool {
-    let d = m.data();
-    // version/IHL 0x45, proto UDP at offset 9, dst port at offset 22.
-    d.len() >= 28 && d[0] == 0x45 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::TwoLevelConfig;
     use crate::state::{ControlState, QosPolicy, TunnelState};
+    use pepc_net::gtp::decap_gtpu;
     use pepc_net::ipv4::IpProto;
     use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
-    use pepc_net::IPV4_HDR_LEN;
+    use pepc_net::{Ipv4Hdr, IPV4_HDR_LEN};
 
     const GW_IP: u32 = 0x0AFE0001;
     const ENB_IP: u32 = 0xC0A80001;
@@ -943,6 +1020,27 @@ mod tests {
         assert_eq!(scalar_verdicts, burst_verdicts);
         assert_eq!(scalar_ctx.counters(), burst_ctx.counters());
         assert_eq!(scalar.metrics(), burst_dp.metrics());
+    }
+
+    #[test]
+    fn stage_timing_records_one_sample_per_stage_per_burst() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        // Off by default: the burst path records nothing per stage.
+        let mut burst = vec![uplink_packet(TEID_UL), uplink_packet(TEID_UL)];
+        dp.process_burst(&mut burst, 1);
+        assert!(dp.stage_latencies().iter().all(|h| h.count() == 0));
+        dp.set_stage_timing(true);
+        let mut burst = vec![uplink_packet(TEID_UL), uplink_packet(TEID_UL), uplink_packet(0xDEAD)];
+        dp.process_burst(&mut burst, 2);
+        for (h, name) in dp.stage_latencies().iter().zip(STAGE_NAMES) {
+            assert_eq!(h.count(), 1, "stage {name} records once per burst");
+        }
+        // Stage timing rides on telemetry: disabling telemetry stops it.
+        dp.set_telemetry_enabled(false);
+        let mut burst = vec![uplink_packet(TEID_UL)];
+        dp.process_burst(&mut burst, 3);
+        assert_eq!(dp.stage_latencies()[0].count(), 1);
     }
 
     #[test]

@@ -136,15 +136,22 @@ impl Demux {
     }
 }
 
-enum PacketKey {
+/// Steering key of one data packet: the same identifier the data plane
+/// will look the user up by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKey {
+    /// Uplink GTP-U: the tunnel endpoint id.
     Teid(u32),
+    /// Downlink plain IPv4: the destination (UE) address.
     UeIp(u32),
 }
 
 /// Extract the steering key without fully parsing the packet: uplink
 /// GTP-U (outer UDP :2152) → TEID at a fixed offset; otherwise downlink
-/// IPv4 → destination address.
-fn packet_key(m: &Mbuf) -> Option<PacketKey> {
+/// IPv4 → destination address. Shared by the slice-level [`Demux`] and
+/// the software-RSS shard steering ([`crate::shard`]) so both layers
+/// agree on what a packet is keyed by.
+pub fn packet_key(m: &Mbuf) -> Option<PacketKey> {
     let d = m.data();
     if d.len() >= 20 && d[0] == 0x45 {
         if d.len() >= 36 && d[9] == 17 && u16::from_be_bytes([d[22], d[23]]) == pepc_net::GTPU_PORT {

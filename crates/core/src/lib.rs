@@ -52,6 +52,7 @@ pub mod proxy;
 pub mod qos;
 pub mod recovery;
 pub mod seqlock;
+pub mod shard;
 pub mod slice;
 pub mod state;
 pub mod table;
@@ -69,6 +70,7 @@ pub use pcef::Pcef;
 pub use pepc_telemetry::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnapshot, WireStat};
 pub use proxy::Proxy;
 pub use seqlock::SeqCell;
+pub use shard::ShardedDataPath;
 pub use slice::{Slice, SliceHandle};
 pub use state::{ControlState, CounterState, CtrlView, DeviceClass, UeContext, Uid};
 pub use table::{DatapathWriterStore, GiantLockStore, PepcStore, RwLockFineStore, StateStore};

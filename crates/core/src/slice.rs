@@ -97,6 +97,7 @@ impl Slice {
     pub fn new(config: &SliceConfig, gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
         let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
         data.set_telemetry_enabled(config.telemetry);
+        data.set_stage_timing(config.stage_timing);
         for (id, program) in &config.pcef_programs {
             data.apply_update(
                 DpUpdate::InstallRule { id: *id, program: program.clone(), action: Default::default() },
@@ -197,11 +198,20 @@ impl Slice {
     /// burst is the unit of work, just as one packet is in
     /// [`Self::process_packet`]). The burst vector is drained.
     pub fn process_burst(&mut self, burst: &mut Vec<Mbuf>) -> Vec<PacketVerdict> {
+        let mut out = Vec::with_capacity(burst.len());
+        self.process_burst_into(burst, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::process_burst`]: verdicts are
+    /// appended to `out` (one per packet, input order). Measurement
+    /// loops reuse `out` so the burst path stays malloc-free per call.
+    pub fn process_burst_into(&mut self, burst: &mut Vec<Mbuf>, out: &mut Vec<PacketVerdict>) {
         self.packets_since_sync = self.packets_since_sync.saturating_add(burst.len() as u32);
         if self.packets_since_sync >= self.sync_every {
             self.sync_now();
         }
-        self.data.process_burst(burst, self.clock.now_ns())
+        self.data.process_burst_into(burst, self.clock.now_ns(), out)
     }
 
     /// Advance the control plane's procedure-supervision clock.
@@ -256,6 +266,7 @@ impl Slice {
         s.attach_ns = self.ctrl.attach_latency().clone();
         s.service_request_ns = self.ctrl.service_request_latency().clone();
         s.handover_ns = self.ctrl.handover_latency().clone();
+        s.stage_ns = self.data.stage_latencies().to_vec();
         s.rings.push(self.update_rx.gauge("update_ring"));
         s
     }
@@ -311,6 +322,7 @@ impl Slice {
         // --- data thread ---
         let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
         data.set_telemetry_enabled(config.telemetry);
+        data.set_stage_timing(config.stage_timing);
         for (id, program) in &config.pcef_programs {
             data.apply_update(
                 DpUpdate::InstallRule { id: *id, program: program.clone(), action: Default::default() },
@@ -557,6 +569,25 @@ mod tests {
         assert_eq!(snap.rings.len(), 1);
         assert_eq!(snap.rings[0].name, "update_ring");
         assert_eq!(snap.rings[0].depth, 0, "drained at the sync boundary");
+    }
+
+    #[test]
+    fn stage_timing_flag_surfaces_stage_histograms_in_snapshot() {
+        let config = SliceConfig {
+            batching: BatchingConfig { sync_every_packets: 1 },
+            stage_timing: true,
+            ..SliceConfig::default()
+        };
+        let mut s = Slice::new(&config, 0x0AFE0001, 1, alloc(), None);
+        s.handle_ctrl_event(CtrlEvent::Attach { imsi: 7 });
+        let mut burst: Vec<Mbuf> = (0..8).map(|_| uplink(0x1000, 0x0A000001)).collect();
+        s.process_burst(&mut burst);
+        let snap = s.telemetry_snapshot(0);
+        assert_eq!(snap.stage_ns.len(), 3);
+        assert!(snap.stage_ns.iter().all(|h| h.count() == 1), "one sample per stage per burst");
+        // Off by default: the flag costs nothing unless asked for.
+        let quiet = inline_slice(1);
+        assert!(quiet.telemetry_snapshot(0).stage_ns.iter().all(|h| h.count() == 0));
     }
 
     #[test]

@@ -24,6 +24,18 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
+/// splitmix64 finalizer (Vigna) — bijective, full avalanche, a few
+/// cycles. Shared by [`KeyHasher`] and the software-RSS shard steering in
+/// [`crate::shard`], so a table key and its owning shard are derived from
+/// the same mix.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Hasher for the table's integer keys (TEIDs / UE IPs widened to u64).
 ///
 /// The default SipHash costs more per lookup than the probe itself on
@@ -42,11 +54,7 @@ impl Hasher for KeyHasher {
 
     #[inline]
     fn write_u64(&mut self, x: u64) {
-        // splitmix64 finalizer (Vigna) — bijective, full avalanche.
-        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.0 = z ^ (z >> 31);
+        self.0 = splitmix64(x);
     }
 
     fn write(&mut self, bytes: &[u8]) {

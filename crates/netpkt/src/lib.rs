@@ -23,6 +23,7 @@
 
 pub mod bpf;
 pub mod checksum;
+pub mod classify;
 pub mod error;
 pub mod ether;
 pub mod fivetuple;
@@ -33,6 +34,7 @@ pub mod tcp;
 pub mod udp;
 
 pub use bpf::{BpfProgram, Insn};
+pub use classify::{classify_fast, classify_reference, PktClass};
 pub use error::{NetError, Result};
 pub use ether::{EtherHdr, EtherType, MacAddr, ETHER_HDR_LEN};
 pub use fivetuple::FiveTuple;

@@ -28,4 +28,4 @@ mod snapshot;
 
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use metrics::{CtrlMetrics, DataMetrics};
-pub use snapshot::{MetricsSnapshot, RingGauge, SliceSnapshot, WireStat};
+pub use snapshot::{MetricsSnapshot, RingGauge, SliceSnapshot, WireStat, STAGE_LABELS};

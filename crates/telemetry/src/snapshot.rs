@@ -70,8 +70,16 @@ pub struct SliceSnapshot {
     pub handover_ns: LatencyHistogram,
     /// Per-user migration latency (park → drain).
     pub migration_ns: LatencyHistogram,
+    /// Per-stage amortized ns/packet (parse/lookup/enforce, in
+    /// [`STAGE_LABELS`] order) when stage timing is enabled; empty
+    /// histograms otherwise.
+    pub stage_ns: Vec<LatencyHistogram>,
     pub rings: Vec<RingGauge>,
 }
+
+/// Labels for [`SliceSnapshot::stage_ns`], index-aligned with the data
+/// plane's three pipeline passes.
+pub const STAGE_LABELS: [&str; 3] = ["stage-parse", "stage-lookup", "stage-enforce"];
 
 impl SliceSnapshot {
     pub fn new(slice_id: u64) -> Self {
@@ -86,6 +94,7 @@ impl SliceSnapshot {
             service_request_ns: LatencyHistogram::new(),
             handover_ns: LatencyHistogram::new(),
             migration_ns: LatencyHistogram::new(),
+            stage_ns: Vec::new(),
             rings: Vec::new(),
         }
     }
@@ -110,6 +119,8 @@ impl SliceSnapshot {
             && self.service_request_ns.count() == other.service_request_ns.count()
             && self.handover_ns.count() == other.handover_ns.count()
             && self.migration_ns.count() == other.migration_ns.count()
+            && self.stage_ns.len() == other.stage_ns.len()
+            && self.stage_ns.iter().zip(&other.stage_ns).all(|(a, b)| a.count() == b.count())
             && self.rings == other.rings
     }
 
@@ -175,6 +186,11 @@ impl SliceSnapshot {
                 let _ = writeln!(out, "  {label:<11} {}", h.summary());
             }
         }
+        for (h, label) in self.stage_ns.iter().zip(STAGE_LABELS) {
+            if h.count() > 0 {
+                let _ = writeln!(out, "  {label:<13} {}", h.summary());
+            }
+        }
         for r in &self.rings {
             let _ = writeln!(out, "  ring {:<11} {}/{} ({:.1}%)", r.name, r.depth, r.capacity, r.occupancy() * 100.0);
         }
@@ -190,6 +206,10 @@ pub struct MetricsSnapshot {
     /// cluster fills these in so chaos runs can correlate fabric loss
     /// with slice drops).
     pub wires: Vec<WireStat>,
+    /// Software-RSS steering totals: packets steered to each shard of a
+    /// sharded data path (empty when the snapshot owner runs unsharded).
+    /// Skew is read off [`Self::shard_imbalance`], not inferred.
+    pub shard_packets: Vec<u64>,
 }
 
 impl MetricsSnapshot {
@@ -212,6 +232,15 @@ impl MetricsSnapshot {
                 out,
                 "wire {}: fwd={} dropped={} corrupted={} reordered={} duplicated={} delayed={} rate_limited={}",
                 w.name, w.forwarded, w.dropped, w.corrupted, w.reordered, w.duplicated, w.delayed, w.rate_limited,
+            );
+        }
+        if !self.shard_packets.is_empty() {
+            use std::fmt::Write;
+            let _ = writeln!(
+                out,
+                "shards: packets={:?} imbalance={:.3} (max/mean)",
+                self.shard_packets,
+                self.shard_imbalance(),
             );
         }
         out
@@ -251,11 +280,23 @@ impl MetricsSnapshot {
         t
     }
 
+    /// Shard imbalance as max/mean of the steered packet counts: 1.0 is
+    /// perfectly balanced, 0.0 means unsharded or no traffic yet.
+    pub fn shard_imbalance(&self) -> f64 {
+        let total: u64 = self.shard_packets.iter().sum();
+        if total == 0 || self.shard_packets.is_empty() {
+            return 0.0;
+        }
+        let max = *self.shard_packets.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / self.shard_packets.len() as f64)
+    }
+
     /// See [`SliceSnapshot::deterministic_eq`].
     pub fn deterministic_eq(&self, other: &MetricsSnapshot) -> bool {
         self.slices.len() == other.slices.len()
             && self.slices.iter().zip(&other.slices).all(|(a, b)| a.deterministic_eq(b))
             && self.wires == other.wires
+            && self.shard_packets == other.shard_packets
     }
 }
 
@@ -275,9 +316,12 @@ mod tests {
             s.pipeline_ns.record(i * 100);
         }
         s.attach_ns.record(5_000);
+        let mut stage = LatencyHistogram::new();
+        stage.record(40);
+        s.stage_ns = vec![stage.clone(), stage.clone(), stage];
         s.rings.push(RingGauge { name: "update_ring".into(), depth: 3, capacity: 1024 });
         let wires = vec![WireStat { name: "repl:node1".into(), forwarded: 40, dropped: 2, ..Default::default() }];
-        MetricsSnapshot { slices: vec![s], wires }
+        MetricsSnapshot { slices: vec![s], wires, shard_packets: vec![60, 40] }
     }
 
     #[test]
@@ -290,7 +334,39 @@ mod tests {
         assert!(text.contains("p999="), "{text}");
         assert!(text.contains("ring update_ring"), "{text}");
         assert!(text.contains("wire repl:node1: fwd=40 dropped=2"), "{text}");
+        assert!(text.contains("stage-parse"), "{text}");
+        assert!(text.contains("stage-enforce"), "{text}");
+        assert!(text.contains("shards: packets=[60, 40] imbalance=1.200"), "{text}");
         assert!(MetricsSnapshot::new().render().contains("no slices"));
+    }
+
+    #[test]
+    fn shard_imbalance_max_over_mean() {
+        let mut snap = MetricsSnapshot::new();
+        assert_eq!(snap.shard_imbalance(), 0.0, "unsharded");
+        snap.shard_packets = vec![0, 0];
+        assert_eq!(snap.shard_imbalance(), 0.0, "no traffic yet");
+        snap.shard_packets = vec![25, 25, 25, 25];
+        assert!((snap.shard_imbalance() - 1.0).abs() < 1e-9);
+        snap.shard_packets = vec![90, 10];
+        assert!((snap.shard_imbalance() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_eq_tracks_stage_counts_and_shards() {
+        let a = sample();
+        let mut b = sample();
+        // Same stage population, different values: still deterministic-eq.
+        b.slices[0].stage_ns[0] = LatencyHistogram::new();
+        b.slices[0].stage_ns[0].record(9_999);
+        assert!(a.deterministic_eq(&b));
+        // Extra stage sample breaks it.
+        b.slices[0].stage_ns[0].record(1);
+        assert!(!a.deterministic_eq(&b));
+        // Shard steering totals are deterministic and must match.
+        let mut c = sample();
+        c.shard_packets[0] += 1;
+        assert!(!a.deterministic_eq(&c));
     }
 
     #[test]

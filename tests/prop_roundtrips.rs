@@ -249,7 +249,7 @@ proptest! {
             dropped: drops[0],
             ..Default::default()
         }];
-        let snap = MetricsSnapshot { slices: vec![s], wires };
+        let snap = MetricsSnapshot { slices: vec![s], wires, shard_packets: Vec::new() };
         let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         prop_assert_eq!(&back, &snap);
         prop_assert!(back.deterministic_eq(&snap));
@@ -733,5 +733,113 @@ proptest! {
         if let Some(msg) = msg {
             let _ = m.dispose(&msg); // any Disposition is fine; panic is the bug
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branchless/SIMD classifier vs the reference parser chain
+// ---------------------------------------------------------------------------
+
+/// Emitted wire images the classifier corpus perturbs: a valid GTP-U
+/// uplink, a plain IPv4+UDP downlink, an IPv4+TCP flow, an
+/// Ethernet-framed IPv4 packet (not IP-at-offset-0, so Malformed), and
+/// a GTP-shaped-but-short frame (the 20..28-byte quirk window).
+fn classifier_corpus() -> Vec<Vec<u8>> {
+    use pepc_net::ipv4::IpProto;
+    use pepc_net::tcp::TCP_HDR_LEN;
+    use pepc_net::udp::UDP_HDR_LEN;
+    use pepc_net::IPV4_HDR_LEN;
+
+    let ipv4_udp = |src: u32, dst: u32, payload: usize| -> Vec<u8> {
+        let mut b = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN + payload];
+        Ipv4Hdr::new(src, dst, IpProto::Udp, UDP_HDR_LEN + payload).emit(&mut b[..IPV4_HDR_LEN]).unwrap();
+        UdpHdr::new(40_000, 443, payload).emit(&mut b[IPV4_HDR_LEN..]).unwrap();
+        b
+    };
+
+    let mut corpus = Vec::new();
+    // Valid GTP-U uplink.
+    let mut m = Mbuf::from_payload(&ipv4_udp(0x0A00_0001, 0x0808_0808, 32));
+    encap_gtpu(&mut m, 0xC0A8_0001, 0x0AFE_0001, 0xDEAD_BEEF).unwrap();
+    corpus.push(m.data().to_vec());
+    // Plain IPv4 + UDP downlink.
+    corpus.push(ipv4_udp(0x0808_0808, 0x0A00_0001, 24));
+    // IPv4 + TCP.
+    let mut tcp = vec![0u8; IPV4_HDR_LEN + TCP_HDR_LEN];
+    Ipv4Hdr::new(0x0A00_0002, 0x0808_0404, IpProto::Tcp, TCP_HDR_LEN).emit(&mut tcp[..IPV4_HDR_LEN]).unwrap();
+    TcpHdr {
+        src_port: 40_001,
+        dst_port: 80,
+        seq: 7,
+        ack: 9,
+        data_offset: TCP_HDR_LEN,
+        flags: pepc_net::tcp::flags::ACK,
+        window: 512,
+    }
+    .emit(&mut tcp[IPV4_HDR_LEN..])
+    .unwrap();
+    corpus.push(tcp);
+    // Ethernet-framed IPv4 (classifier sees non-0x45 at offset 0).
+    let mut eth = vec![0u8; 14];
+    eth[12] = 0x08; // ethertype 0x0800
+    eth.extend_from_slice(&ipv4_udp(0x0808_0808, 0x0A00_0003, 16));
+    corpus.push(eth);
+    // GTP-shaped start but cut inside the 20..28 quirk window.
+    let mut quirk = corpus[0].clone();
+    quirk.truncate(24);
+    corpus.push(quirk);
+    corpus
+}
+
+fn assert_classify_agree(bytes: &[u8], what: &str) {
+    let fast = pepc_net::classify_fast(bytes);
+    let reference = pepc_net::classify_reference(bytes);
+    assert_eq!(fast, reference, "{what}: fast != reference on {bytes:02x?}");
+}
+
+/// Exhaustive (deterministic) sweep: the branchless/SIMD classifier must
+/// agree with the reference parser chain on every corpus packet, every
+/// truncation of it, and every single-bit corruption — and never panic.
+#[test]
+fn classifier_agrees_on_every_truncation_and_bit_flip() {
+    for (i, pkt) in classifier_corpus().iter().enumerate() {
+        assert_classify_agree(pkt, &format!("corpus[{i}]"));
+        for cut in 0..=pkt.len() {
+            assert_classify_agree(&pkt[..cut], &format!("corpus[{i}] cut at {cut}"));
+        }
+        for byte in 0..pkt.len() {
+            for bit in 0..8 {
+                let mut flipped = pkt.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_classify_agree(&flipped, &format!("corpus[{i}] flip {byte}.{bit}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn classifier_agrees_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(pepc_net::classify_fast(&bytes), pepc_net::classify_reference(&bytes));
+    }
+
+    #[test]
+    fn classifier_agrees_on_corrupted_corpus(
+        pick in 0usize..5,
+        cut in any::<usize>(),
+        flips in proptest::collection::vec((any::<usize>(), 0u8..8), 0..4),
+    ) {
+        // Truncate then scatter a few bit flips: multi-fault inputs the
+        // exhaustive single-fault sweep cannot reach.
+        let corpus = classifier_corpus();
+        let mut bytes = corpus[pick % corpus.len()].clone();
+        bytes.truncate(cut % (bytes.len() + 1));
+        for (at, bit) in flips {
+            if !bytes.is_empty() {
+                let at = at % bytes.len();
+                bytes[at] ^= 1 << bit;
+            }
+        }
+        prop_assert_eq!(pepc_net::classify_fast(&bytes), pepc_net::classify_reference(&bytes));
     }
 }

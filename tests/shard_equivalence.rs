@@ -1,0 +1,266 @@
+// IMSI literals are written MCC_MNC_MSIN (e.g. 404_01_…).
+#![allow(clippy::inconsistent_digit_grouping)]
+
+//! Differential test: the software-RSS sharded data path must be
+//! observationally identical to the single pipeline — same per-packet
+//! verdicts (in input order), same per-user counters, same drop
+//! taxonomy, same IoT charging and table churn — for any shard count,
+//! on seeded mixed workloads. Steering must also be stable: the same
+//! key lands on the same shard in every burst.
+//!
+//! The population and packet mix mirror `tests/burst_equivalence.rs`
+//! (which pins burst == scalar), so the two differentials compose:
+//! sharded == single burst == scalar.
+
+use pepc::config::{IotConfig, TwoLevelConfig};
+use pepc::data::{DataPlane, DpUpdate, PacketVerdict};
+use pepc::pcef::PcefAction;
+use pepc::state::{ControlState, QosPolicy, TunnelState, UeContext};
+use pepc::ShardedDataPath;
+use pepc_net::bpf::BpfProgram;
+use pepc_net::gtp::encap_gtpu;
+use pepc_net::ipv4::IpProto;
+use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
+use pepc_net::{Ipv4Hdr, Mbuf, IPV4_HDR_LEN};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const GW_IP: u32 = 0x0AFE_0001;
+const ENB_IP: u32 = 0xC0A8_0001;
+const UE_IP_BASE: u32 = 0x0A00_0001;
+const TEID_BASE: u32 = 0x1000;
+const IOT_TEID_BASE: u32 = 0xF000_0000;
+const IOT_IP_BASE: u32 = 0x6400_0000;
+const USERS: u32 = 24;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Flavour {
+    Plain,
+    RateLimited,
+    Gated,
+}
+
+fn flavour(u: u32) -> Flavour {
+    match u % 3 {
+        0 => Flavour::Plain,
+        1 => Flavour::RateLimited,
+        _ => Flavour::Gated,
+    }
+}
+
+fn iot() -> IotConfig {
+    IotConfig { enabled: true, teid_base: IOT_TEID_BASE, ip_base: IOT_IP_BASE, pool_size: 64 }
+}
+
+fn rule() -> DpUpdate {
+    DpUpdate::InstallRule {
+        id: 1,
+        program: BpfProgram::match_dst_port(53, 1),
+        action: PcefAction { qci: 9, rate_kbps: 0, gate_closed: true },
+    }
+}
+
+fn user_ctx(u: u32) -> Arc<UeContext> {
+    let mut ctrl = ControlState::new(404_01_0000000000 + u64::from(u));
+    ctrl.ue_ip = UE_IP_BASE + u;
+    let ambr = if flavour(u) == Flavour::RateLimited { 8 } else { 0 };
+    ctrl.qos = QosPolicy { qci: 9, ambr_kbps: ambr, gbr_kbps: 0 };
+    ctrl.tunnels = TunnelState { enb_teid: 0xE000 + u, enb_ip: ENB_IP, gw_teid: TEID_BASE + u };
+    if flavour(u) == Flavour::Gated {
+        ctrl.pcef_rules.push(1);
+    }
+    UeContext::new(ctrl)
+}
+
+fn insert(u: u32, ctx: &Arc<UeContext>) -> DpUpdate {
+    // Half the users start demoted so bursts exercise promotions.
+    DpUpdate::Insert {
+        gw_teid: TEID_BASE + u,
+        ue_ip: UE_IP_BASE + u,
+        ctx: Arc::clone(ctx),
+        active: u.is_multiple_of(2),
+    }
+}
+
+fn build_single() -> (DataPlane, Vec<Arc<UeContext>>) {
+    let mut dp = DataPlane::new(GW_IP, 256, TwoLevelConfig::default(), iot());
+    dp.apply_update(rule(), 0);
+    let ctxs: Vec<_> = (0..USERS).map(user_ctx).collect();
+    for (u, ctx) in ctxs.iter().enumerate() {
+        dp.apply_update(insert(u as u32, ctx), 0);
+    }
+    (dp, ctxs)
+}
+
+fn build_sharded(shards: usize) -> (ShardedDataPath, Vec<Arc<UeContext>>) {
+    let mut p = ShardedDataPath::new(GW_IP, 256, TwoLevelConfig::default(), iot(), shards);
+    p.apply_update(rule(), 0);
+    let ctxs: Vec<_> = (0..USERS).map(user_ctx).collect();
+    for (u, ctx) in ctxs.iter().enumerate() {
+        p.apply_update(insert(u as u32, ctx), 0);
+    }
+    (p, ctxs)
+}
+
+fn inner_udp(src: u32, dst: u32, dst_port: u16, payload_len: usize) -> Mbuf {
+    let mut m = Mbuf::new();
+    let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+    Ipv4Hdr::new(src, dst, IpProto::Udp, UDP_HDR_LEN + payload_len).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();
+    UdpHdr::new(40_000, dst_port, payload_len).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+    m.extend(&hdr);
+    m.extend(&vec![0xAB; payload_len]);
+    m
+}
+
+fn uplink(teid: u32, src: u32, dst_port: u16) -> Mbuf {
+    let mut m = inner_udp(src, 0x0808_0808, dst_port, 64);
+    encap_gtpu(&mut m, ENB_IP, GW_IP, teid).unwrap();
+    m
+}
+
+/// One seeded packet of the mixed workload (same mix as
+/// `burst_equivalence.rs`): known uplink/downlink with same-user runs,
+/// gated ports, IoT pool, unknown keys, malformed frames.
+fn next_packet(rng: &mut rand::rngs::StdRng, sticky_user: &mut u32) -> Mbuf {
+    if rng.gen_range(0..2) == 0 {
+        *sticky_user = rng.gen_range(0..USERS);
+    }
+    let u = *sticky_user;
+    let dst_port = if rng.gen_range(0..3) == 0 { 53 } else { 443 };
+    match rng.gen_range(0..10) {
+        0..=3 => uplink(TEID_BASE + u, UE_IP_BASE + u, dst_port),
+        4..=6 => inner_udp(0x0808_0808, UE_IP_BASE + u, dst_port, 48),
+        7 => uplink(IOT_TEID_BASE + (u % 64), IOT_IP_BASE + (u % 64), dst_port),
+        8 => inner_udp(0x0808_0808, IOT_IP_BASE + (u % 64), dst_port, 32),
+        _ => {
+            if rng.gen_range(0..2) == 0 {
+                uplink(0x00DE_AD00 + u, UE_IP_BASE, dst_port)
+            } else {
+                Mbuf::from_payload(&[0xFF; 40])
+            }
+        }
+    }
+}
+
+fn verdict_kind(v: &PacketVerdict) -> (bool, Option<pepc::data::DropReason>, usize) {
+    match v {
+        PacketVerdict::Forward(m) => (true, None, m.len()),
+        PacketVerdict::Drop(r) => (false, Some(*r), 0),
+    }
+}
+
+#[test]
+fn sharded_path_is_observationally_identical_to_single_pipeline() {
+    for shards in [2usize, 4, 8] {
+        for seed in [7u64, 42, 1234] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (mut single, single_ctxs) = build_single();
+            let (mut sharded, sharded_ctxs) = build_sharded(shards);
+
+            let mut sticky = 0u32;
+            let mut now = 1_000u64;
+            for _round in 0..200 {
+                let burst_size = rng.gen_range(1..49);
+                now += rng.gen_range(0..2_000_000);
+                let packets: Vec<Mbuf> = (0..burst_size).map(|_| next_packet(&mut rng, &mut sticky)).collect();
+                let copies: Vec<Mbuf> = packets.iter().map(|m| Mbuf::from_payload(m.data())).collect();
+
+                let mut sharded_in = packets;
+                let sharded_out = sharded.process_burst(&mut sharded_in, now);
+                let mut single_in = copies;
+                let single_out = single.process_burst(&mut single_in, now);
+
+                assert_eq!(sharded_out.len(), single_out.len());
+                for (k, (a, b)) in sharded_out.iter().zip(&single_out).enumerate() {
+                    assert_eq!(
+                        verdict_kind(a),
+                        verdict_kind(b),
+                        "{shards} shards seed {seed} packet {k}: verdict diverged"
+                    );
+                }
+            }
+
+            // Aggregate metrics equal the single pipeline's: same rx,
+            // forwarded, full drop taxonomy, update count.
+            let agg = sharded.aggregate_metrics();
+            assert_eq!(agg, single.metrics(), "{shards} shards seed {seed}: drop taxonomy diverged");
+            assert!(agg.conservation_holds(), "{shards} shards seed {seed}: rx != forwarded + drops");
+            assert_eq!(
+                sharded.iot_totals(),
+                (single.iot_packets, single.iot_bytes),
+                "{shards} shards seed {seed}: IoT charging diverged"
+            );
+            assert_eq!(
+                sharded.table_stats(),
+                single.table_stats(),
+                "{shards} shards seed {seed}: table churn diverged"
+            );
+            assert_eq!(
+                sharded.pipeline_latency().count(),
+                single.pipeline_latency().count(),
+                "{shards} shards seed {seed}: histogram population diverged"
+            );
+            for (u, (a, b)) in sharded_ctxs.iter().zip(&single_ctxs).enumerate() {
+                assert_eq!(a.counters(), b.counters(), "{shards} shards seed {seed}: user {u} counters diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn steering_is_stable_and_respects_the_partition() {
+    let (mut sharded, _ctxs) = build_sharded(4);
+    // Record every key's first steering decision, then re-steer the
+    // same keys many times: the decision never changes, and both
+    // directions of a known user agree with the TEID owner hash.
+    for u in 0..USERS {
+        let owner = sharded.owner_of_teid(TEID_BASE + u);
+        for _ in 0..3 {
+            assert_eq!(sharded.shard_for(&uplink(TEID_BASE + u, UE_IP_BASE + u, 443)), owner, "user {u} uplink");
+            assert_eq!(
+                sharded.shard_for(&inner_udp(0x0808_0808, UE_IP_BASE + u, 443, 48)),
+                owner,
+                "user {u} downlink follows the owner map"
+            );
+        }
+    }
+    // Unknown keys: stable too (pure hash of the key).
+    let unknown_ul = uplink(0x00DE_AD77, UE_IP_BASE, 443);
+    let unknown_dl = inner_udp(0x0808_0808, 0x0BAD_0001, 443, 48);
+    let s_ul = sharded.shard_for(&unknown_ul);
+    let s_dl = sharded.shard_for(&unknown_dl);
+    for _ in 0..3 {
+        assert_eq!(sharded.shard_for(&unknown_ul), s_ul);
+        assert_eq!(sharded.shard_for(&unknown_dl), s_dl);
+    }
+    // Processing traffic does not perturb steering decisions.
+    let mut burst: Vec<Mbuf> = (0..USERS).map(|u| uplink(TEID_BASE + u, UE_IP_BASE + u, 443)).collect();
+    sharded.process_burst(&mut burst, 10);
+    for u in 0..USERS {
+        assert_eq!(
+            sharded.shard_for(&uplink(TEID_BASE + u, UE_IP_BASE + u, 443)),
+            sharded.owner_of_teid(TEID_BASE + u),
+            "user {u} after traffic"
+        );
+    }
+}
+
+#[test]
+fn shard_count_one_equals_the_single_pipeline_exactly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let (mut single, single_ctxs) = build_single();
+    let (mut sharded, sharded_ctxs) = build_sharded(1);
+    let mut sticky = 0u32;
+    for i in 0..300u64 {
+        let now = 1_000 + i * 10_000;
+        let m = next_packet(&mut rng, &mut sticky);
+        let copy = Mbuf::from_payload(m.data());
+        let a = sharded.process_burst(&mut vec![m], now);
+        let b = single.process_burst(&mut vec![copy], now);
+        assert_eq!(verdict_kind(&a[0]), verdict_kind(&b[0]), "packet {i}");
+    }
+    assert_eq!(sharded.aggregate_metrics(), single.metrics());
+    for (x, y) in sharded_ctxs.iter().zip(&single_ctxs) {
+        assert_eq!(x.counters(), y.counters());
+    }
+}
