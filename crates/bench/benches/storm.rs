@@ -1,0 +1,373 @@
+//! Signaling-storm degradation curves (DESIGN.md §15, EXPERIMENTS.md
+//! fig6/fig10 storm extension).
+//!
+//! A deterministic tick-driven overload model against a real
+//! `ControlPlane`: the control plane processes at most `BUDGET_PER_TICK`
+//! S1AP messages per tick from a shared ingress FIFO, procedure
+//! supervision expires handshakes whose follow-ups queue for longer than
+//! `PROC_TIMEOUT` ticks, and two populations compete for the budget:
+//!
+//! * **steady** — well-behaved attaches arriving at `STEADY_RATE` per
+//!   tick from their own eNodeB (ECGI 0x200); their completion ratio is
+//!   the *goodput* and their attach latency p99 the *tail* reported.
+//! * **storm** — a [`BackoffHerd`] of `40 × multiplier` devices on a
+//!   second eNodeB (ECGI 0x300), all colliding at `STORM_TICK`,
+//!   re-colliding on exponential backoff after every shed or expiry.
+//!
+//! Each offered-load multiplier runs twice: `none` (admission control
+//! off — the storm's admitted handshakes swamp the FIFO, steady
+//! follow-ups expire, goodput collapses) and `admission` (per-eNodeB
+//! token bucket + in-flight ceiling — the wave is shed in O(1) per
+//! attempt with an explicit backoff, steady traffic keeps its budget).
+//!
+//! Everything except `handle_ns` (measured wall-clock per message) is a
+//! deterministic function of the model, so `scripts/bench_storm.py` can
+//! gate hard numbers: goodput at 10× overload ≥ 70% with admission,
+//! collapse without, bounded steady p99.
+
+use pepc::config::OverloadConfig;
+use pepc::ctrl::{Allocator, ControlPlane};
+use pepc::proxy::Proxy;
+use pepc_backend::hss::sim_response;
+use pepc_backend::{Hss, Pcrf};
+use pepc_sigproto::nas::NasMsg;
+use pepc_sigproto::s1ap::S1apPdu;
+use pepc_workload::storm::{BackoffHerd, HerdOutcome};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Control-plane work budget per tick in cost units (the "CPU" of the
+/// model): 48 full procedure steps' worth.
+const BUDGET_UNITS_PER_TICK: u64 = 48 * FULL_COST;
+/// A full S1AP/NAS step: decode, route, run the machine, HSS/PCRF work.
+const FULL_COST: u64 = 8;
+/// A shed: admission classify + a 4-byte CongestionReject, before any
+/// routing or per-UE work — the reason admitting early wins.
+const SHED_COST: u64 = 1;
+/// Ticks per run; a tick is 1 ms of virtual time.
+const TICKS: u64 = 400;
+/// Virtual nanoseconds per tick.
+const TICK_NS: u64 = 1_000_000;
+/// Steady attach arrivals per tick (×5 messages each ≈ 42% of budget).
+const STEADY_RATE: u64 = 4;
+/// Supervision timeout: a handshake whose next message queues longer
+/// than this is expired and must restart.
+const PROC_TIMEOUT: u64 = 12;
+/// Tick the storm wave lands on.
+const STORM_TICK: u64 = 50;
+/// Storm devices per offered-load multiplier. At 10× the first volley
+/// alone (1200 attaches + their expired-handshake retries) swamps the
+/// budget for tens of ticks, well past the supervision timeout.
+const DEVICES_PER_MULT: u64 = 120;
+/// Offered-load multipliers swept (0 = no-storm baseline).
+const MULTS: [u64; 5] = [0, 1, 2, 5, 10];
+/// An attach that takes longer than this (ticks = ms) is not goodput:
+/// real UEs abandon and upper layers declare failure long before.
+const DEADLINE_TICKS: u64 = 50;
+
+const STEADY_IMSI_BASE: u64 = 40_401_500_000;
+const STORM_IMSI_BASE: u64 = 40_403_000_000;
+const STEADY_ECGI: u32 = 0x200;
+const STORM_ECGI: u32 = 0x300;
+
+fn admission_policy() -> OverloadConfig {
+    // Bucket rate matches the steady arrival rate (per eNodeB, so the
+    // storm cell cannot starve the steady cell); the ceiling is sized to
+    // stay clear of legitimate concurrency and only catch runaway
+    // in-flight growth.
+    OverloadConfig { enabled: true, enb_rate_per_tick: 4, enb_burst: 8, max_in_flight: 64, backoff_ms: 20 }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Steady,
+    Storm,
+}
+
+struct Ue {
+    imsi: u64,
+    enb_ue_id: u32,
+    ecgi: u32,
+    kind: Kind,
+    /// 0 send-attach … 4 send-attach-complete, 5 attached (see the sim's
+    /// eNodeB emulator — same ladder).
+    stage: u8,
+    mme_ue_id: u32,
+    rand: u64,
+    arrival: u64,
+    completed_at: Option<u64>,
+}
+
+struct Model {
+    cp: ControlPlane,
+    ues: Vec<Ue>,
+    /// Ingress FIFO: (ue index, pdu built when enqueued).
+    fifo: VecDeque<(usize, S1apPdu)>,
+    /// (retry tick, ue index) for steady UEs backing off or restarting.
+    retries: Vec<(u64, usize)>,
+    herd: Option<BackoffHerd>,
+    /// Storm imsi → ue index.
+    storm_idx: std::collections::HashMap<u64, usize>,
+    handle_ns: u64,
+    handled: u64,
+}
+
+impl Model {
+    fn new(mult: u64, admission: bool) -> Self {
+        let steady_total = TICKS / 2 * STEADY_RATE; // arrivals stop at half-run so late attaches can still finish
+        let storm_devices = mult * DEVICES_PER_MULT;
+        let hss = std::sync::Arc::new(Hss::new());
+        hss.provision_range(STEADY_IMSI_BASE, steady_total, 100_000);
+        if storm_devices > 0 {
+            hss.provision_range(STORM_IMSI_BASE, storm_devices, 300_000);
+        }
+        let pcrf = std::sync::Arc::new(Pcrf::with_standard_rules());
+        let proxy = std::sync::Arc::new(Proxy::new(hss, pcrf, 1, 40401));
+        let alloc = Allocator { teid_base: 0x1000, ue_ip_base: 0x0A00_0001, guti_base: 0xD00D_0000, mme_ue_id_base: 1 };
+        let mut cp = ControlPlane::new(0x0AFE_0001, 1, alloc, Some(proxy));
+        if admission {
+            cp.set_overload(admission_policy());
+        }
+        let mut ues = Vec::new();
+        for i in 0..steady_total {
+            ues.push(Ue {
+                imsi: STEADY_IMSI_BASE + i,
+                enb_ue_id: 0x1000 + i as u32,
+                ecgi: STEADY_ECGI,
+                kind: Kind::Steady,
+                stage: 0,
+                mme_ue_id: 0,
+                rand: 0,
+                arrival: 1 + i / STEADY_RATE,
+                completed_at: None,
+            });
+        }
+        let mut storm_idx = std::collections::HashMap::new();
+        for d in 0..storm_devices {
+            storm_idx.insert(STORM_IMSI_BASE + d, ues.len());
+            ues.push(Ue {
+                imsi: STORM_IMSI_BASE + d,
+                enb_ue_id: 0x8000 + d as u32,
+                ecgi: STORM_ECGI,
+                kind: Kind::Storm,
+                stage: 0,
+                mme_ue_id: 0,
+                rand: 0,
+                arrival: STORM_TICK,
+                completed_at: None,
+            });
+        }
+        let herd = (storm_devices > 0)
+            .then(|| BackoffHerd::new(7, STORM_IMSI_BASE, storm_devices, STORM_TICK * TICK_NS, 20 * TICK_NS, 0));
+        Model { cp, ues, fifo: VecDeque::new(), retries: Vec::new(), herd, storm_idx, handle_ns: 0, handled: 0 }
+    }
+
+    /// Build the message UE `i`'s stage calls for (the sim emulator's
+    /// ladder) and enqueue it.
+    fn enqueue(&mut self, i: usize) {
+        let ue = &self.ues[i];
+        let pdu = match ue.stage {
+            0 => S1apPdu::InitialUeMessage {
+                enb_ue_id: ue.enb_ue_id,
+                ecgi: ue.ecgi,
+                tac: 7,
+                nas: NasMsg::AttachRequest { imsi: ue.imsi, ue_capability: 0xF0 }.encode(),
+            },
+            1 => S1apPdu::UplinkNasTransport {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                nas: NasMsg::AuthenticationResponse { res: sim_response(Hss::key_for(ue.imsi), ue.rand) }.encode(),
+            },
+            2 => S1apPdu::UplinkNasTransport {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                nas: NasMsg::SecurityModeComplete.encode(),
+            },
+            3 => S1apPdu::InitialContextSetupResponse {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                enb_teid: 0xE000 + (ue.imsi & 0xFFF) as u32,
+                enb_ip: 0xC0A8_0002,
+            },
+            4 => S1apPdu::UplinkNasTransport {
+                enb_ue_id: ue.enb_ue_id,
+                mme_ue_id: ue.mme_ue_id,
+                nas: NasMsg::AttachComplete.encode(),
+            },
+            _ => return,
+        };
+        self.fifo.push_back((i, pdu));
+    }
+
+    /// Process one queued message; returns its budget cost (a shed is
+    /// an order of magnitude cheaper than a full procedure step).
+    fn process(&mut self, i: usize, pdu: &S1apPdu, now: u64) -> u64 {
+        let t0 = Instant::now();
+        let rsp = self.cp.handle_s1ap(pdu);
+        self.handle_ns += t0.elapsed().as_nanos() as u64;
+        self.handled += 1;
+        let before = self.ues[i].stage;
+        let mut shed_backoff = None;
+        // ICS response / attach complete are acknowledged silently.
+        if matches!(self.ues[i].stage, 3 | 4) {
+            self.ues[i].stage += 1;
+        }
+        for p in &rsp {
+            let ue = &mut self.ues[i];
+            match p {
+                S1apPdu::DownlinkNasTransport { mme_ue_id, nas, .. } => match NasMsg::decode(nas) {
+                    Ok(NasMsg::AuthenticationRequest { rand, .. }) if ue.stage == 0 => {
+                        ue.rand = rand;
+                        ue.mme_ue_id = *mme_ue_id;
+                        ue.stage = 1;
+                    }
+                    Ok(NasMsg::SecurityModeCommand { .. }) if ue.stage == 1 => ue.stage = 2,
+                    Ok(NasMsg::CongestionReject { backoff_ms, .. }) => {
+                        shed_backoff = Some(u64::from(backoff_ms));
+                    }
+                    Ok(NasMsg::AttachReject { .. }) | Ok(NasMsg::AuthenticationReject { .. }) => {
+                        ue.stage = 0;
+                        ue.mme_ue_id = 0;
+                    }
+                    _ => {}
+                },
+                S1apPdu::InitialContextSetupRequest { mme_ue_id, .. } if ue.stage == 2 => {
+                    ue.mme_ue_id = *mme_ue_id;
+                    ue.stage = 3;
+                }
+                _ => {}
+            }
+        }
+        let ue = &mut self.ues[i];
+        let now_ns = now * TICK_NS;
+        if let Some(backoff_ms) = shed_backoff {
+            // Shed by admission control: honor the explicit backoff.
+            ue.stage = 0;
+            ue.mme_ue_id = 0;
+            match ue.kind {
+                Kind::Steady => self.retries.push((now + backoff_ms, i)),
+                Kind::Storm => {
+                    if let Some(h) = &mut self.herd {
+                        h.on_result(ue.imsi, now_ns, HerdOutcome::Rejected { backoff_hint_ns: backoff_ms * TICK_NS })
+                    }
+                }
+            }
+            return SHED_COST;
+        }
+        if ue.stage >= 5 {
+            if ue.completed_at.is_none() {
+                ue.completed_at = Some(now);
+            }
+            if ue.kind == Kind::Storm {
+                if let Some(h) = &mut self.herd {
+                    h.on_result(ue.imsi, now_ns, HerdOutcome::Accepted);
+                }
+            }
+            return FULL_COST;
+        }
+        if ue.stage > before || (before == 3 && ue.stage == 4) {
+            self.enqueue(i);
+            return FULL_COST;
+        }
+        // No progress: the procedure expired while this message queued
+        // (or the response was consumed by a stale machine). Restart
+        // from a fresh attach on the device's own schedule.
+        ue.stage = 0;
+        ue.mme_ue_id = 0;
+        match ue.kind {
+            Kind::Steady => self.retries.push((now + 10, i)),
+            Kind::Storm => {
+                if let Some(h) = &mut self.herd {
+                    h.on_result(ue.imsi, now_ns, HerdOutcome::Timeout)
+                }
+            }
+        }
+        FULL_COST
+    }
+
+    fn run(&mut self) {
+        let mut next_steady = 0usize;
+        let steady_count = self.ues.iter().filter(|u| u.kind == Kind::Steady).count();
+        for now in 0..TICKS {
+            self.cp.note_tick(now);
+            self.cp.expire_procedures(now, PROC_TIMEOUT);
+            // Arrivals: steady trickle, storm herd attempts due now.
+            while next_steady < steady_count && self.ues[next_steady].arrival <= now {
+                self.enqueue(next_steady);
+                next_steady += 1;
+            }
+            let mut due_imsis = Vec::new();
+            if let Some(h) = &mut self.herd {
+                while let Some((_, imsi)) = h.pop_due(now * TICK_NS) {
+                    due_imsis.push(imsi);
+                }
+            }
+            for imsi in due_imsis {
+                let i = self.storm_idx[&imsi];
+                self.ues[i].stage = 0;
+                self.enqueue(i);
+            }
+            // Steady retries due this tick.
+            let mut due: Vec<usize> = Vec::new();
+            self.retries.retain(|&(at, i)| {
+                if at <= now {
+                    due.push(i);
+                    false
+                } else {
+                    true
+                }
+            });
+            for i in due {
+                self.enqueue(i);
+            }
+            // Spend the tick's work budget (sheds are cheap, full
+            // procedure steps expensive).
+            let mut units = BUDGET_UNITS_PER_TICK;
+            while units > 0 {
+                let Some((i, pdu)) = self.fifo.pop_front() else { break };
+                units = units.saturating_sub(self.process(i, &pdu, now));
+            }
+        }
+    }
+
+    fn report(&self, mode: &str, mult: u64) {
+        let steady: Vec<&Ue> = self.ues.iter().filter(|u| u.kind == Kind::Steady).collect();
+        let offered = steady.len() as f64;
+        let completed: Vec<u64> = steady.iter().filter_map(|u| u.completed_at.map(|c| c - u.arrival)).collect();
+        // Goodput counts only timely completions; an attach that limps
+        // in after the deadline was, to the subscriber, an outage.
+        let timely = completed.iter().filter(|&&l| l <= DEADLINE_TICKS).count();
+        let goodput_pct = 100.0 * timely as f64 / offered;
+        let p99 = if completed.is_empty() {
+            9_999.0
+        } else {
+            let mut lat = completed;
+            lat.sort_unstable();
+            lat[((lat.len() as f64 * 0.99).ceil() as usize - 1).min(lat.len() - 1)] as f64
+        };
+        let m = self.cp.metrics();
+        emit(&format!("storm/goodput_pct/{mode}/{mult}x"), goodput_pct);
+        emit(&format!("storm/steady_p99_ms/{mode}/{mult}x"), p99);
+        emit(&format!("storm/shed/{mode}/{mult}x"), m.sig_shed_total() as f64);
+        emit(
+            &format!("storm/handle_ns/{mode}/{mult}x"),
+            if self.handled == 0 { 0.0 } else { self.handle_ns as f64 / self.handled as f64 },
+        );
+    }
+}
+
+/// Print in the criterion shim's line format so `scripts/bench_storm.py`
+/// reuses the one parser every perf script shares.
+fn emit(name: &str, value: f64) {
+    println!("bench {name:<50} {value:>12.1} ns/iter");
+}
+
+fn main() {
+    for &(mode, admission) in &[("none", false), ("admission", true)] {
+        for mult in MULTS {
+            let mut model = Model::new(mult, admission);
+            model.run();
+            model.report(mode, mult);
+        }
+    }
+}

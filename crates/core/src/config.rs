@@ -57,6 +57,43 @@ impl Default for IotConfig {
     }
 }
 
+/// Control-plane overload / admission control (DESIGN.md §15).
+///
+/// Disabled by default: with `enabled: false` every signaling message is
+/// admitted and the control plane behaves exactly as before this config
+/// existed. When enabled, incoming S1AP is classified into priority
+/// classes (handover > attach/service > periodic TAU) and shed *before*
+/// routing when either a per-eNodeB token bucket (attach-class and below)
+/// or the global in-flight-procedure ceiling (all classes) says the
+/// control plane is saturated. Every shed message is answered with a NAS
+/// `CongestionReject` carrying `backoff_ms`, and counted in the
+/// per-class `sig_shed_*` taxonomy so signaling conservation still
+/// balances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Master switch; false = admit everything (legacy behavior).
+    pub enabled: bool,
+    /// Per-eNodeB (ECGI) sustained admission rate for attach-class and
+    /// TAU-class messages, in messages per supervision tick. 0 = no
+    /// per-eNodeB limit.
+    pub enb_rate_per_tick: u32,
+    /// Per-eNodeB bucket depth: how large a synchronized wave one eNodeB
+    /// may land before shedding starts.
+    pub enb_burst: u32,
+    /// Global ceiling on procedures simultaneously in flight; a new
+    /// procedure-starting message is shed while at or above it.
+    /// 0 = no ceiling.
+    pub max_in_flight: u32,
+    /// Back-off timer handed to shed UEs in the `CongestionReject`.
+    pub backoff_ms: u16,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig { enabled: false, enb_rate_per_tick: 64, enb_burst: 256, max_in_flight: 4096, backoff_ms: 1000 }
+    }
+}
+
 /// Configuration for one PEPC slice.
 #[derive(Debug, Clone)]
 pub struct SliceConfig {
@@ -83,6 +120,8 @@ pub struct SliceConfig {
     /// amortized sample per burst per stage. Requires `telemetry`; adds
     /// two extra clock reads per burst, so it is off by default.
     pub stage_timing: bool,
+    /// Control-plane admission control under signaling storms.
+    pub overload: OverloadConfig,
 }
 
 impl Default for SliceConfig {
@@ -98,6 +137,7 @@ impl Default for SliceConfig {
             update_ring_capacity: 64 * 1024,
             telemetry: true,
             stage_timing: false,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -153,6 +193,16 @@ mod tests {
         assert!(!c.slice.iot.enabled, "IoT fast path is an opt-in customization");
         assert_eq!(c.slice.update_ring_capacity, 64 * 1024, "update-ring default unchanged");
         assert_eq!(c.slices, 1);
+        assert!(!c.slice.overload.enabled, "admission control is opt-in; default admits everything");
+    }
+
+    #[test]
+    fn overload_config_serializes() {
+        let o =
+            OverloadConfig { enabled: true, enb_rate_per_tick: 10, enb_burst: 20, max_in_flight: 30, backoff_ms: 250 };
+        let json = serde_json::to_string(&o).unwrap();
+        let back: OverloadConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub struct ControlPlane {
     attach_ns: LatencyHistogram,
     service_request_ns: LatencyHistogram,
     handover_ns: LatencyHistogram,
+    /// Admission control under signaling storms (DESIGN.md §15).
+    /// Disabled by default; configured via [`ControlPlane::set_overload`].
+    overload: crate::overload::AdmissionControl,
 }
 
 impl ControlPlane {
@@ -135,7 +138,19 @@ impl ControlPlane {
             attach_ns: LatencyHistogram::new(),
             service_request_ns: LatencyHistogram::new(),
             handover_ns: LatencyHistogram::new(),
+            overload: crate::overload::AdmissionControl::new(crate::config::OverloadConfig::default()),
         }
+    }
+
+    /// Install an overload/admission policy (the slice wires this from
+    /// `SliceConfig::overload` at construction).
+    pub fn set_overload(&mut self, cfg: crate::config::OverloadConfig) {
+        self.overload.set_config(cfg);
+    }
+
+    /// Limiter occupancy gauges: `(tracked eNodeBs, tokens available)`.
+    pub fn overload_gauges(&self) -> (u64, u64) {
+        (self.overload.tracked_enbs(), self.overload.tokens_available())
     }
 
     // -- identifier allocation ------------------------------------------------
@@ -300,6 +315,9 @@ impl ControlPlane {
     /// in a mailbox) — see [`CtrlMetrics::signaling_conservation_holds`].
     pub fn handle_s1ap(&mut self, pdu: &S1apPdu) -> Vec<S1apPdu> {
         self.metrics.s1ap_rx += 1;
+        if let Some(reply) = self.admission_check(pdu) {
+            return reply;
+        }
         match self.route(pdu) {
             Routed::Ue(imsi, msg) => self.deliver(imsi, msg),
             Routed::Immediate(out) => {
@@ -311,6 +329,37 @@ impl ControlPlane {
                 vec![]
             }
         }
+    }
+
+    /// Consult the overload controller *before* any routing work.
+    /// `Some(reply)` means the PDU was shed: it is counted in its
+    /// priority class's `sig_shed_*` counter and answered with a NAS
+    /// `CongestionReject` carrying the configured back-off, so shed load
+    /// is signaled rather than silently dropped.
+    fn admission_check(&mut self, pdu: &S1apPdu) -> Option<Vec<S1apPdu>> {
+        use crate::overload::{classify_for_admission, SigClass};
+        if !self.overload.enabled() {
+            return None;
+        }
+        let (class, ecgi, enb_ue_id, mme_ue_id) = classify_for_admission(pdu)?;
+        // In-flight from the accounting identity — O(1), unlike scanning
+        // the machine table, which matters mid-storm.
+        let m = &self.metrics;
+        let in_flight =
+            m.proc_started.saturating_sub(m.proc_completed + m.proc_preempted + m.proc_aborted + m.proc_expired);
+        if self.overload.admit(class, ecgi, in_flight, self.proc_tick) {
+            return None;
+        }
+        match class {
+            SigClass::Handover => self.metrics.sig_shed_handover += 1,
+            SigClass::Attach => self.metrics.sig_shed_attach += 1,
+            SigClass::Tau => self.metrics.sig_shed_tau += 1,
+        }
+        Some(vec![S1apPdu::DownlinkNasTransport {
+            enb_ue_id,
+            mme_ue_id,
+            nas: NasMsg::CongestionReject { cause: cause::CONGESTION, backoff_ms: self.overload.backoff_ms() }.encode(),
+        }])
     }
 
     /// Resolve which UE a PDU belongs to. GUTI-addressed NAS routes by
@@ -438,7 +487,10 @@ impl ControlPlane {
             }
             Disposition::Defer => {
                 if m.mailbox.len() >= MAILBOX_CAP {
-                    self.metrics.sig_dropped += 1;
+                    // A MAILBOX_CAP hit is its own drop cause: mailbox
+                    // pressure must be distinguishable from protocol
+                    // discards when reading a storm's metrics.
+                    self.metrics.sig_overflow += 1;
                     // An overflowed service request gets an explicit
                     // congestion answer so the UE backs off.
                     if let SigMsg::ServiceStart { enb_ue_id, .. } = msg {

@@ -46,6 +46,7 @@ pub mod demux;
 pub mod metrics;
 pub mod migrate;
 pub mod node;
+pub mod overload;
 pub mod pcef;
 pub mod procedure;
 pub mod proxy;

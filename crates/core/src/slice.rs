@@ -105,8 +105,10 @@ impl Slice {
             );
         }
         let (update_tx, update_rx) = SpscRing::with_capacity(config.update_ring_capacity);
+        let mut ctrl = ControlPlane::new(gw_ip, tac, alloc, proxy);
+        ctrl.set_overload(config.overload);
         Slice {
-            ctrl: ControlPlane::new(gw_ip, tac, alloc, proxy),
+            ctrl,
             data,
             update_tx,
             update_rx,
@@ -268,6 +270,10 @@ impl Slice {
         s.handover_ns = self.ctrl.handover_latency().clone();
         s.stage_ns = self.data.stage_latencies().to_vec();
         s.rings.push(self.update_rx.gauge("update_ring"));
+        s.mailbox_backlog = self.ctrl.mailbox_backlog();
+        let (enbs, tokens) = self.ctrl.overload_gauges();
+        s.limiter_enbs = enbs;
+        s.limiter_tokens = tokens;
         s
     }
 }
@@ -393,7 +399,8 @@ impl Slice {
         // --- control thread ---
         let ctrl_stats = Arc::clone(&stats);
         let ctrl_worker = {
-            let cp = ControlPlane::new(gw_ip, tac, alloc, proxy);
+            let mut cp = ControlPlane::new(gw_ip, tac, alloc, proxy);
+            cp.set_overload(config.overload);
             let mut update_tx = update_tx;
             Worker::spawn_state(CoreId(config.ctrl_core), cp, move |cp: &mut ControlPlane| {
                 let mut did_work = false;

@@ -110,6 +110,12 @@ pub enum NasMsg {
     /// MME → UE: service request refused (mailbox overflow / congestion,
     /// unknown GUTI carried via S1AP release instead).
     ServiceReject { cause: u8 },
+    /// MME → UE: request shed by overload/admission control. Unlike the
+    /// plain rejects, this carries an explicit back-off timer (TS 24.301
+    /// T3346-style): the UE must wait `backoff_ms` before retrying, which
+    /// is what turns shed load into *signaled* back-pressure instead of a
+    /// silent drop the UE immediately retries against.
+    CongestionReject { cause: u8, backoff_ms: u16 },
 }
 
 impl NasMsg {
@@ -119,6 +125,7 @@ impl NasMsg {
     const T_ATTACH_REJ: u8 = 0x44;
     const T_DETACH_REQ: u8 = 0x45;
     const T_DETACH_ACC: u8 = 0x46;
+    const T_CONG_REJ: u8 = 0x47;
     const T_TAU_REQ: u8 = 0x48;
     const T_TAU_ACC: u8 = 0x49;
     const T_AUTH_REQ: u8 = 0x52;
@@ -192,6 +199,11 @@ impl NasMsg {
                 out.push(Self::T_SVC_REJ);
                 out.push(*cause);
             }
+            NasMsg::CongestionReject { cause, backoff_ms } => {
+                out.push(Self::T_CONG_REJ);
+                out.push(*cause);
+                out.extend_from_slice(&backoff_ms.to_be_bytes());
+            }
         }
         out
     }
@@ -258,6 +270,10 @@ impl NasMsg {
                 need(buf, 2, "service reject")?;
                 Ok(NasMsg::ServiceReject { cause: buf[1] })
             }
+            Self::T_CONG_REJ => {
+                need(buf, 4, "congestion reject")?;
+                Ok(NasMsg::CongestionReject { cause: buf[1], backoff_ms: crate::wire::u16_at(buf, 2) })
+            }
             other => Err(SigError::UnknownType("nas message", other.into())),
         }
     }
@@ -308,6 +324,7 @@ mod tests {
             NasMsg::ServiceRequest { guti: 99 },
             NasMsg::ServiceAccept,
             NasMsg::ServiceReject { cause: cause::CONGESTION },
+            NasMsg::CongestionReject { cause: cause::CONGESTION, backoff_ms: 1500 },
         ];
         for m in msgs {
             let enc = m.encode();
@@ -318,6 +335,15 @@ mod tests {
     #[test]
     fn truncations_rejected() {
         let enc = NasMsg::AttachRequest { imsi: 12345, ue_capability: 7 }.encode();
+        for cut in 0..enc.len() {
+            assert!(NasMsg::decode(&enc[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn congestion_reject_truncations_rejected() {
+        let enc = NasMsg::CongestionReject { cause: cause::CONGESTION, backoff_ms: 0xABCD }.encode();
+        assert_eq!(enc.len(), 4);
         for cut in 0..enc.len() {
             assert!(NasMsg::decode(&enc[..cut]).is_err(), "cut {cut} accepted");
         }

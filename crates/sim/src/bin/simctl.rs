@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! simctl run <seed> [--scenario two_node_failover|partition_heal|lossy_wires
-//!                                |kill_mid_attach|migrate_mid_handover]
+//!                                |kill_mid_attach|migrate_mid_handover
+//!                                |attach_storm|storm_kill|storm_partition]
 //! simctl sweep <first_seed> <count> [--scenario NAME]
 //! simctl replay <trace.json>
 //! simctl shrink <trace.json>
@@ -19,6 +20,9 @@ fn scenario(name: &str, seed: u64) -> Result<SimConfig, String> {
         "lossy_wires" => Ok(SimConfig::lossy_wires(seed)),
         "kill_mid_attach" => Ok(SimConfig::kill_mid_attach(seed)),
         "migrate_mid_handover" => Ok(SimConfig::migrate_mid_handover(seed)),
+        "attach_storm" => Ok(SimConfig::attach_storm(seed)),
+        "storm_kill" => Ok(SimConfig::storm_kill(seed)),
+        "storm_partition" => Ok(SimConfig::storm_partition(seed)),
         other => Err(format!("unknown scenario `{other}`")),
     }
 }
@@ -30,13 +34,14 @@ fn scenario_arg(args: &[String]) -> &str {
 fn run_one(cfg: &SimConfig) -> ExitCode {
     let r = run(cfg);
     println!(
-        "seed {}: {} steps, digest {:016x}, {} forwarded, {} failovers, {} users live",
+        "seed {}: {} steps, digest {:016x}, {} forwarded, {} failovers, {} users live, {} shed",
         cfg.seed,
         r.schedule.len(),
         r.digest,
         r.forwarded,
         r.failovers,
-        r.users_live
+        r.users_live,
+        r.shed
     );
     match r.failure {
         None => ExitCode::SUCCESS,

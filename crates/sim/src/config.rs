@@ -98,6 +98,17 @@ pub struct SimConfig {
     /// When `> 0`, the `stuck_procedure` oracle asserts no UE stays
     /// mid-procedure beyond `2 × timeout + 2` ticks on a live node.
     pub procedure_timeout: u64,
+    /// Storm devices: a synchronized wave of additional signaling
+    /// subscribers whose attach attempts all become eligible at
+    /// [`SimConfig::storm_tick`] (DESIGN.md §15). `0` disables the storm
+    /// and keeps the run byte-identical with pre-storm builds.
+    pub storm_users: u32,
+    /// Tick at which the storm wave lands.
+    pub storm_tick: u64,
+    /// Enable control-plane admission control (per-eNodeB token bucket +
+    /// in-flight ceiling) on every slice. Off = the storm hits an
+    /// unprotected control plane.
+    pub overload: bool,
 }
 
 impl SimConfig {
@@ -118,6 +129,9 @@ impl SimConfig {
             sig_users: 0,
             sig_handover: false,
             procedure_timeout: 0,
+            storm_users: 0,
+            storm_tick: 0,
+            overload: false,
         }
     }
 
@@ -142,6 +156,9 @@ impl SimConfig {
             sig_users: 0,
             sig_handover: false,
             procedure_timeout: 0,
+            storm_users: 0,
+            storm_tick: 0,
+            overload: false,
         }
     }
 
@@ -168,6 +185,9 @@ impl SimConfig {
             sig_users: 0,
             sig_handover: false,
             procedure_timeout: 0,
+            storm_users: 0,
+            storm_tick: 0,
+            overload: false,
         }
     }
 
@@ -190,6 +210,64 @@ impl SimConfig {
             sig_users: 6,
             sig_handover: false,
             procedure_timeout: 6,
+            storm_users: 0,
+            storm_tick: 0,
+            overload: false,
+        }
+    }
+
+    /// A synchronized attach storm against an admission-controlled
+    /// control plane: 24 storm devices all become eligible at tick 6 on
+    /// top of steady data traffic and a few well-behaved signaling
+    /// subscribers. Admission control is on, so the wave is partly shed
+    /// with `CongestionReject` and the herd retries — the `no_livelock`
+    /// oracle asserts in-flight procedures stay under the configured
+    /// ceiling and steady-state data still forwards.
+    pub fn attach_storm(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 2,
+            users: 12,
+            ticks: 48,
+            counter_interval: 4,
+            chaos: vec![],
+            bug: BugKind::None,
+            check_staleness: true,
+            sig_users: 4,
+            sig_handover: false,
+            procedure_timeout: 6,
+            storm_users: 24,
+            storm_tick: 6,
+            overload: true,
+        }
+    }
+
+    /// The storm plus a node kill landing mid-wave: half the herd's
+    /// serving node dies while shed devices are retrying. Failover,
+    /// supervision expiry, and admission shedding all interleave;
+    /// staleness is unchecked (procedures legitimately lose users).
+    pub fn storm_kill(seed: u64) -> Self {
+        SimConfig {
+            chaos: vec![ChaosCmd { at_tick: 10, kind: ChaosKind::Kill, node: (seed % 2) as u32, amount: 0 }],
+            check_staleness: false,
+            ..Self::attach_storm(seed)
+        }
+    }
+
+    /// The storm on a 3-node cluster with a replication-wire partition
+    /// opening mid-wave and healing late: the partitioned node is
+    /// declared dead while holding herd procedures, exercising
+    /// shed-then-failover-then-retry. Staleness unchecked (heartbeats
+    /// stall across the partition).
+    pub fn storm_partition(seed: u64) -> Self {
+        SimConfig {
+            nodes: 3,
+            chaos: vec![
+                ChaosCmd { at_tick: 8, kind: ChaosKind::Partition, node: (seed % 3) as u32, amount: 0 },
+                ChaosCmd { at_tick: 22, kind: ChaosKind::Heal, node: (seed % 3) as u32, amount: 0 },
+            ],
+            check_staleness: false,
+            ..Self::attach_storm(seed)
         }
     }
 
@@ -210,6 +288,9 @@ impl SimConfig {
             sig_users: 6,
             sig_handover: true,
             procedure_timeout: 6,
+            storm_users: 0,
+            storm_tick: 0,
+            overload: false,
         }
     }
 }

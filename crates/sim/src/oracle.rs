@@ -18,7 +18,12 @@
 //!   (the timer must have reaped it).
 //! * `proc_accounting` / `sig_conservation` — per slice, every started
 //!   procedure resolves to exactly one outcome counter, and every S1AP
-//!   PDU received is consumed, deduped, dropped, or parked in a mailbox.
+//!   PDU received is consumed, deduped, dropped, overflowed, shed, or
+//!   parked in a mailbox.
+//! * `no_livelock` — under storm scenarios: with admission control on,
+//!   per-slice in-flight procedures never exceed the configured ceiling
+//!   (bounded work), and at end of run the steady-state data path has
+//!   forwarded at least one packet (the storm never starves goodput).
 
 use crate::world::SimWorld;
 use serde::{Deserialize, Serialize};
@@ -119,14 +124,30 @@ impl Oracles {
                     return fail(
                         "sig_conservation",
                         format!(
-                            "node {k} slice {s}: s1ap_rx {} != consumed {} + deduped {} + dropped {} + backlog {}",
+                            "node {k} slice {s}: s1ap_rx {} != consumed {} + deduped {} + dropped {} + overflow {} + shed {} + backlog {}",
                             m.s1ap_rx,
                             m.sig_consumed,
                             m.proc_deduped,
                             m.sig_dropped,
+                            m.sig_overflow,
+                            m.sig_shed_total(),
                             ctrl.mailbox_backlog()
                         ),
                     );
+                }
+                // -- no_livelock (bounded work): with admission control
+                // on, the in-flight ceiling must actually hold — a storm
+                // can never queue unbounded procedure work (handover's
+                // 2× headroom is the largest admissible excess).
+                if w.cfg.storm_users > 0 && w.cfg.overload {
+                    let bound = 2 * u64::from(crate::world::storm_overload_config().max_in_flight);
+                    let in_flight = ctrl.procedures_in_flight();
+                    if in_flight > bound {
+                        return fail(
+                            "no_livelock",
+                            format!("node {k} slice {s}: {in_flight} procedures in flight mid-storm (ceiling {bound})"),
+                        );
+                    }
                 }
             }
             for s in 0..node.slice_count() {
@@ -180,6 +201,16 @@ impl Oracles {
 
     /// End-of-run check of the stride-sampled invariants.
     pub fn check_final(&mut self, w: &SimWorld) -> Option<Failure> {
+        // -- no_livelock (progress): a storm must never starve the
+        // steady-state data path outright — shedding exists precisely so
+        // well-behaved traffic keeps flowing.
+        if w.cfg.storm_users > 0 && w.forwarded == 0 {
+            return Some(Failure {
+                oracle: "no_livelock".into(),
+                step: w.step,
+                message: "storm starved steady-state data: 0 packets forwarded end-to-end".into(),
+            });
+        }
         Self::check_conservation(w)
     }
 

@@ -41,6 +41,8 @@ pub struct RunResult {
     pub forwarded: u64,
     /// Subscribers attached at the end of the run.
     pub users_live: usize,
+    /// S1AP PDUs shed by admission control, summed over live slices.
+    pub shed: u64,
 }
 
 /// Run one seeded schedule to completion (or first oracle violation).
@@ -127,14 +129,22 @@ pub fn replay(cfg: &SimConfig, schedule: &[Action]) -> RunResult {
 
 fn finish(w: SimWorld, schedule: Vec<Action>, failure: Option<Failure>) -> RunResult {
     let cluster = w.ha.cluster_ref();
-    let users_live =
-        (0..cluster.node_count()).filter(|&k| !cluster.is_dead(k)).map(|k| cluster.node_ref(k).user_count()).sum();
+    let live = (0..cluster.node_count()).filter(|&k| !cluster.is_dead(k));
+    let (mut users_live, mut shed) = (0usize, 0u64);
+    for k in live {
+        let node = cluster.node_ref(k);
+        users_live += node.user_count();
+        for s in 0..node.slice_count() {
+            shed += node.slice_ref(s).ctrl.metrics().sig_shed_total();
+        }
+    }
     RunResult {
         digest: w.digest,
         failure,
         failovers: w.ha.failovers().len(),
         forwarded: w.forwarded,
         users_live,
+        shed,
         schedule,
     }
 }

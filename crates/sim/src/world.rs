@@ -12,7 +12,7 @@
 
 use crate::config::{BugKind, ChaosCmd, ChaosKind, SimConfig};
 use crate::{Action, ActionKind};
-use pepc::config::BatchingConfig;
+use pepc::config::{BatchingConfig, OverloadConfig};
 use pepc::ctrl::CtrlEvent;
 use pepc::{EpcConfig, SliceConfig};
 use pepc_fabric::VirtualClock;
@@ -31,6 +31,19 @@ pub const TICK_NS: u64 = 1_000_000;
 /// IMSI range for signaling-emulated subscribers (disjoint from the
 /// synthetic-event range so the two workloads never collide).
 pub const SIG_IMSI_BASE: u64 = 404_02_000_000;
+
+/// IMSI range for storm-wave subscribers (disjoint from both ranges
+/// above).
+pub const STORM_IMSI_BASE: u64 = 404_03_000_000;
+
+/// The admission policy storm scenarios install on every slice: a tight
+/// per-eNodeB bucket (all emulated UEs share one ECGI) plus a small
+/// in-flight ceiling, so a 24-device wave is mostly shed and drains over
+/// subsequent refill ticks. The `no_livelock` oracle derives its
+/// in-flight bound from this.
+pub(crate) fn storm_overload_config() -> OverloadConfig {
+    OverloadConfig { enabled: true, enb_rate_per_tick: 1, enb_burst: 2, max_in_flight: 4, backoff_ms: 5 }
+}
 
 /// One eNodeB workload operation, generated from the seed.
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +129,7 @@ impl SimWorld {
                 batching: BatchingConfig { sync_every_packets: 1 },
                 expected_users: 64,
                 update_ring_capacity: 1024,
+                overload: if cfg.overload { storm_overload_config() } else { OverloadConfig::default() },
                 ..SliceConfig::default()
             },
             // Small prime: thousands of clusters get built per sweep,
@@ -134,9 +148,12 @@ impl SimWorld {
         };
         // Full-path signaling needs HSS/PCRF backends; event-only runs
         // skip them so pre-signaling digests stay byte-identical.
-        let backends = if cfg.sig_users > 0 {
+        let backends = if cfg.sig_users > 0 || cfg.storm_users > 0 {
             let hss = std::sync::Arc::new(pepc_backend::Hss::new());
             hss.provision_range(SIG_IMSI_BASE, u64::from(cfg.sig_users), 100_000);
+            if cfg.storm_users > 0 {
+                hss.provision_range(STORM_IMSI_BASE, u64::from(cfg.storm_users), 200_000);
+            }
             Some((hss, std::sync::Arc::new(pepc_backend::Pcrf::with_standard_rules())))
         } else {
             None
@@ -151,6 +168,12 @@ impl SimWorld {
             enbs.insert(
                 SIG_IMSI_BASE + u,
                 EnbUe { enb_ue_id: 0x5000 + u as u32, stage: 0, mme_ue_id: 0, rand: 0, abandoner },
+            );
+        }
+        for u in 0..u64::from(cfg.storm_users) {
+            enbs.insert(
+                STORM_IMSI_BASE + u,
+                EnbUe { enb_ue_id: 0x9000 + u as u32, stage: 0, mme_ue_id: 0, rand: 0, abandoner: false },
             );
         }
         SimWorld {
@@ -215,6 +238,19 @@ impl SimWorld {
                     let imsi = SIG_IMSI_BASE + rng.gen_range(0..u64::from(cfg.sig_users));
                     let lo = 14.min(horizon - 2);
                     ops.push(Op { at_tick: rng.gen_range(lo..horizon - 1), kind: OpKind::Migrate(imsi) });
+                }
+            }
+        }
+        // Storm ops come after every existing draw and consume no rng at
+        // all: every storm device's first attempt lands at exactly
+        // `storm_tick` (the synchronized wave), retries every 2 ticks.
+        // `storm_users == 0` leaves the rng stream — and the schedule —
+        // byte-identical with pre-storm builds.
+        if cfg.storm_users > 0 {
+            for u in 0..u64::from(cfg.storm_users) {
+                let imsi = STORM_IMSI_BASE + u;
+                for j in 0..10u64 {
+                    ops.push(Op { at_tick: (cfg.storm_tick + j * 2).min(horizon - 1), kind: OpKind::Sig(imsi) });
                 }
             }
         }
@@ -418,6 +454,11 @@ impl SimWorld {
                     Ok(NasMsg::AttachReject { .. }) | Ok(NasMsg::AuthenticationReject { .. }) => {
                         ue.stage = 0; // start over with a fresh attach
                         ue.mme_ue_id = 0;
+                    }
+                    Ok(NasMsg::CongestionReject { .. }) => {
+                        // Shed by admission control: keep the current
+                        // stage so the next scheduled op retries the
+                        // same message — the herd re-colliding.
                     }
                     _ => {}
                 },

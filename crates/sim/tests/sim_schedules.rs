@@ -87,6 +87,54 @@ fn schedule_matrix_migrate_mid_handover_green() {
     }
 }
 
+/// A synchronized attach wave against an admission-controlled control
+/// plane: the in-run oracles (`no_livelock`, `sig_conservation`,
+/// `proc_accounting`, `stuck_procedure`) are the assertions. Across the
+/// sweep the storm must both shed (admission is engaging) and land some
+/// attaches (shedding is not a blackout), and steady-state data must
+/// keep forwarding on every schedule.
+#[test]
+fn schedule_matrix_attach_storm_green() {
+    let n = schedules_from_env(1000).min(64);
+    let (mut shed_any, mut stormed_any) = (false, false);
+    for seed in 1..=n {
+        let r = run_green(&SimConfig::attach_storm(seed));
+        assert!(r.forwarded > 0, "seed {seed}: storm starved the data path");
+        if r.shed > 0 {
+            shed_any = true;
+        }
+        if r.users_live > 16 {
+            stormed_any = true; // beyond the 12 synthetic + 4 sig users
+        }
+    }
+    assert!(shed_any, "admission control never shed across {n} storm schedules");
+    assert!(stormed_any, "no storm device ever completed an attach");
+}
+
+/// The storm plus a mid-wave node kill: failover, supervision expiry,
+/// and shedding interleave under schedule exploration.
+#[test]
+fn schedule_matrix_storm_kill_green() {
+    let n = schedules_from_env(1000).min(64);
+    let mut failed_over = false;
+    for seed in 1..=n {
+        let r = run_green(&SimConfig::storm_kill(seed));
+        if r.failovers > 0 {
+            failed_over = true;
+        }
+    }
+    assert!(failed_over, "kill never fired across {n} storm schedules");
+}
+
+/// The storm with a replication-wire partition opening mid-wave.
+#[test]
+fn schedule_matrix_storm_partition_green() {
+    let n = schedules_from_env(1000).min(64);
+    for seed in 1..=n {
+        run_green(&SimConfig::storm_partition(seed));
+    }
+}
+
 /// Cross-PR determinism anchor: the event-only scenarios must produce
 /// these exact digests (captured before the procedure-state-machine
 /// refactor). A mismatch means a code change altered scheduling, rng

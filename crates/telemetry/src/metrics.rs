@@ -89,9 +89,24 @@ pub struct CtrlMetrics {
     /// Signaling messages parked in a per-UE mailbox (still counted in
     /// `sig_consumed`/`sig_dropped` once they leave the mailbox).
     pub sig_deferred: u64,
-    /// Signaling messages discarded: unroutable, undecodable, mailbox
-    /// overflow, or meaningless in every reachable state.
+    /// Signaling messages discarded: unroutable, undecodable, or
+    /// meaningless in every reachable state.
     pub sig_dropped: u64,
+    /// Signaling messages discarded because the target UE's mailbox was
+    /// full (`MAILBOX_CAP` hit) — its own drop cause so mailbox pressure
+    /// is visible separately from protocol-level discards.
+    pub sig_overflow: u64,
+    // Admission-control shed taxonomy (PR 8). Messages refused *before*
+    // routing by the overload controller, one counter per priority
+    // class, each answered with an explicit NAS backoff reject so shed
+    // load is signaled rather than silently dropped.
+    /// Shed handover-class messages (highest priority; only shed by the
+    /// global in-flight ceiling, never by a per-eNodeB bucket).
+    pub sig_shed_handover: u64,
+    /// Shed attach/service-class messages (middle priority).
+    pub sig_shed_attach: u64,
+    /// Shed periodic-TAU-class messages (lowest priority).
+    pub sig_shed_tau: u64,
 }
 
 impl CtrlMetrics {
@@ -102,10 +117,22 @@ impl CtrlMetrics {
             == self.proc_completed + self.proc_preempted + self.proc_aborted + self.proc_expired + in_flight
     }
 
-    /// Every S1AP PDU received is consumed, deduped, dropped, or still
-    /// parked in a mailbox.
+    /// Total messages shed by admission control, across all priority
+    /// classes.
+    pub fn sig_shed_total(&self) -> u64 {
+        self.sig_shed_handover + self.sig_shed_attach + self.sig_shed_tau
+    }
+
+    /// Every S1AP PDU received is consumed, deduped, dropped, overflowed,
+    /// shed by admission control, or still parked in a mailbox.
     pub fn signaling_conservation_holds(&self, mailbox_backlog: u64) -> bool {
-        self.s1ap_rx == self.sig_consumed + self.proc_deduped + self.sig_dropped + mailbox_backlog
+        self.s1ap_rx
+            == self.sig_consumed
+                + self.proc_deduped
+                + self.sig_dropped
+                + self.sig_overflow
+                + self.sig_shed_total()
+                + mailbox_backlog
     }
 }
 
@@ -131,5 +158,20 @@ mod tests {
         d.drop_malformed = 1;
         assert!(d.conservation_holds());
         assert_eq!(d.drops_total(), 3);
+    }
+
+    #[test]
+    fn signaling_conservation_counts_shed_and_overflow() {
+        let mut c = CtrlMetrics { s1ap_rx: 10, sig_consumed: 4, ..Default::default() };
+        assert!(!c.signaling_conservation_holds(0));
+        c.sig_overflow = 2;
+        c.sig_shed_attach = 2;
+        c.sig_shed_tau = 1;
+        c.sig_shed_handover = 1;
+        assert_eq!(c.sig_shed_total(), 4);
+        assert!(c.signaling_conservation_holds(0));
+        assert!(!c.signaling_conservation_holds(1));
+        c.s1ap_rx += 1;
+        assert!(c.signaling_conservation_holds(1));
     }
 }

@@ -75,6 +75,14 @@ pub struct SliceSnapshot {
     /// histograms otherwise.
     pub stage_ns: Vec<LatencyHistogram>,
     pub rings: Vec<RingGauge>,
+    /// Signaling messages parked in per-UE mailboxes at snapshot time
+    /// (mailbox pressure under storms).
+    pub mailbox_backlog: u64,
+    /// eNodeBs the admission limiter is tracking a token bucket for.
+    pub limiter_enbs: u64,
+    /// Admission tokens available across all tracked eNodeB buckets
+    /// (limiter occupancy: 0 with buckets tracked = fully saturated).
+    pub limiter_tokens: u64,
 }
 
 /// Labels for [`SliceSnapshot::stage_ns`], index-aligned with the data
@@ -96,6 +104,9 @@ impl SliceSnapshot {
             migration_ns: LatencyHistogram::new(),
             stage_ns: Vec::new(),
             rings: Vec::new(),
+            mailbox_backlog: 0,
+            limiter_enbs: 0,
+            limiter_tokens: 0,
         }
     }
 
@@ -122,6 +133,9 @@ impl SliceSnapshot {
             && self.stage_ns.len() == other.stage_ns.len()
             && self.stage_ns.iter().zip(&other.stage_ns).all(|(a, b)| a.count() == b.count())
             && self.rings == other.rings
+            && self.mailbox_backlog == other.mailbox_backlog
+            && self.limiter_enbs == other.limiter_enbs
+            && self.limiter_tokens == other.limiter_tokens
     }
 
     fn render_into(&self, out: &mut String) {
@@ -162,7 +176,7 @@ impl SliceSnapshot {
         if c.proc_started > 0 {
             let _ = writeln!(
                 out,
-                "  proc: started={} done={} preempt={} abort={} expire={} dedup={} sig[consumed={} deferred={} dropped={}]",
+                "  proc: started={} done={} preempt={} abort={} expire={} dedup={} sig[consumed={} deferred={} dropped={} overflow={}]",
                 c.proc_started,
                 c.proc_completed,
                 c.proc_preempted,
@@ -172,6 +186,19 @@ impl SliceSnapshot {
                 c.sig_consumed,
                 c.sig_deferred,
                 c.sig_dropped,
+                c.sig_overflow,
+            );
+        }
+        if c.sig_shed_total() > 0 || self.limiter_enbs > 0 || self.mailbox_backlog > 0 {
+            let _ = writeln!(
+                out,
+                "  overload: shed[ho={} attach={} tau={}] limiter[enbs={} tokens={}] backlog={}",
+                c.sig_shed_handover,
+                c.sig_shed_attach,
+                c.sig_shed_tau,
+                self.limiter_enbs,
+                self.limiter_tokens,
+                self.mailbox_backlog,
             );
         }
         for (label, h) in [
@@ -320,6 +347,11 @@ mod tests {
         stage.record(40);
         s.stage_ns = vec![stage.clone(), stage.clone(), stage];
         s.rings.push(RingGauge { name: "update_ring".into(), depth: 3, capacity: 1024 });
+        s.ctrl.sig_shed_attach = 5;
+        s.ctrl.sig_shed_tau = 2;
+        s.mailbox_backlog = 3;
+        s.limiter_enbs = 2;
+        s.limiter_tokens = 17;
         let wires = vec![WireStat { name: "repl:node1".into(), forwarded: 40, dropped: 2, ..Default::default() }];
         MetricsSnapshot { slices: vec![s], wires, shard_packets: vec![60, 40] }
     }
@@ -337,7 +369,20 @@ mod tests {
         assert!(text.contains("stage-parse"), "{text}");
         assert!(text.contains("stage-enforce"), "{text}");
         assert!(text.contains("shards: packets=[60, 40] imbalance=1.200"), "{text}");
+        assert!(text.contains("overload: shed[ho=0 attach=5 tau=2] limiter[enbs=2 tokens=17] backlog=3"), "{text}");
         assert!(MetricsSnapshot::new().render().contains("no slices"));
+    }
+
+    #[test]
+    fn overload_line_hidden_when_quiet() {
+        let mut snap = sample();
+        let s = &mut snap.slices[0];
+        s.ctrl.sig_shed_attach = 0;
+        s.ctrl.sig_shed_tau = 0;
+        s.mailbox_backlog = 0;
+        s.limiter_enbs = 0;
+        s.limiter_tokens = 0;
+        assert!(!snap.render().contains("overload:"), "{}", snap.render());
     }
 
     #[test]
@@ -367,6 +412,16 @@ mod tests {
         let mut c = sample();
         c.shard_packets[0] += 1;
         assert!(!a.deterministic_eq(&c));
+        // Overload gauges are deterministic and must match.
+        let mut d = sample();
+        d.slices[0].mailbox_backlog += 1;
+        assert!(!a.deterministic_eq(&d));
+        let mut e = sample();
+        e.slices[0].limiter_tokens += 1;
+        assert!(!a.deterministic_eq(&e));
+        let mut f = sample();
+        f.slices[0].ctrl.sig_shed_tau += 1;
+        assert!(!a.deterministic_eq(&f));
     }
 
     #[test]

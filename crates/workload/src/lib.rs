@@ -17,6 +17,9 @@
 //! * [`signaling`] — attach / S1-handover event streams at a target rate,
 //!   uniform across the user population (§5.1).
 //! * [`population`] — device mixes for Figures 14 and 15.
+//! * [`storm`] — signaling-storm shapes (synchronized wake-up waves,
+//!   exponential-backoff herds, storm-over-steady mixes) for the
+//!   overload/admission experiments (DESIGN.md §15).
 //! * [`harness`] — [`harness::SystemUnderTest`] adapters for PEPC and the
 //!   classic baseline plus the shared throughput/latency measurement loop.
 
@@ -24,10 +27,12 @@ pub mod harness;
 pub mod params;
 pub mod population;
 pub mod signaling;
+pub mod storm;
 pub mod traffic;
 
 pub use harness::{ClassicSut, HaSut, Measurement, PepcSut, SystemUnderTest};
 pub use params::Defaults;
 pub use population::Population;
 pub use signaling::{SigEvent, SignalingGen};
+pub use storm::{BackoffHerd, HerdOutcome, MixEvent, StormMix, WakeupWave};
 pub use traffic::TrafficGen;

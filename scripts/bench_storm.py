@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Run the storm bench and commit its numbers to BENCH_storm.json.
+
+Usage: python3 scripts/bench_storm.py
+
+Runs `cargo bench -p pepc-bench --bench storm`, parses the
+`bench <name> <ns> ns/iter` lines, and writes BENCH_storm.json with, per
+offered-load multiplier (0, 1, 2, 5, 10 x a 120-device wave) and mode
+(`none` = no admission control, `admission` = per-eNodeB token bucket +
+in-flight ceiling):
+
+- steady-traffic goodput (% of offered attaches completing within the
+  50 ms deadline),
+- steady attach latency p99 (ms),
+- PDUs shed by admission control,
+- measured wall-clock ns per handle_s1ap call.
+
+The model is deterministic (virtual ticks, fixed seeds); only handle_ns
+varies by host, so the gates below are hard numbers, not tolerances.
+
+Exits non-zero when the degradation contract is violated:
+- with admission, goodput at 10x overload >= 70% of the no-storm
+  baseline and steady p99 stays within the deadline,
+- without admission, goodput at 10x must show the collapse the admission
+  layer exists to prevent (below 50%) — if the unprotected control plane
+  stops collapsing, the model went soft and the comparison means nothing.
+"""
+import json
+import re
+import statistics
+import subprocess
+import sys
+
+MULTS = [0, 1, 2, 5, 10]
+MODES = ["none", "admission"]
+METRICS = ["goodput_pct", "steady_p99_ms", "shed", "handle_ns"]
+# Admission must preserve at least this fraction of baseline goodput at
+# 10x overload.
+MIN_GOODPUT_FRACTION_AT_10X = 0.70
+# Steady p99 with admission on, at any offered load (the bench deadline).
+MAX_ADMISSION_P99_MS = 50.0
+# Without admission the 10x storm must actually collapse goodput.
+MAX_UNPROTECTED_GOODPUT_AT_10X = 50.0
+# Medians across whole-bench runs; everything but handle_ns is exact.
+RUNS = 3
+
+
+def bench_once():
+    proc = subprocess.run(
+        ["cargo", "bench", "-p", "pepc-bench", "--bench", "storm"],
+        capture_output=True,
+        text=True,
+        cwd=".",
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(proc.returncode)
+    cases = {}
+    for line in proc.stdout.splitlines():
+        m = re.match(r"bench\s+(\S+)\s+([\d.]+)\s+ns/iter", line)
+        if m:
+            cases[m.group(1)] = float(m.group(2))
+    return cases
+
+
+def main():
+    samples = {}
+    for _ in range(RUNS):
+        for name, ns in bench_once().items():
+            samples.setdefault(name, []).append(ns)
+    cases = {name: statistics.median(vals) for name, vals in samples.items()}
+
+    results = {
+        "bench": "storm",
+        "devices_per_mult": 120,
+        "steady_rate_per_tick": 4,
+        "budget_full_steps_per_tick": 48,
+        "deadline_ms": 50,
+        "median_of_runs": RUNS,
+        "modes": {},
+    }
+    for mode in MODES:
+        rows = {}
+        for mult in MULTS:
+            row = {}
+            for metric in METRICS:
+                name = f"storm/{metric}/{mode}/{mult}x"
+                if name not in cases:
+                    sys.stderr.write(f"missing {name} in bench output\n")
+                    sys.exit(1)
+                row[metric] = round(cases[name], 1)
+            rows[f"{mult}x"] = row
+        results["modes"][mode] = rows
+
+    with open("BENCH_storm.json", "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    print(json.dumps(results, indent=2))
+
+    failed = False
+    baseline = results["modes"]["admission"]["0x"]["goodput_pct"]
+    protected = results["modes"]["admission"]["10x"]["goodput_pct"]
+    unprotected = results["modes"]["none"]["10x"]["goodput_pct"]
+    if protected < MIN_GOODPUT_FRACTION_AT_10X * baseline:
+        sys.stderr.write(
+            f"admission goodput regression: {protected}% at 10x overload "
+            f"(floor {MIN_GOODPUT_FRACTION_AT_10X:.0%} of {baseline}% baseline)\n"
+        )
+        failed = True
+    for mult in MULTS:
+        p99 = results["modes"]["admission"][f"{mult}x"]["steady_p99_ms"]
+        if p99 > MAX_ADMISSION_P99_MS:
+            sys.stderr.write(
+                f"admission steady p99 unbounded at {mult}x: {p99} ms "
+                f"(ceiling {MAX_ADMISSION_P99_MS} ms)\n"
+            )
+            failed = True
+    if unprotected > MAX_UNPROTECTED_GOODPUT_AT_10X:
+        sys.stderr.write(
+            f"unprotected control plane no longer collapses at 10x "
+            f"({unprotected}% goodput, expected < {MAX_UNPROTECTED_GOODPUT_AT_10X}%) — "
+            f"the overload model went soft\n"
+        )
+        failed = True
+    if results["modes"]["admission"]["10x"]["shed"] == 0:
+        sys.stderr.write("admission shed nothing at 10x overload — limiter not engaging\n")
+        failed = True
+    if failed:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

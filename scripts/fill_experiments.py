@@ -2,7 +2,12 @@
 """Fill EXPERIMENTS.md placeholders from a figures --all output file.
 
 Usage: python3 scripts/fill_experiments.py figures_quick.txt
+
+Also fills {STORM_ROWS} (the Fig 6 storm extension) from BENCH_storm.json
+when that file exists — regenerate it with `python3 scripts/bench_storm.py`.
 """
+import json
+import os
 import re
 import sys
 
@@ -19,6 +24,21 @@ def section(text, fig, next_fig):
 def rows_only(sec):
     lines = sec.splitlines()
     return "\n".join(lines[1:]).strip()
+
+
+def storm_rows():
+    """Render BENCH_storm.json as the Fig 6 extension degradation table."""
+    if not os.path.exists("BENCH_storm.json"):
+        return None
+    data = json.load(open("BENCH_storm.json"))
+    lines = ["admission    offered    goodput %    steady p99 (ms)       shed"]
+    for mode, label in [("none", "off"), ("admission", "on")]:
+        for mult, row in data["modes"][mode].items():
+            lines.append(
+                f"{label:<12} {mult:>7} {row['goodput_pct']:>12.1f} "
+                f"{row['steady_p99_ms']:>18.1f} {int(row['shed']):>10}"
+            )
+    return "\n".join(lines)
 
 
 def main(path):
@@ -46,6 +66,10 @@ def main(path):
     for fig, nxt in [(5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14), (14, 15)]:
         exp = exp.replace("{FIG%d_ROWS}" % fig, rows_only(section(out, fig, nxt)))
     exp = exp.replace("{FIG15_ROWS}", rows_only(section(out, 15, 99)))
+
+    storm = storm_rows()
+    if storm is not None:
+        exp = exp.replace("{STORM_ROWS}", storm)
 
     open("EXPERIMENTS.md", "w").write(exp)
     print("EXPERIMENTS.md filled from", path)

@@ -165,11 +165,13 @@ impl Driver {
         let m = self.cp.metrics();
         assert!(
             m.signaling_conservation_holds(self.cp.mailbox_backlog()),
-            "{when}: s1ap_rx={} consumed={} deduped={} dropped={} backlog={}",
+            "{when}: s1ap_rx={} consumed={} deduped={} dropped={} overflow={} shed={} backlog={}",
             m.s1ap_rx,
             m.sig_consumed,
             m.proc_deduped,
             m.sig_dropped,
+            m.sig_overflow,
+            m.sig_shed_total(),
             self.cp.mailbox_backlog()
         );
         assert!(

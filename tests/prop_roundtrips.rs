@@ -843,3 +843,145 @@ proptest! {
         prop_assert_eq!(pepc_net::classify_fast(&bytes), pepc_net::classify_reference(&bytes));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Overload admission: the limiter's priority contract under arbitrary
+// request sequences. Two properties the unit tests only check at fixed
+// points: (1) shedding is monotone in priority — within one supervision
+// tick the controller never sheds a higher class while admitting a
+// strictly lower one, and `would_admit` is monotone in rank at every
+// reachable state; (2) the extended conservation identity
+// (rx == consumed + deduped + dropped + overflow + shed + backlog) stays
+// exact after every delivery of a storm-shaped sequence with admission
+// enabled, through mid-storm expiry and after final supervision.
+// ---------------------------------------------------------------------------
+
+/// Storm-shaped inbound traffic: mostly valid attach floods from a tiny
+/// ECGI set (so per-eNodeB buckets actually starve), a TAU trickle, and
+/// the full fuzz PDU space mixed in so mid-procedure and mangled
+/// messages cross the admission path too.
+fn storm_pdu() -> impl Strategy<Value = S1apPdu> {
+    prop_oneof![
+        (0u32..6, 1u64..5, 0x100u32..0x103).prop_map(|(enb_ue_id, imsi, ecgi)| S1apPdu::InitialUeMessage {
+            enb_ue_id,
+            ecgi,
+            tac: 1,
+            nas: NasMsg::AttachRequest { imsi, ue_capability: 0 }.encode(),
+        }),
+        (0u32..6, 0u64..8, 0x100u32..0x103).prop_map(|(enb_ue_id, guti, ecgi)| S1apPdu::InitialUeMessage {
+            enb_ue_id,
+            ecgi,
+            tac: 7,
+            nas: NasMsg::TrackingAreaUpdateRequest { guti: 0xD00D_0000 + guti, tac: 7 }.encode(),
+        }),
+        fuzz_pdu(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn admission_never_sheds_higher_class_while_admitting_lower(
+        rate in 0u32..3,
+        burst in 0u32..6,
+        ceiling in 0u32..6,
+        reqs in proptest::collection::vec((0u8..3, 0u32..3, 0u64..12, any::<bool>()), 1..80),
+    ) {
+        use pepc::overload::{AdmissionControl, SigClass};
+        let cfg = pepc::config::OverloadConfig {
+            enabled: true,
+            enb_rate_per_tick: rate,
+            enb_burst: burst,
+            max_in_flight: ceiling,
+            backoff_ms: 10,
+        };
+        let mut ac = AdmissionControl::new(cfg);
+        let mut tick = 0u64;
+        // Lowest rank shed so far in the current tick (u8::MAX = none).
+        let mut shed_rank_this_tick = u8::MAX;
+        for &(class_idx, ecgi, in_flight, advance) in &reqs {
+            if advance {
+                tick += 1;
+                shed_rank_this_tick = u8::MAX;
+            }
+            let class = [SigClass::Handover, SigClass::Attach, SigClass::Tau][class_idx as usize];
+
+            // `would_admit` is monotone in rank at every reachable state:
+            // if a class gets in, every higher-priority class must too.
+            let probes: Vec<bool> = [SigClass::Handover, SigClass::Attach, SigClass::Tau]
+                .iter()
+                .map(|&c| ac.would_admit(c, ecgi, in_flight, tick))
+                .collect();
+            prop_assert!(!probes[2] || probes[1], "TAU admitted while attach shed (tick {tick})");
+            prop_assert!(!probes[1] || probes[0], "attach admitted while handover shed (tick {tick})");
+
+            // The probe is exactly the decision `admit` takes.
+            let probe = ac.would_admit(class, ecgi, in_flight, tick);
+            let admitted = ac.admit(class, ecgi, in_flight, tick);
+            prop_assert_eq!(probe, admitted, "would_admit diverged from admit for {:?} at tick {}", class, tick);
+
+            // Temporal monotonicity within the tick: once a class is
+            // shed, nothing of strictly lower priority is admitted
+            // until the supervision clock advances.
+            if admitted {
+                prop_assert!(
+                    class.rank() <= shed_rank_this_tick,
+                    "admitted {:?} (rank {}) after shedding rank {} in the same tick",
+                    class, class.rank(), shed_rank_this_tick
+                );
+            } else {
+                shed_rank_this_tick = shed_rank_this_tick.min(class.rank());
+            }
+        }
+    }
+
+    #[test]
+    fn signaling_conservation_exact_mid_storm_and_after_expiry(
+        pdus in proptest::collection::vec(storm_pdu(), 1..120),
+        expire_at in proptest::option::of(0usize..120),
+    ) {
+        let mut cp = fuzz_control_plane();
+        cp.set_overload(pepc::config::OverloadConfig {
+            enabled: true,
+            enb_rate_per_tick: 1,
+            enb_burst: 2,
+            max_in_flight: 3,
+            backoff_ms: 7,
+        });
+        let mut shed_seen = 0u64;
+        for (i, pdu) in pdus.iter().enumerate() {
+            // Slow clock: several PDUs per supervision tick, so buckets
+            // starve mid-tick and the limiter actually sheds.
+            let tick = (i / 4) as u64;
+            cp.note_tick(tick);
+            let out = cp.handle_s1ap(pdu);
+            prop_assert!(out.len() <= pepc::procedure::MAILBOX_CAP + 1);
+            let m = cp.metrics();
+            prop_assert!(
+                m.signaling_conservation_holds(cp.mailbox_backlog()),
+                "conservation broke mid-storm at delivery {i}"
+            );
+            prop_assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+            // Shed counters are monotone: admission only ever adds.
+            prop_assert!(m.sig_shed_total() >= shed_seen);
+            shed_seen = m.sig_shed_total();
+            if expire_at == Some(i) {
+                cp.expire_procedures(tick + 100, 1);
+                let m = cp.metrics();
+                prop_assert!(
+                    m.signaling_conservation_holds(cp.mailbox_backlog()),
+                    "conservation broke after mid-storm expiry at delivery {i}"
+                );
+                prop_assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+            }
+        }
+        // After the storm: supervision converges and every inbound PDU is
+        // accounted to exactly one bucket of the identity.
+        cp.expire_procedures(1_000_000, 1);
+        prop_assert_eq!(cp.procedures_in_flight(), 0);
+        prop_assert_eq!(cp.mailbox_backlog(), 0);
+        let m = cp.metrics();
+        prop_assert!(m.signaling_conservation_holds(0));
+        prop_assert!(m.procedure_accounting_holds(0));
+        prop_assert!(cp.user_count() <= 4);
+    }
+}
