@@ -18,12 +18,14 @@
 //!   signaling load at scale (Figures 5, 6, 12, 13).
 
 use crate::data::DpUpdate;
+use crate::inctable::IncrementalTable;
 use crate::metrics::CtrlMetrics;
 use crate::migrate::UserSnapshot;
 use crate::pcef::PcefAction;
 use crate::procedure::{Disposition, ProcState, SigMsg, UeMachine, MAILBOX_CAP};
 use crate::proxy::Proxy;
-use crate::state::{ControlState, CounterSnapshot, DeviceClass, QosPolicy, UeContext, Uid};
+use crate::slab::{UeHandle, UeRef, UeSlab};
+use crate::state::{ControlState, CounterSnapshot, CounterState, DeviceClass, QosPolicy, Uid};
 use pepc_backend::hss::sim_response;
 use pepc_net::BpfProgram;
 use pepc_sigproto::nas::{cause, NasMsg};
@@ -72,9 +74,12 @@ enum Routed {
 pub struct ControlPlane {
     /// All users of this slice, keyed by IMSI (globally unique, so
     /// migrated-in users can never collide with local allocations): the
-    /// authoritative (secondary-level) table.
-    users: HashMap<u64, Arc<UeContext>>,
-    by_guti: HashMap<u64, u64>,
+    /// authoritative (secondary-level) table. Values are 8-byte slab
+    /// handles into the slice's shared context arena; the table grows
+    /// incrementally (bounded relocations per insert — no stop-the-world
+    /// rehash under an attach storm) and shrinks after mass detach.
+    users: IncrementalTable<UeHandle>,
+    by_guti: IncrementalTable<u64>,
     by_mme_ue_id: HashMap<u32, u64>,
     alloc: Allocator,
     next_uid: Uid,
@@ -112,15 +117,25 @@ pub struct ControlPlane {
     /// Admission control under signaling storms (DESIGN.md §15).
     /// Disabled by default; configured via [`ControlPlane::set_overload`].
     overload: crate::overload::AdmissionControl,
+    /// The slice's context arena: contexts live here, the tables above
+    /// only hold handles. Shared with the data plane (the slice wiring
+    /// passes one slab to both constructors).
+    slab: Arc<UeSlab>,
 }
 
 impl ControlPlane {
-    /// Build a control plane. `proxy` is required for the full S1AP path;
-    /// synthetic events work without it.
+    /// Build a control plane with its own private context arena. `proxy`
+    /// is required for the full S1AP path; synthetic events work without
+    /// it.
     pub fn new(gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
+        Self::with_slab(Arc::new(UeSlab::new()), gw_ip, tac, alloc, proxy)
+    }
+
+    /// Build a control plane over a shared context arena.
+    pub fn with_slab(slab: Arc<UeSlab>, gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
         ControlPlane {
-            users: HashMap::new(),
-            by_guti: HashMap::new(),
+            users: IncrementalTable::new(),
+            by_guti: IncrementalTable::new(),
             by_mme_ue_id: HashMap::new(),
             alloc,
             next_uid: 0,
@@ -139,7 +154,25 @@ impl ControlPlane {
             service_request_ns: LatencyHistogram::new(),
             handover_ns: LatencyHistogram::new(),
             overload: crate::overload::AdmissionControl::new(crate::config::OverloadConfig::default()),
+            slab,
         }
+    }
+
+    /// The context arena this plane allocates user state from.
+    pub fn slab(&self) -> &Arc<UeSlab> {
+        &self.slab
+    }
+
+    /// Resident bytes of the IMSI and GUTI indexes (memory gauge).
+    pub fn table_bytes(&self) -> u64 {
+        self.users.bytes() + self.by_guti.bytes()
+    }
+
+    /// Make background progress on index migrations/shrinks (called from
+    /// the slice housekeeping tick; inserts and removes also step).
+    pub fn maintain_tables(&mut self) {
+        self.users.maintain();
+        self.by_guti.maintain();
     }
 
     /// Install an overload/admission policy (the slice wires this from
@@ -181,7 +214,7 @@ impl ControlPlane {
     /// the consolidated state — migrated-in users keep their original
     /// keys, so these are never re-derived arithmetically.
     fn keys_of(&self, imsi: u64) -> Option<(u32, u32)> {
-        let ctx = self.users.get(&imsi)?;
+        let ctx = self.slab.resolve(*self.users.get(imsi)?)?;
         let c = ctx.ctrl_read();
         Some((c.tunnels.gw_teid, c.ue_ip))
     }
@@ -199,16 +232,16 @@ impl ControlPlane {
 
     fn attach_inner(&mut self, imsi: u64, qos: QosPolicy, device_class: DeviceClass, ecgi: u32, count: bool) {
         self.dirty.insert(imsi);
-        if let Some(ctx) = self.users.get(&imsi) {
+        if let Some(&handle) = self.users.get(imsi) {
             // Re-attach: refresh and re-announce as active.
-            let ctx = Arc::clone(ctx);
             let (gw_teid, ue_ip) = {
+                let ctx = self.slab.resolve(handle).expect("indexed handle is live");
                 let mut c = ctx.ctrl_write();
                 c.ecgi = ecgi;
                 c.qos = qos;
                 (c.tunnels.gw_teid, c.ue_ip)
             };
-            self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+            self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, handle, active: true });
             if count {
                 self.metrics.attaches += 1;
             }
@@ -226,10 +259,10 @@ impl ControlPlane {
         let guti = ctrl.guti;
         let gw_teid = ctrl.tunnels.gw_teid;
         let ue_ip = ctrl.ue_ip;
-        let ctx = UeContext::new(ctrl);
-        self.users.insert(imsi, Arc::clone(&ctx));
+        let handle = self.slab.alloc(ctrl, CounterState::default());
+        self.users.insert(imsi, handle);
         self.by_guti.insert(guti, imsi);
-        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, handle, active: true });
         if count {
             self.metrics.attaches += 1;
         }
@@ -237,7 +270,7 @@ impl ControlPlane {
 
     fn do_handover(&mut self, imsi: u64, new_enb_teid: u32, new_enb_ip: u32, new_ecgi: u32) -> bool {
         let t0 = std::time::Instant::now();
-        match self.users.get(&imsi) {
+        match self.users.get(imsi).copied().and_then(|h| self.slab.resolve(h)) {
             Some(ctx) => {
                 // The whole point: one in-place write, visible to the data
                 // thread through the shared context. No DpUpdate needed.
@@ -259,13 +292,14 @@ impl ControlPlane {
     }
 
     fn do_detach(&mut self, imsi: u64) -> bool {
-        match self.users.remove(&imsi) {
-            Some(ctx) => {
+        match self.users.remove(imsi) {
+            Some(handle) => {
                 let (guti, gw_teid, ue_ip) = {
+                    let ctx = self.slab.resolve(handle).expect("indexed handle is live");
                     let c = ctx.ctrl_read();
                     (c.guti, c.tunnels.gw_teid, c.ue_ip)
                 };
-                self.by_guti.remove(&guti);
+                self.by_guti.remove(guti);
                 self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
                 self.metrics.detaches += 1;
                 self.dirty.insert(imsi);
@@ -289,15 +323,17 @@ impl ControlPlane {
             CtrlEvent::S1Handover { imsi, new_enb_teid, new_enb_ip } => {
                 self.do_handover(imsi, new_enb_teid, new_enb_ip, 0)
             }
-            CtrlEvent::ModifyBearer { imsi, ambr_kbps } => match self.users.get(&imsi) {
-                Some(ctx) => {
-                    ctx.ctrl_write().qos.ambr_kbps = ambr_kbps;
-                    self.metrics.bearer_updates += 1;
-                    self.dirty.insert(imsi);
-                    true
+            CtrlEvent::ModifyBearer { imsi, ambr_kbps } => {
+                match self.users.get(imsi).copied().and_then(|h| self.slab.resolve(h)) {
+                    Some(ctx) => {
+                        ctx.ctrl_write().qos.ambr_kbps = ambr_kbps;
+                        self.metrics.bearer_updates += 1;
+                        self.dirty.insert(imsi);
+                        true
+                    }
+                    None => false,
                 }
-                None => false,
-            },
+            }
             CtrlEvent::Detach { imsi } => self.do_detach(imsi),
             CtrlEvent::Release { imsi } => self.demote_user(imsi),
         }
@@ -372,7 +408,7 @@ impl ControlPlane {
                 Ok(NasMsg::AttachRequest { imsi, .. }) => {
                     Routed::Ue(imsi, SigMsg::AttachStart { enb_ue_id: *enb_ue_id, ecgi: *ecgi, tac: *tac, imsi })
                 }
-                Ok(NasMsg::ServiceRequest { guti }) => match self.by_guti.get(&guti).copied() {
+                Ok(NasMsg::ServiceRequest { guti }) => match self.by_guti.get(guti).copied() {
                     Some(imsi) => Routed::Ue(imsi, SigMsg::ServiceStart { enb_ue_id: *enb_ue_id, ecgi: *ecgi, guti }),
                     // Unknown GUTI: tell the eNodeB to release the UE;
                     // it will re-attach with its IMSI.
@@ -391,7 +427,7 @@ impl ControlPlane {
                 };
                 let imsi = match &msg {
                     NasMsg::DetachRequest { guti } | NasMsg::TrackingAreaUpdateRequest { guti, .. } => {
-                        self.by_guti.get(guti).copied()
+                        self.by_guti.get(*guti).copied()
                     }
                     _ => {
                         self.by_enb_ue_id.get(enb_ue_id).copied().or_else(|| self.by_mme_ue_id.get(mme_ue_id).copied())
@@ -549,7 +585,7 @@ impl ControlPlane {
             _ => None,
         };
         if let Some(imsi) = rollback {
-            if self.users.contains_key(&imsi) {
+            if self.users.contains_key(imsi) {
                 self.by_mme_ue_id.retain(|_, u| *u != imsi);
                 self.do_detach(imsi);
                 // Rollback of a never-completed attach, not a real detach.
@@ -583,18 +619,18 @@ impl ControlPlane {
         let imsi = m.imsi;
         m.enb_ue_id = enb_ue_id;
         self.by_enb_ue_id.insert(enb_ue_id, imsi);
-        if let Some(ctx) = self.users.get(&imsi) {
+        if let Some(&handle) = self.users.get(imsi) {
             // Duplicate attach for an already-attached IMSI (the UE lost
             // our earlier accept): idempotent. Skip re-authentication and
             // re-emit the context setup with the SAME identifiers —
             // nothing is reallocated.
-            let ctx = Arc::clone(ctx);
             let (guti, ue_ip, gw_teid, ambr) = {
+                let ctx = self.slab.resolve(handle).expect("indexed handle is live");
                 let mut c = ctx.ctrl_write();
                 c.ecgi = ecgi;
                 (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
             };
-            self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+            self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, handle, active: true });
             self.dirty.insert(imsi);
             let mme_ue_id = match self.by_mme_ue_id.iter().filter(|(_, u)| **u == imsi).map(|(id, _)| *id).min() {
                 Some(id) => id,
@@ -654,20 +690,21 @@ impl ControlPlane {
         let t0 = std::time::Instant::now();
         m.enb_ue_id = enb_ue_id;
         // Re-check: a deferred service request may outlive the user.
-        if self.by_guti.get(&guti).copied() != Some(m.imsi) {
+        if self.by_guti.get(guti).copied() != Some(m.imsi) {
             return vec![S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id: 0, cause: cause::ILLEGAL_UE }];
         }
         let imsi = m.imsi;
         self.by_enb_ue_id.insert(enb_ue_id, imsi);
-        let ctx = Arc::clone(&self.users[&imsi]);
+        let handle = *self.users.get(imsi).expect("GUTI check above resolved the user");
         let (gw_teid, ue_ip) = {
+            let ctx = self.slab.resolve(handle).expect("indexed handle is live");
             let mut c = ctx.ctrl_write();
             if ecgi != 0 {
                 c.ecgi = ecgi;
             }
             (c.tunnels.gw_teid, c.ue_ip)
         };
-        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, handle, active: true });
         let mme_ue_id = self.next_mme_ue_id;
         self.next_mme_ue_id += 1;
         self.by_mme_ue_id.insert(mme_ue_id, imsi);
@@ -727,9 +764,10 @@ impl ControlPlane {
                 // Counted on AttachComplete instead.
                 self.do_attach(imsi, qos, DeviceClass::Smartphone, ecgi, false);
                 self.by_mme_ue_id.insert(id, imsi);
+                let handle = *self.users.get(imsi).expect("do_attach just indexed the user");
                 // Install PCRF rules.
                 if let Ok(rules) = proxy.fetch_rules(id, imsi) {
-                    let ctx = Arc::clone(&self.users[&imsi]);
+                    let ctx = self.slab.resolve(handle).expect("indexed handle is live");
                     let mut c = ctx.ctrl_write();
                     for r in rules {
                         if self.installed_rules.insert(r.rule_id as u16) {
@@ -738,8 +776,8 @@ impl ControlPlane {
                         c.pcef_rules.push(r.rule_id as u16);
                     }
                 }
-                let ctx = &self.users[&imsi];
                 let (guti, ue_ip, gw_teid, ambr) = {
+                    let ctx = self.slab.resolve(handle).expect("indexed handle is live");
                     let c = ctx.ctrl_read();
                     (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
                 };
@@ -764,7 +802,7 @@ impl ControlPlane {
                 // Single-shot procedure; routing already resolved the
                 // GUTI, but re-resolve in case a preemption rollback just
                 // removed the user.
-                match self.by_guti.get(&guti).copied() {
+                match self.by_guti.get(guti).copied() {
                     Some(user_imsi) => {
                         self.by_mme_ue_id.retain(|_, u| *u != user_imsi);
                         self.do_detach(user_imsi);
@@ -775,9 +813,12 @@ impl ControlPlane {
                     None => vec![],
                 }
             }
-            (_, NasMsg::TrackingAreaUpdateRequest { guti, tac }) => match self.by_guti.get(&guti).copied() {
+            (_, NasMsg::TrackingAreaUpdateRequest { guti, tac }) => match self.by_guti.get(guti).copied() {
                 Some(user_imsi) => {
-                    self.users[&user_imsi].ctrl_write().tac = tac;
+                    {
+                        let h = *self.users.get(user_imsi).expect("GUTI index is consistent");
+                        self.slab.resolve(h).expect("indexed handle is live").ctrl_write().tac = tac;
+                    }
                     self.dirty.insert(user_imsi);
                     self.metrics.proc_started += 1;
                     self.metrics.proc_completed += 1;
@@ -797,7 +838,7 @@ impl ControlPlane {
 
     fn step_ics_rsp(&mut self, m: &mut UeMachine, enb_teid: u32, enb_ip: u32) -> Vec<S1apPdu> {
         if let ProcState::AttachWaitIcs { imsi, mme_ue_id } = m.state {
-            if let Some(ctx) = self.users.get(&imsi) {
+            if let Some(ctx) = self.users.get(imsi).copied().and_then(|h| self.slab.resolve(h)) {
                 let mut c = ctx.ctrl_write();
                 c.tunnels.enb_teid = enb_teid;
                 c.tunnels.enb_ip = enb_ip;
@@ -836,7 +877,7 @@ impl ControlPlane {
             return vec![];
         }
         let imsi = m.imsi;
-        let (gw_teid, ambr) = match self.users.get(&imsi) {
+        let (gw_teid, ambr) = match self.users.get(imsi).copied().and_then(|h| self.slab.resolve(h)) {
             Some(ctx) => {
                 let c = ctx.ctrl_read();
                 (c.tunnels.gw_teid, c.qos.ambr_kbps)
@@ -891,6 +932,10 @@ impl ControlPlane {
     /// supervises in — the HA layer uses its own tick counter).
     pub fn note_tick(&mut self, now: u64) {
         self.proc_tick = now;
+        // Housekeeping rides the tick: step any in-progress index
+        // migration/shrink so idle slices still converge to the compact
+        // layout after a mass detach.
+        self.maintain_tables();
     }
 
     /// Expire procedures that made no progress for more than `max_age`
@@ -953,7 +998,7 @@ impl ControlPlane {
     /// Whether a GUTI resolves to a user on this slice (routing probe for
     /// the node layer).
     pub fn knows_guti(&self, guti: u64) -> bool {
-        self.by_guti.contains_key(&guti)
+        self.by_guti.contains_key(guti)
     }
 
     /// Active→idle: release a user's radio context (inactivity or an
@@ -982,38 +1027,39 @@ impl ControlPlane {
 
     // -- migration --------------------------------------------------------------
 
-    /// Source side: extract a user for migration. Removes all local
-    /// indexes and tells the data plane to forget the user.
+    /// Source side: extract a user for migration. Copies the consolidated
+    /// state out by value, removes all local indexes, and tells the data
+    /// plane to forget the user (which also frees the slab slot — the
+    /// snapshot no longer references the source arena at all).
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
-        let ctx = self.users.remove(&imsi)?;
+        let handle = self.users.remove(imsi)?;
         // An in-flight procedure does not migrate: the machine is dropped
         // (accounted as aborted) and the peer retries against the new
         // owner. Only the committed ControlState moves.
         self.drop_machine(imsi);
-        let (guti, gw_teid, ue_ip) = {
+        let (ctrl, counters) = {
+            let ctx = self.slab.resolve(handle).expect("indexed handle is live");
             let c = ctx.ctrl_read();
-            (c.guti, c.tunnels.gw_teid, c.ue_ip)
+            (c.clone(), ctx.counters())
         };
-        self.by_guti.remove(&guti);
+        let (guti, gw_teid, ue_ip) = (ctrl.guti, ctrl.tunnels.gw_teid, ctrl.ue_ip);
+        self.by_guti.remove(guti);
         self.by_mme_ue_id.retain(|_, u| *u != imsi);
         self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
         self.metrics.migrations_out += 1;
         self.dirty.insert(imsi);
-        Some(UserSnapshot { uid: imsi, imsi, gw_teid, ue_ip, ctx })
+        Some(UserSnapshot { uid: imsi, imsi, gw_teid, ue_ip, ctrl, counters })
     }
 
     /// Destination side: install a migrated user. Keys (TEID/UE IP) are
-    /// preserved so in-flight tunnels stay valid.
+    /// preserved so in-flight tunnels stay valid; the context is
+    /// reallocated in *this* slice's arena.
     pub fn install_user(&mut self, snap: UserSnapshot) {
-        let guti = snap.ctx.ctrl_read().guti;
+        let guti = snap.ctrl.guti;
+        let handle = self.slab.alloc(snap.ctrl, snap.counters);
         self.by_guti.insert(guti, snap.imsi);
-        self.users.insert(snap.imsi, Arc::clone(&snap.ctx));
-        self.pending_updates.push(DpUpdate::Insert {
-            gw_teid: snap.gw_teid,
-            ue_ip: snap.ue_ip,
-            ctx: snap.ctx,
-            active: true,
-        });
+        self.users.insert(snap.imsi, handle);
+        self.pending_updates.push(DpUpdate::Insert { gw_teid: snap.gw_teid, ue_ip: snap.ue_ip, handle, active: true });
         self.metrics.migrations_in += 1;
         self.dirty.insert(snap.imsi);
     }
@@ -1026,10 +1072,10 @@ impl ControlPlane {
         let guti = ctrl.guti;
         let gw_teid = ctrl.tunnels.gw_teid;
         let ue_ip = ctrl.ue_ip;
-        let ctx = UeContext::with_counters(ctrl, counters);
-        self.users.insert(imsi, Arc::clone(&ctx));
+        let handle = self.slab.alloc(ctrl, counters);
+        self.users.insert(imsi, handle);
         self.by_guti.insert(guti, imsi);
-        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, ctx, active: true });
+        self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, handle, active: true });
         self.dirty.insert(imsi);
     }
 
@@ -1045,13 +1091,14 @@ impl ControlPlane {
         };
         let mut reported = 0;
         let mut overridden = Vec::new();
-        for (imsi, ctx) in &self.users {
+        for (imsi, &handle) in self.users.iter() {
+            let Some(ctx) = self.slab.resolve(handle) else { continue };
             let snap = ctx.counters().snapshot();
-            if let Ok(new_ambr) = proxy.report_usage(reported as u32 + 1, *imsi, snap.uplink_bytes, snap.downlink_bytes)
+            if let Ok(new_ambr) = proxy.report_usage(reported as u32 + 1, imsi, snap.uplink_bytes, snap.downlink_bytes)
             {
                 if new_ambr != 0 {
                     ctx.ctrl_write().qos.ambr_kbps = new_ambr;
-                    overridden.push(*imsi);
+                    overridden.push(imsi);
                 }
                 reported += 1;
             }
@@ -1087,15 +1134,17 @@ impl ControlPlane {
         !self.dirty.is_empty()
     }
 
-    /// Look up a user's shared context by IMSI.
-    pub fn context_of(&self, imsi: u64) -> Option<Arc<UeContext>> {
-        self.users.get(&imsi).map(Arc::clone)
+    /// Look up a user's shared context by IMSI. The returned reference
+    /// borrows the slice's arena (it derefs to [`crate::state::UeContext`]
+    /// and exposes its slab handle).
+    pub fn context_of(&self, imsi: u64) -> Option<UeRef<'_>> {
+        self.slab.resolve(*self.users.get(imsi)?)
     }
 
     /// Counter snapshot for PCRF reporting (reads the data-thread-written
     /// half — the legal cross-plane read).
     pub fn counters_of(&self, imsi: u64) -> Option<CounterSnapshot> {
-        Some(self.users.get(&imsi)?.counters().snapshot())
+        Some(self.context_of(imsi)?.counters().snapshot())
     }
 
     /// Number of users homed on this slice.
@@ -1123,9 +1172,12 @@ impl ControlPlane {
         &self.handover_ns
     }
 
-    /// The IMSIs of all users on this slice (test / harness helper).
+    /// The IMSIs of all users on this slice, ascending (test / harness
+    /// helper — sorted so callers iterate deterministically).
     pub fn imsis(&self) -> Vec<u64> {
-        self.users.keys().copied().collect()
+        let mut v: Vec<u64> = self.users.keys().collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -1322,14 +1374,16 @@ mod tests {
         assert_eq!(cp.metrics().attaches, 1);
         assert_eq!(cp.metrics().attach_rejects, 0);
         assert_eq!(cp.user_count(), 1);
-        let ctx = cp.context_of(42).unwrap();
-        let c = ctx.ctrl_read();
-        assert_eq!(c.guti, guti);
-        assert_eq!(c.ue_ip, ue_ip);
-        assert_eq!(c.tunnels.gw_teid, gw_teid);
-        assert_eq!(c.tunnels.enb_teid, 0xE0, "eNodeB endpoint recorded");
-        assert_eq!(c.tunnels.enb_ip, 0xC0A80005);
-        assert!(!c.pcef_rules.is_empty(), "PCRF rules installed");
+        {
+            let ctx = cp.context_of(42).unwrap();
+            let c = ctx.ctrl_read();
+            assert_eq!(c.guti, guti);
+            assert_eq!(c.ue_ip, ue_ip);
+            assert_eq!(c.tunnels.gw_teid, gw_teid);
+            assert_eq!(c.tunnels.enb_teid, 0xE0, "eNodeB endpoint recorded");
+            assert_eq!(c.tunnels.enb_ip, 0xC0A80005);
+            assert!(!c.pcef_rules.is_empty(), "PCRF rules installed");
+        }
         // Data-plane updates include rule installs and the user insert.
         let ups = cp.take_updates();
         assert!(ups.iter().any(|u| matches!(u, DpUpdate::InstallRule { .. })));

@@ -24,6 +24,17 @@
 //! detach / migration) do flow as [`DpUpdate`]s, drained in batches
 //! (Figure 13).
 //!
+//! # State density (DESIGN.md §16)
+//!
+//! Contexts live in the slice's shared [`UeSlab`] — contiguous chunks
+//! addressed by 8-byte generational [`UeHandle`]s, which is what the
+//! two lookup indexes store (half the per-entry footprint of the former
+//! `Arc<UeContext>` and no per-user heap object). The data plane owns
+//! the *end of life* of a slot: applying [`DpUpdate::Remove`] frees the
+//! handle back to the slab after unindexing it, so the control plane
+//! never races a slot reuse with in-flight packets (updates and packets
+//! are serialized on this thread).
+//!
 //! # Burst mode
 //!
 //! The pipeline is organised around [`DataPlane::process_burst`], a
@@ -53,6 +64,7 @@ use crate::config::{IotConfig, TwoLevelConfig};
 use crate::metrics::DataMetrics;
 use crate::pcef::{Pcef, PcefAction};
 use crate::qos::TokenBucket;
+use crate::slab::{UeHandle, UeSlab};
 use crate::state::{CounterState, CtrlView, UeContext};
 use crate::twolevel::TwoLevelTable;
 use pepc_net::gtp::{encap_gtpu, GTPU_OVERHEAD};
@@ -65,10 +77,11 @@ use std::time::Instant;
 /// thread.
 #[derive(Debug, Clone)]
 pub enum DpUpdate {
-    /// A user attached (or migrated in): index its context by tunnel id
-    /// and UE IP. `active` controls primary vs secondary placement.
-    Insert { gw_teid: u32, ue_ip: u32, ctx: Arc<UeContext>, active: bool },
-    /// A user detached (or migrated out).
+    /// A user attached (or migrated in): index its slab handle by tunnel
+    /// id and UE IP. `active` controls primary vs secondary placement.
+    Insert { gw_teid: u32, ue_ip: u32, handle: UeHandle, active: bool },
+    /// A user detached (or migrated out). Applying this also frees the
+    /// user's slab slot (see the module docs).
     Remove { gw_teid: u32, ue_ip: u32 },
     /// Demote an idle user to the secondary table (two-level management).
     Demote { gw_teid: u32, ue_ip: u32 },
@@ -130,8 +143,11 @@ enum Decision {
 
 /// The data plane of one slice. Owned by exactly one thread.
 pub struct DataPlane {
-    by_teid: TwoLevelTable<Arc<UeContext>>,
-    by_ue_ip: TwoLevelTable<Arc<UeContext>>,
+    by_teid: TwoLevelTable<UeHandle>,
+    by_ue_ip: TwoLevelTable<UeHandle>,
+    /// The slice's context arena, shared with the control plane (and, in
+    /// sharded mode, every sibling shard).
+    slab: Arc<UeSlab>,
     pcef: Pcef,
     iot: IotConfig,
     /// Aggregate charging for the stateless-IoT pool (no per-user state).
@@ -164,11 +180,12 @@ pub struct DataPlane {
 
 /// One same-user run handed from the resolve pass to the act pass.
 ///
-/// The context is a borrowed raw pointer rather than an `Arc` clone: at
-/// run length 1 (uniform traffic) the clone+drop cost two atomic RMWs
-/// per packet, which is more than the whole seqlock visit. Validity is
-/// argued at the use sites — the pointee is owned by the plane's tables
-/// for the duration of the burst call.
+/// The context is a borrowed raw pointer rather than a resolved
+/// [`crate::slab::UeRef`]: the reference form would borrow the plane
+/// (through its slab field) across the act pass, which also needs
+/// `&mut self`. Validity is argued at the use sites — slot storage lives
+/// in slab chunks that are only released when the slab itself drops, and
+/// `self.slab` keeps it alive across the burst call.
 #[derive(Clone, Copy)]
 struct GroupRun {
     start: usize,
@@ -182,8 +199,20 @@ struct GroupRun {
 unsafe impl Send for GroupRun {}
 
 impl DataPlane {
-    /// Build a data plane.
+    /// Build a data plane with its own private context arena.
     pub fn new(gw_ip: u32, expected_users: usize, two_level: TwoLevelConfig, iot: IotConfig) -> Self {
+        Self::with_slab(Arc::new(UeSlab::new()), gw_ip, expected_users, two_level, iot)
+    }
+
+    /// Build a data plane over a shared context arena (the slice wires
+    /// control and data planes — and sibling shards — to one slab).
+    pub fn with_slab(
+        slab: Arc<UeSlab>,
+        gw_ip: u32,
+        expected_users: usize,
+        two_level: TwoLevelConfig,
+        iot: IotConfig,
+    ) -> Self {
         let (by_teid, by_ue_ip) = if two_level.enabled {
             (
                 TwoLevelTable::new(expected_users, two_level.idle_timeout_ns),
@@ -195,6 +224,7 @@ impl DataPlane {
         DataPlane {
             by_teid,
             by_ue_ip,
+            slab,
             pcef: Pcef::new(),
             iot,
             iot_packets: 0,
@@ -210,6 +240,11 @@ impl DataPlane {
             stage_timing: false,
             stage_ns: [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()],
         }
+    }
+
+    /// The context arena this plane resolves handles against.
+    pub fn slab(&self) -> &Arc<UeSlab> {
+        &self.slab
     }
 
     /// Enable/disable per-packet latency recording (the counters in
@@ -228,18 +263,26 @@ impl DataPlane {
     pub fn apply_update(&mut self, update: DpUpdate, now_ns: u64) {
         self.metrics.updates_applied += 1;
         match update {
-            DpUpdate::Insert { gw_teid, ue_ip, ctx, active } => {
+            DpUpdate::Insert { gw_teid, ue_ip, handle, active } => {
                 if active {
-                    self.by_teid.insert_active(u64::from(gw_teid), Arc::clone(&ctx), now_ns);
-                    self.by_ue_ip.insert_active(u64::from(ue_ip), ctx, now_ns);
+                    self.by_teid.insert_active(u64::from(gw_teid), handle, now_ns);
+                    self.by_ue_ip.insert_active(u64::from(ue_ip), handle, now_ns);
                 } else {
-                    self.by_teid.insert_idle(u64::from(gw_teid), Arc::clone(&ctx));
-                    self.by_ue_ip.insert_idle(u64::from(ue_ip), ctx);
+                    self.by_teid.insert_idle(u64::from(gw_teid), handle);
+                    self.by_ue_ip.insert_idle(u64::from(ue_ip), handle);
                 }
             }
             DpUpdate::Remove { gw_teid, ue_ip } => {
-                self.by_teid.remove(u64::from(gw_teid));
-                self.by_ue_ip.remove(u64::from(ue_ip));
+                // Free-at-Remove: unindex both keys, then release the
+                // slot. Updates and packets are serialized on this
+                // thread, so no in-flight packet can still resolve the
+                // handle; a subsequent reattach's Insert rides behind
+                // this Remove in FIFO order.
+                let h = self.by_teid.remove(u64::from(gw_teid));
+                let h2 = self.by_ue_ip.remove(u64::from(ue_ip));
+                if let Some(h) = h.or(h2) {
+                    self.slab.free(h);
+                }
             }
             DpUpdate::Demote { gw_teid, ue_ip } => {
                 self.by_teid.demote(u64::from(gw_teid));
@@ -272,12 +315,13 @@ impl DataPlane {
             Slot::Done(d) => d,
             Slot::Lookup { uplink, key, bytes } => {
                 let table = if uplink { &mut self.by_teid } else { &mut self.by_ue_ip };
-                match table.get(key, now_ns).map(Arc::as_ptr) {
+                let handle = table.get(key, now_ns).copied();
+                match handle.and_then(|h| self.slab.resolve(h)).map(|r| std::ptr::from_ref(r.context())) {
                     Some(p) => {
-                        // SAFETY: `p` was just taken from an `Arc` held by
-                        // this plane's tables; nothing between here and the
-                        // use removes table entries, so the pointee outlives
-                        // the call (same argument as burst pass 3).
+                        // SAFETY: slot storage lives in slab chunks that
+                        // are only released when the slab drops, and
+                        // `self.slab` keeps the slab alive across this
+                        // call (same argument as burst pass 3).
                         let ctx = unsafe { &*p };
                         let c = ctx.ctrl_view();
                         let run_bucket = TokenBucket::from_kbps(c.ambr_kbps);
@@ -287,6 +331,8 @@ impl DataPlane {
                         d
                     }
                     None => {
+                        // Table miss, or (defensively) a stale handle —
+                        // either way the user is not attached here.
                         self.metrics.drop_unknown_user += 1;
                         Decision::Drop(DropReason::UnknownUser)
                     }
@@ -355,13 +401,13 @@ impl DataPlane {
             };
             self.prefetch_lookup(k + PREFETCH_DISTANCE);
             let table = if uplink { &mut self.by_teid } else { &mut self.by_ue_ip };
-            match table.get(key, now_ns) {
-                Some(c) => {
-                    let p = Arc::as_ptr(c);
+            let handle = table.get(key, now_ns).copied();
+            match handle.and_then(|h| self.slab.resolve(h)).map(|r| std::ptr::from_ref(r.context())) {
+                Some(p) => {
                     if p != last_ptr {
                         last_ptr = p;
-                        // SAFETY: `p` points into an `Arc` owned by this
-                        // plane's tables; the prefetch itself never
+                        // SAFETY: `p` points into a slab chunk kept alive
+                        // by `self.slab`; the prefetch itself never
                         // dereferences, and pass 3 re-justifies the
                         // borrow before using the pointer.
                         unsafe { (*p).prefetch_cells() };
@@ -387,13 +433,13 @@ impl DataPlane {
             while end < next_start && matches!(self.slots[end], Slot::Lookup { .. }) {
                 end += 1;
             }
-            // SAFETY: `g.ctx` was taken from an `Arc` held by `by_teid`
-            // / `by_ue_ip` during pass 2 of this same call. We hold
-            // `&mut self` across both passes and nothing in between
-            // removes table entries (pass 3 only touches slots /
-            // decisions / metrics / pcef), so the `Arc` — and therefore
-            // the pointee — is still alive; table-internal promotions
-            // move the `Arc` handle, never the heap allocation.
+            // SAFETY: `g.ctx` was resolved through `self.slab` during
+            // pass 2 of this same call. Slot storage lives in slab
+            // chunks that are only released when the slab drops, and we
+            // hold `&mut self` (so `self.slab` — an owning Arc — stays
+            // put) across both passes; nothing in between frees slab
+            // slots (pass 3 only touches slots / decisions / metrics /
+            // pcef), so the pointee is still the same live user.
             let ctx = unsafe { &*g.ctx };
             self.enforce_group(ctx, g.start, end, burst, now_ns);
         }
@@ -495,8 +541,8 @@ impl DataPlane {
     fn prefetch_lookup(&self, slot_idx: usize) {
         if let Some(Slot::Lookup { uplink, key, .. }) = self.slots.get(slot_idx) {
             let table = if *uplink { &self.by_teid } else { &self.by_ue_ip };
-            if let Some(c) = table.peek(*key) {
-                prefetch_read(Arc::as_ptr(c) as *const u8);
+            if let Some(r) = table.peek(*key).and_then(|&h| self.slab.resolve(h)) {
+                prefetch_read(std::ptr::from_ref(r.context()).cast::<u8>());
             }
         }
     }
@@ -639,6 +685,26 @@ impl DataPlane {
     pub fn table_stats(&self) -> crate::twolevel::TwoLevelStats {
         self.by_teid.stats()
     }
+
+    /// Resident bytes of the two lookup indexes (memory gauge).
+    pub fn table_bytes(&self) -> u64 {
+        self.by_teid.bytes() + self.by_ue_ip.bytes()
+    }
+
+    /// Make bounded background progress on any in-flight incremental
+    /// resize of the lookup indexes (inserts and removes also step, so
+    /// this only matters for idle convergence after a mass detach).
+    pub fn maintain_tables(&mut self) {
+        self.by_teid.maintain();
+        self.by_ue_ip.maintain();
+    }
+
+    /// Whether either lookup index has an incremental resize in flight
+    /// (footprint and lookup cost include the draining array until it
+    /// empties).
+    pub fn tables_migrating(&self) -> bool {
+        self.by_teid.is_migrating() || self.by_ue_ip.is_migrating()
+    }
 }
 
 /// Effective rate when both an AMBR and a rule MBR apply: the tighter one.
@@ -688,14 +754,19 @@ mod tests {
         DataPlane::new(GW_IP, 64, TwoLevelConfig::default(), IotConfig::default())
     }
 
-    fn attach_user(dp: &mut DataPlane, ambr_kbps: u32) -> Arc<UeContext> {
+    fn attach_user(dp: &mut DataPlane, ambr_kbps: u32) -> UeHandle {
         let mut ctrl = ControlState::new(404_01_0000000001);
         ctrl.ue_ip = UE_IP;
         ctrl.qos = QosPolicy { qci: 9, ambr_kbps, gbr_kbps: 0 };
         ctrl.tunnels = TunnelState { enb_teid: TEID_DL, enb_ip: ENB_IP, gw_teid: TEID_UL };
-        let ctx = UeContext::new(ctrl);
-        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, ctx: Arc::clone(&ctx), active: true }, 0);
-        ctx
+        let h = dp.slab().alloc(ctrl, CounterState::default());
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, handle: h, active: true }, 0);
+        h
+    }
+
+    /// Snapshot a user's counters without holding a borrow of the plane.
+    fn counters(dp: &DataPlane, h: UeHandle) -> CounterState {
+        dp.slab().resolve(h).expect("live handle").counters()
     }
 
     fn inner_udp(src: u32, dst: u32, dst_port: u16, payload_len: usize) -> Mbuf {
@@ -717,7 +788,7 @@ mod tests {
     #[test]
     fn uplink_decaps_and_forwards() {
         let mut dp = dp();
-        let ctx = attach_user(&mut dp, 0);
+        let h = attach_user(&mut dp, 0);
         let v = dp.process(uplink_packet(TEID_UL), 100);
         match v {
             PacketVerdict::Forward(m) => {
@@ -727,7 +798,7 @@ mod tests {
             }
             other => panic!("expected forward, got {other:?}"),
         }
-        let cnt = ctx.counters();
+        let cnt = counters(&dp, h);
         assert_eq!(cnt.uplink_packets, 1);
         assert!(cnt.uplink_bytes > 0);
         assert_eq!(cnt.last_activity_ns, 100);
@@ -736,7 +807,7 @@ mod tests {
     #[test]
     fn downlink_encaps_toward_serving_enb() {
         let mut dp = dp();
-        let ctx = attach_user(&mut dp, 0);
+        let h = attach_user(&mut dp, 0);
         let v = dp.process(inner_udp(0x08080808, UE_IP, 443, 64), 200);
         match v {
             PacketVerdict::Forward(mut m) => {
@@ -749,7 +820,7 @@ mod tests {
             }
             other => panic!("expected forward, got {other:?}"),
         }
-        assert_eq!(ctx.counters().downlink_packets, 1);
+        assert_eq!(counters(&dp, h).downlink_packets, 1);
     }
 
     #[test]
@@ -781,9 +852,10 @@ mod tests {
         // The PEPC property: the control thread rewrites tunnel state in
         // the shared context; the very next downlink packet uses it.
         let mut dp = dp();
-        let ctx = attach_user(&mut dp, 0);
+        let h = attach_user(&mut dp, 0);
         {
-            let mut c = ctx.ctrl_write();
+            let r = dp.slab().resolve(h).unwrap();
+            let mut c = r.ctrl_write();
             c.tunnels.enb_teid = 0x3333;
             c.tunnels.enb_ip = 0xC0A80099;
         }
@@ -801,7 +873,7 @@ mod tests {
     fn rate_limit_enforced_and_recorded() {
         let mut dp = dp();
         // 8 kbps = 1000 B/s; burst floor 1500 B.
-        let ctx = attach_user(&mut dp, 8);
+        let h = attach_user(&mut dp, 8);
         let mut forwarded = 0;
         let mut dropped = 0;
         for i in 0..50 {
@@ -814,14 +886,14 @@ mod tests {
         }
         assert!((10..25).contains(&forwarded), "burst admitted ~15: {forwarded}");
         assert!(dropped > 0);
-        assert_eq!(ctx.counters().qos_drops, dropped);
+        assert_eq!(counters(&dp, h).qos_drops, dropped);
         assert_eq!(dp.metrics().drop_qos, dropped);
     }
 
     #[test]
     fn gate_closed_rule_drops() {
         let mut dp = dp();
-        let ctx = attach_user(&mut dp, 0);
+        let h = attach_user(&mut dp, 0);
         dp.apply_update(
             DpUpdate::InstallRule {
                 id: 1,
@@ -830,19 +902,23 @@ mod tests {
             },
             0,
         );
-        ctx.ctrl_write().pcef_rules.push(1);
+        dp.slab().resolve(h).unwrap().ctrl_write().pcef_rules.push(1);
         let v = dp.process(uplink_packet(TEID_UL), 1);
         assert!(matches!(v, PacketVerdict::Drop(DropReason::GateClosed)));
         assert_eq!(dp.metrics().drop_gate, 1);
     }
 
     #[test]
-    fn remove_update_detaches_user() {
+    fn remove_update_detaches_user_and_frees_the_slot() {
         let mut dp = dp();
-        attach_user(&mut dp, 0);
+        let h = attach_user(&mut dp, 0);
         assert_eq!(dp.user_count(), 1);
+        assert_eq!(dp.slab().live_slots(), 1);
         dp.apply_update(DpUpdate::Remove { gw_teid: TEID_UL, ue_ip: UE_IP }, 0);
         assert_eq!(dp.user_count(), 0);
+        assert_eq!(dp.slab().live_slots(), 0, "Remove frees the slab slot");
+        assert_eq!(dp.slab().free_slots(), 1);
+        assert!(dp.slab().resolve(h).is_none(), "freed handle goes stale");
         assert!(matches!(dp.process(uplink_packet(TEID_UL), 1), PacketVerdict::Drop(DropReason::UnknownUser)));
     }
 
@@ -864,8 +940,8 @@ mod tests {
         let mut ctrl = ControlState::new(1);
         ctrl.tunnels.gw_teid = TEID_UL;
         ctrl.ue_ip = UE_IP;
-        let ctx = UeContext::new(ctrl);
-        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, ctx, active: true }, 0);
+        let h = dp.slab().alloc(ctrl, CounterState::default());
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, handle: h, active: true }, 0);
         assert!(dp.process(uplink_packet(TEID_UL), 10).is_forward());
         let evicted = dp.evict_idle(5000);
         assert_eq!(evicted, 2, "both indexes demote");
@@ -919,17 +995,14 @@ mod tests {
         assert_eq!(dp.pipeline_latency().count(), 5);
     }
 
-    fn attach_second_user(dp: &mut DataPlane) -> Arc<UeContext> {
+    fn attach_second_user(dp: &mut DataPlane) -> UeHandle {
         let mut ctrl = ControlState::new(404_01_0000000002);
         ctrl.ue_ip = UE_IP + 1;
         ctrl.qos = QosPolicy { qci: 9, ambr_kbps: 0, gbr_kbps: 0 };
         ctrl.tunnels = TunnelState { enb_teid: TEID_DL + 1, enb_ip: ENB_IP, gw_teid: TEID_UL + 1 };
-        let ctx = UeContext::new(ctrl);
-        dp.apply_update(
-            DpUpdate::Insert { gw_teid: TEID_UL + 1, ue_ip: UE_IP + 1, ctx: Arc::clone(&ctx), active: true },
-            0,
-        );
-        ctx
+        let h = dp.slab().alloc(ctrl, CounterState::default());
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL + 1, ue_ip: UE_IP + 1, handle: h, active: true }, 0);
+        h
     }
 
     #[test]
@@ -973,8 +1046,8 @@ mod tests {
         ];
         let out = dp.process_burst(&mut burst, 50);
         assert!(out.iter().all(|v| v.is_forward()));
-        assert_eq!(a.counters().uplink_packets, 4);
-        assert_eq!(b.counters().uplink_packets, 2);
+        assert_eq!(counters(&dp, a).uplink_packets, 4);
+        assert_eq!(counters(&dp, b).uplink_packets, 2);
         // Per-packet gets still happened in order: 6 primary hits.
         assert_eq!(dp.table_stats().primary_hits, 6);
     }
@@ -1004,11 +1077,11 @@ mod tests {
         // per-user counters and metrics must be bit-identical.
         let build = || {
             let mut dp = dp();
-            let ctx = attach_user(&mut dp, 8); // 1000 B/s, floor 1500 B
-            (dp, ctx)
+            let h = attach_user(&mut dp, 8); // 1000 B/s, floor 1500 B
+            (dp, h)
         };
-        let (mut scalar, scalar_ctx) = build();
-        let (mut burst_dp, burst_ctx) = build();
+        let (mut scalar, scalar_h) = build();
+        let (mut burst_dp, burst_h) = build();
         let now = 1000;
         let mut scalar_verdicts = Vec::new();
         for _ in 0..40 {
@@ -1018,8 +1091,25 @@ mod tests {
         let burst_verdicts: Vec<bool> =
             burst_dp.process_burst(&mut burst, now).iter().map(|v| v.is_forward()).collect();
         assert_eq!(scalar_verdicts, burst_verdicts);
-        assert_eq!(scalar_ctx.counters(), burst_ctx.counters());
+        assert_eq!(counters(&scalar, scalar_h), counters(&burst_dp, burst_h));
         assert_eq!(scalar.metrics(), burst_dp.metrics());
+    }
+
+    #[test]
+    fn stale_handle_in_table_drops_instead_of_aliasing() {
+        // Defensive path: if an index somehow retains a handle whose slot
+        // was freed and reused, the generation check turns the lookup
+        // into an UnknownUser drop — never a read of the new tenant.
+        let mut dp = dp();
+        let h = attach_user(&mut dp, 0);
+        // Free the slot behind the table's back and let someone else
+        // take it (simulating a lost Remove / torn index).
+        assert!(dp.slab().free(h));
+        let other = dp.slab().alloc(ControlState::new(999), CounterState::default());
+        assert_eq!(other.index(), h.index(), "slot reused");
+        let v = dp.process(uplink_packet(TEID_UL), 1);
+        assert!(matches!(v, PacketVerdict::Drop(DropReason::UnknownUser)));
+        assert_eq!(dp.slab().resolve(other).unwrap().counters().uplink_packets, 0, "new tenant untouched");
     }
 
     #[test]

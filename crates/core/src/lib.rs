@@ -43,6 +43,7 @@ pub mod config;
 pub mod ctrl;
 pub mod data;
 pub mod demux;
+pub mod inctable;
 pub mod metrics;
 pub mod migrate;
 pub mod node;
@@ -54,6 +55,7 @@ pub mod qos;
 pub mod recovery;
 pub mod seqlock;
 pub mod shard;
+pub mod slab;
 pub mod slice;
 pub mod state;
 pub mod table;
@@ -64,6 +66,7 @@ pub use config::{EpcConfig, SliceConfig};
 pub use ctrl::{ControlPlane, CtrlEvent};
 pub use data::{DataPlane, PacketVerdict};
 pub use demux::Demux;
+pub use inctable::IncrementalTable;
 pub use metrics::{CtrlMetrics, DataMetrics};
 pub use migrate::{StateTransferMessage, UserSnapshot};
 pub use node::PepcNode;
@@ -72,6 +75,7 @@ pub use pepc_telemetry::{LatencyHistogram, MetricsSnapshot, RingGauge, SliceSnap
 pub use proxy::Proxy;
 pub use seqlock::SeqCell;
 pub use shard::ShardedDataPath;
+pub use slab::{UeHandle, UeRef, UeSlab};
 pub use slice::{Slice, SliceHandle};
 pub use state::{ControlState, CounterState, CtrlView, DeviceClass, UeContext, Uid};
 pub use table::{DatapathWriterStore, GiantLockStore, PepcStore, RwLockFineStore, StateStore};

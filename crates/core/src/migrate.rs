@@ -2,7 +2,7 @@
 //!
 //! PEPC's by-user organisation makes moving a user trivial compared to
 //! the classic EPC (where MME, S-GW and P-GW copies must all move in
-//! concert): the *single* consolidated [`UeContext`](crate::state) is
+//! concert): the *single* consolidated [`crate::state::UeContext`] is
 //! handed from the source slice's control thread to the destination's.
 //!
 //! Protocol (intra-node, orchestrated by the node scheduler):
@@ -10,25 +10,29 @@
 //! 1. scheduler → source slice: [`StateTransferMessage::Request`];
 //!    the node Demux simultaneously starts parking the user's packets in
 //!    a per-user migration queue (no loss, no reordering);
-//! 2. source control thread removes the user from its tables, tells its
-//!    data thread to forget the user, and answers with
-//!    [`StateTransferMessage::Response`] carrying the [`UserSnapshot`].
-//!    During this handoff window the user's seqlock view cell is held
-//!    frozen (sequence odd, see [`crate::seqlock::SeqHold`]): a racing
-//!    data-path reader falls back to projecting from the control lock
-//!    rather than acting on a stale published view;
-//! 3. scheduler installs the snapshot at the destination slice and
-//!    repoints the Demux mapping;
+//! 2. source control thread copies the consolidated state out **by
+//!    value**, removes the user from its tables, tells its data thread to
+//!    forget the user (freeing the user's slab slot), and answers with
+//!    [`StateTransferMessage::Response`] carrying the [`UserSnapshot`];
+//! 3. scheduler installs the snapshot at the destination slice — which
+//!    allocates a fresh slot in *its* arena — and repoints the Demux
+//!    mapping;
 //! 4. the parked packets drain to the destination slice.
 //!
-//! Because the context travels as an `Arc` within the node, counters and
-//! rate-limiter fill levels move losslessly; a cross-node variant would
-//! serialize the same snapshot.
+//! Since PR 9, contexts live in per-slice slab arenas addressed by
+//! generational handles, so a snapshot is a plain value (control state +
+//! counters), never a pointer into the source arena: it serializes
+//! unchanged for the cross-node variant, and the source slot can be
+//! reused the moment the data thread applies the Remove. Packets still
+//! in flight on the source during the handoff window resolve a stale
+//! generation and drop — exactly the post-detach semantics — instead of
+//! reading a recycled slot.
 
-use crate::state::{UeContext, Uid};
-use std::sync::Arc;
+use crate::state::{ControlState, CounterState, Uid};
 
-/// Everything needed to re-home a user.
+/// Everything needed to re-home a user: a by-value copy of both halves
+/// of the consolidated state, plus the data-plane keys (preserved across
+/// the move so in-flight tunnels stay valid).
 #[derive(Debug, Clone)]
 pub struct UserSnapshot {
     pub uid: Uid,
@@ -37,8 +41,11 @@ pub struct UserSnapshot {
     pub gw_teid: u32,
     /// Downlink key (UE IP).
     pub ue_ip: u32,
-    /// The consolidated state itself.
-    pub ctx: Arc<UeContext>,
+    /// The control half (control-thread-written).
+    pub ctrl: ControlState,
+    /// The counter half (data-thread-written), including token-bucket
+    /// fill levels so rate limiting is seamless across the move.
+    pub counters: CounterState,
 }
 
 /// Messages on a slice's migration channel (paper Listing 1's
@@ -54,28 +61,38 @@ pub enum StateTransferMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::ControlState;
+
+    fn snap(imsi: u64) -> UserSnapshot {
+        let mut ctrl = ControlState::new(imsi);
+        ctrl.ue_ip = 3;
+        ctrl.tunnels.gw_teid = 2;
+        let counters = CounterState { uplink_bytes: 777, ambr_tokens: 1234, ..Default::default() };
+        UserSnapshot { uid: 1, imsi, gw_teid: 2, ue_ip: 3, ctrl, counters }
+    }
 
     #[test]
-    fn snapshot_carries_live_context() {
-        let ctx = UeContext::new(ControlState::new(42));
-        ctx.update_counters(|c| c.uplink_bytes = 777);
-        let snap = UserSnapshot { uid: 1, imsi: 42, gw_teid: 2, ue_ip: 3, ctx: Arc::clone(&ctx) };
-        // The snapshot aliases the same context — counter state moves with
-        // the user, not a copy.
-        ctx.update_counters(|c| c.uplink_bytes += 1);
-        assert_eq!(snap.ctx.counters().uplink_bytes, 778);
+    fn snapshot_is_a_value_not_an_alias() {
+        // Both halves travel by value: counter totals and limiter fill
+        // levels are frozen at extraction time, and nothing in the
+        // snapshot can dangle into the source slice's arena.
+        let s = snap(42);
+        let copied = s.clone();
+        assert_eq!(copied.counters.uplink_bytes, 777);
+        assert_eq!(copied.counters.ambr_tokens, 1234, "bucket fill moves with the user");
+        assert_eq!(copied.ctrl.imsi, 42);
+        assert_eq!((copied.gw_teid, copied.ue_ip), (2, 3), "keys preserved");
     }
 
     #[test]
     fn frozen_handoff_readers_fall_back_to_the_lock() {
-        use crate::state::CtrlView;
+        use crate::state::{CtrlView, UeContext};
+        // The freeze/hold mechanism remains available for in-place
+        // handoff windows (the view cell is held odd while a context is
+        // being handed over): an optimistic reader exhausts its bounded
+        // retries and projects from the control lock — consistent, never
+        // torn, never blocked.
         let ctx = UeContext::new(ControlState::new(42));
-        let snap = UserSnapshot { uid: 1, imsi: 42, gw_teid: 2, ue_ip: 3, ctx: Arc::clone(&ctx) };
-        let hold = snap.ctx.freeze_view();
-        // An optimistic reader during the handoff window exhausts its
-        // bounded retries and projects from the control lock —
-        // consistent, never torn, never blocked.
+        let hold = ctx.freeze_view();
         let (view, retries) = ctx.ctrl_view_with_retries();
         assert!(retries > 0, "frozen cell must force the fallback");
         assert_eq!(view, CtrlView::project(&ctx.ctrl_read()));

@@ -44,15 +44,21 @@ use crate::config::{IotConfig, TwoLevelConfig};
 use crate::data::{DataPlane, DpUpdate, PacketVerdict};
 use crate::demux::{packet_key, PacketKey};
 use crate::metrics::DataMetrics;
+use crate::slab::UeSlab;
 use crate::twolevel::{splitmix64, BuildKeyHasher, TwoLevelStats};
 use pepc_net::Mbuf;
 use pepc_telemetry::LatencyHistogram;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// N share-nothing [`DataPlane`] shards behind a software-RSS steering
 /// stage. See the module docs for the layout and invariants.
 pub struct ShardedDataPath {
     shards: Vec<DataPlane>,
+    /// One context arena shared by every shard (contexts are not
+    /// partitioned — only the *indexes* are; each slot still has exactly
+    /// one writing shard, so the single-writer counter protocol holds).
+    slab: Arc<UeSlab>,
     /// Downlink owner map: UE IP (widened) → shard holding the user's
     /// state. Written at control rate, read once per downlink packet.
     owner_by_ip: HashMap<u64, u32, BuildKeyHasher>,
@@ -85,8 +91,12 @@ impl ShardedDataPath {
     ) -> Self {
         assert!(shard_count > 0, "need at least one shard");
         let per_shard = expected_users.div_ceil(shard_count);
+        let slab = Arc::new(UeSlab::new());
         ShardedDataPath {
-            shards: (0..shard_count).map(|_| DataPlane::new(gw_ip, per_shard, two_level, iot)).collect(),
+            shards: (0..shard_count)
+                .map(|_| DataPlane::with_slab(Arc::clone(&slab), gw_ip, per_shard, two_level, iot))
+                .collect(),
+            slab,
             owner_by_ip: HashMap::default(),
             updates_applied: 0,
             pending: (0..shard_count).map(|_| Vec::with_capacity(64)).collect(),
@@ -101,6 +111,16 @@ impl ShardedDataPath {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The context arena shared by every shard.
+    pub fn slab(&self) -> &Arc<UeSlab> {
+        &self.slab
+    }
+
+    /// Resident bytes of every shard's lookup indexes (memory gauge).
+    pub fn table_bytes(&self) -> u64 {
+        self.shards.iter().map(DataPlane::table_bytes).sum()
     }
 
     /// The shard owning the user reachable through `gw_teid` — the
@@ -132,10 +152,10 @@ impl ShardedDataPath {
     pub fn apply_update(&mut self, update: DpUpdate, now_ns: u64) {
         self.updates_applied += 1;
         match update {
-            DpUpdate::Insert { gw_teid, ue_ip, ctx, active } => {
+            DpUpdate::Insert { gw_teid, ue_ip, handle, active } => {
                 let owner = self.owner_of_teid(gw_teid);
                 self.owner_by_ip.insert(u64::from(ue_ip), owner as u32);
-                self.shards[owner].apply_update(DpUpdate::Insert { gw_teid, ue_ip, ctx, active }, now_ns);
+                self.shards[owner].apply_update(DpUpdate::Insert { gw_teid, ue_ip, handle, active }, now_ns);
             }
             DpUpdate::Remove { gw_teid, ue_ip } => {
                 let owner = self.owner_of_teid(gw_teid);
@@ -308,12 +328,12 @@ mod tests {
     use super::*;
     use crate::data::DropReason;
     use crate::pcef::PcefAction;
-    use crate::state::{ControlState, QosPolicy, TunnelState, UeContext};
+    use crate::slab::UeHandle;
+    use crate::state::{ControlState, CounterState, QosPolicy, TunnelState};
     use pepc_net::gtp::encap_gtpu;
     use pepc_net::ipv4::IpProto;
     use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
     use pepc_net::{BpfProgram, Ipv4Hdr, IPV4_HDR_LEN};
-    use std::sync::Arc;
 
     const GW_IP: u32 = 0x0AFE0001;
     const ENB_IP: u32 = 0xC0A80001;
@@ -322,17 +342,18 @@ mod tests {
         ShardedDataPath::new(GW_IP, 256, TwoLevelConfig::default(), IotConfig::default(), n)
     }
 
-    fn attach(p: &mut ShardedDataPath, i: u32) -> Arc<UeContext> {
+    fn attach(p: &mut ShardedDataPath, i: u32) -> UeHandle {
         let mut ctrl = ControlState::new(404_01_0000000000 + u64::from(i));
         ctrl.ue_ip = 0x0A00_0001 + i;
         ctrl.qos = QosPolicy { qci: 9, ambr_kbps: 0, gbr_kbps: 0 };
         ctrl.tunnels = TunnelState { enb_teid: 0x2000 + i, enb_ip: ENB_IP, gw_teid: 0x1000 + i };
-        let ctx = UeContext::new(ctrl);
-        p.apply_update(
-            DpUpdate::Insert { gw_teid: 0x1000 + i, ue_ip: 0x0A00_0001 + i, ctx: Arc::clone(&ctx), active: true },
-            0,
-        );
-        ctx
+        let h = p.slab().alloc(ctrl, CounterState::default());
+        p.apply_update(DpUpdate::Insert { gw_teid: 0x1000 + i, ue_ip: 0x0A00_0001 + i, handle: h, active: true }, 0);
+        h
+    }
+
+    fn counters(p: &ShardedDataPath, h: UeHandle) -> CounterState {
+        p.slab().resolve(h).expect("live handle").counters()
     }
 
     fn downlink(dst: u32) -> Mbuf {
@@ -358,11 +379,11 @@ mod tests {
     fn both_directions_reach_the_owner_shard() {
         let mut p = path(4);
         for i in 0..32 {
-            let ctx = attach(&mut p, i);
+            let h = attach(&mut p, i);
             let owner = p.owner_of_teid(0x1000 + i);
             let out = p.process_burst(&mut vec![uplink(0x1000 + i), downlink(0x0A00_0001 + i)], 10);
             assert!(out.iter().all(PacketVerdict::is_forward), "user {i}");
-            let cnt = ctx.counters();
+            let cnt = counters(&p, h);
             assert_eq!(cnt.uplink_packets, 1);
             assert_eq!(cnt.downlink_packets, 1, "downlink found the owner shard {owner}");
         }
@@ -487,10 +508,10 @@ mod tests {
     #[test]
     fn single_shard_path_is_the_plain_pipeline() {
         let mut p = path(1);
-        let ctx = attach(&mut p, 0);
+        let h = attach(&mut p, 0);
         let out = p.process_burst(&mut vec![uplink(0x1000), downlink(0x0A00_0001)], 4);
         assert!(out.iter().all(PacketVerdict::is_forward));
-        assert_eq!(ctx.counters().uplink_packets, 1);
+        assert_eq!(counters(&p, h).uplink_packets, 1);
         assert_eq!(p.pipeline_latency().count(), p.aggregate_metrics().forwarded);
     }
 }

@@ -1,0 +1,439 @@
+//! Generational slab arena for per-user contexts (DESIGN.md §16).
+//!
+//! The classic layout — one `Arc<UeContext>` heap object per user —
+//! spends a malloc/free per attach/detach, scatters contexts across the
+//! heap (no locality for the data path's table walk), and costs 16 bytes
+//! per table entry (pointer + refcount cache line). At 10M users that
+//! allocation behavior, not ns/packet, becomes the binding constraint
+//! (paper fig 5, fig 15).
+//!
+//! [`UeSlab`] instead stores contexts in large contiguous chunks and
+//! hands out 8-byte **generational handles** ([`UeHandle`]):
+//!
+//! * **Chunks** of [`CHUNK_SLOTS`] contexts are allocated at once and
+//!   published into an atomic chunk directory; slots inside a chunk are
+//!   never individually allocated or freed by the system allocator.
+//! * **Free slots go to a free-list**, so a detach/attach cycle reuses a
+//!   warm slot with no heap traffic at all.
+//! * Each slot carries a **generation counter** (even = free, odd =
+//!   live). A handle embeds the generation it was minted under;
+//!   [`UeSlab::resolve`] re-checks it, so a handle held across the
+//!   slot's free+reuse *misses* instead of aliasing the new tenant
+//!   (the ABA guard the tests pin down).
+//!
+//! Concurrency contract, matching the slice's single-writer discipline:
+//! `alloc`/`free` are control-rate operations serialized by one internal
+//! mutex; `resolve` is the per-packet operation and is lock-free (two
+//! acquire loads + a compare). Slot *contents* are re-initialized through
+//! [`UeContext`]'s own publish protocol — never raw stores — so a stale
+//! optimistic reader racing a slot reuse only ever observes
+//! protocol-mediated writes.
+
+use crate::state::{ControlState, CounterState, UeContext};
+use parking_lot::Mutex;
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::ops::Deref;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Slots per chunk. 4096 contexts × ~4 cache lines each ≈ 1.6 MiB per
+/// chunk — large enough to amortize allocation, small enough that a
+/// lightly-used slice doesn't strand much memory.
+pub const CHUNK_SLOTS: usize = 4096;
+
+/// Chunk-directory fan-out; caps the slab at `CHUNK_SLOTS²` ≈ 16.7M
+/// slots, comfortably above the 10M-user target.
+const MAX_CHUNKS: usize = 4096;
+
+/// One contiguous block of contexts plus their generation counters.
+///
+/// Generations live in their own array (not interleaved with the slots)
+/// so a resolve touches one densely-packed counter line and the context
+/// lines stay exclusively the planes' own traffic.
+struct Chunk {
+    /// Per-slot generation: even = free, odd = live. Bumped with
+    /// `Release` on alloc (after the slot content is re-initialized) and
+    /// on free, read with `Acquire` by `resolve`.
+    gens: [AtomicU32; CHUNK_SLOTS],
+    slots: [UeContext; CHUNK_SLOTS],
+}
+
+/// Heap-allocate and fully initialize a chunk. `Chunk` is ~1.6 MiB —
+/// far too large to construct on the stack and `Box` — so it is built
+/// in place.
+fn new_chunk() -> *mut Chunk {
+    let layout = Layout::new::<Chunk>();
+    // SAFETY: the layout is non-zero-sized.
+    let p = unsafe { alloc(layout) }.cast::<Chunk>();
+    if p.is_null() {
+        handle_alloc_error(layout);
+    }
+    // SAFETY: `p` is valid for `Chunk` writes; every slot and generation
+    // is initialized exactly once before the pointer is published.
+    unsafe {
+        let gens = ptr::addr_of_mut!((*p).gens).cast::<AtomicU32>();
+        let slots = ptr::addr_of_mut!((*p).slots).cast::<UeContext>();
+        for i in 0..CHUNK_SLOTS {
+            ptr::write(gens.add(i), AtomicU32::new(0));
+            ptr::write(slots.add(i), UeContext::raw(ControlState::new(0)));
+        }
+    }
+    p
+}
+
+/// An 8-byte generational handle to a slab slot: generation in the high
+/// 32 bits, slot index in the low 32. This is what the data-plane tables
+/// store instead of a 16-byte `Arc` pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UeHandle(u64);
+
+impl UeHandle {
+    fn new(generation: u32, index: u32) -> Self {
+        UeHandle((u64::from(generation) << 32) | u64::from(index))
+    }
+
+    /// The generation this handle was minted under (odd while live).
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The slot index within the slab.
+    pub fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The raw 64-bit encoding (telemetry / oracle identity).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`Self::bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        UeHandle(bits)
+    }
+}
+
+/// A resolved handle: a borrow of the slot's context plus the handle it
+/// came from. Derefs to [`UeContext`], so call sites read through it
+/// exactly as they read through the old `Arc<UeContext>`.
+#[derive(Debug, Clone, Copy)]
+pub struct UeRef<'a> {
+    ctx: &'a UeContext,
+    handle: UeHandle,
+}
+
+impl<'a> UeRef<'a> {
+    /// The handle this reference resolved from.
+    pub fn handle(&self) -> UeHandle {
+        self.handle
+    }
+
+    /// The underlying context borrow (escape hatch for pointer-based
+    /// grouping on the burst path).
+    pub fn context(&self) -> &'a UeContext {
+        self.ctx
+    }
+}
+
+impl Deref for UeRef<'_> {
+    type Target = UeContext;
+    fn deref(&self) -> &UeContext {
+        self.ctx
+    }
+}
+
+/// Allocation state behind the mutex: the free-list and the bump cursor.
+/// Chunk creation also happens under this lock, so at most one thread
+/// ever races the directory publish.
+struct AllocState {
+    free: Vec<u32>,
+    next: u32,
+}
+
+/// The generational slab. See the module docs for the contract.
+pub struct UeSlab {
+    /// Chunk directory: `Acquire`-loaded by `resolve`, `Release`-stored
+    /// (under the alloc lock) when a chunk is born. Chunks are never
+    /// freed before the slab itself drops, so a loaded pointer stays
+    /// valid for the borrow's lifetime.
+    dir: Box<[AtomicPtr<Chunk>]>,
+    alloc: Mutex<AllocState>,
+    live: AtomicU64,
+    chunks: AtomicU64,
+}
+
+impl Default for UeSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UeSlab {
+    pub fn new() -> Self {
+        UeSlab {
+            dir: (0..MAX_CHUNKS).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+            alloc: Mutex::new(AllocState { free: Vec::new(), next: 0 }),
+            live: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocate a slot and initialize it with `ctrl` + `counters`.
+    /// Control-rate: one mutex, no heap traffic unless a fresh chunk is
+    /// needed (once per [`CHUNK_SLOTS`] net new users).
+    pub fn alloc(&self, ctrl: ControlState, counters: CounterState) -> UeHandle {
+        let index = {
+            let mut a = self.alloc.lock();
+            match a.free.pop() {
+                Some(i) => i,
+                None => {
+                    let i = a.next;
+                    assert!((i as usize) < MAX_CHUNKS * CHUNK_SLOTS, "UeSlab exhausted ({} slots)", i);
+                    let c = i as usize / CHUNK_SLOTS;
+                    if self.dir[c].load(Ordering::Acquire).is_null() {
+                        self.dir[c].store(new_chunk(), Ordering::Release);
+                        self.chunks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    a.next = i + 1;
+                    i
+                }
+            }
+        };
+        let (chunk, slot) = (index as usize / CHUNK_SLOTS, index as usize % CHUNK_SLOTS);
+        // SAFETY: the chunk was published (under the lock) before any
+        // index into it was handed out.
+        let c = unsafe { &*self.dir[chunk].load(Ordering::Acquire) };
+        let generation = c.gens[slot].load(Ordering::Relaxed);
+        debug_assert_eq!(generation % 2, 0, "allocating a live slot");
+        // Re-initialize through the context's own publish protocol (write
+        // guard republishes the view; counter publish bumps the cell
+        // sequence) so a stale optimistic reader racing this reuse only
+        // ever sees protocol-mediated writes, never a raw overwrite.
+        let ctx = &c.slots[slot];
+        *ctx.ctrl_write() = ctrl;
+        ctx.update_counters(|c| *c = counters);
+        let live_gen = generation.wrapping_add(1);
+        c.gens[slot].store(live_gen, Ordering::Release);
+        self.live.fetch_add(1, Ordering::Relaxed);
+        UeHandle::new(live_gen, index)
+    }
+
+    /// Release a slot back to the free-list. Returns false (and does
+    /// nothing) if the handle is stale — already freed, or freed and
+    /// reallocated to someone else.
+    pub fn free(&self, h: UeHandle) -> bool {
+        let index = h.index() as usize;
+        let Some(c) = self.chunk(index / CHUNK_SLOTS) else { return false };
+        let slot = index % CHUNK_SLOTS;
+        let generation = c.gens[slot].load(Ordering::Acquire);
+        if generation != h.generation() || generation % 2 == 0 {
+            return false;
+        }
+        c.gens[slot].store(generation.wrapping_add(1), Ordering::Release);
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.alloc.lock().free.push(h.index());
+        true
+    }
+
+    /// Resolve a handle to its context. Lock-free (the per-packet path):
+    /// two acquire loads and a generation compare. Returns `None` for a
+    /// stale handle — the ABA guard.
+    #[inline]
+    pub fn resolve(&self, h: UeHandle) -> Option<UeRef<'_>> {
+        let index = h.index() as usize;
+        let c = self.chunk(index / CHUNK_SLOTS)?;
+        let slot = index % CHUNK_SLOTS;
+        let generation = c.gens[slot].load(Ordering::Acquire);
+        if generation != h.generation() || generation % 2 == 0 {
+            return None;
+        }
+        Some(UeRef { ctx: &c.slots[slot], handle: h })
+    }
+
+    #[inline]
+    fn chunk(&self, c: usize) -> Option<&Chunk> {
+        if c >= MAX_CHUNKS {
+            return None;
+        }
+        let p = self.dir[c].load(Ordering::Acquire);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: published chunks live until the slab drops.
+            Some(unsafe { &*p })
+        }
+    }
+
+    // -- gauges ---------------------------------------------------------------
+
+    /// Live (attached) slots.
+    pub fn live_slots(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Slots sitting on the free-list, ready for reuse without heap
+    /// traffic.
+    pub fn free_slots(&self) -> u64 {
+        self.alloc.lock().free.len() as u64
+    }
+
+    /// Resident bytes attributable to the slab: chunk storage plus the
+    /// directory and free-list bookkeeping.
+    pub fn bytes(&self) -> u64 {
+        let chunk_bytes = self.chunks.load(Ordering::Relaxed) * std::mem::size_of::<Chunk>() as u64;
+        let dir_bytes = (MAX_CHUNKS * std::mem::size_of::<AtomicPtr<Chunk>>()) as u64;
+        let free_bytes = (self.alloc.lock().free.capacity() * std::mem::size_of::<u32>()) as u64;
+        chunk_bytes + dir_bytes + free_bytes
+    }
+
+    /// Measured bytes per live user — the density audit the capacity
+    /// bench gates on. Includes chunk slack, so it converges toward
+    /// `size_of::<Chunk>() / CHUNK_SLOTS` as the slab fills.
+    pub fn bytes_per_user(&self) -> u64 {
+        self.bytes() / self.live_slots().max(1)
+    }
+}
+
+impl Drop for UeSlab {
+    fn drop(&mut self) {
+        for d in self.dir.iter() {
+            let p = d.load(Ordering::Acquire);
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: exclusive access (`&mut self`); every slot was
+            // initialized at chunk birth and is dropped exactly once.
+            unsafe {
+                let slots = ptr::addr_of_mut!((*p).slots).cast::<UeContext>();
+                for i in 0..CHUNK_SLOTS {
+                    ptr::drop_in_place(slots.add(i));
+                }
+                dealloc(p.cast::<u8>(), Layout::new::<Chunk>());
+            }
+        }
+    }
+}
+
+// SAFETY: the raw chunk pointers are an ownership detail; all shared
+// access goes through `&UeContext` (itself `Sync`), atomics, or the
+// alloc mutex.
+unsafe impl Send for UeSlab {}
+unsafe impl Sync for UeSlab {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(imsi: u64) -> ControlState {
+        ControlState::new(imsi)
+    }
+
+    #[test]
+    fn alloc_resolve_roundtrip() {
+        let slab = UeSlab::new();
+        let counters = CounterState { uplink_bytes: 777, ..CounterState::default() };
+        let h = slab.alloc(ctrl(404_01_0000000001), counters);
+        let r = slab.resolve(h).expect("fresh handle resolves");
+        assert_eq!(r.ctrl_read().imsi, 404_01_0000000001);
+        assert_eq!(r.counters().uplink_bytes, 777, "counters travel into the slot");
+        assert_eq!(r.handle(), h);
+        assert_eq!(slab.live_slots(), 1);
+        assert_eq!(slab.free_slots(), 0);
+    }
+
+    #[test]
+    fn stale_handle_after_free_and_reuse_misses() {
+        let slab = UeSlab::new();
+        let h1 = slab.alloc(ctrl(1), CounterState::default());
+        assert!(slab.free(h1));
+        // The freed slot is reused for a different user.
+        let h2 = slab.alloc(ctrl(2), CounterState::default());
+        assert_eq!(h1.index(), h2.index(), "free-list reuses the slot");
+        assert_ne!(h1, h2, "but the generation differs");
+        assert!(slab.resolve(h1).is_none(), "stale handle must miss, not alias");
+        assert_eq!(slab.resolve(h2).unwrap().ctrl_read().imsi, 2);
+    }
+
+    #[test]
+    fn aba_guard_holds_across_many_reuse_cycles() {
+        let slab = UeSlab::new();
+        let mut stale = Vec::new();
+        let mut h = slab.alloc(ctrl(0), CounterState::default());
+        for imsi in 1..50u64 {
+            stale.push(h);
+            assert!(slab.free(h));
+            h = slab.alloc(ctrl(imsi), CounterState::default());
+        }
+        for s in &stale {
+            assert!(slab.resolve(*s).is_none(), "generation {} aliased", s.generation());
+        }
+        assert_eq!(slab.resolve(h).unwrap().ctrl_read().imsi, 49);
+        assert_eq!(slab.live_slots(), 1);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let slab = UeSlab::new();
+        let h = slab.alloc(ctrl(1), CounterState::default());
+        assert!(slab.free(h));
+        assert!(!slab.free(h), "second free of the same handle is a no-op");
+        assert_eq!(slab.live_slots(), 0);
+        assert_eq!(slab.free_slots(), 1);
+    }
+
+    #[test]
+    fn resolve_rejects_handles_into_unborn_chunks() {
+        let slab = UeSlab::new();
+        let bogus = UeHandle::from_bits((1u64 << 32) | 1_000_000);
+        assert!(slab.resolve(bogus).is_none());
+        assert!(!slab.free(bogus));
+    }
+
+    #[test]
+    fn slots_span_chunk_boundaries() {
+        let slab = UeSlab::new();
+        let n = CHUNK_SLOTS + 3;
+        let handles: Vec<_> = (0..n).map(|i| slab.alloc(ctrl(i as u64), CounterState::default())).collect();
+        assert_eq!(slab.live_slots(), n as u64);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(slab.resolve(*h).unwrap().ctrl_read().imsi, i as u64);
+        }
+        assert!(slab.bytes() >= 2 * std::mem::size_of::<Chunk>() as u64, "two chunks resident");
+    }
+
+    #[test]
+    fn gauges_track_alloc_and_free() {
+        let slab = UeSlab::new();
+        let hs: Vec<_> = (0..100).map(|i| slab.alloc(ctrl(i), CounterState::default())).collect();
+        assert_eq!(slab.live_slots(), 100);
+        let per_user = slab.bytes_per_user();
+        assert!(per_user >= std::mem::size_of::<UeContext>() as u64);
+        for h in &hs[..90] {
+            assert!(slab.free(*h));
+        }
+        assert_eq!(slab.live_slots(), 10);
+        assert_eq!(slab.free_slots(), 90);
+    }
+
+    #[test]
+    fn reuse_republishes_through_the_seqlock_protocol() {
+        let slab = UeSlab::new();
+        let h1 = slab.alloc(ctrl(1), CounterState::default());
+        let v1 = slab.resolve(h1).unwrap().view_version();
+        slab.free(h1);
+        let h2 = slab.alloc(ctrl(2), CounterState::default());
+        let r = slab.resolve(h2).unwrap();
+        assert!(r.view_version() > v1, "slot reuse must bump the view sequence, not bypass it");
+        assert_eq!(r.view_version() % 2, 0, "no publish left half-finished");
+        assert_eq!(r.counters_version() % 2, 0);
+    }
+
+    #[test]
+    fn handle_roundtrips_through_bits() {
+        let slab = UeSlab::new();
+        let h = slab.alloc(ctrl(9), CounterState::default());
+        let back = UeHandle::from_bits(h.bits());
+        assert_eq!(back, h);
+        assert_eq!(slab.resolve(back).unwrap().ctrl_read().imsi, 9);
+    }
+}

@@ -22,6 +22,7 @@ use crate::ctrl::{Allocator, ControlPlane, CtrlEvent};
 use crate::data::{DataPlane, DpUpdate, PacketVerdict};
 use crate::migrate::UserSnapshot;
 use crate::proxy::Proxy;
+use crate::slab::UeSlab;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pepc_fabric::exec::{CoreId, Poll, Worker};
 use pepc_fabric::ring::{Consumer, Producer, SpscRing};
@@ -95,7 +96,12 @@ impl Slice {
     /// Build an inline slice from a config. `proxy` enables the full
     /// S1AP/NAS attach path.
     pub fn new(config: &SliceConfig, gw_ip: u32, tac: u16, alloc: Allocator, proxy: Option<Arc<Proxy>>) -> Self {
-        let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
+        // One arena per slice: the control plane allocates contexts in
+        // it, the data plane resolves handles against it. Sharing is what
+        // keeps a handle meaningful on both sides of the update ring.
+        let slab = Arc::new(UeSlab::new());
+        let mut data =
+            DataPlane::with_slab(Arc::clone(&slab), gw_ip, config.expected_users, config.two_level, config.iot);
         data.set_telemetry_enabled(config.telemetry);
         data.set_stage_timing(config.stage_timing);
         for (id, program) in &config.pcef_programs {
@@ -105,7 +111,7 @@ impl Slice {
             );
         }
         let (update_tx, update_rx) = SpscRing::with_capacity(config.update_ring_capacity);
-        let mut ctrl = ControlPlane::new(gw_ip, tac, alloc, proxy);
+        let mut ctrl = ControlPlane::with_slab(slab, gw_ip, tac, alloc, proxy);
         ctrl.set_overload(config.overload);
         Slice {
             ctrl,
@@ -182,6 +188,10 @@ impl Slice {
             self.data.record_update_delay(now.saturating_sub(stamp));
             self.data.apply_update(u, now);
         }
+        // One bounded resize step per sync keeps in-flight table growth
+        // converging on the packet schedule (never a stop-the-world
+        // rehash inside a burst).
+        self.data.maintain_tables();
         self.packets_since_sync = 0;
     }
 
@@ -234,16 +244,14 @@ impl Slice {
     /// Migration source: extract a user (and sync so the data plane
     /// forgets it before the snapshot leaves).
     pub fn extract_user(&mut self, imsi: u64) -> Option<UserSnapshot> {
+        // The snapshot is a by-value copy (control state + counters), so
+        // there is nothing to freeze: once the membership Remove drains
+        // to the data plane below, the user's slab slot is freed and any
+        // handle still in flight resolves a dead generation and drops —
+        // the same semantics as a post-detach packet.
         let snap = self.ctrl.extract_user(imsi)?;
-        // Freeze the user's view cell for the handoff window: an
-        // optimistic data-path reader that races the extraction exhausts
-        // its bounded retries and projects from the authoritative control
-        // lock instead, so it cannot act on a pre-extraction view while
-        // the membership removal drains to the data plane.
-        let frozen = snap.ctx.freeze_view();
         self.flush_ctrl_updates();
         self.sync_now();
-        drop(frozen);
         Some(snap)
     }
 
@@ -270,6 +278,15 @@ impl Slice {
         s.handover_ns = self.ctrl.handover_latency().clone();
         s.stage_ns = self.data.stage_latencies().to_vec();
         s.rings.push(self.update_rx.gauge("update_ring"));
+        // Memory gauges (ISSUE 9): arena footprint, index footprint, and
+        // the audit ratio. live_slots tracks attached users exactly —
+        // every attach allocates one slot, every detach frees it.
+        let slab = self.ctrl.slab();
+        s.slab_bytes = slab.bytes();
+        s.table_bytes = self.ctrl.table_bytes() + self.data.table_bytes();
+        s.live_slots = slab.live_slots();
+        s.free_slots = slab.free_slots();
+        s.bytes_per_user = slab.bytes_per_user();
         s.mailbox_backlog = self.ctrl.mailbox_backlog();
         let (enbs, tokens) = self.ctrl.overload_gauges();
         s.limiter_enbs = enbs;
@@ -326,7 +343,12 @@ impl Slice {
         let (ctrl_reply_tx, ctrl_rx) = unbounded::<CtrlReply>();
 
         // --- data thread ---
-        let mut data = DataPlane::new(gw_ip, config.expected_users, config.two_level, config.iot);
+        // Same shared-arena wiring as inline mode: handles queued by the
+        // control thread resolve in the data thread's arena because it IS
+        // the control thread's arena.
+        let slab = Arc::new(UeSlab::new());
+        let mut data =
+            DataPlane::with_slab(Arc::clone(&slab), gw_ip, config.expected_users, config.two_level, config.iot);
         data.set_telemetry_enabled(config.telemetry);
         data.set_stage_timing(config.stage_timing);
         for (id, program) in &config.pcef_programs {
@@ -399,7 +421,7 @@ impl Slice {
         // --- control thread ---
         let ctrl_stats = Arc::clone(&stats);
         let ctrl_worker = {
-            let mut cp = ControlPlane::new(gw_ip, tac, alloc, proxy);
+            let mut cp = ControlPlane::with_slab(slab, gw_ip, tac, alloc, proxy);
             cp.set_overload(config.overload);
             let mut update_tx = update_tx;
             Worker::spawn_state(CoreId(config.ctrl_core), cp, move |cp: &mut ControlPlane| {
@@ -576,6 +598,38 @@ mod tests {
         assert_eq!(snap.rings.len(), 1);
         assert_eq!(snap.rings[0].name, "update_ring");
         assert_eq!(snap.rings[0].depth, 0, "drained at the sync boundary");
+    }
+
+    #[test]
+    fn memory_gauges_track_attach_detach_and_live_slots_equal_users() {
+        let mut s = inline_slice(1);
+        let empty = s.telemetry_snapshot(0);
+        assert_eq!(empty.live_slots, 0);
+        assert_eq!(empty.bytes_per_user, empty.slab_bytes, "empty arena: just the directory overhead");
+        for imsi in 0..16u64 {
+            assert!(s.handle_ctrl_event(CtrlEvent::Attach { imsi }));
+        }
+        s.sync_now();
+        let full = s.telemetry_snapshot(0);
+        // The identity the capacity audit rests on: every attached user
+        // owns exactly one arena slot.
+        assert_eq!(full.users, 16);
+        assert_eq!(full.live_slots, full.users);
+        assert!(full.slab_bytes > 0);
+        assert!(full.table_bytes > 0);
+        assert_eq!(full.bytes_per_user, full.slab_bytes / 16);
+        for imsi in 0..8u64 {
+            assert!(s.handle_ctrl_event(CtrlEvent::Detach { imsi }));
+        }
+        s.sync_now();
+        let half = s.telemetry_snapshot(0);
+        assert_eq!(half.users, 8);
+        assert_eq!(half.live_slots, 8, "detach frees the slot (data thread applies the Remove)");
+        assert_eq!(half.free_slots, 8, "freed slots queue for reuse");
+        // Chunks are retained, not returned; only the free-list vector
+        // may add a few bytes of bookkeeping.
+        assert!(half.slab_bytes >= full.slab_bytes, "{} < {}", half.slab_bytes, full.slab_bytes);
+        assert!(half.slab_bytes <= full.slab_bytes + 1024);
     }
 
     #[test]

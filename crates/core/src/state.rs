@@ -338,8 +338,19 @@ impl UeContext {
     /// Build a context with pre-existing counters (checkpoint restore /
     /// HA adoption) — no publish race, the cell is born populated.
     pub fn with_counters(ctrl: ControlState, counters: CounterState) -> Arc<Self> {
+        Arc::new(Self::raw_with_counters(ctrl, counters))
+    }
+
+    /// An un-Arc'd context — slot storage for [`crate::slab::UeSlab`],
+    /// which places contexts in contiguous chunks instead of individual
+    /// heap objects.
+    pub(crate) fn raw(ctrl: ControlState) -> Self {
+        Self::raw_with_counters(ctrl, CounterState::default())
+    }
+
+    fn raw_with_counters(ctrl: ControlState, counters: CounterState) -> Self {
         let view = CtrlView::project(&ctrl);
-        Arc::new(UeContext { ctrl: RwLock::new(ctrl), view: SeqCell::new(view), counters: SeqCell::new(counters) })
+        UeContext { ctrl: RwLock::new(ctrl), view: SeqCell::new(view), counters: SeqCell::new(counters) }
     }
 
     // -- control half ---------------------------------------------------------

@@ -24,7 +24,8 @@
 //! pass actually consumes), which every store materializes per visit so
 //! the comparison isolates the locking discipline.
 
-use crate::state::{ControlState, CounterSnapshot, CounterState, CtrlView, UeContext, Uid};
+use crate::slab::{UeHandle, UeRef, UeSlab};
+use crate::state::{ControlState, CounterSnapshot, CounterState, CtrlView, Uid};
 use crate::twolevel::BuildKeyHasher;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -307,48 +308,72 @@ impl StateStore for RwLockFineStore {
 // PEPC (seqlock single-writer)
 // ---------------------------------------------------------------------------
 
-/// The PEPC design: per-user [`UeContext`]s under the single-writer
-/// seqlock protocol — lock-free view reads and plain-store counter
-/// publishes on the data path.
+/// The PEPC design: per-user contexts in a slab arena under the
+/// single-writer seqlock protocol — lock-free view reads and plain-store
+/// counter publishes on the data path, and an 8-byte generational
+/// [`UeHandle`] per table entry instead of a 16-byte `Arc` pointer.
 pub struct PepcStore {
-    table: RwLock<HashMap<Uid, Arc<UeContext>, BuildKeyHasher>>,
+    slab: Arc<UeSlab>,
+    table: RwLock<HashMap<Uid, UeHandle, BuildKeyHasher>>,
 }
 
 impl PepcStore {
     pub fn new(capacity: usize) -> Self {
-        PepcStore { table: RwLock::new(HashMap::with_capacity_and_hasher(capacity, Default::default())) }
+        Self::with_slab(Arc::new(UeSlab::new()), capacity)
     }
 
-    /// Shared handle to a user's context — what the control thread hands
-    /// the data thread at attach ("shares a read-only reference", §3.4).
-    pub fn get(&self, uid: Uid) -> Option<Arc<UeContext>> {
-        self.table.read().get(&uid).map(Arc::clone)
+    /// Build a store over a shared arena. Two stores over one slab model
+    /// two slices of a node: migration moves a *handle* between their
+    /// tables while the context never moves in memory.
+    pub fn with_slab(slab: Arc<UeSlab>, capacity: usize) -> Self {
+        PepcStore { slab, table: RwLock::new(HashMap::with_capacity_and_hasher(capacity, Default::default())) }
     }
 
-    /// Insert a pre-built context (used by migration, which moves the
-    /// whole context between slices).
-    pub fn insert_context(&self, uid: Uid, ctx: Arc<UeContext>) {
-        self.table.write().insert(uid, ctx);
+    /// The arena contexts resolve against.
+    pub fn slab(&self) -> &Arc<UeSlab> {
+        &self.slab
     }
 
-    /// Remove and return the full context (migration source side).
-    pub fn take(&self, uid: Uid) -> Option<Arc<UeContext>> {
+    /// Borrow a user's context — what the control thread shares with the
+    /// data thread at attach ("shares a read-only reference", §3.4), now
+    /// a generational handle resolved against the arena.
+    pub fn get(&self, uid: Uid) -> Option<UeRef<'_>> {
+        let h = *self.table.read().get(&uid)?;
+        self.slab.resolve(h)
+    }
+
+    /// Index a pre-allocated context by handle (used by migration, which
+    /// moves the user between same-arena stores without copying).
+    pub fn insert_handle(&self, uid: Uid, handle: UeHandle) {
+        self.table.write().insert(uid, handle);
+    }
+
+    /// Remove and return the user's handle, keeping the slot live
+    /// (migration source side; the destination re-indexes the handle).
+    pub fn take(&self, uid: Uid) -> Option<UeHandle> {
         self.table.write().remove(&uid)
     }
 }
 
 impl StateStore for PepcStore {
     fn insert(&self, uid: Uid, ctrl: ControlState) {
-        self.table.write().insert(uid, UeContext::new(ctrl));
+        let handle = self.slab.alloc(ctrl, CounterState::default());
+        self.table.write().insert(uid, handle);
     }
 
     fn remove(&self, uid: Uid) -> bool {
-        self.table.write().remove(&uid).is_some()
+        match self.table.write().remove(&uid) {
+            Some(h) => self.slab.free(h),
+            None => false,
+        }
     }
 
     fn update_ctrl(&self, uid: Uid, f: &mut dyn FnMut(&mut ControlState)) -> bool {
-        let t = self.table.read();
-        match t.get(&uid) {
+        let h = match self.table.read().get(&uid) {
+            Some(h) => *h,
+            None => return false,
+        };
+        match self.slab.resolve(h) {
             Some(ctx) => {
                 f(&mut ctx.ctrl_write());
                 true
@@ -365,8 +390,11 @@ impl StateStore for PepcStore {
         now_ns: u64,
         f: &mut dyn FnMut(&CtrlView) -> bool,
     ) -> Option<bool> {
-        let t = self.table.read();
-        let ctx = t.get(&uid)?;
+        // Copy the 8-byte handle out and release the table lock before
+        // touching the context: slot storage is stable for the slab's
+        // lifetime, so the visit itself runs with no lock held at all.
+        let h = *self.table.read().get(&uid)?;
+        let ctx = self.slab.resolve(h)?;
         // Seqlock view read (no RMW; retries only if a control publish
         // races), then a local counter mutation and a plain-store publish
         // — we are the counter cell's only writer.
@@ -378,9 +406,8 @@ impl StateStore for PepcStore {
     }
 
     fn read_counters(&self, uid: Uid) -> Option<CounterSnapshot> {
-        let t = self.table.read();
-        let s = t.get(&uid)?.counters().snapshot();
-        Some(s)
+        let h = *self.table.read().get(&uid)?;
+        Some(self.slab.resolve(h)?.counters().snapshot())
     }
 
     fn len(&self) -> usize {
@@ -452,18 +479,41 @@ mod tests {
         let s = PepcStore::new(4);
         s.insert(1, ControlState::new(42));
         let ctx = s.get(1).unwrap();
-        // Data-plane write through the trait is visible through the shared
-        // Arc — the "consolidated state, no copies" property.
+        // Data-plane write through the trait is visible through the
+        // shared arena slot — the "consolidated state, no copies"
+        // property, now with a handle instead of an Arc.
         s.data_path_visit(1, true, 50, 9, &mut |_| true).unwrap();
         assert_eq!(ctx.counters().uplink_bytes, 50);
-        // take() moves the whole context out (migration).
+        // take() removes the index entry but keeps the slot live.
         let moved = s.take(1).unwrap();
-        assert!(Arc::ptr_eq(&ctx, &moved));
+        assert_eq!(moved.bits(), ctx.handle().bits(), "same slot, same generation");
         assert!(s.get(1).is_none());
-        // ... and back in at the destination.
-        let s2 = PepcStore::new(4);
-        s2.insert_context(1, moved);
+        // ... and back in at a destination store over the SAME arena:
+        // the context never moved in memory.
+        let s2 = PepcStore::with_slab(Arc::clone(s.slab()), 4);
+        s2.insert_handle(1, moved);
         assert_eq!(s2.read_counters(1).unwrap().uplink_bytes, 50);
+        assert_eq!(
+            std::ptr::from_ref(s2.get(1).unwrap().context()),
+            std::ptr::from_ref(ctx.context()),
+            "zero-copy migration: both stores resolve to one slot"
+        );
+    }
+
+    #[test]
+    fn pepc_store_remove_frees_the_slot_and_reuse_keeps_handles_safe() {
+        let s = PepcStore::new(4);
+        s.insert(1, ControlState::new(42));
+        let stale = s.get(1).unwrap().handle();
+        assert_eq!(s.slab().live_slots(), 1);
+        assert!(s.remove(1));
+        assert_eq!(s.slab().live_slots(), 0, "detach released the slot");
+        // The freed slot is recycled for the next attach under a new
+        // generation, so the stale handle cannot alias the new tenant.
+        s.insert(2, ControlState::new(43));
+        assert_eq!(s.slab().live_slots(), 1);
+        assert!(s.slab().resolve(stale).is_none(), "stale generation stays dead");
+        assert_eq!(s.get(2).unwrap().ctrl_read().imsi, 43);
     }
 
     #[test]

@@ -17,17 +17,23 @@
 //! *active* users instead of *all* users — is identical, without a
 //! synchronous cross-thread round-trip per miss.
 //!
-//! The table is generic over the value (the slice stores
-//! `Arc<UeContext>`) and is **not** internally synchronized: it belongs
-//! to exactly one thread, per PEPC's single-writer discipline.
+//! Both levels are backed by [`IncrementalTable`] (DESIGN.md §16): a
+//! mass-attach ramp grows them a bounded number of relocations at a
+//! time (no stop-the-world rehash on the data path), and a mass detach
+//! shrinks them back instead of holding peak capacity forever.
+//!
+//! The table is generic over the value (the slice stores slab
+//! [`crate::slab::UeHandle`]s) and is **not** internally synchronized:
+//! it belongs to exactly one thread, per PEPC's single-writer
+//! discipline.
 
-use std::collections::HashMap;
+use crate::inctable::IncrementalTable;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// splitmix64 finalizer (Vigna) — bijective, full avalanche, a few
-/// cycles. Shared by [`KeyHasher`] and the software-RSS shard steering in
-/// [`crate::shard`], so a table key and its owning shard are derived from
-/// the same mix.
+/// cycles. Shared by [`KeyHasher`], the [`IncrementalTable`] probe, and
+/// the software-RSS shard steering in [`crate::shard`], so a table key
+/// and its owning shard are derived from the same mix.
 #[inline]
 pub fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -36,7 +42,8 @@ pub fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Hasher for the table's integer keys (TEIDs / UE IPs widened to u64).
+/// Hasher for integer keys (TEIDs / UE IPs widened to u64) in the std
+/// `HashMap`s that remain on control-rate paths.
 ///
 /// The default SipHash costs more per lookup than the probe itself on
 /// this path — and its DoS hardening buys nothing here: keys are
@@ -87,8 +94,8 @@ pub struct TwoLevelStats {
 /// A primary/secondary keyed table (keys are TEIDs or UE IPs widened to
 /// `u64`).
 pub struct TwoLevelTable<V> {
-    primary: HashMap<u64, Entry<V>, BuildKeyHasher>,
-    secondary: HashMap<u64, V, BuildKeyHasher>,
+    primary: IncrementalTable<Entry<V>>,
+    secondary: IncrementalTable<V>,
     /// When false, the table degenerates to a single flat table (the
     /// baseline of Figure 14): everything lives in `primary` and nothing
     /// is ever demoted.
@@ -101,8 +108,8 @@ impl<V> TwoLevelTable<V> {
     /// A two-level table demoting entries idle for `idle_timeout_ns`.
     pub fn new(expected_users: usize, idle_timeout_ns: u64) -> Self {
         TwoLevelTable {
-            primary: HashMap::with_capacity_and_hasher(1024.min(expected_users.max(16)), Default::default()),
-            secondary: HashMap::with_capacity_and_hasher(expected_users, Default::default()),
+            primary: IncrementalTable::with_capacity(1024.min(expected_users.max(16))),
+            secondary: IncrementalTable::with_capacity(expected_users),
             enabled: true,
             idle_timeout_ns,
             stats: TwoLevelStats::default(),
@@ -113,8 +120,8 @@ impl<V> TwoLevelTable<V> {
     /// comparison baseline.
     pub fn new_single(expected_users: usize) -> Self {
         TwoLevelTable {
-            primary: HashMap::with_capacity_and_hasher(expected_users, Default::default()),
-            secondary: HashMap::default(),
+            primary: IncrementalTable::with_capacity(expected_users),
+            secondary: IncrementalTable::new(),
             enabled: false,
             idle_timeout_ns: u64::MAX,
             stats: TwoLevelStats::default(),
@@ -128,7 +135,7 @@ impl<V> TwoLevelTable<V> {
 
     /// Insert an *active* user (fresh attach): goes to the primary table.
     pub fn insert_active(&mut self, key: u64, value: V, now_ns: u64) {
-        self.secondary.remove(&key);
+        self.secondary.remove(key);
         self.primary.insert(key, Entry { value, last_touch_ns: now_ns });
     }
 
@@ -137,7 +144,7 @@ impl<V> TwoLevelTable<V> {
     /// single-table mode this still lands in the flat table).
     pub fn insert_idle(&mut self, key: u64, value: V) {
         if self.enabled {
-            self.primary.remove(&key);
+            self.primary.remove(key);
             self.secondary.insert(key, value);
         } else {
             self.primary.insert(key, Entry { value, last_touch_ns: 0 });
@@ -148,26 +155,24 @@ impl<V> TwoLevelTable<V> {
     /// primary miss consults the secondary table and promotes.
     #[inline]
     pub fn get(&mut self, key: u64, now_ns: u64) -> Option<&V> {
-        use std::collections::hash_map::Entry as HmEntry;
-        // Entry API: a single hash probe on both the hit and promote paths.
-        match self.primary.entry(key) {
-            HmEntry::Occupied(mut o) => {
-                o.get_mut().last_touch_ns = now_ns;
-                self.stats.primary_hits += 1;
-                Some(&o.into_mut().value)
-            }
-            HmEntry::Vacant(vac) => {
-                if self.enabled {
-                    if let Some(v) = self.secondary.remove(&key) {
-                        self.stats.promotions += 1;
-                        let e = vac.insert(Entry { value: v, last_touch_ns: now_ns });
-                        return Some(&e.value);
-                    }
-                }
-                self.stats.misses += 1;
-                None
+        // The hit path is a single probe: `locate` returns a borrow-free
+        // bucket address, reused for the stamp refresh and the return.
+        if let Some(loc) = self.primary.locate(key) {
+            self.stats.primary_hits += 1;
+            let e = self.primary.at_mut(loc);
+            e.last_touch_ns = now_ns;
+            return Some(&e.value);
+        }
+        if self.enabled {
+            if let Some(v) = self.secondary.remove(key) {
+                self.stats.promotions += 1;
+                self.primary.insert(key, Entry { value: v, last_touch_ns: now_ns });
+                let loc = self.primary.locate(key).expect("just inserted");
+                return Some(&self.primary.at(loc).value);
             }
         }
+        self.stats.misses += 1;
+        None
     }
 
     /// Non-mutating lookup: no promotion, no activity refresh, no stats.
@@ -175,18 +180,18 @@ impl<V> TwoLevelTable<V> {
     /// ahead of the real [`Self::get`].
     #[inline]
     pub fn peek(&self, key: u64) -> Option<&V> {
-        if let Some(e) = self.primary.get(&key) {
-            return Some(&e.value);
+        if let Some(loc) = self.primary.locate(key) {
+            return Some(&self.primary.at(loc).value);
         }
-        self.secondary.get(&key)
+        self.secondary.get(key)
     }
 
     /// Remove a user entirely (detach / migration). Returns the value.
     pub fn remove(&mut self, key: u64) -> Option<V> {
-        if let Some(e) = self.primary.remove(&key) {
+        if let Some(e) = self.primary.remove(key) {
             return Some(e.value);
         }
-        self.secondary.remove(&key)
+        self.secondary.remove(key)
     }
 
     /// Demote one user to the secondary table regardless of activity.
@@ -195,7 +200,7 @@ impl<V> TwoLevelTable<V> {
         if !self.enabled {
             return false;
         }
-        match self.primary.remove(&key) {
+        match self.primary.remove(key) {
             Some(e) => {
                 self.stats.demotions += 1;
                 self.secondary.insert(key, e.value);
@@ -213,12 +218,24 @@ impl<V> TwoLevelTable<V> {
             return 0;
         }
         let cutoff = now_ns.saturating_sub(self.idle_timeout_ns);
-        let idle: Vec<u64> = self.primary.iter().filter(|(_, e)| e.last_touch_ns < cutoff).map(|(k, _)| *k).collect();
+        let idle: Vec<u64> = self.primary.iter().filter(|(_, e)| e.last_touch_ns < cutoff).map(|(k, _)| k).collect();
         let n = idle.len();
         for k in idle {
             self.demote(k);
         }
         n
+    }
+
+    /// Step any in-progress incremental resize in both levels without
+    /// mutating entries (idle-cycle housekeeping).
+    pub fn maintain(&mut self) {
+        self.primary.maintain();
+        self.secondary.maintain();
+    }
+
+    /// Whether either level has an incremental resize in flight.
+    pub fn is_migrating(&self) -> bool {
+        self.primary.is_migrating() || self.secondary.is_migrating()
     }
 
     /// Users in the (hot) primary table.
@@ -239,6 +256,16 @@ impl<V> TwoLevelTable<V> {
     /// True when the table holds no users.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total bucket count across both levels (capacity audit).
+    pub fn capacity(&self) -> usize {
+        self.primary.capacity() + self.secondary.capacity()
+    }
+
+    /// Resident bytes across both levels (memory gauge).
+    pub fn bytes(&self) -> u64 {
+        self.primary.bytes() + self.secondary.bytes()
     }
 
     /// Churn statistics.
@@ -351,6 +378,32 @@ mod tests {
     }
 
     #[test]
+    fn mass_detach_releases_table_memory() {
+        // Regression for the never-shrinks defect: after 90% detach the
+        // backing capacity must fall, not hold its peak.
+        let mut t = TwoLevelTable::new(16, u64::MAX);
+        const N: u64 = 20_000;
+        for k in 0..N {
+            t.insert_active(k, k, 0);
+        }
+        let peak = t.capacity();
+        let peak_bytes = t.bytes();
+        for k in 0..(N * 9 / 10) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        for _ in 0..2 * peak {
+            t.maintain();
+        }
+        // The occupied level shrinks to ≤ peak/4; allow the (empty,
+        // minimum-size) other level's few dozen buckets on top.
+        assert!(t.capacity() <= peak / 4 + 64, "capacity {} stuck near peak {peak} after mass detach", t.capacity());
+        assert!(t.bytes() <= peak_bytes / 4 + 64 * 32);
+        for k in (N * 9 / 10)..N {
+            assert_eq!(t.get(k, 1), Some(&k), "survivor {k} lost in shrink");
+        }
+    }
+
+    #[test]
     fn no_user_lost_under_random_churn() {
         // Property-style check: arbitrary interleavings of promote /
         // demote / evict never lose a user.
@@ -379,6 +432,135 @@ mod tests {
                 }
             }
             assert_eq!(t.len(), N as usize);
+        }
+    }
+
+    // Differential property: the incrementally-resizing table must be
+    // observationally identical to the pre-refactor std-HashMap backing
+    // under arbitrary insert/remove/promote/demote/touch sequences.
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// The pre-refactor implementation, verbatim semantics: two std
+        /// `HashMap`s and the same stats accounting.
+        struct ModelTable {
+            primary: HashMap<u64, (u64, u64)>, // key -> (value, last_touch)
+            secondary: HashMap<u64, u64>,
+            stats: TwoLevelStats,
+        }
+
+        impl ModelTable {
+            fn new() -> Self {
+                ModelTable { primary: HashMap::new(), secondary: HashMap::new(), stats: TwoLevelStats::default() }
+            }
+
+            fn insert_active(&mut self, k: u64, v: u64, now: u64) {
+                self.secondary.remove(&k);
+                self.primary.insert(k, (v, now));
+            }
+
+            fn insert_idle(&mut self, k: u64, v: u64) {
+                self.primary.remove(&k);
+                self.secondary.insert(k, v);
+            }
+
+            fn get(&mut self, k: u64, now: u64) -> Option<u64> {
+                if let Some((v, touch)) = self.primary.get_mut(&k) {
+                    *touch = now;
+                    self.stats.primary_hits += 1;
+                    return Some(*v);
+                }
+                if let Some(v) = self.secondary.remove(&k) {
+                    self.stats.promotions += 1;
+                    self.primary.insert(k, (v, now));
+                    return Some(v);
+                }
+                self.stats.misses += 1;
+                None
+            }
+
+            fn remove(&mut self, k: u64) -> Option<u64> {
+                if let Some((v, _)) = self.primary.remove(&k) {
+                    return Some(v);
+                }
+                self.secondary.remove(&k)
+            }
+
+            fn demote(&mut self, k: u64) -> bool {
+                match self.primary.remove(&k) {
+                    Some((v, _)) => {
+                        self.stats.demotions += 1;
+                        self.secondary.insert(k, v);
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            fn evict_idle(&mut self, now: u64, timeout: u64) -> usize {
+                let cutoff = now.saturating_sub(timeout);
+                let idle: Vec<u64> = self.primary.iter().filter(|(_, (_, t))| *t < cutoff).map(|(k, _)| *k).collect();
+                let n = idle.len();
+                for k in idle {
+                    self.demote(k);
+                }
+                n
+            }
+        }
+
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            InsertActive(u64, u64),
+            InsertIdle(u64, u64),
+            Touch(u64), // data-path get: refresh / promote
+            Remove(u64),
+            Demote(u64),
+            Evict,
+            Peek(u64),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..48, any::<u64>()).prop_map(|(k, v)| Op::InsertActive(k, v)),
+                (0u64..48, any::<u64>()).prop_map(|(k, v)| Op::InsertIdle(k, v)),
+                (0u64..48).prop_map(Op::Touch),
+                (0u64..48).prop_map(Op::Remove),
+                (0u64..48).prop_map(Op::Demote),
+                Just(Op::Evict),
+                (0u64..48).prop_map(Op::Peek),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn matches_pre_refactor_hashmap_backing(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+                const TIMEOUT: u64 = 7;
+                let mut t: TwoLevelTable<u64> = TwoLevelTable::new(16, TIMEOUT);
+                let mut m = ModelTable::new();
+                for (now, op) in ops.into_iter().enumerate() {
+                    let now = now as u64;
+                    match op {
+                        Op::InsertActive(k, v) => {
+                            t.insert_active(k, v, now);
+                            m.insert_active(k, v, now);
+                        }
+                        Op::InsertIdle(k, v) => {
+                            t.insert_idle(k, v);
+                            m.insert_idle(k, v);
+                        }
+                        Op::Touch(k) => prop_assert_eq!(t.get(k, now).copied(), m.get(k, now)),
+                        Op::Remove(k) => prop_assert_eq!(t.remove(k), m.remove(k)),
+                        Op::Demote(k) => prop_assert_eq!(t.demote(k), m.demote(k)),
+                        Op::Evict => prop_assert_eq!(t.evict_idle(now), m.evict_idle(now, TIMEOUT)),
+                        Op::Peek(k) => prop_assert_eq!(t.peek(k).copied(), m.secondary.get(&k).copied().or_else(|| m.primary.get(&k).map(|(v, _)| *v))),
+                    }
+                    prop_assert_eq!(t.primary_len(), m.primary.len());
+                    prop_assert_eq!(t.secondary_len(), m.secondary.len());
+                    prop_assert_eq!(t.stats(), m.stats);
+                }
+            }
         }
     }
 }

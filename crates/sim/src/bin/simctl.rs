@@ -3,7 +3,8 @@
 //! ```text
 //! simctl run <seed> [--scenario two_node_failover|partition_heal|lossy_wires
 //!                                |kill_mid_attach|migrate_mid_handover
-//!                                |attach_storm|storm_kill|storm_partition]
+//!                                |attach_storm|storm_kill|storm_partition
+//!                                |mass_attach_ramp]
 //! simctl sweep <first_seed> <count> [--scenario NAME]
 //! simctl replay <trace.json>
 //! simctl shrink <trace.json>
@@ -23,6 +24,7 @@ fn scenario(name: &str, seed: u64) -> Result<SimConfig, String> {
         "attach_storm" => Ok(SimConfig::attach_storm(seed)),
         "storm_kill" => Ok(SimConfig::storm_kill(seed)),
         "storm_partition" => Ok(SimConfig::storm_partition(seed)),
+        "mass_attach_ramp" => Ok(SimConfig::mass_attach_ramp(seed)),
         other => Err(format!("unknown scenario `{other}`")),
     }
 }

@@ -271,6 +271,33 @@ impl SimConfig {
         }
     }
 
+    /// Capacity ramp (ISSUE 9): the largest population the deterministic
+    /// harness drives — enough attaches that the per-slice index tables
+    /// double several times mid-run — plus a storm-wave of churn and a
+    /// kill landing while the tables are still growing. Exercises
+    /// incremental table growth, slab slot free/reuse, and
+    /// failover-during-growth under the single-owner, conservation, and
+    /// seqlock oracles. Staleness is unchecked (the kill lands mid-ramp,
+    /// so half-finished procedures legitimately lose users).
+    pub fn mass_attach_ramp(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 2,
+            users: 48,
+            ticks: 56,
+            counter_interval: 4,
+            chaos: vec![ChaosCmd { at_tick: 12, kind: ChaosKind::Kill, node: (seed % 2) as u32, amount: 0 }],
+            bug: BugKind::None,
+            check_staleness: false,
+            sig_users: 6,
+            sig_handover: false,
+            procedure_timeout: 6,
+            storm_users: 16,
+            storm_tick: 8,
+            overload: true,
+        }
+    }
+
     /// Intra-node slice migrations landing while S1 handovers are in
     /// flight: the migration drops the in-flight procedure machine (the
     /// snapshot carries only committed state), so the handover must abort

@@ -160,7 +160,13 @@ impl Oracles {
                         );
                     }
                     let Some(ctx) = slice.ctrl.context_of(imsi) else { continue };
-                    let ptr = std::sync::Arc::as_ptr(&ctx) as usize;
+                    // Identity = the slot's address: unique across slabs
+                    // (handle bits are not — slot 0/gen 1 recurs on every
+                    // node), stable for the slot's lifetime, and seqlock
+                    // versions are monotonic per slot even across
+                    // free/realloc since re-init goes through the
+                    // publishing write guards.
+                    let ptr = std::ptr::from_ref(ctx.context()) as usize;
                     let view = ctx.view_version();
                     let counters = ctx.counters_version();
                     if view % 2 != 0 || counters % 2 != 0 {

@@ -126,6 +126,25 @@ fn schedule_matrix_storm_kill_green() {
     assert!(failed_over, "kill never fired across {n} storm schedules");
 }
 
+/// Capacity ramp: a mass-attach wave drives the UE tables through
+/// several incremental-growth rounds while a node kill lands mid-ramp,
+/// so adoption and re-attach churn hit tables that are still migrating
+/// buckets. The existing single-owner / conservation / accounting
+/// oracles are the assertions; across the sweep the ramp must actually
+/// land users past the synthetic population on some schedules.
+#[test]
+fn schedule_matrix_mass_attach_ramp_green() {
+    let n = schedules_from_env(1000).min(64);
+    let mut ramped_any = false;
+    for seed in 1..=n {
+        let r = run_green(&SimConfig::mass_attach_ramp(seed));
+        if r.users_live > 48 {
+            ramped_any = true; // beyond the synthetic population
+        }
+    }
+    assert!(ramped_any, "no schedule grew past the synthetic population in {n} ramps");
+}
+
 /// The storm with a replication-wire partition opening mid-wave.
 #[test]
 fn schedule_matrix_storm_partition_green() {

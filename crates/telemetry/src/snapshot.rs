@@ -83,6 +83,21 @@ pub struct SliceSnapshot {
     /// Admission tokens available across all tracked eNodeB buckets
     /// (limiter occupancy: 0 with buckets tracked = fully saturated).
     pub limiter_tokens: u64,
+    /// Bytes reserved by the slice's context arena (chunk slots + slot
+    /// generations + chunk directory).
+    pub slab_bytes: u64,
+    /// Bytes held by the lookup indexes (control-plane IMSI/GUTI tables
+    /// plus data-plane TEID/UE-IP tables, including any in-progress
+    /// incremental-resize old arrays).
+    pub table_bytes: u64,
+    /// Arena slots currently live. Invariant: equals `users` — every
+    /// attach allocates exactly one slot, every detach frees it.
+    pub live_slots: u64,
+    /// Arena slots on the free-list, reusable without new allocation.
+    pub free_slots: u64,
+    /// `slab_bytes / live_slots` — the state-density audit number the
+    /// capacity bench gates on (0 when no users are attached).
+    pub bytes_per_user: u64,
 }
 
 /// Labels for [`SliceSnapshot::stage_ns`], index-aligned with the data
@@ -107,6 +122,11 @@ impl SliceSnapshot {
             mailbox_backlog: 0,
             limiter_enbs: 0,
             limiter_tokens: 0,
+            slab_bytes: 0,
+            table_bytes: 0,
+            live_slots: 0,
+            free_slots: 0,
+            bytes_per_user: 0,
         }
     }
 
@@ -136,6 +156,8 @@ impl SliceSnapshot {
             && self.mailbox_backlog == other.mailbox_backlog
             && self.limiter_enbs == other.limiter_enbs
             && self.limiter_tokens == other.limiter_tokens
+            && self.live_slots == other.live_slots
+            && self.free_slots == other.free_slots
     }
 
     fn render_into(&self, out: &mut String) {
@@ -187,6 +209,13 @@ impl SliceSnapshot {
                 c.sig_deferred,
                 c.sig_dropped,
                 c.sig_overflow,
+            );
+        }
+        if self.slab_bytes > 0 || self.table_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  memory: slab={} tables={} slots[live={} free={}] bytes/user={}",
+                self.slab_bytes, self.table_bytes, self.live_slots, self.free_slots, self.bytes_per_user,
             );
         }
         if c.sig_shed_total() > 0 || self.limiter_enbs > 0 || self.mailbox_backlog > 0 {
@@ -352,6 +381,11 @@ mod tests {
         s.mailbox_backlog = 3;
         s.limiter_enbs = 2;
         s.limiter_tokens = 17;
+        s.slab_bytes = 4096;
+        s.table_bytes = 512;
+        s.live_slots = 4;
+        s.free_slots = 12;
+        s.bytes_per_user = 1024;
         let wires = vec![WireStat { name: "repl:node1".into(), forwarded: 40, dropped: 2, ..Default::default() }];
         MetricsSnapshot { slices: vec![s], wires, shard_packets: vec![60, 40] }
     }
@@ -370,7 +404,31 @@ mod tests {
         assert!(text.contains("stage-enforce"), "{text}");
         assert!(text.contains("shards: packets=[60, 40] imbalance=1.200"), "{text}");
         assert!(text.contains("overload: shed[ho=0 attach=5 tau=2] limiter[enbs=2 tokens=17] backlog=3"), "{text}");
+        assert!(text.contains("memory: slab=4096 tables=512 slots[live=4 free=12] bytes/user=1024"), "{text}");
         assert!(MetricsSnapshot::new().render().contains("no slices"));
+    }
+
+    #[test]
+    fn memory_line_hidden_when_no_arena_reported() {
+        let mut snap = sample();
+        let s = &mut snap.slices[0];
+        s.slab_bytes = 0;
+        s.table_bytes = 0;
+        s.live_slots = 0;
+        s.free_slots = 0;
+        s.bytes_per_user = 0;
+        assert!(!snap.render().contains("memory:"), "{}", snap.render());
+    }
+
+    #[test]
+    fn memory_gauges_survive_json() {
+        let snap = sample();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.slices[0].slab_bytes, 4096);
+        assert_eq!(back.slices[0].table_bytes, 512);
+        assert_eq!(back.slices[0].live_slots, 4);
+        assert_eq!(back.slices[0].free_slots, 12);
+        assert_eq!(back.slices[0].bytes_per_user, 1024);
     }
 
     #[test]

@@ -44,7 +44,6 @@ fn main() {
         let c = ctx.ctrl_read();
         (c.tunnels.gw_teid, c.ue_ip)
     };
-    drop(ctx);
 
     // Traffic before the migration.
     for seq in 0..1000u32 {

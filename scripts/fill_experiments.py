@@ -4,7 +4,9 @@
 Usage: python3 scripts/fill_experiments.py figures_quick.txt
 
 Also fills {STORM_ROWS} (the Fig 6 storm extension) from BENCH_storm.json
-when that file exists — regenerate it with `python3 scripts/bench_storm.py`.
+and {CAPACITY_ROWS} (the Fig 5 capacity extension) from
+BENCH_capacity.json when those files exist — regenerate them with
+`python3 scripts/bench_storm.py` / `python3 scripts/bench_capacity.py`.
 """
 import json
 import os
@@ -41,6 +43,20 @@ def storm_rows():
     return "\n".join(lines)
 
 
+def capacity_rows():
+    """Render BENCH_capacity.json as the Fig 5 capacity-extension table."""
+    if not os.path.exists("BENCH_capacity.json"):
+        return None
+    data = json.load(open("BENCH_capacity.json"))
+    lines = []
+    for label, row in data["milestones"].items():
+        lines.append(
+            f"{label:<8} {row['rss_bytes'] / 1e6:>11.0f} {row['state_bytes_per_user']:>15.0f} "
+            f"{row['pkt_ns']:>12.1f} {int(row['attach_ramp_p99_ns']):>14} / {int(row['attach_steady_p99_ns'])}"
+        )
+    return "\n".join(lines)
+
+
 def main(path):
     out = open(path).read()
     exp = open("EXPERIMENTS.md").read()
@@ -70,6 +86,9 @@ def main(path):
     storm = storm_rows()
     if storm is not None:
         exp = exp.replace("{STORM_ROWS}", storm)
+    capacity = capacity_rows()
+    if capacity is not None:
+        exp = exp.replace("{CAPACITY_ROWS}", capacity)
 
     open("EXPERIMENTS.md", "w").write(exp)
     print("EXPERIMENTS.md filled from", path)

@@ -13,7 +13,8 @@
 use pepc::config::{IotConfig, TwoLevelConfig};
 use pepc::data::{DataPlane, DpUpdate, DropReason, PacketVerdict};
 use pepc::pcef::PcefAction;
-use pepc::state::{ControlState, QosPolicy, TunnelState, UeContext};
+use pepc::state::{ControlState, CounterState, QosPolicy, TunnelState};
+use pepc::{UeHandle, UeSlab};
 use pepc_net::bpf::BpfProgram;
 use pepc_net::gtp::encap_gtpu;
 use pepc_net::ipv4::IpProto;
@@ -49,7 +50,11 @@ fn flavour(u: u32) -> Flavour {
     }
 }
 
-fn build_plane() -> (DataPlane, Vec<Arc<UeContext>>) {
+fn counters_of(slab: &UeSlab, h: UeHandle) -> CounterState {
+    slab.resolve(h).expect("live handle").counters()
+}
+
+fn build_plane() -> (DataPlane, Vec<UeHandle>) {
     let iot = IotConfig { enabled: true, teid_base: IOT_TEID_BASE, ip_base: IOT_IP_BASE, pool_size: 64 };
     let mut dp = DataPlane::new(GW_IP, 256, TwoLevelConfig::default(), iot);
     dp.apply_update(
@@ -60,7 +65,7 @@ fn build_plane() -> (DataPlane, Vec<Arc<UeContext>>) {
         },
         0,
     );
-    let mut ctxs = Vec::new();
+    let mut handles = Vec::new();
     for u in 0..USERS {
         let mut ctrl = ControlState::new(404_01_0000000000 + u64::from(u));
         ctrl.ue_ip = UE_IP_BASE + u;
@@ -70,16 +75,13 @@ fn build_plane() -> (DataPlane, Vec<Arc<UeContext>>) {
         if flavour(u) == Flavour::Gated {
             ctrl.pcef_rules.push(1);
         }
-        let ctx = UeContext::new(ctrl);
+        let handle = dp.slab().alloc(ctrl, CounterState::default());
         // Half the users start demoted so bursts exercise promotions.
         let active = u % 2 == 0;
-        dp.apply_update(
-            DpUpdate::Insert { gw_teid: TEID_BASE + u, ue_ip: UE_IP_BASE + u, ctx: Arc::clone(&ctx), active },
-            0,
-        );
-        ctxs.push(ctx);
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_BASE + u, ue_ip: UE_IP_BASE + u, handle, active }, 0);
+        handles.push(handle);
     }
-    (dp, ctxs)
+    (dp, handles)
 }
 
 fn inner_udp(src: u32, dst: u32, dst_port: u16, payload_len: usize) -> Mbuf {
@@ -174,7 +176,11 @@ fn burst_path_is_observationally_identical_to_scalar() {
             "seed {seed}: histogram population diverged"
         );
         for (u, (a, b)) in scalar_ctxs.iter().zip(&burst_ctxs).enumerate() {
-            assert_eq!(a.counters(), b.counters(), "seed {seed}: user {u} counters diverged");
+            assert_eq!(
+                counters_of(scalar.slab(), *a),
+                counters_of(burst_dp.slab(), *b),
+                "seed {seed}: user {u} counters diverged"
+            );
         }
     }
 }
@@ -196,16 +202,17 @@ fn burst_path_identical_under_concurrent_view_republish() {
 
         let stop = Arc::new(AtomicBool::new(false));
         let republisher = {
-            let ctxs: Vec<Arc<UeContext>> = burst_ctxs.iter().map(Arc::clone).collect();
+            let slab = Arc::clone(burst_dp.slab());
+            let handles = burst_ctxs.clone();
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut rounds = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    for ctx in &ctxs {
+                    for h in &handles {
                         // Dropping the guard republishes the (identical)
                         // view, cycling the sequence odd→even under the
                         // data path's feet.
-                        drop(ctx.ctrl_write());
+                        drop(slab.resolve(*h).expect("live handle").ctrl_write());
                     }
                     rounds += 1;
                     std::thread::yield_now();
@@ -238,7 +245,11 @@ fn burst_path_identical_under_concurrent_view_republish() {
         assert_eq!(scalar.metrics(), burst_dp.metrics(), "seed {seed}: drop taxonomy diverged");
         assert_eq!(scalar.table_stats(), burst_dp.table_stats(), "seed {seed}: table churn diverged");
         for (u, (a, b)) in scalar_ctxs.iter().zip(&burst_ctxs).enumerate() {
-            assert_eq!(a.counters(), b.counters(), "seed {seed}: user {u} counters diverged");
+            assert_eq!(
+                counters_of(scalar.slab(), *a),
+                counters_of(burst_dp.slab(), *b),
+                "seed {seed}: user {u} counters diverged"
+            );
         }
     }
 }
@@ -260,6 +271,6 @@ fn scalar_process_is_the_burst_size_one_case() {
     }
     assert_eq!(a.metrics(), b.metrics());
     for (x, y) in a_ctxs.iter().zip(&b_ctxs) {
-        assert_eq!(x.counters(), y.counters());
+        assert_eq!(counters_of(a.slab(), *x), counters_of(b.slab(), *y));
     }
 }

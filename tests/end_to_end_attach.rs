@@ -161,7 +161,6 @@ fn pcef_rules_from_pcrf_drive_qos_classing() {
     let k = node.demux().slice_for_imsi(imsi).unwrap();
     let ctx = node.slice(k).ctrl.context_of(imsi).unwrap();
     assert!(!ctx.ctrl_read().pcef_rules.is_empty());
-    drop(ctx);
     let mut up = udp_packet(ue_ip, 0x0808_0808, 5060, b"INVITE");
     encap_gtpu(&mut up, 0xC0A8_0001, node.config().gw_ip, gw_teid).unwrap();
     assert!(node.process(up).is_forward());

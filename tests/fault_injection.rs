@@ -27,7 +27,6 @@ fn uplink_for(node: &mut PepcNode, imsi: u64) -> Mbuf {
         let c = ctx.ctrl_read();
         (c.tunnels.gw_teid, c.ue_ip)
     };
-    drop(ctx);
     let mut m = Mbuf::new();
     let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
     Ipv4Hdr::new(ue_ip, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + 16).emit(&mut hdr[..IPV4_HDR_LEN]).unwrap();

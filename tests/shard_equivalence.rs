@@ -15,15 +15,14 @@
 use pepc::config::{IotConfig, TwoLevelConfig};
 use pepc::data::{DataPlane, DpUpdate, PacketVerdict};
 use pepc::pcef::PcefAction;
-use pepc::state::{ControlState, QosPolicy, TunnelState, UeContext};
-use pepc::ShardedDataPath;
+use pepc::state::{ControlState, CounterState, QosPolicy, TunnelState};
+use pepc::{ShardedDataPath, UeHandle, UeSlab};
 use pepc_net::bpf::BpfProgram;
 use pepc_net::gtp::encap_gtpu;
 use pepc_net::ipv4::IpProto;
 use pepc_net::udp::{UdpHdr, UDP_HDR_LEN};
 use pepc_net::{Ipv4Hdr, Mbuf, IPV4_HDR_LEN};
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 const GW_IP: u32 = 0x0AFE_0001;
 const ENB_IP: u32 = 0xC0A8_0001;
@@ -60,7 +59,7 @@ fn rule() -> DpUpdate {
     }
 }
 
-fn user_ctx(u: u32) -> Arc<UeContext> {
+fn user_ctrl(u: u32) -> ControlState {
     let mut ctrl = ControlState::new(404_01_0000000000 + u64::from(u));
     ctrl.ue_ip = UE_IP_BASE + u;
     let ambr = if flavour(u) == Flavour::RateLimited { 8 } else { 0 };
@@ -69,37 +68,40 @@ fn user_ctx(u: u32) -> Arc<UeContext> {
     if flavour(u) == Flavour::Gated {
         ctrl.pcef_rules.push(1);
     }
-    UeContext::new(ctrl)
+    ctrl
 }
 
-fn insert(u: u32, ctx: &Arc<UeContext>) -> DpUpdate {
+fn insert(u: u32, handle: UeHandle) -> DpUpdate {
     // Half the users start demoted so bursts exercise promotions.
-    DpUpdate::Insert {
-        gw_teid: TEID_BASE + u,
-        ue_ip: UE_IP_BASE + u,
-        ctx: Arc::clone(ctx),
-        active: u.is_multiple_of(2),
-    }
+    DpUpdate::Insert { gw_teid: TEID_BASE + u, ue_ip: UE_IP_BASE + u, handle, active: u.is_multiple_of(2) }
 }
 
-fn build_single() -> (DataPlane, Vec<Arc<UeContext>>) {
+fn populate(slab: &UeSlab) -> Vec<UeHandle> {
+    (0..USERS).map(|u| slab.alloc(user_ctrl(u), CounterState::default())).collect()
+}
+
+fn counters_of(slab: &UeSlab, h: UeHandle) -> CounterState {
+    slab.resolve(h).expect("live handle").counters()
+}
+
+fn build_single() -> (DataPlane, Vec<UeHandle>) {
     let mut dp = DataPlane::new(GW_IP, 256, TwoLevelConfig::default(), iot());
     dp.apply_update(rule(), 0);
-    let ctxs: Vec<_> = (0..USERS).map(user_ctx).collect();
-    for (u, ctx) in ctxs.iter().enumerate() {
-        dp.apply_update(insert(u as u32, ctx), 0);
+    let handles = populate(dp.slab());
+    for (u, h) in handles.iter().enumerate() {
+        dp.apply_update(insert(u as u32, *h), 0);
     }
-    (dp, ctxs)
+    (dp, handles)
 }
 
-fn build_sharded(shards: usize) -> (ShardedDataPath, Vec<Arc<UeContext>>) {
+fn build_sharded(shards: usize) -> (ShardedDataPath, Vec<UeHandle>) {
     let mut p = ShardedDataPath::new(GW_IP, 256, TwoLevelConfig::default(), iot(), shards);
     p.apply_update(rule(), 0);
-    let ctxs: Vec<_> = (0..USERS).map(user_ctx).collect();
-    for (u, ctx) in ctxs.iter().enumerate() {
-        p.apply_update(insert(u as u32, ctx), 0);
+    let handles = populate(p.slab());
+    for (u, h) in handles.iter().enumerate() {
+        p.apply_update(insert(u as u32, *h), 0);
     }
-    (p, ctxs)
+    (p, handles)
 }
 
 fn inner_udp(src: u32, dst: u32, dst_port: u16, payload_len: usize) -> Mbuf {
@@ -201,7 +203,11 @@ fn sharded_path_is_observationally_identical_to_single_pipeline() {
                 "{shards} shards seed {seed}: histogram population diverged"
             );
             for (u, (a, b)) in sharded_ctxs.iter().zip(&single_ctxs).enumerate() {
-                assert_eq!(a.counters(), b.counters(), "{shards} shards seed {seed}: user {u} counters diverged");
+                assert_eq!(
+                    counters_of(sharded.slab(), *a),
+                    counters_of(single.slab(), *b),
+                    "{shards} shards seed {seed}: user {u} counters diverged"
+                );
             }
         }
     }
@@ -261,6 +267,6 @@ fn shard_count_one_equals_the_single_pipeline_exactly() {
     }
     assert_eq!(sharded.aggregate_metrics(), single.metrics());
     for (x, y) in sharded_ctxs.iter().zip(&single_ctxs) {
-        assert_eq!(x.counters(), y.counters());
+        assert_eq!(counters_of(sharded.slab(), *x), counters_of(single.slab(), *y));
     }
 }

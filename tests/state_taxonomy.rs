@@ -39,10 +39,14 @@ fn control_thread_writes_every_per_event_group() {
         assert_ne!(s.tunnels.gw_teid, 0);
     }
     // Location group (row 1) + tunnel rewrite: written on mobility.
+    // (`context_of` lends a handle-resolved borrow of the plane, so it is
+    // re-fetched after each mutating event.)
     c.apply_event(CtrlEvent::S1Handover { imsi: 7, new_enb_teid: 0xE1, new_enb_ip: 0xC0A80001 });
+    let ctx = c.context_of(7).unwrap();
     assert_eq!(ctx.ctrl_read().tunnels.enb_teid, 0xE1);
     // QoS/policy group (row 3): written on modify-bearer.
     c.apply_event(CtrlEvent::ModifyBearer { imsi: 7, ambr_kbps: 1234 });
+    let ctx = c.context_of(7).unwrap();
     assert_eq!(ctx.ctrl_read().qos.ambr_kbps, 1234);
     // Every control write republished the data path's seqlock view.
     assert_eq!(ctx.ctrl_view(), CtrlView::project(&ctx.ctrl_read()));
