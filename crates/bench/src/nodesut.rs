@@ -49,14 +49,13 @@ impl SystemUnderTest for NodeSut {
         if let Some(queued) = self.backlog.pop() {
             match self.node.process(m) {
                 NodeVerdict::Forward(out) => self.backlog.push(out),
-                NodeVerdict::Drop | NodeVerdict::Parked => {}
+                NodeVerdict::Drop | NodeVerdict::Parked | NodeVerdict::Buffered => {}
             }
             return Some(queued);
         }
         match self.node.process(m) {
             NodeVerdict::Forward(out) => Some(out),
-            NodeVerdict::Parked => None,
-            NodeVerdict::Drop => None,
+            NodeVerdict::Parked | NodeVerdict::Drop | NodeVerdict::Buffered => None,
         }
     }
 

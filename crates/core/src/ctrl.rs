@@ -22,7 +22,7 @@ use crate::inctable::IncrementalTable;
 use crate::metrics::CtrlMetrics;
 use crate::migrate::UserSnapshot;
 use crate::pcef::PcefAction;
-use crate::procedure::{Disposition, ProcState, SigMsg, UeMachine, MAILBOX_CAP};
+use crate::procedure::{Disposition, ProcState, SigMsg, UeMachine, MAILBOX_CAP, PAGING_MAX_RETX, PAGING_RETX_TICKS};
 use crate::proxy::Proxy;
 use crate::slab::{UeHandle, UeRef, UeSlab};
 use crate::state::{ControlState, CounterSnapshot, CounterState, DeviceClass, QosPolicy, Uid};
@@ -46,8 +46,8 @@ pub enum CtrlEvent {
     ModifyBearer { imsi: u64, ambr_kbps: u32 },
     /// Detach: remove all state.
     Detach { imsi: u64 },
-    /// S1 Release: the UE goes idle; its state is demoted to the
-    /// secondary table (two-level management, §3.2).
+    /// S1 Release: the UE goes idle — data-path suspended (tunnels torn
+    /// down, context retained), downlink buffered behind a page.
     Release { imsi: u64 },
 }
 
@@ -100,6 +100,14 @@ pub struct ControlPlane {
     /// eNodeB-UE-id → IMSI routing index, maintained by the dispatcher
     /// (the S1 association a UE last signaled on).
     by_enb_ue_id: HashMap<u32, u64>,
+    /// UEs in ECM-IDLE: released from the radio but still attached
+    /// (context retained). Gates `PageTrigger` staleness. A `BTreeSet`
+    /// so iteration stays deterministic.
+    idle_ues: std::collections::BTreeSet<u64>,
+    /// PDUs emitted by the supervision-timer sweep (paging
+    /// retransmissions, post-expiry mailbox drains) — there is no inbound
+    /// PDU to answer, so they stage here until the wiring drains them.
+    pending_tx: Vec<S1apPdu>,
     /// Current tick on the supervising clock (drives procedure expiry).
     proc_tick: u64,
     metrics: CtrlMetrics,
@@ -147,6 +155,8 @@ impl ControlPlane {
             proxy,
             machines: HashMap::new(),
             by_enb_ue_id: HashMap::new(),
+            idle_ues: std::collections::BTreeSet::new(),
+            pending_tx: Vec::new(),
             proc_tick: 0,
             metrics: CtrlMetrics::default(),
             dirty: std::collections::BTreeSet::new(),
@@ -300,6 +310,7 @@ impl ControlPlane {
                     (c.guti, c.tunnels.gw_teid, c.ue_ip)
                 };
                 self.by_guti.remove(guti);
+                self.idle_ues.remove(&imsi);
                 self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
                 self.metrics.detaches += 1;
                 self.dirty.insert(imsi);
@@ -335,7 +346,7 @@ impl ControlPlane {
                 }
             }
             CtrlEvent::Detach { imsi } => self.do_detach(imsi),
-            CtrlEvent::Release { imsi } => self.demote_user(imsi),
+            CtrlEvent::Release { imsi } => self.suspend_user(imsi),
         }
     }
 
@@ -482,6 +493,15 @@ impl ControlPlane {
                     None => Routed::Discard,
                 }
             }
+            S1apPdu::UeContextReleaseRequest { enb_ue_id, mme_ue_id, cause } => {
+                match self.by_mme_ue_id.get(mme_ue_id).copied().or_else(|| self.by_enb_ue_id.get(enb_ue_id).copied()) {
+                    Some(imsi) => Routed::Ue(
+                        imsi,
+                        SigMsg::ReleaseReq { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id, cause: *cause },
+                    ),
+                    None => Routed::Discard,
+                }
+            }
             // A completed release needs no further action.
             S1apPdu::UeContextReleaseComplete { .. } => Routed::Immediate(vec![]),
             // MME-originated PDUs arriving inbound are protocol errors;
@@ -592,6 +612,14 @@ impl ControlPlane {
                 self.metrics.detaches -= 1;
             }
         }
+        // A preempted/aborted page closes its side of the paging identity
+        // here. No explicit buffer drop: the preemptor either removes the
+        // user (detach — `Remove` drops the buffer) or re-activates it
+        // (attach — `Insert` flushes the buffer).
+        if let ProcState::PagingWait { mme_ue_id, .. } = m.state {
+            self.metrics.paging_expired += 1;
+            self.by_mme_ue_id.remove(&mme_ue_id);
+        }
         m.state = ProcState::Idle;
         m.preexisting = false;
         m.last_tx.clear();
@@ -610,6 +638,9 @@ impl ControlPlane {
             }
             SigMsg::HoRequired { enb_ue_id, mme_ue_id } => self.step_ho_required(m, enb_ue_id, mme_ue_id),
             SigMsg::HoAck { new_enb_teid, new_enb_ip, .. } => self.step_ho_ack(m, new_enb_teid, new_enb_ip),
+            SigMsg::ReleaseReq { enb_ue_id, mme_ue_id, .. } => self.step_release(m, enb_ue_id, mme_ue_id),
+            SigMsg::PageTrigger { .. } => self.step_page_trigger(m),
+            SigMsg::NetDetach { .. } => self.step_net_detach(m),
         };
         m.last_tx = out.clone();
         out
@@ -631,6 +662,7 @@ impl ControlPlane {
                 (c.guti, c.ue_ip, c.tunnels.gw_teid, c.qos.ambr_kbps)
             };
             self.pending_updates.push(DpUpdate::Insert { gw_teid, ue_ip, handle, active: true });
+            self.idle_ues.remove(&imsi);
             self.dirty.insert(imsi);
             let mme_ue_id = match self.by_mme_ue_id.iter().filter(|(_, u)| **u == imsi).map(|(id, _)| *id).min() {
                 Some(id) => id,
@@ -695,6 +727,16 @@ impl ControlPlane {
         }
         let imsi = m.imsi;
         self.by_enb_ue_id.insert(enb_ue_id, imsi);
+        // The UE answered a page: the paging procedure resolves here and
+        // the service request takes over (its Insert wakes the data path
+        // and flushes the idle buffer).
+        if let ProcState::PagingWait { mme_ue_id: page_id, .. } = m.state {
+            self.metrics.proc_completed += 1;
+            self.metrics.paging_resolved += 1;
+            self.by_mme_ue_id.remove(&page_id);
+            m.state = ProcState::Idle;
+        }
+        self.idle_ues.remove(&imsi);
         let handle = *self.users.get(imsi).expect("GUTI check above resolved the user");
         let (gw_teid, ue_ip) = {
             let ctx = self.slab.resolve(handle).expect("indexed handle is live");
@@ -905,6 +947,91 @@ impl ControlPlane {
         }
     }
 
+    /// S1 Release (active→idle): suspend the user's data path — tunnels
+    /// torn down, context retained — and answer with the release command.
+    /// Single-shot: the UE stays attached and reachable via paging.
+    fn step_release(&mut self, m: &mut UeMachine, enb_ue_id: u32, mme_ue_id: u32) -> Vec<S1apPdu> {
+        let imsi = m.imsi;
+        // Re-check: a deferred release may outlive the user.
+        if !self.users.contains_key(imsi) {
+            return vec![];
+        }
+        self.metrics.proc_started += 1;
+        self.metrics.proc_completed += 1;
+        if self.suspend_user(imsi) {
+            self.metrics.releases += 1;
+        }
+        vec![S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id, cause: cause::SUCCESS }]
+    }
+
+    /// Network-triggered paging: downlink arrived for an idle UE. Start a
+    /// `PagingWait` procedure and emit the paging PDU; the supervision
+    /// tick retransmits it until the UE answers with a Service Request or
+    /// the retry budget is exhausted.
+    fn step_page_trigger(&mut self, m: &mut UeMachine) -> Vec<S1apPdu> {
+        let imsi = m.imsi;
+        // Stale trigger: the UE re-activated or detached before the
+        // trigger drained. Consumed as a no-op.
+        if !self.idle_ues.contains(&imsi) {
+            return vec![];
+        }
+        let Some(handle) = self.users.get(imsi).copied() else { return vec![] };
+        let guti = match self.slab.resolve(handle) {
+            Some(ctx) => ctx.ctrl_read().guti,
+            None => return vec![],
+        };
+        let mme_ue_id = self.next_mme_ue_id;
+        self.next_mme_ue_id += 1;
+        self.by_mme_ue_id.insert(mme_ue_id, imsi);
+        self.metrics.paged += 1;
+        self.metrics.proc_started += 1;
+        m.state = ProcState::PagingWait {
+            imsi,
+            mme_ue_id,
+            retries: 0,
+            next_retx: self.proc_tick.saturating_add(PAGING_RETX_TICKS),
+        };
+        vec![S1apPdu::Paging { mme_ue_id, guti }]
+    }
+
+    /// Network-triggered detach (subscription withdrawn, operator
+    /// action): tear the user down and tell the UE and the eNodeB.
+    /// Single-shot; preempts any in-flight procedure via `dispose`.
+    fn step_net_detach(&mut self, m: &mut UeMachine) -> Vec<S1apPdu> {
+        let imsi = m.imsi;
+        if !self.users.contains_key(imsi) {
+            return vec![];
+        }
+        let enb_ue_id = m.enb_ue_id;
+        let mme_ue_id = self.by_mme_ue_id.iter().find(|(_, u)| **u == imsi).map(|(id, _)| *id).unwrap_or(0);
+        self.by_mme_ue_id.retain(|_, u| *u != imsi);
+        self.do_detach(imsi);
+        self.metrics.proc_started += 1;
+        self.metrics.proc_completed += 1;
+        vec![
+            S1apPdu::DownlinkNasTransport {
+                enb_ue_id,
+                mme_ue_id,
+                nas: NasMsg::NetworkDetachRequest { cause: cause::NETWORK_FAILURE }.encode(),
+            },
+            S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id, cause: cause::NETWORK_FAILURE },
+        ]
+    }
+
+    /// Suspend `imsi`'s data path: unindex it from the forwarding tables
+    /// (context retained in the slab) so downlink buffers behind a page.
+    fn suspend_user(&mut self, imsi: u64) -> bool {
+        match self.keys_of(imsi) {
+            Some((gw_teid, ue_ip)) => {
+                self.pending_updates.push(DpUpdate::Suspend { gw_teid, ue_ip, imsi });
+                self.idle_ues.insert(imsi);
+                self.dirty.insert(imsi);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Put a machine back, or retire it if quiescent (idle with an empty
     /// mailbox) so the table only holds UEs with signaling in flight.
     fn retire_or_keep(&mut self, m: UeMachine) {
@@ -921,6 +1048,10 @@ impl ControlPlane {
             self.metrics.sig_dropped += m.mailbox.len() as u64;
             if m.in_flight() {
                 self.metrics.proc_aborted += 1;
+                if let ProcState::PagingWait { mme_ue_id, .. } = m.state {
+                    self.metrics.paging_expired += 1;
+                    self.by_mme_ue_id.remove(&mme_ue_id);
+                }
             }
         }
         self.by_enb_ue_id.retain(|_, u| *u != imsi);
@@ -936,6 +1067,64 @@ impl ControlPlane {
         // migration/shrink so idle slices still converge to the compact
         // layout after a mass detach.
         self.maintain_tables();
+        self.page_retx_sweep(now);
+    }
+
+    /// Timer-driven paging retransmission: every `PAGING_RETX_TICKS`
+    /// ticks a silent page is re-sent, up to `PAGING_MAX_RETX` times;
+    /// after that the page expires — the idle buffer is dropped and the
+    /// UE stays attached-idle. Deterministic tick arithmetic, IMSI order.
+    fn page_retx_sweep(&mut self, now: u64) {
+        let mut due: Vec<u64> = self
+            .machines
+            .iter()
+            .filter(|(_, m)| matches!(m.state, ProcState::PagingWait { next_retx, .. } if next_retx <= now))
+            .map(|(imsi, _)| *imsi)
+            .collect();
+        due.sort_unstable();
+        for key in due {
+            let Some(mut m) = self.machines.remove(&key) else { continue };
+            let ProcState::PagingWait { imsi, mme_ue_id, retries, .. } = m.state else {
+                self.machines.insert(key, m);
+                continue;
+            };
+            if retries >= PAGING_MAX_RETX {
+                // Escalation exhausted: drop the buffered downlink; the
+                // suspension itself persists until the UE signals.
+                self.metrics.paging_expired += 1;
+                self.metrics.proc_expired += 1;
+                self.by_mme_ue_id.remove(&mme_ue_id);
+                if let Some((_, ue_ip)) = self.keys_of(imsi) {
+                    self.pending_updates.push(DpUpdate::DropIdleBuffer { ue_ip });
+                }
+                m.state = ProcState::Idle;
+                m.last_tx.clear();
+                // Messages deferred behind the page can run now; their
+                // replies have no inbound PDU to answer, so they stage in
+                // `pending_tx`.
+                while !m.in_flight() {
+                    match m.mailbox.pop_front() {
+                        Some(next) => {
+                            let out = self.deliver_one(&mut m, next);
+                            self.pending_tx.extend(out);
+                        }
+                        None => break,
+                    }
+                }
+                self.retire_or_keep(m);
+            } else {
+                self.metrics.paging_retx += 1;
+                m.state = ProcState::PagingWait {
+                    imsi,
+                    mme_ue_id,
+                    retries: retries + 1,
+                    next_retx: now.saturating_add(PAGING_RETX_TICKS),
+                };
+                m.last_progress = now;
+                self.pending_tx.extend(m.last_tx.iter().cloned());
+                self.machines.insert(key, m);
+            }
+        }
     }
 
     /// Expire procedures that made no progress for more than `max_age`
@@ -956,16 +1145,28 @@ impl ControlPlane {
         // HashMap iteration order is arbitrary; expire in IMSI order so
         // replication and the simulator stay deterministic.
         stale.sort_unstable();
-        let n = stale.len();
+        let mut n = 0;
         for imsi in stale {
-            let mut m = self.machines.remove(&imsi).expect("selected above");
+            // An earlier iteration's abort compensation (rollback detach)
+            // may already have dropped this machine — re-check membership
+            // instead of trusting the pre-collected list.
+            let Some(mut m) = self.machines.remove(&imsi) else { continue };
             self.metrics.sig_dropped += m.mailbox.len() as u64;
             m.mailbox.clear();
             if m.in_flight() {
+                let was_paging = matches!(m.state, ProcState::PagingWait { .. });
                 self.abort_machine(&mut m);
                 self.metrics.proc_expired += 1;
+                // `abort_machine` closed the paging identity; the buffered
+                // downlink must go with it (nothing will flush it).
+                if was_paging {
+                    if let Some((_, ue_ip)) = self.keys_of(imsi) {
+                        self.pending_updates.push(DpUpdate::DropIdleBuffer { ue_ip });
+                    }
+                }
             }
             self.by_enb_ue_id.retain(|_, u| *u != imsi);
+            n += 1;
         }
         n
     }
@@ -1002,15 +1203,59 @@ impl ControlPlane {
     }
 
     /// Active→idle: release a user's radio context (inactivity or an
-    /// eNodeB request), demoting its state to the secondary table.
+    /// eNodeB request). The data path is suspended — tunnels torn down,
+    /// context retained — so later downlink buffers behind a page.
     /// Returns the S1AP release command for the eNodeB.
     pub fn release_user(&mut self, imsi: u64, enb_ue_id: u32) -> Option<S1apPdu> {
-        if !self.demote_user(imsi) {
+        if !self.suspend_user(imsi) {
             return None;
         }
         self.metrics.releases += 1;
         let mme_ue_id = self.by_mme_ue_id.iter().find(|(_, u)| **u == imsi).map(|(m, _)| *m).unwrap_or(0);
         Some(S1apPdu::UeContextReleaseCommand { enb_ue_id, mme_ue_id, cause: cause::SUCCESS })
+    }
+
+    /// Network-triggered page for an idle UE (downlink arrived while
+    /// suspended). Counted as inbound signaling so the conservation
+    /// identities hold without special cases.
+    pub fn page(&mut self, imsi: u64) -> Vec<S1apPdu> {
+        self.metrics.s1ap_rx += 1;
+        self.deliver(imsi, SigMsg::PageTrigger { imsi })
+    }
+
+    /// Network-triggered detach (operator action / subscription
+    /// withdrawn). Counted as inbound signaling like [`Self::page`].
+    pub fn network_detach(&mut self, imsi: u64) -> Vec<S1apPdu> {
+        self.metrics.s1ap_rx += 1;
+        self.deliver(imsi, SigMsg::NetDetach { imsi })
+    }
+
+    /// Pages still waiting for the UE to answer — the `paging_in_flight`
+    /// term of `paged == paging_resolved + paging_expired + in_flight`.
+    pub fn paging_in_flight(&self) -> u64 {
+        self.machines.values().filter(|m| matches!(m.state, ProcState::PagingWait { .. })).count() as u64
+    }
+
+    /// Whether `imsi` has a paging procedure in flight.
+    pub fn is_paging(&self, imsi: u64) -> bool {
+        self.machines.get(&imsi).is_some_and(|m| matches!(m.state, ProcState::PagingWait { .. }))
+    }
+
+    /// Number of attached UEs currently in ECM-IDLE (suspended).
+    pub fn idle_user_count(&self) -> usize {
+        self.idle_ues.len()
+    }
+
+    /// Whether `imsi` is attached but suspended (ECM-IDLE).
+    pub fn is_idle(&self, imsi: u64) -> bool {
+        self.idle_ues.contains(&imsi)
+    }
+
+    /// Drain PDUs emitted by the supervision sweep (paging retransmits
+    /// and post-expiry mailbox drains) — they have no inbound PDU whose
+    /// reply could carry them.
+    pub fn take_pending_tx(&mut self) -> Vec<S1apPdu> {
+        std::mem::take(&mut self.pending_tx)
     }
 
     /// Queue a demotion of `imsi` to the data plane's secondary table
@@ -1045,6 +1290,7 @@ impl ControlPlane {
         let (guti, gw_teid, ue_ip) = (ctrl.guti, ctrl.tunnels.gw_teid, ctrl.ue_ip);
         self.by_guti.remove(guti);
         self.by_mme_ue_id.retain(|_, u| *u != imsi);
+        self.idle_ues.remove(&imsi);
         self.pending_updates.push(DpUpdate::Remove { gw_teid, ue_ip });
         self.metrics.migrations_out += 1;
         self.dirty.insert(imsi);
@@ -1555,6 +1801,132 @@ mod tests {
         assert_eq!(cp.counters_of(7).unwrap().downlink_bytes, 555);
         assert!(cp.counters_of(8).is_none());
     }
+
+    /// Attach imsi 1 via full S1AP, then release it to idle. Returns its
+    /// GUTI.
+    fn attach_and_release(cp: &mut ControlPlane) -> u64 {
+        let (guti, ..) = run_attach_procedure(cp, 1, 10, 0x500, 0xC0A80001).expect("attach");
+        cp.take_updates();
+        let rsp = cp.handle_s1ap(&S1apPdu::UeContextReleaseRequest { enb_ue_id: 10, mme_ue_id: 1, cause: 0 });
+        assert!(matches!(rsp.as_slice(), [S1apPdu::UeContextReleaseCommand { .. }]));
+        assert!(matches!(cp.take_updates().as_slice(), [DpUpdate::Suspend { imsi: 1, .. }]));
+        assert!(cp.is_idle(1));
+        guti
+    }
+
+    fn assert_identities(cp: &ControlPlane) {
+        let m = cp.metrics();
+        assert!(m.signaling_conservation_holds(cp.mailbox_backlog()), "signaling: {m:?}");
+        assert!(m.procedure_accounting_holds(cp.procedures_in_flight()), "procedures: {m:?}");
+        assert!(m.paging_accounting_holds(cp.paging_in_flight()), "paging: {m:?}");
+    }
+
+    #[test]
+    fn page_resolves_via_service_request_and_wakes_user() {
+        let mut cp = cp_with_backends(4);
+        let guti = attach_and_release(&mut cp);
+        let out = cp.page(1);
+        let paged_id = match out.as_slice() {
+            [S1apPdu::Paging { mme_ue_id, guti: g }] => {
+                assert_eq!(*g, guti);
+                *mme_ue_id
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(cp.paging_in_flight(), 1);
+        assert_identities(&cp);
+        // The UE answers with a Service Request on a fresh S1 association.
+        let rsp = cp.handle_s1ap(&S1apPdu::InitialUeMessage {
+            enb_ue_id: 11,
+            ecgi: 0x100,
+            tac: 1,
+            nas: NasMsg::ServiceRequest { guti }.encode(),
+        });
+        assert!(matches!(rsp.as_slice(), [S1apPdu::DownlinkNasTransport { .. }]));
+        assert_eq!(cp.metrics().paging_resolved, 1);
+        assert_eq!(cp.paging_in_flight(), 0);
+        assert!(!cp.is_idle(1));
+        // The wake re-announces the user as active (flushing its buffer).
+        assert!(cp.take_updates().iter().any(|u| matches!(u, DpUpdate::Insert { active: true, .. })));
+        // The page's interim mme_ue_id was retired with the procedure.
+        let _ = paged_id;
+        assert_identities(&cp);
+    }
+
+    #[test]
+    fn page_retransmits_then_expires_and_drops_buffer() {
+        let mut cp = cp_with_backends(4);
+        attach_and_release(&mut cp);
+        assert_eq!(cp.page(1).len(), 1);
+        // Each PAGING_RETX_TICKS of silence re-sends the page...
+        for i in 1..=PAGING_MAX_RETX as u64 {
+            cp.note_tick(i * PAGING_RETX_TICKS);
+            let tx = cp.take_pending_tx();
+            assert!(matches!(tx.as_slice(), [S1apPdu::Paging { .. }]), "retx {i}: {tx:?}");
+            assert_identities(&cp);
+        }
+        assert_eq!(cp.metrics().paging_retx, u64::from(PAGING_MAX_RETX));
+        // ...until the budget is exhausted: the page expires, the idle
+        // buffer is dropped, and the UE stays attached-idle.
+        cp.note_tick((u64::from(PAGING_MAX_RETX) + 1) * PAGING_RETX_TICKS);
+        assert!(cp.take_pending_tx().is_empty());
+        assert_eq!(cp.metrics().paging_expired, 1);
+        assert_eq!(cp.paging_in_flight(), 0);
+        assert!(matches!(cp.take_updates().as_slice(), [DpUpdate::DropIdleBuffer { .. }]));
+        assert!(cp.is_idle(1), "expiry keeps the UE attached-idle");
+        assert_eq!(cp.user_count(), 1);
+        assert_identities(&cp);
+        // A later page starts a fresh procedure.
+        assert_eq!(cp.page(1).len(), 1);
+        assert_eq!(cp.metrics().paged, 2);
+        assert_identities(&cp);
+    }
+
+    #[test]
+    fn page_trigger_for_active_user_is_a_stale_no_op() {
+        let mut cp = cp_with_backends(4);
+        run_attach_procedure(&mut cp, 1, 10, 0x500, 0xC0A80001).expect("attach");
+        cp.take_updates();
+        assert!(cp.page(1).is_empty(), "active UE is not paged");
+        assert_eq!(cp.metrics().paged, 0);
+        assert!(cp.page(999).is_empty(), "unknown UE is not paged");
+        assert_identities(&cp);
+    }
+
+    #[test]
+    fn network_detach_tears_down_idle_user_mid_page() {
+        let mut cp = cp_with_backends(4);
+        attach_and_release(&mut cp);
+        cp.page(1);
+        let out = cp.network_detach(1);
+        assert!(matches!(
+            out.as_slice(),
+            [S1apPdu::DownlinkNasTransport { .. }, S1apPdu::UeContextReleaseCommand { .. }]
+        ));
+        assert_eq!(cp.user_count(), 0);
+        assert!(!cp.is_idle(1));
+        // The preempted page closed as expired; the Remove drops the
+        // buffered downlink on the data plane.
+        assert_eq!(cp.metrics().paging_expired, 1);
+        assert_eq!(cp.metrics().proc_preempted, 1);
+        assert!(cp.take_updates().iter().any(|u| matches!(u, DpUpdate::Remove { .. })));
+        assert_identities(&cp);
+        // Detaching again is a consumed no-op.
+        assert!(cp.network_detach(1).is_empty());
+        assert_identities(&cp);
+    }
+
+    #[test]
+    fn duplicate_page_trigger_dedups_against_cached_tx() {
+        let mut cp = cp_with_backends(4);
+        attach_and_release(&mut cp);
+        let first = cp.page(1);
+        let second = cp.page(1);
+        assert_eq!(first, second, "dup trigger re-answers from last_tx");
+        assert_eq!(cp.metrics().paged, 1, "one paging procedure, not two");
+        assert_eq!(cp.metrics().proc_deduped, 1);
+        assert_identities(&cp);
+    }
 }
 
 #[cfg(test)]
@@ -1636,7 +2008,7 @@ mod pcrf_reporting_tests {
     }
 
     #[test]
-    fn release_user_demotes_and_commands_enb() {
+    fn release_user_suspends_and_commands_enb() {
         let mut cp =
             ControlPlane::new(1, 1, Allocator { teid_base: 1, ue_ip_base: 1, guti_base: 1, mme_ue_id_base: 1 }, None);
         cp.apply_event(CtrlEvent::Attach { imsi: 7 });
@@ -1645,7 +2017,9 @@ mod pcrf_reporting_tests {
         assert!(matches!(pdu, S1apPdu::UeContextReleaseCommand { enb_ue_id: 3, .. }));
         assert_eq!(cp.metrics().releases, 1);
         let ups = cp.take_updates();
-        assert!(matches!(ups.as_slice(), [DpUpdate::Demote { .. }]));
+        assert!(matches!(ups.as_slice(), [DpUpdate::Suspend { imsi: 7, .. }]));
+        assert!(cp.is_idle(7));
+        assert_eq!(cp.idle_user_count(), 1);
         assert!(cp.release_user(999, 1).is_none());
     }
 }

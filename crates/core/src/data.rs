@@ -70,6 +70,7 @@ use crate::twolevel::TwoLevelTable;
 use pepc_net::gtp::{encap_gtpu, GTPU_OVERHEAD};
 use pepc_net::{classify_fast, BpfProgram, FiveTuple, Mbuf, PktClass};
 use pepc_telemetry::LatencyHistogram;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,6 +86,14 @@ pub enum DpUpdate {
     Remove { gw_teid: u32, ue_ip: u32 },
     /// Demote an idle user to the secondary table (two-level management).
     Demote { gw_teid: u32, ue_ip: u32 },
+    /// S1 release: unindex the user from both lookup tables but *keep*
+    /// the slab slot (context retained while idle). Downlink for the UE
+    /// is buffered (bounded) and surfaces a paging event; uplink is
+    /// dropped until a Service Request re-inserts it.
+    Suspend { gw_teid: u32, ue_ip: u32, imsi: u64 },
+    /// Paging gave up (retransmissions exhausted): discard the UE's
+    /// buffered downlink as `drop_idle_expired`. The UE stays suspended.
+    DropIdleBuffer { ue_ip: u32 },
     /// Install a PCEF rule program slice-wide.
     InstallRule { id: u16, program: BpfProgram, action: PcefAction },
 }
@@ -96,6 +105,10 @@ pub enum DropReason {
     GateClosed,
     RateExceeded,
     Malformed,
+    /// Downlink for a suspended (idle) UE whose idle buffer is full.
+    IdleOverflow,
+    /// Uplink from a suspended UE (it must Service Request first).
+    IdleUplink,
 }
 
 /// Outcome of processing one packet.
@@ -105,6 +118,10 @@ pub enum PacketVerdict {
     Forward(Mbuf),
     /// Drop it.
     Drop(DropReason),
+    /// Downlink parked in a suspended UE's idle buffer; it re-emerges
+    /// from [`DataPlane::take_woken`] when the UE wakes (or is dropped
+    /// as `drop_idle_expired` if the page expires first).
+    Buffered,
 }
 
 impl PacketVerdict {
@@ -139,12 +156,46 @@ enum Slot {
 enum Decision {
     Forward,
     Drop(DropReason),
+    /// The mbuf was already moved into a suspended UE's idle buffer
+    /// (the slot in the burst holds an empty placeholder).
+    Buffered,
+}
+
+/// Default per-UE idle downlink buffer depth (packets parked while the
+/// UE is paged). Tunable via [`DataPlane::set_idle_buffer_cap`].
+pub const IDLE_BUF_CAP: usize = 4;
+
+/// A UE parked by [`DpUpdate::Suspend`]: out of the lookup tables, slab
+/// slot retained, downlink queued here until it wakes.
+struct SuspendedUe {
+    imsi: u64,
+    handle: UeHandle,
+    gw_teid: u32,
+    /// Bounded by the plane's `idle_buf_cap`.
+    buf: VecDeque<Mbuf>,
+    /// Arrival tick of the oldest packet currently in `buf` (stuck-idle
+    /// oracle input); meaningless while `buf` is empty, refreshed on the
+    /// empty→non-empty transition.
+    oldest_ns: u64,
 }
 
 /// The data plane of one slice. Owned by exactly one thread.
 pub struct DataPlane {
     by_teid: TwoLevelTable<UeHandle>,
     by_ue_ip: TwoLevelTable<UeHandle>,
+    /// Suspended (idle) UEs keyed by UE IP — consulted only on a
+    /// downlink table miss, so the hot path never touches it.
+    suspended_by_ip: HashMap<u32, SuspendedUe>,
+    /// Uplink-side view of the suspended set: gateway TEID → UE IP.
+    suspended_by_teid: HashMap<u32, u32>,
+    /// Per-UE idle buffer depth (see [`IDLE_BUF_CAP`]).
+    idle_buf_cap: usize,
+    /// IMSIs whose idle buffer went empty→non-empty since the last
+    /// [`Self::take_paging_events`]: each asks the control plane to page.
+    paging_events: Vec<u64>,
+    /// Buffered downlink flushed by a wake-up, already GTP-U encapped
+    /// toward the re-established eNodeB tunnel.
+    woken: Vec<Mbuf>,
     /// The slice's context arena, shared with the control plane (and, in
     /// sharded mode, every sibling shard).
     slab: Arc<UeSlab>,
@@ -224,6 +275,11 @@ impl DataPlane {
         DataPlane {
             by_teid,
             by_ue_ip,
+            suspended_by_ip: HashMap::new(),
+            suspended_by_teid: HashMap::new(),
+            idle_buf_cap: IDLE_BUF_CAP,
+            paging_events: Vec::new(),
+            woken: Vec::new(),
             slab,
             pcef: Pcef::new(),
             iot,
@@ -264,6 +320,13 @@ impl DataPlane {
         self.metrics.updates_applied += 1;
         match update {
             DpUpdate::Insert { gw_teid, ue_ip, handle, active } => {
+                // A Service Request re-inserting a suspended UE wakes it:
+                // pull it out of the parking maps first, then flush its
+                // idle buffer through the freshly indexed tunnel.
+                let woke = self.suspended_by_ip.remove(&ue_ip);
+                if let Some(s) = &woke {
+                    self.suspended_by_teid.remove(&s.gw_teid);
+                }
                 if active {
                     self.by_teid.insert_active(u64::from(gw_teid), handle, now_ns);
                     self.by_ue_ip.insert_active(u64::from(ue_ip), handle, now_ns);
@@ -271,8 +334,21 @@ impl DataPlane {
                     self.by_teid.insert_idle(u64::from(gw_teid), handle);
                     self.by_ue_ip.insert_idle(u64::from(ue_ip), handle);
                 }
+                if let Some(s) = woke {
+                    self.flush_idle_buffer(s, handle);
+                }
             }
             DpUpdate::Remove { gw_teid, ue_ip } => {
+                // A detach can land while the UE is suspended (parked
+                // outside the tables): drop its buffered downlink and
+                // free the retained slot.
+                if let Some(s) = self.suspended_by_ip.remove(&ue_ip) {
+                    self.suspended_by_teid.remove(&s.gw_teid);
+                    let n = s.buf.len() as u64;
+                    self.metrics.drop_idle_expired += n;
+                    self.metrics.idle_buffered -= n;
+                    self.slab.free(s.handle);
+                }
                 // Free-at-Remove: unindex both keys, then release the
                 // slot. Updates and packets are serialized on this
                 // thread, so no in-flight packet can still resolve the
@@ -288,9 +364,54 @@ impl DataPlane {
                 self.by_teid.demote(u64::from(gw_teid));
                 self.by_ue_ip.demote(u64::from(ue_ip));
             }
+            DpUpdate::Suspend { gw_teid, ue_ip, imsi } => {
+                let h = self.by_teid.remove(u64::from(gw_teid));
+                let h2 = self.by_ue_ip.remove(u64::from(ue_ip));
+                if let Some(handle) = h.or(h2) {
+                    // Context retained: the slot is NOT freed, only the
+                    // indexes forget the UE.
+                    self.suspended_by_teid.insert(gw_teid, ue_ip);
+                    self.suspended_by_ip
+                        .insert(ue_ip, SuspendedUe { imsi, handle, gw_teid, buf: VecDeque::new(), oldest_ns: now_ns });
+                }
+            }
+            DpUpdate::DropIdleBuffer { ue_ip } => {
+                if let Some(s) = self.suspended_by_ip.get_mut(&ue_ip) {
+                    let n = s.buf.len() as u64;
+                    s.buf.clear();
+                    self.metrics.drop_idle_expired += n;
+                    self.metrics.idle_buffered -= n;
+                }
+            }
             DpUpdate::InstallRule { id, program, action } => {
                 self.pcef.install(id, program, action);
             }
+        }
+    }
+
+    /// Drain a woken UE's idle buffer: GTP-U encap each parked downlink
+    /// packet toward the re-established eNodeB tunnel and count it
+    /// forwarded (`forwarded_on_wake`). Packets surface via
+    /// [`Self::take_woken`].
+    fn flush_idle_buffer(&mut self, mut s: SuspendedUe, handle: UeHandle) {
+        let tunnels = self.slab.resolve(handle).map(|r| r.ctrl_view().tunnels);
+        let Some(t) = tunnels else {
+            // Stale handle (defensive): account the buffer as expired.
+            let n = s.buf.len() as u64;
+            self.metrics.drop_idle_expired += n;
+            self.metrics.idle_buffered -= n;
+            return;
+        };
+        let (enb_ip, enb_teid, gw_ip) = (t.enb_ip, t.enb_teid, self.gw_ip);
+        for mut m in s.buf.drain(..) {
+            self.metrics.idle_buffered -= 1;
+            if encap_gtpu(&mut m, gw_ip, enb_ip, enb_teid).is_err() {
+                self.metrics.drop_malformed += 1;
+                continue;
+            }
+            self.metrics.forwarded += 1;
+            self.metrics.forwarded_on_wake += 1;
+            self.woken.push(m);
         }
     }
 
@@ -331,10 +452,9 @@ impl DataPlane {
                         d
                     }
                     None => {
-                        // Table miss, or (defensively) a stale handle —
-                        // either way the user is not attached here.
-                        self.metrics.drop_unknown_user += 1;
-                        Decision::Drop(DropReason::UnknownUser)
+                        // Table miss: a suspended (idle) UE, or truly
+                        // unknown.
+                        self.idle_or_unknown(uplink, key, &mut m, now_ns)
                     }
                 }
             }
@@ -345,7 +465,36 @@ impl DataPlane {
         match decision {
             Decision::Forward => PacketVerdict::Forward(m),
             Decision::Drop(r) => PacketVerdict::Drop(r),
+            Decision::Buffered => PacketVerdict::Buffered,
         }
+    }
+
+    /// Lookup-miss resolution shared by the scalar and burst paths: a
+    /// suspended UE buffers downlink (bounded, raising a paging event on
+    /// the first parked packet) and rejects uplink; anything else is an
+    /// unknown user. On `Buffered` the mbuf is moved into the idle
+    /// buffer and an empty placeholder left behind.
+    fn idle_or_unknown(&mut self, uplink: bool, key: u64, m: &mut Mbuf, now_ns: u64) -> Decision {
+        if uplink {
+            if self.suspended_by_teid.contains_key(&(key as u32)) {
+                self.metrics.drop_idle_uplink += 1;
+                return Decision::Drop(DropReason::IdleUplink);
+            }
+        } else if let Some(s) = self.suspended_by_ip.get_mut(&(key as u32)) {
+            if s.buf.len() < self.idle_buf_cap {
+                if s.buf.is_empty() {
+                    s.oldest_ns = now_ns;
+                    self.paging_events.push(s.imsi);
+                }
+                s.buf.push_back(std::mem::replace(m, Mbuf::new()));
+                self.metrics.idle_buffered += 1;
+                return Decision::Buffered;
+            }
+            self.metrics.drop_idle_overflow += 1;
+            return Decision::Drop(DropReason::IdleOverflow);
+        }
+        self.metrics.drop_unknown_user += 1;
+        Decision::Drop(DropReason::UnknownUser)
     }
 
     /// Process a whole burst, returning one verdict per packet in input
@@ -394,6 +543,10 @@ impl DataPlane {
         self.decisions.resize(n, Decision::Drop(DropReason::Malformed));
         self.groups.clear();
         let mut last_ptr: *const UeContext = std::ptr::null();
+        // Walks `slots` and `burst` in lockstep while calling `&mut self`
+        // helpers; an iterator over either would pin a borrow the other
+        // side needs.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let Slot::Lookup { uplink, key, .. } = self.slots[k] else {
                 last_ptr = std::ptr::null();
@@ -415,8 +568,8 @@ impl DataPlane {
                     }
                 }
                 None => {
-                    self.metrics.drop_unknown_user += 1;
-                    self.slots[k] = Slot::Done(Decision::Drop(DropReason::UnknownUser));
+                    let d = self.idle_or_unknown(uplink, key, &mut burst[k], now_ns);
+                    self.slots[k] = Slot::Done(d);
                     last_ptr = std::ptr::null();
                 }
             }
@@ -457,6 +610,9 @@ impl DataPlane {
             match self.decisions[k] {
                 Decision::Forward => out.push(PacketVerdict::Forward(m)),
                 Decision::Drop(r) => out.push(PacketVerdict::Drop(r)),
+                // The real mbuf already moved into the idle buffer; `m`
+                // is the placeholder.
+                Decision::Buffered => out.push(PacketVerdict::Buffered),
             }
         }
 
@@ -669,6 +825,47 @@ impl DataPlane {
     /// Data-plane metrics snapshot.
     pub fn metrics(&self) -> DataMetrics {
         self.metrics
+    }
+
+    /// Bound the per-UE idle downlink buffer (default [`IDLE_BUF_CAP`]).
+    /// Applies to future arrivals; already-buffered packets stay.
+    pub fn set_idle_buffer_cap(&mut self, cap: usize) {
+        self.idle_buf_cap = cap;
+    }
+
+    /// IMSIs that need paging (first downlink parked since the last
+    /// drain). The control plane turns each into a `PageTrigger`.
+    pub fn take_paging_events(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.paging_events)
+    }
+
+    /// Buffered downlink released by UE wake-ups since the last drain,
+    /// already encapped toward the re-established tunnels (counted in
+    /// `forwarded` / `forwarded_on_wake` at flush time).
+    pub fn take_woken(&mut self) -> Vec<Mbuf> {
+        std::mem::take(&mut self.woken)
+    }
+
+    /// Suspended UEs currently holding buffered downlink, as
+    /// `(imsi, buffered_packets, oldest_arrival_ns)` — input to the
+    /// stuck-idle oracle (a UE with parked packets, no page in flight,
+    /// and no wake-up within the bound is stuck). The timestamp is the
+    /// arrival of the oldest packet still buffered, not the suspension
+    /// time: a long-idle UE that just received downlink is not stuck.
+    pub fn idle_buffered_report(&self) -> Vec<(u64, usize, u64)> {
+        let mut v: Vec<(u64, usize, u64)> = self
+            .suspended_by_ip
+            .values()
+            .filter(|s| !s.buf.is_empty())
+            .map(|s| (s.imsi, s.buf.len(), s.oldest_ns))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Suspended (idle but context-retained) UEs.
+    pub fn suspended_count(&self) -> usize {
+        self.suspended_by_ip.len()
     }
 
     /// Users currently indexed (by tunnel).
@@ -1131,6 +1328,130 @@ mod tests {
         let mut burst = vec![uplink_packet(TEID_UL)];
         dp.process_burst(&mut burst, 3);
         assert_eq!(dp.stage_latencies()[0].count(), 1);
+    }
+
+    const IMSI: u64 = 404_01_0000000001;
+
+    fn suspend(dp: &mut DataPlane) {
+        dp.apply_update(DpUpdate::Suspend { gw_teid: TEID_UL, ue_ip: UE_IP, imsi: IMSI }, 10);
+    }
+
+    #[test]
+    fn suspend_keeps_context_and_buffers_downlink() {
+        let mut dp = dp();
+        let h = attach_user(&mut dp, 0);
+        suspend(&mut dp);
+        assert_eq!(dp.user_count(), 0, "unindexed");
+        assert_eq!(dp.slab().live_slots(), 1, "context retained");
+        assert_eq!(dp.suspended_count(), 1);
+        // First downlink parks and raises exactly one paging event.
+        assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 32), 20), PacketVerdict::Buffered));
+        assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 32), 21), PacketVerdict::Buffered));
+        assert_eq!(dp.take_paging_events(), vec![IMSI]);
+        assert!(dp.take_paging_events().is_empty(), "drained");
+        let m = dp.metrics();
+        assert_eq!(m.idle_buffered, 2);
+        assert!(m.conservation_holds());
+        // Age anchors at the oldest *buffered packet* (t=20), not the
+        // suspension (t=10).
+        assert_eq!(dp.idle_buffered_report(), vec![(IMSI, 2, 20)]);
+        // Uplink from the suspended UE is rejected, not unknown.
+        assert!(matches!(dp.process(uplink_packet(TEID_UL), 22), PacketVerdict::Drop(DropReason::IdleUplink)));
+        assert_eq!(dp.metrics().drop_idle_uplink, 1);
+        // Wake: re-insert flushes the buffer toward the tunnel.
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, handle: h, active: true }, 30);
+        let woken = dp.take_woken();
+        assert_eq!(woken.len(), 2);
+        for mut m in woken {
+            let (gtp, outer) = decap_gtpu(&mut m).unwrap();
+            assert_eq!(gtp.teid, TEID_DL);
+            assert_eq!(outer.dst, ENB_IP);
+        }
+        let m = dp.metrics();
+        assert_eq!(m.idle_buffered, 0);
+        assert_eq!(m.forwarded_on_wake, 2);
+        assert!(m.conservation_holds());
+        assert_eq!(dp.suspended_count(), 0);
+        // Back to normal forwarding.
+        assert!(dp.process(uplink_packet(TEID_UL), 40).is_forward());
+    }
+
+    #[test]
+    fn idle_buffer_is_bounded_and_overflow_is_counted() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        suspend(&mut dp);
+        dp.set_idle_buffer_cap(2);
+        for _ in 0..2 {
+            assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 16), 20), PacketVerdict::Buffered));
+        }
+        for _ in 0..3 {
+            assert!(matches!(
+                dp.process(inner_udp(1, UE_IP, 80, 16), 21),
+                PacketVerdict::Drop(DropReason::IdleOverflow)
+            ));
+        }
+        let m = dp.metrics();
+        assert_eq!(m.idle_buffered, 2);
+        assert_eq!(m.drop_idle_overflow, 3);
+        assert!(m.conservation_holds());
+    }
+
+    #[test]
+    fn expired_page_drops_buffer_but_keeps_suspension() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        suspend(&mut dp);
+        assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 16), 20), PacketVerdict::Buffered));
+        dp.take_paging_events();
+        dp.apply_update(DpUpdate::DropIdleBuffer { ue_ip: UE_IP }, 30);
+        let m = dp.metrics();
+        assert_eq!(m.idle_buffered, 0);
+        assert_eq!(m.drop_idle_expired, 1);
+        assert!(m.conservation_holds());
+        assert_eq!(dp.suspended_count(), 1, "still idle, still reachable");
+        // The next downlink starts a fresh page.
+        assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 16), 40), PacketVerdict::Buffered));
+        assert_eq!(dp.take_paging_events(), vec![IMSI]);
+    }
+
+    #[test]
+    fn remove_while_suspended_frees_slot_and_drops_buffer() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        suspend(&mut dp);
+        assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 16), 20), PacketVerdict::Buffered));
+        dp.apply_update(DpUpdate::Remove { gw_teid: TEID_UL, ue_ip: UE_IP }, 30);
+        assert_eq!(dp.slab().live_slots(), 0, "retained slot freed on detach");
+        assert_eq!(dp.suspended_count(), 0);
+        let m = dp.metrics();
+        assert_eq!(m.drop_idle_expired, 1);
+        assert_eq!(m.idle_buffered, 0);
+        assert!(m.conservation_holds());
+        // Now genuinely unknown.
+        assert!(matches!(dp.process(inner_udp(1, UE_IP, 80, 16), 40), PacketVerdict::Drop(DropReason::UnknownUser)));
+    }
+
+    #[test]
+    fn burst_path_buffers_idle_downlink_like_scalar() {
+        let mut dp = dp();
+        attach_user(&mut dp, 0);
+        suspend(&mut dp);
+        let mut burst = vec![
+            inner_udp(1, UE_IP, 80, 16),
+            uplink_packet(TEID_UL),
+            inner_udp(1, UE_IP, 80, 16),
+            inner_udp(1, 0x0A0000FF, 80, 16),
+        ];
+        let out = dp.process_burst(&mut burst, 20);
+        assert!(matches!(out[0], PacketVerdict::Buffered));
+        assert!(matches!(out[1], PacketVerdict::Drop(DropReason::IdleUplink)));
+        assert!(matches!(out[2], PacketVerdict::Buffered));
+        assert!(matches!(out[3], PacketVerdict::Drop(DropReason::UnknownUser)));
+        assert_eq!(dp.take_paging_events(), vec![IMSI]);
+        let m = dp.metrics();
+        assert_eq!(m.idle_buffered, 2);
+        assert!(m.conservation_holds());
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub enum NodeVerdict {
     Drop,
     /// Parked in a migration queue; will emerge later.
     Parked,
+    /// Held in an idle-UE buffer behind a page; emerges via
+    /// [`PepcNode::take_woken`] when the UE answers, or is dropped when
+    /// the page expires.
+    Buffered,
 }
 
 impl NodeVerdict {
@@ -184,6 +188,7 @@ impl PepcNode {
             | S1apPdu::PathSwitchRequest { mme_ue_id, .. }
             | S1apPdu::HandoverRequired { mme_ue_id, .. }
             | S1apPdu::HandoverRequestAck { mme_ue_id, .. }
+            | S1apPdu::UeContextReleaseRequest { mme_ue_id, .. }
             | S1apPdu::UeContextReleaseComplete { mme_ue_id, .. } => self.slice_of_mme_ue_id(*mme_ue_id),
             _ => return vec![],
         };
@@ -207,6 +212,33 @@ impl PepcNode {
         rsp
     }
 
+    /// Drive network-triggered paging on every slice; returns the paging
+    /// PDUs (and supervision-sweep retransmits) to send to the eNodeBs.
+    pub fn pump_paging(&mut self) -> Vec<S1apPdu> {
+        let mut out = Vec::new();
+        for s in &mut self.slices {
+            out.extend(s.pump_paging());
+        }
+        out
+    }
+
+    /// Drain buffered downlink flushed by idle-UE wakes on every slice.
+    pub fn take_woken(&mut self) -> Vec<Mbuf> {
+        let mut out = Vec::new();
+        for s in &mut self.slices {
+            out.extend(s.take_woken());
+        }
+        out
+    }
+
+    /// Stuck-idle oracle over all slices: suspended UEs holding buffered
+    /// downlink older than `bound_ns` with no page in flight.
+    pub fn stuck_idle(&self, now_ns: u64, bound_ns: u64) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.slices.iter().flat_map(|s| s.stuck_idle(now_ns, bound_ns)).collect();
+        v.sort_unstable();
+        v
+    }
+
     fn slice_of_mme_ue_id(&self, mme_ue_id: u32) -> usize {
         (((mme_ue_id - 1) >> 24) as usize).min(self.slices.len().saturating_sub(1))
     }
@@ -218,6 +250,7 @@ impl PepcNode {
             Steer::ToSlice(k) => match self.slices[k].process_packet(m.expect("steered")) {
                 PacketVerdict::Forward(out) => NodeVerdict::Forward(out),
                 PacketVerdict::Drop(_) => NodeVerdict::Drop,
+                PacketVerdict::Buffered => NodeVerdict::Buffered,
             },
             Steer::Parked => NodeVerdict::Parked,
             Steer::Unknown | Steer::Malformed => NodeVerdict::Drop,
@@ -268,6 +301,7 @@ impl PepcNode {
             match v {
                 PacketVerdict::Forward(m) => out.push(NodeVerdict::Forward(m)),
                 PacketVerdict::Drop(_) => out.push(NodeVerdict::Drop),
+                PacketVerdict::Buffered => out.push(NodeVerdict::Buffered),
             }
         }
     }

@@ -30,13 +30,29 @@
 //! Idle --HoRequired--> HandoverWaitAck --HoAck--> Idle
 //! ```
 //!
-//! Detach, TAU, service request, path switch (X2), and bearer setup are
-//! single-message procedures: they start and complete in one step and
-//! never leave `Idle` behind.
+//! Network-triggered paging (timer-driven retransmission on the
+//! supervision clock, resolved by the UE's Service Request):
+//!
+//! ```text
+//! Idle --PageTrigger--> PagingWait --ServiceStart--> Idle
+//!                       PagingWait --(retx timer x PAGING_MAX_RETX)--> expire
+//! ```
+//!
+//! Detach, TAU, service request, S1 release, network detach, path switch
+//! (X2), and bearer setup are single-message procedures: they start and
+//! complete in one step and never leave `Idle` behind.
 
 use pepc_sigproto::nas::NasMsg;
 use pepc_sigproto::s1ap::S1apPdu;
 use std::collections::VecDeque;
+
+/// Paging retransmissions before the page expires (escalation gives up
+/// and the buffered downlink is dropped).
+pub const PAGING_MAX_RETX: u8 = 3;
+
+/// Supervision ticks between paging retransmissions — pure tick
+/// arithmetic, no wall clock, so every schedule is deterministic.
+pub const PAGING_RETX_TICKS: u64 = 2;
 
 /// Per-UE mailbox depth. Deferred messages beyond this are dropped (and
 /// counted); 8 comfortably covers every legal overlap of two procedures.
@@ -47,6 +63,7 @@ pub const MAILBOX_CAP: usize = 8;
 pub enum ProcKind {
     Attach,
     Handover,
+    Paging,
 }
 
 /// The resumable procedure state. `Copy` so HA snapshots and the
@@ -67,6 +84,11 @@ pub enum ProcState {
     AttachWaitComplete { imsi: u64, mme_ue_id: u32 },
     /// S1 handover: waiting for the target eNodeB's ack.
     HandoverWaitAck { imsi: u64, source_enb_ue_id: u32, mme_ue_id: u32 },
+    /// Network-triggered paging: a Paging PDU is out, waiting for the
+    /// UE's Service Request. `next_retx` is the supervision tick the next
+    /// retransmission fires at; after [`PAGING_MAX_RETX`] retransmissions
+    /// the page expires and the buffered downlink is dropped.
+    PagingWait { imsi: u64, mme_ue_id: u32, retries: u8, next_retx: u64 },
 }
 
 impl ProcState {
@@ -79,6 +101,7 @@ impl ProcState {
             | ProcState::AttachWaitIcs { .. }
             | ProcState::AttachWaitComplete { .. } => Some(ProcKind::Attach),
             ProcState::HandoverWaitAck { .. } => Some(ProcKind::Handover),
+            ProcState::PagingWait { .. } => Some(ProcKind::Paging),
         }
     }
 }
@@ -101,6 +124,17 @@ pub enum SigMsg {
     HoRequired { enb_ue_id: u32, mme_ue_id: u32 },
     /// S1 Handover Request Ack from the target eNodeB.
     HoAck { mme_ue_id: u32, new_enb_teid: u32, new_enb_ip: u32 },
+    /// eNodeB-initiated S1 release (UE Context Release Request): the UE
+    /// goes idle — data path suspended, tunnels torn down, context kept.
+    ReleaseReq { enb_ue_id: u32, mme_ue_id: u32, cause: u8 },
+    /// Internal: a downlink packet arrived for an idle UE; the data path
+    /// buffered it and asks the control plane to page. Not a wire PDU —
+    /// it still flows through the mailbox/disposition machinery (and the
+    /// signaling conservation identity) like any other message.
+    PageTrigger { imsi: u64 },
+    /// Internal: network-triggered detach (operator/HSS action). Emits a
+    /// NAS Detach Request (UE-terminated) and a UE context release.
+    NetDetach { imsi: u64 },
 }
 
 /// What the machine decides to do with an arriving message.
@@ -221,6 +255,16 @@ impl UeMachine {
                 SigMsg::PathSwitch { .. } | SigMsg::HoRequired { .. } => Defer,
                 // An S1 handover ack without a handover in flight.
                 SigMsg::HoAck { .. } => Drop,
+                // The eNodeB wants to release mid-attach: hold it until
+                // the attach terminates (an aborted attach releases
+                // anyway; a completed one is then released normally).
+                SigMsg::ReleaseReq { .. } => Defer,
+                // Downlink for a UE that is attaching: it is not idle, so
+                // there is nothing to page — the data path will deliver
+                // once the attach installs the bearer.
+                SigMsg::PageTrigger { .. } => Drop,
+                // The network kicking the UE out wins over its attach.
+                SigMsg::NetDetach { .. } => Preempt,
             },
 
             // Mid-handover.
@@ -241,7 +285,31 @@ impl UeMachine {
                 SigMsg::PathSwitch { .. }
                 | SigMsg::ServiceStart { .. }
                 | SigMsg::Nas { msg: NasMsg::TrackingAreaUpdateRequest { .. }, .. } => Defer,
+                // Radio loss during handover resolves after it settles.
+                SigMsg::ReleaseReq { .. } => Defer,
+                // The network kicking the UE out wins over its handover.
+                SigMsg::NetDetach { .. } => Preempt,
                 // Stray attach-procedure messages during a handover.
+                _ => Drop,
+            },
+
+            // Waiting for a paged UE to answer.
+            ProcState::PagingWait { .. } => match msg {
+                // The UE woke up — exactly what the page asked for.
+                SigMsg::ServiceStart { .. } => Deliver,
+                // Another downlink packet while already paging: the page
+                // in flight covers it (the packet is buffered; answering
+                // the existing page flushes everything).
+                SigMsg::PageTrigger { .. } => Dedup,
+                // A fresh attach supersedes the paged context.
+                SigMsg::AttachStart { .. } => Preempt,
+                // The UE (or the network) leaving cancels the page.
+                SigMsg::Nas { msg: NasMsg::DetachRequest { .. }, .. } => Preempt,
+                SigMsg::NetDetach { .. } => Preempt,
+                // Mobility from idle: apply once the page resolves.
+                SigMsg::Nas { msg: NasMsg::TrackingAreaUpdateRequest { .. }, .. } => Defer,
+                // A release for an already-idle UE is meaningless, as is
+                // any attach/handover-procedure message.
                 _ => Drop,
             },
         }
@@ -268,6 +336,7 @@ mod tests {
     const WAIT_ICS: ProcState = ProcState::AttachWaitIcs { imsi: 7, mme_ue_id: 1 };
     const WAIT_CPL: ProcState = ProcState::AttachWaitComplete { imsi: 7, mme_ue_id: 1 };
     const HO_WAIT: ProcState = ProcState::HandoverWaitAck { imsi: 7, source_enb_ue_id: 10, mme_ue_id: 1 };
+    const PAGE_WAIT: ProcState = ProcState::PagingWait { imsi: 7, mme_ue_id: 1, retries: 0, next_retx: 2 };
 
     #[test]
     fn idle_delivers_everything() {
@@ -392,5 +461,57 @@ mod tests {
         assert_eq!(WAIT_AUTH.kind(), Some(ProcKind::Attach));
         assert_eq!(WAIT_CPL.kind(), Some(ProcKind::Attach));
         assert_eq!(HO_WAIT.kind(), Some(ProcKind::Handover));
+        assert_eq!(PAGE_WAIT.kind(), Some(ProcKind::Paging));
+    }
+
+    #[test]
+    fn release_defers_during_procedures() {
+        let rel = SigMsg::ReleaseReq { enb_ue_id: 10, mme_ue_id: 1, cause: 0 };
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL, HO_WAIT] {
+            assert_eq!(machine_in(st).dispose(&rel), Disposition::Defer, "{st:?}");
+        }
+        // Already paging means already idle — nothing left to release.
+        assert_eq!(machine_in(PAGE_WAIT).dispose(&rel), Disposition::Drop);
+        assert_eq!(machine_in(ProcState::Idle).dispose(&rel), Disposition::Deliver);
+    }
+
+    #[test]
+    fn page_trigger_only_matters_when_idle() {
+        let pg = SigMsg::PageTrigger { imsi: 7 };
+        assert_eq!(machine_in(ProcState::Idle).dispose(&pg), Disposition::Deliver);
+        // A second downlink burst while the page is out rides the page
+        // already in flight.
+        assert_eq!(machine_in(PAGE_WAIT).dispose(&pg), Disposition::Dedup);
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL, HO_WAIT] {
+            assert_eq!(machine_in(st).dispose(&pg), Disposition::Drop, "{st:?}");
+        }
+    }
+
+    #[test]
+    fn network_detach_preempts_everything() {
+        let nd = SigMsg::NetDetach { imsi: 7 };
+        for st in [WAIT_AUTH, WAIT_SMC, WAIT_ICS, WAIT_CPL, HO_WAIT, PAGE_WAIT] {
+            assert_eq!(machine_in(st).dispose(&nd), Disposition::Preempt, "{st:?}");
+        }
+        assert_eq!(machine_in(ProcState::Idle).dispose(&nd), Disposition::Deliver);
+    }
+
+    #[test]
+    fn paging_policy() {
+        let m = machine_in(PAGE_WAIT);
+        // The service request the page is waiting for.
+        assert_eq!(m.dispose(&SigMsg::ServiceStart { enb_ue_id: 2, ecgi: 1, guti: 9 }), Disposition::Deliver);
+        // UE-side departures cancel the page.
+        assert_eq!(m.dispose(&nas(NasMsg::DetachRequest { guti: 9 })), Disposition::Preempt);
+        assert_eq!(m.dispose(&SigMsg::AttachStart { enb_ue_id: 11, ecgi: 1, tac: 1, imsi: 7 }), Disposition::Preempt);
+        // Mobility from idle waits for the page to resolve.
+        assert_eq!(m.dispose(&nas(NasMsg::TrackingAreaUpdateRequest { guti: 9, tac: 2 })), Disposition::Defer);
+        // Attach/handover machinery is meaningless while idle.
+        assert_eq!(m.dispose(&nas(NasMsg::AuthenticationResponse { res: 1 })), Disposition::Drop);
+        assert_eq!(m.dispose(&SigMsg::HoAck { mme_ue_id: 1, new_enb_teid: 1, new_enb_ip: 1 }), Disposition::Drop);
+        assert_eq!(
+            m.dispose(&SigMsg::IcsRsp { enb_ue_id: 10, mme_ue_id: 1, enb_teid: 1, enb_ip: 1 }),
+            Disposition::Drop
+        );
     }
 }

@@ -166,6 +166,17 @@ impl ShardedDataPath {
                 let owner = self.owner_of_teid(gw_teid);
                 self.shards[owner].apply_update(DpUpdate::Demote { gw_teid, ue_ip }, now_ns);
             }
+            DpUpdate::Suspend { gw_teid, ue_ip, imsi } => {
+                let owner = self.owner_of_teid(gw_teid);
+                // `owner_by_ip` stays: downlink for the suspended UE must
+                // still steer to the owning shard to be buffered there.
+                self.shards[owner].apply_update(DpUpdate::Suspend { gw_teid, ue_ip, imsi }, now_ns);
+            }
+            DpUpdate::DropIdleBuffer { ue_ip } => {
+                if let Some(&owner) = self.owner_by_ip.get(&u64::from(ue_ip)) {
+                    self.shards[owner as usize].apply_update(DpUpdate::DropIdleBuffer { ue_ip }, now_ns);
+                }
+            }
             DpUpdate::InstallRule { id, program, action } => {
                 for s in &mut self.shards {
                     s.apply_update(DpUpdate::InstallRule { id, program: program.clone(), action }, now_ns);
@@ -253,9 +264,48 @@ impl ShardedDataPath {
             total.drop_qos += m.drop_qos;
             total.drop_malformed += m.drop_malformed;
             total.drop_failover += m.drop_failover;
+            total.drop_idle_overflow += m.drop_idle_overflow;
+            total.drop_idle_expired += m.drop_idle_expired;
+            total.drop_idle_uplink += m.drop_idle_uplink;
+            total.idle_buffered += m.idle_buffered;
+            total.forwarded_on_wake += m.forwarded_on_wake;
         }
         total.updates_applied = self.updates_applied;
         total
+    }
+
+    /// Drain the IMSIs whose first buffered downlink packet just arrived
+    /// on any shard (paging triggers for the control plane), in shard
+    /// order then arrival order.
+    pub fn take_paging_events(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for s in &mut self.shards {
+            out.extend(s.take_paging_events());
+        }
+        out
+    }
+
+    /// Drain downlink packets flushed out of idle buffers on wake across
+    /// all shards.
+    pub fn take_woken(&mut self) -> Vec<Mbuf> {
+        let mut out = Vec::new();
+        for s in &mut self.shards {
+            out.extend(s.take_woken());
+        }
+        out
+    }
+
+    /// Suspended (idle) UEs across all shards.
+    pub fn suspended_count(&self) -> usize {
+        self.shards.iter().map(DataPlane::suspended_count).sum()
+    }
+
+    /// Idle-buffer occupancy across all shards, `(imsi, buffered,
+    /// oldest_arrival_ns)` in IMSI order — input to the stuck-idle oracle.
+    pub fn idle_buffered_report(&self) -> Vec<(u64, usize, u64)> {
+        let mut v: Vec<(u64, usize, u64)> = self.shards.iter().flat_map(DataPlane::idle_buffered_report).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Aggregate IoT fast-path charging across shards.

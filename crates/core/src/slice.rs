@@ -226,9 +226,52 @@ impl Slice {
         self.data.process_burst_into(burst, self.clock.now_ns(), out)
     }
 
-    /// Advance the control plane's procedure-supervision clock.
+    /// Advance the control plane's procedure-supervision clock. The tick
+    /// drives paging retransmission, so any buffer-drop updates it
+    /// produced are flushed to the data plane; retransmitted PDUs are
+    /// retrievable via [`Self::take_pending_tx`].
     pub fn note_tick(&mut self, now: u64) {
         self.ctrl.note_tick(now);
+        self.flush_ctrl_updates();
+    }
+
+    /// Drive network-triggered paging: drain the data plane's paging
+    /// events (first downlink packet buffered for a suspended UE) into
+    /// the control plane, returning the paging PDUs to send.
+    pub fn pump_paging(&mut self) -> Vec<S1apPdu> {
+        let mut out = Vec::new();
+        for imsi in self.data.take_paging_events() {
+            out.extend(self.ctrl.page(imsi));
+        }
+        out.extend(self.ctrl.take_pending_tx());
+        self.flush_ctrl_updates();
+        out
+    }
+
+    /// Drain PDUs produced by the supervision sweep (paging retransmits
+    /// and post-expiry mailbox drains).
+    pub fn take_pending_tx(&mut self) -> Vec<S1apPdu> {
+        self.ctrl.take_pending_tx()
+    }
+
+    /// Drain buffered downlink flushed by an idle-UE wake (already
+    /// GTP-encapsulated toward the eNodeB, counted as forwarded).
+    pub fn take_woken(&mut self) -> Vec<Mbuf> {
+        self.data.take_woken()
+    }
+
+    /// Stuck-idle oracle input: suspended UEs holding buffered downlink
+    /// older than `bound_ns` with *no* paging procedure in flight —
+    /// packets nothing will ever flush or drop. `(imsi, age_ns)` in IMSI
+    /// order; must be empty after every quiescent point.
+    pub fn stuck_idle(&self, now_ns: u64, bound_ns: u64) -> Vec<(u64, u64)> {
+        self.data
+            .idle_buffered_report()
+            .into_iter()
+            .filter(|(imsi, _, _)| !self.ctrl.is_paging(*imsi))
+            .map(|(imsi, _, oldest)| (imsi, now_ns.saturating_sub(oldest)))
+            .filter(|(_, age)| *age > bound_ns)
+            .collect()
     }
 
     /// Expire procedures stalled longer than `max_age` ticks and flush
@@ -408,6 +451,10 @@ impl Slice {
                             let _ = tx.push(out);
                         }
                         PacketVerdict::Drop(_) => dropped += 1,
+                        // Parked in an idle-UE buffer: neither forwarded
+                        // nor dropped yet; it resolves on wake or page
+                        // expiry and is accounted in the plane's metrics.
+                        PacketVerdict::Buffered => {}
                     }
                 }
                 data_stats.forwarded.fetch_add(fwd, Ordering::Relaxed);

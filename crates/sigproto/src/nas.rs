@@ -97,6 +97,10 @@ pub enum NasMsg {
     DetachRequest { guti: Guti },
     /// MME → UE.
     DetachAccept,
+    /// MME → UE: network-triggered detach (TS 24.301 "Detach Request,
+    /// UE terminated") — subscription withdrawn, operator action. The
+    /// UE answers with a DetachAccept riding uplink NAS transport.
+    NetworkDetachRequest { cause: u8 },
     /// UE → MME: entered a tracking area outside its list.
     TrackingAreaUpdateRequest { guti: Guti, tac: u16 },
     /// MME → UE.
@@ -125,6 +129,7 @@ impl NasMsg {
     const T_ATTACH_REJ: u8 = 0x44;
     const T_DETACH_REQ: u8 = 0x45;
     const T_DETACH_ACC: u8 = 0x46;
+    const T_NET_DETACH_REQ: u8 = 0x4A;
     const T_CONG_REJ: u8 = 0x47;
     const T_TAU_REQ: u8 = 0x48;
     const T_TAU_ACC: u8 = 0x49;
@@ -181,6 +186,10 @@ impl NasMsg {
                 out.extend_from_slice(&guti.to_be_bytes());
             }
             NasMsg::DetachAccept => out.push(Self::T_DETACH_ACC),
+            NasMsg::NetworkDetachRequest { cause } => {
+                out.push(Self::T_NET_DETACH_REQ);
+                out.push(*cause);
+            }
             NasMsg::TrackingAreaUpdateRequest { guti, tac } => {
                 out.push(Self::T_TAU_REQ);
                 out.extend_from_slice(&guti.to_be_bytes());
@@ -253,6 +262,10 @@ impl NasMsg {
                 Ok(NasMsg::DetachRequest { guti: u64_at(buf, 1) })
             }
             Self::T_DETACH_ACC => Ok(NasMsg::DetachAccept),
+            Self::T_NET_DETACH_REQ => {
+                need(buf, 2, "network detach request")?;
+                Ok(NasMsg::NetworkDetachRequest { cause: buf[1] })
+            }
             Self::T_TAU_REQ => {
                 need(buf, 11, "tau request")?;
                 Ok(NasMsg::TrackingAreaUpdateRequest { guti: u64_at(buf, 1), tac: crate::wire::u16_at(buf, 9) })
@@ -319,6 +332,7 @@ mod tests {
             NasMsg::AttachReject { cause: cause::IMSI_UNKNOWN },
             NasMsg::DetachRequest { guti: 77 },
             NasMsg::DetachAccept,
+            NasMsg::NetworkDetachRequest { cause: cause::NETWORK_FAILURE },
             NasMsg::TrackingAreaUpdateRequest { guti: 88, tac: 9 },
             NasMsg::TrackingAreaUpdateAccept { tac: 9 },
             NasMsg::ServiceRequest { guti: 99 },

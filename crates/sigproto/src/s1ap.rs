@@ -64,6 +64,14 @@ pub enum S1apPdu {
     UeContextReleaseCommand { enb_ue_id: u32, mme_ue_id: u32, cause: u8 },
     /// eNodeB → MME.
     UeContextReleaseComplete { enb_ue_id: u32, mme_ue_id: u32 },
+    /// eNodeB → MME: the eNodeB wants the UE's S1 context released
+    /// (user inactivity, radio loss). The MME answers with a
+    /// UEContextReleaseCommand and the UE transitions to idle — context
+    /// retained, tunnels torn down.
+    UeContextReleaseRequest { enb_ue_id: u32, mme_ue_id: u32, cause: u8 },
+    /// MME → eNodeB: page an idle UE (downlink data pending). Carries
+    /// the GUTI the UE is paged by (stand-in for the S-TMSI).
+    Paging { mme_ue_id: u32, guti: u64 },
 }
 
 impl S1apPdu {
@@ -80,6 +88,8 @@ impl S1apPdu {
     const T_HO_COMMAND: u8 = 11;
     const T_UECR_CMD: u8 = 12;
     const T_UECR_CPL: u8 = 13;
+    const T_UECR_REQ: u8 = 14;
+    const T_PAGING: u8 = 15;
 
     fn put_nas(out: &mut Vec<u8>, nas: &[u8]) {
         out.extend_from_slice(&(nas.len() as u16).to_be_bytes());
@@ -179,6 +189,17 @@ impl S1apPdu {
                 out.push(Self::T_UECR_CPL);
                 out.extend_from_slice(&enb_ue_id.to_be_bytes());
                 out.extend_from_slice(&mme_ue_id.to_be_bytes());
+            }
+            S1apPdu::UeContextReleaseRequest { enb_ue_id, mme_ue_id, cause } => {
+                out.push(Self::T_UECR_REQ);
+                out.extend_from_slice(&enb_ue_id.to_be_bytes());
+                out.extend_from_slice(&mme_ue_id.to_be_bytes());
+                out.push(*cause);
+            }
+            S1apPdu::Paging { mme_ue_id, guti } => {
+                out.push(Self::T_PAGING);
+                out.extend_from_slice(&mme_ue_id.to_be_bytes());
+                out.extend_from_slice(&guti.to_be_bytes());
             }
         }
         out
@@ -288,6 +309,18 @@ impl S1apPdu {
                 need(buf, 9, "ue context release complete")?;
                 Ok(S1apPdu::UeContextReleaseComplete { enb_ue_id: u32_at(buf, 1), mme_ue_id: u32_at(buf, 5) })
             }
+            Self::T_UECR_REQ => {
+                need(buf, 10, "ue context release request")?;
+                Ok(S1apPdu::UeContextReleaseRequest {
+                    enb_ue_id: u32_at(buf, 1),
+                    mme_ue_id: u32_at(buf, 5),
+                    cause: buf[9],
+                })
+            }
+            Self::T_PAGING => {
+                need(buf, 13, "paging")?;
+                Ok(S1apPdu::Paging { mme_ue_id: u32_at(buf, 1), guti: crate::wire::u64_at(buf, 5) })
+            }
             other => Err(SigError::UnknownType("s1ap pdu", other.into())),
         }
     }
@@ -321,6 +354,8 @@ mod tests {
             S1apPdu::HandoverCommand { enb_ue_id: 3, mme_ue_id: 2 },
             S1apPdu::UeContextReleaseCommand { enb_ue_id: 1, mme_ue_id: 2, cause: 1 },
             S1apPdu::UeContextReleaseComplete { enb_ue_id: 1, mme_ue_id: 2 },
+            S1apPdu::UeContextReleaseRequest { enb_ue_id: 1, mme_ue_id: 2, cause: 4 },
+            S1apPdu::Paging { mme_ue_id: 2, guti: 0xD00D_0000_0007 },
         ]
     }
 

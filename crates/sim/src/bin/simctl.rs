@@ -4,7 +4,8 @@
 //! simctl run <seed> [--scenario two_node_failover|partition_heal|lossy_wires
 //!                                |kill_mid_attach|migrate_mid_handover
 //!                                |attach_storm|storm_kill|storm_partition
-//!                                |mass_attach_ramp]
+//!                                |mass_attach_ramp|idle_wakeup_storm
+//!                                |kill_mid_paging]
 //! simctl sweep <first_seed> <count> [--scenario NAME]
 //! simctl replay <trace.json>
 //! simctl shrink <trace.json>
@@ -25,6 +26,8 @@ fn scenario(name: &str, seed: u64) -> Result<SimConfig, String> {
         "storm_kill" => Ok(SimConfig::storm_kill(seed)),
         "storm_partition" => Ok(SimConfig::storm_partition(seed)),
         "mass_attach_ramp" => Ok(SimConfig::mass_attach_ramp(seed)),
+        "idle_wakeup_storm" => Ok(SimConfig::idle_wakeup_storm(seed)),
+        "kill_mid_paging" => Ok(SimConfig::kill_mid_paging(seed)),
         other => Err(format!("unknown scenario `{other}`")),
     }
 }

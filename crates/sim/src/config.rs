@@ -109,6 +109,13 @@ pub struct SimConfig {
     /// in-flight ceiling) on every slice. Off = the storm hits an
     /// unprotected control plane.
     pub overload: bool,
+    /// Signaling subscribers (a prefix of `sig_users`, skipping the
+    /// attach abandoner) that run the idle cycle after attaching: S1
+    /// release → buffered downlink → paging → Service Request wake. The
+    /// last idler never answers its pages, so retransmission must
+    /// escalate to expiry and drop its buffer. `0` disables the cycle
+    /// and keeps runs byte-identical with pre-paging builds.
+    pub idle_users: u32,
 }
 
 impl SimConfig {
@@ -132,6 +139,7 @@ impl SimConfig {
             storm_users: 0,
             storm_tick: 0,
             overload: false,
+            idle_users: 0,
         }
     }
 
@@ -159,6 +167,7 @@ impl SimConfig {
             storm_users: 0,
             storm_tick: 0,
             overload: false,
+            idle_users: 0,
         }
     }
 
@@ -188,6 +197,7 @@ impl SimConfig {
             storm_users: 0,
             storm_tick: 0,
             overload: false,
+            idle_users: 0,
         }
     }
 
@@ -213,6 +223,7 @@ impl SimConfig {
             storm_users: 0,
             storm_tick: 0,
             overload: false,
+            idle_users: 0,
         }
     }
 
@@ -239,6 +250,7 @@ impl SimConfig {
             storm_users: 24,
             storm_tick: 6,
             overload: true,
+            idle_users: 0,
         }
     }
 
@@ -295,6 +307,47 @@ impl SimConfig {
             storm_users: 16,
             storm_tick: 8,
             overload: true,
+            idle_users: 0,
+        }
+    }
+
+    /// The idle/paging acceptance scenario: signaling subscribers attach,
+    /// release to idle, and have downlink arrive while suspended — the
+    /// data path buffers, the control plane pages, and the subscriber
+    /// wakes with a Service Request that flushes the buffer. The last
+    /// idler ignores its pages, so retransmission must escalate to
+    /// expiry and drop its buffer. The `stuck_idle` and
+    /// `paging_accounting` oracles are the assertions.
+    pub fn idle_wakeup_storm(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            nodes: 2,
+            users: 8,
+            ticks: 56,
+            counter_interval: 4,
+            chaos: vec![],
+            bug: BugKind::None,
+            check_staleness: true,
+            sig_users: 6,
+            sig_handover: false,
+            procedure_timeout: 6,
+            storm_users: 0,
+            storm_tick: 0,
+            overload: false,
+            idle_users: 4,
+        }
+    }
+
+    /// The idle cycle plus a node kill landing inside the paging window:
+    /// pages in flight on the dying node are lost with its buffered
+    /// downlink, survivors keep paging, and adoption re-activates the
+    /// dead node's suspended UEs. Staleness is unchecked (suspended and
+    /// mid-page users legitimately lose buffered state in the crash).
+    pub fn kill_mid_paging(seed: u64) -> Self {
+        SimConfig {
+            chaos: vec![ChaosCmd { at_tick: 30, kind: ChaosKind::Kill, node: (seed % 2) as u32, amount: 0 }],
+            check_staleness: false,
+            ..Self::idle_wakeup_storm(seed)
         }
     }
 
@@ -318,6 +371,7 @@ impl SimConfig {
             storm_users: 0,
             storm_tick: 0,
             overload: false,
+            idle_users: 0,
         }
     }
 }

@@ -24,6 +24,12 @@
 //!   per-slice in-flight procedures never exceed the configured ceiling
 //!   (bounded work), and at end of run the steady-state data path has
 //!   forwarded at least one packet (the storm never starves goodput).
+//! * `stuck_idle` — under idle/paging scenarios: no suspended UE on a
+//!   live node holds buffered downlink past the paging cycle with no
+//!   page in flight — every parked packet is eventually flushed by a
+//!   wake or dropped by page expiry.
+//! * `paging_accounting` — per slice, every page resolves to exactly one
+//!   of resolved / expired / still in flight.
 
 use crate::world::SimWorld;
 use serde::{Deserialize, Serialize};
@@ -100,6 +106,28 @@ impl Oracles {
                 }
             }
 
+            // -- stuck_idle: on a live node, a suspended UE holding
+            // buffered downlink with no page in flight must be flushed
+            // (wake) or dropped (page expiry) within the paging cycle —
+            // age beyond the bound means packets nothing will ever
+            // deliver or account.
+            if w.cfg.idle_users > 0 {
+                use pepc::procedure::{PAGING_MAX_RETX, PAGING_RETX_TICKS};
+                let bound_ticks =
+                    2 * u64::from(PAGING_MAX_RETX + 1) * PAGING_RETX_TICKS + 2 * w.cfg.procedure_timeout + 4;
+                let now_ns = w.ha.now() * crate::world::TICK_NS;
+                if let Some((imsi, age_ns)) = node.stuck_idle(now_ns, bound_ticks * crate::world::TICK_NS).first() {
+                    return fail(
+                        "stuck_idle",
+                        format!(
+                            "imsi {imsi} suspended on node {k} with buffered downlink for {} ticks \
+                             and no page in flight (bound {bound_ticks})",
+                            age_ns / crate::world::TICK_NS
+                        ),
+                    );
+                }
+            }
+
             // -- procedure accounting: per slice, every started procedure
             // has exactly one outcome and every received S1AP PDU is
             // attributed (consumed / deduped / dropped / parked).
@@ -117,6 +145,18 @@ impl Oracles {
                             m.proc_aborted,
                             m.proc_expired,
                             ctrl.procedures_in_flight()
+                        ),
+                    );
+                }
+                if !m.paging_accounting_holds(ctrl.paging_in_flight()) {
+                    return fail(
+                        "paging_accounting",
+                        format!(
+                            "node {k} slice {s}: paged {} != resolved {} + expired {} + in-flight {}",
+                            m.paged,
+                            m.paging_resolved,
+                            m.paging_expired,
+                            ctrl.paging_in_flight()
                         ),
                     );
                 }

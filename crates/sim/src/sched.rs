@@ -43,6 +43,12 @@ pub struct RunResult {
     pub users_live: usize,
     /// S1AP PDUs shed by admission control, summed over live slices.
     pub shed: u64,
+    /// Pages issued, summed over live slices.
+    pub paged: u64,
+    /// Pages answered by a Service Request (idle-UE wake-ups).
+    pub paging_resolved: u64,
+    /// Pages that exhausted retransmission and expired.
+    pub paging_expired: u64,
 }
 
 /// Run one seeded schedule to completion (or first oracle violation).
@@ -131,11 +137,16 @@ fn finish(w: SimWorld, schedule: Vec<Action>, failure: Option<Failure>) -> RunRe
     let cluster = w.ha.cluster_ref();
     let live = (0..cluster.node_count()).filter(|&k| !cluster.is_dead(k));
     let (mut users_live, mut shed) = (0usize, 0u64);
+    let (mut paged, mut paging_resolved, mut paging_expired) = (0u64, 0u64, 0u64);
     for k in live {
         let node = cluster.node_ref(k);
         users_live += node.user_count();
         for s in 0..node.slice_count() {
-            shed += node.slice_ref(s).ctrl.metrics().sig_shed_total();
+            let m = node.slice_ref(s).ctrl.metrics();
+            shed += m.sig_shed_total();
+            paged += m.paged;
+            paging_resolved += m.paging_resolved;
+            paging_expired += m.paging_expired;
         }
     }
     RunResult {
@@ -145,6 +156,9 @@ fn finish(w: SimWorld, schedule: Vec<Action>, failure: Option<Failure>) -> RunRe
         forwarded: w.forwarded,
         users_live,
         shed,
+        paged,
+        paging_resolved,
+        paging_expired,
         schedule,
     }
 }

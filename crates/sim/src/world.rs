@@ -82,13 +82,21 @@ pub(crate) struct Op {
 struct EnbUe {
     enb_ue_id: u32,
     /// 0 send-attach, 1 send-auth-rsp, 2 send-smc-complete, 3 send-ics-rsp,
-    /// 4 send-attach-complete, 5 attached, 6 ho-ack-pending, 7 done.
+    /// 4 send-attach-complete, 5 attached, 6 ho-ack-pending, 7 done,
+    /// 8 idle (released; answers a page with a Service Request),
+    /// 9 re-activated after a page.
     stage: u8,
     mme_ue_id: u32,
     /// RAND from the authentication challenge (for computing RES).
     rand: u64,
     /// Abandons after the first message — the stuck-procedure seed.
     abandoner: bool,
+    /// GUTI from the Attach Accept (how a page is addressed to us).
+    guti: u64,
+    /// Runs the idle cycle: release after attaching, wake on a page.
+    idler: bool,
+    /// Released but never answers pages — the retransmit-to-expiry seed.
+    page_ignorer: bool,
 }
 
 /// FNV-1a fold; the digest is the determinism witness two runs compare.
@@ -111,6 +119,9 @@ pub struct SimWorld {
     keys: HashMap<u64, (u32, u32)>,
     /// Per-subscriber signaling emulators (only for `cfg.sig_users`).
     enbs: HashMap<u64, EnbUe>,
+    /// GUTIs the network has paged (from pumped `S1apPdu::Paging`); an
+    /// idle emulator answers with a Service Request on its next step.
+    paged_gutis: std::collections::HashSet<u64>,
     /// Steps applied so far.
     pub(crate) step: u64,
     /// Rolling FNV digest over every applied action and the observable
@@ -165,15 +176,35 @@ impl SimWorld {
         let mut enbs = HashMap::new();
         for u in 0..u64::from(cfg.sig_users) {
             let abandoner = cfg.procedure_timeout > 0 && cfg.sig_users > 1 && u == u64::from(cfg.sig_users) - 1;
+            let idler = !abandoner && u < u64::from(cfg.idle_users);
+            let page_ignorer = idler && cfg.idle_users > 1 && u == u64::from(cfg.idle_users) - 1;
             enbs.insert(
                 SIG_IMSI_BASE + u,
-                EnbUe { enb_ue_id: 0x5000 + u as u32, stage: 0, mme_ue_id: 0, rand: 0, abandoner },
+                EnbUe {
+                    enb_ue_id: 0x5000 + u as u32,
+                    stage: 0,
+                    mme_ue_id: 0,
+                    rand: 0,
+                    abandoner,
+                    guti: 0,
+                    idler,
+                    page_ignorer,
+                },
             );
         }
         for u in 0..u64::from(cfg.storm_users) {
             enbs.insert(
                 STORM_IMSI_BASE + u,
-                EnbUe { enb_ue_id: 0x9000 + u as u32, stage: 0, mme_ue_id: 0, rand: 0, abandoner: false },
+                EnbUe {
+                    enb_ue_id: 0x9000 + u as u32,
+                    stage: 0,
+                    mme_ue_id: 0,
+                    rand: 0,
+                    abandoner: false,
+                    guti: 0,
+                    idler: false,
+                    page_ignorer: false,
+                },
             );
         }
         SimWorld {
@@ -183,6 +214,7 @@ impl SimWorld {
             ops,
             keys: HashMap::new(),
             enbs,
+            paged_gutis: std::collections::HashSet::new(),
             step: 0,
             digest: 0xCBF2_9CE4_8422_2325,
             forwarded: 0,
@@ -254,6 +286,25 @@ impl SimWorld {
                 }
             }
         }
+        // Idle-cycle ops also consume no rng (byte-identical runs when
+        // `idle_users == 0`): extra signaling steps in the back half to
+        // drive release and page answers, plus downlink aimed at the
+        // (by then idle) subscriber so its buffer fills and pages fire.
+        if cfg.idle_users > 0 {
+            let mid = horizon / 2;
+            for u in 0..u64::from(cfg.idle_users.min(cfg.sig_users)) {
+                let imsi = SIG_IMSI_BASE + u;
+                for j in 0..8u64 {
+                    ops.push(Op { at_tick: (mid + j * 2).min(horizon - 1), kind: OpKind::Sig(imsi) });
+                }
+                for j in 0..3u64 {
+                    ops.push(Op {
+                        at_tick: (mid + 1 + j * 2).min(horizon - 1),
+                        kind: OpKind::Data { imsi, uplink: false },
+                    });
+                }
+            }
+        }
         ops.sort_by_key(|o| o.at_tick);
         ops
     }
@@ -284,6 +335,12 @@ impl SimWorld {
             ActionKind::Tick => {
                 self.clock.advance_ns(TICK_NS);
                 self.ha.advance_tick();
+                // Gated on idle_users so pre-paging scenarios keep their
+                // byte-identical digests (the pump flushes ctrl→data
+                // updates, which would reorder observable state).
+                if self.cfg.idle_users > 0 {
+                    self.pump_paging();
+                }
             }
             ActionKind::Emit => {
                 if (a.arg as usize) < n {
@@ -426,11 +483,28 @@ impl SimWorld {
             5 if self.cfg.sig_handover => {
                 S1apPdu::HandoverRequired { enb_ue_id: ue.enb_ue_id, mme_ue_id: ue.mme_ue_id, target_ecgi: 0x400 }
             }
+            5 if ue.idler => {
+                S1apPdu::UeContextReleaseRequest { enb_ue_id: ue.enb_ue_id, mme_ue_id: ue.mme_ue_id, cause: 0 }
+            }
             6 => S1apPdu::HandoverRequestAck {
                 mme_ue_id: ue.mme_ue_id,
                 new_enb_teid: 0xF000 + (imsi & 0xFFF) as u32,
                 new_enb_ip: 0xC0A8_0003,
             },
+            8 => {
+                // Idle: answer a page with a Service Request — unless
+                // this UE is the deliberate page-ignorer, whose pages
+                // must retransmit to expiry and drop the buffer.
+                if ue.page_ignorer || !self.paged_gutis.contains(&ue.guti) {
+                    return;
+                }
+                S1apPdu::InitialUeMessage {
+                    enb_ue_id: ue.enb_ue_id,
+                    ecgi: 0x300,
+                    tac: 7,
+                    nas: NasMsg::ServiceRequest { guti: ue.guti }.encode(),
+                }
+            }
             _ => return, // attached (no handover configured) or done
         };
         let rsp = self.ha.node_s1ap(k, &pdu);
@@ -460,18 +534,52 @@ impl SimWorld {
                         // stage so the next scheduled op retries the
                         // same message — the herd re-colliding.
                     }
+                    Ok(NasMsg::ServiceAccept) if ue.stage == 8 => {
+                        // The page is answered; the UE is active again
+                        // and its buffered downlink has flushed.
+                        ue.mme_ue_id = *mme_ue_id;
+                        ue.stage = 9;
+                    }
                     _ => {}
                 },
-                S1apPdu::InitialContextSetupRequest { mme_ue_id, .. } if ue.stage == 2 => {
+                S1apPdu::InitialContextSetupRequest { mme_ue_id, nas, .. } if ue.stage == 2 => {
                     ue.mme_ue_id = *mme_ue_id;
+                    // The Attach Accept rides in the ICS request; its
+                    // GUTI is how a later page addresses this UE.
+                    if let Ok(NasMsg::AttachAccept { guti, .. }) = NasMsg::decode(nas) {
+                        ue.guti = guti;
+                    }
                     ue.stage = 3;
                 }
                 S1apPdu::HandoverRequest { .. } if ue.stage == 5 => ue.stage = 6,
                 S1apPdu::HandoverCommand { .. } if ue.stage == 6 => ue.stage = 7,
+                S1apPdu::UeContextReleaseCommand { .. } if ue.stage == 5 && ue.idler => ue.stage = 8,
                 _ => {}
             }
         }
         self.enbs.insert(imsi, ue);
+    }
+
+    /// Surface network-originated paging: drain buffered-downlink events
+    /// into the control plane on every live node, collect the Paging (and
+    /// retransmitted) PDUs toward the eNodeBs, and count woken downlink
+    /// that flushed end-to-end. Idle runs only (see the Tick arm).
+    fn pump_paging(&mut self) {
+        let n = self.node_count();
+        for k in 0..n {
+            if self.ha.is_killed(k) || self.ha.cluster_ref().is_dead(k) {
+                continue;
+            }
+            let node = self.ha.cluster().node(k);
+            let pdus = node.pump_paging();
+            let woken = node.take_woken();
+            self.forwarded += woken.len() as u64;
+            for p in pdus {
+                if let pepc_sigproto::s1ap::S1apPdu::Paging { guti, .. } = p {
+                    self.paged_gutis.insert(guti);
+                }
+            }
+        }
     }
 
     /// Cache the network-assigned data-plane identifiers once the attach

@@ -145,6 +145,46 @@ fn schedule_matrix_mass_attach_ramp_green() {
     assert!(ramped_any, "no schedule grew past the synthetic population in {n} ramps");
 }
 
+/// The idle/paging cycle under schedule exploration: subscribers attach,
+/// release to idle, get paged when downlink arrives, and wake with a
+/// Service Request — while one deliberate page-ignorer forces the
+/// retransmit-to-expiry path. The in-run oracles (`stuck_idle`,
+/// `paging_accounting`, `sig_conservation`, `conservation`) are the
+/// assertions; across the sweep pages must actually fire, some must
+/// resolve (wake-ups work), and some must expire (the ignorer's
+/// retransmissions escalate), or the scenario exercises nothing.
+#[test]
+fn schedule_matrix_idle_wakeup_storm_green() {
+    let n = schedules_from_env(1000).min(64);
+    let (mut paged_any, mut resolved_any, mut expired_any) = (false, false, false);
+    for seed in 1..=n {
+        let r = run_green(&SimConfig::idle_wakeup_storm(seed));
+        assert!(r.forwarded > 0, "seed {seed}: no data forwarded");
+        paged_any |= r.paged > 0;
+        resolved_any |= r.paging_resolved > 0;
+        expired_any |= r.paging_expired > 0;
+    }
+    assert!(paged_any, "no schedule ever paged across {n} runs");
+    assert!(resolved_any, "no page was ever answered across {n} runs");
+    assert!(expired_any, "no page ever expired across {n} runs (ignorer inert)");
+}
+
+/// The idle cycle with a node kill landing inside the paging window:
+/// in-flight pages and buffered downlink die with the node, survivors
+/// keep paging, and no live node may strand a suspended UE.
+#[test]
+fn schedule_matrix_kill_mid_paging_green() {
+    let n = schedules_from_env(1000).min(64);
+    let (mut paged_any, mut failed_over) = (false, false);
+    for seed in 1..=n {
+        let r = run_green(&SimConfig::kill_mid_paging(seed));
+        paged_any |= r.paged > 0;
+        failed_over |= r.failovers > 0;
+    }
+    assert!(paged_any, "no schedule ever paged across {n} runs");
+    assert!(failed_over, "kill never fired across {n} runs");
+}
+
 /// The storm with a replication-wire partition opening mid-wave.
 #[test]
 fn schedule_matrix_storm_partition_green() {

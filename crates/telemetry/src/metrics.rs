@@ -27,6 +27,22 @@ pub struct DataMetrics {
     /// Drops: packet arrived for a user whose node died and whose state
     /// was still being promoted onto a survivor (the failover blackout).
     pub drop_failover: u64,
+    /// Drops: downlink for an idle (suspended) UE whose per-UE idle
+    /// buffer was already full.
+    pub drop_idle_overflow: u64,
+    /// Drops: buffered idle downlink discarded because the page expired
+    /// or the user was removed before waking.
+    pub drop_idle_expired: u64,
+    /// Drops: uplink from a suspended UE (it must service-request first).
+    pub drop_idle_uplink: u64,
+    /// Gauge: downlink packets currently parked in idle-UE buffers —
+    /// neither forwarded nor dropped yet, so conservation carries them as
+    /// their own term until the UE wakes (forwarded) or the page expires
+    /// (`drop_idle_expired`).
+    pub idle_buffered: u64,
+    /// Buffered idle downlink flushed as forwarded when the UE woke
+    /// (subset of `forwarded`).
+    pub forwarded_on_wake: u64,
     /// Control→data updates applied.
     pub updates_applied: u64,
 }
@@ -34,13 +50,20 @@ pub struct DataMetrics {
 impl DataMetrics {
     /// Sum over the full drop-cause taxonomy.
     pub fn drops_total(&self) -> u64 {
-        self.drop_unknown_user + self.drop_gate + self.drop_qos + self.drop_malformed + self.drop_failover
+        self.drop_unknown_user
+            + self.drop_gate
+            + self.drop_qos
+            + self.drop_malformed
+            + self.drop_failover
+            + self.drop_idle_overflow
+            + self.drop_idle_expired
+            + self.drop_idle_uplink
     }
 
-    /// Packet conservation: every received packet is either forwarded or
-    /// attributed to exactly one drop cause.
+    /// Packet conservation: every received packet is either forwarded,
+    /// attributed to exactly one drop cause, or parked in an idle buffer.
     pub fn conservation_holds(&self) -> bool {
-        self.rx == self.forwarded + self.drops_total()
+        self.rx == self.forwarded + self.drops_total() + self.idle_buffered
     }
 }
 
@@ -107,6 +130,19 @@ pub struct CtrlMetrics {
     pub sig_shed_attach: u64,
     /// Shed periodic-TAU-class messages (lowest priority).
     pub sig_shed_tau: u64,
+    // Paging taxonomy (PR 10). Together with the count of machines in
+    // `PagingWait` these satisfy the third identity:
+    // `paged == paging_resolved + paging_expired + paging_in_flight`.
+    /// Pages started (one per PagingWait instance, not per retransmit).
+    pub paged: u64,
+    /// Pages answered by the UE's Service Request.
+    pub paging_resolved: u64,
+    /// Pages abandoned: retransmissions exhausted, the page was
+    /// preempted (UE detached/re-attached), or the machine was retired.
+    pub paging_expired: u64,
+    /// Paging PDU retransmissions (timer-driven re-sends, excluded from
+    /// `paged`).
+    pub paging_retx: u64,
 }
 
 impl CtrlMetrics {
@@ -121,6 +157,12 @@ impl CtrlMetrics {
     /// classes.
     pub fn sig_shed_total(&self) -> u64 {
         self.sig_shed_handover + self.sig_shed_attach + self.sig_shed_tau
+    }
+
+    /// Every page started resolves, expires, or is still waiting for the
+    /// UE to answer.
+    pub fn paging_accounting_holds(&self, paging_in_flight: u64) -> bool {
+        self.paged == self.paging_resolved + self.paging_expired + paging_in_flight
     }
 
     /// Every S1AP PDU received is consumed, deduped, dropped, overflowed,
@@ -158,6 +200,29 @@ mod tests {
         d.drop_malformed = 1;
         assert!(d.conservation_holds());
         assert_eq!(d.drops_total(), 3);
+    }
+
+    #[test]
+    fn conservation_carries_idle_buffered_packets() {
+        // 10 in: 6 forwarded, 1 idle-overflow drop, 3 still buffered.
+        let mut d = DataMetrics { rx: 10, forwarded: 6, drop_idle_overflow: 1, ..Default::default() };
+        assert!(!d.conservation_holds());
+        d.idle_buffered = 3;
+        assert!(d.conservation_holds());
+        // Wake: the buffer flushes as forwarded.
+        d.forwarded += 3;
+        d.forwarded_on_wake += 3;
+        d.idle_buffered = 0;
+        assert!(d.conservation_holds());
+    }
+
+    #[test]
+    fn paging_accounting() {
+        let mut c = CtrlMetrics { paged: 5, paging_resolved: 2, paging_expired: 1, ..Default::default() };
+        assert!(c.paging_accounting_holds(2));
+        assert!(!c.paging_accounting_holds(0));
+        c.paging_expired += 2;
+        assert!(c.paging_accounting_holds(0));
     }
 
     #[test]

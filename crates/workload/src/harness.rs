@@ -91,7 +91,7 @@ impl SystemUnderTest for PepcSut {
     fn process(&mut self, m: Mbuf) -> Option<Mbuf> {
         match self.slice.process_packet(m) {
             pepc::data::PacketVerdict::Forward(out) => Some(out),
-            pepc::data::PacketVerdict::Drop(_) => None,
+            pepc::data::PacketVerdict::Drop(_) | pepc::data::PacketVerdict::Buffered => None,
         }
     }
 

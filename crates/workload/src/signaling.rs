@@ -116,6 +116,12 @@ pub enum ProcStep {
     Detach,
     /// Bearer modification control event (AMBR change).
     BearerModify,
+    /// eNodeB UE Context Release Request (active→idle; S1 release).
+    ReleaseRequest,
+    /// Network-triggered page (downlink arrived for the idle UE).
+    PageTrigger,
+    /// NAS Service Request (GUTI-addressed; idle→active, answers a page).
+    ServiceRequest,
 }
 
 /// The five procedure scripts the interleaving matrix shuffles. A
@@ -141,6 +147,13 @@ pub fn detach_script() -> Vec<ProcStep> {
 
 pub fn bearer_script() -> Vec<ProcStep> {
     vec![ProcStep::BearerModify]
+}
+
+/// The paging race: the UE is released to idle, downlink triggers a
+/// page, and the UE answers with a Service Request. Shuffled against
+/// attach/detach streams this exercises every page-vs-signaling race.
+pub fn page_race_script() -> Vec<ProcStep> {
+    vec![ProcStep::ReleaseRequest, ProcStep::PageTrigger, ProcStep::ServiceRequest]
 }
 
 /// Seeded shuffle of several procedure scripts into one message stream.

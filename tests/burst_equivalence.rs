@@ -134,6 +134,7 @@ fn verdict_kind(v: &PacketVerdict) -> (u8, Option<DropReason>, usize) {
     match v {
         PacketVerdict::Forward(m) => (0, None, m.len()),
         PacketVerdict::Drop(r) => (1, Some(*r), 0),
+        PacketVerdict::Buffered => (2, None, 0),
     }
 }
 

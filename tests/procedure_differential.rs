@@ -159,6 +159,15 @@ fn run_workload(seed: u64) -> u64 {
     // Pre-existing counters only: the refactor adds new per-procedure
     // counters, which must not perturb these.
     let m = cp.metrics();
+    // The idle/paging subsystem (PR 10) must be completely inert in a
+    // replay that never releases a UE: any nonzero here means paging
+    // machinery leaked into the attach/handover paths.
+    assert_eq!(m.paged, 0, "seed replay must not page");
+    assert_eq!(m.paging_resolved, 0);
+    assert_eq!(m.paging_expired, 0);
+    assert_eq!(m.paging_retx, 0);
+    assert_eq!(cp.paging_in_flight(), 0);
+    assert_eq!(cp.idle_user_count(), 0, "no UE may end up suspended");
     for v in [
         m.attaches,
         m.attach_rejects,

@@ -1,4 +1,4 @@
-//! Interleaving matrix for the per-UE procedure machines (PR 6).
+//! Interleaving matrix for the per-UE procedure machines (PR 6, PR 10).
 //!
 //! One UE, five procedure message streams — attach, duplicate attach
 //! (same S1 association), S1 handover, detach, bearer setup — shuffled
@@ -6,6 +6,13 @@
 //! intra-stream order, plus seeded K-stream shuffles via
 //! [`pepc_workload::signaling::OverlapGen`] for the combinations where
 //! enumeration would explode.
+//!
+//! PR 10 adds the **multi-UE chaos matrix**: several UEs, each running
+//! its full lifecycle (attach → release → page-race → detach), with the
+//! UEs' streams shuffled against each other — exhaustively for two UEs,
+//! seeded for three and more (`PROC_UES`/`PROC_SHUFFLES` env knobs).
+//! Paging adds a third conservation identity checked after **every**
+//! message: `paged == paging_resolved + paging_expired + in_flight`.
 //!
 //! Every ordering must leave the control plane in a *legal terminal
 //! state*:
@@ -28,7 +35,9 @@ use pepc_backend::hss::sim_response;
 use pepc_backend::{Hss, Pcrf};
 use pepc_sigproto::nas::NasMsg;
 use pepc_sigproto::s1ap::S1apPdu;
-use pepc_workload::signaling::{attach_script, bearer_script, detach_script, handover_script, OverlapGen, ProcStep};
+use pepc_workload::signaling::{
+    attach_script, bearer_script, detach_script, handover_script, page_race_script, OverlapGen, ProcStep,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const IMSI: u64 = 1;
@@ -158,6 +167,27 @@ impl Driver {
                 self.assert_conservation("after bearer event");
                 vec![]
             }
+            ProcStep::ReleaseRequest => {
+                let mme_ue_id = self.mme;
+                self.send(&S1apPdu::UeContextReleaseRequest { enb_ue_id, mme_ue_id, cause: 0 })
+            }
+            ProcStep::PageTrigger => {
+                // Network-originated: no inbound PDU, but counted as
+                // signaling so the identities hold.
+                let out = self.cp.page(IMSI);
+                self.sent += 1;
+                self.assert_conservation("after page trigger");
+                out
+            }
+            ProcStep::ServiceRequest => {
+                let guti = self.guti.unwrap_or(0xDEAD_BEEF);
+                self.send(&S1apPdu::InitialUeMessage {
+                    enb_ue_id,
+                    ecgi: 0x100,
+                    tac: 1,
+                    nas: NasMsg::ServiceRequest { guti }.encode(),
+                })
+            }
         }
     }
 
@@ -184,6 +214,14 @@ impl Driver {
             m.proc_expired,
             self.cp.procedures_in_flight()
         );
+        assert!(
+            m.paging_accounting_holds(self.cp.paging_in_flight()),
+            "{when}: paged={} resolved={} expired={} in_flight={}",
+            m.paged,
+            m.paging_resolved,
+            m.paging_expired,
+            self.cp.paging_in_flight()
+        );
     }
 
     /// Terminal legality: expire whatever is still in flight, then
@@ -193,6 +231,7 @@ impl Driver {
         self.cp.expire_procedures(1_000_000, 1);
         assert_eq!(self.cp.procedures_in_flight(), 0, "UE stuck mid-procedure after expiry");
         assert_eq!(self.cp.mailbox_backlog(), 0, "mailbox not drained by expiry");
+        assert_eq!(self.cp.paging_in_flight(), 0, "page still in flight after expiry");
         self.assert_conservation("terminal");
         let users = self.cp.user_count();
         assert!(users <= 1, "single UE produced {users} user records");
@@ -220,6 +259,14 @@ fn streams() -> Vec<(&'static str, u32, Vec<ProcStep>)> {
         ("detach", 0x30, detach_script()),
         ("bearer-setup", 0x40, bearer_script()),
     ]
+}
+
+/// [`streams`] plus the paging race (PR 10) — used by the seeded shuffle,
+/// which asserts legality rather than a fixed matrix size.
+fn streams_with_paging() -> Vec<(&'static str, u32, Vec<ProcStep>)> {
+    let mut v = streams();
+    v.push(("page-race", 0x50, page_race_script()));
+    v
 }
 
 /// Enumerate every merge of `a` and `b` that preserves both orders
@@ -310,7 +357,8 @@ fn seeded_five_stream_shuffles_terminate_legally() {
     for seed in seeds {
         for k in 0..shuffles {
             let shuffle_seed = seed.wrapping_mul(0x0100_0000_01B3).wrapping_add(k);
-            let scripts: Vec<(u32, Vec<ProcStep>)> = streams().into_iter().map(|(_, tag, s)| (tag, s)).collect();
+            let scripts: Vec<(u32, Vec<ProcStep>)> =
+                streams_with_paging().into_iter().map(|(_, tag, s)| (tag, s)).collect();
             let mut gen = OverlapGen::new(shuffle_seed, scripts);
             let mut seq = Vec::new();
             while let Some(step) = gen.next_step() {
@@ -398,6 +446,254 @@ fn duplicate_attach_for_attached_imsi_is_idempotent() {
     assert_eq!(after.tunnels.gw_teid, before.tunnels.gw_teid);
     assert_eq!(d.cp.metrics().attaches, 2, "both completions count");
     d.assert_legal_terminal_state();
+}
+
+// -- PR 10: multi-UE chaos matrix --------------------------------------------
+
+/// Full single-UE lifecycle: attach, S1 release, page race (network page
+/// vs the UE's own Service Request), detach. Nine messages.
+fn ue_lifecycle() -> Vec<ProcStep> {
+    let mut s = attach_script();
+    s.extend(page_race_script());
+    s.extend(detach_script());
+    s
+}
+
+/// One UE's view of the transport identifiers — learned from responses
+/// to its *own* messages, exactly like `Driver` but per UE.
+struct UeSide {
+    imsi: u64,
+    enb_ue_id: u32,
+    rand: Option<u64>,
+    mme: u32,
+    guti: Option<u64>,
+}
+
+/// Replays interleaved multi-UE step sequences against one control
+/// plane, asserting all three conservation identities after every
+/// message.
+struct MultiDriver {
+    cp: ControlPlane,
+    ues: Vec<UeSide>,
+}
+
+impl MultiDriver {
+    fn new(n: usize) -> Self {
+        let ues = (0..n)
+            .map(|u| UeSide { imsi: (u + 1) as u64, enb_ue_id: 0x10 * (u as u32 + 1), rand: None, mme: 0, guti: None })
+            .collect();
+        MultiDriver { cp: cp_with_backends(), ues }
+    }
+
+    fn send(&mut self, u: usize, pdu: &S1apPdu) {
+        let out = self.cp.handle_s1ap(pdu);
+        let ue = &mut self.ues[u];
+        for p in &out {
+            match p {
+                S1apPdu::DownlinkNasTransport { mme_ue_id, nas, .. } => {
+                    if let Ok(NasMsg::AuthenticationRequest { rand, .. }) = NasMsg::decode(nas) {
+                        ue.rand = Some(rand);
+                        ue.mme = *mme_ue_id;
+                    }
+                }
+                S1apPdu::InitialContextSetupRequest { mme_ue_id, nas, .. } => {
+                    ue.mme = *mme_ue_id;
+                    if let Ok(NasMsg::AttachAccept { guti, .. }) = NasMsg::decode(nas) {
+                        ue.guti = Some(guti);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.assert_identities("after message");
+    }
+
+    fn apply(&mut self, u: usize, step: ProcStep) {
+        let ue = &self.ues[u];
+        let (imsi, enb_ue_id, mme_ue_id) = (ue.imsi, ue.enb_ue_id, ue.mme);
+        match step {
+            ProcStep::AttachStart => self.send(
+                u,
+                &S1apPdu::InitialUeMessage {
+                    enb_ue_id,
+                    ecgi: 0x100,
+                    tac: 1,
+                    nas: NasMsg::AttachRequest { imsi, ue_capability: 0xF0 }.encode(),
+                },
+            ),
+            ProcStep::AuthResponse => {
+                let res = ue.rand.map(|r| sim_response(Hss::key_for(imsi), r)).unwrap_or(0);
+                self.send(
+                    u,
+                    &S1apPdu::UplinkNasTransport {
+                        enb_ue_id,
+                        mme_ue_id,
+                        nas: NasMsg::AuthenticationResponse { res }.encode(),
+                    },
+                )
+            }
+            ProcStep::SecurityModeComplete => self.send(
+                u,
+                &S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::SecurityModeComplete.encode() },
+            ),
+            ProcStep::IcsResponse => self.send(
+                u,
+                &S1apPdu::InitialContextSetupResponse {
+                    enb_ue_id,
+                    mme_ue_id,
+                    enb_teid: 0xE000 + enb_ue_id,
+                    enb_ip: 0xC0A8_0001,
+                },
+            ),
+            ProcStep::AttachComplete => self
+                .send(u, &S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::AttachComplete.encode() }),
+            ProcStep::HoRequired => {
+                self.send(u, &S1apPdu::HandoverRequired { enb_ue_id, mme_ue_id, target_ecgi: 0x300 })
+            }
+            ProcStep::HoAck => self.send(
+                u,
+                &S1apPdu::HandoverRequestAck { mme_ue_id, new_enb_teid: 0xE100 + enb_ue_id, new_enb_ip: 0xC0A8_0002 },
+            ),
+            ProcStep::Detach => {
+                let guti = ue.guti.unwrap_or(0xDEAD_BEEF);
+                self.send(
+                    u,
+                    &S1apPdu::UplinkNasTransport { enb_ue_id, mme_ue_id, nas: NasMsg::DetachRequest { guti }.encode() },
+                )
+            }
+            ProcStep::BearerModify => {
+                self.cp.apply_event(CtrlEvent::ModifyBearer { imsi, ambr_kbps: 4242 });
+                self.assert_identities("after bearer event");
+            }
+            ProcStep::ReleaseRequest => {
+                self.send(u, &S1apPdu::UeContextReleaseRequest { enb_ue_id, mme_ue_id, cause: 0 })
+            }
+            ProcStep::PageTrigger => {
+                self.cp.page(imsi);
+                self.assert_identities("after page trigger");
+            }
+            ProcStep::ServiceRequest => {
+                let guti = ue.guti.unwrap_or(0xDEAD_BEEF);
+                self.send(
+                    u,
+                    &S1apPdu::InitialUeMessage {
+                        enb_ue_id,
+                        ecgi: 0x100,
+                        tac: 1,
+                        nas: NasMsg::ServiceRequest { guti }.encode(),
+                    },
+                )
+            }
+        }
+    }
+
+    fn assert_identities(&self, when: &str) {
+        let m = self.cp.metrics();
+        assert!(
+            m.signaling_conservation_holds(self.cp.mailbox_backlog()),
+            "{when}: s1ap_rx={} consumed={} deduped={} dropped={} overflow={} shed={} backlog={}",
+            m.s1ap_rx,
+            m.sig_consumed,
+            m.proc_deduped,
+            m.sig_dropped,
+            m.sig_overflow,
+            m.sig_shed_total(),
+            self.cp.mailbox_backlog()
+        );
+        assert!(
+            m.procedure_accounting_holds(self.cp.procedures_in_flight()),
+            "{when}: started={} completed={} preempted={} aborted={} expired={} in_flight={}",
+            m.proc_started,
+            m.proc_completed,
+            m.proc_preempted,
+            m.proc_aborted,
+            m.proc_expired,
+            self.cp.procedures_in_flight()
+        );
+        assert!(
+            m.paging_accounting_holds(self.cp.paging_in_flight()),
+            "{when}: paged={} resolved={} expired={} in_flight={}",
+            m.paged,
+            m.paging_resolved,
+            m.paging_expired,
+            self.cp.paging_in_flight()
+        );
+    }
+
+    fn assert_legal_terminal_state(&mut self) {
+        self.cp.expire_procedures(1_000_000, 1);
+        assert_eq!(self.cp.procedures_in_flight(), 0, "UE stuck mid-procedure after expiry");
+        assert_eq!(self.cp.mailbox_backlog(), 0, "mailbox not drained by expiry");
+        assert_eq!(self.cp.paging_in_flight(), 0, "page still in flight after expiry");
+        self.assert_identities("terminal");
+        let n = self.ues.len();
+        let users = self.cp.user_count();
+        assert!(users <= n, "{n} UEs produced {users} user records");
+        for ue in &self.ues {
+            if let Some(ctx) = self.cp.context_of(ue.imsi) {
+                let c = ctx.ctrl_read().clone();
+                assert_eq!(c.imsi, ue.imsi);
+                assert_ne!(c.ue_ip, 0, "attached user without a UE IP");
+                assert_ne!(c.tunnels.gw_teid, 0, "attached user without a gateway TEID");
+                assert!(self.cp.knows_guti(c.guti), "user's GUTI does not route back to it");
+            }
+        }
+        let _ = self.cp.take_updates();
+    }
+}
+
+fn run_multi(n: usize, seq: &[(u32, ProcStep)]) {
+    let mut d = MultiDriver::new(n);
+    for &(ue, step) in seq {
+        d.apply(ue as usize, step);
+    }
+    d.assert_legal_terminal_state();
+}
+
+/// EVERY order-preserving shuffle of two UEs' full lifecycles —
+/// C(18, 9) = 48620 interleavings, covering each paging race (downlink
+/// page vs the other UE's signaling vs both detaches) exhaustively.
+#[test]
+fn two_ue_lifecycle_interleavings_terminate_legally() {
+    let s = ue_lifecycle();
+    let a: Vec<(u32, ProcStep)> = s.iter().map(|&x| (0, x)).collect();
+    let b: Vec<(u32, ProcStep)> = s.iter().map(|&x| (1, x)).collect();
+    let mut count = 0u64;
+    for_each_interleaving(&a, &b, &mut |seq| {
+        count += 1;
+        run_multi(2, seq);
+    });
+    assert_eq!(count, binomial(18, 9), "two-UE matrix enumeration incomplete");
+}
+
+/// Seeded shuffles of three (or `$PROC_UES`) full lifecycles at once —
+/// the region exhaustive enumeration cannot reach. Same env knobs and
+/// failure-trace artifacts as the five-stream shuffle.
+#[test]
+fn seeded_multi_ue_shuffles_terminate_legally() {
+    let n: usize = std::env::var("PROC_UES").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    assert!((2..=8).contains(&n), "PROC_UES must be in 2..=8 (HSS provisions 8 subscribers)");
+    let seeds: Vec<u64> = match std::env::var("PROC_SEED") {
+        Ok(s) => vec![s.parse().expect("PROC_SEED must be a u64")],
+        Err(_) => vec![1, 7, 42],
+    };
+    let shuffles: u64 = std::env::var("PROC_SHUFFLES").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    for seed in seeds {
+        for k in 0..shuffles {
+            let shuffle_seed = seed.wrapping_mul(0x0100_0000_01B3).wrapping_add(k).wrapping_add(0x9E37);
+            let scripts: Vec<(u32, Vec<ProcStep>)> = (0..n).map(|u| (u as u32, ue_lifecycle())).collect();
+            let mut gen = OverlapGen::new(shuffle_seed, scripts);
+            let mut seq = Vec::new();
+            while let Some(step) = gen.next_step() {
+                seq.push(step);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_multi(n, &seq)));
+            if let Err(panic) = outcome {
+                save_trace(shuffle_seed, &seq);
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
 }
 
 /// Retransmitting the Attach Request mid-procedure on the SAME S1

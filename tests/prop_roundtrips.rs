@@ -600,6 +600,9 @@ fn small_nas() -> impl Strategy<Value = NasMsg> {
         (0u64..8).prop_map(|g| NasMsg::DetachRequest { guti: 0xD00D_0000 + g }),
         (0u64..8, any::<u16>()).prop_map(|(g, tac)| NasMsg::TrackingAreaUpdateRequest { guti: 0xD00D_0000 + g, tac }),
         (0u64..8).prop_map(|g| NasMsg::ServiceRequest { guti: 0xD00D_0000 + g }),
+        // MME-originated NAS arriving inbound: a protocol error the
+        // dispatcher must consume without effect.
+        any::<u8>().prop_map(|cause| NasMsg::NetworkDetachRequest { cause }),
     ]
 }
 
@@ -643,6 +646,12 @@ fn fuzz_pdu() -> impl Strategy<Value = S1apPdu> {
         }),
         (0u32..4, 0u32..4)
             .prop_map(|(enb_ue_id, mme_ue_id)| { S1apPdu::UeContextReleaseComplete { enb_ue_id, mme_ue_id } }),
+        (0u32..4, 0u32..4, any::<u8>()).prop_map(|(enb_ue_id, mme_ue_id, cause)| {
+            S1apPdu::UeContextReleaseRequest { enb_ue_id, mme_ue_id, cause }
+        }),
+        // MME-originated paging arriving inbound: unroutable, must be
+        // discarded cleanly.
+        (0u32..4, 0u64..8).prop_map(|(mme_ue_id, g)| S1apPdu::Paging { mme_ue_id, guti: 0xD00D_0000 + g }),
     ]
 }
 
@@ -651,10 +660,33 @@ proptest! {
     fn procedure_dispatcher_total_on_arbitrary_pdu_sequences(
         pdus in proptest::collection::vec(fuzz_pdu(), 0..60),
         expire_at in proptest::option::of(0usize..60),
+        // Network-originated injections riding the same clock: a page
+        // and a forced detach for a small-space IMSI at random points.
+        page_at in proptest::option::of((0usize..60, 1u64..5)),
+        net_detach_at in proptest::option::of((0usize..60, 1u64..5)),
     ) {
         let mut cp = fuzz_control_plane();
+        let assert_identities = |cp: &pepc::ctrl::ControlPlane| {
+            let m = cp.metrics();
+            assert!(m.signaling_conservation_holds(cp.mailbox_backlog()));
+            assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+            assert!(m.paging_accounting_holds(cp.paging_in_flight()));
+        };
         for (i, pdu) in pdus.iter().enumerate() {
             cp.note_tick(i as u64);
+            let _ = cp.take_pending_tx();
+            if let Some((at, imsi)) = page_at {
+                if at == i {
+                    let _ = cp.page(imsi);
+                    assert_identities(&cp);
+                }
+            }
+            if let Some((at, imsi)) = net_detach_at {
+                if at == i {
+                    let _ = cp.network_detach(imsi);
+                    assert_identities(&cp);
+                }
+            }
             let out = cp.handle_s1ap(pdu);
             // One delivery can at most answer the message itself plus a
             // full mailbox drained by it.
@@ -663,31 +695,32 @@ proptest! {
                 "unbounded emission: {} PDUs from one message",
                 out.len()
             );
-            let m = cp.metrics();
-            prop_assert!(m.signaling_conservation_holds(cp.mailbox_backlog()));
-            prop_assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+            assert_identities(&cp);
             if expire_at == Some(i) {
+                // Expiry must be one-shot safe: a machine the stale scan
+                // selected can be gone by the time it is retired (an
+                // earlier expiry's rollback compensation removed it).
                 cp.expire_procedures(i as u64 + 100, 1);
-                let m = cp.metrics();
-                prop_assert!(m.signaling_conservation_holds(cp.mailbox_backlog()));
-                prop_assert!(m.procedure_accounting_holds(cp.procedures_in_flight()));
+                assert_identities(&cp);
             }
         }
         // Supervision always converges: after expiry nothing is in
-        // flight, parked, or unaccounted.
+        // flight, parked, or unaccounted — pages included.
         cp.expire_procedures(1_000_000, 1);
         prop_assert_eq!(cp.procedures_in_flight(), 0);
         prop_assert_eq!(cp.mailbox_backlog(), 0);
+        prop_assert_eq!(cp.paging_in_flight(), 0);
         let m = cp.metrics();
         prop_assert!(m.signaling_conservation_holds(0));
         prop_assert!(m.procedure_accounting_holds(0));
+        prop_assert!(m.paging_accounting_holds(0));
         // Sessions stay within the provisioned population.
         prop_assert!(cp.user_count() <= 4);
     }
 
     #[test]
     fn procedure_machine_policy_is_total(
-        state_idx in 0usize..6,
+        state_idx in 0usize..7,
         pdu in fuzz_pdu(),
     ) {
         use pepc::procedure::{ProcState, UeMachine};
@@ -700,6 +733,7 @@ proptest! {
             ProcState::AttachWaitIcs { imsi: 1, mme_ue_id: 1 },
             ProcState::AttachWaitComplete { imsi: 1, mme_ue_id: 1 },
             ProcState::HandoverWaitAck { imsi: 1, source_enb_ue_id: 2, mme_ue_id: 1 },
+            ProcState::PagingWait { imsi: 1, mme_ue_id: 1, retries: 0, next_retx: 2 },
         ];
         let mut m = UeMachine::new(1, 0);
         m.enb_ue_id = 2;
@@ -728,11 +762,191 @@ proptest! {
                     enb_ip: *enb_ip,
                 })
             }
+            S1apPdu::UeContextReleaseRequest { enb_ue_id, mme_ue_id, cause } => {
+                Some(SigMsg::ReleaseReq { enb_ue_id: *enb_ue_id, mme_ue_id: *mme_ue_id, cause: *cause })
+            }
             _ => None,
         };
         if let Some(msg) = msg {
             let _ = m.dispose(&msg); // any Disposition is fine; panic is the bug
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Idle-mode downlink buffer (PR 10, DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// One step of the idle-buffer lifecycle exercised below.
+#[derive(Debug, Clone, Copy)]
+enum IdleOp {
+    /// Plain-IP downlink addressed to the UE.
+    Downlink,
+    /// GTP-U uplink from the (possibly suspended) UE.
+    Uplink,
+    /// Service Request resolution: re-insert, flushing the buffer.
+    Wake,
+    /// Paging expiry: discard the buffer, UE stays suspended.
+    Expire,
+    /// S1 release: park the UE outside the lookup tables.
+    Sleep,
+}
+
+fn idle_op() -> impl Strategy<Value = IdleOp> {
+    // Downlink is over-weighted so buffers actually fill.
+    (0u8..8).prop_map(|k| match k {
+        0 => IdleOp::Uplink,
+        1 => IdleOp::Wake,
+        2 => IdleOp::Expire,
+        3 => IdleOp::Sleep,
+        _ => IdleOp::Downlink,
+    })
+}
+
+proptest! {
+    /// The idle buffer is a bounded parking lot, not a leak: its
+    /// occupancy never exceeds the configured cap, the data-path
+    /// conservation identity holds after every operation, and every
+    /// downlink packet received while suspended is exactly one of
+    /// {still buffered, forwarded on wake, dropped}.
+    #[test]
+    fn idle_buffer_bounded_and_conserving(
+        cap in 1usize..6,
+        ops in proptest::collection::vec(idle_op(), 0..80),
+    ) {
+        use pepc::config::{IotConfig, TwoLevelConfig};
+        use pepc::data::{DataPlane, DpUpdate};
+        use pepc::state::{CounterState, QosPolicy, TunnelState};
+        use pepc::PacketVerdict;
+        use pepc_net::ipv4::IpProto;
+        use pepc_net::udp::UDP_HDR_LEN;
+        use pepc_net::IPV4_HDR_LEN;
+
+        const GW_IP: u32 = 0x0AFE_0001;
+        const ENB_IP: u32 = 0xC0A8_0001;
+        const UE_IP: u32 = 0x0A00_0042;
+        const TEID_UL: u32 = 0x1000;
+        const TEID_DL: u32 = 0x2000;
+
+        let mut dp = DataPlane::new(GW_IP, 64, TwoLevelConfig::default(), IotConfig::default());
+        dp.set_idle_buffer_cap(cap);
+        let mut ctrl = ControlState::new(404_010_000_000_001);
+        ctrl.ue_ip = UE_IP;
+        ctrl.qos = QosPolicy { qci: 9, ambr_kbps: 0, gbr_kbps: 0 };
+        ctrl.tunnels = TunnelState { enb_teid: TEID_DL, enb_ip: ENB_IP, gw_teid: TEID_UL };
+        let h = dp.slab().alloc(ctrl, CounterState::default());
+        dp.apply_update(DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, handle: h, active: true }, 0);
+
+        let downlink = || {
+            let payload = 32usize;
+            let mut m = Mbuf::new();
+            let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+            Ipv4Hdr::new(0x0808_0808, UE_IP, IpProto::Udp, UDP_HDR_LEN + payload)
+                .emit(&mut hdr[..IPV4_HDR_LEN])
+                .unwrap();
+            UdpHdr::new(443, 40_000, payload).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+            m.extend(&hdr);
+            m.extend(&vec![0xAB; payload]);
+            m
+        };
+        let uplink = || {
+            let payload = 16usize;
+            let mut m = Mbuf::new();
+            let mut hdr = vec![0u8; IPV4_HDR_LEN + UDP_HDR_LEN];
+            Ipv4Hdr::new(UE_IP, 0x0808_0808, IpProto::Udp, UDP_HDR_LEN + payload)
+                .emit(&mut hdr[..IPV4_HDR_LEN])
+                .unwrap();
+            UdpHdr::new(40_000, 53, payload).emit(&mut hdr[IPV4_HDR_LEN..]).unwrap();
+            m.extend(&hdr);
+            m.extend(&vec![0xCD; payload]);
+            encap_gtpu(&mut m, ENB_IP, GW_IP, TEID_UL).unwrap();
+            m
+        };
+
+        // Shadow model: what the buffer must contain and where every
+        // suspended-downlink packet must have ended up.
+        let mut suspended = false;
+        let mut model_buffered = 0u64;
+        let mut model_wake_flushed = 0u64;
+        let mut model_overflow = 0u64;
+        let mut model_expired = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            match op {
+                IdleOp::Downlink => {
+                    let v = dp.process(downlink(), now);
+                    if suspended {
+                        if model_buffered < cap as u64 {
+                            model_buffered += 1;
+                            prop_assert!(matches!(v, PacketVerdict::Buffered));
+                        } else {
+                            model_overflow += 1;
+                            prop_assert!(matches!(v, PacketVerdict::Drop(_)));
+                        }
+                    } else {
+                        prop_assert!(matches!(v, PacketVerdict::Forward(_)));
+                    }
+                }
+                IdleOp::Uplink => {
+                    let v = dp.process(uplink(), now);
+                    if suspended {
+                        // Suspended uplink is a protocol error: dropped,
+                        // never a wake.
+                        prop_assert!(matches!(v, PacketVerdict::Drop(_)));
+                    } else {
+                        prop_assert!(matches!(v, PacketVerdict::Forward(_)));
+                    }
+                }
+                IdleOp::Wake if suspended => {
+                    dp.apply_update(
+                        DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, handle: h, active: true },
+                        now,
+                    );
+                    let woken = dp.take_woken();
+                    prop_assert_eq!(woken.len() as u64, model_buffered);
+                    model_wake_flushed += model_buffered;
+                    model_buffered = 0;
+                    suspended = false;
+                }
+                IdleOp::Expire if suspended => {
+                    dp.apply_update(DpUpdate::DropIdleBuffer { ue_ip: UE_IP }, now);
+                    model_expired += model_buffered;
+                    model_buffered = 0;
+                    prop_assert_eq!(dp.suspended_count(), 1); // still parked
+                }
+                IdleOp::Sleep if !suspended => {
+                    dp.apply_update(DpUpdate::Suspend { gw_teid: TEID_UL, ue_ip: UE_IP, imsi: 1 }, now);
+                    suspended = true;
+                }
+                // Wake while awake / Expire or Sleep in the wrong phase
+                // are no-ops for the model and skipped by the driver.
+                IdleOp::Wake | IdleOp::Expire | IdleOp::Sleep => {}
+            }
+            let m = dp.metrics();
+            // Occupancy is bounded by the cap at every step, never just
+            // at the end.
+            prop_assert!(m.idle_buffered <= cap as u64, "buffer {} over cap {}", m.idle_buffered, cap);
+            prop_assert_eq!(m.idle_buffered, model_buffered);
+            // Exact disposition of every suspended-downlink packet.
+            prop_assert_eq!(m.forwarded_on_wake, model_wake_flushed);
+            prop_assert_eq!(m.drop_idle_overflow, model_overflow);
+            prop_assert_eq!(m.drop_idle_expired, model_expired);
+            // Data conservation: rx == forwarded + drops + parked.
+            prop_assert!(m.conservation_holds(), "conservation broken: {m:?}");
+        }
+        // Drain: waking at the end leaves nothing parked and conserves.
+        if suspended {
+            dp.apply_update(
+                DpUpdate::Insert { gw_teid: TEID_UL, ue_ip: UE_IP, handle: h, active: true },
+                now + 1,
+            );
+            prop_assert_eq!(dp.take_woken().len() as u64, model_buffered);
+        }
+        let m = dp.metrics();
+        prop_assert_eq!(m.idle_buffered, 0);
+        prop_assert_eq!(dp.suspended_count(), 0);
+        prop_assert!(m.conservation_holds());
     }
 }
 

@@ -148,6 +148,7 @@ fn verdict_kind(v: &PacketVerdict) -> (bool, Option<pepc::data::DropReason>, usi
     match v {
         PacketVerdict::Forward(m) => (true, None, m.len()),
         PacketVerdict::Drop(r) => (false, Some(*r), 0),
+        PacketVerdict::Buffered => (false, None, 0),
     }
 }
 
